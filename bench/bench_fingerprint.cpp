@@ -1,0 +1,227 @@
+// FPRINT — runs the fingerprinting-attack experiment the paper poses as
+// future work (Sections 6.2-6.3):
+//   "The remaining question that we will experimentally evaluate in
+//    future work is whether address space usage fingerprints are
+//    sufficiently unique to enable the identification of networks."
+//   "...it is an open experimental question ... whether there is enough
+//    entropy in the peering structures to make them useful as
+//    fingerprints. It seems likely that peering structure can be used to
+//    fingerprint backbone networks, but not edge networks."
+//
+// Experiment: a population of networks; the attacker holds one network's
+// anonymized configs, computes its fingerprint (identical to the
+// pre-anonymization one, since anonymization preserves exactly this
+// structure — asserted below), and matches it against externally measured
+// fingerprints of all candidates. A network is deanonymized iff its
+// fingerprint is unique in the population.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/fingerprint.h"
+#include "analysis/linkage.h"
+#include "analysis/probe_attack.h"
+#include "analysis/design_extract.h"
+#include "core/anonymizer.h"
+#include "gen/config_writer.h"
+#include "gen/network_gen.h"
+
+int main() {
+  using namespace confanon;
+
+  const int population = 120;
+  std::vector<util::Histogram> subnet_fps;
+  std::vector<analysis::PeeringFingerprint> peering_fps;
+  std::vector<util::Histogram> subnet_backbone, subnet_edge;
+  std::vector<analysis::PeeringFingerprint> peering_backbone, peering_edge;
+  int preserved = 0;
+
+  for (int i = 0; i < population; ++i) {
+    gen::GeneratorParams params;
+    params.seed = 4242 + static_cast<std::uint64_t>(i);
+    const bool backbone = i % 2 == 0;
+    params.profile = backbone ? gen::NetworkProfile::kBackbone
+                              : gen::NetworkProfile::kEnterprise;
+    params.router_count = backbone ? 12 + (i % 7) * 4 : 4 + (i % 5) * 2;
+    const auto network = gen::GenerateNetwork(params, i);
+    const auto pre = gen::WriteNetworkConfigs(network);
+
+    const util::Histogram subnet_fp = analysis::SubnetSizeFingerprint(pre);
+    const analysis::PeeringFingerprint peering_fp =
+        analysis::PeeringStructureFingerprint(pre);
+
+    // Attack premise: the anonymized corpus carries the same fingerprint.
+    core::AnonymizerOptions options;
+    options.salt = "fp-" + std::to_string(i);
+    core::Anonymizer anonymizer(std::move(options));
+    const auto post = anonymizer.AnonymizeNetwork(pre);
+    const bool same =
+        analysis::SubnetSizeFingerprint(post) == subnet_fp &&
+        analysis::PeeringStructureFingerprint(post) == peering_fp;
+    preserved += same;
+
+    subnet_fps.push_back(subnet_fp);
+    peering_fps.push_back(peering_fp);
+    (backbone ? subnet_backbone : subnet_edge).push_back(subnet_fp);
+    (backbone ? peering_backbone : peering_edge).push_back(peering_fp);
+  }
+
+  const auto subnet_all = analysis::SubnetFingerprintUniqueness(subnet_fps);
+  const auto peering_all =
+      analysis::PeeringFingerprintUniqueness(peering_fps);
+  const auto peering_bb =
+      analysis::PeeringFingerprintUniqueness(peering_backbone);
+  const auto peering_edge_result =
+      analysis::PeeringFingerprintUniqueness(peering_edge);
+  const auto subnet_bb = analysis::SubnetFingerprintUniqueness(subnet_backbone);
+  const auto subnet_edge_result =
+      analysis::SubnetFingerprintUniqueness(subnet_edge);
+
+  std::printf("== FPRINT: fingerprint uniqueness (Sections 6.2-6.3) ==\n");
+  std::printf("population: %d networks (half backbone, half edge)\n", population);
+  std::printf("fingerprints preserved through anonymization: %d/%d\n\n",
+              preserved, population);
+  std::printf("%-40s %14s\n", "fingerprint", "identified");
+  std::printf("%-40s %9zu/%zu\n", "subnet-size histogram (all)",
+              subnet_all.uniquely_identified, subnet_all.population);
+  std::printf("%-40s %9zu/%zu\n", "subnet-size histogram (backbone)",
+              subnet_bb.uniquely_identified, subnet_bb.population);
+  std::printf("%-40s %9zu/%zu\n", "subnet-size histogram (edge)",
+              subnet_edge_result.uniquely_identified,
+              subnet_edge_result.population);
+  std::printf("%-40s %9zu/%zu\n", "peering structure (all)",
+              peering_all.uniquely_identified, peering_all.population);
+  std::printf("%-40s %9zu/%zu\n", "peering structure (backbone)",
+              peering_bb.uniquely_identified, peering_bb.population);
+  std::printf("%-40s %9zu/%zu\n", "peering structure (edge)",
+              peering_edge_result.uniquely_identified,
+              peering_edge_result.population);
+
+  // Shape per the paper's conjecture: fingerprints preserved exactly;
+  // peering structure identifies backbones at a higher rate than edge
+  // networks (edge networks have fewer attachment points -> less entropy).
+  // --- prefix-linkage analysis (the structural residue of the Ylonen
+  // attack the paper cites in Section 6.2) ---
+  {
+    gen::GeneratorParams params;
+    params.seed = 777;
+    params.router_count = 40;
+    const auto network = gen::GenerateNetwork(params, 0);
+    std::vector<net::Ipv4Address> addresses;
+    for (const auto& router : network.routers) {
+      for (const auto& iface : router.interfaces) {
+        addresses.push_back(iface.address);
+      }
+    }
+    std::printf("\nprefix-linkage: attacker compromises k addresses of a "
+                "%zu-address network\n",
+                addresses.size());
+    std::printf("%6s %18s %18s %14s\n", "k", "mean known bits",
+                "max known bits", "victims@/24");
+    for (std::size_t k : {std::size_t{1}, std::size_t{5}, std::size_t{20},
+                          std::size_t{50}}) {
+      const analysis::LinkageResult r =
+          analysis::MeasurePrefixLinkage(addresses, k);
+      std::printf("%6zu %18.1f %18.0f %11zu/%zu\n", r.compromised,
+                  r.mean_known_bits, r.max_known_bits, r.victims_within_24,
+                  r.victims);
+    }
+  }
+
+  // --- remote probe-sweep estimation of the subnet fingerprint (the
+  // paper's Section 6.2 scenario, including its "extremely challenging"
+  // caveat about measurement noise) ---
+  {
+    std::printf("\nprobe-sweep fingerprint estimation (Section 6.2):\n");
+    std::printf("%10s %10s %16s %16s\n", "occupancy", "loss",
+                "mean rel. error", "exact matches");
+    struct Scenario {
+      double occupancy;
+      double loss;
+    };
+    for (const Scenario scenario :
+         {Scenario{0.6, 0.0}, Scenario{0.4, 0.1}, Scenario{0.2, 0.3}}) {
+      double error_sum = 0;
+      int exact = 0;
+      const int sample = 30;
+      for (int i = 0; i < sample; ++i) {
+        gen::GeneratorParams params;
+        params.seed = 9000 + static_cast<std::uint64_t>(i);
+        params.router_count = 10 + (i % 5) * 4;
+        const auto network = gen::GenerateNetwork(params, i);
+        const auto design =
+            analysis::ExtractDesign(gen::WriteNetworkConfigs(network));
+        analysis::ProbeAttackOptions options;
+        options.seed = 100 + static_cast<std::uint64_t>(i);
+        options.occupancy = scenario.occupancy;
+        options.loss = scenario.loss;
+        const analysis::ProbeAttackResult attack =
+            analysis::SimulateProbeSweep(design, options);
+        error_sum += attack.RelativeError();
+        exact += attack.L1Error() == 0;
+      }
+      std::printf("%10.1f %10.1f %15.0f%% %13d/%d\n", scenario.occupancy,
+                  scenario.loss, error_sum / sample * 100, exact, sample);
+    }
+  }
+
+  // Even a noisy estimate may identify via nearest-neighbour matching:
+  // the attacker compares his estimated histogram against the *true*
+  // fingerprints of all candidates (which anonymization preserves).
+  {
+    const int candidates = 40;
+    std::vector<util::Histogram> truth(static_cast<std::size_t>(candidates));
+    std::vector<analysis::NetworkDesign> designs(
+        static_cast<std::size_t>(candidates));
+    for (int i = 0; i < candidates; ++i) {
+      gen::GeneratorParams params;
+      params.seed = 9000 + static_cast<std::uint64_t>(i);
+      params.router_count = 10 + (i % 5) * 4;
+      const auto network = gen::GenerateNetwork(params, i);
+      designs[static_cast<std::size_t>(i)] =
+          analysis::ExtractDesign(gen::WriteNetworkConfigs(network));
+      const auto& design = designs[static_cast<std::size_t>(i)];
+      analysis::ProbeAttackOptions options;  // only for the true histogram
+      options.seed = 1;
+      truth[static_cast<std::size_t>(i)] =
+          analysis::SimulateProbeSweep(design, options).true_fingerprint;
+    }
+    for (double loss : {0.0, 0.1, 0.3}) {
+      int identified = 0;
+      for (int i = 0; i < candidates; ++i) {
+        analysis::ProbeAttackOptions options;
+        options.seed = 2000 + static_cast<std::uint64_t>(i);
+        options.occupancy = 0.4;
+        options.loss = loss;
+        const auto attack = analysis::SimulateProbeSweep(
+            designs[static_cast<std::size_t>(i)], options);
+        std::uint64_t best = ~std::uint64_t{0};
+        int best_index = -1;
+        bool tie = false;
+        for (int j = 0; j < candidates; ++j) {
+          const std::uint64_t d = util::Histogram::L1Distance(
+              attack.estimated_fingerprint,
+              truth[static_cast<std::size_t>(j)]);
+          if (d < best) {
+            best = d;
+            best_index = j;
+            tie = false;
+          } else if (d == best) {
+            tie = true;
+          }
+        }
+        identified += best_index == i && !tie;
+      }
+      std::printf("nearest-neighbour identification at loss %.1f: %d/%d\n",
+                  loss, identified, candidates);
+    }
+  }
+
+  const double bb_rate = peering_bb.IdentifiedFraction();
+  const double edge_rate = peering_edge_result.IdentifiedFraction();
+  std::printf("\npeering identification: backbone %.0f%% vs edge %.0f%%\n",
+              bb_rate * 100, edge_rate * 100);
+  const bool shape_holds = preserved == population && bb_rate >= edge_rate;
+  std::printf("shape (preserved; backbones more identifiable): %s\n",
+              shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

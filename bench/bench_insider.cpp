@@ -1,0 +1,111 @@
+// INSIDER — reproduces the compartmentalization observation of paper
+// Section 6: "10 of 31 networks we examined use internal
+// compartmentalization that would also defeat insider attacks. For
+// example, some networks use NATs ..., some use routing policy to prevent
+// reachability ..., and others drop traceroutes and other probe traffic."
+//
+// The generator assigns compartmentalization at the paper's 10/31 rate;
+// the detector re-measures it from config text, both pre- and
+// post-anonymization (the verdict depends only on structure, so it must
+// survive anonymization).
+#include <cstdio>
+
+#include "analysis/compartment.h"
+#include "analysis/design_extract.h"
+#include "analysis/reachability.h"
+#include "core/anonymizer.h"
+#include "gen/config_writer.h"
+#include "gen/network_gen.h"
+
+int main() {
+  using namespace confanon;
+
+  const int network_count = 31;
+  int truth_compartmentalized = 0;
+  int detected_pre = 0;
+  int detected_post = 0;
+  int verdict_survives = 0;
+  int by_kind[4] = {0, 0, 0, 0};
+
+  for (int i = 0; i < network_count; ++i) {
+    gen::GeneratorParams params;
+    params.seed = 606;
+    params.router_count = 12 + (i % 6) * 4;
+    params.profile = (i % 3 == 2) ? gen::NetworkProfile::kEnterprise
+                                  : gen::NetworkProfile::kBackbone;
+    const auto network = gen::GenerateNetwork(params, i);
+    const auto pre = gen::WriteNetworkConfigs(network);
+
+    truth_compartmentalized +=
+        network.truth.compartmentalization != gen::Compartmentalization::kNone;
+    ++by_kind[static_cast<int>(network.truth.compartmentalization)];
+
+    const auto pre_verdict = analysis::DetectCompartmentalization(pre);
+    detected_pre += pre_verdict != analysis::CompartmentMechanism::kNone;
+
+    core::AnonymizerOptions options;
+    options.salt = "insider-" + std::to_string(i);
+    core::Anonymizer anonymizer(std::move(options));
+    const auto post = anonymizer.AnonymizeNetwork(pre);
+    const auto post_verdict = analysis::DetectCompartmentalization(post);
+    detected_post += post_verdict != analysis::CompartmentMechanism::kNone;
+    verdict_survives += pre_verdict == post_verdict;
+  }
+
+  std::printf("== INSIDER: internal compartmentalization (Section 6) ==\n");
+  std::printf("%-46s %8s %10s\n", "metric", "paper", "measured");
+  std::printf("%-46s %5d/31 %7d/%d\n", "networks compartmentalized (truth)",
+              10, truth_compartmentalized, network_count);
+  std::printf("%-46s %8s %7d/%d\n", "detected from pre configs", "(n/a)",
+              detected_pre, network_count);
+  std::printf("%-46s %8s %7d/%d\n", "detected from anonymized configs",
+              "(n/a)", detected_post, network_count);
+  std::printf("%-46s %8s %7d/%d\n", "verdict survives anonymization",
+              "implied", verdict_survives, network_count);
+  std::printf("\nmechanism mix: none=%d nat=%d policy=%d probe-drop=%d\n",
+              by_kind[0], by_kind[1], by_kind[2], by_kind[3]);
+
+  // Reachability verification of the Section 6 claim: policy
+  // compartmentalization actually prevents route propagation, and the
+  // restriction (the full reachability matrix) survives anonymization.
+  int policy_networks = 0, restricted = 0, matrix_preserved = 0;
+  for (std::uint64_t seed = 1; seed < 120 && policy_networks < 5; ++seed) {
+    gen::GeneratorParams params;
+    params.seed = seed;
+    params.router_count = 16;
+    params.p_compartmentalized = 1.0;
+    const auto network = gen::GenerateNetwork(params, 0);
+    if (network.truth.compartmentalization !=
+        gen::Compartmentalization::kPolicy) {
+      continue;
+    }
+    const auto pre = gen::WriteNetworkConfigs(network);
+    const analysis::ReachabilityReport pre_report =
+        analysis::AnalyzeReachability(analysis::ExtractDesign(pre));
+    if (pre_report.filtered_pairs == 0) continue;
+    ++policy_networks;
+    restricted += pre_report.ReachableFraction() < 1.0;
+    core::AnonymizerOptions options;
+    options.salt = "insider-reach-" + std::to_string(seed);
+    core::Anonymizer anonymizer(std::move(options));
+    const auto post = anonymizer.AnonymizeNetwork(pre);
+    matrix_preserved +=
+        pre_report ==
+        analysis::AnalyzeReachability(analysis::ExtractDesign(post));
+  }
+  std::printf("policy networks verified: %d; reachability restricted: %d; "
+              "matrix identical post-anonymization: %d\n",
+              policy_networks, restricted, matrix_preserved);
+
+  // Shape: roughly a third compartmentalized, detection consistent
+  // across anonymization.
+  const bool shape_holds = truth_compartmentalized >= 5 &&
+                           truth_compartmentalized <= 16 &&
+                           verdict_survives == network_count &&
+                           detected_post == detected_pre &&
+                           restricted == policy_networks &&
+                           matrix_preserved == policy_networks;
+  std::printf("\nshape (about a third; verdict stable): %s\n",
+              shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

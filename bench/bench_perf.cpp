@@ -1,0 +1,232 @@
+// PERF — microbenchmarks of the design choices the paper weighs:
+//   * Section 4.3: tree-based (Minshall-style) vs cryptographic (Xu /
+//     Crypto-PAn style) prefix-preserving address mapping;
+//   * Section 4.1: salted SHA-1 hashing, the per-word cost of the
+//     conservative hash-everything-unknown policy;
+//   * Section 4.4: regexp rewriting cost, alternation vs minimized-DFA
+//     output (the extension path the paper mentions);
+//   * end-to-end anonymization throughput (lines/s), which determined
+//     whether the paper's 4.3M-line corpus was tractable.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "asn/regex_rewrite.h"
+#include "core/anonymizer.h"
+#include "core/leak_detector.h"
+#include "gen/config_writer.h"
+#include "gen/network_gen.h"
+#include "junos/anonymizer.h"
+#include "junos/writer.h"
+#include "ipanon/cryptopan.h"
+#include "ipanon/ip_anonymizer.h"
+#include "util/aho_corasick.h"
+#include "util/rng.h"
+#include "util/sha1.h"
+
+namespace {
+
+using namespace confanon;
+
+void BM_Sha1Throughput(benchmark::State& state) {
+  const std::string block(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Sha1::Hash(block));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Throughput)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SaltedToken(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::SaltedHexToken("salt", "UUNET-import"));
+  }
+}
+BENCHMARK(BM_SaltedToken);
+
+void BM_TreeIpMap(benchmark::State& state) {
+  ipanon::IpAnonymizer anonymizer("bench-salt");
+  util::Rng rng(1);
+  std::vector<net::Ipv4Address> addresses;
+  for (int i = 0; i < 4096; ++i) {
+    addresses.emplace_back(static_cast<std::uint32_t>(rng.Next()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        anonymizer.Map(addresses[i++ & 4095]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TreeIpMap);
+
+void BM_TreeIpMapColdAddresses(benchmark::State& state) {
+  // Every address fresh: measures trie growth rather than memo hits.
+  ipanon::IpAnonymizer anonymizer("bench-salt-cold");
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        anonymizer.Map(net::Ipv4Address(static_cast<std::uint32_t>(rng.Next()))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TreeIpMapColdAddresses);
+
+void BM_CryptoPanMap(benchmark::State& state) {
+  const ipanon::CryptoPan pan("bench-key");
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pan.Map(net::Ipv4Address(static_cast<std::uint32_t>(rng.Next()))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CryptoPanMap);
+
+void BM_AsnPermutationBuild(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    asn::AsnMap map("salt-" + std::to_string(i++));
+    benchmark::DoNotOptimize(map.Map(701));
+  }
+}
+BENCHMARK(BM_AsnPermutationBuild);
+
+void BM_TokenLanguageEnumerate(benchmark::State& state) {
+  // The Section 4.4 language computation: apply the regexp to all 2^16
+  // ASNs.
+  for (auto _ : state) {
+    const asn::TokenLanguage language =
+        asn::TokenLanguage::Compile("_70[1-5]_");
+    benchmark::DoNotOptimize(language.Enumerate());
+  }
+}
+BENCHMARK(BM_TokenLanguageEnumerate);
+
+void BM_RewriteAlternation(benchmark::State& state) {
+  const asn::AsnMap map("bench-salt");
+  const asn::AsnRegexRewriter rewriter(map);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rewriter.Rewrite("_7[0-9][0-9]_", asn::RewriteForm::kAlternation));
+  }
+}
+BENCHMARK(BM_RewriteAlternation);
+
+void BM_RewriteMinimizedDfa(benchmark::State& state) {
+  const asn::AsnMap map("bench-salt");
+  const asn::AsnRegexRewriter rewriter(map);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rewriter.Rewrite("_7[0-9][0-9]_", asn::RewriteForm::kMinimizedDfa));
+  }
+}
+BENCHMARK(BM_RewriteMinimizedDfa);
+
+std::vector<config::ConfigFile> BenchCorpus(int routers) {
+  gen::GeneratorParams params;
+  params.seed = 99;
+  params.router_count = routers;
+  return gen::WriteNetworkConfigs(gen::GenerateNetwork(params, 0));
+}
+
+void BM_AnonymizeNetwork(benchmark::State& state) {
+  const auto pre = BenchCorpus(static_cast<int>(state.range(0)));
+  std::size_t lines = 0;
+  for (const auto& file : pre) lines += file.LineCount();
+  for (auto _ : state) {
+    core::AnonymizerOptions options;
+    options.salt = "perf-salt";
+    core::Anonymizer anonymizer(std::move(options));
+    benchmark::DoNotOptimize(anonymizer.AnonymizeNetwork(pre));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lines));
+  state.counters["lines"] = static_cast<double>(lines);
+}
+BENCHMARK(BM_AnonymizeNetwork)->Arg(8)->Arg(24)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void BM_AnonymizeJunosNetwork(benchmark::State& state) {
+  gen::GeneratorParams params;
+  params.seed = 99;
+  params.router_count = static_cast<int>(state.range(0));
+  const auto pre =
+      junos::WriteJunosNetworkConfigs(gen::GenerateNetwork(params, 0));
+  std::size_t lines = 0;
+  for (const auto& file : pre) lines += file.LineCount();
+  for (auto _ : state) {
+    junos::JunosAnonymizerOptions options;
+    options.salt = "perf-salt";
+    junos::JunosAnonymizer anonymizer(std::move(options));
+    benchmark::DoNotOptimize(anonymizer.AnonymizeNetwork(pre));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lines));
+  state.counters["lines"] = static_cast<double>(lines);
+}
+BENCHMARK(BM_AnonymizeJunosNetwork)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_LeakScan(benchmark::State& state) {
+  const auto pre = BenchCorpus(24);
+  core::AnonymizerOptions options;
+  options.salt = "perf-salt";
+  core::Anonymizer anonymizer(std::move(options));
+  const auto post = anonymizer.AnonymizeNetwork(pre);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::LeakDetector::Scan(post, anonymizer.leak_record()));
+  }
+}
+BENCHMARK(BM_LeakScan)->Unit(benchmark::kMillisecond);
+
+void BM_AhoCorasickBuild(benchmark::State& state) {
+  std::vector<std::string> patterns;
+  util::Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    patterns.push_back(std::to_string(rng.Below(65536)));
+  }
+  for (auto _ : state) {
+    util::AhoCorasick automaton(patterns);
+    benchmark::DoNotOptimize(automaton.PatternCount());
+  }
+  state.SetLabel("2000 patterns");
+}
+BENCHMARK(BM_AhoCorasickBuild)->Unit(benchmark::kMillisecond);
+
+void BM_AhoCorasickScanLine(benchmark::State& state) {
+  std::vector<std::string> patterns;
+  util::Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    patterns.push_back(std::to_string(rng.Below(65536)));
+  }
+  const util::AhoCorasick automaton(patterns);
+  const std::string line =
+      " neighbor 203.0.113.77 route-map h38c2cc71c4 in";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(automaton.FindAll(line));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AhoCorasickScanLine);
+
+void BM_ExportImportMappings(benchmark::State& state) {
+  ipanon::IpAnonymizer anonymizer("bench-salt");
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    anonymizer.Map(net::Ipv4Address(static_cast<std::uint32_t>(rng.Next())));
+  }
+  for (auto _ : state) {
+    std::stringstream stream;
+    anonymizer.ExportMappings(stream);
+    ipanon::IpAnonymizer replica("other");
+    replica.ImportMappings(stream);
+    benchmark::DoNotOptimize(replica.NodeCount());
+  }
+  state.SetLabel("2000 addresses");
+}
+BENCHMARK(BM_ExportImportMappings)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

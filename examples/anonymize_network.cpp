@@ -1,0 +1,95 @@
+// Anonymize a whole synthetic network and validate the result.
+//
+// Generates a realistic multi-POP backbone (the stand-in for one of the
+// paper's 31 carrier networks), anonymizes all of its router configs with
+// shared state, runs both validation suites from Section 5 (independent
+// characteristics; reverse-engineered routing design), and runs the leak
+// detector from Section 6.1.
+//
+// Usage: anonymize_network [router_count] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/validate.h"
+#include "core/anonymizer.h"
+#include "gen/config_writer.h"
+#include "gen/network_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace confanon;
+
+  gen::GeneratorParams params;
+  params.router_count = argc > 1 ? std::atoi(argv[1]) : 24;
+  params.seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 7;
+  params.profile = gen::NetworkProfile::kBackbone;
+
+  const gen::NetworkSpec network = gen::GenerateNetwork(params, 0);
+  const std::vector<config::ConfigFile> pre =
+      gen::WriteNetworkConfigs(network);
+
+  std::size_t total_lines = 0;
+  for (const auto& file : pre) total_lines += file.LineCount();
+  std::cout << "generated network '" << network.name << "' (AS "
+            << network.asn << "): " << pre.size() << " routers, "
+            << total_lines << " config lines\n";
+
+  core::AnonymizerOptions options;
+  options.salt = "example-network-salt";
+  core::Anonymizer anonymizer(options);
+  const std::vector<config::ConfigFile> post =
+      anonymizer.AnonymizeNetwork(pre);
+
+  std::cout << "\n--- first 40 lines of " << pre.front().name()
+            << " before/after ---\n";
+  for (std::size_t i = 0; i < 40 && i < pre.front().lines().size(); ++i) {
+    std::cout << "  " << pre.front().lines()[i] << "\n";
+  }
+  std::cout << "  ...\n";
+  for (std::size_t i = 0; i < 40 && i < post.front().lines().size(); ++i) {
+    std::cout << "  " << post.front().lines()[i] << "\n";
+  }
+
+  std::cout << "\n--- anonymization report ---\n"
+            << anonymizer.report().ToString();
+
+  const analysis::ValidationResult validation =
+      analysis::ValidateNetwork(pre, post, anonymizer);
+  std::cout << "\n--- validation (paper Section 5) ---\n";
+  std::cout << "suite 1 (characteristics): "
+            << (validation.characteristics_match ? "MATCH" : "DIFFER") << "\n";
+  for (const auto& diff : validation.characteristics_diffs) {
+    std::cout << "    " << diff << "\n";
+  }
+  std::cout << "suite 2 (routing design, exact under maps): "
+            << (validation.design_match ? "MATCH" : "DIFFER") << "\n";
+  for (const auto& diff : validation.design_diffs) {
+    std::cout << "    " << diff << "\n";
+  }
+  std::cout << "suite 2b (structural projection): "
+            << (validation.structural_match ? "MATCH" : "DIFFER") << "\n";
+  for (const auto& diff : validation.structural_diffs) {
+    std::cout << "    " << diff << "\n";
+  }
+
+  const auto findings =
+      core::LeakDetector::Scan(post, anonymizer.leak_record());
+  // Numeric findings are triage items, not failures: short ASNs collide
+  // with unrelated integers (the paper's Genuity AS-1 example — try seed 5,
+  // whose network peers with AS 1). Textual findings are real leaks.
+  std::size_t textual = 0, numeric = 0;
+  for (const auto& finding : findings) {
+    if (finding.kind == core::LeakFinding::Kind::kHashedWord) {
+      ++textual;
+    } else {
+      ++numeric;
+    }
+  }
+  std::cout << "\nleak findings: " << textual << " textual, " << numeric
+            << " numeric (operator triage; see Section 6.1)\n";
+  for (std::size_t i = 0; i < findings.size() && i < 5; ++i) {
+    std::cout << "  [" << findings[i].matched << "] " << findings[i].line
+              << "\n";
+  }
+
+  return validation.AllPassed() && textual == 0 ? 0 : 1;
+}

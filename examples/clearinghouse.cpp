@@ -1,0 +1,107 @@
+// Clearinghouse demo (paper Section 7: "Towards a Clearinghouse of
+// Configuration Data").
+//
+// Simulates the single-blind workflow the paper proposes: several network
+// owners each anonymize their own configs with their own secret salt and
+// "upload" only the anonymized corpora. A researcher with access to the
+// portal then runs cross-network analyses over the anonymized data and
+// produces exactly the kind of results the paper argues such a repository
+// would enable — protocol usage across operators, routing-design shapes,
+// address-space structure — without ever seeing an identity.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "analysis/characteristics.h"
+#include "analysis/compartment.h"
+#include "analysis/design_extract.h"
+#include "core/anonymizer.h"
+#include "core/leak_detector.h"
+#include "gen/config_writer.h"
+#include "gen/network_gen.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace confanon;
+
+  const int owners = 8;
+  std::printf("== clearinghouse: %d owners upload anonymized configs ==\n\n",
+              owners);
+
+  // --- owner side: each anonymizes privately ---
+  std::vector<std::vector<config::ConfigFile>> portal;  // what gets uploaded
+  for (int i = 0; i < owners; ++i) {
+    gen::GeneratorParams params;
+    params.seed = 880000 + static_cast<std::uint64_t>(i);
+    params.router_count = 8 + (i % 4) * 8;
+    params.profile = (i % 3 == 2) ? gen::NetworkProfile::kEnterprise
+                                  : gen::NetworkProfile::kBackbone;
+    const auto network = gen::GenerateNetwork(params, i);
+    const auto pre = gen::WriteNetworkConfigs(network);
+
+    core::AnonymizerOptions options;
+    options.salt = "owner-" + std::to_string(i) + "-private-secret";
+    core::Anonymizer anonymizer(std::move(options));
+    auto post = anonymizer.AnonymizeNetwork(pre);
+
+    // The owner verifies before uploading (the paper: "after taking
+    // whatever additional steps they felt necessary to verify").
+    const auto findings =
+        core::LeakDetector::Scan(post, anonymizer.leak_record());
+    std::size_t textual = 0;
+    for (const auto& finding : findings) {
+      textual += finding.kind == core::LeakFinding::Kind::kHashedWord;
+    }
+    std::printf("owner %d ('%s'): %2zu routers anonymized, %zu textual "
+                "leak findings -> %s\n",
+                i, network.name.c_str(), post.size(), textual,
+                textual == 0 ? "uploads" : "WITHHOLDS");
+    if (textual == 0) portal.push_back(std::move(post));
+  }
+
+  // --- researcher side: cross-network analysis on anonymized data ---
+  std::printf("\n== researcher report (anonymized data only) ==\n\n");
+  std::map<std::string, int> igp_usage;
+  util::Summary routers_per_network, links_per_network, ebgp_per_network;
+  util::Histogram global_subnets;
+  int compartmentalized = 0;
+
+  for (const auto& corpus : portal) {
+    const analysis::NetworkCharacteristics stats =
+        analysis::ExtractCharacteristics(corpus);
+    const analysis::NetworkDesign design = analysis::ExtractDesign(corpus);
+    routers_per_network.Add(static_cast<double>(stats.router_count));
+    links_per_network.Add(static_cast<double>(design.links.size()));
+    ebgp_per_network.Add(static_cast<double>(stats.ebgp_session_count));
+    for (const auto& [proto, count] : stats.protocol_counts) {
+      if (count > 0 && proto != "bgp") ++igp_usage[proto];
+    }
+    for (int bucket : stats.subnet_sizes.Buckets()) {
+      global_subnets.Add(bucket, stats.subnet_sizes.Get(bucket));
+    }
+    compartmentalized += analysis::DetectCompartmentalization(corpus) !=
+                         analysis::CompartmentMechanism::kNone;
+  }
+
+  std::printf("networks in repository: %zu\n", portal.size());
+  std::printf("routers per network:    %s\n",
+              routers_per_network.Describe().c_str());
+  std::printf("links per network:      %s\n",
+              links_per_network.Describe().c_str());
+  std::printf("eBGP sessions/network:  %s\n",
+              ebgp_per_network.Describe().c_str());
+  std::printf("IGP usage (networks running each):");
+  for (const auto& [proto, count] : igp_usage) {
+    std::printf("  %s=%d", proto.c_str(), count);
+  }
+  std::printf("\nglobal subnet-size structure:");
+  for (int bucket : global_subnets.Buckets()) {
+    std::printf(" /%d=%llu", bucket,
+                static_cast<unsigned long long>(global_subnets.Get(bucket)));
+  }
+  std::printf("\nnetworks with internal compartmentalization: %d/%zu\n",
+              compartmentalized, portal.size());
+  std::printf("\nNo owner identity was available to the researcher at any "
+              "point.\n");
+  return portal.size() == static_cast<std::size_t>(owners) ? 0 : 1;
+}

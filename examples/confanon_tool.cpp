@@ -1,0 +1,241 @@
+// confanon_tool — the command-line anonymizer a network operator would
+// run (the artifact the paper's clearinghouse workflow distributes:
+// "Network owners could download the configuration anonymization tools
+// from the portal ... and upload their anonymized configurations").
+//
+// Usage:
+//   confanon_tool --salt SECRET [options] config1 [config2 ...]
+//
+// Options:
+//   --salt SECRET        owner-chosen secret (required)
+//   --out DIR            write anonymized files to DIR (default: stdout)
+//   --minimized-regexps  emit minimized-DFA regexps instead of alternations
+//   --keep-comments      do not strip comments (NOT recommended)
+//   --export-map FILE    save the IP mapping for a later consistent run
+//   --import-map FILE    preload the IP mapping from an earlier run
+//   --report             print the anonymization report to stderr
+//   --check-leaks        run the Section 6.1 grep-back and report findings
+//   --junos              treat inputs as JunOS configs (hierarchical
+//                        brace syntax) instead of Cisco IOS
+//   --entities FILE      known-entity declarations (paper Section 5), one
+//                        per line: "label | asn asn ... | prefix prefix ..."
+//   --entities-out FILE  write the anonymized entity groupings
+//
+// All files given in one invocation are treated as one network: they share
+// the hash memo, IP trie and ASN permutation, so cross-file references
+// stay consistent.
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/anonymizer.h"
+#include "core/leak_detector.h"
+#include "junos/anonymizer.h"
+#include "util/strings.h"
+
+namespace {
+
+void Usage() {
+  std::cerr << "usage: confanon_tool --salt SECRET [--out DIR] "
+               "[--minimized-regexps] [--keep-comments]\n"
+               "                     [--export-map FILE] [--import-map FILE] "
+               "[--report] [--check-leaks] [--junos]\n"
+               "                     config1 [config2 ...]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace confanon;
+
+  core::AnonymizerOptions options;
+  options.salt.clear();
+  std::string out_dir;
+  std::string export_map, import_map;
+  std::string entities_in, entities_out;
+  bool report = false, check_leaks = false, junos_mode = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--salt") {
+      options.salt = next();
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--minimized-regexps") {
+      options.regex_form = asn::RewriteForm::kMinimizedDfa;
+    } else if (arg == "--keep-comments") {
+      options.strip_comments = false;
+    } else if (arg == "--export-map") {
+      export_map = next();
+    } else if (arg == "--import-map") {
+      import_map = next();
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--check-leaks") {
+      check_leaks = true;
+    } else if (arg == "--junos") {
+      junos_mode = true;
+    } else if (arg == "--entities") {
+      entities_in = next();
+    } else if (arg == "--entities-out") {
+      entities_out = next();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      Usage();
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (options.salt.empty() || inputs.empty()) {
+    Usage();
+    return 2;
+  }
+
+  std::vector<config::ConfigFile> files;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot read " << path << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    files.push_back(config::ConfigFile::FromText(
+        std::filesystem::path(path).filename().string(), buffer.str()));
+  }
+
+  // Known-entity declarations: "label | asn asn | prefix prefix".
+  if (!entities_in.empty()) {
+    std::ifstream in(entities_in);
+    if (!in) {
+      std::cerr << "cannot read entities " << entities_in << "\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (confanon::util::Trim(line).empty()) continue;
+      const auto fields = confanon::util::Split(line, '|');
+      if (fields.size() != 3) {
+        std::cerr << "malformed entity line: " << line << "\n";
+        return 1;
+      }
+      core::AnonymizerOptions::KnownEntity entity;
+      entity.label = std::string(confanon::util::Trim(fields[0]));
+      for (const auto word : confanon::util::SplitWords(fields[1])) {
+        std::uint64_t asn = 0;
+        if (confanon::util::ParseUint(word, 65535, asn)) {
+          entity.asns.push_back(static_cast<std::uint32_t>(asn));
+        }
+      }
+      for (const auto word : confanon::util::SplitWords(fields[2])) {
+        if (const auto prefix = net::Prefix::Parse(word)) {
+          entity.prefixes.push_back(*prefix);
+        }
+      }
+      options.known_entities.push_back(std::move(entity));
+    }
+  }
+
+  // Both language modes share the primitives; --junos swaps the rule
+  // pack. A small adapter keeps the rest of the tool uniform.
+  std::optional<core::Anonymizer> ios;
+  std::optional<junos::JunosAnonymizer> junos_anonymizer;
+  if (junos_mode) {
+    junos::JunosAnonymizerOptions junos_options;
+    junos_options.salt = options.salt;
+    junos_options.regex_form = options.regex_form;
+    junos_options.strip_comments = options.strip_comments;
+    junos_anonymizer.emplace(std::move(junos_options));
+  } else {
+    ios.emplace(options);
+  }
+  const auto ip_anonymizer = [&]() -> ipanon::IpAnonymizer& {
+    return junos_mode ? junos_anonymizer->ip_anonymizer()
+                      : ios->ip_anonymizer();
+  };
+  if (!import_map.empty()) {
+    std::ifstream in(import_map);
+    if (!in) {
+      std::cerr << "cannot read mapping " << import_map << "\n";
+      return 1;
+    }
+    ip_anonymizer().ImportMappings(in);
+  }
+
+  const std::vector<config::ConfigFile> anonymized =
+      junos_mode ? junos_anonymizer->AnonymizeNetwork(files)
+                 : ios->AnonymizeNetwork(files);
+
+  if (out_dir.empty()) {
+    for (const auto& file : anonymized) {
+      std::cout << "! ===== " << file.name() << " =====\n" << file.ToText();
+    }
+  } else {
+    std::filesystem::create_directories(out_dir);
+    for (const auto& file : anonymized) {
+      const auto path = std::filesystem::path(out_dir) / (file.name() + ".cfg");
+      std::ofstream out(path);
+      out << file.ToText();
+      if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return 1;
+      }
+    }
+    std::cerr << "wrote " << anonymized.size() << " files to " << out_dir
+              << "\n";
+  }
+
+  if (!export_map.empty()) {
+    std::ofstream out(export_map);
+    ip_anonymizer().ExportMappings(out);
+    if (!out) {
+      std::cerr << "cannot write mapping " << export_map << "\n";
+      return 1;
+    }
+  }
+  if (!entities_out.empty()) {
+    if (junos_mode) {
+      std::cerr << "--entities-out is not supported with --junos\n";
+      return 2;
+    }
+    std::ofstream out(entities_out);
+    ios->ExportKnownEntities(out);
+    if (!out) {
+      std::cerr << "cannot write entities " << entities_out << "\n";
+      return 1;
+    }
+  }
+  if (report) {
+    std::cerr << (junos_mode ? junos_anonymizer->report()
+                             : ios->report())
+                     .ToString();
+  }
+  if (check_leaks) {
+    const auto findings = core::LeakDetector::Scan(
+        anonymized, junos_mode ? junos_anonymizer->leak_record()
+                               : ios->leak_record());
+    std::cerr << "leak findings: " << findings.size() << "\n";
+    for (const auto& finding : findings) {
+      std::cerr << "  " << finding.file << ":" << finding.line_number + 1
+                << " [" << finding.matched << "] " << finding.line << "\n";
+    }
+    return findings.empty() ? 0 : 3;
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: anonymize the paper's Figure 1 config.
+//
+// Builds the example configuration from Section 2 of the paper, runs the
+// anonymizer over it, and prints the input, the output, and the run
+// report. Every transformation the paper lists for this config is visible
+// in the output:
+//   (1) comments and the banner are stripped;
+//   (2) the owner's public ASN (1111) is permuted;
+//   (3) the publicly routable addresses (1.1.1.0/24, ...) are remapped
+//       prefix-preservingly while netmasks survive untouched;
+//   (4) peer data — UUNET's ASN 701, the community values, the route-map
+//       names — is anonymized, with the as-path and community regexps
+//       rewritten to accept the permuted languages.
+#include <iostream>
+
+#include "core/anonymizer.h"
+
+namespace {
+
+constexpr const char* kFigure1Config = R"(hostname cr1.lax.foo.com
+!
+banner motd ^C
+FooNet contact xxx@foo.com
+Access strictly prohibited!
+^C
+!
+interface Ethernet0
+ description Foo Corp's LAX Main St offices
+ ip address 1.1.1.1 255.255.255.0
+!
+interface Serial1/0.5 point-to-point
+ description cr1.sfo-serial3/0.2
+ ip address 1.2.3.4 255.255.255.252
+!
+router bgp 1111
+ redistribute rip
+ neighbor 2.2.2.2 remote-as 701
+ neighbor 2.2.2.2 route-map UUNET-import in
+ neighbor 2.2.2.2 route-map UUNET-export out
+!
+route-map UUNET-import deny 10
+ match as-path 50
+ match community 100
+route-map UUNET-import permit 20
+route-map UUNET-export permit 10
+ match ip address 143
+ set community 701:7100
+!
+access-list 143 permit ip 1.1.1.0 0.0.0.255
+ip community-list 100 permit 701:7[1-5]..
+ip as-path access-list 50 permit (_1239_|_70[2-5]_)
+!
+router rip
+ network 1.0.0.0
+)";
+
+}  // namespace
+
+int main() {
+  using namespace confanon;
+
+  config::ConfigFile original =
+      config::ConfigFile::FromText("cr1.lax.foo.com", kFigure1Config);
+
+  core::AnonymizerOptions options;
+  options.salt = "foo-corp-secret";
+  core::Anonymizer anonymizer(options);
+  const std::vector<config::ConfigFile> anonymized =
+      anonymizer.AnonymizeNetwork({original});
+
+  std::cout << "===== pre-anonymization (paper Figure 1) =====\n"
+            << original.ToText() << "\n"
+            << "===== post-anonymization =====\n"
+            << anonymized.front().ToText() << "\n"
+            << "===== report =====\n"
+            << anonymizer.report().ToString();
+
+  // The grep-back defence of Section 6.1: are any recorded identifiers
+  // still visible in the output?
+  const auto findings =
+      core::LeakDetector::Scan(anonymized, anonymizer.leak_record());
+  std::cout << "\nleak findings: " << findings.size() << "\n";
+  for (const auto& finding : findings) {
+    std::cout << "  [" << finding.matched << "] " << finding.line << "\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,150 @@
+#include "analysis/characteristics.h"
+
+#include <set>
+#include <sstream>
+
+#include "config/tokenizer.h"
+#include "net/prefix.h"
+#include "util/strings.h"
+
+namespace confanon::analysis {
+
+NetworkCharacteristics ExtractCharacteristics(
+    const std::vector<config::ConfigFile>& configs) {
+  NetworkCharacteristics stats;
+  stats.router_count = configs.size();
+  std::set<net::Prefix> subnets;
+
+  for (const config::ConfigFile& file : configs) {
+    stats.total_lines += file.LineCount();
+    bool in_bgp = false;
+    std::uint32_t local_asn = 0;
+
+    for (const std::string& raw : file.lines()) {
+      const config::SplitLine split = config::SplitConfigLine(raw);
+      const auto& words = split.words;
+      if (words.empty()) continue;
+      const std::string first = util::ToLower(words[0]);
+
+      if (first == "interface") {
+        ++stats.interface_count;
+        in_bgp = false;
+        continue;
+      }
+      if (first == "router" && words.size() >= 2) {
+        const std::string proto = util::ToLower(words[1]);
+        ++stats.protocol_counts[proto];
+        if (proto == "bgp") {
+          ++stats.bgp_speaker_count;
+          in_bgp = true;
+          std::uint64_t asn = 0;
+          if (words.size() >= 3 && util::ParseUint(words[2], 65535, asn)) {
+            local_asn = static_cast<std::uint32_t>(asn);
+          }
+        } else {
+          in_bgp = false;
+        }
+        continue;
+      }
+      if (first == "route-map") {
+        ++stats.route_map_clause_count;
+        in_bgp = false;
+        continue;
+      }
+      if (first == "access-list" && words.size() >= 3 &&
+          util::ToLower(words[2]) != "remark") {
+        ++stats.acl_entry_count;
+        continue;
+      }
+      if (first == "ip" && words.size() >= 3) {
+        const std::string second = util::ToLower(words[1]);
+        if (second == "as-path") {
+          ++stats.as_path_list_count;
+          continue;
+        }
+        if (second == "community-list") {
+          ++stats.community_list_count;
+          continue;
+        }
+        if (second == "prefix-list") {
+          ++stats.prefix_list_entry_count;
+          continue;
+        }
+        if (second == "route" && words.size() >= 4) {
+          ++stats.static_route_count;
+          continue;
+        }
+        // `ip address A M` inside an interface block.
+        if (second == "address" && words.size() >= 4) {
+          const auto address = net::Ipv4Address::Parse(words[2]);
+          const auto mask = net::Ipv4Address::Parse(words[3]);
+          if (address && mask) {
+            const auto prefix = net::Prefix::FromAddressAndMask(*address, *mask);
+            if (prefix) subnets.insert(*prefix);
+          }
+          continue;
+        }
+      }
+      if (in_bgp && first == "neighbor" && words.size() >= 4 &&
+          util::ToLower(words[2]) == "remote-as") {
+        std::uint64_t asn = 0;
+        if (util::ParseUint(words[3], 65535, asn) && asn != local_asn) {
+          ++stats.ebgp_session_count;
+        }
+        continue;
+      }
+    }
+  }
+
+  for (const net::Prefix& subnet : subnets) {
+    stats.subnet_sizes.Add(subnet.length());
+  }
+  return stats;
+}
+
+std::vector<std::string> NetworkCharacteristics::DiffAgainst(
+    const NetworkCharacteristics& other) const {
+  std::vector<std::string> diffs;
+  const auto check = [&](const char* what, auto a, auto b) {
+    if (a != b) {
+      std::ostringstream line;
+      line << what << ": " << a << " vs " << b;
+      diffs.push_back(line.str());
+    }
+  };
+  check("router_count", router_count, other.router_count);
+  check("bgp_speaker_count", bgp_speaker_count, other.bgp_speaker_count);
+  check("interface_count", interface_count, other.interface_count);
+  check("route_map_clause_count", route_map_clause_count,
+        other.route_map_clause_count);
+  check("acl_entry_count", acl_entry_count, other.acl_entry_count);
+  check("as_path_list_count", as_path_list_count, other.as_path_list_count);
+  check("community_list_count", community_list_count,
+        other.community_list_count);
+  check("prefix_list_entry_count", prefix_list_entry_count,
+        other.prefix_list_entry_count);
+  check("static_route_count", static_route_count, other.static_route_count);
+  check("ebgp_session_count", ebgp_session_count, other.ebgp_session_count);
+  if (!(subnet_sizes == other.subnet_sizes)) {
+    diffs.push_back("subnet_sizes histograms differ");
+  }
+  if (protocol_counts != other.protocol_counts) {
+    diffs.push_back("protocol_counts differ");
+  }
+  return diffs;
+}
+
+std::string NetworkCharacteristics::ToString() const {
+  std::ostringstream out;
+  out << "routers=" << router_count << " bgp_speakers=" << bgp_speaker_count
+      << " interfaces=" << interface_count
+      << " ebgp_sessions=" << ebgp_session_count
+      << " route_map_clauses=" << route_map_clause_count
+      << " acl_entries=" << acl_entry_count << " subnets:";
+  for (int bucket : subnet_sizes.Buckets()) {
+    out << " /" << bucket << "=" << subnet_sizes.Get(bucket);
+  }
+  return out.str();
+}
+
+}  // namespace confanon::analysis

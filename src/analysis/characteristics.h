@@ -1,0 +1,53 @@
+// Validation suite 1: independent characteristics (paper Section 5).
+//
+// "The first suite of tests verifies that independent characteristics of
+// the configurations are being preserved by comparing properties such as:
+// (a) the number of BGP speakers; (b) the number of interfaces; and (c)
+// the structure of the address space (i.e., number of subnets of each
+// size)." The extractor is a pure function of config text, so running it
+// over pre- and post-anonymization corpora and diffing the results is the
+// end-to-end check that anonymization was lossless for these properties.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/document.h"
+#include "util/stats.h"
+
+namespace confanon::analysis {
+
+struct NetworkCharacteristics {
+  std::size_t router_count = 0;
+  std::size_t bgp_speaker_count = 0;
+  std::size_t interface_count = 0;
+  std::size_t total_lines = 0;
+  /// Distinct interface subnets bucketed by prefix length — the paper's
+  /// "structure of the address space".
+  util::Histogram subnet_sizes;
+  std::size_t route_map_clause_count = 0;
+  std::size_t acl_entry_count = 0;
+  std::size_t as_path_list_count = 0;
+  std::size_t community_list_count = 0;
+  std::size_t prefix_list_entry_count = 0;
+  std::size_t static_route_count = 0;
+  /// `router <proto>` instances by protocol keyword.
+  std::map<std::string, std::size_t> protocol_counts;
+  std::size_t ebgp_session_count = 0;
+
+  bool operator==(const NetworkCharacteristics&) const = default;
+
+  /// Lines describing every field that differs from `other` (empty when
+  /// equal) — the human-readable diff the validation harness prints.
+  std::vector<std::string> DiffAgainst(
+      const NetworkCharacteristics& other) const;
+
+  std::string ToString() const;
+};
+
+/// Extracts the characteristics of one network's corpus from config text.
+NetworkCharacteristics ExtractCharacteristics(
+    const std::vector<config::ConfigFile>& configs);
+
+}  // namespace confanon::analysis

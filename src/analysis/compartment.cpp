@@ -1,0 +1,47 @@
+#include "analysis/compartment.h"
+
+#include "config/tokenizer.h"
+#include "util/strings.h"
+
+namespace confanon::analysis {
+
+CompartmentMechanism DetectCompartmentalization(
+    const std::vector<config::ConfigFile>& configs) {
+  bool nat = false;
+  bool policy = false;
+  bool probe_drop = false;
+  for (const config::ConfigFile& file : configs) {
+    for (const std::string& raw : file.lines()) {
+      const config::SplitLine split = config::SplitConfigLine(raw);
+      const auto& words = split.words;
+      if (words.size() < 2) continue;
+      const std::string first = util::ToLower(words[0]);
+      const std::string second = util::ToLower(words[1]);
+      if (first == "ip" && second == "nat") {
+        nat = true;
+      } else if (first == "distribute-list") {
+        policy = true;
+      } else if (first == "access-list" && words.size() >= 4 &&
+                 util::ToLower(words[2]) == "deny") {
+        // Probe filtering: an ACL denying ICMP echo or the traceroute UDP
+        // port range.
+        const std::string proto = util::ToLower(words[3]);
+        if (proto == "icmp" || proto == "udp") {
+          for (const auto& word : words) {
+            const std::string lower = util::ToLower(word);
+            if (lower == "echo" || lower == "33434") {
+              probe_drop = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  if (nat) return CompartmentMechanism::kNat;
+  if (policy) return CompartmentMechanism::kRoutingPolicy;
+  if (probe_drop) return CompartmentMechanism::kProbeDrop;
+  return CompartmentMechanism::kNone;
+}
+
+}  // namespace confanon::analysis

@@ -1,0 +1,31 @@
+// Detecting internal compartmentalization from configs (paper Section 6).
+//
+// "10 of 31 networks we examined use internal compartmentalization that
+// would also defeat insider attacks. For example, some networks use NATs
+// to divide up the network into smaller pieces, some use routing policy to
+// prevent reachability between portions of the network, and others drop
+// traceroutes and other probe traffic." This detector recognizes all three
+// mechanisms from config text; the INSIDER bench compares its verdicts
+// against the generator's ground truth, pre- and post-anonymization (the
+// verdict must survive anonymization, since it depends only on structure).
+#pragma once
+
+#include <vector>
+
+#include "config/document.h"
+
+namespace confanon::analysis {
+
+enum class CompartmentMechanism {
+  kNone,
+  kNat,
+  kRoutingPolicy,
+  kProbeDrop,
+};
+
+/// Returns the first mechanism detected (NAT > policy > probe-drop), or
+/// kNone.
+CompartmentMechanism DetectCompartmentalization(
+    const std::vector<config::ConfigFile>& configs);
+
+}  // namespace confanon::analysis

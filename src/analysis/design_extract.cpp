@@ -1,0 +1,579 @@
+#include "analysis/design_extract.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "config/tokenizer.h"
+#include "util/strings.h"
+
+namespace confanon::analysis {
+
+namespace {
+
+std::optional<int> WildcardToPrefixLength(net::Ipv4Address wildcard) {
+  if (!net::IsWildcardMask(wildcard)) return std::nullopt;
+  int ones = 0;
+  std::uint32_t v = wildcard.value();
+  while (v & 1u) {
+    ++ones;
+    v >>= 1;
+  }
+  return 32 - ones;
+}
+
+struct ProcessScratch {
+  std::string protocol;
+  int process_id = 0;
+  std::vector<net::Prefix> networks;
+  std::vector<int> areas;
+  int distribute_list_acl = 0;
+};
+
+}  // namespace
+
+NetworkDesign ExtractDesign(const std::vector<config::ConfigFile>& configs) {
+  NetworkDesign design;
+
+  for (const config::ConfigFile& file : configs) {
+    RouterDesign router;
+    router.hostname = file.name();
+
+    enum class Context { kNone, kInterface, kIgp, kBgp, kRouteMap };
+    Context context = Context::kNone;
+    std::string current_interface;
+    std::vector<ProcessScratch> igps;
+    std::string current_map;
+    std::uint32_t local_asn = 0;
+    std::map<net::Ipv4Address, BgpNeighborDesign> neighbors;
+
+    for (const std::string& raw : file.lines()) {
+      const config::SplitLine split = config::SplitConfigLine(raw);
+      const auto& words = split.words;
+      if (words.empty()) continue;
+      const std::string first = util::ToLower(words[0]);
+      if (first == "!") continue;
+
+      // --- context openers (top level) ---
+      if (split.indent == 0) {
+        context = Context::kNone;
+        if (first == "hostname" && words.size() >= 2) {
+          router.hostname = std::string(words[1]);
+          continue;
+        }
+        if (first == "interface" && words.size() >= 2) {
+          context = Context::kInterface;
+          current_interface = std::string(words[1]);
+          continue;
+        }
+        if (first == "router" && words.size() >= 2) {
+          const std::string proto = util::ToLower(words[1]);
+          if (proto == "bgp") {
+            context = Context::kBgp;
+            std::uint64_t asn = 0;
+            if (words.size() >= 3 && util::ParseUint(words[2], 65535, asn)) {
+              local_asn = static_cast<std::uint32_t>(asn);
+              router.bgp_asn = local_asn;
+            }
+          } else {
+            context = Context::kIgp;
+            ProcessScratch scratch;
+            scratch.protocol = proto;
+            std::uint64_t pid = 0;
+            if (words.size() >= 3 &&
+                util::ParseUint(words[2], 1000000, pid)) {
+              scratch.process_id = static_cast<int>(pid);
+            }
+            igps.push_back(scratch);
+          }
+          continue;
+        }
+        if (first == "ip" && words.size() >= 5 &&
+            util::ToLower(words[1]) == "prefix-list") {
+          PrefixListEntryDesign entry;
+          std::size_t at = 3;  // after "ip prefix-list NAME"
+          std::uint64_t seq = 0;
+          if (util::ToLower(words[at]) == "seq" && at + 1 < words.size() &&
+              util::ParseUint(words[at + 1], 1000000, seq)) {
+            entry.sequence = static_cast<int>(seq);
+            at += 2;
+          }
+          if (at < words.size()) {
+            entry.permit = util::ToLower(words[at]) == "permit";
+            ++at;
+          }
+          if (at < words.size()) {
+            if (const auto prefix = net::Prefix::Parse(words[at])) {
+              entry.prefix = *prefix;
+              ++at;
+              while (at + 1 < words.size()) {
+                const std::string bound = util::ToLower(words[at]);
+                std::uint64_t value = 0;
+                if ((bound == "ge" || bound == "le") &&
+                    util::ParseUint(words[at + 1], 32, value)) {
+                  (bound == "ge" ? entry.ge : entry.le) =
+                      static_cast<int>(value);
+                  at += 2;
+                } else {
+                  break;
+                }
+              }
+              router.prefix_lists[std::string(words[2])].push_back(entry);
+            }
+          }
+          continue;
+        }
+        if (first == "access-list" && words.size() >= 5) {
+          std::uint64_t acl_id = 0;
+          if (util::ParseUint(words[1], 1000, acl_id)) {
+            const std::string action = util::ToLower(words[2]);
+            if (action == "permit" || action == "deny") {
+              // `access-list N permit|deny [ip] A W`.
+              std::size_t at = 3;
+              if (at < words.size() && util::ToLower(words[at]) == "ip") {
+                ++at;
+              }
+              if (at + 1 < words.size()) {
+                const auto address = net::Ipv4Address::Parse(words[at]);
+                const auto wildcard =
+                    net::Ipv4Address::Parse(words[at + 1]);
+                if (address && wildcard) {
+                  const auto length = WildcardToPrefixLength(*wildcard);
+                  if (length) {
+                    router.acls[static_cast<int>(acl_id)].push_back(
+                        AclEntryDesign{action == "permit",
+                                       net::Prefix(*address, *length)});
+                  }
+                }
+              }
+            }
+          }
+          continue;
+        }
+        if (first == "route-map" && words.size() >= 4) {
+          context = Context::kRouteMap;
+          current_map = std::string(words[1]);
+          PolicyClauseDesign clause;
+          clause.permit = util::ToLower(words[2]) == "permit";
+          std::uint64_t seq = 0;
+          util::ParseUint(words[3], 1000000, seq);
+          clause.sequence = static_cast<int>(seq);
+          router.route_maps[current_map].push_back(clause);
+          continue;
+        }
+      }
+
+      // --- context bodies ---
+      switch (context) {
+        case Context::kInterface: {
+          if (first == "ip" && words.size() >= 4 &&
+              util::ToLower(words[1]) == "address") {
+            const auto address = net::Ipv4Address::Parse(words[2]);
+            const auto mask = net::Ipv4Address::Parse(words[3]);
+            if (address && mask) {
+              const auto prefix =
+                  net::Prefix::FromAddressAndMask(*address, *mask);
+              if (prefix) {
+                router.interfaces.push_back(InterfaceDesign{
+                    current_interface, *address, *prefix});
+              }
+            }
+          }
+          break;
+        }
+        case Context::kIgp: {
+          if (igps.empty()) break;
+          ProcessScratch& scratch = igps.back();
+          if (first == "network" && words.size() >= 2) {
+            const auto address = net::Ipv4Address::Parse(words[1]);
+            if (!address) break;
+            // `network A W area N` declares an OSPF area.
+            for (std::size_t w = 2; w + 1 < words.size(); ++w) {
+              std::uint64_t area = 0;
+              if (util::ToLower(words[w]) == "area" &&
+                  util::ParseUint(words[w + 1], 1000000, area)) {
+                scratch.areas.push_back(static_cast<int>(area));
+              }
+            }
+            if (words.size() >= 3) {
+              const auto wildcard = net::Ipv4Address::Parse(words[2]);
+              if (wildcard) {
+                const auto length = WildcardToPrefixLength(*wildcard);
+                if (length) {
+                  scratch.networks.push_back(net::Prefix(*address, *length));
+                  break;
+                }
+              }
+            }
+            // Classful statement (RIP / old EIGRP).
+            const auto classful = net::Prefix::ClassfulNetworkOf(*address);
+            if (classful) scratch.networks.push_back(*classful);
+            break;
+          }
+          if (first == "redistribute" && words.size() >= 2) {
+            router.redistributions.insert(
+                {scratch.protocol, util::ToLower(words[1])});
+            break;
+          }
+          if (first == "distribute-list" && words.size() >= 2) {
+            std::uint64_t acl_id = 0;
+            if (util::ParseUint(words[1], 1000, acl_id)) {
+              scratch.distribute_list_acl = static_cast<int>(acl_id);
+            }
+          }
+          break;
+        }
+        case Context::kBgp: {
+          if (first == "redistribute" && words.size() >= 2) {
+            router.redistributions.insert({"bgp", util::ToLower(words[1])});
+            break;
+          }
+          if (first != "neighbor" || words.size() < 3) break;
+          const auto peer = net::Ipv4Address::Parse(words[1]);
+          if (!peer) break;
+          BgpNeighborDesign& neighbor = neighbors[*peer];
+          neighbor.peer = *peer;
+          const std::string attr = util::ToLower(words[2]);
+          if (attr == "remote-as" && words.size() >= 4) {
+            std::uint64_t asn = 0;
+            if (util::ParseUint(words[3], 65535, asn)) {
+              neighbor.remote_asn = static_cast<std::uint32_t>(asn);
+              neighbor.external = neighbor.remote_asn != local_asn;
+            }
+          } else if (attr == "route-map" && words.size() >= 5) {
+            const std::string direction = util::ToLower(words[4]);
+            if (direction == "in") {
+              neighbor.import_map = std::string(words[3]);
+            } else if (direction == "out") {
+              neighbor.export_map = std::string(words[3]);
+            }
+          }
+          break;
+        }
+        case Context::kRouteMap: {
+          if (router.route_maps[current_map].empty()) break;
+          PolicyClauseDesign& clause = router.route_maps[current_map].back();
+          if (first == "match" && words.size() >= 3) {
+            const std::string kind = util::ToLower(words[1]);
+            if (kind == "as-path") {
+              clause.references.emplace_back("as-path",
+                                             std::string(words[2]));
+            } else if (kind == "community") {
+              clause.references.emplace_back("community",
+                                             std::string(words[2]));
+            } else if (kind == "ip" && words.size() >= 4 &&
+                       util::ToLower(words[2]) == "address") {
+              if (util::ToLower(words[3]) == "prefix-list" &&
+                  words.size() >= 5) {
+                clause.references.emplace_back("prefix-list",
+                                               std::string(words[4]));
+              } else {
+                clause.references.emplace_back("acl", std::string(words[3]));
+              }
+            }
+          }
+          break;
+        }
+        case Context::kNone:
+          break;
+      }
+    }
+
+    // Resolve the subnet-contains relation: which interfaces each routing
+    // process covers.
+    for (const ProcessScratch& scratch : igps) {
+      ProcessDesign process;
+      process.protocol = scratch.protocol;
+      process.process_id = scratch.process_id;
+      process.ospf_areas = scratch.areas;
+      process.distribute_list_acl = scratch.distribute_list_acl;
+      std::sort(process.ospf_areas.begin(), process.ospf_areas.end());
+      process.ospf_areas.erase(
+          std::unique(process.ospf_areas.begin(), process.ospf_areas.end()),
+          process.ospf_areas.end());
+      for (const InterfaceDesign& iface : router.interfaces) {
+        for (const net::Prefix& network : scratch.networks) {
+          if (network.Contains(iface.address)) {
+            process.covered_interfaces.push_back(iface.name);
+            break;
+          }
+        }
+      }
+      std::sort(process.covered_interfaces.begin(),
+                process.covered_interfaces.end());
+      router.processes.push_back(process);
+    }
+
+    for (const auto& [peer, neighbor] : neighbors) {
+      router.bgp_neighbors.push_back(neighbor);
+    }
+    std::sort(router.bgp_neighbors.begin(), router.bgp_neighbors.end());
+    std::sort(router.interfaces.begin(), router.interfaces.end());
+    design.routers.push_back(std::move(router));
+  }
+
+  FinalizeDesign(design);
+  return design;
+}
+
+void FinalizeDesign(NetworkDesign& design) {
+  std::sort(design.routers.begin(), design.routers.end(),
+            [](const RouterDesign& a, const RouterDesign& b) {
+              return a.hostname < b.hostname;
+            });
+  design.links.clear();
+  design.bgp_sessions.clear();
+
+  // Links: subnets shared by exactly two interfaces on distinct routers.
+  std::map<net::Prefix, std::vector<std::pair<std::string, std::string>>>
+      by_subnet;
+  for (const RouterDesign& router : design.routers) {
+    for (const InterfaceDesign& iface : router.interfaces) {
+      if (iface.subnet.length() == 32) continue;  // loopbacks
+      by_subnet[iface.subnet].emplace_back(router.hostname, iface.name);
+    }
+  }
+  for (const auto& [subnet, ends] : by_subnet) {
+    if (ends.size() != 2 || ends[0].first == ends[1].first) continue;
+    LinkDesign link;
+    const bool in_order = ends[0].first < ends[1].first;
+    const auto& a = in_order ? ends[0] : ends[1];
+    const auto& b = in_order ? ends[1] : ends[0];
+    link.router_a = a.first;
+    link.interface_a = a.second;
+    link.router_b = b.first;
+    link.interface_b = b.second;
+    link.subnet = subnet;
+    design.links.push_back(link);
+  }
+  std::sort(design.links.begin(), design.links.end());
+
+  // BGP sessions: resolve each neighbor address against the interface
+  // addresses of all routers.
+  std::map<net::Ipv4Address, std::string> address_owner;
+  for (const RouterDesign& router : design.routers) {
+    for (const InterfaceDesign& iface : router.interfaces) {
+      address_owner.emplace(iface.address, router.hostname);
+    }
+  }
+  std::map<std::pair<std::string, std::string>, int> internal_declared;
+  std::vector<BgpSessionDesign> externals;
+  for (const RouterDesign& router : design.routers) {
+    for (const BgpNeighborDesign& neighbor : router.bgp_neighbors) {
+      const auto owner = address_owner.find(neighbor.peer);
+      if (owner == address_owner.end()) {
+        BgpSessionDesign session;
+        session.router_a = router.hostname;
+        session.external_peer = neighbor.peer;
+        session.external = true;
+        externals.push_back(session);
+        continue;
+      }
+      std::pair<std::string, std::string> key{router.hostname,
+                                              owner->second};
+      if (key.second < key.first) std::swap(key.first, key.second);
+      ++internal_declared[key];
+    }
+  }
+  for (const auto& [key, count] : internal_declared) {
+    BgpSessionDesign session;
+    session.router_a = key.first;
+    session.router_b = key.second;
+    session.symmetric = count >= 2;
+    design.bgp_sessions.push_back(session);
+  }
+  design.bgp_sessions.insert(design.bgp_sessions.end(), externals.begin(),
+                             externals.end());
+  std::sort(design.bgp_sessions.begin(), design.bgp_sessions.end());
+}
+
+NetworkDesign MapDesign(
+    const NetworkDesign& design,
+    const std::function<std::string(const std::string&)>& name_map,
+    const std::function<net::Ipv4Address(net::Ipv4Address)>& addr_map,
+    const std::function<std::uint32_t(std::uint32_t)>& asn_map) {
+  NetworkDesign mapped;
+  const auto map_prefix = [&](const net::Prefix& prefix) {
+    return net::Prefix(addr_map(prefix.address()), prefix.length());
+  };
+
+  for (const RouterDesign& router : design.routers) {
+    RouterDesign out;
+    out.hostname = name_map(router.hostname);
+    for (const InterfaceDesign& iface : router.interfaces) {
+      out.interfaces.push_back(InterfaceDesign{
+          iface.name, addr_map(iface.address), map_prefix(iface.subnet)});
+    }
+    std::sort(out.interfaces.begin(), out.interfaces.end());
+    out.processes = router.processes;  // interface names are stable
+    if (router.bgp_asn.has_value()) {
+      out.bgp_asn = asn_map(*router.bgp_asn);
+    }
+    for (const BgpNeighborDesign& neighbor : router.bgp_neighbors) {
+      BgpNeighborDesign n;
+      n.peer = addr_map(neighbor.peer);
+      n.remote_asn = asn_map(neighbor.remote_asn);
+      n.external = neighbor.external;
+      n.import_map = neighbor.import_map.empty()
+                         ? std::string()
+                         : name_map(neighbor.import_map);
+      n.export_map = neighbor.export_map.empty()
+                         ? std::string()
+                         : name_map(neighbor.export_map);
+      out.bgp_neighbors.push_back(n);
+    }
+    std::sort(out.bgp_neighbors.begin(), out.bgp_neighbors.end());
+    for (const auto& [name, clauses] : router.route_maps) {
+      std::vector<PolicyClauseDesign> mapped_clauses = clauses;
+      for (PolicyClauseDesign& clause : mapped_clauses) {
+        for (auto& [kind, id] : clause.references) {
+          id = name_map(id);
+        }
+      }
+      out.route_maps[name_map(name)] = std::move(mapped_clauses);
+    }
+    for (const auto& [acl_id, entries] : router.acls) {
+      std::vector<AclEntryDesign> mapped_entries = entries;
+      for (AclEntryDesign& entry : mapped_entries) {
+        entry.prefix = map_prefix(entry.prefix);
+      }
+      out.acls[acl_id] = std::move(mapped_entries);
+    }
+    for (const auto& [name, entries] : router.prefix_lists) {
+      std::vector<PrefixListEntryDesign> mapped_entries = entries;
+      for (PrefixListEntryDesign& entry : mapped_entries) {
+        entry.prefix = map_prefix(entry.prefix);
+      }
+      out.prefix_lists[name_map(name)] = std::move(mapped_entries);
+    }
+    out.redistributions = router.redistributions;
+    mapped.routers.push_back(std::move(out));
+  }
+  std::sort(mapped.routers.begin(), mapped.routers.end(),
+            [](const RouterDesign& a, const RouterDesign& b) {
+              return a.hostname < b.hostname;
+            });
+
+  for (const BgpSessionDesign& session : design.bgp_sessions) {
+    BgpSessionDesign out = session;
+    if (session.external) {
+      out.router_a = name_map(session.router_a);
+      out.external_peer = addr_map(session.external_peer);
+    } else {
+      std::string a = name_map(session.router_a);
+      std::string b = name_map(session.router_b);
+      if (b < a) std::swap(a, b);
+      out.router_a = a;
+      out.router_b = b;
+    }
+    mapped.bgp_sessions.push_back(out);
+  }
+  std::sort(mapped.bgp_sessions.begin(), mapped.bgp_sessions.end());
+
+  for (const LinkDesign& link : design.links) {
+    LinkDesign out;
+    const std::string a_name = name_map(link.router_a);
+    const std::string b_name = name_map(link.router_b);
+    const bool in_order = a_name < b_name;
+    out.router_a = in_order ? a_name : b_name;
+    out.interface_a = in_order ? link.interface_a : link.interface_b;
+    out.router_b = in_order ? b_name : a_name;
+    out.interface_b = in_order ? link.interface_b : link.interface_a;
+    out.subnet = map_prefix(link.subnet);
+    mapped.links.push_back(out);
+  }
+  std::sort(mapped.links.begin(), mapped.links.end());
+  return mapped;
+}
+
+std::vector<std::string> CompareDesigns(const NetworkDesign& a,
+                                        const NetworkDesign& b) {
+  std::vector<std::string> diffs;
+  if (a.routers.size() != b.routers.size()) {
+    diffs.push_back("router counts differ: " +
+                    std::to_string(a.routers.size()) + " vs " +
+                    std::to_string(b.routers.size()));
+    return diffs;
+  }
+  for (std::size_t i = 0; i < a.routers.size(); ++i) {
+    const RouterDesign& ra = a.routers[i];
+    const RouterDesign& rb = b.routers[i];
+    if (ra.hostname != rb.hostname) {
+      diffs.push_back("router #" + std::to_string(i) + " hostname: " +
+                      ra.hostname + " vs " + rb.hostname);
+      continue;
+    }
+    if (!(ra == rb)) {
+      std::ostringstream what;
+      what << "router " << ra.hostname << " differs:";
+      if (ra.interfaces != rb.interfaces) what << " interfaces";
+      if (ra.processes != rb.processes) what << " processes";
+      if (ra.bgp_asn != rb.bgp_asn) what << " bgp_asn";
+      if (ra.bgp_neighbors != rb.bgp_neighbors) what << " bgp_neighbors";
+      if (ra.route_maps != rb.route_maps) what << " route_maps";
+      if (ra.prefix_lists != rb.prefix_lists) what << " prefix_lists";
+      if (ra.acls != rb.acls) what << " acls";
+      if (ra.redistributions != rb.redistributions) what << " redistribution";
+      diffs.push_back(what.str());
+    }
+  }
+  if (a.links != b.links) {
+    diffs.push_back("link sets differ (" + std::to_string(a.links.size()) +
+                    " vs " + std::to_string(b.links.size()) + ")");
+  }
+  if (a.bgp_sessions != b.bgp_sessions) {
+    diffs.push_back("bgp session sets differ (" +
+                    std::to_string(a.bgp_sessions.size()) + " vs " +
+                    std::to_string(b.bgp_sessions.size()) + ")");
+  }
+  return diffs;
+}
+
+std::vector<std::string> CompareStructural(const NetworkDesign& a,
+                                           const NetworkDesign& b) {
+  std::vector<std::string> diffs;
+  const auto degree_sequence = [](const NetworkDesign& d) {
+    std::map<std::string, int> degree;
+    for (const LinkDesign& link : d.links) {
+      ++degree[link.router_a];
+      ++degree[link.router_b];
+    }
+    std::vector<int> seq;
+    for (const auto& [name, deg] : degree) seq.push_back(deg);
+    std::sort(seq.begin(), seq.end());
+    return seq;
+  };
+  if (degree_sequence(a) != degree_sequence(b)) {
+    diffs.push_back("link degree sequences differ");
+  }
+  const auto shape = [](const NetworkDesign& d) {
+    // Per-router identity-free signature, sorted.
+    std::vector<std::string> signatures;
+    for (const RouterDesign& router : d.routers) {
+      std::ostringstream sig;
+      sig << "if=" << router.interfaces.size();
+      for (const ProcessDesign& process : router.processes) {
+        sig << " " << process.protocol << "("
+            << process.covered_interfaces.size() << ")";
+      }
+      sig << " bgp=" << (router.bgp_asn.has_value() ? 1 : 0)
+          << " nbrs=" << router.bgp_neighbors.size() << " maps=";
+      std::vector<std::size_t> clause_counts;
+      for (const auto& [name, clauses] : router.route_maps) {
+        clause_counts.push_back(clauses.size());
+      }
+      std::sort(clause_counts.begin(), clause_counts.end());
+      for (std::size_t n : clause_counts) sig << n << ",";
+      sig << " redist=" << router.redistributions.size();
+      signatures.push_back(sig.str());
+    }
+    std::sort(signatures.begin(), signatures.end());
+    return signatures;
+  };
+  if (shape(a) != shape(b)) {
+    diffs.push_back("per-router structural signatures differ");
+  }
+  return diffs;
+}
+
+}  // namespace confanon::analysis

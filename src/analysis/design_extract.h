@@ -1,0 +1,172 @@
+// Validation suite 2: routing-design extraction (paper Section 5).
+//
+// "The second suite of tests consists of running our tools to reverse
+// engineer the routing design of a network and comparing the extracted
+// designs. Extracting the routing design makes an excellent test case, as
+// it depends on many aspects of the configuration files being consistent
+// inside each file and across all the files in the network, including
+// physical topology, routing protocol configuration, routing process
+// adjacencies, routing policies, and address space utilization."
+//
+// The extractor here is a compact reimplementation of that style of tool
+// (after Maltz et al., SIGCOMM 2004): it recovers links by matching
+// interface subnets across routers, recognizes routing-process instances
+// and which interfaces they cover (the subnet-contains relation), recovers
+// BGP sessions by matching neighbor statements, and rebuilds the policy
+// reference graph (neighbor -> route-map -> match lists).
+//
+// Two comparison modes:
+//   * CompareMapped: exact — the pre-anonymization design is pushed
+//     through the anonymization maps (hostname hashing, IP mapping, ASN
+//     permutation) and must equal the post-anonymization design field by
+//     field.
+//   * CompareStructural: identity-free — compares projections that should
+//     be invariant even without access to the maps (degree sequences,
+//     process/adjacency counts, policy-graph shape).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/document.h"
+#include "net/prefix.h"
+
+namespace confanon::analysis {
+
+struct InterfaceDesign {
+  std::string name;
+  net::Ipv4Address address;
+  net::Prefix subnet;
+  bool operator==(const InterfaceDesign&) const = default;
+  auto operator<=>(const InterfaceDesign&) const = default;
+};
+
+struct ProcessDesign {
+  std::string protocol;  // "ospf", "rip", "eigrp"
+  int process_id = 0;    // 0 when the protocol has none (rip)
+  /// Interfaces covered via the subnet-contains relation between the
+  /// process's network statements and interface addresses.
+  std::vector<std::string> covered_interfaces;
+  /// OSPF areas declared by this process's network statements (sorted,
+  /// deduplicated; empty for non-OSPF protocols).
+  std::vector<int> ospf_areas;
+  /// ACL number of a `distribute-list <n> in` route filter (0 = none).
+  int distribute_list_acl = 0;
+  bool operator==(const ProcessDesign&) const = default;
+};
+
+struct AclEntryDesign {
+  bool permit = true;
+  net::Prefix prefix;
+  bool operator==(const AclEntryDesign&) const = default;
+};
+
+struct BgpNeighborDesign {
+  net::Ipv4Address peer;
+  std::uint32_t remote_asn = 0;
+  bool external = false;
+  std::string import_map;
+  std::string export_map;
+  auto operator<=>(const BgpNeighborDesign&) const = default;
+};
+
+struct PolicyClauseDesign {
+  bool permit = true;
+  int sequence = 0;
+  /// Referenced object kinds/ids: ("as-path", "50"), ("community", "100"
+  /// or a list name), ("acl", "143"), ("prefix-list", "UUNET-out"). Ids
+  /// are strings because IOS policy objects can be numbered or named;
+  /// named ids are anonymized and must be mapped when designs are
+  /// compared.
+  std::vector<std::pair<std::string, std::string>> references;
+  bool operator==(const PolicyClauseDesign&) const = default;
+};
+
+struct PrefixListEntryDesign {
+  int sequence = 0;
+  bool permit = true;
+  net::Prefix prefix;
+  int ge = 0;  // 0 = absent
+  int le = 0;  // 0 = absent
+  bool operator==(const PrefixListEntryDesign&) const = default;
+};
+
+struct RouterDesign {
+  std::string hostname;
+  std::vector<InterfaceDesign> interfaces;
+  std::vector<ProcessDesign> processes;
+  std::optional<std::uint32_t> bgp_asn;
+  std::vector<BgpNeighborDesign> bgp_neighbors;
+  std::map<std::string, std::vector<PolicyClauseDesign>> route_maps;
+  std::map<std::string, std::vector<PrefixListEntryDesign>> prefix_lists;
+  /// Numbered ACLs: id -> entries (address + wildcard form only; protocol
+  /// qualifiers like "ip any any" entries are skipped).
+  std::map<int, std::vector<AclEntryDesign>> acls;
+  /// Redistribution edges: (into protocol, from protocol).
+  std::set<std::pair<std::string, std::string>> redistributions;
+  bool operator==(const RouterDesign&) const = default;
+};
+
+struct LinkDesign {
+  // Router hostnames and interface names of the two ends, ordered so the
+  // lexicographically smaller hostname comes first.
+  std::string router_a, interface_a;
+  std::string router_b, interface_b;
+  net::Prefix subnet;
+  auto operator<=>(const LinkDesign&) const = default;
+};
+
+/// A BGP session recovered by pairing neighbor statements network-wide:
+/// router A names an address that belongs to router B (iBGP via loopbacks
+/// or eBGP via link addresses). Sessions whose far end is not any known
+/// router are external (the peer lives in another network).
+struct BgpSessionDesign {
+  std::string router_a;               // smaller hostname first for internal
+  std::string router_b;               // empty for external sessions
+  net::Ipv4Address external_peer;     // set for external sessions
+  bool external = false;
+  bool symmetric = false;  // both ends declare the session (internal only)
+  auto operator<=>(const BgpSessionDesign&) const = default;
+};
+
+struct NetworkDesign {
+  std::vector<RouterDesign> routers;  // sorted by hostname
+  std::vector<LinkDesign> links;      // sorted
+  std::vector<BgpSessionDesign> bgp_sessions;  // sorted
+  bool operator==(const NetworkDesign&) const = default;
+};
+
+/// Extracts the design from config text.
+NetworkDesign ExtractDesign(const std::vector<config::ConfigFile>& configs);
+
+/// Shared post-processing for extractors (the IOS one here, the JunOS one
+/// in src/junos): sorts routers, recovers links from shared subnets, and
+/// pairs BGP sessions network-wide. `design.routers` must be populated;
+/// links/bgp_sessions are overwritten.
+void FinalizeDesign(NetworkDesign& design);
+
+/// Maps every identifier in `design` through the given functions (applied
+/// to hostnames/map names and to addresses respectively) and re-sorts.
+/// Used to push a pre-anonymization design through the anonymizer's maps.
+NetworkDesign MapDesign(
+    const NetworkDesign& design,
+    const std::function<std::string(const std::string&)>& name_map,
+    const std::function<net::Ipv4Address(net::Ipv4Address)>& addr_map,
+    const std::function<std::uint32_t(std::uint32_t)>& asn_map);
+
+/// Field-by-field comparison; returns human-readable difference lines
+/// (empty means identical).
+std::vector<std::string> CompareDesigns(const NetworkDesign& a,
+                                        const NetworkDesign& b);
+
+/// Identity-free structural comparison (degree sequence, process counts,
+/// policy shape). Returns difference lines.
+std::vector<std::string> CompareStructural(const NetworkDesign& a,
+                                           const NetworkDesign& b);
+
+}  // namespace confanon::analysis

@@ -1,0 +1,94 @@
+#include "analysis/fingerprint.h"
+
+#include <algorithm>
+
+#include "analysis/characteristics.h"
+#include "config/tokenizer.h"
+#include "net/prefix.h"
+#include "util/strings.h"
+
+namespace confanon::analysis {
+
+util::Histogram SubnetSizeFingerprint(
+    const std::vector<config::ConfigFile>& configs) {
+  // The characteristics extractor already computes exactly this histogram.
+  return ExtractCharacteristics(configs).subnet_sizes;
+}
+
+PeeringFingerprint PeeringStructureFingerprint(
+    const std::vector<config::ConfigFile>& configs) {
+  PeeringFingerprint fingerprint;
+  for (const config::ConfigFile& file : configs) {
+    bool in_bgp = false;
+    std::uint32_t local_asn = 0;
+    int external_sessions = 0;
+    for (const std::string& raw : file.lines()) {
+      const config::SplitLine split = config::SplitConfigLine(raw);
+      const auto& words = split.words;
+      if (words.empty()) continue;
+      const std::string first = util::ToLower(words[0]);
+      if (split.indent == 0) {
+        // A new top-level command ends the BGP block (block bodies are
+        // indented).
+        in_bgp = false;
+        if (first == "router" && words.size() >= 3 &&
+            util::ToLower(words[1]) == "bgp") {
+          in_bgp = true;
+          std::uint64_t asn = 0;
+          if (util::ParseUint(words[2], 65535, asn)) {
+            local_asn = static_cast<std::uint32_t>(asn);
+          }
+          continue;
+        }
+      }
+      if (in_bgp && first == "neighbor" && words.size() >= 4 &&
+          util::ToLower(words[2]) == "remote-as") {
+        std::uint64_t asn = 0;
+        if (util::ParseUint(words[3], 65535, asn) && asn != local_asn) {
+          ++external_sessions;
+        }
+      }
+    }
+    if (external_sessions > 0) {
+      ++fingerprint.peering_router_count;
+      fingerprint.sessions_per_router.push_back(external_sessions);
+    }
+  }
+  std::sort(fingerprint.sessions_per_router.rbegin(),
+            fingerprint.sessions_per_router.rend());
+  return fingerprint;
+}
+
+namespace {
+
+template <typename Fingerprint>
+UniquenessResult CountUnique(const std::vector<Fingerprint>& population) {
+  UniquenessResult result;
+  result.population = population.size();
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    std::size_t matches = 0;
+    for (std::size_t j = 0; j < population.size(); ++j) {
+      if (population[i] == population[j]) ++matches;
+    }
+    if (matches == 1) {
+      ++result.uniquely_identified;
+    } else {
+      ++result.ambiguous;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+UniquenessResult SubnetFingerprintUniqueness(
+    const std::vector<util::Histogram>& population) {
+  return CountUnique(population);
+}
+
+UniquenessResult PeeringFingerprintUniqueness(
+    const std::vector<PeeringFingerprint>& population) {
+  return CountUnique(population);
+}
+
+}  // namespace confanon::analysis

@@ -1,0 +1,63 @@
+// Fingerprinting attacks and their uniqueness evaluation (paper Section 6).
+//
+// The paper identifies two external-attack fingerprints that anonymization
+// cannot remove because they are exactly the structure it preserves:
+//   * the subnet-size histogram (Section 6.2): "the number of subnets of
+//     different sizes is the same in pre- and post-anonymization configs";
+//   * the peering structure (Section 6.3): "anonymized configs accurately
+//     represent the number of routers at which the anonymized network
+//     peers with other networks, and the number of peering sessions that
+//     terminate on each of those routers".
+// Whether those fingerprints are *unique enough* to identify a network was
+// left as "an open experimental question for future work"; the FPRINT
+// bench answers it over a generated population.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "config/document.h"
+#include "util/stats.h"
+
+namespace confanon::analysis {
+
+/// Subnet-size histogram over the network's distinct interface subnets.
+util::Histogram SubnetSizeFingerprint(
+    const std::vector<config::ConfigFile>& configs);
+
+/// Peering structure: how many routers terminate eBGP sessions, and the
+/// (sorted) number of sessions per such router.
+struct PeeringFingerprint {
+  std::size_t peering_router_count = 0;
+  std::vector<int> sessions_per_router;  // sorted descending
+
+  bool operator==(const PeeringFingerprint&) const = default;
+};
+PeeringFingerprint PeeringStructureFingerprint(
+    const std::vector<config::ConfigFile>& configs);
+
+/// Result of the identification experiment over a population: for each
+/// network, an attacker holding its anonymized fingerprint looks for
+/// matching candidates among externally measured fingerprints of all
+/// population members (which equal the pre-anonymization ones, since the
+/// structure is preserved). A network is identified iff exactly one
+/// candidate matches.
+struct UniquenessResult {
+  std::size_t population = 0;
+  std::size_t uniquely_identified = 0;
+  /// Networks whose fingerprint matches >1 members (attack ambiguous).
+  std::size_t ambiguous = 0;
+
+  double IdentifiedFraction() const {
+    return population == 0 ? 0.0
+                           : static_cast<double>(uniquely_identified) /
+                                 static_cast<double>(population);
+  }
+};
+
+UniquenessResult SubnetFingerprintUniqueness(
+    const std::vector<util::Histogram>& population);
+UniquenessResult PeeringFingerprintUniqueness(
+    const std::vector<PeeringFingerprint>& population);
+
+}  // namespace confanon::analysis

@@ -1,0 +1,36 @@
+#include "analysis/linkage.h"
+
+#include <algorithm>
+
+namespace confanon::analysis {
+
+LinkageResult MeasurePrefixLinkage(
+    const std::vector<net::Ipv4Address>& addresses, std::size_t k) {
+  LinkageResult result;
+  result.compromised = std::min(k, addresses.size());
+
+  // Because anonymization preserves common-prefix lengths exactly, the
+  // number of bits the attacker learns about a victim equals the longest
+  // common prefix between the victim's ORIGINAL address and any
+  // compromised ORIGINAL address — no anonymized values are needed to
+  // compute the information content.
+  double sum = 0;
+  for (std::size_t v = result.compromised; v < addresses.size(); ++v) {
+    int best = 0;
+    for (std::size_t c = 0; c < result.compromised; ++c) {
+      best = std::max(best, net::CommonPrefixLength(addresses[v],
+                                                    addresses[c]));
+    }
+    sum += best;
+    result.max_known_bits = std::max(result.max_known_bits,
+                                     static_cast<double>(best));
+    if (best >= 24) ++result.victims_within_24;
+    ++result.victims;
+  }
+  if (result.victims > 0) {
+    result.mean_known_bits = sum / static_cast<double>(result.victims);
+  }
+  return result;
+}
+
+}  // namespace confanon::analysis

@@ -1,0 +1,98 @@
+#include "analysis/probe_attack.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+
+namespace confanon::analysis {
+
+namespace {
+
+/// Smallest prefix length whose subnet could hold a host run of `span`
+/// addresses (including network/broadcast slots).
+int PrefixLengthForSpan(std::uint32_t span) {
+  int length = 32;
+  std::uint32_t size = 1;
+  while (size < span + 2 && length > 0) {
+    size <<= 1;
+    --length;
+  }
+  return length;
+}
+
+}  // namespace
+
+ProbeAttackResult SimulateProbeSweep(const NetworkDesign& design,
+                                     const ProbeAttackOptions& options) {
+  ProbeAttackResult result;
+  util::Rng rng(options.seed, "probe-attack");
+
+  // Collect the externally visible subnets (LAN-sized).
+  std::set<net::Prefix> subnets;
+  for (const RouterDesign& router : design.routers) {
+    for (const InterfaceDesign& iface : router.interfaces) {
+      if (iface.subnet.length() >= 24 && iface.subnet.length() <= 30) {
+        subnets.insert(iface.subnet);
+      }
+    }
+  }
+  for (const net::Prefix& subnet : subnets) {
+    result.true_fingerprint.Add(subnet.length());
+  }
+
+  // Stage 1+2: ground-truth host placement, observed as a response bitmap.
+  // Hosts cluster at the low end: address .1 .. .k with k drawn around
+  // occupancy * range.
+  std::map<std::uint32_t, bool> responses;  // address -> answered
+  for (const net::Prefix& subnet : subnets) {
+    const std::uint32_t range =
+        subnet.length() >= 31
+            ? 2
+            : (1u << (32 - subnet.length())) - 2;  // usable host slots
+    const double jitter = 0.5 + rng.Unit();  // 0.5x .. 1.5x occupancy
+    std::uint32_t hosts = static_cast<std::uint32_t>(
+        static_cast<double>(range) * options.occupancy * jitter);
+    hosts = std::max<std::uint32_t>(1, std::min(hosts, range));
+    for (std::uint32_t h = 1; h <= hosts; ++h) {
+      const std::uint32_t address = subnet.address().value() + h;
+      if (rng.Chance(options.loss)) continue;
+      responses[address] = true;
+    }
+  }
+
+  // The attacker sweeps the announced blocks; probe count is the span of
+  // the addresses considered (we count the subnets' full ranges).
+  for (const net::Prefix& subnet : subnets) {
+    result.probes += 1u << (32 - subnet.length());
+  }
+  result.responders = responses.size();
+
+  // Stage 3: boundary guessing. Consecutive responders separated by gaps
+  // of >= 2 unanswered addresses are treated as distinct subnets; the run
+  // from the inferred subnet base (one below the first responder — the
+  // "hosts cluster at the lower end" heuristic) to the last responder is
+  // rounded up to a power-of-two subnet.
+  std::vector<std::uint32_t> answered;
+  answered.reserve(responses.size());
+  for (const auto& [address, ok] : responses) {
+    if (ok) answered.push_back(address);
+  }
+  std::sort(answered.begin(), answered.end());
+
+  std::size_t i = 0;
+  while (i < answered.size()) {
+    std::size_t j = i;
+    while (j + 1 < answered.size() &&
+           answered[j + 1] - answered[j] <= 2) {
+      ++j;
+    }
+    const std::uint32_t span = answered[j] - (answered[i] - 1) + 1;
+    result.estimated_fingerprint.Add(PrefixLengthForSpan(span));
+    i = j + 1;
+  }
+  return result;
+}
+
+}  // namespace confanon::analysis

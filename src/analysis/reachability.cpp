@@ -1,0 +1,131 @@
+#include "analysis/reachability.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace confanon::analysis {
+
+namespace {
+
+/// Union-find over router indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+bool ProcessCovers(const RouterDesign& router,
+                   const std::string& interface_name) {
+  for (const ProcessDesign& process : router.processes) {
+    if (std::binary_search(process.covered_interfaces.begin(),
+                           process.covered_interfaces.end(),
+                           interface_name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Deny prefixes of every distribute-list attached to the router's
+/// processes.
+std::vector<net::Prefix> DeniedPrefixes(const RouterDesign& router) {
+  std::vector<net::Prefix> denied;
+  for (const ProcessDesign& process : router.processes) {
+    if (process.distribute_list_acl == 0) continue;
+    const auto acl = router.acls.find(process.distribute_list_acl);
+    if (acl == router.acls.end()) continue;
+    for (const AclEntryDesign& entry : acl->second) {
+      if (!entry.permit) denied.push_back(entry.prefix);
+    }
+  }
+  return denied;
+}
+
+}  // namespace
+
+ReachabilityReport AnalyzeReachability(const NetworkDesign& design) {
+  ReachabilityReport report;
+  report.routers = design.routers.size();
+
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < design.routers.size(); ++i) {
+    index[design.routers[i].hostname] = i;
+  }
+
+  // IGP adjacency: both ends of a link must be covered by some routing
+  // process of their router.
+  UnionFind components(design.routers.size());
+  for (const LinkDesign& link : design.links) {
+    const auto a = index.find(link.router_a);
+    const auto b = index.find(link.router_b);
+    if (a == index.end() || b == index.end()) continue;
+    if (ProcessCovers(design.routers[a->second], link.interface_a) &&
+        ProcessCovers(design.routers[b->second], link.interface_b)) {
+      components.Union(a->second, b->second);
+    }
+  }
+  std::set<std::size_t> roots;
+  for (std::size_t i = 0; i < design.routers.size(); ++i) {
+    roots.insert(components.Find(i));
+  }
+  report.igp_components = roots.size();
+
+  // Destinations: each router's distinct non-loopback subnets.
+  struct Destination {
+    std::size_t owner;
+    net::Prefix subnet;
+  };
+  std::vector<Destination> destinations;
+  for (std::size_t i = 0; i < design.routers.size(); ++i) {
+    std::set<net::Prefix> subnets;
+    for (const InterfaceDesign& iface : design.routers[i].interfaces) {
+      if (iface.subnet.length() < 32) subnets.insert(iface.subnet);
+    }
+    for (const net::Prefix& subnet : subnets) {
+      destinations.push_back(Destination{i, subnet});
+    }
+  }
+  report.destinations = destinations.size();
+
+  for (std::size_t r = 0; r < design.routers.size(); ++r) {
+    const std::vector<net::Prefix> denied =
+        DeniedPrefixes(design.routers[r]);
+    const std::size_t root = components.Find(r);
+    for (const Destination& destination : destinations) {
+      if (destination.owner == r) continue;
+      ++report.pairs;
+      if (components.Find(destination.owner) != root) {
+        continue;  // partitioned: unreachable
+      }
+      bool filtered = false;
+      for (const net::Prefix& deny : denied) {
+        if (deny.Contains(destination.subnet)) {
+          filtered = true;
+          break;
+        }
+      }
+      if (filtered) {
+        ++report.filtered_pairs;
+      } else {
+        ++report.reachable_pairs;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace confanon::analysis

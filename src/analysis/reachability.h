@@ -1,0 +1,60 @@
+// Static reachability analysis over an extracted routing design.
+//
+// The paper's Section 6 argues that some networks "use routing policy to
+// prevent reachability between portions of the network", defeating even
+// insider fingerprinting. This module makes that claim checkable: from a
+// NetworkDesign it computes which (router, destination-subnet) pairs can
+// exchange routes, modelling
+//   * IGP adjacency: two routers are routing-adjacent when they share a
+//     link and both run a routing process covering their end of it;
+//   * route filtering: a process with a `distribute-list <acl> in`
+//     rejects routes matched by the ACL's deny entries, making those
+//     destinations unreachable from that router.
+//
+// Because the anonymization is structure preserving, the whole
+// reachability matrix must be invariant across anonymization (under the
+// identifier maps) — the INSIDER bench checks exactly that, and that
+// policy-compartmentalized networks really do show restricted
+// reachability.
+//
+// (This is a deliberately small cousin of the static-reachability tooling
+// the same research group later published; it covers what the paper's
+// claims need, not general packet filters.)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/design_extract.h"
+
+namespace confanon::analysis {
+
+struct ReachabilityReport {
+  /// Number of routers and destination subnets considered.
+  std::size_t routers = 0;
+  std::size_t destinations = 0;
+  /// (router, destination) pairs where the destination is another
+  /// router's subnet.
+  std::size_t pairs = 0;
+  /// Pairs where the router can learn a route to the destination.
+  std::size_t reachable_pairs = 0;
+  /// Connected components of the IGP adjacency graph.
+  std::size_t igp_components = 0;
+  /// Pairs blocked specifically by a distribute-list deny (as opposed to
+  /// graph partition).
+  std::size_t filtered_pairs = 0;
+
+  double ReachableFraction() const {
+    return pairs == 0 ? 1.0
+                      : static_cast<double>(reachable_pairs) /
+                            static_cast<double>(pairs);
+  }
+  bool operator==(const ReachabilityReport&) const = default;
+};
+
+/// Analyzes the design. Destinations are the distinct non-/32 interface
+/// subnets of each router.
+ReachabilityReport AnalyzeReachability(const NetworkDesign& design);
+
+}  // namespace confanon::analysis

@@ -1,0 +1,38 @@
+// Measuring policy-regexp feature usage across a corpus (paper Sections
+// 4.4-4.5).
+//
+// The paper quantifies how often the hard regexp cases actually occur:
+// "The use of digit wildcards and ranges in regexps dealing with public
+// ASNs is quite rare, appearing in two of 31 networks studied ... only 3
+// of 31 networks use ranges in regexps dealing with private ASNs. ...
+// alternation ... is very common, appearing in 10 networks. Five of the
+// 31 networks used regexps involving communities, but only two networks
+// used regexps with range expressions." This scanner re-measures those
+// rates from config text; the REGEX bench compares them against the
+// paper's numbers.
+#pragma once
+
+#include <vector>
+
+#include "config/document.h"
+
+namespace confanon::analysis {
+
+struct RegexUsage {
+  /// Digit wildcards/ranges in as-path regexps whose accepted language
+  /// contains public ASNs.
+  bool asn_range_public = false;
+  /// Ranges whose language is entirely private ASNs.
+  bool asn_range_private = false;
+  /// Alternation in as-path regexps.
+  bool asn_alternation = false;
+  /// Any community-list regexp (expanded form).
+  bool community_regex = false;
+  /// Ranges/wildcards inside community regexps.
+  bool community_range = false;
+};
+
+/// Scans one network's configs.
+RegexUsage DetectRegexUsage(const std::vector<config::ConfigFile>& configs);
+
+}  // namespace confanon::analysis

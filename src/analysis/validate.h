@@ -1,0 +1,39 @@
+// End-to-end validation harness (paper Section 5).
+//
+// Plays the role of the paper's "colleague with access to the unanonymized
+// configuration files": runs both validation suites over the pre- and
+// post-anonymization corpora and reports differences. Suite 2 uses the
+// anonymizer's own maps to push the pre-anonymization design through the
+// expected transformation, making the comparison exact rather than merely
+// structural.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/document.h"
+#include "core/anonymizer.h"
+
+namespace confanon::analysis {
+
+struct ValidationResult {
+  bool characteristics_match = false;
+  std::vector<std::string> characteristics_diffs;
+  bool design_match = false;
+  std::vector<std::string> design_diffs;
+  bool structural_match = false;
+  std::vector<std::string> structural_diffs;
+
+  bool AllPassed() const {
+    return characteristics_match && design_match && structural_match;
+  }
+};
+
+/// Runs both suites. `anonymizer` must be the instance that produced
+/// `post` from `pre` (its maps are consulted; its statistics are not
+/// modified beyond hash-memo lookups for names already seen).
+ValidationResult ValidateNetwork(const std::vector<config::ConfigFile>& pre,
+                                 const std::vector<config::ConfigFile>& post,
+                                 core::Anonymizer& anonymizer);
+
+}  // namespace confanon::analysis

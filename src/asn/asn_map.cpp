@@ -1,0 +1,73 @@
+#include "asn/asn_map.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace confanon::asn {
+
+bool IsPrivateAsn(std::uint32_t asn) {
+  return asn >= kFirstPrivateAsn && asn <= kMaxAsn;
+}
+
+bool IsPublicAsn(std::uint32_t asn) {
+  return asn >= 1 && asn < kFirstPrivateAsn;
+}
+
+AsnMap::AsnMap(std::string_view salt) {
+  // forward_[i] is the image of public ASN i+1; a Fisher-Yates shuffle of
+  // the public range seeded from the salt.
+  const std::size_t public_count = kFirstPrivateAsn - 1;  // ASNs 1..64511
+  forward_.resize(public_count);
+  std::iota(forward_.begin(), forward_.end(), std::uint16_t{1});
+  util::Rng rng(util::HashSeed(salt), "asn-permutation");
+  for (std::size_t i = public_count; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.Below(i));
+    std::swap(forward_[i - 1], forward_[j]);
+  }
+  inverse_.resize(public_count);
+  for (std::size_t i = 0; i < public_count; ++i) {
+    inverse_[static_cast<std::size_t>(forward_[i] - 1)] =
+        static_cast<std::uint16_t>(i + 1);
+  }
+}
+
+std::uint32_t AsnMap::Map(std::uint32_t asn) const {
+  assert(asn <= kMaxAsn);
+  if (!IsPublicAsn(asn)) return asn;
+  return forward_[asn - 1];
+}
+
+std::uint32_t AsnMap::Unmap(std::uint32_t asn) const {
+  assert(asn <= kMaxAsn);
+  if (!IsPublicAsn(asn)) return asn;
+  return inverse_[asn - 1];
+}
+
+Uint16Permutation::Uint16Permutation(std::string_view salt,
+                                     std::string_view label) {
+  forward_.resize(65536);
+  std::iota(forward_.begin(), forward_.end(), std::uint16_t{0});
+  util::Rng rng(util::HashSeed(salt), label);
+  for (std::size_t i = forward_.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.Below(i));
+    std::swap(forward_[i - 1], forward_[j]);
+  }
+  inverse_.resize(65536);
+  for (std::size_t i = 0; i < forward_.size(); ++i) {
+    inverse_[forward_[i]] = static_cast<std::uint16_t>(i);
+  }
+}
+
+std::uint32_t Uint16Permutation::Map(std::uint32_t value) const {
+  assert(value <= 65535);
+  return forward_[value];
+}
+
+std::uint32_t Uint16Permutation::Unmap(std::uint32_t value) const {
+  assert(value <= 65535);
+  return inverse_[value];
+}
+
+}  // namespace confanon::asn

@@ -1,0 +1,58 @@
+// Anonymization of Autonomous System Numbers (paper Section 4.4).
+//
+// Public ASNs are globally unique and publicly attributable, so they are
+// anonymized with a keyed random permutation of the public range; private
+// ASNs (64512-65535) are not globally unique, leak nothing, and are left
+// alone. ASN 0 is reserved and passed through. "There are no semantics and
+// no relationships embedded in public ASNs, so a random permutation can be
+// used" — the permutation is drawn by a salted Fisher-Yates shuffle, making
+// it deterministic per network salt.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace confanon::asn {
+
+/// BGPv4 16-bit ASN space boundaries.
+inline constexpr std::uint32_t kMaxAsn = 65535;
+inline constexpr std::uint32_t kFirstPrivateAsn = 64512;
+
+/// True for the private range 64512-65535.
+bool IsPrivateAsn(std::uint32_t asn);
+/// True for 1..64511 (0 is reserved, not public).
+bool IsPublicAsn(std::uint32_t asn);
+
+class AsnMap {
+ public:
+  explicit AsnMap(std::string_view salt);
+
+  /// Permutes public ASNs; identity on private ASNs and on 0. Input must
+  /// be <= kMaxAsn.
+  std::uint32_t Map(std::uint32_t asn) const;
+
+  /// Inverse of Map (diagnostics; the anonymizer itself never inverts).
+  std::uint32_t Unmap(std::uint32_t asn) const;
+
+ private:
+  std::vector<std::uint16_t> forward_;  // index 0..64511
+  std::vector<std::uint16_t> inverse_;
+};
+
+/// Keyed permutation of the full 16-bit integer space, used for the value
+/// half of BGP community attributes (paper Section 4.5: "the integer part
+/// of community attributes must also be anonymized").
+class Uint16Permutation {
+ public:
+  Uint16Permutation(std::string_view salt, std::string_view label);
+
+  std::uint32_t Map(std::uint32_t value) const;
+  std::uint32_t Unmap(std::uint32_t value) const;
+
+ private:
+  std::vector<std::uint16_t> forward_;
+  std::vector<std::uint16_t> inverse_;
+};
+
+}  // namespace confanon::asn

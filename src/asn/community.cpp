@@ -1,0 +1,43 @@
+#include "asn/community.h"
+
+#include "util/strings.h"
+
+namespace confanon::asn {
+
+std::string Community::ToString() const {
+  return std::to_string(asn) + ":" + std::to_string(value);
+}
+
+std::optional<Community> ParseCommunity(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  std::uint64_t asn = 0;
+  std::uint64_t value = 0;
+  if (!util::ParseUint(text.substr(0, colon), kMaxAsn, asn) ||
+      !util::ParseUint(text.substr(colon + 1), 65535, value)) {
+    return std::nullopt;
+  }
+  return Community{static_cast<std::uint32_t>(asn),
+                   static_cast<std::uint32_t>(value)};
+}
+
+bool IsWellKnownCommunity(const Community& community) {
+  return community.asn == 65535 &&
+         (community.value == 65281 || community.value == 65282 ||
+          community.value == 65283);
+}
+
+Community CommunityAnonymizer::Map(const Community& community) const {
+  if (IsWellKnownCommunity(community)) return community;
+  return Community{asn_map_.Map(community.asn),
+                   value_permutation_.Map(community.value)};
+}
+
+std::optional<std::string> CommunityAnonymizer::MapText(
+    std::string_view text) const {
+  const auto community = ParseCommunity(text);
+  if (!community) return std::nullopt;
+  return Map(*community).ToString();
+}
+
+}  // namespace confanon::asn

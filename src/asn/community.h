@@ -1,0 +1,63 @@
+// BGP community attribute anonymization (paper Section 4.5).
+//
+// Communities are written ASN:VALUE (e.g. 701:120). The ASN half goes
+// through the network's ASN permutation; the VALUE half must also be
+// anonymized ("we must assume that even the integer part ... could identify
+// the network owner") and goes through a dedicated 16-bit permutation.
+// Well-known communities (no-export and friends) carry protocol meaning,
+// not identity, and pass through unchanged — they live in the private-ASN
+// 65535:* block the permutation does not disturb on the ASN side, and we
+// exempt their value side explicitly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "asn/asn_map.h"
+
+namespace confanon::asn {
+
+/// A parsed ASN:VALUE community.
+struct Community {
+  std::uint32_t asn = 0;
+  std::uint32_t value = 0;
+
+  std::string ToString() const;
+  bool operator==(const Community&) const = default;
+};
+
+/// Parses "ASN:VALUE" with both halves in 0..65535. Rejects anything else
+/// (including the bare 32-bit numeric form, which callers treat as an
+/// ordinary integer).
+std::optional<Community> ParseCommunity(std::string_view text);
+
+/// Well-known communities from RFC 1997 (no-export = 65535:65281,
+/// no-advertise = 65535:65282, local-AS = 65535:65283).
+bool IsWellKnownCommunity(const Community& community);
+
+class CommunityAnonymizer {
+ public:
+  /// Both permutations must outlive the anonymizer.
+  CommunityAnonymizer(const AsnMap& asn_map,
+                      const Uint16Permutation& value_permutation)
+      : asn_map_(asn_map), value_permutation_(value_permutation) {}
+
+  Community Map(const Community& community) const;
+
+  /// Convenience: parse, map, format. Returns nullopt if `text` is not a
+  /// community literal.
+  std::optional<std::string> MapText(std::string_view text) const;
+
+  const AsnMap& asn_map() const { return asn_map_; }
+  const Uint16Permutation& value_permutation() const {
+    return value_permutation_;
+  }
+
+ private:
+  const AsnMap& asn_map_;
+  const Uint16Permutation& value_permutation_;
+};
+
+}  // namespace confanon::asn

@@ -1,0 +1,192 @@
+#include "asn/regex_rewrite.h"
+
+#include <algorithm>
+
+#include "regex/dfa_to_regex.h"
+#include "regex/nfa.h"
+#include "regex/parser.h"
+
+namespace confanon::asn {
+
+TokenLanguage TokenLanguage::Compile(std::string_view pattern) {
+  regex::Ast ast;
+  regex::ParseOptions options;
+  options.cisco_underscore = true;
+  const regex::NodeId body = regex::ParsePattern(pattern, options, ast);
+
+  // Token semantics: the pattern may consume the framing sentinels (so
+  // anchors and '_' work) but may not skip over token characters.
+  regex::CharSet boundary;
+  boundary.Add(regex::kBeginSentinel);
+  boundary.Add(regex::kEndSentinel);
+  const regex::NodeId left =
+      ast.AddRepeat(ast.AddCharSet(boundary), 0, regex::kUnbounded);
+  const regex::NodeId right =
+      ast.AddRepeat(ast.AddCharSet(boundary), 0, regex::kUnbounded);
+  ast.set_root(ast.AddConcat({left, body, right}));
+
+  const regex::Nfa nfa = regex::Nfa::Build(ast);
+  TokenLanguage language;
+  language.dfa_ = std::make_shared<regex::Dfa>(regex::Dfa::FromNfa(nfa));
+  return language;
+}
+
+bool TokenLanguage::Accepts(std::uint32_t value) const {
+  return dfa_->FullMatch(regex::FrameSubject(std::to_string(value)));
+}
+
+std::vector<std::uint32_t> TokenLanguage::Enumerate() const {
+  std::vector<std::uint32_t> accepted;
+  for (std::uint32_t value = 0; value <= 65535; ++value) {
+    if (Accepts(value)) accepted.push_back(value);
+  }
+  return accepted;
+}
+
+std::string RenderLanguage(const std::vector<std::uint32_t>& values,
+                           RewriteForm form) {
+  if (values.size() == 1) {
+    return std::to_string(values.front());
+  }
+  if (form == RewriteForm::kAlternation) {
+    std::string out = "(";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += '|';
+      out += std::to_string(values[i]);
+    }
+    out += ')';
+    return out;
+  }
+  // Minimized-DFA form: build the minimal automaton for the finite
+  // language and recover a compact expression by state elimination.
+  std::vector<std::string> words;
+  words.reserve(values.size());
+  for (std::uint32_t value : values) {
+    words.push_back(std::to_string(value));
+  }
+  const regex::Dfa minimal =
+      regex::BuildDfaFromStrings(words).Minimize();
+  const auto expression = regex::DfaToRegex(minimal);
+  // A non-empty language always yields an expression.
+  return "(" + expression.value() + ")";
+}
+
+std::size_t FindTopLevelColon(std::string_view pattern) {
+  int depth = 0;
+  bool in_class = false;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const char c = pattern[i];
+    if (c == '\\') {
+      ++i;
+      continue;
+    }
+    if (in_class) {
+      if (c == ']') in_class = false;
+      continue;
+    }
+    switch (c) {
+      case '[':
+        in_class = true;
+        break;
+      case '(':
+        ++depth;
+        break;
+      case ')':
+        --depth;
+        break;
+      case ':':
+        if (depth == 0) return i;
+        break;
+      default:
+        break;
+    }
+  }
+  return std::string_view::npos;
+}
+
+RewriteResult AsnRegexRewriter::Rewrite(std::string_view pattern,
+                                        RewriteForm form) const {
+  RewriteResult result;
+  result.pattern = std::string(pattern);
+
+  const TokenLanguage language = TokenLanguage::Compile(pattern);
+  const std::vector<std::uint32_t> accepted = language.Enumerate();
+  result.language_size = accepted.size();
+  for (std::uint32_t asn : accepted) {
+    if (IsPublicAsn(asn)) ++result.public_members;
+  }
+  // "If the accepted language includes only private ASNs, which do not
+  // need anonymization, no changes are required to the regexp."
+  if (result.public_members == 0 || accepted.empty()) {
+    return result;
+  }
+
+  std::vector<std::uint32_t> mapped;
+  mapped.reserve(accepted.size());
+  for (std::uint32_t asn : accepted) {
+    mapped.push_back(asn_map_.Map(asn));
+  }
+  std::sort(mapped.begin(), mapped.end());
+  if (mapped == accepted) {
+    // The permutation fixes the language as a set (e.g. ".*" accepting the
+    // whole space); the regexp reveals nothing about individual ASNs.
+    return result;
+  }
+
+  result.pattern = RenderLanguage(mapped, form);
+  result.changed = true;
+  return result;
+}
+
+RewriteResult CommunityRegexRewriter::Rewrite(std::string_view pattern,
+                                              RewriteForm form) const {
+  RewriteResult result;
+  result.pattern = std::string(pattern);
+
+  const std::size_t colon = FindTopLevelColon(pattern);
+  if (colon == std::string_view::npos) {
+    // Not in ASN:VALUE shape; the caller flags the line for review instead
+    // of guessing at semantics.
+    return result;
+  }
+  const std::string_view asn_part = pattern.substr(0, colon);
+  const std::string_view value_part = pattern.substr(colon + 1);
+
+  const std::vector<std::uint32_t> asn_language =
+      TokenLanguage::Compile(asn_part).Enumerate();
+  const std::vector<std::uint32_t> value_language =
+      TokenLanguage::Compile(value_part).Enumerate();
+  result.language_size = asn_language.size() * value_language.size();
+  for (std::uint32_t a : asn_language) {
+    if (IsPublicAsn(a)) ++result.public_members;
+  }
+  if (asn_language.empty() || value_language.empty()) {
+    return result;
+  }
+
+  std::vector<std::uint32_t> mapped_asns;
+  mapped_asns.reserve(asn_language.size());
+  for (std::uint32_t a : asn_language) {
+    mapped_asns.push_back(asn_map_.Map(a));
+  }
+  std::sort(mapped_asns.begin(), mapped_asns.end());
+
+  // The value half is always anonymized ("we have chosen to favor
+  // anonymity over information wherever such trade-offs must be made").
+  std::vector<std::uint32_t> mapped_values;
+  mapped_values.reserve(value_language.size());
+  for (std::uint32_t v : value_language) {
+    mapped_values.push_back(value_permutation_.Map(v));
+  }
+  std::sort(mapped_values.begin(), mapped_values.end());
+
+  if (mapped_asns == asn_language && mapped_values == value_language) {
+    return result;
+  }
+  result.pattern = RenderLanguage(mapped_asns, form) + ":" +
+                   RenderLanguage(mapped_values, form);
+  result.changed = true;
+  return result;
+}
+
+}  // namespace confanon::asn

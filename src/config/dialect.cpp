@@ -1,0 +1,45 @@
+#include "config/dialect.h"
+
+#include <array>
+
+namespace confanon::config {
+
+Dialect MakeDialect(std::uint32_t index) {
+  // The quirk mix is a pure function of the index so the generator can
+  // reproduce any dialect on demand.
+  util::Rng rng(0x105C0DEull + index, "dialect");
+
+  static constexpr std::array<const char*, 7> kTrains = {
+      "11.1", "11.2", "12.0", "12.1", "12.2", "12.3", "12.4"};
+  static constexpr std::array<const char*, 6> kSuffixes = {"",  "T", "S",
+                                                           "E", "SRA", "SB"};
+  const std::size_t train =
+      static_cast<std::size_t>(rng.Below(kTrains.size()));
+  const int build = static_cast<int>(rng.Between(1, 33));
+  const char* suffix =
+      kSuffixes[static_cast<std::size_t>(rng.Below(kSuffixes.size()))];
+
+  Dialect dialect;
+  dialect.version_line = kTrains[train];
+  dialect.version_string = std::string(kTrains[train]) + "(" +
+                           std::to_string(build) + ")" + suffix;
+
+  // Feature flags roughly track the train: newer trains gained the
+  // explicit defaults and richer logging.
+  const bool modern = train >= 2;   // 12.0+
+  const bool recent = train >= 4;   // 12.2+
+  dialect.emits_ip_classless = modern && rng.Chance(0.8);
+  dialect.emits_bgp_log_neighbor_changes = recent && rng.Chance(0.7);
+  dialect.emits_no_auto_summary = modern && rng.Chance(0.6);
+  dialect.verbose_timestamps = modern && rng.Chance(0.7);
+  dialect.interface_generation =
+      train <= 1 ? 0 : static_cast<int>(rng.Below(recent ? 3 : 2));
+  dialect.single_space_indent = rng.Chance(0.9);
+  dialect.double_space_artifact = !modern && rng.Chance(0.5);
+  dialect.rip_version2 = modern && rng.Chance(0.75);
+  dialect.emits_subnet_zero = !recent && rng.Chance(0.5);
+  dialect.snmp_upper = rng.Chance(0.5);
+  return dialect;
+}
+
+}  // namespace confanon::config

@@ -1,0 +1,62 @@
+// IOS dialect registry.
+//
+// The paper's dataset spans "over 200 different IOS versions", with small
+// but syntactically significant differences between them — this is the core
+// reason the anonymizer avoids a full grammar (Section 3.1). The generator
+// uses this registry to emit configs across many dialects so the anonymizer
+// is exercised against the same diversity: keyword spelling variants,
+// optional statements that appear only on some versions, positional versus
+// attribute-value parameter layouts, and inconsistent spacing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace confanon::config {
+
+/// Syntactic quirks of one emulated IOS version. Every flag corresponds to
+/// a real cross-version variation class the paper calls out (keyword sets,
+/// parameter ordering, spacing).
+struct Dialect {
+  /// e.g. "12.2(33)SRA" — written into the config's `version` line (major
+  /// version only, as IOS does) and used to label the dialect.
+  std::string version_string;
+
+  /// Short version ("12.2") used on the `version` line.
+  std::string version_line;
+
+  /// Newer trains write "ip classless" explicitly.
+  bool emits_ip_classless = false;
+  /// Some versions write "bgp log-neighbor-changes" inside router bgp.
+  bool emits_bgp_log_neighbor_changes = false;
+  /// Newer versions write "no auto-summary" under BGP/EIGRP/RIP.
+  bool emits_no_auto_summary = false;
+  /// "service timestamps log datetime msec" vs plain "service timestamps".
+  bool verbose_timestamps = false;
+  /// Interface naming: older boxes say "Ethernet0", newer "FastEthernet0/0"
+  /// or "GigabitEthernet0/1".
+  int interface_generation = 0;  // 0=Ethernet, 1=FastEthernet, 2=GigE
+  /// Some versions indent sub-commands with one space, others keep flush
+  /// continuation blocks for route-maps.
+  bool single_space_indent = true;
+  /// "neighbor X.X.X.X remote-as N" vs the pre-11.x "neighbor X.X.X.X
+  /// remote-as  N" double-space artifact (space is not consistently a
+  /// separator across versions; the anonymizer must not care).
+  bool double_space_artifact = false;
+  /// RIP: "version 2" statement emitted.
+  bool rip_version2 = false;
+  /// Writes "ip subnet-zero" (pre-12.0 default off).
+  bool emits_subnet_zero = false;
+  /// snmp-server statements use "RO"/"RW" in upper case vs lower case.
+  bool snmp_upper = false;
+};
+
+/// Deterministically synthesizes the `index`-th dialect of a family of
+/// `count` versions (index < count). Spread over IOS-style trains
+/// 11.x/12.0/12.1/.../12.4 with letter suffixes, with quirk flags
+/// correlated to the train the way real IOS features were.
+Dialect MakeDialect(std::uint32_t index);
+
+}  // namespace confanon::config

@@ -1,0 +1,71 @@
+#include "config/document.h"
+
+#include "config/tokenizer.h"
+#include "util/strings.h"
+
+namespace confanon::config {
+
+ConfigFile ConfigFile::FromText(std::string name, std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      if (i == text.size() && i == start) break;  // no trailing empty line
+      std::string_view line = text.substr(start, i - start);
+      if (!line.empty() && line.back() == '\r') {
+        line.remove_suffix(1);
+      }
+      lines.emplace_back(line);
+      start = i + 1;
+    }
+  }
+  return ConfigFile(std::move(name), std::move(lines));
+}
+
+std::string ConfigFile::ToText() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<LineRegion> FindBannerRegions(const ConfigFile& config) {
+  std::vector<LineRegion> regions;
+  const auto& lines = config.lines();
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    const SplitLine split = SplitConfigLine(lines[i]);
+    const bool is_banner =
+        split.words.size() >= 3 && util::ToLower(split.words[0]) == "banner";
+    if (!is_banner) {
+      ++i;
+      continue;
+    }
+    // The delimiter is the first character of the word after the banner
+    // type, e.g. '^' in "banner motd ^C" or '#' in "banner login #".
+    const char delimiter = split.words[2].front();
+    // If the opening line itself carries text after the delimiter AND
+    // contains the delimiter again, the banner is single-line.
+    const std::string_view after =
+        split.words[2].size() > 1 ? split.words[2].substr(1)
+                                  : std::string_view{};
+    std::size_t end = i + 1;
+    const bool closed_inline =
+        after.find(delimiter) != std::string_view::npos;
+    if (!closed_inline) {
+      while (end < lines.size() &&
+             lines[end].find(delimiter) == std::string::npos) {
+        ++end;
+      }
+      // Include the closing-delimiter line when present.
+      if (end < lines.size()) ++end;
+    }
+    regions.push_back(LineRegion{i, end});
+    i = end;
+  }
+  return regions;
+}
+
+}  // namespace confanon::config

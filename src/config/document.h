@@ -1,0 +1,61 @@
+// Config-file document model.
+//
+// A config is fundamentally a list of lines — there is no reliable grammar
+// across the 200+ IOS versions the paper encountered, so the model stays
+// deliberately line-oriented and the anonymizer works with regular-
+// expression context rules over lines rather than a parse tree (paper
+// Section 3.1). What the model does understand structurally:
+//   * '!' comment lines,
+//   * trailing free text after keywords like `description` and `remark`,
+//   * banner blocks ("banner motd ^C ... ^C"), which span multiple lines
+//     bracketed by an arbitrary delimiter character.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace confanon::config {
+
+/// One router's configuration.
+class ConfigFile {
+ public:
+  ConfigFile() = default;
+  ConfigFile(std::string name, std::vector<std::string> lines)
+      : name_(std::move(name)), lines_(std::move(lines)) {}
+
+  /// Splits text on '\n' (a trailing newline does not create an empty
+  /// final line).
+  static ConfigFile FromText(std::string name, std::string_view text);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& lines() const { return lines_; }
+  std::vector<std::string>& mutable_lines() { return lines_; }
+
+  std::string ToText() const;
+
+  std::size_t LineCount() const { return lines_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> lines_;
+};
+
+/// A half-open line range [begin, end) within a ConfigFile.
+struct LineRegion {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool operator==(const LineRegion&) const = default;
+};
+
+/// Locates banner blocks: a line of the form
+///   banner (motd|exec|login|incoming|prompt-timeout) <delim>[text]
+/// opens a region that runs until the next line containing the delimiter
+/// character (inclusive). The delimiter is the first character of the word
+/// following the banner type (conventionally ^C or #). Unterminated
+/// banners extend to end of file — the conservative reading for an
+/// anonymizer.
+std::vector<LineRegion> FindBannerRegions(const ConfigFile& config);
+
+}  // namespace confanon::config

@@ -1,0 +1,64 @@
+#include "config/tokenizer.h"
+
+#include "util/strings.h"
+
+namespace confanon::config {
+
+std::vector<Segment> SegmentWord(std::string_view word) {
+  std::vector<Segment> segments;
+  std::size_t i = 0;
+  while (i < word.size()) {
+    const bool alpha = util::IsAsciiAlpha(word[i]);
+    const std::size_t start = i;
+    while (i < word.size() && util::IsAsciiAlpha(word[i]) == alpha) ++i;
+    segments.push_back(Segment{alpha, word.substr(start, i - start)});
+  }
+  return segments;
+}
+
+bool IsNonAlphabetic(std::string_view word) {
+  for (char c : word) {
+    if (util::IsAsciiAlpha(c)) return false;
+  }
+  return true;
+}
+
+std::string LineTokens::Render() const {
+  std::string out;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    out += gaps[i];
+    out += words[i];
+  }
+  out += gaps.back();
+  return out;
+}
+
+LineTokens TokenizeLine(std::string_view line) {
+  LineTokens tokens;
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t gap_start = i;
+    while (i < line.size() && util::IsBlank(line[i])) ++i;
+    tokens.gaps.emplace_back(line.substr(gap_start, i - gap_start));
+    if (i == line.size()) break;
+    const std::size_t word_start = i;
+    while (i < line.size() && !util::IsBlank(line[i])) ++i;
+    tokens.words.emplace_back(line.substr(word_start, i - word_start));
+    if (i == line.size()) {
+      tokens.gaps.emplace_back();
+      break;
+    }
+  }
+  return tokens;
+}
+
+SplitLine SplitConfigLine(std::string_view line) {
+  SplitLine result;
+  std::size_t i = 0;
+  while (i < line.size() && util::IsBlank(line[i])) ++i;
+  result.indent = static_cast<int>(i);
+  result.words = util::SplitWords(line.substr(i));
+  return result;
+}
+
+}  // namespace confanon::config

@@ -1,0 +1,61 @@
+// Word segmentation for config tokens (paper Section 4.2).
+//
+// "We use two rules to segment all words in the configs into tokens before
+// consulting the pass-list, so identifiers like ethernet0/0 become a string
+// ethernet that matches against the pass-list and a non-alphabetic
+// remainder 0/0 that doesn't need anonymization."
+//
+// Rule 1 extracts maximal ASCII-alphabetic runs; rule 2 groups everything
+// between them into non-alphabetic remainders. The anonymizer checks each
+// alphabetic segment against the pass-list and hashes the whole word if any
+// segment is unknown (a partial hash would still leak the unknown part's
+// surroundings, and whole-word hashing keeps referential integrity at the
+// identifier granularity configs actually use).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace confanon::config {
+
+struct Segment {
+  /// True for an alphabetic run (candidate for pass-list lookup), false
+  /// for a non-alphabetic remainder (digits, punctuation).
+  bool alpha = false;
+  std::string_view text;
+
+  bool operator==(const Segment&) const = default;
+};
+
+/// Splits one whitespace-delimited word into alternating alpha / non-alpha
+/// segments. The concatenation of all segment texts equals the input.
+std::vector<Segment> SegmentWord(std::string_view word);
+
+/// True if the word consists only of non-alphabetic characters (so the
+/// pass-list is irrelevant to it).
+bool IsNonAlphabetic(std::string_view word);
+
+/// Splits a raw config line into its leading indent width and
+/// whitespace-separated words.
+struct SplitLine {
+  int indent = 0;
+  std::vector<std::string_view> words;
+};
+SplitLine SplitConfigLine(std::string_view line);
+
+/// A line split into words with the exact whitespace between them
+/// preserved, so the anonymizer can rewrite individual words without
+/// normalizing spacing ("even space is not consistently a separator"
+/// across IOS versions — the rest of the line must survive untouched).
+///
+/// Invariant: gaps.size() == words.size() + 1 and
+/// Render() == gaps[0] + words[0] + gaps[1] + ... + words[n-1] + gaps[n].
+struct LineTokens {
+  std::vector<std::string> gaps;
+  std::vector<std::string> words;
+
+  std::string Render() const;
+};
+LineTokens TokenizeLine(std::string_view line);
+
+}  // namespace confanon::config

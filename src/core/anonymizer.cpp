@@ -1,0 +1,737 @@
+#include "core/anonymizer.h"
+
+#include <cassert>
+
+#include "config/tokenizer.h"
+#include "net/prefix.h"
+#include "net/special.h"
+#include "util/sha1.h"
+#include "util/strings.h"
+
+namespace confanon::core {
+
+using config::LineTokens;
+
+namespace {
+
+/// Renders words[from..] with their original inter-word gaps — used to
+/// recover a policy regexp that may contain significant spaces.
+std::string JoinTail(const LineTokens& tokens, std::size_t from) {
+  std::string out;
+  for (std::size_t i = from; i < tokens.words.size(); ++i) {
+    if (i > from) out += tokens.gaps[i];
+    out += tokens.words[i];
+  }
+  return out;
+}
+
+/// Replaces words[from..] with a single word, keeping the trailing gap.
+void ReplaceTail(LineTokens& tokens, std::size_t from,
+                 const std::string& replacement) {
+  tokens.words.resize(from);
+  tokens.words.push_back(replacement);
+  std::string trailing = tokens.gaps.back();
+  tokens.gaps.resize(from + 1);
+  tokens.gaps.push_back(std::move(trailing));
+}
+
+/// Well-known community keywords that may appear where literals do.
+bool IsCommunityKeyword(const std::string& lower_word) {
+  return lower_word == "additive" || lower_word == "none" ||
+         lower_word == "internet" || lower_word == "no-export" ||
+         lower_word == "no-advertise" || lower_word == "local-as" ||
+         lower_word == "exact" || lower_word == "exact-match";
+}
+
+/// Replaces the digits of a dial string with digits derived from its
+/// salted hash, preserving length and any punctuation so the line stays a
+/// syntactically valid dial string.
+std::string PseudoDigits(std::string_view salt, std::string_view original) {
+  const util::Sha1::Digest digest = util::SaltedDigest(salt, original);
+  std::string out(original);
+  std::size_t d = 0;
+  for (char& c : out) {
+    if (util::IsAsciiDigit(c)) {
+      c = static_cast<char>('0' + digest[d % digest.size()] % 10);
+      ++d;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> LowerWords(const std::vector<std::string>& words) {
+  std::vector<std::string> lower;
+  lower.reserve(words.size());
+  for (const auto& w : words) lower.push_back(util::ToLower(w));
+  return lower;
+}
+
+}  // namespace
+
+Anonymizer::Anonymizer(AnonymizerOptions options)
+    : options_(std::move(options)),
+      pass_list_(options_.pass_list),
+      hasher_(options_.salt),
+      ip_(options_.salt),
+      asn_map_(options_.salt),
+      community_values_(options_.salt, "community-values"),
+      community_(asn_map_, community_values_),
+      aspath_rewriter_(asn_map_),
+      community_rewriter_(asn_map_, community_values_) {}
+
+void Anonymizer::CollectAddresses(
+    const std::vector<config::ConfigFile>& files,
+    std::vector<net::Ipv4Address>& out) const {
+  for (const config::ConfigFile& file : files) {
+    for (const std::string& line : file.lines()) {
+      for (std::string_view word : util::SplitWords(line)) {
+        // CIDR tokens keep their literal (possibly host-bearing) address.
+        const std::size_t slash = word.find('/');
+        const auto address = net::Ipv4Address::Parse(
+            slash == std::string_view::npos ? word : word.substr(0, slash));
+        if (address && !net::IsSpecial(*address)) {
+          out.push_back(*address);
+        }
+      }
+    }
+  }
+}
+
+std::vector<config::ConfigFile> Anonymizer::AnonymizeNetwork(
+    const std::vector<config::ConfigFile>& files) {
+  // Rule I7: preload the whole corpus's addresses in sorted order so the
+  // subnet-address-preservation property holds network-wide.
+  if (RuleEnabled(rules::kSubnetPreload) && !preloaded_) {
+    std::vector<net::Ipv4Address> addresses;
+    CollectAddresses(files, addresses);
+    report_.CountRule(rules::kSubnetPreload, addresses.size());
+    ip_.Preload(std::move(addresses));
+    preloaded_ = true;
+  }
+  std::vector<config::ConfigFile> out;
+  out.reserve(files.size());
+  for (const config::ConfigFile& file : files) {
+    out.push_back(AnonymizeFile(file));
+  }
+  return out;
+}
+
+config::ConfigFile Anonymizer::AnonymizeFile(const config::ConfigFile& file) {
+  const std::vector<config::LineRegion> banners = FindBannerRegions(file);
+  std::vector<bool> in_banner(file.lines().size(), false);
+  std::vector<bool> banner_start(file.lines().size(), false);
+  if (options_.strip_comments && RuleEnabled(rules::kStripBanners)) {
+    for (const config::LineRegion& region : banners) {
+      for (std::size_t i = region.begin; i < region.end; ++i) {
+        in_banner[i] = true;
+      }
+      banner_start[region.begin] = true;
+    }
+  }
+
+  std::vector<std::string> out_lines;
+  out_lines.reserve(file.lines().size());
+
+  // The anonymized file keeps its own name consistent with how the
+  // hostname inside it is anonymized (file names are hostnames).
+  for (std::size_t index = 0; index < file.lines().size(); ++index) {
+    const std::string& raw = file.lines()[index];
+    ++report_.total_lines;
+    LineTokens tokens = config::TokenizeLine(raw);
+    report_.total_words += tokens.words.size();
+
+    if (in_banner[index]) {
+      // Rule C3: the whole banner block is a comment; drop it, leaving a
+      // bare '!' where it started so the block boundary stays visible.
+      report_.comment_words_removed += tokens.words.size();
+      report_.CountRule(rules::kStripBanners);
+      if (banner_start[index]) out_lines.push_back("!");
+      continue;
+    }
+
+    if (!ApplyCommentRules(file, index, raw, in_banner)) {
+      // Line fully handled as a comment.
+      const config::SplitLine split = config::SplitConfigLine(raw);
+      report_.comment_words_removed +=
+          split.words.empty() ? 0 : split.words.size() - 1;
+      out_lines.push_back(std::string(static_cast<std::size_t>(split.indent),
+                                      ' ') +
+                          "!");
+      continue;
+    }
+
+    std::vector<bool> handled(tokens.words.size(), false);
+    ApplyFreeTextRules(tokens, handled);
+    ApplyAsnLineRules(tokens, handled);
+    ApplyMiscLineRules(tokens, handled);
+    ApplyIpLineRules(tokens, handled);
+    ApplyGenericHashing(tokens, handled);
+    out_lines.push_back(tokens.Render());
+  }
+
+  // File names are derived from hostnames; anonymize consistently.
+  std::string out_name = file.name();
+  if (!out_name.empty() && !pass_list_.Contains(out_name)) {
+    out_name = hasher_.Hash(out_name);
+  }
+  return config::ConfigFile(out_name, std::move(out_lines));
+}
+
+bool Anonymizer::ApplyCommentRules(const config::ConfigFile& file,
+                                   std::size_t index, const std::string& line,
+                                   const std::vector<bool>& in_banner) {
+  (void)file;
+  (void)index;
+  (void)in_banner;
+  if (!options_.strip_comments || !RuleEnabled(rules::kStripBangComments)) {
+    return true;
+  }
+  // Rule C1: '!' full-line comments. A bare '!' is a section separator and
+  // stays; anything after the '!' is free text and goes.
+  const config::SplitLine split = config::SplitConfigLine(line);
+  if (!split.words.empty() && split.words[0].front() == '!') {
+    if (split.words.size() > 1 || split.words[0].size() > 1) {
+      report_.CountRule(rules::kStripBangComments);
+      return false;  // caller replaces with bare "!"
+    }
+  }
+  return true;
+}
+
+void Anonymizer::ApplyFreeTextRules(LineTokens& tokens,
+                                    std::vector<bool>& handled) {
+  if (!options_.strip_comments || !RuleEnabled(rules::kStripFreeText)) return;
+  if (tokens.words.empty()) return;
+  const std::vector<std::string> lower = LowerWords(tokens.words);
+
+  // Rule C2: free-text payloads. `description ...` carries arbitrary prose
+  // ("Foo Corp's LAX Main St offices"); `remark` inside ACLs likewise. The
+  // arrangement of even pass-listed words can leak ("global crossing"), so
+  // the whole payload is removed rather than hashed word-by-word.
+  std::size_t payload_from = std::string::npos;
+  if (lower[0] == "description" || lower[0] == "title") {
+    payload_from = 1;
+  } else {
+    // `remark` and `description` can appear mid-line (`access-list 10
+    // remark ...`, `ip prefix-list X description ...`); everything after
+    // them is free text.
+    for (std::size_t i = 0; i + 1 < lower.size(); ++i) {
+      if (lower[i] == "remark" || lower[i] == "description") {
+        payload_from = i + 1;
+        break;
+      }
+    }
+  }
+  if (payload_from != std::string::npos &&
+      payload_from < tokens.words.size()) {
+    report_.comment_words_removed += tokens.words.size() - payload_from;
+    report_.CountRule(rules::kStripFreeText);
+    tokens.words.resize(payload_from);
+    tokens.gaps.resize(payload_from + 1);
+    handled.resize(payload_from);
+  }
+}
+
+std::string Anonymizer::MapAsnWord(std::string_view word) {
+  std::uint64_t asn = 0;
+  if (!util::ParseUint(word, asn::kMaxAsn, asn)) {
+    return std::string(word);
+  }
+  RecordAsn(static_cast<std::uint32_t>(asn));
+  const std::uint32_t mapped =
+      asn_map_.Map(static_cast<std::uint32_t>(asn));
+  if (mapped != asn) ++report_.asns_mapped;
+  return std::to_string(mapped);
+}
+
+void Anonymizer::RecordAsn(std::uint32_t asn) {
+  if (asn::IsPublicAsn(asn) && RuleEnabled(rules::kAsnAudit)) {
+    // Rule A12: remember every public ASN seen so the leak detector can
+    // grep the anonymized output for survivors (Section 6.1).
+    leak_record_.public_asns.insert(std::to_string(asn));
+    report_.CountRule(rules::kAsnAudit);
+  }
+}
+
+void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
+                                   std::vector<bool>& handled) {
+  auto& words = tokens.words;
+  if (words.empty()) return;
+  const std::vector<std::string> lower = LowerWords(words);
+  const auto mark = [&](std::size_t i) { handled[i] = true; };
+
+  // Rule A1: `router bgp <asn>`.
+  if (RuleEnabled(rules::kRouterBgp) && words.size() >= 3 &&
+      lower[0] == "router" && lower[1] == "bgp" &&
+      util::IsAllDigits(words[2])) {
+    words[2] = MapAsnWord(words[2]);
+    mark(2);
+    report_.CountRule(rules::kRouterBgp);
+    return;
+  }
+
+  // Rules A2/A3: `neighbor <peer> remote-as|local-as <asn>`.
+  if (words.size() >= 4 && lower[0] == "neighbor") {
+    if (RuleEnabled(rules::kNeighborRemoteAs) && lower[2] == "remote-as" &&
+        util::IsAllDigits(words[3])) {
+      words[3] = MapAsnWord(words[3]);
+      mark(3);
+      report_.CountRule(rules::kNeighborRemoteAs);
+    } else if (RuleEnabled(rules::kNeighborLocalAs) &&
+               lower[2] == "local-as" && util::IsAllDigits(words[3])) {
+      words[3] = MapAsnWord(words[3]);
+      mark(3);
+      report_.CountRule(rules::kNeighborLocalAs);
+    }
+    return;
+  }
+
+  // Rules A4/A5: confederation identifier / peer list.
+  if (words.size() >= 4 && lower[0] == "bgp" && lower[1] == "confederation") {
+    if (RuleEnabled(rules::kConfedIdentifier) && lower[2] == "identifier" &&
+        util::IsAllDigits(words[3])) {
+      words[3] = MapAsnWord(words[3]);
+      mark(3);
+      report_.CountRule(rules::kConfedIdentifier);
+    } else if (RuleEnabled(rules::kConfedPeers) && lower[2] == "peers") {
+      for (std::size_t i = 3; i < words.size(); ++i) {
+        if (util::IsAllDigits(words[i])) {
+          words[i] = MapAsnWord(words[i]);
+          mark(i);
+        }
+      }
+      report_.CountRule(rules::kConfedPeers);
+    }
+    return;
+  }
+
+  // Rule A6: `ip as-path access-list <n> permit|deny <regex...>`. The
+  // regex is the remainder of the line (it can contain spaces) and is
+  // rewritten by language computation.
+  if (RuleEnabled(rules::kAsPathRegex) && words.size() >= 5 &&
+      lower[0] == "ip" && lower[1] == "as-path" &&
+      lower[2] == "access-list" &&
+      (lower[4] == "permit" || lower[4] == "deny")) {
+    const std::string pattern = JoinTail(tokens, 5);
+    if (!pattern.empty()) {
+      asn::RewriteResult result;
+      result.pattern = pattern;
+      try {
+        result = aspath_rewriter_.Rewrite(pattern, options_.regex_form);
+      } catch (const regex::ParseError&) {
+        // Unparseable pattern (possible on exotic IOS syntax): leave it
+        // in place — the conservative fallback is the Section 6.1 leak
+        // grep, which flags any ASN that survives inside it.
+      }
+      // Every public ASN the pattern accepted is identity-bearing.
+      for (std::uint32_t a : AcceptedPublicAsns(pattern)) RecordAsn(a);
+      if (result.changed) {
+        // The tail collapses to one rewritten word at index 5; the
+        // leading keywords stay for the later passes (they are all
+        // pass-listed or numeric).
+        ReplaceTail(tokens, 5, result.pattern);
+        handled.assign(tokens.words.size(), false);
+        handled[5] = true;
+        ++report_.aspath_regexps_rewritten;
+        report_.CountRule(rules::kAsPathRegex);
+      } else {
+        // Mark regex words handled so generic hashing leaves them alone.
+        for (std::size_t i = 5; i < handled.size(); ++i) handled[i] = true;
+      }
+    }
+    return;
+  }
+
+  // Rule A7: `set as-path prepend <asn> <asn> ...`.
+  if (RuleEnabled(rules::kAsPathPrepend) && words.size() >= 4 &&
+      lower[0] == "set" && lower[1] == "as-path" && lower[2] == "prepend") {
+    for (std::size_t i = 3; i < words.size(); ++i) {
+      if (util::IsAllDigits(words[i])) {
+        words[i] = MapAsnWord(words[i]);
+        mark(i);
+      }
+    }
+    report_.CountRule(rules::kAsPathPrepend);
+    return;
+  }
+
+  // Rules A8/A9: `ip community-list <n|name> permit|deny <items...>`.
+  if (words.size() >= 4 && lower[0] == "ip" && lower[1] == "community-list") {
+    std::size_t action = 0;
+    for (std::size_t i = 2; i < lower.size(); ++i) {
+      if (lower[i] == "permit" || lower[i] == "deny") {
+        action = i;
+        break;
+      }
+    }
+    if (action != 0 && action + 1 < words.size()) {
+      bool any_literal = false;
+      for (std::size_t i = action + 1; i < words.size(); ++i) {
+        if (IsCommunityKeyword(lower[i])) continue;
+        const auto literal = asn::ParseCommunity(words[i]);
+        if (literal && RuleEnabled(rules::kCommunityListLiteral)) {
+          RecordAsn(literal->asn);
+          words[i] = community_.Map(*literal).ToString();
+          mark(i);
+          ++report_.communities_mapped;
+          any_literal = true;
+          continue;
+        }
+        if (!literal && RuleEnabled(rules::kCommunityListRegex)) {
+          // Expanded community-list: the remainder is one regex.
+          const std::string pattern = JoinTail(tokens, i);
+          asn::RewriteResult result;
+          result.pattern = pattern;
+          try {
+            result = community_rewriter_.Rewrite(pattern, options_.regex_form);
+          } catch (const regex::ParseError&) {
+            // As above: leave unparseable patterns for the leak grep.
+          }
+          if (result.changed) {
+            ReplaceTail(tokens, i, result.pattern);
+            handled.assign(tokens.words.size(), false);
+            handled[i] = true;
+            ++report_.community_regexps_rewritten;
+            report_.CountRule(rules::kCommunityListRegex);
+          } else {
+            for (std::size_t j = i; j < handled.size(); ++j) {
+              handled[j] = true;
+            }
+          }
+          break;
+        }
+      }
+      if (any_literal) report_.CountRule(rules::kCommunityListLiteral);
+    }
+    return;
+  }
+
+  // Rule A10: `set community <c> <c> ... [additive]`.
+  if (RuleEnabled(rules::kSetCommunity) && words.size() >= 3 &&
+      lower[0] == "set" && lower[1] == "community") {
+    bool fired = false;
+    for (std::size_t i = 2; i < words.size(); ++i) {
+      if (IsCommunityKeyword(lower[i])) continue;
+      if (const auto literal = asn::ParseCommunity(words[i])) {
+        RecordAsn(literal->asn);
+        words[i] = community_.Map(*literal).ToString();
+        mark(i);
+        ++report_.communities_mapped;
+        fired = true;
+      } else if (util::IsAllDigits(words[i])) {
+        // Old-style 32-bit numeric community: anonymize the low 16 bits
+        // via the value permutation, the high bits as an ASN.
+        std::uint64_t value = 0;
+        if (util::ParseUint(words[i], 0xFFFFFFFFull, value)) {
+          const auto high = static_cast<std::uint32_t>(value >> 16);
+          const auto low = static_cast<std::uint32_t>(value & 0xFFFF);
+          RecordAsn(high);
+          const std::uint64_t mapped =
+              (static_cast<std::uint64_t>(asn_map_.Map(high)) << 16) |
+              community_values_.Map(low);
+          words[i] = std::to_string(mapped);
+          mark(i);
+          ++report_.communities_mapped;
+          fired = true;
+        }
+      }
+    }
+    if (fired) report_.CountRule(rules::kSetCommunity);
+    return;
+  }
+
+  // Rule A11: `set extcommunity rt|soo <asn:val> ...`.
+  if (RuleEnabled(rules::kSetExtcommunity) && words.size() >= 4 &&
+      lower[0] == "set" && lower[1] == "extcommunity") {
+    bool fired = false;
+    for (std::size_t i = 3; i < words.size(); ++i) {
+      if (const auto literal = asn::ParseCommunity(words[i])) {
+        RecordAsn(literal->asn);
+        words[i] = community_.Map(*literal).ToString();
+        mark(i);
+        ++report_.communities_mapped;
+        fired = true;
+      }
+    }
+    if (fired) report_.CountRule(rules::kSetExtcommunity);
+    return;
+  }
+}
+
+void Anonymizer::ExportKnownEntities(std::ostream& out) {
+  int index = 0;
+  for (const AnonymizerOptions::KnownEntity& entity :
+       options_.known_entities) {
+    out << "entity " << index++ << ": asns";
+    for (std::uint32_t asn : entity.asns) {
+      out << ' ' << asn_map_.Map(asn);
+    }
+    out << " prefixes";
+    for (const net::Prefix& prefix : entity.prefixes) {
+      out << ' '
+          << net::Prefix(ip_.Map(prefix.address()), prefix.length())
+                 .ToString();
+    }
+    out << '\n';
+  }
+}
+
+std::vector<std::uint32_t> Anonymizer::AcceptedPublicAsns(
+    std::string_view pattern) const {
+  std::vector<std::uint32_t> result;
+  try {
+    const asn::TokenLanguage language = asn::TokenLanguage::Compile(pattern);
+    for (std::uint32_t a : language.Enumerate()) {
+      if (asn::IsPublicAsn(a)) result.push_back(a);
+    }
+  } catch (const regex::ParseError&) {
+    // Unparseable pattern: nothing to record; the rewrite left it alone
+    // and the leak detector will flag any numeric survivors.
+  }
+  return result;
+}
+
+void Anonymizer::ApplyMiscLineRules(LineTokens& tokens,
+                                    std::vector<bool>& handled) {
+  auto& words = tokens.words;
+  if (words.empty()) return;
+  const std::vector<std::string> lower = LowerWords(words);
+
+  const auto force_hash = [&](std::size_t i, const char* rule) {
+    if (i >= words.size() || handled[i]) return;
+    if (!pass_list_.Contains(words[i])) {
+      leak_record_.hashed_words.insert(words[i]);
+    }
+    words[i] = hasher_.Hash(words[i]);
+    handled[i] = true;
+    ++report_.words_hashed;
+    report_.CountRule(rule);
+  };
+
+  // Rule M1: dial strings are phone numbers.
+  if (RuleEnabled(rules::kDialerStrings) && words.size() >= 3 &&
+      lower[0] == "dialer" &&
+      (lower[1] == "string" || lower[1] == "called" ||
+       lower[1] == "caller")) {
+    leak_record_.hashed_words.insert(words[2]);
+    words[2] = PseudoDigits(options_.salt, words[2]);
+    handled[2] = true;
+    report_.CountRule(rules::kDialerStrings);
+    return;
+  }
+
+  // Rule M2: SNMP strings (community secrets, contact/location prose).
+  if (lower[0] == "snmp-server" && words.size() >= 2 &&
+      RuleEnabled(rules::kSnmpStrings)) {
+    if (lower[1] == "community" && words.size() >= 3) {
+      force_hash(2, rules::kSnmpStrings);
+      return;
+    }
+    if ((lower[1] == "contact" || lower[1] == "location" ||
+         lower[1] == "chassis-id") &&
+        words.size() >= 3 && options_.strip_comments) {
+      report_.comment_words_removed += words.size() - 2;
+      tokens.words.resize(2);
+      tokens.gaps.resize(3);
+      handled.resize(2);
+      report_.CountRule(rules::kSnmpStrings);
+      return;
+    }
+    if (lower[1] == "host" && words.size() >= 4) {
+      // `snmp-server host <addr|name> <community>`: the trap community is
+      // a secret; the host is handled by the IP pass or hashed below.
+      force_hash(3, rules::kSnmpStrings);
+      return;
+    }
+  }
+
+  // Rule M3: passwords and keys.
+  if (RuleEnabled(rules::kSecrets)) {
+    if (lower[0] == "enable" && words.size() >= 2 &&
+        (lower[1] == "secret" || lower[1] == "password")) {
+      force_hash(words.size() - 1, rules::kSecrets);
+      return;
+    }
+    if (lower[0] == "username" && words.size() >= 2) {
+      force_hash(1, rules::kSecrets);
+      for (std::size_t i = 2; i + 1 < words.size(); ++i) {
+        if (lower[i] == "password" || lower[i] == "secret") {
+          force_hash(words.size() - 1, rules::kSecrets);
+          break;
+        }
+      }
+      return;
+    }
+    if (lower[0] == "neighbor" && words.size() >= 4 &&
+        lower[2] == "password") {
+      force_hash(words.size() - 1, rules::kSecrets);
+      return;
+    }
+    if (lower[0] == "key-string" && words.size() >= 2) {
+      force_hash(1, rules::kSecrets);
+      return;
+    }
+    if ((lower[0] == "tacacs-server" || lower[0] == "radius-server") &&
+        words.size() >= 3 && lower[1] == "key") {
+      force_hash(2, rules::kSecrets);
+      return;
+    }
+    if (lower[0] == "crypto" && words.size() >= 4 && lower[1] == "isakmp" &&
+        lower[2] == "key") {
+      // `crypto isakmp key SECRET address A.B.C.D`: the pre-shared key is
+      // a secret; the peer address is handled by the IP pass.
+      force_hash(3, rules::kSecrets);
+      return;
+    }
+    for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+      if (lower[i] == "md5" || lower[i] == "authentication-key" ||
+          lower[i] == "key-chain") {
+        force_hash(i + 1, rules::kSecrets);
+        return;
+      }
+    }
+  }
+
+  // Rule M4: name arguments — commands whose argument is a hostname or
+  // domain name that must be anonymized even if its words are innocuous.
+  if (RuleEnabled(rules::kNameArguments)) {
+    if (lower[0] == "hostname" && words.size() >= 2) {
+      force_hash(1, rules::kNameArguments);
+      return;
+    }
+    if (lower[0] == "ip" && words.size() >= 3 &&
+        (lower[1] == "domain-name" ||
+         (lower[1] == "domain" && words.size() >= 4 &&
+          lower[2] == "name"))) {
+      force_hash(words.size() - 1, rules::kNameArguments);
+      return;
+    }
+    if (lower[0] == "ip" && lower.size() >= 3 && lower[1] == "host") {
+      force_hash(2, rules::kNameArguments);
+      return;
+    }
+    if (lower[0] == "ntp" && words.size() >= 3 && lower[1] == "server" &&
+        !net::Ipv4Address::Parse(words[2])) {
+      force_hash(2, rules::kNameArguments);
+      return;
+    }
+  }
+}
+
+void Anonymizer::ApplyIpLineRules(LineTokens& tokens,
+                                  std::vector<bool>& handled) {
+  auto& words = tokens.words;
+  if (words.empty()) return;
+  const std::vector<std::string> lower = LowerWords(words);
+
+  // Context accounting for rules I4/I5/I6 (the mapping operation itself is
+  // uniform; the context rules exist so the operator-facing report shows
+  // which syntactic positions were handled).
+  const char* context_rule = nullptr;
+  if (lower[0] == "ip" && lower.size() >= 2 &&
+      (lower[1] == "address" || lower[1] == "route")) {
+    context_rule = rules::kAddressMaskPairs;
+  } else if (lower[0] == "access-list" ||
+             (lower[0] == "network" && words.size() >= 3)) {
+    context_rule = rules::kAddressWildcardPairs;
+  } else if (lower[0] == "ntp" || lower[0] == "logging" ||
+             lower[0] == "tacacs-server" || lower[0] == "radius-server" ||
+             lower[0] == "snmp-server") {
+    context_rule = rules::kPlainAddressArgs;
+  }
+
+  bool fired_context = false;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (handled[i]) continue;
+
+    // Rule I3: CIDR tokens ("a.b.c.d/len"). The literal address is
+    // mapped (it may carry host bits, e.g. a JunOS-style interface
+    // address) and the length is kept verbatim.
+    if (RuleEnabled(rules::kMapPrefixes)) {
+      const std::size_t slash = words[i].find('/');
+      if (slash != std::string::npos) {
+        const auto address =
+            net::Ipv4Address::Parse(std::string_view(words[i]).substr(0, slash));
+        std::uint64_t length = 0;
+        if (address &&
+            util::ParseUint(std::string_view(words[i]).substr(slash + 1), 32,
+                            length)) {
+          if (net::IsSpecial(*address)) {
+            handled[i] = true;
+            ++report_.addresses_special;
+            report_.CountRule(rules::kSpecialPassthrough);
+            continue;
+          }
+          leak_record_.addresses.insert(address->ToString());
+          words[i] = ip_.Map(*address).ToString() + "/" +
+                     std::to_string(length);
+          handled[i] = true;
+          ++report_.addresses_mapped;
+          report_.CountRule(rules::kMapPrefixes);
+          fired_context = true;
+          continue;
+        }
+      }
+    }
+
+    const auto address = net::Ipv4Address::Parse(words[i]);
+    if (!address) continue;
+
+    // Rule I2: special addresses (netmasks, wildcard masks, multicast,
+    // loopback, ...) pass through unchanged.
+    if (net::IsSpecial(*address)) {
+      if (RuleEnabled(rules::kSpecialPassthrough)) {
+        handled[i] = true;
+        ++report_.addresses_special;
+        report_.CountRule(rules::kSpecialPassthrough);
+      }
+      continue;
+    }
+
+    // Rule I1: everything else is mapped through the prefix-preserving
+    // trie.
+    if (RuleEnabled(rules::kMapAddresses)) {
+      leak_record_.addresses.insert(address->ToString());
+      words[i] = ip_.Map(*address).ToString();
+      handled[i] = true;
+      ++report_.addresses_mapped;
+      report_.CountRule(rules::kMapAddresses);
+      fired_context = true;
+    }
+  }
+  if (fired_context && context_rule != nullptr) {
+    report_.CountRule(context_rule);
+  }
+}
+
+void Anonymizer::ApplyGenericHashing(LineTokens& tokens,
+                                     std::vector<bool>& handled) {
+  auto& words = tokens.words;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (handled[i]) continue;
+    const std::string& word = words[i];
+    if (word.empty() || config::IsNonAlphabetic(word)) continue;
+
+    // Rule T1: segment the word into alphabetic cores and non-alphabetic
+    // remainders; rule T2: the word passes only if every alphabetic
+    // segment is on the pass-list.
+    bool all_passed = true;
+    for (const config::Segment& segment : config::SegmentWord(word)) {
+      if (segment.alpha && !pass_list_.Contains(segment.text)) {
+        all_passed = false;
+        break;
+      }
+    }
+    report_.CountRule(rules::kSegmentWords);
+    if (all_passed) {
+      ++report_.words_passed;
+      continue;
+    }
+    leak_record_.hashed_words.insert(word);
+    words[i] = hasher_.Hash(word);
+    ++report_.words_hashed;
+    report_.CountRule(rules::kPasslistHash);
+  }
+}
+
+}  // namespace confanon::core

@@ -1,0 +1,202 @@
+// The configuration anonymizer — the paper's primary contribution.
+//
+// The anonymizer rewrites a network's config files so that every element
+// that could tie the data to the owner is removed or transformed while the
+// structure of the information survives:
+//
+//   * free text (comments, banners, description/remark payloads) is
+//     stripped outright (Section 4.2);
+//   * every word whose alphabetic segments are not all on the pass-list is
+//     replaced by a salted-SHA1 token, consistently across all files of
+//     the network (Section 4.1) — this preserves referential integrity of
+//     route-map names, ACL names, hostnames and every other identifier;
+//   * IP addresses go through the class-, subnet- and prefix-relationship-
+//     preserving map of src/ipanon (Section 4.3), with netmasks and other
+//     special addresses passed through;
+//   * public ASNs go through a keyed random permutation, including ASNs
+//     reachable only through regular expressions, which are rewritten via
+//     language computation (Section 4.4);
+//   * BGP communities are anonymized in both halves, in literals and in
+//     regexps (Section 4.5).
+//
+// Mechanically, the anonymizer is an ordered list of 28 context rules
+// (Section 4.2 counts them: 2 tokenization + 3 comment + 4 miscellaneous
+// + 12 ASN-location + 7 IP/context rules) applied line by line, with no
+// full grammar — by design, since no consistent grammar exists across the
+// 200+ IOS versions the tool must survive (Section 3).
+//
+// All state (hash memo, IP trie, ASN permutation) is shared across the
+// files of one Anonymizer instance: one instance == one network.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asn/asn_map.h"
+#include "asn/community.h"
+#include "asn/regex_rewrite.h"
+#include "config/document.h"
+#include "config/tokenizer.h"
+#include "core/leak_detector.h"
+#include "core/report.h"
+#include "core/string_hasher.h"
+#include "ipanon/ip_anonymizer.h"
+#include "net/prefix.h"
+#include "passlist/passlist.h"
+
+namespace confanon::core {
+
+struct AnonymizerOptions {
+  /// The network owner's secret; drives every mapping.
+  std::string salt = "default-salt";
+  /// How rewritten policy regexps are rendered.
+  asn::RewriteForm regex_form = asn::RewriteForm::kAlternation;
+  /// Strip comments/banners/description payloads. On by default; the
+  /// ablation benches turn it off to measure what leaks through.
+  bool strip_comments = true;
+  /// Rule names to disable, for the iterative-refinement experiment
+  /// (Section 6.1) where an initially incomplete rule set is grown until
+  /// the leak detector comes back clean.
+  std::set<std::string> disabled_rules;
+  /// The pass-list to consult; defaults to the embedded corpus. The
+  /// coverage ablation passes a Truncated() copy.
+  passlist::PassList pass_list = passlist::PassList::Builtin();
+
+  /// Known external entities (paper Section 5): "it might be well known
+  /// that all addresses used by AS number X have prefix Y ... If the
+  /// anonymizer is provided with the well known external information on
+  /// which the implicit relationship is based, it can be extended to
+  /// preserve these relationships as well." Each declared entity groups
+  /// public ASNs and prefixes that belong to one real-world organization;
+  /// the anonymizer emits the *anonymized* grouping (ExportKnownEntities)
+  /// so researchers can re-link the two mechanisms without learning who
+  /// the entity is.
+  struct KnownEntity {
+    std::string label;  // never emitted; operator-side bookkeeping only
+    std::vector<std::uint32_t> asns;
+    std::vector<net::Prefix> prefixes;
+  };
+  std::vector<KnownEntity> known_entities;
+};
+
+/// Stable rule names (also the keys in AnonymizationReport::rule_fires).
+/// See Section 4.2's accounting of the 28 rules.
+namespace rules {
+// Tokenization (2)
+inline constexpr char kSegmentWords[] = "T1.segment-words";
+inline constexpr char kPasslistHash[] = "T2.passlist-hash";
+// Comment stripping (3)
+inline constexpr char kStripBangComments[] = "C1.strip-bang-comments";
+inline constexpr char kStripFreeText[] = "C2.strip-free-text";
+inline constexpr char kStripBanners[] = "C3.strip-banners";
+// Miscellaneous (4)
+inline constexpr char kDialerStrings[] = "M1.dialer-strings";
+inline constexpr char kSnmpStrings[] = "M2.snmp-strings";
+inline constexpr char kSecrets[] = "M3.secrets";
+inline constexpr char kNameArguments[] = "M4.name-arguments";
+// ASN location (12)
+inline constexpr char kRouterBgp[] = "A1.router-bgp";
+inline constexpr char kNeighborRemoteAs[] = "A2.neighbor-remote-as";
+inline constexpr char kNeighborLocalAs[] = "A3.neighbor-local-as";
+inline constexpr char kConfedIdentifier[] = "A4.confederation-identifier";
+inline constexpr char kConfedPeers[] = "A5.confederation-peers";
+inline constexpr char kAsPathRegex[] = "A6.as-path-regex";
+inline constexpr char kAsPathPrepend[] = "A7.as-path-prepend";
+inline constexpr char kCommunityListLiteral[] = "A8.community-list-literal";
+inline constexpr char kCommunityListRegex[] = "A9.community-list-regex";
+inline constexpr char kSetCommunity[] = "A10.set-community";
+inline constexpr char kSetExtcommunity[] = "A11.set-extcommunity";
+inline constexpr char kAsnAudit[] = "A12.asn-audit";
+// IP handling (7)
+inline constexpr char kMapAddresses[] = "I1.map-addresses";
+inline constexpr char kSpecialPassthrough[] = "I2.special-passthrough";
+inline constexpr char kMapPrefixes[] = "I3.map-cidr-prefixes";
+inline constexpr char kAddressMaskPairs[] = "I4.address-mask-pairs";
+inline constexpr char kAddressWildcardPairs[] = "I5.address-wildcard-pairs";
+inline constexpr char kPlainAddressArgs[] = "I6.plain-address-args";
+inline constexpr char kSubnetPreload[] = "I7.subnet-preload";
+}  // namespace rules
+
+class Anonymizer {
+ public:
+  explicit Anonymizer(AnonymizerOptions options);
+
+  /// Anonymizes all files of one network consistently. Performs the
+  /// address-preload pass over the whole corpus first (rule I7), then
+  /// rewrites each file.
+  std::vector<config::ConfigFile> AnonymizeNetwork(
+      const std::vector<config::ConfigFile>& files);
+
+  /// Anonymizes a single file using (and extending) the shared state.
+  /// Addresses first seen here miss the preload guarantee; prefer
+  /// AnonymizeNetwork for whole corpora.
+  config::ConfigFile AnonymizeFile(const config::ConfigFile& file);
+
+  /// Writes the anonymized groupings of the declared known entities, one
+  /// entity per line: "entity <n>: asns <a1> <a2> ... prefixes <p1> ...".
+  /// All values are post-anonymization; labels are never written. This is
+  /// the Section 5 extension: the implicit AS-X/prefix-Y relationship is
+  /// preserved as an explicit, still-anonymous grouping.
+  void ExportKnownEntities(std::ostream& out);
+
+  const AnonymizationReport& report() const { return report_; }
+  const LeakRecord& leak_record() const { return leak_record_; }
+
+  const asn::AsnMap& asn_map() const { return asn_map_; }
+  const asn::Uint16Permutation& community_values() const {
+    return community_values_;
+  }
+  ipanon::IpAnonymizer& ip_anonymizer() { return ip_; }
+  StringHasher& string_hasher() { return hasher_; }
+  const passlist::PassList& pass_list() const { return pass_list_; }
+
+ private:
+  bool RuleEnabled(const char* name) const {
+    return !options_.disabled_rules.contains(name);
+  }
+
+  /// Collects every IP address in the corpus for the preload pass.
+  void CollectAddresses(const std::vector<config::ConfigFile>& files,
+                        std::vector<net::Ipv4Address>& out) const;
+
+  /// Per-line passes (see .cpp for the rule-to-function mapping).
+  /// Returns false when the whole line collapses to a '!' comment.
+  bool ApplyCommentRules(const config::ConfigFile& file, std::size_t index,
+                         const std::string& line,
+                         const std::vector<bool>& in_banner);
+  void ApplyFreeTextRules(config::LineTokens& tokens,
+                          std::vector<bool>& handled);
+  void ApplyAsnLineRules(config::LineTokens& tokens,
+                         std::vector<bool>& handled);
+  void ApplyMiscLineRules(config::LineTokens& tokens,
+                          std::vector<bool>& handled);
+  void ApplyIpLineRules(config::LineTokens& tokens,
+                        std::vector<bool>& handled);
+  void ApplyGenericHashing(config::LineTokens& tokens,
+                           std::vector<bool>& handled);
+
+  /// Public ASNs accepted by a policy regexp (for the A12 audit record).
+  std::vector<std::uint32_t> AcceptedPublicAsns(
+      std::string_view pattern) const;
+
+  std::string MapAsnWord(std::string_view word);
+  void RecordAsn(std::uint32_t asn);
+
+  AnonymizerOptions options_;
+  passlist::PassList pass_list_;
+  StringHasher hasher_;
+  ipanon::IpAnonymizer ip_;
+  asn::AsnMap asn_map_;
+  asn::Uint16Permutation community_values_;
+  asn::CommunityAnonymizer community_;
+  asn::AsnRegexRewriter aspath_rewriter_;
+  asn::CommunityRegexRewriter community_rewriter_;
+  AnonymizationReport report_;
+  LeakRecord leak_record_;
+  bool preloaded_ = false;
+};
+
+}  // namespace confanon::core

@@ -1,0 +1,53 @@
+// Leak detection: the grep-back defence of paper Section 6.1.
+//
+// "The anonymizer can record all AS numbers it sees before hashing them,
+// and then grep out all lines from the anonymized configs that still
+// include any of those numbers." We generalize the same trick to every
+// identifier class the anonymizer touched: hashed words, original IP
+// addresses, and public ASNs. Findings drive the iterative rule-refinement
+// loop ("the iteration closes quickly, requiring fewer than 5 iterations
+// over 3 months").
+//
+// Number matching is word-boundary aware but still produces false
+// positives when an ASN collides with an unrelated integer — the paper's
+// Genuity example (AS 1) is the extreme case. False positives are the
+// point: a human (or the ITER bench's oracle) adjudicates them.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/document.h"
+
+namespace confanon::core {
+
+/// Everything the anonymizer replaced, recorded pre-replacement.
+struct LeakRecord {
+  std::set<std::string> hashed_words;  // originals of hashed identifiers
+  std::set<std::string> public_asns;   // decimal strings
+  std::set<std::string> addresses;     // original dotted quads
+
+  void Merge(const LeakRecord& other);
+};
+
+struct LeakFinding {
+  enum class Kind { kHashedWord, kAsn, kAddress };
+
+  std::string file;
+  std::size_t line_number = 0;  // zero-based
+  std::string line;
+  std::string matched;  // the recorded identifier that matched
+  Kind kind = Kind::kHashedWord;
+};
+
+class LeakDetector {
+ public:
+  /// Scans anonymized output for residues of recorded identifiers.
+  static std::vector<LeakFinding> Scan(
+      const std::vector<config::ConfigFile>& anonymized,
+      const LeakRecord& record);
+};
+
+}  // namespace confanon::core

@@ -1,0 +1,44 @@
+#include "core/report.h"
+
+#include <sstream>
+
+namespace confanon::core {
+
+void AnonymizationReport::Merge(const AnonymizationReport& other) {
+  for (const auto& [name, count] : other.rule_fires) {
+    rule_fires[name] += count;
+  }
+  total_lines += other.total_lines;
+  total_words += other.total_words;
+  comment_words_removed += other.comment_words_removed;
+  words_hashed += other.words_hashed;
+  words_passed += other.words_passed;
+  addresses_mapped += other.addresses_mapped;
+  addresses_special += other.addresses_special;
+  asns_mapped += other.asns_mapped;
+  communities_mapped += other.communities_mapped;
+  aspath_regexps_rewritten += other.aspath_regexps_rewritten;
+  community_regexps_rewritten += other.community_regexps_rewritten;
+}
+
+std::string AnonymizationReport::ToString() const {
+  std::ostringstream out;
+  out << "lines=" << total_lines << " words=" << total_words
+      << " comment_words_removed=" << comment_words_removed << " ("
+      << CommentWordFraction() * 100.0 << "%)\n"
+      << "words_hashed=" << words_hashed << " words_passed=" << words_passed
+      << "\n"
+      << "addresses_mapped=" << addresses_mapped
+      << " addresses_special=" << addresses_special << "\n"
+      << "asns_mapped=" << asns_mapped
+      << " communities_mapped=" << communities_mapped << "\n"
+      << "aspath_regexps_rewritten=" << aspath_regexps_rewritten
+      << " community_regexps_rewritten=" << community_regexps_rewritten
+      << "\n";
+  for (const auto& [name, count] : rule_fires) {
+    out << "  rule " << name << ": " << count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace confanon::core

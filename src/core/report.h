@@ -1,0 +1,56 @@
+// Anonymization run statistics.
+//
+// Per-rule fire counts plus the corpus-level measurements the paper
+// reports (fraction of words that were comments and removed, Section 4.2;
+// counts of regexp rewrites, Sections 4.4-4.5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace confanon::core {
+
+struct AnonymizationReport {
+  /// How many times each named rule changed something.
+  std::map<std::string, std::uint64_t> rule_fires;
+
+  std::uint64_t total_lines = 0;
+  std::uint64_t total_words = 0;
+  /// Words removed by the comment-stripping rules (banner bodies,
+  /// description/remark payloads, '!' comment text).
+  std::uint64_t comment_words_removed = 0;
+  /// Words replaced by the salted hash.
+  std::uint64_t words_hashed = 0;
+  /// Words cleared by the pass-list.
+  std::uint64_t words_passed = 0;
+  /// IP addresses rewritten / passed through as special.
+  std::uint64_t addresses_mapped = 0;
+  std::uint64_t addresses_special = 0;
+  /// ASN literals permuted.
+  std::uint64_t asns_mapped = 0;
+  /// Community literals rewritten.
+  std::uint64_t communities_mapped = 0;
+  /// Policy regexps rewritten (as-path / community).
+  std::uint64_t aspath_regexps_rewritten = 0;
+  std::uint64_t community_regexps_rewritten = 0;
+
+  void CountRule(const std::string& rule_name, std::uint64_t n = 1) {
+    rule_fires[rule_name] += n;
+  }
+
+  double CommentWordFraction() const {
+    return total_words == 0
+               ? 0.0
+               : static_cast<double>(comment_words_removed) /
+                     static_cast<double>(total_words);
+  }
+
+  /// Merges another report into this one (per-network aggregation).
+  void Merge(const AnonymizationReport& other);
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+}  // namespace confanon::core

@@ -1,0 +1,36 @@
+#include "core/string_hasher.h"
+
+#include <stdexcept>
+
+#include "util/sha1.h"
+
+namespace confanon::core {
+
+const std::string& StringHasher::Hash(std::string_view word) {
+  const auto it = memo_.find(std::string(word));
+  if (it != memo_.end()) return it->second;
+
+  std::string token = "h" + util::SaltedHexToken(salt_, word, 10);
+  const auto [rev_it, fresh] = reverse_.emplace(token, std::string(word));
+  if (!fresh && rev_it->second != word) {
+    // Two different identifiers landing on the same token would silently
+    // merge two distinct config objects; refuse loudly instead.
+    throw std::runtime_error("hash token collision between '" +
+                             rev_it->second + "' and '" + std::string(word) +
+                             "'");
+  }
+  const auto [memo_it, inserted] =
+      memo_.emplace(std::string(word), std::move(token));
+  return memo_it->second;
+}
+
+std::vector<std::string> StringHasher::Originals() const {
+  std::vector<std::string> out;
+  out.reserve(memo_.size());
+  for (const auto& [original, token] : memo_) {
+    out.push_back(original);
+  }
+  return out;
+}
+
+}  // namespace confanon::core

@@ -1,0 +1,44 @@
+// Salted string hashing with referential integrity (paper Section 4.1).
+//
+// Every word not cleared by the pass-list is replaced by a token derived
+// from its salted SHA-1 digest. Hashing the *word*, not the line, is what
+// preserves the "uses" relationship: `route-map UUNET-import` at a BGP
+// neighbor and `route-map UUNET-import deny 10` elsewhere hash to the same
+// replacement, so the reference still resolves after anonymization.
+//
+// Replacement tokens are "h" + 10 hex chars: a letter first keeps them
+// valid IOS identifiers, and 40 bits of digest make collisions across a
+// network's identifier population negligible (and detected: a collision
+// between two distinct originals throws, since silently merging two
+// identifiers would corrupt the config's structure).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace confanon::core {
+
+class StringHasher {
+ public:
+  explicit StringHasher(std::string_view salt) : salt_(salt) {}
+
+  /// Returns the anonymized replacement for `word`. Deterministic; memoized.
+  /// Throws std::runtime_error on a 40-bit digest collision between two
+  /// distinct originals.
+  const std::string& Hash(std::string_view word);
+
+  /// Number of distinct originals hashed so far.
+  std::size_t DistinctCount() const { return memo_.size(); }
+
+  /// Every original hashed so far (for the leak detector's grep pass).
+  std::vector<std::string> Originals() const;
+
+ private:
+  std::string salt_;
+  std::unordered_map<std::string, std::string> memo_;     // original -> token
+  std::unordered_map<std::string, std::string> reverse_;  // token -> original
+};
+
+}  // namespace confanon::core

@@ -1,0 +1,89 @@
+#include "gen/addressing.h"
+
+#include <stdexcept>
+
+namespace confanon::gen {
+
+namespace {
+
+std::uint32_t AlignUp(std::uint32_t value, std::uint32_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+AddressPlan::AddressPlan(util::Rng& rng, NetworkProfile profile,
+                         int router_count) {
+  // Block size scales with the topology so large corpus networks cannot
+  // exhaust their LAN region.
+  int base_length = 16;
+  if (router_count > 250) {
+    base_length = 12;
+  } else if (router_count > 60) {
+    base_length = 14;
+  }
+
+  std::uint32_t base = 0;
+  if (profile == NetworkProfile::kEnterprise) {
+    // RFC1918 10.x.0.0/len, x varied so enterprises differ.
+    base = (10u << 24) |
+           (static_cast<std::uint32_t>(rng.Between(0, 255)) << 16);
+  } else {
+    // Public-looking class A or B space (avoiding 0/8, 10/8, 127/8).
+    if (rng.Chance(0.5)) {
+      std::uint32_t first = 0;
+      do {
+        first = static_cast<std::uint32_t>(rng.Between(4, 126));
+      } while (first == 10);
+      base = (first << 24) |
+             (static_cast<std::uint32_t>(rng.Between(0, 255)) << 16);
+    } else {
+      const std::uint32_t first =
+          static_cast<std::uint32_t>(rng.Between(128, 191));
+      base = (first << 24) |
+             (static_cast<std::uint32_t>(rng.Between(0, 255)) << 16);
+    }
+  }
+  base &= ~std::uint32_t{0} << (32 - base_length);  // align to the block
+  base_ = net::Prefix(net::Ipv4Address(base), base_length);
+
+  // Region split inside the block: LANs in the low half, links in the
+  // third quarter, loopbacks in the top quarter.
+  const std::uint32_t block = 1u << (32 - base_length);
+  next_lan_ = base;
+  lan_end_ = base + block / 2;
+  next_link_ = lan_end_;
+  link_end_ = base + block / 4 * 3;
+  next_loopback_ = link_end_;
+  loopback_end_ = base + block;
+  link_region_ = net::Prefix(net::Ipv4Address(next_link_), base_length + 2);
+}
+
+net::Prefix AddressPlan::AllocateSubnet(int prefix_length) {
+  const std::uint32_t size = 1u << (32 - prefix_length);
+  const std::uint32_t aligned = AlignUp(next_lan_, size);
+  if (aligned + size > lan_end_) {
+    throw std::runtime_error("address plan: LAN region exhausted");
+  }
+  next_lan_ = aligned + size;
+  return net::Prefix(net::Ipv4Address(aligned), prefix_length);
+}
+
+net::Prefix AddressPlan::AllocateLink() {
+  const std::uint32_t size = 4;  // /30
+  if (next_link_ + size > link_end_) {
+    throw std::runtime_error("address plan: link region exhausted");
+  }
+  const std::uint32_t at = next_link_;
+  next_link_ += size;
+  return net::Prefix(net::Ipv4Address(at), 30);
+}
+
+net::Ipv4Address AddressPlan::AllocateLoopback() {
+  if (next_loopback_ >= loopback_end_) {
+    throw std::runtime_error("address plan: loopback region exhausted");
+  }
+  return net::Ipv4Address(next_loopback_++);
+}
+
+}  // namespace confanon::gen

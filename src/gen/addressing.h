@@ -1,0 +1,54 @@
+// Hierarchical address plan for generated networks.
+//
+// Carves link (/30), LAN (/24../29) and loopback (/32) space out of a few
+// base blocks, the way operational addressing plans do. The mix of subnet
+// sizes is what gives each network the subnet-size structure that (a) the
+// validation suite checks is preserved and (b) the Section 6.2 fingerprint
+// experiment measures for uniqueness.
+#pragma once
+
+#include <vector>
+
+#include "gen/model.h"
+#include "util/rng.h"
+
+namespace confanon::gen {
+
+class AddressPlan {
+ public:
+  /// Backbone plans draw from public-looking class A/B space; enterprise
+  /// plans from 10/8 (with a small public block for the NAT pool and
+  /// upstream links). `router_count` sizes the block: small networks get
+  /// a /16, large ones a /14, very large a /12.
+  AddressPlan(util::Rng& rng, NetworkProfile profile, int router_count = 40);
+
+  /// Allocates an aligned subnet of the given prefix length from the main
+  /// block. Throws std::runtime_error on exhaustion (callers size their
+  /// topologies well inside the block).
+  net::Prefix AllocateSubnet(int prefix_length);
+
+  /// Allocates a /32 loopback address from the dedicated loopback range.
+  net::Ipv4Address AllocateLoopback();
+
+  /// Allocates a /30 inter-router link subnet from the link range.
+  net::Prefix AllocateLink();
+
+  /// The base block (for `network` statements covering everything).
+  net::Prefix base() const { return base_; }
+
+  /// The region inter-router link /30s are carved from (the third quarter
+  /// of the base block). Core OSPF area-0 network statements cover it.
+  net::Prefix link_region() const { return link_region_; }
+
+ private:
+  net::Prefix base_;
+  net::Prefix link_region_;
+  std::uint32_t next_lan_;       // bump pointer inside the LAN region
+  std::uint32_t next_link_;      // bump pointer inside the link region
+  std::uint32_t next_loopback_;  // bump pointer inside the loopback region
+  std::uint32_t lan_end_;
+  std::uint32_t link_end_;
+  std::uint32_t loopback_end_;
+};
+
+}  // namespace confanon::gen

@@ -1,0 +1,417 @@
+#include "gen/config_writer.h"
+
+#include "config/dialect.h"
+#include "net/special.h"
+#include "util/strings.h"
+
+namespace confanon::gen {
+
+namespace {
+
+/// Wildcard (inverse) mask for a prefix length, as ACLs and OSPF network
+/// statements use.
+std::string WildcardOf(int prefix_length) {
+  const std::uint32_t mask =
+      prefix_length == 0 ? ~std::uint32_t{0}
+                         : ~(~std::uint32_t{0} << (32 - prefix_length));
+  return net::Ipv4Address(mask).ToString();
+}
+
+std::string MaskOf(int prefix_length) {
+  return net::PrefixLengthToNetmask(prefix_length).ToString();
+}
+
+class Writer {
+ public:
+  Writer(const RouterSpec& router, const NetworkSpec& network)
+      : router_(router),
+        network_(network),
+        dialect_(config::MakeDialect(router.dialect)),
+        indent_(dialect_.single_space_indent ? " " : "  ") {}
+
+  config::ConfigFile Render() {
+    Preamble();
+    Interfaces();
+    RoutingProcesses();
+    PolicyObjects();
+    StaticRoutes();
+    Nat();
+    Management();
+    Epilogue();
+    return config::ConfigFile(router_.hostname, std::move(lines_));
+  }
+
+ private:
+  void Line(std::string text) { lines_.push_back(std::move(text)); }
+  void Bang() { lines_.push_back("!"); }
+
+  void Preamble() {
+    Line("version " + dialect_.version_line);
+    if (dialect_.verbose_timestamps) {
+      Line("service timestamps debug datetime msec");
+      Line("service timestamps log datetime msec");
+    } else {
+      Line("service timestamps");
+    }
+    Line("service password-encryption");
+    Bang();
+    Line("hostname " + router_.hostname);
+    Bang();
+    if (!router_.banner.empty()) {
+      Line("banner motd ^C");
+      Line(router_.banner);
+      Line("Access strictly prohibited!");
+      Line("^C");
+      Bang();
+    }
+    if (router_.aaa_new_model) {
+      Line("aaa new-model");
+      Line("aaa authentication login default local");
+      Line("aaa authorization exec default local");
+      Bang();
+    }
+    if (!router_.domain_name.empty()) {
+      Line("ip domain-name " + router_.domain_name);
+    }
+    if (dialect_.emits_subnet_zero) Line("ip subnet-zero");
+    if (dialect_.emits_ip_classless) Line("ip classless");
+    Bang();
+  }
+
+  void Interfaces() {
+    for (const InterfaceSpec& iface : router_.interfaces) {
+      std::string header = "interface " + iface.name;
+      if (iface.point_to_point && iface.name.find('.') != std::string::npos) {
+        header += " point-to-point";
+      }
+      Line(header);
+      if (!iface.description.empty()) {
+        Line(indent_ + "description " + iface.description);
+      }
+      const std::string gap = dialect_.double_space_artifact ? "  " : " ";
+      Line(indent_ + "ip address " + iface.address.ToString() + gap +
+           MaskOf(iface.prefix_length));
+      if (iface.name.rfind("Serial", 0) == 0 &&
+          iface.name.find('.') == std::string::npos) {
+        Line(indent_ + "bandwidth 1544");
+        Line(indent_ + "no fair-queue");
+      } else if (dialect_.interface_generation >= 1 &&
+                 iface.name.find("Ethernet") != std::string::npos) {
+        Line(indent_ + "duplex auto");
+        Line(indent_ + "speed auto");
+      }
+      if (iface.shutdown) Line(indent_ + "shutdown");
+      Bang();
+    }
+  }
+
+  void RoutingProcesses() {
+    for (const IgpSpec& igp : router_.igps) {
+      switch (igp.kind) {
+        case IgpKind::kOspf: {
+          Line("router ospf " + std::to_string(igp.process_id));
+          for (const net::Prefix& n : igp.backbone_networks) {
+            Line(indent_ + "network " + n.address().ToString() + " " +
+                 WildcardOf(n.length()) + " area 0");
+          }
+          for (const net::Prefix& n : igp.networks) {
+            Line(indent_ + "network " + n.address().ToString() + " " +
+                 WildcardOf(n.length()) + " area " +
+                 std::to_string(igp.ospf_area));
+          }
+          for (const std::string& passive : igp.passive_interfaces) {
+            Line(indent_ + "passive-interface " + passive);
+          }
+          if (igp.redistribute_connected) {
+            Line(indent_ + "redistribute connected subnets");
+          }
+          if (igp.distribute_list_acl.has_value()) {
+            Line(indent_ + "distribute-list " +
+                 std::to_string(*igp.distribute_list_acl) + " in");
+          }
+          break;
+        }
+        case IgpKind::kRip: {
+          Line("router rip");
+          if (dialect_.rip_version2) Line(indent_ + "version 2");
+          for (const net::Prefix& n : igp.networks) {
+            Line(indent_ + "network " + n.address().ToString());
+          }
+          if (dialect_.emits_no_auto_summary) {
+            Line(indent_ + "no auto-summary");
+          }
+          if (igp.distribute_list_acl.has_value()) {
+            Line(indent_ + "distribute-list " +
+                 std::to_string(*igp.distribute_list_acl) + " in");
+          }
+          break;
+        }
+        case IgpKind::kEigrp: {
+          Line("router eigrp " + std::to_string(igp.process_id));
+          for (const net::Prefix& n : igp.networks) {
+            Line(indent_ + "network " + n.address().ToString() + " " +
+                 WildcardOf(n.length()));
+          }
+          if (dialect_.emits_no_auto_summary) {
+            Line(indent_ + "no auto-summary");
+          }
+          break;
+        }
+      }
+      Bang();
+    }
+
+    if (router_.bgp.has_value()) {
+      const BgpSpec& bgp = *router_.bgp;
+      Line("router bgp " + std::to_string(bgp.asn));
+      if (dialect_.emits_bgp_log_neighbor_changes) {
+        Line(indent_ + "bgp log-neighbor-changes");
+      }
+      if (bgp.redistribute_igp) {
+        // Redistribute whichever IGP the router runs (the paper's Figure 1
+        // redistributes RIP into BGP).
+        for (const IgpSpec& igp : router_.igps) {
+          switch (igp.kind) {
+            case IgpKind::kOspf:
+              Line(indent_ + "redistribute ospf " +
+                   std::to_string(igp.process_id));
+              break;
+            case IgpKind::kRip:
+              Line(indent_ + "redistribute rip");
+              break;
+            case IgpKind::kEigrp:
+              Line(indent_ + "redistribute eigrp " +
+                   std::to_string(igp.process_id));
+              break;
+          }
+        }
+      }
+      for (const net::Prefix& n : bgp.networks) {
+        Line(indent_ + "network " + n.address().ToString() + " mask " +
+             MaskOf(n.length()));
+      }
+      const std::string gap = dialect_.double_space_artifact ? "  " : " ";
+      for (const BgpNeighborSpec& neighbor : bgp.neighbors) {
+        const std::string peer = neighbor.address.ToString();
+        Line(indent_ + "neighbor " + peer + " remote-as" + gap +
+             std::to_string(neighbor.remote_asn));
+        if (neighbor.update_source.has_value()) {
+          Line(indent_ + "neighbor " + peer + " update-source Loopback0");
+        }
+        if (neighbor.next_hop_self) {
+          Line(indent_ + "neighbor " + peer + " next-hop-self");
+        }
+        if (neighbor.send_community) {
+          Line(indent_ + "neighbor " + peer + " send-community");
+        }
+        if (neighbor.password.has_value()) {
+          Line(indent_ + "neighbor " + peer + " password " +
+               *neighbor.password);
+        }
+        if (!neighbor.import_map.empty()) {
+          Line(indent_ + "neighbor " + peer + " route-map " +
+               neighbor.import_map + " in");
+        }
+        if (!neighbor.export_map.empty()) {
+          Line(indent_ + "neighbor " + peer + " route-map " +
+               neighbor.export_map + " out");
+        }
+      }
+      if (dialect_.emits_no_auto_summary) Line(indent_ + "no auto-summary");
+      Bang();
+    }
+  }
+
+  void PolicyObjects() {
+    for (const RouteMapSpec& map : router_.route_maps) {
+      for (const RouteMapClauseSpec& clause : map.clauses) {
+        Line("route-map " + map.name + (clause.permit ? " permit " : " deny ") +
+             std::to_string(clause.sequence));
+        if (clause.match_as_path.has_value()) {
+          Line(indent_ + "match as-path " +
+               std::to_string(*clause.match_as_path));
+        }
+        if (clause.match_community.has_value()) {
+          Line(indent_ + "match community " + *clause.match_community);
+        }
+        if (clause.match_acl.has_value()) {
+          Line(indent_ + "match ip address " +
+               std::to_string(*clause.match_acl));
+        }
+        if (clause.match_prefix_list.has_value()) {
+          Line(indent_ + "match ip address prefix-list " +
+               *clause.match_prefix_list);
+        }
+        if (clause.set_community.has_value()) {
+          Line(indent_ + "set community " + *clause.set_community);
+        }
+        if (clause.set_local_preference.has_value()) {
+          Line(indent_ + "set local-preference " +
+               std::to_string(*clause.set_local_preference));
+        }
+        if (clause.set_med.has_value()) {
+          Line(indent_ + "set metric " + std::to_string(*clause.set_med));
+        }
+        if (!clause.set_prepend.empty()) {
+          std::string prepend = indent_ + "set as-path prepend";
+          for (std::uint32_t asn : clause.set_prepend) {
+            prepend += " " + std::to_string(asn);
+          }
+          Line(prepend);
+        }
+      }
+      Bang();
+    }
+
+    for (const AclSpec& acl : router_.acls) {
+      if (!acl.remark.empty()) {
+        Line("access-list " + std::to_string(acl.number) + " remark " +
+             acl.remark);
+      }
+      for (const AclEntrySpec& entry : acl.entries) {
+        Line("access-list " + std::to_string(acl.number) +
+             (entry.permit ? " permit ip " : " deny ip ") +
+             entry.prefix.address().ToString() + " " +
+             WildcardOf(entry.prefix.length()));
+      }
+      Bang();
+    }
+
+    for (const CommunityListSpec& list : router_.community_lists) {
+      std::string head = "ip community-list ";
+      if (list.name.empty()) {
+        head += std::to_string(list.number);
+      } else {
+        head += (list.expanded ? std::string("expanded ")
+                               : std::string("standard ")) +
+                list.name;
+      }
+      head += list.permit ? " permit " : " deny ";
+      if (list.expanded) {
+        Line(head + list.regex);
+      } else {
+        std::string literals;
+        for (std::size_t i = 0; i < list.literals.size(); ++i) {
+          if (i > 0) literals += " ";
+          literals += list.literals[i];
+        }
+        Line(head + literals);
+      }
+    }
+    for (const PrefixListSpec& list : router_.prefix_lists) {
+      for (const PrefixListEntrySpec& entry : list.entries) {
+        std::string line = "ip prefix-list " + list.name + " seq " +
+                           std::to_string(entry.sequence) +
+                           (entry.permit ? " permit " : " deny ") +
+                           entry.prefix.ToString();
+        if (entry.ge.has_value()) line += " ge " + std::to_string(*entry.ge);
+        if (entry.le.has_value()) line += " le " + std::to_string(*entry.le);
+        Line(line);
+      }
+    }
+    for (const AsPathListSpec& list : router_.as_path_lists) {
+      Line("ip as-path access-list " + std::to_string(list.number) +
+           (list.permit ? " permit " : " deny ") + list.regex);
+    }
+    if (!router_.community_lists.empty() || !router_.as_path_lists.empty()) {
+      Bang();
+    }
+  }
+
+  void Nat() {
+    if (!router_.nat.has_value()) return;
+    const NatSpec& nat = *router_.nat;
+    Line("ip nat pool " + nat.pool_name + " " + nat.pool_start.ToString() +
+         " " + nat.pool_end.ToString() + " netmask " +
+         nat.pool_mask.ToString());
+    Line("ip nat inside source list " + std::to_string(nat.acl_number) +
+         " pool " + nat.pool_name + " overload");
+    Bang();
+  }
+
+  void StaticRoutes() {
+    if (router_.static_routes.empty()) return;
+    for (const auto& route : router_.static_routes) {
+      Line("ip route " + route.destination.address().ToString() + " " +
+           MaskOf(route.destination.length()) + " " +
+           route.next_hop.ToString());
+    }
+    Bang();
+  }
+
+  void Management() {
+    for (const auto& [secret, peer] : router_.isakmp_keys) {
+      Line("crypto isakmp key " + secret + " address " + peer.ToString());
+    }
+    if (!router_.isakmp_keys.empty()) Bang();
+    for (const auto& server : router_.ntp_servers) {
+      Line("ntp server " + server.ToString());
+    }
+    if (!router_.logging_hosts.empty()) {
+      Line("logging buffered 16384");
+      for (const auto& host : router_.logging_hosts) {
+        Line("logging " + host.ToString());
+      }
+    }
+    if (!router_.ntp_servers.empty() || !router_.logging_hosts.empty()) {
+      Bang();
+    }
+    if (!router_.snmp_community.empty()) {
+      Line("snmp-server community " + router_.snmp_community + " " +
+           (dialect_.snmp_upper ? "RO" : "ro"));
+      if (!router_.snmp_location.empty()) {
+        Line("snmp-server location " + router_.snmp_location);
+      }
+      Line("snmp-server contact noc@" + router_.domain_name);
+      Bang();
+    }
+    if (router_.drops_probes) {
+      // Compartmentalization by probe filtering: drop traceroute UDP and
+      // ICMP echo at the edge.
+      Line("access-list 199 deny icmp any any echo");
+      Line("access-list 199 deny udp any any range 33434 33534");
+      Line("access-list 199 permit ip any any");
+      Bang();
+    }
+  }
+
+  void Epilogue() {
+    Line("line con 0");
+    Line(indent_ + "exec-timeout 5 0");
+    Line("line vty 0 4");
+    if (router_.vty_acl != 0) {
+      Line(indent_ + "access-class " + std::to_string(router_.vty_acl) +
+           " in");
+    }
+    Line(indent_ + "login");
+    Line(indent_ + "transport input telnet");
+    Bang();
+    Line("end");
+  }
+
+  const RouterSpec& router_;
+  const NetworkSpec& network_;
+  config::Dialect dialect_;
+  std::string indent_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace
+
+config::ConfigFile WriteConfig(const RouterSpec& router,
+                               const NetworkSpec& network) {
+  Writer writer(router, network);
+  return writer.Render();
+}
+
+std::vector<config::ConfigFile> WriteNetworkConfigs(
+    const NetworkSpec& network) {
+  std::vector<config::ConfigFile> configs;
+  configs.reserve(network.routers.size());
+  for (const RouterSpec& router : network.routers) {
+    configs.push_back(WriteConfig(router, network));
+  }
+  return configs;
+}
+
+}  // namespace confanon::gen

@@ -1,0 +1,23 @@
+// Rendering RouterSpecs to Cisco-IOS-style config text.
+//
+// The writer honours each router's emulated dialect (config/dialect.h), so
+// a generated corpus exhibits the same cross-version syntactic churn the
+// paper's 200+ IOS versions did: optional statements, keyword variants,
+// spacing artifacts. This diversity is load-bearing — it is what the
+// anonymizer's grammar-free rule design is supposed to survive.
+#pragma once
+
+#include "config/document.h"
+#include "gen/model.h"
+
+namespace confanon::gen {
+
+/// Renders one router's config.
+config::ConfigFile WriteConfig(const RouterSpec& router,
+                               const NetworkSpec& network);
+
+/// Renders every router of a network.
+std::vector<config::ConfigFile> WriteNetworkConfigs(
+    const NetworkSpec& network);
+
+}  // namespace confanon::gen

@@ -1,0 +1,207 @@
+// Data model for synthesized networks.
+//
+// The generator first builds this structured description (topology,
+// addressing, routing design, policies) and then the config writer renders
+// it to IOS text per router. Keeping the model explicit gives the
+// experiments ground truth: the validation suites compare what they
+// re-extract from configs (pre- and post-anonymization) against each other,
+// and the fingerprint/REGEX benches compare detected feature usage against
+// what the generator actually planted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace confanon::gen {
+
+enum class IgpKind { kOspf, kRip, kEigrp };
+
+struct InterfaceSpec {
+  std::string name;  // e.g. "Serial1/0", "FastEthernet0/1", "Loopback0"
+  net::Ipv4Address address;
+  int prefix_length = 24;
+  std::string description;  // free text, may leak identity
+  bool shutdown = false;
+  bool point_to_point = false;
+};
+
+struct AclEntrySpec {
+  bool permit = true;
+  net::Prefix prefix;  // rendered as address + wildcard mask
+};
+
+struct AclSpec {
+  int number = 0;
+  std::string remark;  // free text
+  std::vector<AclEntrySpec> entries;
+};
+
+struct AsPathListSpec {
+  int number = 0;
+  bool permit = true;
+  std::string regex;  // IOS policy regex over ASNs
+};
+
+struct CommunityListSpec {
+  int number = 0;
+  /// Non-empty = named form ("ip community-list standard NAME ...");
+  /// empty = numbered form.
+  std::string name;
+  bool permit = true;
+  bool expanded = false;          // expanded lists hold a regex
+  std::vector<std::string> literals;  // "701:120" (standard form)
+  std::string regex;              // expanded form
+
+  std::string Reference() const {
+    return name.empty() ? std::to_string(number) : name;
+  }
+};
+
+struct PrefixListEntrySpec {
+  int sequence = 5;
+  bool permit = true;
+  net::Prefix prefix;
+  std::optional<int> ge;
+  std::optional<int> le;
+};
+
+struct PrefixListSpec {
+  std::string name;  // identity-bearing, e.g. "UUNET-out"
+  std::vector<PrefixListEntrySpec> entries;
+};
+
+struct RouteMapClauseSpec {
+  bool permit = true;
+  int sequence = 10;
+  std::optional<int> match_as_path;            // as-path list number
+  std::optional<std::string> match_community;  // list number or name
+  std::optional<int> match_acl;                // ip address acl number
+  std::optional<std::string> match_prefix_list;
+  std::optional<std::string> set_community;  // "701:7100"
+  std::optional<int> set_local_preference;
+  std::optional<int> set_med;
+  std::vector<std::uint32_t> set_prepend;  // ASNs to prepend
+};
+
+struct RouteMapSpec {
+  std::string name;  // identity-bearing: "UUNET-import"
+  std::vector<RouteMapClauseSpec> clauses;
+};
+
+struct BgpNeighborSpec {
+  net::Ipv4Address address;
+  std::uint32_t remote_asn = 0;
+  bool external = false;           // eBGP peer (another ISP)
+  std::string peer_name;           // ISP name for comments
+  std::string import_map;          // route-map in
+  std::string export_map;          // route-map out
+  bool next_hop_self = false;
+  bool send_community = false;
+  std::optional<std::string> password;
+  std::optional<net::Ipv4Address> update_source;  // loopback address
+};
+
+struct BgpSpec {
+  std::uint32_t asn = 0;
+  std::vector<BgpNeighborSpec> neighbors;
+  std::vector<net::Prefix> networks;  // network statements
+  bool redistribute_igp = false;
+};
+
+struct IgpSpec {
+  IgpKind kind = IgpKind::kOspf;
+  int process_id = 1;           // OSPF process / EIGRP AS number
+  int ospf_area = 0;            // area for this router's interfaces
+  /// OSPF networks declared in the backbone area (area 0) ahead of the
+  /// per-POP `networks` statements (hierarchical designs).
+  std::vector<net::Prefix> backbone_networks;
+  std::vector<net::Prefix> networks;
+  std::vector<std::string> passive_interfaces;
+  bool redistribute_connected = false;
+  /// Policy compartmentalization: filter routes with this ACL on ingress
+  /// ("some use routing policy to prevent reachability between portions
+  /// of the network", Section 6).
+  std::optional<int> distribute_list_acl;
+};
+
+struct NatSpec {
+  int acl_number = 0;
+  std::string pool_name;
+  net::Ipv4Address pool_start;
+  net::Ipv4Address pool_end;
+  net::Ipv4Address pool_mask;
+};
+
+struct StaticRouteSpec {
+  net::Prefix destination;
+  net::Ipv4Address next_hop;
+};
+
+struct RouterSpec {
+  std::string hostname;       // cr1.lax.foocorp.com
+  std::uint32_t dialect = 0;  // index into config::MakeDialect
+  std::string banner;         // free text (empty = no banner)
+  std::vector<InterfaceSpec> interfaces;
+  std::vector<IgpSpec> igps;
+  std::optional<BgpSpec> bgp;
+  std::vector<AclSpec> acls;
+  std::vector<AsPathListSpec> as_path_lists;
+  std::vector<CommunityListSpec> community_lists;
+  std::vector<PrefixListSpec> prefix_lists;
+  std::vector<RouteMapSpec> route_maps;
+  std::vector<StaticRouteSpec> static_routes;
+  /// Pre-shared IKE keys: (secret, peer address) pairs.
+  std::vector<std::pair<std::string, net::Ipv4Address>> isakmp_keys;
+  std::optional<NatSpec> nat;
+  std::string snmp_community;     // secret string (empty = none)
+  std::string snmp_location;      // free text
+  std::string domain_name;        // foocorp.com
+  bool drops_probes = false;      // ACL dropping traceroute/ping
+  bool aaa_new_model = false;
+  std::vector<net::Ipv4Address> ntp_servers;
+  std::vector<net::Ipv4Address> logging_hosts;
+  /// ACL applied to the vty lines (0 = none).
+  int vty_acl = 0;
+};
+
+/// How a network internally compartmentalizes (paper Section 6: "10 of 31
+/// networks we examined use internal compartmentalization that would also
+/// defeat insider attacks").
+enum class Compartmentalization {
+  kNone,
+  kNat,          // NATs divide the network
+  kPolicy,       // routing policy prevents reachability
+  kProbeDrop,    // drops traceroute/probe traffic
+};
+
+enum class NetworkProfile { kBackbone, kEnterprise };
+
+/// Ground truth the generator records about each network, used by the
+/// benches to compare detection against reality.
+struct NetworkTruth {
+  std::size_t router_count = 0;
+  std::size_t bgp_speaker_count = 0;
+  std::size_t interface_count = 0;
+  std::size_t ebgp_session_count = 0;
+  bool uses_asn_range_regex = false;        // digit ranges over public ASNs
+  bool uses_private_asn_range_regex = false;
+  bool uses_asn_alternation_regex = false;
+  bool uses_community_regex = false;
+  bool uses_community_range_regex = false;
+  Compartmentalization compartmentalization = Compartmentalization::kNone;
+};
+
+struct NetworkSpec {
+  std::string name;       // company name
+  std::uint32_t asn = 0;  // the network's own public ASN
+  NetworkProfile profile = NetworkProfile::kBackbone;
+  std::vector<RouterSpec> routers;
+  NetworkTruth truth;
+};
+
+}  // namespace confanon::gen

@@ -1,0 +1,98 @@
+#include "gen/names.h"
+
+namespace confanon::gen {
+
+const std::vector<std::string>& CompanyNames() {
+  static const std::vector<std::string> kNames = {
+      "foocorp",    "globex",    "initech",   "umbrella",  "hooli",
+      "masseyinc",  "vandelay",  "wonka",     "stark",     "wayneind",
+      "tyrell",     "cyberdyne", "weyland",   "soylent",   "oscorp",
+      "dunder",     "piedpiper", "acmenet",   "bluthco",   "sterling",
+      "prestige",   "kruger",    "gekko",     "nakatomi",  "zorin",
+      "virtucon",   "monarch",   "duff",      "planetexp", "momcorp",
+      "ingen",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& CityCodes() {
+  static const std::vector<std::string> kCities = {
+      "lax", "sfo", "nyc", "iad", "ord", "dfw", "sea", "atl",
+      "bos", "den", "mia", "phx", "msp", "stl", "phl", "det",
+      "iah", "san", "pdx", "slc", "bwi", "mci", "clt", "pit",
+      "cle", "tpa", "okc", "abq", "lhr", "fra", "ams", "cdg",
+  };
+  return kCities;
+}
+
+const std::vector<PeerIsp>& PeerIsps() {
+  static const std::vector<PeerIsp> kPeers = {
+      // UUNET: owns the contiguous 701-705 block the paper highlights.
+      {"uunet", 701, {702, 703, 704, 705}},
+      {"sprintlink", 1239, {}},
+      {"genuity", 1, {}},  // the paper's AS-1 grep hazard
+      {"ebone", 1755, {}},
+      {"cablewireless", 3561, {}},
+      {"level3", 3356, {}},
+      {"qwest", 209, {}},
+      {"abovenet", 6461, {}},
+      {"cogentco", 174, {}},
+      {"verio", 2914, {}},
+      {"globalcrossing", 3549, {}},
+      {"telia", 1299, {}},
+      {"att", 7018, {}},
+      {"savvis", 3967, {}},
+      {"exodus", 3967, {}},
+      {"psinet", 174, {}},
+  };
+  return kPeers;
+}
+
+std::string MakeDescription(util::Rng& rng, const std::string& company,
+                            const std::string& city) {
+  static const std::vector<std::string> kTemplates = {
+      "%C's %c Main St offices",
+      "link to %c pop for %C",
+      "%C backbone to %c",
+      "customer %C at %c",
+      "circuit id 7/%c/00%d leased from global crossing",
+      "%C noc contact ops@%C.com",
+      "backup path via %c - do not shut",
+      "OC3 to %c facility, %C ticket %d",
+  };
+  std::string text = rng.Pick(kTemplates);
+  std::string out;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 1 < text.size()) {
+      const char kind = text[i + 1];
+      if (kind == 'C') {
+        out += company;
+        ++i;
+        continue;
+      }
+      if (kind == 'c') {
+        out += city;
+        ++i;
+        continue;
+      }
+      if (kind == 'd') {
+        out += std::to_string(rng.Between(100, 9999));
+        ++i;
+        continue;
+      }
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+std::string MakeBannerText(util::Rng& rng, const std::string& company) {
+  std::string text = company;
+  text += " network - contact noc@";
+  text += company;
+  text += ".com x";
+  text += std::to_string(rng.Between(1000, 9999));
+  return text;
+}
+
+}  // namespace confanon::gen

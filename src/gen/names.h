@@ -1,0 +1,44 @@
+// Name corpora for the synthetic config generator.
+//
+// These are the identity-bearing strings the anonymizer must remove:
+// company names (the config owner), city/airport codes used in hostnames
+// (the paper's example: cr1.lax.foo.com), and peer ISP names used in
+// route-map names and comments (UUNET-import). None of these words appear
+// in the pass-list corpus, except where the paper calls out the hazard
+// deliberately ("global" and "crossing" are both pass-listed; only the
+// comment-stripping rules keep "global crossing" from leaking).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace confanon::gen {
+
+/// Fictional-but-identifying operator names ("foocorp" stands in for the
+/// paper's Foo Corp).
+const std::vector<std::string>& CompanyNames();
+
+/// Airport-style city codes for hostnames (lax, sfo, ...).
+const std::vector<std::string>& CityCodes();
+
+/// Peer ISP display names, paired with a real-world-style public ASN the
+/// generator uses for the eBGP session. Mirrors the paper's examples
+/// (UUNET = 701 with the contiguous 702-705 block, Sprint = 1239, Genuity
+/// = 1, ...).
+struct PeerIsp {
+  std::string name;          // used in route-map names and comments
+  std::uint32_t asn;         // primary public ASN
+  std::vector<std::uint32_t> extra_asns;  // e.g. UUNET's non-US block
+};
+const std::vector<PeerIsp>& PeerIsps();
+
+/// Free-text fragments for descriptions/banners that mix pass-listed
+/// vocabulary with identity (street names, "global crossing", contacts).
+std::string MakeDescription(util::Rng& rng, const std::string& company,
+                            const std::string& city);
+std::string MakeBannerText(util::Rng& rng, const std::string& company);
+
+}  // namespace confanon::gen

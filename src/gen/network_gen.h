@@ -1,0 +1,48 @@
+// Synthetic network generator.
+//
+// Produces NetworkSpecs with realistic structure: POP-organized backbone
+// topologies (or enterprise campus trees), hierarchical addressing, OSPF
+// areas with RIP/EIGRP pockets, iBGP meshes over loopbacks, eBGP peerings
+// to named ISPs with policy (route-maps, ACLs, community- and as-path
+// lists), and — at the rates the paper measured across its 31 networks —
+// regexps using digit ranges, alternation, and community expressions.
+// Identity leaks are planted exactly where the paper found them: hostnames,
+// descriptions, banners, route-map names, SNMP strings, peer ASNs.
+#pragma once
+
+#include "gen/model.h"
+
+namespace confanon::gen {
+
+struct GeneratorParams {
+  std::uint64_t seed = 1;
+  NetworkProfile profile = NetworkProfile::kBackbone;
+  /// Total routers in the network.
+  int router_count = 40;
+
+  // Per-network probabilities of the policy-regex features, defaulting to
+  // the paper's observed rates over 31 networks (Sections 4.4-4.5).
+  double p_public_range_regex = 2.0 / 31;
+  double p_private_range_regex = 3.0 / 31;
+  double p_alternation_regex = 10.0 / 31;
+  double p_community_regex = 5.0 / 31;
+  /// Conditional on using community regexps, probability that ranges
+  /// appear in them (paper: 2 of the 5 networks).
+  double p_community_range_given_regex = 2.0 / 5;
+
+  /// Probability the network compartmentalizes internally (paper: 10/31),
+  /// split evenly across the mechanisms when it fires.
+  double p_compartmentalized = 10.0 / 31;
+};
+
+/// Generates the `index`-th network of a corpus. Deterministic in
+/// (params.seed, index).
+NetworkSpec GenerateNetwork(const GeneratorParams& params, int index);
+
+/// Convenience: a corpus of `count` networks whose router counts follow a
+/// skewed distribution (a few big backbones, many small networks), scaled
+/// so the corpus totals roughly `total_routers`.
+std::vector<NetworkSpec> GenerateCorpus(const GeneratorParams& params,
+                                        int count, int total_routers);
+
+}  // namespace confanon::gen

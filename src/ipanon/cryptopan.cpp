@@ -1,0 +1,36 @@
+#include "ipanon/cryptopan.h"
+
+#include "util/sha1.h"
+
+namespace confanon::ipanon {
+
+net::Ipv4Address CryptoPan::Map(net::Ipv4Address address) const {
+  const std::uint32_t input = address.value();
+  std::uint32_t output = 0;
+
+  // The PRF input is the length-tagged bit prefix packed into 5 bytes:
+  // 4 prefix bytes (unused low bits zeroed) plus the prefix length. The
+  // length tag keeps prefixes of different lengths from aliasing.
+  for (int i = 0; i < 32; ++i) {
+    const std::uint32_t kept =
+        i == 0 ? 0u : (input & (~std::uint32_t{0} << (32 - i)));
+    std::uint8_t prf_input[5];
+    prf_input[0] = static_cast<std::uint8_t>(kept >> 24);
+    prf_input[1] = static_cast<std::uint8_t>(kept >> 16);
+    prf_input[2] = static_cast<std::uint8_t>(kept >> 8);
+    prf_input[3] = static_cast<std::uint8_t>(kept);
+    prf_input[4] = static_cast<std::uint8_t>(i);
+
+    util::Sha1 hasher;
+    hasher.Update(key_);
+    hasher.Update(prf_input, sizeof(prf_input));
+    const util::Sha1::Digest digest = hasher.Finalize();
+    const std::uint32_t flip = digest[0] & 1u;
+
+    const std::uint32_t input_bit = (input >> (31 - i)) & 1u;
+    output |= (input_bit ^ flip) << (31 - i);
+  }
+  return net::Ipv4Address(output);
+}
+
+}  // namespace confanon::ipanon

@@ -1,0 +1,40 @@
+// Cryptographic, stateless prefix-preserving anonymization in the style of
+// Xu et al. (Crypto-PAn), the alternative scheme the paper weighs in
+// Section 4.3 before choosing the data-structure-based approach.
+//
+// anon(a) bit i = a_i XOR PRF_key(a_0 .. a_{i-1}): each output bit flips
+// according to a pseudo-random function of the preceding input bits, so
+// the scheme is prefix-preserving with *no shared state* beyond the key —
+// the property the paper credits it with ("very little state must be
+// shared..., making it amenable to parallelization").
+//
+// Our PRF is the salted SHA-1 of the bit-prefix (the paper's hash of
+// choice); real Crypto-PAn uses AES, but only PRF quality matters here.
+//
+// Deliberately NOT class-preserving, subnet-address-preserving, or
+// special-address-aware: it is the baseline for the ablation showing why
+// the paper chose a data structure it could shape ("using a
+// data-structure-based mapping scheme makes it easier to implement these
+// requirements").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.h"
+
+namespace confanon::ipanon {
+
+class CryptoPan {
+ public:
+  explicit CryptoPan(std::string_view key) : key_(key) {}
+
+  /// Stateless prefix-preserving bijection over the full 32-bit space.
+  net::Ipv4Address Map(net::Ipv4Address address) const;
+
+ private:
+  std::string key_;
+};
+
+}  // namespace confanon::ipanon

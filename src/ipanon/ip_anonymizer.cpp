@@ -1,0 +1,146 @@
+#include "ipanon/ip_anonymizer.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "net/special.h"
+#include "util/strings.h"
+
+namespace confanon::ipanon {
+
+IpAnonymizer::IpAnonymizer(std::string_view salt)
+    : rng_(util::HashSeed(salt), "ipanon-trie") {
+  // Root node: its flip applies to bit 0, which is on the classful spine,
+  // so it is pinned to zero.
+  nodes_.emplace_back();
+  nodes_[0].flip = 0;
+}
+
+std::int32_t IpAnonymizer::NewNode() {
+  nodes_.emplace_back();
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::uint32_t IpAnonymizer::FlipMask(std::uint32_t address,
+                                     std::int64_t forced_output) {
+  std::uint32_t mask = 0;
+  std::int32_t node = 0;
+  for (int depth = 0; depth < 32; ++depth) {
+    const std::uint32_t bit_mask = 1u << (31 - depth);
+    const int input_bit = (address & bit_mask) ? 1 : 0;
+
+    const std::uint8_t flip = nodes_[static_cast<std::size_t>(node)].flip;
+    if (forced_output >= 0) {
+      const int output_bit =
+          (static_cast<std::uint32_t>(forced_output) & bit_mask) ? 1 : 0;
+      if ((input_bit ^ flip) != output_bit) {
+        throw std::runtime_error(
+            "imported mapping conflicts with established flip bits");
+      }
+    }
+    if (flip) mask |= bit_mask;
+
+    if (depth == 31) break;
+
+    std::int32_t next =
+        nodes_[static_cast<std::size_t>(node)].child[input_bit];
+    if (next < 0) {
+      next = NewNode();
+      nodes_[static_cast<std::size_t>(node)].child[input_bit] = next;
+      // Decide the new node's flip (it applies to bit depth+1).
+      const int child_depth = depth + 1;
+      std::uint8_t new_flip;
+      const std::uint32_t child_bit_mask = 1u << (31 - child_depth);
+      if (forced_output >= 0) {
+        const int in_b = (address & child_bit_mask) ? 1 : 0;
+        const int out_b =
+            (static_cast<std::uint32_t>(forced_output) & child_bit_mask) ? 1
+                                                                         : 0;
+        new_flip = static_cast<std::uint8_t>(in_b ^ out_b);
+      } else if (child_depth < 4 &&
+                 (address >> (32 - child_depth)) ==
+                     ((1u << child_depth) - 1)) {
+        // Classful spine: paths "1", "11", "111" keep their bit intact so
+        // the address class survives.
+        new_flip = 0;
+      } else if ((address & (~std::uint32_t{0} >> child_depth)) == 0) {
+        // Remaining input bits are all zero: pin the flip so subnet
+        // addresses keep their all-zero host part.
+        new_flip = 0;
+      } else {
+        new_flip = static_cast<std::uint8_t>(rng_.Next() & 1u);
+      }
+      nodes_[static_cast<std::size_t>(next)].flip = new_flip;
+    }
+    node = next;
+  }
+  return mask;
+}
+
+net::Ipv4Address IpAnonymizer::MapRaw(net::Ipv4Address address) {
+  const auto cached = raw_cache_.find(address.value());
+  if (cached != raw_cache_.end()) {
+    return net::Ipv4Address(cached->second);
+  }
+  const std::uint32_t mapped =
+      address.value() ^ FlipMask(address.value(), -1);
+  raw_cache_.emplace(address.value(), mapped);
+  mapped_log_.emplace_back(address.value(), mapped);
+  return net::Ipv4Address(mapped);
+}
+
+net::Ipv4Address IpAnonymizer::Map(net::Ipv4Address address) {
+  last_map_walked_ = false;
+  if (net::IsSpecial(address)) {
+    return address;
+  }
+  net::Ipv4Address mapped = MapRaw(address);
+  while (net::IsSpecial(mapped)) {
+    // Cycle-walk: the trie map is a bijection, so iterating it from a
+    // non-special input must leave the (finite) special set before the
+    // orbit returns to the input.
+    last_map_walked_ = true;
+    mapped = MapRaw(mapped);
+  }
+  return mapped;
+}
+
+void IpAnonymizer::Preload(std::vector<net::Ipv4Address> addresses) {
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()),
+                  addresses.end());
+  for (net::Ipv4Address address : addresses) {
+    Map(address);
+  }
+}
+
+void IpAnonymizer::ExportMappings(std::ostream& out) const {
+  // Dump the raw trie pairs (including collision-walk intermediates) so a
+  // replaying instance reconstructs identical flip bits.
+  for (const auto& [input, output] : mapped_log_) {
+    out << net::Ipv4Address(input).ToString() << ' '
+        << net::Ipv4Address(output).ToString() << '\n';
+  }
+}
+
+void IpAnonymizer::ImportMappings(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty()) continue;
+    const auto words = util::SplitWords(trimmed);
+    if (words.size() != 2) {
+      throw std::runtime_error("malformed mapping line: " + line);
+    }
+    const auto input = net::Ipv4Address::Parse(words[0]);
+    const auto output = net::Ipv4Address::Parse(words[1]);
+    if (!input || !output) {
+      throw std::runtime_error("malformed mapping addresses: " + line);
+    }
+    FlipMask(input->value(), static_cast<std::int64_t>(output->value()));
+    mapped_log_.emplace_back(input->value(), output->value());
+  }
+}
+
+}  // namespace confanon::ipanon

@@ -1,0 +1,361 @@
+#include "junos/anonymizer.h"
+
+#include "config/tokenizer.h"
+#include "net/prefix.h"
+#include "net/special.h"
+#include "util/strings.h"
+
+namespace confanon::junos {
+
+namespace {
+
+/// JunOS configuration keywords not already covered by the IOS corpus.
+constexpr const char* kJunosWords[] = {
+    "apply",   "groups",    "statement", "policy",    "options",
+    "term",    "from",      "then",      "accept",    "reject",
+    "members", "inet",      "unit",      "family",    "disable",
+    "lo",      "so",        "ge",        "fe",        "xe",
+    "et",      "peer",      "mesh",      "login",     "message",
+    "host",    "name",      "static",    "next",      "hop",
+    "metric",  "add",       "delete",    "aspath",    "comm",
+    "ext",     "rib",       "instance",  "routing",   "protocols",
+    "area",    "neighbor",  "import",    "export",    "prepend",
+    "preference", "interfaces", "neighbors", "units",     "families",
+    "servers",
+};
+
+bool IsQuoted(const std::string& text) {
+  return text.size() >= 2 && text.front() == '"' && text.back() == '"';
+}
+
+std::string Unquote(const std::string& text) {
+  if (IsQuoted(text)) return text.substr(1, text.size() - 2);
+  return text;
+}
+
+std::string Quote(const std::string& text) { return "\"" + text + "\""; }
+
+}  // namespace
+
+passlist::PassList JunosPassList() {
+  passlist::PassList list = passlist::PassList::Builtin();
+  for (const char* word : kJunosWords) {
+    list.Add(word);
+  }
+  return list;
+}
+
+JunosAnonymizer::JunosAnonymizer(JunosAnonymizerOptions options)
+    : options_(std::move(options)),
+      pass_list_(JunosPassList()),
+      hasher_(options_.salt),
+      ip_(options_.salt),
+      asn_map_(options_.salt),
+      community_values_(options_.salt, "community-values"),
+      community_(asn_map_, community_values_),
+      aspath_rewriter_(asn_map_),
+      community_rewriter_(asn_map_, community_values_) {}
+
+std::vector<config::ConfigFile> JunosAnonymizer::AnonymizeNetwork(
+    const std::vector<config::ConfigFile>& files) {
+  if (!preloaded_) {
+    std::vector<net::Ipv4Address> addresses;
+    for (const config::ConfigFile& file : files) {
+      for (const std::string& raw : file.lines()) {
+        const JunosLine line = TokenizeJunosLine(raw);
+        for (const Token& token : line.tokens) {
+          if (token.kind != Token::Kind::kWord) continue;
+          const std::string& text = token.text;
+          const std::size_t slash = text.find('/');
+          const auto address = net::Ipv4Address::Parse(
+              slash == std::string::npos
+                  ? std::string_view(text)
+                  : std::string_view(text).substr(0, slash));
+          if (address && !net::IsSpecial(*address)) {
+            addresses.push_back(*address);
+          }
+        }
+      }
+    }
+    ip_.Preload(std::move(addresses));
+    preloaded_ = true;
+  }
+  std::vector<config::ConfigFile> out;
+  out.reserve(files.size());
+  for (const config::ConfigFile& file : files) {
+    out.push_back(AnonymizeFile(file));
+  }
+  return out;
+}
+
+config::ConfigFile JunosAnonymizer::AnonymizeFile(
+    const config::ConfigFile& file) {
+  std::vector<std::string> out_lines;
+  out_lines.reserve(file.lines().size());
+  in_block_comment_ = false;
+
+  for (const std::string& raw : file.lines()) {
+    ++report_.total_lines;
+
+    // '/* ... */' block comments (possibly multi-line): stripped whole.
+    std::string_view text = raw;
+    if (options_.strip_comments) {
+      const bool opens =
+          !in_block_comment_ &&
+          util::Trim(text).substr(0, 2) == std::string_view("/*");
+      if (opens || in_block_comment_) {
+        const std::size_t close = text.find("*/");
+        report_.total_words += util::SplitWords(text).size();
+        report_.comment_words_removed += util::SplitWords(text).size();
+        in_block_comment_ = close == std::string_view::npos;
+        out_lines.push_back("/* */");
+        continue;
+      }
+    }
+
+    JunosLine line = TokenizeJunosLine(raw);
+    report_.total_words += WordsOf(line).size();
+    ProcessLine(line);
+    out_lines.push_back(line.Render());
+  }
+
+  std::string out_name = file.name();
+  if (!out_name.empty() && !pass_list_.Contains(out_name)) {
+    out_name = hasher_.Hash(out_name);
+  }
+  return config::ConfigFile(out_name, std::move(out_lines));
+}
+
+void JunosAnonymizer::ForceHash(JunosLine& line, std::size_t index,
+                                const char* rule) {
+  if (index >= line.tokens.size()) return;
+  Token& token = line.tokens[index];
+  const std::string original = Unquote(token.text);
+  if (original.empty()) return;
+  if (!pass_list_.Contains(original)) {
+    leak_record_.hashed_words.insert(original);
+  }
+  const std::string& hashed = hasher_.Hash(original);
+  token.text = token.kind == Token::Kind::kString ? Quote(hashed) : hashed;
+  ++report_.words_hashed;
+  report_.CountRule(rule);
+}
+
+std::string JunosAnonymizer::MapAsnText(std::string_view text) {
+  std::uint64_t asn = 0;
+  if (!util::ParseUint(text, asn::kMaxAsn, asn)) return std::string(text);
+  if (asn::IsPublicAsn(static_cast<std::uint32_t>(asn))) {
+    leak_record_.public_asns.insert(std::string(text));
+  }
+  const std::uint32_t mapped =
+      asn_map_.Map(static_cast<std::uint32_t>(asn));
+  if (mapped != asn) ++report_.asns_mapped;
+  return std::to_string(mapped);
+}
+
+void JunosAnonymizer::ProcessLine(JunosLine& line) {
+  auto& tokens = line.tokens;
+  if (tokens.empty()) return;
+
+  // Trailing '#' comments.
+  if (options_.strip_comments &&
+      tokens.back().kind == Token::Kind::kComment) {
+    report_.comment_words_removed +=
+        util::SplitWords(tokens.back().text).size();
+    report_.CountRule("J.strip-hash-comment");
+    tokens.pop_back();
+    if (tokens.empty()) return;
+  }
+
+  // Word-token indices (skipping punctuation) for context matching.
+  std::vector<std::size_t> word_at;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind == Token::Kind::kWord ||
+        tokens[i].kind == Token::Kind::kString) {
+      word_at.push_back(i);
+    }
+  }
+  if (word_at.empty()) return;
+  const auto word = [&](std::size_t w) -> const std::string& {
+    return tokens[word_at[w]].text;
+  };
+  std::vector<bool> handled(tokens.size(), false);
+
+  // JunOS allows several statements on one line ("group x { peer-as 701;
+  // neighbor 4.4.4.4; }"), so context rules scan every word position, not
+  // just the line head.
+  for (std::size_t w = 0; w < word_at.size(); ++w) {
+    const std::string keyword = util::ToLower(word(w));
+    const bool has_next = w + 1 < word_at.size();
+
+    // --- free text: description / message strings are comments ---
+    if (options_.strip_comments &&
+        (keyword == "description" || keyword == "message") && has_next &&
+        tokens[word_at[w + 1]].kind == Token::Kind::kString) {
+      report_.comment_words_removed +=
+          util::SplitWords(Unquote(word(w + 1))).size();
+      tokens[word_at[w + 1]].text = "\"\"";
+      handled[word_at[w + 1]] = true;
+      report_.CountRule("J.strip-free-text");
+      continue;
+    }
+
+    // --- names that must be hashed even if pass-listed ---
+    if ((keyword == "host-name" || keyword == "domain-name") && has_next) {
+      ForceHash(line, word_at[w + 1], "J.name-arguments");
+      handled[word_at[w + 1]] = true;
+      continue;
+    }
+
+    // --- ASN-bearing statements ---
+    if ((keyword == "peer-as" || keyword == "autonomous-system") &&
+        has_next && util::IsAllDigits(word(w + 1))) {
+      tokens[word_at[w + 1]].text = MapAsnText(word(w + 1));
+      handled[word_at[w + 1]] = true;
+      report_.CountRule("J.asn-statement");
+      continue;
+    }
+
+    // `as-path NAME "REGEX";` (a definition carries a quoted regex; a
+    // `from as-path NAME;` reference does not).
+    if (keyword == "as-path" && w + 2 < word_at.size() &&
+        tokens[word_at[w + 2]].kind == Token::Kind::kString) {
+      const std::string pattern = Unquote(word(w + 2));
+      try {
+        const asn::RewriteResult result =
+            aspath_rewriter_.Rewrite(pattern, options_.regex_form);
+        for (std::uint32_t a :
+             asn::TokenLanguage::Compile(pattern).Enumerate()) {
+          if (asn::IsPublicAsn(a)) {
+            leak_record_.public_asns.insert(std::to_string(a));
+          }
+        }
+        if (result.changed) {
+          tokens[word_at[w + 2]].text = Quote(result.pattern);
+          ++report_.aspath_regexps_rewritten;
+          report_.CountRule("J.as-path-regex");
+        }
+      } catch (const regex::ParseError&) {
+        // Leave for the leak grep.
+      }
+      handled[word_at[w + 2]] = true;
+      continue;
+    }
+
+    // `as-path-prepend "701 701";`
+    if (keyword == "as-path-prepend" && has_next &&
+        tokens[word_at[w + 1]].kind == Token::Kind::kString) {
+      std::vector<std::string> mapped;
+      const std::string inner = Unquote(word(w + 1));
+      for (const auto asn_text : util::SplitWords(inner)) {
+        mapped.push_back(MapAsnText(asn_text));
+      }
+      tokens[word_at[w + 1]].text = Quote(util::Join(mapped, " "));
+      handled[word_at[w + 1]] = true;
+      report_.CountRule("J.as-path-prepend");
+      continue;
+    }
+
+    // `... members <literals | "regex">` (community definitions).
+    if (keyword == "members") {
+      for (std::size_t v = w + 1; v < word_at.size(); ++v) {
+        Token& value = tokens[word_at[v]];
+        if (value.kind == Token::Kind::kString) {
+          const std::string pattern = Unquote(value.text);
+          try {
+            const asn::RewriteResult result =
+                community_rewriter_.Rewrite(pattern, options_.regex_form);
+            if (result.changed) {
+              value.text = Quote(result.pattern);
+              ++report_.community_regexps_rewritten;
+              report_.CountRule("J.community-regex");
+            }
+          } catch (const regex::ParseError&) {
+          }
+          handled[word_at[v]] = true;
+        } else if (const auto literal = asn::ParseCommunity(value.text)) {
+          if (asn::IsPublicAsn(literal->asn)) {
+            leak_record_.public_asns.insert(std::to_string(literal->asn));
+          }
+          value.text = community_.Map(*literal).ToString();
+          ++report_.communities_mapped;
+          handled[word_at[v]] = true;
+          report_.CountRule("J.community-literal");
+        }
+      }
+      continue;
+    }
+  }
+
+  // --- IP pass over word tokens ---
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (handled[i] || tokens[i].kind != Token::Kind::kWord) continue;
+    Token& token = tokens[i];
+    const std::size_t slash = token.text.find('/');
+    if (slash != std::string::npos) {
+      const auto address = net::Ipv4Address::Parse(
+          std::string_view(token.text).substr(0, slash));
+      std::uint64_t length = 0;
+      if (address &&
+          util::ParseUint(std::string_view(token.text).substr(slash + 1), 32,
+                          length)) {
+        if (net::IsSpecial(*address)) {
+          handled[i] = true;
+          ++report_.addresses_special;
+          report_.CountRule("J.special-passthrough");
+          continue;
+        }
+        leak_record_.addresses.insert(address->ToString());
+        token.text =
+            ip_.Map(*address).ToString() + "/" + std::to_string(length);
+        handled[i] = true;
+        ++report_.addresses_mapped;
+        report_.CountRule("J.map-prefixes");
+        continue;
+      }
+    }
+    if (const auto address = net::Ipv4Address::Parse(token.text)) {
+      if (net::IsSpecial(*address)) {
+        handled[i] = true;
+        ++report_.addresses_special;
+        report_.CountRule("J.special-passthrough");
+        continue;
+      }
+      leak_record_.addresses.insert(address->ToString());
+      token.text = ip_.Map(*address).ToString();
+      handled[i] = true;
+      ++report_.addresses_mapped;
+      report_.CountRule("J.map-addresses");
+    }
+  }
+
+  // --- generic pass-list hashing over remaining words ---
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (handled[i]) continue;
+    if (tokens[i].kind != Token::Kind::kWord &&
+        tokens[i].kind != Token::Kind::kString) {
+      continue;
+    }
+    const std::string value = Unquote(tokens[i].text);
+    if (value.empty() || config::IsNonAlphabetic(value)) continue;
+    bool all_passed = true;
+    for (const config::Segment& segment : config::SegmentWord(value)) {
+      if (segment.alpha && !pass_list_.Contains(segment.text)) {
+        all_passed = false;
+        break;
+      }
+    }
+    if (all_passed) {
+      ++report_.words_passed;
+      continue;
+    }
+    leak_record_.hashed_words.insert(value);
+    const std::string& hashed = hasher_.Hash(value);
+    tokens[i].text =
+        tokens[i].kind == Token::Kind::kString ? Quote(hashed) : hashed;
+    ++report_.words_hashed;
+    report_.CountRule("J.passlist-hash");
+  }
+}
+
+}  // namespace confanon::junos

@@ -1,0 +1,316 @@
+#include "junos/design_extract.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "junos/tokenizer.h"
+#include "util/strings.h"
+
+namespace confanon::junos {
+
+namespace {
+
+using analysis::BgpNeighborDesign;
+using analysis::InterfaceDesign;
+using analysis::NetworkDesign;
+using analysis::PolicyClauseDesign;
+using analysis::PrefixListEntryDesign;
+using analysis::ProcessDesign;
+using analysis::RouterDesign;
+
+/// Per-BGP-group accumulation before neighbors are materialized.
+struct GroupScratch {
+  bool external = false;
+  std::uint32_t peer_as = 0;
+  std::string import_map;
+  std::string export_map;
+  std::vector<net::Ipv4Address> neighbors;
+};
+
+/// Parses "A.B.C.D/len" into (address, length).
+bool ParseCidr(const std::string& text, net::Ipv4Address& address,
+               int& length) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return false;
+  const auto parsed =
+      net::Ipv4Address::Parse(std::string_view(text).substr(0, slash));
+  std::uint64_t len = 0;
+  if (!parsed ||
+      !util::ParseUint(std::string_view(text).substr(slash + 1), 32, len)) {
+    return false;
+  }
+  address = *parsed;
+  length = static_cast<int>(len);
+  return true;
+}
+
+class Extractor {
+ public:
+  explicit Extractor(const config::ConfigFile& file) : file_(file) {
+    router_.hostname = file.name();
+  }
+
+  RouterDesign Extract() {
+    for (const std::string& raw : file_.lines()) {
+      // Block comments are irrelevant to the design; skip comment lines
+      // conservatively (the writer emits them on their own lines).
+      const auto trimmed = util::Trim(raw);
+      if (trimmed.substr(0, 2) == std::string_view("/*")) continue;
+      const JunosLine line = TokenizeJunosLine(raw);
+      for (const Token& token : line.tokens) {
+        switch (token.kind) {
+          case Token::Kind::kWord:
+            buffer_.push_back(token.text);
+            break;
+          case Token::Kind::kString: {
+            std::string inner = token.text;
+            if (inner.size() >= 2 && inner.front() == '"') {
+              inner = inner.substr(1, inner.size() - 2);
+            }
+            buffer_.push_back(inner);
+            break;
+          }
+          case Token::Kind::kPunct:
+            if (token.text == "{") {
+              stack_.push_back(buffer_);
+              buffer_.clear();
+            } else if (token.text == ";") {
+              Statement();
+              buffer_.clear();
+            } else if (token.text == "}") {
+              if (!stack_.empty()) {
+                LeavingBlock(stack_.back());
+                stack_.pop_back();
+              }
+            }
+            // '[' / ']' just group member lists; the words accumulate.
+            break;
+          case Token::Kind::kComment:
+            break;
+        }
+      }
+    }
+    Assemble();
+    return std::move(router_);
+  }
+
+ private:
+  /// First word of the enclosing block at depth `up` from the innermost
+  /// (0 = innermost), or "" when out of range.
+  std::string Block(std::size_t up) const {
+    if (up >= stack_.size()) return {};
+    const auto& header = stack_[stack_.size() - 1 - up];
+    return header.empty() ? std::string() : util::ToLower(header[0]);
+  }
+  /// Second word of the enclosing block header (the block's name/arg).
+  std::string BlockArg(std::size_t up) const {
+    if (up >= stack_.size()) return {};
+    const auto& header = stack_[stack_.size() - 1 - up];
+    return header.size() >= 2 ? header[1] : std::string();
+  }
+
+  void Statement() {
+    if (buffer_.empty()) return;
+    const std::string head = util::ToLower(buffer_[0]);
+
+    if (head == "host-name" && buffer_.size() >= 2) {
+      router_.hostname = buffer_[1];
+      return;
+    }
+    if (head == "autonomous-system" && buffer_.size() >= 2) {
+      std::uint64_t asn = 0;
+      if (util::ParseUint(buffer_[1], 65535, asn)) {
+        local_asn_ = static_cast<std::uint32_t>(asn);
+      }
+      return;
+    }
+
+    // interfaces { <phys> { unit N { family inet { address A/len; } } } }
+    if (head == "address" && buffer_.size() >= 2 && Block(0) == "family" &&
+        Block(1) == "unit" && Block(3) == "interfaces") {
+      net::Ipv4Address address;
+      int length = 0;
+      if (ParseCidr(buffer_[1], address, length)) {
+        const auto& header = stack_[stack_.size() - 3];  // the <phys> block
+        const std::string name =
+            header.empty() ? "unknown" : header.front();
+        const std::string unit = BlockArg(1);
+        InterfaceDesign iface;
+        iface.name = unit == "0" || unit.empty() ? name : name + "." + unit;
+        iface.address = address;
+        iface.subnet = net::Prefix(address, length);
+        router_.interfaces.push_back(iface);
+      }
+      return;
+    }
+
+    // protocols { ospf { area N { interface IF; } } }
+    if (head == "interface" && buffer_.size() >= 2 && Block(0) == "area" &&
+        Block(1) == "ospf") {
+      std::uint64_t area = 0;
+      util::ParseUint(BlockArg(0), 1000000, area);
+      ospf_areas_.insert(static_cast<int>(area));
+      ospf_interfaces_.push_back(buffer_[1]);
+      return;
+    }
+    // protocols { rip { group g { neighbor IF; } } }
+    if (head == "neighbor" && buffer_.size() >= 2 && Block(0) == "group" &&
+        Block(1) == "rip") {
+      rip_interfaces_.push_back(buffer_[1]);
+      return;
+    }
+
+    // protocols { bgp { group g { ... } } }
+    if (Block(0) == "group" && Block(1) == "bgp") {
+      GroupScratch& group = groups_[BlockArg(0)];
+      if (head == "type" && buffer_.size() >= 2) {
+        group.external = util::ToLower(buffer_[1]) == "external";
+      } else if (head == "peer-as" && buffer_.size() >= 2) {
+        std::uint64_t asn = 0;
+        if (util::ParseUint(buffer_[1], 65535, asn)) {
+          group.peer_as = static_cast<std::uint32_t>(asn);
+        }
+      } else if (head == "import" && buffer_.size() >= 2) {
+        group.import_map = buffer_[1];
+      } else if (head == "export" && buffer_.size() >= 2) {
+        group.export_map = buffer_[1];
+      } else if (head == "neighbor" && buffer_.size() >= 2) {
+        if (const auto peer = net::Ipv4Address::Parse(buffer_[1])) {
+          group.neighbors.push_back(*peer);
+        }
+      }
+      has_bgp_ = true;
+      return;
+    }
+
+    // policy-options { policy-statement P { term T { from {...} then {...} } } }
+    if (Block(0) == "from" && Block(1) == "term" &&
+        Block(2) == "policy-statement") {
+      PolicyClauseDesign& clause = CurrentClause();
+      if (buffer_.size() >= 2) {
+        if (head == "as-path") {
+          clause.references.emplace_back("as-path", buffer_[1]);
+        } else if (head == "community") {
+          clause.references.emplace_back("community", buffer_[1]);
+        } else if (head == "prefix-list") {
+          clause.references.emplace_back("prefix-list", buffer_[1]);
+        }
+      }
+      return;
+    }
+    if (Block(0) == "then" && Block(1) == "term" &&
+        Block(2) == "policy-statement") {
+      PolicyClauseDesign& clause = CurrentClause();
+      if (head == "accept") clause.permit = true;
+      if (head == "reject") clause.permit = false;
+      return;
+    }
+
+    // policy-options { prefix-list NAME { A/len; } }
+    if (Block(0) == "prefix-list" && Block(1) == "policy-options" &&
+        buffer_.size() >= 1) {
+      net::Ipv4Address address;
+      int length = 0;
+      if (ParseCidr(buffer_[0], address, length)) {
+        PrefixListEntryDesign entry;
+        entry.sequence =
+            static_cast<int>(router_.prefix_lists[BlockArg(0)].size() + 1) *
+            5;
+        entry.permit = true;
+        entry.prefix = net::Prefix(address, length);
+        router_.prefix_lists[BlockArg(0)].push_back(entry);
+      }
+      return;
+    }
+  }
+
+  PolicyClauseDesign& CurrentClause() {
+    // term block at depth 1, policy-statement at depth 2.
+    const std::string policy = BlockArg(2);
+    const std::string term = BlockArg(1);
+    auto& clauses = router_.route_maps[policy];
+    if (clauses.empty() || current_term_ != policy + "/" + term) {
+      current_term_ = policy + "/" + term;
+      PolicyClauseDesign clause;
+      // Sequence numbers come from ordinal term position: term *names* are
+      // identifiers and may be anonymized, so deriving sequence from them
+      // would make the extracted design unstable across anonymization.
+      clause.sequence = static_cast<int>(clauses.size() + 1) * 10;
+      clauses.push_back(clause);
+    }
+    return clauses.back();
+  }
+
+  void LeavingBlock(const std::vector<std::string>& header) {
+    (void)header;
+  }
+
+  void Assemble() {
+    std::sort(router_.interfaces.begin(), router_.interfaces.end());
+
+    if (!ospf_interfaces_.empty()) {
+      ProcessDesign ospf;
+      ospf.protocol = "ospf";
+      ospf.process_id = 0;
+      ospf.covered_interfaces = ospf_interfaces_;
+      std::sort(ospf.covered_interfaces.begin(),
+                ospf.covered_interfaces.end());
+      ospf.ospf_areas.assign(ospf_areas_.begin(), ospf_areas_.end());
+      router_.processes.push_back(std::move(ospf));
+    }
+    if (!rip_interfaces_.empty()) {
+      ProcessDesign rip;
+      rip.protocol = "rip";
+      rip.process_id = 0;
+      rip.covered_interfaces = rip_interfaces_;
+      std::sort(rip.covered_interfaces.begin(),
+                rip.covered_interfaces.end());
+      router_.processes.push_back(std::move(rip));
+    }
+
+    if (has_bgp_) {
+      router_.bgp_asn = local_asn_;
+      for (const auto& [name, group] : groups_) {
+        for (const net::Ipv4Address& peer : group.neighbors) {
+          BgpNeighborDesign neighbor;
+          neighbor.peer = peer;
+          neighbor.external = group.external;
+          neighbor.remote_asn =
+              group.external ? group.peer_as : local_asn_;
+          neighbor.import_map = group.import_map;
+          neighbor.export_map = group.export_map;
+          router_.bgp_neighbors.push_back(neighbor);
+        }
+      }
+      std::sort(router_.bgp_neighbors.begin(), router_.bgp_neighbors.end());
+    }
+  }
+
+  const config::ConfigFile& file_;
+  RouterDesign router_;
+  std::vector<std::vector<std::string>> stack_;
+  std::vector<std::string> buffer_;
+  std::uint32_t local_asn_ = 0;
+  bool has_bgp_ = false;
+  std::set<int> ospf_areas_;
+  std::vector<std::string> ospf_interfaces_;
+  std::vector<std::string> rip_interfaces_;
+  std::map<std::string, GroupScratch> groups_;
+  std::string current_term_;
+};
+
+}  // namespace
+
+NetworkDesign ExtractJunosDesign(
+    const std::vector<config::ConfigFile>& configs) {
+  NetworkDesign design;
+  for (const config::ConfigFile& file : configs) {
+    Extractor extractor(file);
+    design.routers.push_back(extractor.Extract());
+  }
+  analysis::FinalizeDesign(design);
+  return design;
+}
+
+}  // namespace confanon::junos

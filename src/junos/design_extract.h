@@ -1,0 +1,25 @@
+// Routing-design extraction from JunOS-style configs.
+//
+// Produces the same language-neutral analysis::NetworkDesign that the IOS
+// extractor produces, so validation suite 2 (paper Section 5) runs
+// unchanged over JunOS corpora: extract the design pre- and
+// post-anonymization, push the pre design through the anonymizer's maps,
+// and demand field-by-field equality.
+//
+// The extractor walks the brace hierarchy with an explicit block stack
+// (statements may share a line), recovering: hostnames, interface
+// unit/address assignments, OSPF area membership, RIP groups, BGP groups
+// (type, peer-as, neighbors, import/export policies), policy-statement
+// terms with their from-references, and prefix-lists.
+#pragma once
+
+#include "analysis/design_extract.h"
+#include "config/document.h"
+
+namespace confanon::junos {
+
+/// Extracts one network's design from JunOS config text.
+analysis::NetworkDesign ExtractJunosDesign(
+    const std::vector<config::ConfigFile>& configs);
+
+}  // namespace confanon::junos

@@ -1,0 +1,81 @@
+#include "junos/tokenizer.h"
+
+#include "util/strings.h"
+
+namespace confanon::junos {
+
+std::string JunosLine::Render() const {
+  std::string out;
+  for (const Token& token : tokens) {
+    out += token.leading_gap;
+    out += token.text;
+  }
+  out += trailing_gap;
+  return out;
+}
+
+JunosLine TokenizeJunosLine(std::string_view line) {
+  JunosLine result;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const std::size_t gap_start = i;
+    while (i < line.size() && util::IsBlank(line[i])) ++i;
+    std::string gap(line.substr(gap_start, i - gap_start));
+    if (i == line.size()) {
+      result.trailing_gap = std::move(gap);
+      break;
+    }
+
+    Token token;
+    token.leading_gap = std::move(gap);
+    const char c = line[i];
+    if (c == '{' || c == '}' || c == ';' || c == '[' || c == ']') {
+      token.kind = Token::Kind::kPunct;
+      token.text = std::string(1, c);
+      ++i;
+    } else if (c == '#') {
+      token.kind = Token::Kind::kComment;
+      token.text = std::string(line.substr(i));
+      i = line.size();
+    } else if (c == '"') {
+      token.kind = Token::Kind::kString;
+      std::size_t end = i + 1;
+      while (end < line.size() && line[end] != '"') {
+        if (line[end] == '\\' && end + 1 < line.size()) ++end;
+        ++end;
+      }
+      if (end < line.size()) ++end;  // closing quote
+      token.text = std::string(line.substr(i, end - i));
+      i = end;
+    } else {
+      token.kind = Token::Kind::kWord;
+      const std::size_t start = i;
+      while (i < line.size() && !util::IsBlank(line[i]) && line[i] != '{' &&
+             line[i] != '}' && line[i] != ';' && line[i] != '[' &&
+             line[i] != ']' && line[i] != '"' && line[i] != '#') {
+        ++i;
+      }
+      token.text = std::string(line.substr(start, i - start));
+    }
+    result.tokens.push_back(std::move(token));
+  }
+  return result;
+}
+
+std::vector<std::string> WordsOf(const JunosLine& line) {
+  std::vector<std::string> words;
+  for (const Token& token : line.tokens) {
+    if (token.kind == Token::Kind::kWord) {
+      words.push_back(token.text);
+    } else if (token.kind == Token::Kind::kString) {
+      std::string inner = token.text;
+      if (inner.size() >= 2 && inner.front() == '"' && inner.back() == '"') {
+        inner = inner.substr(1, inner.size() - 2);
+      }
+      words.push_back(inner);
+    }
+  }
+  return words;
+}
+
+}  // namespace confanon::junos

@@ -1,0 +1,49 @@
+// Line tokenization for JunOS-style configuration text.
+//
+// JunOS configs are hierarchical: statements end with ';', blocks open
+// with '{' and close with '}', string values can be quoted, and comments
+// are '/* ... */' blocks or trailing '#' text. Punctuation attaches to
+// words ("peer-as 701;"), so the IOS whitespace tokenizer would glue the
+// semicolon to the value; this tokenizer splits the structural
+// punctuation into standalone tokens while preserving the original
+// spacing for exact re-rendering.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace confanon::junos {
+
+struct Token {
+  enum class Kind {
+    kWord,        // identifier, number, address, ...
+    kString,      // quoted string, quotes included in text
+    kPunct,       // one of { } ; [ ]
+    kComment,     // '#' to end of line (text includes the '#')
+  };
+  Kind kind = Kind::kWord;
+  std::string text;
+  /// Whitespace that preceded this token in the original line.
+  std::string leading_gap;
+
+  bool operator==(const Token&) const = default;
+};
+
+struct JunosLine {
+  std::vector<Token> tokens;
+  /// Whitespace after the last token.
+  std::string trailing_gap;
+
+  /// Re-renders exactly (concatenation of gaps and token texts).
+  std::string Render() const;
+};
+
+/// Tokenizes one line. Quoted strings keep their quotes; an unterminated
+/// quote runs to end of line.
+JunosLine TokenizeJunosLine(std::string_view line);
+
+/// Returns the word texts only (no punctuation/comments/gaps), unquoted.
+std::vector<std::string> WordsOf(const JunosLine& line);
+
+}  // namespace confanon::junos

@@ -1,0 +1,22 @@
+// Validation suites for JunOS corpora (paper Section 5, applied to the
+// second configuration language).
+//
+// Mirrors analysis::ValidateNetwork: suite 2 extracts the routing design
+// from the JunOS configs pre- and post-anonymization, pushes the pre
+// design through the anonymizer's maps, and compares exactly.
+#pragma once
+
+#include "analysis/validate.h"
+#include "junos/anonymizer.h"
+
+namespace confanon::junos {
+
+/// Runs suite 2 (design equality under maps) and the structural
+/// projection over a JunOS corpus. `anonymizer` must be the instance that
+/// produced `post` from `pre`.
+analysis::ValidationResult ValidateJunosNetwork(
+    const std::vector<config::ConfigFile>& pre,
+    const std::vector<config::ConfigFile>& post,
+    JunosAnonymizer& anonymizer);
+
+}  // namespace confanon::junos

@@ -1,0 +1,329 @@
+#include "junos/writer.h"
+
+#include <map>
+
+#include "util/strings.h"
+
+namespace confanon::junos {
+
+namespace {
+
+/// Splits "so-1/0.5" conventions: returns (physical, unit).
+std::pair<std::string, int> SplitUnit(const std::string& junos_name) {
+  const std::size_t dot = junos_name.find('.');
+  if (dot == std::string::npos) return {junos_name, 0};
+  std::uint64_t unit = 0;
+  util::ParseUint(junos_name.substr(dot + 1), 16384, unit);
+  return {junos_name.substr(0, dot), static_cast<int>(unit)};
+}
+
+class Writer {
+ public:
+  Writer(const gen::RouterSpec& router, const gen::NetworkSpec& network)
+      : router_(router), network_(network) {}
+
+  config::ConfigFile Render() {
+    Line("/* " + router_.hostname + " */");
+    System();
+    Interfaces();
+    RoutingOptions();
+    Protocols();
+    PolicyOptions();
+    return config::ConfigFile(router_.hostname, std::move(lines_));
+  }
+
+ private:
+  void Line(std::string text) {
+    lines_.push_back(std::string(static_cast<std::size_t>(depth_) * 4, ' ') +
+                     std::move(text));
+  }
+  void Open(const std::string& header) {
+    Line(header + " {");
+    ++depth_;
+  }
+  void Close() {
+    --depth_;
+    Line("}");
+  }
+
+  void System() {
+    Open("system");
+    Line("host-name " + router_.hostname + ";");
+    if (!router_.domain_name.empty()) {
+      Line("domain-name " + router_.domain_name + ";");
+    }
+    if (!router_.banner.empty()) {
+      Line("login {");
+      Line("    message \"" + router_.banner + "\";");
+      Line("}");
+    }
+    for (const auto& server : router_.ntp_servers) {
+      Line("ntp { server " + server.ToString() + "; }");
+    }
+    Close();
+  }
+
+  void Interfaces() {
+    Open("interfaces");
+    for (const gen::InterfaceSpec& iface : router_.interfaces) {
+      const auto [physical, unit] =
+          SplitUnit(JunosInterfaceName(iface.name));
+      Open(physical);
+      if (!iface.description.empty()) {
+        Line("description \"" + iface.description + "\";");
+      }
+      Open("unit " + std::to_string(unit));
+      Open("family inet");
+      Line("address " + iface.address.ToString() + "/" +
+           std::to_string(iface.prefix_length) + ";");
+      Close();
+      Close();
+      if (iface.shutdown) Line("disable;");
+      Close();
+    }
+    Close();
+  }
+
+  void RoutingOptions() {
+    Open("routing-options");
+    if (router_.bgp.has_value()) {
+      Line("autonomous-system " + std::to_string(router_.bgp->asn) + ";");
+    }
+    if (!router_.static_routes.empty()) {
+      Open("static");
+      for (const auto& route : router_.static_routes) {
+        Line("route " + route.destination.ToString() + " next-hop " +
+             route.next_hop.ToString() + ";");
+      }
+      Close();
+    }
+    Close();
+  }
+
+  void Protocols() {
+    Open("protocols");
+    for (const gen::IgpSpec& igp : router_.igps) {
+      switch (igp.kind) {
+        case gen::IgpKind::kOspf:
+        case gen::IgpKind::kEigrp: {  // no EIGRP on JunOS; see header
+          Open("ospf");
+          Open("area " + std::to_string(igp.ospf_area));
+          for (const gen::InterfaceSpec& iface : router_.interfaces) {
+            bool covered = false;
+            for (const net::Prefix& network : igp.networks) {
+              if (network.Contains(iface.address)) {
+                covered = true;
+                break;
+              }
+            }
+            if (covered) {
+              Line("interface " + JunosInterfaceName(iface.name) + ";");
+            }
+          }
+          Close();
+          Close();
+          break;
+        }
+        case gen::IgpKind::kRip: {
+          Open("rip");
+          Open("group rip-edge");
+          for (const gen::InterfaceSpec& iface : router_.interfaces) {
+            for (const net::Prefix& network : igp.networks) {
+              if (network.Contains(iface.address)) {
+                Line("neighbor " + JunosInterfaceName(iface.name) + ";");
+                break;
+              }
+            }
+          }
+          Close();
+          Close();
+          break;
+        }
+      }
+    }
+
+    if (router_.bgp.has_value()) {
+      const gen::BgpSpec& bgp = *router_.bgp;
+      Open("bgp");
+      bool has_internal = false;
+      for (const auto& neighbor : bgp.neighbors) {
+        has_internal |= !neighbor.external;
+      }
+      if (has_internal) {
+        Open("group internal-mesh");
+        Line("type internal;");
+        for (const auto& neighbor : bgp.neighbors) {
+          if (neighbor.external) continue;
+          Line("neighbor " + neighbor.address.ToString() + ";");
+        }
+        Close();
+      }
+      for (const auto& neighbor : bgp.neighbors) {
+        if (!neighbor.external) continue;
+        Open("group ext-" + (neighbor.peer_name.empty()
+                                 ? neighbor.address.ToString()
+                                 : neighbor.peer_name));
+        Line("type external;");
+        Line("peer-as " + std::to_string(neighbor.remote_asn) + ";");
+        if (!neighbor.import_map.empty()) {
+          Line("import " + neighbor.import_map + ";");
+        }
+        if (!neighbor.export_map.empty()) {
+          Line("export " + neighbor.export_map + ";");
+        }
+        Line("neighbor " + neighbor.address.ToString() + ";");
+        Close();
+      }
+      Close();
+    }
+    Close();
+  }
+
+  void PolicyOptions() {
+    if (router_.route_maps.empty() && router_.prefix_lists.empty() &&
+        router_.as_path_lists.empty() && router_.community_lists.empty()) {
+      return;
+    }
+    Open("policy-options");
+    for (const gen::PrefixListSpec& list : router_.prefix_lists) {
+      Open("prefix-list " + list.name);
+      for (const gen::PrefixListEntrySpec& entry : list.entries) {
+        Line(entry.prefix.ToString() + ";");
+      }
+      Close();
+    }
+    for (const gen::AsPathListSpec& list : router_.as_path_lists) {
+      Line("as-path aspath-" + std::to_string(list.number) + " \"" +
+           list.regex + "\";");
+    }
+    for (const gen::CommunityListSpec& list : router_.community_lists) {
+      const std::string name = "comm-" + list.Reference();
+      if (list.expanded) {
+        Line("community " + name + " members \"" + list.regex + "\";");
+      } else {
+        std::string members;
+        for (std::size_t i = 0; i < list.literals.size(); ++i) {
+          if (i > 0) members += " ";
+          members += list.literals[i];
+        }
+        Line("community " + name + " members [ " + members + " ];");
+      }
+    }
+    for (const gen::RouteMapSpec& map : router_.route_maps) {
+      Open("policy-statement " + map.name);
+      for (const gen::RouteMapClauseSpec& clause : map.clauses) {
+        Open("term t" + std::to_string(clause.sequence));
+        const bool has_from =
+            clause.match_as_path || clause.match_community ||
+            clause.match_acl || clause.match_prefix_list;
+        if (has_from) {
+          Open("from");
+          if (clause.match_as_path) {
+            Line("as-path aspath-" + std::to_string(*clause.match_as_path) +
+                 ";");
+          }
+          if (clause.match_community) {
+            Line("community comm-" + *clause.match_community + ";");
+          }
+          if (clause.match_prefix_list) {
+            Line("prefix-list " + *clause.match_prefix_list + ";");
+          }
+          if (clause.match_acl) {
+            // ACL-by-number has no JunOS analogue; reference a prefix-list
+            // with the same id.
+            Line("prefix-list acl-" + std::to_string(*clause.match_acl) +
+                 ";");
+          }
+          Close();
+        }
+        Open("then");
+        if (clause.set_local_preference) {
+          Line("local-preference " +
+               std::to_string(*clause.set_local_preference) + ";");
+        }
+        if (clause.set_med) {
+          Line("metric " + std::to_string(*clause.set_med) + ";");
+        }
+        if (clause.set_community) {
+          Line("community add " + SetCommunityName(*clause.set_community) +
+               ";");
+        }
+        if (!clause.set_prepend.empty()) {
+          std::string prepend;
+          for (std::uint32_t asn : clause.set_prepend) {
+            if (!prepend.empty()) prepend += " ";
+            prepend += std::to_string(asn);
+          }
+          Line("as-path-prepend \"" + prepend + "\";");
+        }
+        Line(clause.permit ? "accept;" : "reject;");
+        Close();
+        Close();
+      }
+      Close();
+    }
+    // Communities referenced by `then community add set-N` need
+    // definitions. Names are opaque indices — embedding the community
+    // value in the name would leak it past the members rewriting.
+    for (const auto& [literal, name] : set_communities_) {
+      Line("community " + name + " members " + literal + ";");
+    }
+    Close();
+  }
+
+  /// Opaque, stable name for a set-community literal.
+  std::string SetCommunityName(const std::string& literal) {
+    const auto [it, inserted] = set_communities_.emplace(
+        literal, "set-" + std::to_string(set_communities_.size() + 1));
+    return it->second;
+  }
+
+  const gen::RouterSpec& router_;
+  const gen::NetworkSpec& network_;
+  int depth_ = 0;
+  std::vector<std::string> lines_;
+  std::map<std::string, std::string> set_communities_;
+};
+
+}  // namespace
+
+std::string JunosInterfaceName(const std::string& ios_name) {
+  const auto convert = [&](std::string_view prefix,
+                           std::string_view junos) -> std::string {
+    return std::string(junos) +
+           std::string(ios_name.substr(prefix.size()));
+  };
+  if (ios_name.starts_with("Serial")) return convert("Serial", "so-");
+  if (ios_name.starts_with("FastEthernet")) {
+    return convert("FastEthernet", "fe-");
+  }
+  if (ios_name.starts_with("GigabitEthernet")) {
+    return convert("GigabitEthernet", "ge-");
+  }
+  if (ios_name.starts_with("Ethernet")) {
+    // Old single-number Ethernet ports get a slot: "Ethernet0" -> ge-0/0.
+    return "ge-0/" + std::string(ios_name.substr(8));
+  }
+  if (ios_name.starts_with("Loopback")) {
+    return "lo" + std::string(ios_name.substr(8));
+  }
+  return ios_name;
+}
+
+config::ConfigFile WriteJunosConfig(const gen::RouterSpec& router,
+                                    const gen::NetworkSpec& network) {
+  Writer writer(router, network);
+  return writer.Render();
+}
+
+std::vector<config::ConfigFile> WriteJunosNetworkConfigs(
+    const gen::NetworkSpec& network) {
+  std::vector<config::ConfigFile> configs;
+  configs.reserve(network.routers.size());
+  for (const gen::RouterSpec& router : network.routers) {
+    configs.push_back(WriteJunosConfig(router, network));
+  }
+  return configs;
+}
+
+}  // namespace confanon::junos

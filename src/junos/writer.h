@@ -1,0 +1,34 @@
+// Rendering RouterSpecs to JunOS-style configuration text.
+//
+// The paper implemented its anonymizer for Cisco IOS and noted "the
+// techniques are directly applicable to JunOS and other router
+// configuration languages as well" (Section 1, footnote 2). This writer
+// renders the same generated network model to JunOS syntax so the claim
+// can be exercised: junos::Anonymizer runs the same primitives (salted
+// hashing, prefix-preserving IP map, ASN permutation, regexp language
+// rewriting) over the hierarchical brace syntax.
+//
+// Dialect notes: interface names map to JunOS conventions (Serial ->
+// so-*, FastEthernet -> fe-*, GigabitEthernet/Ethernet -> ge-*, Loopback
+// -> lo0); EIGRP has no JunOS equivalent and is rendered as OSPF.
+#pragma once
+
+#include "config/document.h"
+#include "gen/model.h"
+
+namespace confanon::junos {
+
+/// Renders one router's config in JunOS curly-brace syntax.
+config::ConfigFile WriteJunosConfig(const gen::RouterSpec& router,
+                                    const gen::NetworkSpec& network);
+
+/// Renders every router of a network.
+std::vector<config::ConfigFile> WriteJunosNetworkConfigs(
+    const gen::NetworkSpec& network);
+
+/// Maps an IOS-style interface name to the JunOS convention, e.g.
+/// "Serial1/0.5" -> "so-1/0.5", "GigabitEthernet0/1" -> "ge-0/1",
+/// "Loopback0" -> "lo0".
+std::string JunosInterfaceName(const std::string& ios_name);
+
+}  // namespace confanon::junos

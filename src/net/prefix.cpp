@@ -1,0 +1,83 @@
+#include "net/prefix.h"
+
+#include <bit>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace confanon::net {
+
+namespace {
+
+std::uint32_t MaskBits(int length) {
+  if (length <= 0) return 0;
+  return ~std::uint32_t{0} << (32 - length);
+}
+
+}  // namespace
+
+Prefix::Prefix(Ipv4Address address, int length) : length_(length) {
+  assert(length >= 0 && length <= 32);
+  address_ = Ipv4Address(address.value() & MaskBits(length));
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = Ipv4Address::Parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  std::uint64_t length = 0;
+  if (!util::ParseUint(text.substr(slash + 1), 32, length)) {
+    return std::nullopt;
+  }
+  return Prefix(*address, static_cast<int>(length));
+}
+
+std::optional<Prefix> Prefix::FromAddressAndMask(Ipv4Address address,
+                                                 Ipv4Address netmask) {
+  const auto length = NetmaskToPrefixLength(netmask);
+  if (!length) return std::nullopt;
+  return Prefix(address, *length);
+}
+
+std::optional<Prefix> Prefix::ClassfulNetworkOf(Ipv4Address address) {
+  switch (address.GetClass()) {
+    case AddrClass::kA:
+      return Prefix(address, 8);
+    case AddrClass::kB:
+      return Prefix(address, 16);
+    case AddrClass::kC:
+      return Prefix(address, 24);
+    case AddrClass::kD:
+    case AddrClass::kE:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string Prefix::ToString() const {
+  return address_.ToString() + "/" + std::to_string(length_);
+}
+
+bool Prefix::Contains(Ipv4Address address) const {
+  return (address.value() & MaskBits(length_)) == address_.value();
+}
+
+bool Prefix::Contains(const Prefix& other) const {
+  return other.length_ >= length_ && Contains(other.address_);
+}
+
+bool Prefix::IsSubnetAddressOf(Ipv4Address address) const {
+  return Contains(address) && address == address_;
+}
+
+int TrailingZeroBits(Ipv4Address address) {
+  if (address.value() == 0) return 32;
+  return std::countr_zero(address.value());
+}
+
+bool LooksLikeSubnetAddress(Ipv4Address address, int min_host_bits) {
+  return TrailingZeroBits(address) >= min_host_bits;
+}
+
+}  // namespace confanon::net

@@ -1,0 +1,68 @@
+// IPv4 prefixes (address + length) and the subnet-contains relation.
+//
+// The paper's central structural requirement is that "subnet contains" — the
+// relation that ties a RIP/OSPF `network` statement to the interfaces whose
+// addresses fall inside it — survives anonymization unchanged. This module
+// is the vocabulary for expressing and checking that relation, and for the
+// subnet-size fingerprints of Section 6.2.
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace confanon::net {
+
+/// A CIDR prefix with value semantics. The stored address is always
+/// canonicalized: host bits below the prefix length are zeroed.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(Ipv4Address address, int length);
+
+  Ipv4Address address() const { return address_; }
+  int length() const { return length_; }
+
+  /// Parses "a.b.c.d/len". Returns nullopt for malformed input.
+  static std::optional<Prefix> Parse(std::string_view text);
+
+  /// Builds from an address and a netmask (e.g. access-list operands).
+  static std::optional<Prefix> FromAddressAndMask(Ipv4Address address,
+                                                  Ipv4Address netmask);
+
+  /// The classful network containing `address` (A/B/C only).
+  static std::optional<Prefix> ClassfulNetworkOf(Ipv4Address address);
+
+  std::string ToString() const;  // "a.b.c.d/len"
+
+  Ipv4Address Netmask() const { return PrefixLengthToNetmask(length_); }
+
+  bool Contains(Ipv4Address address) const;
+  bool Contains(const Prefix& other) const;  // other is equal-or-more-specific
+
+  /// True if the host part of `address` under this prefix is all zeros,
+  /// i.e. address is this prefix's subnet address.
+  bool IsSubnetAddressOf(Ipv4Address address) const;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Address address_;
+  int length_ = 0;
+};
+
+/// True if `address` has an all-zero host part for SOME plausible subnet,
+/// i.e. its trailing zero run is >= `min_host_bits`. The anonymizer uses
+/// this heuristic to decide which addresses should keep an all-zero tail
+/// (paper 4.3: "it improves human readability ... if subnet addresses are
+/// mapped to other subnet addresses").
+bool LooksLikeSubnetAddress(Ipv4Address address, int min_host_bits = 2);
+
+/// Number of trailing zero bits of the address value (0..32).
+int TrailingZeroBits(Ipv4Address address);
+
+}  // namespace confanon::net

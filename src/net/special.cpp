@@ -1,0 +1,47 @@
+#include "net/special.h"
+
+namespace confanon::net {
+
+SpecialKind ClassifySpecial(Ipv4Address address) {
+  // Mask-shaped values take precedence: 0.0.0.0 and 255.255.255.255 read as
+  // masks wherever they appear, and masks are the most common special form
+  // in configs.
+  if (IsNetmask(address) || IsWildcardMask(address)) {
+    return SpecialKind::kNetmaskLike;
+  }
+  switch (address.GetClass()) {
+    case AddrClass::kD:
+      return SpecialKind::kMulticast;
+    case AddrClass::kE:
+      return SpecialKind::kReservedE;
+    default:
+      break;
+  }
+  if (address.Octet(0) == 127) return SpecialKind::kLoopback;
+  if (address.Octet(0) == 0) return SpecialKind::kThisNetwork;
+  return SpecialKind::kNotSpecial;
+}
+
+bool IsSpecial(Ipv4Address address) {
+  return ClassifySpecial(address) != SpecialKind::kNotSpecial;
+}
+
+std::string SpecialKindName(SpecialKind kind) {
+  switch (kind) {
+    case SpecialKind::kNotSpecial:
+      return "not-special";
+    case SpecialKind::kNetmaskLike:
+      return "netmask-like";
+    case SpecialKind::kMulticast:
+      return "multicast";
+    case SpecialKind::kReservedE:
+      return "reserved-class-e";
+    case SpecialKind::kLoopback:
+      return "loopback";
+    case SpecialKind::kThisNetwork:
+      return "this-network";
+  }
+  return "unknown";
+}
+
+}  // namespace confanon::net

@@ -1,0 +1,39 @@
+// Taxonomy of "special" IPv4 addresses that must pass through anonymization
+// unchanged (paper Section 4.3: "all special IP addresses (e.g., netmasks,
+// multicast) are passed through unchanged").
+//
+// Special addresses carry protocol meaning rather than identity: rewriting
+// 255.255.255.0 or 224.0.0.5 would break the config, while leaving them
+// intact reveals nothing about the network owner. The IP anonymizer consults
+// this module both to decide passthrough and to detect mapping collisions
+// into the special set (which it resolves by recursive remapping).
+#pragma once
+
+#include <string>
+
+#include "net/ipv4.h"
+
+namespace confanon::net {
+
+/// Why an address is considered special; kNotSpecial means it is an
+/// ordinary, anonymizable address.
+enum class SpecialKind {
+  kNotSpecial,
+  kNetmaskLike,   // contiguous netmask or wildcard mask (0.0.0.255 etc.)
+  kMulticast,     // class D, 224.0.0.0/4
+  kReservedE,     // class E, 240.0.0.0/4 (includes 255.255.255.255, which is
+                  // also a netmask; netmask classification wins)
+  kLoopback,      // 127.0.0.0/8
+  kThisNetwork,   // 0.0.0.0/8 (includes 0.0.0.0, also a mask; mask wins)
+};
+
+/// Classifies an address. Deterministic and total.
+SpecialKind ClassifySpecial(Ipv4Address address);
+
+/// True for any kind other than kNotSpecial.
+bool IsSpecial(Ipv4Address address);
+
+/// Human-readable kind name for reports.
+std::string SpecialKindName(SpecialKind kind);
+
+}  // namespace confanon::net

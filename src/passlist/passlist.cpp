@@ -1,0 +1,71 @@
+#include "passlist/passlist.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace confanon::passlist {
+
+// Defined in builtin_corpus.cpp.
+extern const char* const kBuiltinCorpus[];
+extern const std::size_t kBuiltinCorpusSize;
+
+PassList PassList::Builtin() {
+  PassList list;
+  for (std::size_t i = 0; i < kBuiltinCorpusSize; ++i) {
+    list.Add(kBuiltinCorpus[i]);
+  }
+  return list;
+}
+
+void PassList::Add(std::string_view token) {
+  if (token.empty()) return;
+  tokens_.insert(util::ToLower(token));
+}
+
+bool PassList::Contains(std::string_view token) const {
+  return tokens_.contains(util::ToLower(token));
+}
+
+void PassList::Merge(const PassList& other) {
+  tokens_.insert(other.tokens_.begin(), other.tokens_.end());
+}
+
+PassList PassList::Truncated(double keep_fraction, std::uint64_t seed) const {
+  PassList out;
+  // Per-token coin flip keyed by the token text so the subset is stable
+  // regardless of hash-set iteration order.
+  for (const std::string& token : tokens_) {
+    util::Rng rng(seed ^ util::HashSeed(token));
+    if (rng.Chance(keep_fraction)) {
+      out.tokens_.insert(token);
+    }
+  }
+  return out;
+}
+
+std::size_t DocScraper::ScrapeText(std::string_view text) {
+  std::size_t added = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !util::IsAsciiAlpha(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && util::IsAsciiAlpha(text[i])) ++i;
+    if (i - start >= 2) {
+      const std::string token = util::ToLower(text.substr(start, i - start));
+      if (!target_.Contains(token)) {
+        target_.Add(token);
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+std::size_t DocScraper::ScrapeStream(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ScrapeText(buffer.str());
+}
+
+}  // namespace confanon::passlist

@@ -1,0 +1,76 @@
+// The pass-list of unprivileged tokens (paper Section 4.1).
+//
+// "Being unable to know a priori which strings can leak information about
+// the identity of the network owner, the most conservative approach is to
+// cryptographically hash every string that is not known to be innocuous."
+// The pass-list is the set of tokens known to be innocuous: Cisco IOS
+// keywords and the ordinary English vocabulary of the command reference
+// guides. Tokens are compared case-insensitively (IOS is case-insensitive
+// for keywords).
+//
+// The paper built its pass-list with a web-walker that string-scraped the
+// online IOS command references; offline, we embed a corpus of IOS command
+// keywords (builtin_corpus.cpp) and provide DocScraper, which reproduces
+// the ingestion path over local command-reference text files.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace confanon::passlist {
+
+class PassList {
+ public:
+  PassList() = default;
+
+  /// The embedded IOS keyword + reference-vocabulary corpus.
+  static PassList Builtin();
+
+  /// Adds one token (lowercased). Non-alphabetic characters are permitted
+  /// but callers normally add pure alphabetic tokens, matching what the
+  /// tokenizer checks.
+  void Add(std::string_view token);
+
+  /// Case-insensitive membership.
+  bool Contains(std::string_view token) const;
+
+  std::size_t Size() const { return tokens_.size(); }
+
+  /// Merges another list into this one.
+  void Merge(const PassList& other);
+
+  /// A copy retaining each token independently with probability
+  /// `keep_fraction` (deterministic in `seed`). Used by the coverage
+  /// ablation: a thinner pass-list hashes more tokens and destroys more
+  /// structure.
+  PassList Truncated(double keep_fraction, std::uint64_t seed) const;
+
+ private:
+  std::unordered_set<std::string> tokens_;
+};
+
+/// Builds pass-list entries by string-scraping documentation, the offline
+/// stand-in for the paper's web-walker. Every maximal ASCII-alphabetic run
+/// of length >= 2 in the document becomes a pass-list token ("non-keywords
+/// used in the guides are so common they cannot leak information").
+class DocScraper {
+ public:
+  explicit DocScraper(PassList& target) : target_(target) {}
+
+  /// Scrapes one document's text. Returns the number of distinct new
+  /// tokens added.
+  std::size_t ScrapeText(std::string_view text);
+
+  /// Scrapes a whole stream (e.g. a file).
+  std::size_t ScrapeStream(std::istream& in);
+
+ private:
+  PassList& target_;
+};
+
+}  // namespace confanon::passlist

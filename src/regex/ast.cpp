@@ -1,0 +1,46 @@
+#include "regex/ast.h"
+
+#include <utility>
+
+namespace confanon::regex {
+
+NodeId Ast::AddEmpty() {
+  nodes_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Ast::AddCharSet(const CharSet& chars) {
+  Node node;
+  node.kind = Node::Kind::kCharSet;
+  node.chars = chars;
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Ast::AddConcat(std::vector<NodeId> children) {
+  Node node;
+  node.kind = Node::Kind::kConcat;
+  node.children = std::move(children);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Ast::AddAlternate(std::vector<NodeId> children) {
+  Node node;
+  node.kind = Node::Kind::kAlternate;
+  node.children = std::move(children);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Ast::AddRepeat(NodeId child, int min_repeat, int max_repeat) {
+  Node node;
+  node.kind = Node::Kind::kRepeat;
+  node.child = child;
+  node.min_repeat = min_repeat;
+  node.max_repeat = max_repeat;
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+}  // namespace confanon::regex

@@ -1,0 +1,64 @@
+// Abstract syntax tree for the IOS policy-regex dialect.
+//
+// Nodes live in an arena owned by the Ast object and are referenced by
+// index; this keeps the tree trivially copyable and lets the NFA builder
+// instantiate a subtree several times (for bounded repetition) without
+// worrying about ownership.
+//
+// Anchors and Cisco's `_` are desugared by the parser into character sets
+// over the sentinel-framed alphabet (see charset.h), so the AST has no
+// zero-width assertion nodes: every leaf consumes exactly one byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "regex/charset.h"
+
+namespace confanon::regex {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Marker for an unbounded repetition upper limit.
+inline constexpr int kUnbounded = -1;
+
+struct Node {
+  enum class Kind {
+    kEmpty,      // matches the empty string
+    kCharSet,    // matches one byte from `chars`
+    kConcat,     // children in sequence
+    kAlternate,  // any one child
+    kRepeat,     // child repeated min..max times (max == kUnbounded)
+  };
+
+  Kind kind = Kind::kEmpty;
+  CharSet chars;                  // kCharSet only
+  std::vector<NodeId> children;   // kConcat / kAlternate
+  NodeId child = kInvalidNode;    // kRepeat
+  int min_repeat = 0;             // kRepeat
+  int max_repeat = 0;             // kRepeat
+};
+
+/// Arena of nodes plus the root id.
+class Ast {
+ public:
+  NodeId AddEmpty();
+  NodeId AddCharSet(const CharSet& chars);
+  NodeId AddConcat(std::vector<NodeId> children);
+  NodeId AddAlternate(std::vector<NodeId> children);
+  NodeId AddRepeat(NodeId child, int min_repeat, int max_repeat);
+
+  const Node& At(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  std::size_t Size() const { return nodes_.size(); }
+
+  NodeId root() const { return root_; }
+  void set_root(NodeId root) { root_ = root; }
+
+ private:
+  std::vector<Node> nodes_;
+  NodeId root_ = kInvalidNode;
+};
+
+}  // namespace confanon::regex

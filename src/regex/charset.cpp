@@ -1,0 +1,92 @@
+#include "regex/charset.h"
+
+#include <cstdio>
+
+namespace confanon::regex {
+
+CharSet CharSet::Any() {
+  CharSet set;
+  set.bits_.set();
+  return set;
+}
+
+CharSet CharSet::AnyExceptSentinels() {
+  CharSet set = Any();
+  set.bits_.reset(static_cast<unsigned char>(kBeginSentinel));
+  set.bits_.reset(static_cast<unsigned char>(kEndSentinel));
+  return set;
+}
+
+CharSet CharSet::CiscoUnderscore() {
+  CharSet set;
+  set.Add(' ');
+  set.Add(',');
+  set.Add('{');
+  set.Add('}');
+  set.Add('(');
+  set.Add(')');
+  set.Add(kBeginSentinel);
+  set.Add(kEndSentinel);
+  return set;
+}
+
+void CharSet::AddRange(char lo, char hi) {
+  for (int c = static_cast<unsigned char>(lo);
+       c <= static_cast<unsigned char>(hi); ++c) {
+    bits_.set(static_cast<std::size_t>(c));
+  }
+}
+
+CharSet CharSet::NegatedWithinText() const {
+  CharSet result = AnyExceptSentinels();
+  result.bits_ &= ~bits_;
+  return result;
+}
+
+std::string CharSet::ToString() const {
+  std::string out = "[";
+  int run_start = -1;
+  auto flush = [&](int run_end) {
+    if (run_start < 0) return;
+    auto append_char = [&](int c) {
+      if (c == static_cast<unsigned char>(kBeginSentinel)) {
+        out += "^";
+      } else if (c == static_cast<unsigned char>(kEndSentinel)) {
+        out += "$";
+      } else if (c >= 0x20 && c < 0x7F) {
+        out += static_cast<char>(c);
+      } else {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+        out += buf;
+      }
+    };
+    append_char(run_start);
+    if (run_end > run_start) {
+      if (run_end > run_start + 1) out += '-';
+      append_char(run_end);
+    }
+    run_start = -1;
+  };
+  for (int c = 0; c < 256; ++c) {
+    if (bits_.test(static_cast<std::size_t>(c))) {
+      if (run_start < 0) run_start = c;
+    } else if (run_start >= 0) {
+      flush(c - 1);
+    }
+  }
+  flush(255);
+  out += "]";
+  return out;
+}
+
+std::string FrameSubject(std::string_view text) {
+  std::string framed;
+  framed.reserve(text.size() + 2);
+  framed.push_back(kBeginSentinel);
+  framed.append(text);
+  framed.push_back(kEndSentinel);
+  return framed;
+}
+
+}  // namespace confanon::regex

@@ -1,0 +1,150 @@
+#include "regex/nfa.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace confanon::regex {
+
+StateId Nfa::AddState() {
+  states_.emplace_back();
+  return static_cast<StateId>(states_.size() - 1);
+}
+
+Nfa Nfa::Build(const Ast& ast) {
+  Nfa nfa;
+  assert(ast.root() != kInvalidNode);
+  auto [entry, exit] = nfa.BuildNode(ast, ast.root());
+  nfa.start_ = entry;
+  nfa.accept_ = exit;
+  return nfa;
+}
+
+std::pair<StateId, StateId> Nfa::BuildNode(const Ast& ast, NodeId node_id) {
+  const Node& node = ast.At(node_id);
+  switch (node.kind) {
+    case Node::Kind::kEmpty: {
+      const StateId entry = AddState();
+      const StateId exit = AddState();
+      states_[static_cast<std::size_t>(entry)].epsilon.push_back(exit);
+      return {entry, exit};
+    }
+    case Node::Kind::kCharSet: {
+      const StateId entry = AddState();
+      const StateId exit = AddState();
+      states_[static_cast<std::size_t>(entry)].edges.emplace_back(node.chars,
+                                                                  exit);
+      return {entry, exit};
+    }
+    case Node::Kind::kConcat: {
+      StateId entry = kInvalidNode;
+      StateId previous_exit = kInvalidNode;
+      for (NodeId child : node.children) {
+        auto [child_entry, child_exit] = BuildNode(ast, child);
+        if (entry == kInvalidNode) {
+          entry = child_entry;
+        } else {
+          states_[static_cast<std::size_t>(previous_exit)].epsilon.push_back(
+              child_entry);
+        }
+        previous_exit = child_exit;
+      }
+      assert(entry != kInvalidNode);
+      return {entry, previous_exit};
+    }
+    case Node::Kind::kAlternate: {
+      const StateId entry = AddState();
+      const StateId exit = AddState();
+      for (NodeId child : node.children) {
+        auto [child_entry, child_exit] = BuildNode(ast, child);
+        states_[static_cast<std::size_t>(entry)].epsilon.push_back(
+            child_entry);
+        states_[static_cast<std::size_t>(child_exit)].epsilon.push_back(exit);
+      }
+      return {entry, exit};
+    }
+    case Node::Kind::kRepeat: {
+      // Expand min required copies in sequence, then either a Kleene star
+      // (unbounded) or (max - min) optional copies.
+      const StateId entry = AddState();
+      StateId tail = entry;
+      for (int i = 0; i < node.min_repeat; ++i) {
+        auto [child_entry, child_exit] = BuildNode(ast, node.child);
+        states_[static_cast<std::size_t>(tail)].epsilon.push_back(child_entry);
+        tail = child_exit;
+      }
+      if (node.max_repeat == kUnbounded) {
+        auto [child_entry, child_exit] = BuildNode(ast, node.child);
+        const StateId exit = AddState();
+        states_[static_cast<std::size_t>(tail)].epsilon.push_back(child_entry);
+        states_[static_cast<std::size_t>(tail)].epsilon.push_back(exit);
+        states_[static_cast<std::size_t>(child_exit)].epsilon.push_back(
+            child_entry);
+        states_[static_cast<std::size_t>(child_exit)].epsilon.push_back(exit);
+        return {entry, exit};
+      }
+      const StateId exit = AddState();
+      states_[static_cast<std::size_t>(tail)].epsilon.push_back(exit);
+      for (int i = node.min_repeat; i < node.max_repeat; ++i) {
+        auto [child_entry, child_exit] = BuildNode(ast, node.child);
+        states_[static_cast<std::size_t>(tail)].epsilon.push_back(child_entry);
+        states_[static_cast<std::size_t>(child_exit)].epsilon.push_back(exit);
+        tail = child_exit;
+      }
+      return {entry, exit};
+    }
+  }
+  assert(false && "unreachable");
+  return {kInvalidNode, kInvalidNode};
+}
+
+namespace {
+
+void EpsilonClosure(const Nfa& nfa, std::vector<StateId>& set,
+                    std::vector<char>& member) {
+  // `member` is a bitmap of size StateCount, reused between steps.
+  std::vector<StateId> stack(set);
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    for (StateId t : nfa.At(s).epsilon) {
+      if (!member[static_cast<std::size_t>(t)]) {
+        member[static_cast<std::size_t>(t)] = 1;
+        set.push_back(t);
+        stack.push_back(t);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool Nfa::FullMatch(std::string_view subject) const {
+  std::vector<char> member(states_.size(), 0);
+  std::vector<StateId> current;
+  current.push_back(start_);
+  member[static_cast<std::size_t>(start_)] = 1;
+  EpsilonClosure(*this, current, member);
+
+  std::vector<StateId> next;
+  std::vector<char> next_member(states_.size(), 0);
+  for (char c : subject) {
+    next.clear();
+    std::fill(next_member.begin(), next_member.end(), 0);
+    for (StateId s : current) {
+      for (const auto& [chars, target] : At(s).edges) {
+        if (chars.Contains(c) &&
+            !next_member[static_cast<std::size_t>(target)]) {
+          next_member[static_cast<std::size_t>(target)] = 1;
+          next.push_back(target);
+        }
+      }
+    }
+    EpsilonClosure(*this, next, next_member);
+    current.swap(next);
+    member.swap(next_member);
+    if (current.empty()) return false;
+  }
+  return member[static_cast<std::size_t>(accept_)] != 0;
+}
+
+}  // namespace confanon::regex

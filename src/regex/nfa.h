@@ -1,0 +1,54 @@
+// Thompson NFA construction and simulation.
+//
+// The NFA is the bridge between the parsed AST and the DFA used for fast
+// language enumeration. It is also a matcher in its own right; the test
+// suite cross-checks NFA simulation against DFA execution and against
+// std::regex on the shared dialect subset.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "regex/ast.h"
+
+namespace confanon::regex {
+
+using StateId = std::int32_t;
+
+struct NfaState {
+  /// Consuming transitions: (byte set, target state).
+  std::vector<std::pair<CharSet, StateId>> edges;
+  /// Epsilon transitions.
+  std::vector<StateId> epsilon;
+};
+
+class Nfa {
+ public:
+  /// Builds the Thompson NFA for the AST rooted at `ast.root()`. Bounded
+  /// repetitions are expanded structurally (the subtree is instantiated
+  /// min..max times), so state count grows with the repetition bounds.
+  static Nfa Build(const Ast& ast);
+
+  StateId start() const { return start_; }
+  StateId accept() const { return accept_; }
+  std::size_t StateCount() const { return states_.size(); }
+  const NfaState& At(StateId id) const {
+    return states_[static_cast<std::size_t>(id)];
+  }
+
+  /// True if the NFA accepts exactly `subject` (full match; the caller is
+  /// responsible for sentinel framing).
+  bool FullMatch(std::string_view subject) const;
+
+ private:
+  StateId AddState();
+  /// Builds the fragment for `node`, returning (entry, exit).
+  std::pair<StateId, StateId> BuildNode(const Ast& ast, NodeId node);
+
+  std::vector<NfaState> states_;
+  StateId start_ = 0;
+  StateId accept_ = 0;
+};
+
+}  // namespace confanon::regex

@@ -1,0 +1,226 @@
+#include "regex/parser.h"
+
+#include "util/strings.h"
+
+namespace confanon::regex {
+
+ParseError::ParseError(const std::string& message, std::size_t offset)
+    : std::runtime_error(message + " (at offset " + std::to_string(offset) +
+                         ")"),
+      offset_(offset) {}
+
+namespace {
+
+/// Recursive-descent parser. Grammar (standard ERE precedence):
+///   alternation := concat ('|' concat)*
+///   concat      := repeat*
+///   repeat      := atom quantifier*
+///   atom        := '(' alternation ')' | '[' class ']' | '.' | '^' | '$'
+///               | '_' | '\' char | literal
+class Parser {
+ public:
+  Parser(std::string_view pattern, const ParseOptions& options, Ast& ast)
+      : pattern_(pattern), options_(options), ast_(ast) {}
+
+  NodeId Parse() {
+    const NodeId root = ParseAlternation();
+    if (!AtEnd()) {
+      // The only way ParseAlternation stops early is an unbalanced ')'.
+      throw ParseError("unmatched ')'", pos_);
+    }
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+  char Take() { return pattern_[pos_++]; }
+
+  NodeId ParseAlternation() {
+    std::vector<NodeId> branches;
+    branches.push_back(ParseConcat());
+    while (!AtEnd() && Peek() == '|') {
+      Take();
+      branches.push_back(ParseConcat());
+    }
+    if (branches.size() == 1) return branches[0];
+    return ast_.AddAlternate(std::move(branches));
+  }
+
+  NodeId ParseConcat() {
+    std::vector<NodeId> parts;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      parts.push_back(ParseRepeat());
+    }
+    if (parts.empty()) return ast_.AddEmpty();
+    if (parts.size() == 1) return parts[0];
+    return ast_.AddConcat(std::move(parts));
+  }
+
+  NodeId ParseRepeat() {
+    NodeId node = ParseAtom();
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == '*') {
+        Take();
+        node = ast_.AddRepeat(node, 0, kUnbounded);
+      } else if (c == '+') {
+        Take();
+        node = ast_.AddRepeat(node, 1, kUnbounded);
+      } else if (c == '?') {
+        Take();
+        node = ast_.AddRepeat(node, 0, 1);
+      } else if (c == '{') {
+        node = ParseBoundedRepeat(node);
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  NodeId ParseBoundedRepeat(NodeId child) {
+    const std::size_t open = pos_;
+    Take();  // '{'
+    const std::size_t lo_start = pos_;
+    while (!AtEnd() && util::IsAsciiDigit(Peek())) Take();
+    if (pos_ == lo_start) {
+      throw ParseError("expected digit after '{'", pos_);
+    }
+    std::uint64_t lo = 0;
+    util::ParseUint(pattern_.substr(lo_start, pos_ - lo_start), 1000, lo);
+    std::uint64_t hi = lo;
+    bool unbounded = false;
+    if (!AtEnd() && Peek() == ',') {
+      Take();
+      if (!AtEnd() && Peek() == '}') {
+        unbounded = true;
+      } else {
+        const std::size_t hi_start = pos_;
+        while (!AtEnd() && util::IsAsciiDigit(Peek())) Take();
+        if (pos_ == hi_start ||
+            !util::ParseUint(pattern_.substr(hi_start, pos_ - hi_start), 1000,
+                             hi)) {
+          throw ParseError("bad repetition upper bound", pos_);
+        }
+        if (hi < lo) {
+          throw ParseError("repetition bounds out of order", open);
+        }
+      }
+    }
+    if (AtEnd() || Take() != '}') {
+      throw ParseError("unterminated '{'", open);
+    }
+    return ast_.AddRepeat(child, static_cast<int>(lo),
+                          unbounded ? kUnbounded : static_cast<int>(hi));
+  }
+
+  NodeId ParseAtom() {
+    if (AtEnd()) {
+      throw ParseError("pattern ends where an atom was expected", pos_);
+    }
+    const std::size_t at = pos_;
+    const char c = Take();
+    switch (c) {
+      case '(': {
+        const NodeId inner = ParseAlternation();
+        if (AtEnd() || Take() != ')') {
+          throw ParseError("unmatched '('", at);
+        }
+        return inner;
+      }
+      case '[':
+        return ParseCharClass(at);
+      case '.':
+        return ast_.AddCharSet(CharSet::AnyExceptSentinels());
+      case '^':
+        return ast_.AddCharSet(CharSet::Single(kBeginSentinel));
+      case '$':
+        return ast_.AddCharSet(CharSet::Single(kEndSentinel));
+      case '_':
+        if (options_.cisco_underscore) {
+          return ast_.AddCharSet(CharSet::CiscoUnderscore());
+        }
+        return ast_.AddCharSet(CharSet::Single('_'));
+      case '\\': {
+        if (AtEnd()) {
+          throw ParseError("dangling backslash", at);
+        }
+        return ast_.AddCharSet(CharSet::Single(Take()));
+      }
+      case '*':
+      case '+':
+      case '?':
+        throw ParseError("quantifier with nothing to repeat", at);
+      case ')':
+        // ParseConcat never hands us ')'; reaching here means empty "()" or
+        // a leading ')' which ParseConcat treats as an empty branch.
+        throw ParseError("unexpected ')'", at);
+      default:
+        return ast_.AddCharSet(CharSet::Single(c));
+    }
+  }
+
+  NodeId ParseCharClass(std::size_t open) {
+    CharSet set;
+    bool negated = false;
+    if (!AtEnd() && Peek() == '^') {
+      Take();
+      negated = true;
+    }
+    bool first = true;
+    while (true) {
+      if (AtEnd()) {
+        throw ParseError("unterminated '['", open);
+      }
+      char c = Take();
+      if (c == ']' && !first) break;
+      first = false;
+      if (c == '\\') {
+        if (AtEnd()) throw ParseError("dangling backslash in class", pos_);
+        c = Take();
+      }
+      // Range "a-z": a '-' that is neither first (handled by falling
+      // through as literal below) nor last.
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        Take();  // '-'
+        char hi = Take();
+        if (hi == '\\') {
+          if (AtEnd()) throw ParseError("dangling backslash in class", pos_);
+          hi = Take();
+        }
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          throw ParseError("character range out of order", pos_);
+        }
+        set.AddRange(c, hi);
+      } else {
+        set.Add(c);
+      }
+    }
+    if (set.Empty()) {
+      throw ParseError("empty character class", open);
+    }
+    if (negated) {
+      return ast_.AddCharSet(set.NegatedWithinText());
+    }
+    return ast_.AddCharSet(set);
+  }
+
+  std::string_view pattern_;
+  ParseOptions options_;
+  Ast& ast_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+NodeId ParsePattern(std::string_view pattern, const ParseOptions& options,
+                    Ast& ast) {
+  Parser parser(pattern, options, ast);
+  const NodeId root = parser.Parse();
+  ast.set_root(root);
+  return root;
+}
+
+}  // namespace confanon::regex

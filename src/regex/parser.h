@@ -1,0 +1,46 @@
+// Parser for the IOS policy-regex dialect.
+//
+// The dialect is the POSIX-flavoured subset Cisco documents for as-path and
+// community-list expressions:
+//   literals, '.', character classes [abc] [a-z] [^...], grouping (...),
+//   alternation '|', quantifiers '*' '+' '?', bounded repetition {m} {m,}
+//   {m,n}, anchors '^' '$', the '_' delimiter metacharacter, and backslash
+//   escapes of metacharacters.
+//
+// Anchors and '_' are desugared to character sets over the sentinel-framed
+// alphabet (charset.h), so downstream automata never deal with zero-width
+// assertions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "regex/ast.h"
+
+namespace confanon::regex {
+
+/// Thrown for syntactically invalid patterns; `what()` includes the byte
+/// offset of the error.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t offset);
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+struct ParseOptions {
+  /// Treat '_' as the Cisco delimiter metacharacter. Off means '_' is an
+  /// ordinary literal (useful when matching non-policy text).
+  bool cisco_underscore = true;
+};
+
+/// Parses `pattern` into `ast` and returns the root node id. The returned
+/// AST matches exact (framed) strings; callers that want search semantics
+/// wrap it with leading/trailing Any* (see Regex::Compile).
+NodeId ParsePattern(std::string_view pattern, const ParseOptions& options,
+                    Ast& ast);
+
+}  // namespace confanon::regex

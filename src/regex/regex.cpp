@@ -1,0 +1,37 @@
+#include "regex/regex.h"
+
+namespace confanon::regex {
+
+Regex Regex::Compile(std::string_view pattern, Options options) {
+  Regex re;
+  re.pattern_ = std::string(pattern);
+
+  Ast ast;
+  ParseOptions parse_options;
+  parse_options.cisco_underscore = options.cisco_underscore;
+  const NodeId body = ParsePattern(pattern, parse_options, ast);
+
+  // Search semantics: .* body .* over the framed subject, where the
+  // implicit dots may also consume the sentinels.
+  const NodeId any_star_left =
+      ast.AddRepeat(ast.AddCharSet(CharSet::Any()), 0, kUnbounded);
+  const NodeId any_star_right =
+      ast.AddRepeat(ast.AddCharSet(CharSet::Any()), 0, kUnbounded);
+  ast.set_root(ast.AddConcat({any_star_left, body, any_star_right}));
+
+  auto nfa = std::make_shared<Nfa>(Nfa::Build(ast));
+  auto dfa = std::make_shared<Dfa>(Dfa::FromNfa(*nfa));
+  re.nfa_ = std::move(nfa);
+  re.dfa_ = std::move(dfa);
+  return re;
+}
+
+bool Regex::Search(std::string_view text) const {
+  return dfa_->FullMatch(FrameSubject(text));
+}
+
+bool SearchOnce(std::string_view pattern, std::string_view text) {
+  return Regex::Compile(pattern).Search(text);
+}
+
+}  // namespace confanon::regex

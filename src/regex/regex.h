@@ -1,0 +1,54 @@
+// Public facade of the regex engine.
+//
+// Matching follows Cisco CLI semantics: a pattern matches a subject if it
+// matches any substring (search semantics), with '^'/'$' anchoring to the
+// subject boundaries and '_' matching a delimiter or a boundary. Internally
+// the subject is framed with sentinels and the pattern is wrapped in
+// implicit .* on both sides, reducing everything to DFA full-match.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "regex/dfa.h"
+#include "regex/parser.h"
+
+namespace confanon::regex {
+
+struct RegexOptions {
+  /// Cisco '_' delimiter semantics (on for policy regexes).
+  bool cisco_underscore = true;
+};
+
+class Regex {
+ public:
+  using Options = RegexOptions;
+
+  /// Compiles `pattern`; throws ParseError on malformed input.
+  static Regex Compile(std::string_view pattern, Options options = Options());
+
+  /// True if the pattern matches anywhere within `text` (Cisco semantics).
+  bool Search(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+  /// The search DFA over framed subjects (for diagnostics and benches).
+  const Dfa& dfa() const { return *dfa_; }
+  /// The search NFA (the tests cross-check it against the DFA).
+  const Nfa& nfa() const { return *nfa_; }
+
+ private:
+  Regex() = default;
+
+  std::string pattern_;
+  // Shared so Regex stays cheaply copyable; the automata are immutable.
+  std::shared_ptr<const Nfa> nfa_;
+  std::shared_ptr<const Dfa> dfa_;
+};
+
+/// Convenience: one-shot search. Compiling per call is fine for tests and
+/// small tools; hot paths should keep the Regex.
+bool SearchOnce(std::string_view pattern, std::string_view text);
+
+}  // namespace confanon::regex

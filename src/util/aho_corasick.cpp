@@ -1,0 +1,120 @@
+#include "util/aho_corasick.h"
+
+#include <deque>
+
+namespace confanon::util {
+
+namespace {
+
+unsigned char Fold(char c) {
+  if (c >= 'A' && c <= 'Z') return static_cast<unsigned char>(c - 'A' + 'a');
+  return static_cast<unsigned char>(c);
+}
+
+}  // namespace
+
+AhoCorasick::AhoCorasick(const std::vector<std::string>& patterns) {
+  nodes_.emplace_back();  // root
+  pattern_lengths_.resize(patterns.size(), 0);
+
+  // Trie construction.
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::string& pattern = patterns[p];
+    pattern_lengths_[p] = pattern.size();
+    if (pattern.empty()) continue;
+    std::int32_t node = 0;
+    for (char c : pattern) {
+      const unsigned char folded = Fold(c);
+      auto it = nodes_[static_cast<std::size_t>(node)].children.find(folded);
+      if (it == nodes_[static_cast<std::size_t>(node)].children.end()) {
+        nodes_.emplace_back();
+        const auto fresh = static_cast<std::int32_t>(nodes_.size() - 1);
+        nodes_[static_cast<std::size_t>(node)].children.emplace(folded, fresh);
+        node = fresh;
+      } else {
+        node = it->second;
+      }
+    }
+    nodes_[static_cast<std::size_t>(node)].ends_here.push_back(p);
+  }
+
+  // BFS to set failure and output links.
+  std::deque<std::int32_t> queue;
+  for (const auto& [c, child] : nodes_[0].children) {
+    nodes_[static_cast<std::size_t>(child)].fail = 0;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    const std::int32_t node = queue.front();
+    queue.pop_front();
+    const std::int32_t fail = nodes_[static_cast<std::size_t>(node)].fail;
+    // Output link: nearest fail-ancestor that ends a pattern.
+    const Node& fail_node = nodes_[static_cast<std::size_t>(fail)];
+    nodes_[static_cast<std::size_t>(node)].output_link =
+        fail_node.ends_here.empty() ? fail_node.output_link : fail;
+
+    for (const auto& [c, child] : nodes_[static_cast<std::size_t>(node)]
+                                      .children) {
+      // Follow fail links to find the longest proper suffix state with a
+      // transition on c.
+      std::int32_t probe = fail;
+      for (;;) {
+        const auto it =
+            nodes_[static_cast<std::size_t>(probe)].children.find(c);
+        if (it != nodes_[static_cast<std::size_t>(probe)].children.end() &&
+            it->second != child) {
+          nodes_[static_cast<std::size_t>(child)].fail = it->second;
+          break;
+        }
+        if (probe == 0) {
+          nodes_[static_cast<std::size_t>(child)].fail = 0;
+          break;
+        }
+        probe = nodes_[static_cast<std::size_t>(probe)].fail;
+      }
+      queue.push_back(child);
+    }
+  }
+}
+
+std::int32_t AhoCorasick::Step(std::int32_t state, unsigned char c) const {
+  for (;;) {
+    const auto it = nodes_[static_cast<std::size_t>(state)].children.find(c);
+    if (it != nodes_[static_cast<std::size_t>(state)].children.end()) {
+      return it->second;
+    }
+    if (state == 0) return 0;
+    state = nodes_[static_cast<std::size_t>(state)].fail;
+  }
+}
+
+std::vector<AhoCorasick::Match> AhoCorasick::FindAll(
+    std::string_view text) const {
+  std::vector<Match> matches;
+  std::int32_t state = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    state = Step(state, Fold(text[i]));
+    for (std::int32_t node = state; node != -1;
+         node = nodes_[static_cast<std::size_t>(node)].output_link) {
+      for (std::size_t p : nodes_[static_cast<std::size_t>(node)].ends_here) {
+        matches.push_back(
+            Match{p, i + 1 - pattern_lengths_[p], i + 1});
+      }
+    }
+  }
+  return matches;
+}
+
+bool AhoCorasick::AnyMatch(std::string_view text) const {
+  std::int32_t state = 0;
+  for (char c : text) {
+    state = Step(state, Fold(c));
+    if (!nodes_[static_cast<std::size_t>(state)].ends_here.empty() ||
+        nodes_[static_cast<std::size_t>(state)].output_link != -1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace confanon::util

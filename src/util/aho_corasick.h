@@ -1,0 +1,58 @@
+// Aho-Corasick multi-pattern string matching.
+//
+// The leak detector greps every anonymized line for every recorded
+// identifier (paper Section 6.1). A naive scan is O(lines x identifiers)
+// substring searches — noticeable at corpus scale (the paper's corpus was
+// 4.3M lines with thousands of recorded identifiers). This automaton
+// finds all occurrences of all patterns in a single pass per line.
+//
+// Matching is case-insensitive (patterns and text are folded to ASCII
+// lowercase), which is what identifier leak scanning needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace confanon::util {
+
+class AhoCorasick {
+ public:
+  /// Builds the automaton over `patterns`. Empty patterns are ignored.
+  explicit AhoCorasick(const std::vector<std::string>& patterns);
+
+  struct Match {
+    std::size_t pattern_index;  // index into the constructor's vector
+    std::size_t begin;          // offset of the match in the text
+    std::size_t end;            // one past the last matched byte
+  };
+
+  /// All matches (including overlapping ones) in `text`, in end-position
+  /// order.
+  std::vector<Match> FindAll(std::string_view text) const;
+
+  /// True if any pattern occurs in `text`.
+  bool AnyMatch(std::string_view text) const;
+
+  std::size_t PatternCount() const { return pattern_lengths_.size(); }
+
+ private:
+  struct Node {
+    std::map<unsigned char, std::int32_t> children;
+    std::int32_t fail = 0;
+    /// Pattern indices ending at this node (including via fail chain
+    /// compression: `output_link` points at the nearest ancestor-by-fail
+    /// that ends a pattern).
+    std::vector<std::size_t> ends_here;
+    std::int32_t output_link = -1;
+  };
+
+  std::int32_t Step(std::int32_t state, unsigned char c) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> pattern_lengths_;
+};
+
+}  // namespace confanon::util

@@ -1,0 +1,88 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace confanon::util {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t HashSeed(std::string_view text) {
+  // FNV-1a over the bytes, then one SplitMix64 finalization round to spread
+  // the entropy across all 64 bits.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return SplitMix64(h);
+}
+
+namespace {
+constexpr std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro's authors recommend seeding the full state from SplitMix64.
+  for (auto& word : state_) {
+    word = SplitMix64(seed);
+  }
+}
+
+Rng::Rng(std::uint64_t seed, std::string_view stream_label)
+    : Rng(seed ^ HashSeed(stream_label)) {}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Below(std::uint64_t bound) {
+  assert(bound != 0);
+  // Classic rejection sampling: discard values in the biased tail.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Rng::Between(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(Below(span));
+}
+
+double Rng::Unit() {
+  // 53 high bits -> uniform double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Unit() < p;
+}
+
+Rng Rng::Fork(std::string_view label) {
+  return Rng(Next() ^ HashSeed(label));
+}
+
+}  // namespace confanon::util

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in this repository (the ASN permutation, the
+// tree-based IP mapping, the synthetic network generator) must be exactly
+// reproducible from a seed: the paper's anonymizer has to produce consistent
+// mappings across all files of a network, and our experiments have to be
+// rerunnable. We therefore avoid std::mt19937's unspecified seeding paths and
+// use a small, well-understood generator pair implemented here:
+//   - SplitMix64 for seed expansion (Steele, Lea & Flood 2014)
+//   - xoshiro256** for the stream (Blackman & Vigna 2018)
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace confanon::util {
+
+/// SplitMix64 step: mixes a 64-bit state into a well-distributed output and
+/// advances the state. Used for seeding and for hashing small keys.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// Deterministic 64-bit hash of a string (FNV-1a folded through SplitMix64).
+/// Stable across platforms and runs; used to derive sub-seeds from salts.
+std::uint64_t HashSeed(std::string_view text);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// used with <random> distributions, though the helpers below avoid
+/// distribution objects to guarantee cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+  Rng(std::uint64_t seed, std::string_view stream_label);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  result_type operator()() { return Next(); }
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be nonzero. Uses rejection
+  /// sampling (Lemire-style) so the result is exactly uniform.
+  std::uint64_t Below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t Between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double Unit();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Fisher-Yates shuffle of a vector, deterministic for a given state.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(Below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element (vector must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(Below(items.size()))];
+  }
+
+  /// Derives an independent child generator. The label decorrelates streams
+  /// that share a parent seed (e.g. per-router sub-generators).
+  Rng Fork(std::string_view label);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace confanon::util

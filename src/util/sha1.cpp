@@ -1,0 +1,154 @@
+#include "util/sha1.h"
+
+#include <cstring>
+
+namespace confanon::util {
+
+namespace {
+
+constexpr std::uint32_t RotL(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+void Sha1::Reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  buffer_len_ = 0;
+  total_bits_ = 0;
+}
+
+void Sha1::Update(std::string_view data) {
+  Update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+void Sha1::Update(const std::uint8_t* data, std::size_t len) {
+  total_bits_ += static_cast<std::uint64_t>(len) * 8;
+  while (len > 0) {
+    const std::size_t space = 64 - buffer_len_;
+    const std::size_t take = len < space ? len : space;
+    std::memcpy(buffer_ + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+}
+
+Sha1::Digest Sha1::Finalize() {
+  // Append the 0x80 terminator, zero padding, and the 64-bit big-endian
+  // length so the message is a whole number of 512-bit blocks.
+  const std::uint64_t bits = total_bits_;
+  const std::uint8_t terminator = 0x80;
+  Update(&terminator, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) {
+    Update(&zero, 1);
+  }
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+  // Update() would double-count these bytes in total_bits_, but total_bits_
+  // is no longer read after this point, so feeding them through is safe.
+  Update(len_bytes, 8);
+
+  Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[4 * i + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+void Sha1::ProcessBlock(const std::uint8_t block[64]) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = RotL(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = RotL(a, 5) + f + e + w[t] + k;
+    e = d;
+    d = c;
+    c = RotL(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1::Digest Sha1::Hash(std::string_view data) {
+  Sha1 hasher;
+  hasher.Update(data);
+  return hasher.Finalize();
+}
+
+std::string Sha1::HexDigest(std::string_view data) { return ToHex(Hash(data)); }
+
+std::string ToHex(const Sha1::Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(digest.size() * 2);
+  for (std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0x0F]);
+  }
+  return out;
+}
+
+Sha1::Digest SaltedDigest(std::string_view salt, std::string_view data) {
+  Sha1 hasher;
+  hasher.Update(salt);
+  const std::uint8_t separator = 0x00;
+  hasher.Update(&separator, 1);
+  hasher.Update(data);
+  return hasher.Finalize();
+}
+
+std::string SaltedHexToken(std::string_view salt, std::string_view data,
+                           std::size_t hex_chars) {
+  std::string hex = ToHex(SaltedDigest(salt, data));
+  if (hex_chars < hex.size()) {
+    hex.resize(hex_chars);
+  }
+  return hex;
+}
+
+}  // namespace confanon::util

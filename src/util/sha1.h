@@ -1,0 +1,71 @@
+// SHA-1 message digest (RFC 3174), implemented from scratch.
+//
+// The paper anonymizes every string not found on the pass-list with a SHA1
+// digest salted with a secret chosen by the network owner (Section 4.1 and
+// Section 6.1). This module provides the digest primitive plus the salted
+// convenience wrappers used by the anonymizer's string hasher.
+//
+// SHA-1 is used here for fidelity to the paper, not as a recommendation for
+// new cryptographic designs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace confanon::util {
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage:
+///   Sha1 h;
+///   h.Update("abc");
+///   Sha1::Digest d = h.Finalize();
+class Sha1 {
+ public:
+  using Digest = std::array<std::uint8_t, 20>;
+
+  Sha1() { Reset(); }
+
+  /// Resets the hasher to its initial state so it can be reused.
+  void Reset();
+
+  /// Absorbs `data` into the hash state. May be called repeatedly.
+  void Update(std::string_view data);
+  void Update(const std::uint8_t* data, std::size_t len);
+
+  /// Completes the hash and returns the 160-bit digest. After Finalize the
+  /// hasher must be Reset before further use.
+  Digest Finalize();
+
+  /// One-shot convenience: digest of `data`.
+  static Digest Hash(std::string_view data);
+
+  /// One-shot convenience: lowercase hex encoding of the digest of `data`.
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const std::uint8_t block[64]);
+
+  std::uint32_t h_[5];
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// Lowercase hex encoding of an arbitrary digest.
+std::string ToHex(const Sha1::Digest& digest);
+
+/// Salted digest, as used by the anonymizer: SHA1(salt || 0x00 || data).
+/// The 0x00 separator prevents ambiguity between salt and data boundaries.
+Sha1::Digest SaltedDigest(std::string_view salt, std::string_view data);
+
+/// Salted digest truncated to `hex_chars` hex characters (default 10, which
+/// keeps anonymized identifiers short while making collisions across a
+/// single network's identifier population negligible).
+std::string SaltedHexToken(std::string_view salt, std::string_view data,
+                           std::size_t hex_chars = 10);
+
+}  // namespace confanon::util

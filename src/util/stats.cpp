@@ -1,0 +1,144 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace confanon::util {
+
+void Summary::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+}
+
+void Summary::AddAll(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_valid_ = false;
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::Min() const {
+  EnsureSorted();
+  if (sorted_.empty()) throw std::logic_error("Summary::Min on empty sample");
+  return sorted_.front();
+}
+
+double Summary::Max() const {
+  EnsureSorted();
+  if (sorted_.empty()) throw std::logic_error("Summary::Max on empty sample");
+  return sorted_.back();
+}
+
+double Summary::Mean() const {
+  if (samples_.empty()) {
+    throw std::logic_error("Summary::Mean on empty sample");
+  }
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double sum_sq = 0;
+  for (double s : samples_) {
+    const double d = s - mean;
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(samples_.size()));
+}
+
+double Summary::Percentile(double p) const {
+  EnsureSorted();
+  if (sorted_.empty()) {
+    throw std::logic_error("Summary::Percentile on empty sample");
+  }
+  if (p <= 0) return sorted_.front();
+  if (p >= 100) return sorted_.back();
+  // Nearest-rank: smallest index k with k/n >= p/100.
+  const auto n = static_cast<double>(sorted_.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+std::string Summary::Describe() const {
+  if (samples_.empty()) return "(empty)";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.1f p25=%.1f p50=%.1f p90=%.1f max=%.1f mean=%.1f",
+                Count(), Min(), Percentile(25), Percentile(50), Percentile(90),
+                Max(), Mean());
+  return buf;
+}
+
+void Histogram::Add(int bucket, std::uint64_t count) {
+  auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), bucket,
+      [](const auto& entry, int key) { return entry.first < key; });
+  if (it != counts_.end() && it->first == bucket) {
+    it->second += count;
+  } else {
+    counts_.insert(it, {bucket, count});
+  }
+}
+
+std::uint64_t Histogram::Get(int bucket) const {
+  auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), bucket,
+      [](const auto& entry, int key) { return entry.first < key; });
+  if (it != counts_.end() && it->first == bucket) return it->second;
+  return 0;
+}
+
+std::uint64_t Histogram::Total() const {
+  std::uint64_t total = 0;
+  for (const auto& [bucket, count] : counts_) total += count;
+  return total;
+}
+
+std::vector<int> Histogram::Buckets() const {
+  std::vector<int> buckets;
+  buckets.reserve(counts_.size());
+  for (const auto& [bucket, count] : counts_) buckets.push_back(bucket);
+  return buckets;
+}
+
+bool Histogram::operator==(const Histogram& other) const {
+  // Zero-count buckets never exist in counts_, so elementwise equality is
+  // exactly multiset equality.
+  return counts_ == other.counts_;
+}
+
+std::uint64_t Histogram::L1Distance(const Histogram& a, const Histogram& b) {
+  std::uint64_t distance = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.counts_.size() || j < b.counts_.size()) {
+    if (j == b.counts_.size() ||
+        (i < a.counts_.size() && a.counts_[i].first < b.counts_[j].first)) {
+      distance += a.counts_[i].second;
+      ++i;
+    } else if (i == a.counts_.size() ||
+               b.counts_[j].first < a.counts_[i].first) {
+      distance += b.counts_[j].second;
+      ++j;
+    } else {
+      const std::uint64_t x = a.counts_[i].second;
+      const std::uint64_t y = b.counts_[j].second;
+      distance += x > y ? x - y : y - x;
+      ++i;
+      ++j;
+    }
+  }
+  return distance;
+}
+
+}  // namespace confanon::util

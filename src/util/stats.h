@@ -1,0 +1,63 @@
+// Descriptive statistics for experiment reporting.
+//
+// The paper reports its dataset through order statistics ("25th percentile
+// was 183 lines and 90th percentile was 1123 lines", "average of 1.5% ...
+// 90th percentile 6%"). The benches reproduce those rows, so we need a small
+// percentile/summary helper with well-defined semantics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace confanon::util {
+
+/// Accumulates samples and answers summary queries. Percentiles use the
+/// nearest-rank method on the sorted sample, matching the common operational
+/// reading of "the 90th percentile config had N lines".
+class Summary {
+ public:
+  void Add(double sample);
+  void AddAll(const std::vector<double>& samples);
+
+  std::size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  /// Population standard deviation. Returns 0 for fewer than two samples.
+  double StdDev() const;
+  /// Nearest-rank percentile, p in [0, 100]. Requires a non-empty sample.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50); }
+
+  /// One-line human-readable rendering used by the bench tables.
+  std::string Describe() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Histogram over integer-keyed buckets (e.g. subnet prefix lengths).
+class Histogram {
+ public:
+  void Add(int bucket, std::uint64_t count = 1);
+  std::uint64_t Get(int bucket) const;
+  std::uint64_t Total() const;
+  /// Buckets with nonzero counts, ascending.
+  std::vector<int> Buckets() const;
+  bool operator==(const Histogram& other) const;
+
+  /// L1 distance between two histograms (used by fingerprint matching).
+  static std::uint64_t L1Distance(const Histogram& a, const Histogram& b);
+
+ private:
+  std::vector<std::pair<int, std::uint64_t>> counts_;  // sorted by bucket
+};
+
+}  // namespace confanon::util

@@ -1,0 +1,123 @@
+#include "util/aho_corasick.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace confanon::util {
+namespace {
+
+std::set<std::pair<std::size_t, std::size_t>> MatchSet(
+    const AhoCorasick& automaton, std::string_view text) {
+  std::set<std::pair<std::size_t, std::size_t>> result;
+  for (const auto& match : automaton.FindAll(text)) {
+    result.insert({match.pattern_index, match.begin});
+  }
+  return result;
+}
+
+TEST(AhoCorasick, SinglePattern) {
+  const AhoCorasick automaton({"701"});
+  EXPECT_EQ(MatchSet(automaton, "701"),
+            (std::set<std::pair<std::size_t, std::size_t>>{{0, 0}}));
+  EXPECT_EQ(MatchSet(automaton, "x701y701"),
+            (std::set<std::pair<std::size_t, std::size_t>>{{0, 1}, {0, 5}}));
+  EXPECT_TRUE(MatchSet(automaton, "70 1").empty());
+}
+
+TEST(AhoCorasick, OverlappingPatterns) {
+  const AhoCorasick automaton({"ab", "abc", "bc", "c"});
+  const auto matches = MatchSet(automaton, "abc");
+  EXPECT_TRUE(matches.contains({0, 0}));  // ab
+  EXPECT_TRUE(matches.contains({1, 0}));  // abc
+  EXPECT_TRUE(matches.contains({2, 1}));  // bc
+  EXPECT_TRUE(matches.contains({3, 2}));  // c
+  EXPECT_EQ(matches.size(), 4u);
+}
+
+TEST(AhoCorasick, SuffixChainViaFailLinks) {
+  // "ushers" style classic: patterns that are suffixes of each other.
+  const AhoCorasick automaton({"he", "she", "his", "hers"});
+  const auto matches = MatchSet(automaton, "ushers");
+  EXPECT_TRUE(matches.contains({1, 1}));  // she
+  EXPECT_TRUE(matches.contains({0, 2}));  // he
+  EXPECT_TRUE(matches.contains({3, 2}));  // hers
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(AhoCorasick, CaseInsensitive) {
+  const AhoCorasick automaton({"UUNET"});
+  EXPECT_FALSE(MatchSet(automaton, "route-map uunet-import").empty());
+  EXPECT_FALSE(MatchSet(automaton, "UuNeT").empty());
+}
+
+TEST(AhoCorasick, EmptyAndDuplicatePatterns) {
+  const AhoCorasick automaton({"", "x", "x"});
+  const auto matches = MatchSet(automaton, "x");
+  EXPECT_TRUE(matches.contains({1, 0}));
+  EXPECT_TRUE(matches.contains({2, 0}));
+  EXPECT_EQ(matches.size(), 2u);  // the empty pattern never matches
+}
+
+TEST(AhoCorasick, AnyMatch) {
+  const AhoCorasick automaton({"1239", "701"});
+  EXPECT_TRUE(automaton.AnyMatch("as-path 1239"));
+  EXPECT_FALSE(automaton.AnyMatch("as-path 70 1 23 9"));
+  EXPECT_FALSE(automaton.AnyMatch(""));
+}
+
+TEST(AhoCorasick, NoPatterns) {
+  const AhoCorasick automaton({});
+  EXPECT_FALSE(automaton.AnyMatch("anything"));
+  EXPECT_TRUE(automaton.FindAll("anything").empty());
+}
+
+TEST(AhoCorasick, MatchOffsetsAreExact) {
+  const AhoCorasick automaton({"1.2.3.4"});
+  const auto matches = automaton.FindAll("ip route 1.2.3.4 255.0.0.0");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].begin, 9u);
+  EXPECT_EQ(matches[0].end, 16u);
+}
+
+TEST(AhoCorasick, AgreesWithNaiveSearchOnRandomInputs) {
+  util::Rng rng(314159);
+  const char alphabet[] = "ab1.";
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::string> patterns;
+    const int pattern_count = static_cast<int>(rng.Between(1, 8));
+    for (int p = 0; p < pattern_count; ++p) {
+      std::string pattern;
+      const int length = static_cast<int>(rng.Between(1, 4));
+      for (int j = 0; j < length; ++j) {
+        pattern += alphabet[static_cast<std::size_t>(rng.Below(4))];
+      }
+      patterns.push_back(pattern);
+    }
+    const AhoCorasick automaton(patterns);
+    for (int s = 0; s < 20; ++s) {
+      std::string text;
+      const int length = static_cast<int>(rng.Below(24));
+      for (int j = 0; j < length; ++j) {
+        text += alphabet[static_cast<std::size_t>(rng.Below(4))];
+      }
+      // Naive oracle.
+      std::set<std::pair<std::size_t, std::size_t>> expected;
+      for (std::size_t p = 0; p < patterns.size(); ++p) {
+        for (std::size_t at = text.find(patterns[p]);
+             at != std::string::npos; at = text.find(patterns[p], at + 1)) {
+          expected.insert({p, at});
+        }
+      }
+      EXPECT_EQ(MatchSet(automaton, text), expected)
+          << "text=" << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace confanon::util

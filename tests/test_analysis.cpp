@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "analysis/characteristics.h"
+#include "analysis/compartment.h"
+#include "analysis/design_extract.h"
+#include "analysis/fingerprint.h"
+
+namespace confanon::analysis {
+namespace {
+
+config::ConfigFile File(std::string name, std::string_view text) {
+  return config::ConfigFile::FromText(std::move(name), text);
+}
+
+const char* kRouter1 = R"(hostname r1
+interface Loopback0
+ ip address 10.0.255.1 255.255.255.255
+interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+interface Ethernet0
+ ip address 10.1.0.1 255.255.255.0
+router ospf 1
+ network 10.0.0.0 0.0.255.255 area 0
+router rip
+ network 10.0.0.0
+router bgp 2001
+ redistribute rip
+ neighbor 10.0.255.2 remote-as 2001
+ neighbor 10.0.0.2 remote-as 701
+ neighbor 10.0.0.2 route-map PEER-in in
+ neighbor 10.0.0.2 route-map PEER-out out
+route-map PEER-in deny 10
+ match as-path 50
+route-map PEER-in permit 20
+ match community 100
+route-map PEER-out permit 10
+ match ip address 143
+)";
+
+const char* kRouter2 = R"(hostname r2
+interface Loopback0
+ ip address 10.0.255.2 255.255.255.255
+interface Serial1/0
+ ip address 10.0.0.2 255.255.255.252
+router ospf 1
+ network 10.0.0.0 0.0.255.255 area 0
+router bgp 2001
+ neighbor 10.0.255.1 remote-as 2001
+)";
+
+std::vector<config::ConfigFile> TwoRouterNetwork() {
+  return {File("r1", kRouter1), File("r2", kRouter2)};
+}
+
+// --- characteristics ---
+
+TEST(Characteristics, CountsFromKnownConfig) {
+  const NetworkCharacteristics stats =
+      ExtractCharacteristics(TwoRouterNetwork());
+  EXPECT_EQ(stats.router_count, 2u);
+  EXPECT_EQ(stats.interface_count, 5u);
+  EXPECT_EQ(stats.bgp_speaker_count, 2u);
+  EXPECT_EQ(stats.ebgp_session_count, 1u);
+  EXPECT_EQ(stats.route_map_clause_count, 3u);
+  EXPECT_EQ(stats.protocol_counts.at("ospf"), 2u);
+  EXPECT_EQ(stats.protocol_counts.at("rip"), 1u);
+  EXPECT_EQ(stats.protocol_counts.at("bgp"), 2u);
+}
+
+TEST(Characteristics, SubnetHistogram) {
+  const NetworkCharacteristics stats =
+      ExtractCharacteristics(TwoRouterNetwork());
+  // Distinct subnets: two /32 loopbacks, one shared /30, one /24.
+  EXPECT_EQ(stats.subnet_sizes.Get(32), 2u);
+  EXPECT_EQ(stats.subnet_sizes.Get(30), 1u);
+  EXPECT_EQ(stats.subnet_sizes.Get(24), 1u);
+}
+
+TEST(Characteristics, DiffReportsMismatches) {
+  NetworkCharacteristics a = ExtractCharacteristics(TwoRouterNetwork());
+  NetworkCharacteristics b = a;
+  EXPECT_TRUE(a.DiffAgainst(b).empty());
+  b.interface_count += 1;
+  const auto diffs = a.DiffAgainst(b);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_NE(diffs[0].find("interface_count"), std::string::npos);
+}
+
+// --- design extraction ---
+
+TEST(DesignExtract, RecoverLinksFromSharedSubnets) {
+  const NetworkDesign design = ExtractDesign(TwoRouterNetwork());
+  ASSERT_EQ(design.links.size(), 1u);
+  EXPECT_EQ(design.links[0].router_a, "r1");
+  EXPECT_EQ(design.links[0].interface_a, "Serial0/0");
+  EXPECT_EQ(design.links[0].router_b, "r2");
+  EXPECT_EQ(design.links[0].interface_b, "Serial1/0");
+  EXPECT_EQ(design.links[0].subnet.ToString(), "10.0.0.0/30");
+}
+
+TEST(DesignExtract, SubnetContainsCoverage) {
+  const NetworkDesign design = ExtractDesign(TwoRouterNetwork());
+  const RouterDesign& r1 = design.routers[0];
+  ASSERT_EQ(r1.hostname, "r1");
+  ASSERT_EQ(r1.processes.size(), 2u);
+  // OSPF network 10.0.0.0/16 covers loopback + serial but not ethernet
+  // (10.1.0.1).
+  EXPECT_EQ(r1.processes[0].protocol, "ospf");
+  EXPECT_EQ(r1.processes[0].covered_interfaces,
+            (std::vector<std::string>{"Loopback0", "Serial0/0"}));
+  // RIP classful 10/8 covers everything.
+  EXPECT_EQ(r1.processes[1].protocol, "rip");
+  EXPECT_EQ(r1.processes[1].covered_interfaces.size(), 3u);
+}
+
+TEST(DesignExtract, BgpNeighborsAndPolicy) {
+  const NetworkDesign design = ExtractDesign(TwoRouterNetwork());
+  const RouterDesign& r1 = design.routers[0];
+  ASSERT_TRUE(r1.bgp_asn.has_value());
+  EXPECT_EQ(*r1.bgp_asn, 2001u);
+  ASSERT_EQ(r1.bgp_neighbors.size(), 2u);
+  // Sorted by peer address: 10.0.0.2 (eBGP) then 10.0.255.2 (iBGP).
+  EXPECT_TRUE(r1.bgp_neighbors[0].external);
+  EXPECT_EQ(r1.bgp_neighbors[0].remote_asn, 701u);
+  EXPECT_EQ(r1.bgp_neighbors[0].import_map, "PEER-in");
+  EXPECT_EQ(r1.bgp_neighbors[0].export_map, "PEER-out");
+  EXPECT_FALSE(r1.bgp_neighbors[1].external);
+  EXPECT_TRUE(r1.redistributions.contains({"bgp", "rip"}));
+}
+
+TEST(DesignExtract, RouteMapClauses) {
+  const NetworkDesign design = ExtractDesign(TwoRouterNetwork());
+  const RouterDesign& r1 = design.routers[0];
+  const auto& in_clauses = r1.route_maps.at("PEER-in");
+  ASSERT_EQ(in_clauses.size(), 2u);
+  EXPECT_FALSE(in_clauses[0].permit);
+  EXPECT_EQ(in_clauses[0].sequence, 10);
+  EXPECT_EQ(in_clauses[0].references,
+            (std::vector<std::pair<std::string, std::string>>{
+                {"as-path", "50"}}));
+  EXPECT_EQ(in_clauses[1].references,
+            (std::vector<std::pair<std::string, std::string>>{
+                {"community", "100"}}));
+  const auto& out_clauses = r1.route_maps.at("PEER-out");
+  EXPECT_EQ(out_clauses[0].references,
+            (std::vector<std::pair<std::string, std::string>>{
+                {"acl", "143"}}));
+}
+
+TEST(DesignExtract, MapDesignIdentityIsNoop) {
+  const NetworkDesign design = ExtractDesign(TwoRouterNetwork());
+  const NetworkDesign mapped = MapDesign(
+      design, [](const std::string& s) { return s; },
+      [](net::Ipv4Address a) { return a; },
+      [](std::uint32_t a) { return a; });
+  EXPECT_TRUE(CompareDesigns(design, mapped).empty());
+}
+
+TEST(DesignExtract, MapDesignReordersAfterRenaming) {
+  const NetworkDesign design = ExtractDesign(TwoRouterNetwork());
+  // A renaming that swaps sort order: r1 -> z9, r2 -> a0.
+  const auto name_map = [](const std::string& s) -> std::string {
+    if (s == "r1") return "z9";
+    if (s == "r2") return "a0";
+    return s;
+  };
+  const NetworkDesign mapped = MapDesign(
+      design, name_map, [](net::Ipv4Address a) { return a; },
+      [](std::uint32_t a) { return a; });
+  EXPECT_EQ(mapped.routers[0].hostname, "a0");
+  EXPECT_EQ(mapped.routers[1].hostname, "z9");
+  EXPECT_EQ(mapped.links[0].router_a, "a0");
+  EXPECT_EQ(mapped.links[0].interface_a, "Serial1/0");
+}
+
+TEST(DesignExtract, CompareDetectsDifferences) {
+  NetworkDesign a = ExtractDesign(TwoRouterNetwork());
+  NetworkDesign b = a;
+  b.routers[0].bgp_neighbors[0].remote_asn = 999;
+  const auto diffs = CompareDesigns(a, b);
+  ASSERT_FALSE(diffs.empty());
+  EXPECT_NE(diffs[0].find("bgp_neighbors"), std::string::npos);
+}
+
+TEST(DesignExtract, StructuralComparisonIgnoresIdentity) {
+  const NetworkDesign a = ExtractDesign(TwoRouterNetwork());
+  const NetworkDesign renamed = MapDesign(
+      a, [](const std::string& s) { return "x-" + s; },
+      [](net::Ipv4Address addr) { return addr; },
+      [](std::uint32_t asn) { return asn; });
+  EXPECT_TRUE(CompareStructural(a, renamed).empty());
+  NetworkDesign mutated = a;
+  mutated.links.clear();
+  EXPECT_FALSE(CompareStructural(a, mutated).empty());
+}
+
+// --- fingerprints ---
+
+TEST(Fingerprint, SubnetHistogramMatchesCharacteristics) {
+  const auto configs = TwoRouterNetwork();
+  EXPECT_TRUE(SubnetSizeFingerprint(configs) ==
+              ExtractCharacteristics(configs).subnet_sizes);
+}
+
+TEST(Fingerprint, PeeringStructure) {
+  const PeeringFingerprint fp =
+      PeeringStructureFingerprint(TwoRouterNetwork());
+  EXPECT_EQ(fp.peering_router_count, 1u);
+  EXPECT_EQ(fp.sessions_per_router, (std::vector<int>{1}));
+}
+
+TEST(Fingerprint, UniquenessCounting) {
+  util::Histogram a, b, c;
+  a.Add(30, 5);
+  b.Add(30, 5);  // identical to a
+  c.Add(24, 2);
+  const UniquenessResult result = SubnetFingerprintUniqueness({a, b, c});
+  EXPECT_EQ(result.population, 3u);
+  EXPECT_EQ(result.uniquely_identified, 1u);  // only c
+  EXPECT_EQ(result.ambiguous, 2u);
+  EXPECT_NEAR(result.IdentifiedFraction(), 1.0 / 3, 1e-9);
+}
+
+TEST(Fingerprint, PeeringUniquenessCounting) {
+  PeeringFingerprint a{2, {3, 1}};
+  PeeringFingerprint b{2, {3, 1}};
+  PeeringFingerprint c{1, {4}};
+  const UniquenessResult result = PeeringFingerprintUniqueness({a, b, c});
+  EXPECT_EQ(result.uniquely_identified, 1u);
+}
+
+// --- compartmentalization ---
+
+TEST(Compartment, DetectsNat) {
+  const auto configs = std::vector<config::ConfigFile>{File(
+      "r", "ip nat pool p 10.0.0.1 10.0.0.14 netmask 255.255.255.240\n")};
+  EXPECT_EQ(DetectCompartmentalization(configs), CompartmentMechanism::kNat);
+}
+
+TEST(Compartment, DetectsPolicy) {
+  const auto configs = std::vector<config::ConfigFile>{
+      File("r", "router ospf 1\n distribute-list 120 in\n")};
+  EXPECT_EQ(DetectCompartmentalization(configs),
+            CompartmentMechanism::kRoutingPolicy);
+}
+
+TEST(Compartment, DetectsProbeDrop) {
+  const auto configs = std::vector<config::ConfigFile>{
+      File("r", "access-list 199 deny icmp any any echo\n")};
+  EXPECT_EQ(DetectCompartmentalization(configs),
+            CompartmentMechanism::kProbeDrop);
+}
+
+TEST(Compartment, NoneWhenClean) {
+  EXPECT_EQ(DetectCompartmentalization(TwoRouterNetwork()),
+            CompartmentMechanism::kNone);
+}
+
+}  // namespace
+}  // namespace confanon::analysis

@@ -1,0 +1,173 @@
+#include "asn/asn_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "asn/community.h"
+
+namespace confanon::asn {
+namespace {
+
+TEST(AsnRanges, PublicPrivateSplit) {
+  EXPECT_FALSE(IsPublicAsn(0));
+  EXPECT_TRUE(IsPublicAsn(1));
+  EXPECT_TRUE(IsPublicAsn(701));
+  EXPECT_TRUE(IsPublicAsn(64511));
+  EXPECT_FALSE(IsPublicAsn(64512));
+  EXPECT_FALSE(IsPublicAsn(65535));
+  EXPECT_FALSE(IsPrivateAsn(64511));
+  EXPECT_TRUE(IsPrivateAsn(64512));
+  EXPECT_TRUE(IsPrivateAsn(65535));
+  EXPECT_FALSE(IsPrivateAsn(0));
+}
+
+TEST(AsnMap, PrivateAndZeroAreIdentity) {
+  const AsnMap map("salt");
+  EXPECT_EQ(map.Map(0), 0u);
+  for (std::uint32_t asn = 64512; asn <= 65535; asn += 97) {
+    EXPECT_EQ(map.Map(asn), asn);
+  }
+  EXPECT_EQ(map.Map(65535), 65535u);
+}
+
+TEST(AsnMap, PublicMapsToPublic) {
+  const AsnMap map("salt");
+  for (std::uint32_t asn = 1; asn < 64512; asn += 1009) {
+    EXPECT_TRUE(IsPublicAsn(map.Map(asn))) << asn;
+  }
+}
+
+TEST(AsnMap, IsBijectiveOverFullPublicSpace) {
+  const AsnMap map("bijective-salt");
+  std::vector<bool> seen(64512, false);
+  for (std::uint32_t asn = 1; asn <= 64511; ++asn) {
+    const std::uint32_t mapped = map.Map(asn);
+    ASSERT_TRUE(IsPublicAsn(mapped));
+    ASSERT_FALSE(seen[mapped]) << "duplicate image " << mapped;
+    seen[mapped] = true;
+  }
+}
+
+TEST(AsnMap, UnmapInvertsMap) {
+  const AsnMap map("inverse-salt");
+  for (std::uint32_t asn = 1; asn < 64512; asn += 331) {
+    EXPECT_EQ(map.Unmap(map.Map(asn)), asn);
+  }
+  EXPECT_EQ(map.Unmap(65000), 65000u);
+}
+
+TEST(AsnMap, DeterministicPerSalt) {
+  const AsnMap a("same");
+  const AsnMap b("same");
+  const AsnMap c("different");
+  int differs = 0;
+  for (std::uint32_t asn = 1; asn < 64512; asn += 503) {
+    EXPECT_EQ(a.Map(asn), b.Map(asn));
+    if (a.Map(asn) != c.Map(asn)) ++differs;
+  }
+  EXPECT_GT(differs, 100);
+}
+
+TEST(AsnMap, ActuallyPermutes) {
+  const AsnMap map("moves-salt");
+  int fixed_points = 0;
+  for (std::uint32_t asn = 1; asn < 64512; asn += 61) {
+    if (map.Map(asn) == asn) ++fixed_points;
+  }
+  // A random permutation of 64511 elements has ~1 fixed point; our sample
+  // of ~1000 should contain essentially none.
+  EXPECT_LT(fixed_points, 3);
+}
+
+TEST(Uint16Permutation, BijectiveAndDeterministic) {
+  const Uint16Permutation perm("salt", "values");
+  std::vector<bool> seen(65536, false);
+  for (std::uint32_t v = 0; v <= 65535; ++v) {
+    const std::uint32_t mapped = perm.Map(v);
+    ASSERT_LE(mapped, 65535u);
+    ASSERT_FALSE(seen[mapped]);
+    seen[mapped] = true;
+    EXPECT_EQ(perm.Unmap(mapped), v);
+  }
+  const Uint16Permutation again("salt", "values");
+  EXPECT_EQ(perm.Map(7100), again.Map(7100));
+  const Uint16Permutation other_label("salt", "other");
+  int differs = 0;
+  for (std::uint32_t v = 0; v < 65536; v += 257) {
+    if (perm.Map(v) != other_label.Map(v)) ++differs;
+  }
+  EXPECT_GT(differs, 200);
+}
+
+// --- communities ---
+
+TEST(Community, ParseValid) {
+  const auto c = ParseCommunity("701:1234");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->asn, 701u);
+  EXPECT_EQ(c->value, 1234u);
+  EXPECT_EQ(c->ToString(), "701:1234");
+  EXPECT_EQ(ParseCommunity("0:0")->ToString(), "0:0");
+  EXPECT_EQ(ParseCommunity("65535:65535")->value, 65535u);
+}
+
+TEST(Community, ParseRejects) {
+  EXPECT_FALSE(ParseCommunity("701"));
+  EXPECT_FALSE(ParseCommunity("701:"));
+  EXPECT_FALSE(ParseCommunity(":1234"));
+  EXPECT_FALSE(ParseCommunity("70000:1"));
+  EXPECT_FALSE(ParseCommunity("701:70000"));
+  EXPECT_FALSE(ParseCommunity("701:12:34"));
+  EXPECT_FALSE(ParseCommunity("701:12a"));
+  EXPECT_FALSE(ParseCommunity("no-export"));
+}
+
+TEST(Community, WellKnown) {
+  EXPECT_TRUE(IsWellKnownCommunity(*ParseCommunity("65535:65281")));
+  EXPECT_TRUE(IsWellKnownCommunity(*ParseCommunity("65535:65282")));
+  EXPECT_TRUE(IsWellKnownCommunity(*ParseCommunity("65535:65283")));
+  EXPECT_FALSE(IsWellKnownCommunity(*ParseCommunity("65535:1")));
+  EXPECT_FALSE(IsWellKnownCommunity(*ParseCommunity("701:65281")));
+}
+
+TEST(CommunityAnonymizer, MapsBothHalves) {
+  const AsnMap asn_map("net-salt");
+  const Uint16Permutation values("net-salt", "community-values");
+  const CommunityAnonymizer anonymizer(asn_map, values);
+  const Community mapped = anonymizer.Map(*ParseCommunity("701:7100"));
+  EXPECT_EQ(mapped.asn, asn_map.Map(701));
+  EXPECT_EQ(mapped.value, values.Map(7100));
+  EXPECT_NE(mapped.ToString(), "701:7100");
+}
+
+TEST(CommunityAnonymizer, WellKnownPassThrough) {
+  const AsnMap asn_map("net-salt");
+  const Uint16Permutation values("net-salt", "community-values");
+  const CommunityAnonymizer anonymizer(asn_map, values);
+  EXPECT_EQ(anonymizer.Map(*ParseCommunity("65535:65281")).ToString(),
+            "65535:65281");
+}
+
+TEST(CommunityAnonymizer, PrivateAsnHalfKeptValueStillMapped) {
+  const AsnMap asn_map("net-salt");
+  const Uint16Permutation values("net-salt", "community-values");
+  const CommunityAnonymizer anonymizer(asn_map, values);
+  const Community mapped = anonymizer.Map(*ParseCommunity("65000:42"));
+  EXPECT_EQ(mapped.asn, 65000u);
+  EXPECT_EQ(mapped.value, values.Map(42));
+}
+
+TEST(CommunityAnonymizer, MapTextRoundTrip) {
+  const AsnMap asn_map("net-salt");
+  const Uint16Permutation values("net-salt", "community-values");
+  const CommunityAnonymizer anonymizer(asn_map, values);
+  EXPECT_TRUE(anonymizer.MapText("701:120").has_value());
+  EXPECT_FALSE(anonymizer.MapText("not-a-community").has_value());
+  // Consistency: same input, same output.
+  EXPECT_EQ(*anonymizer.MapText("701:120"), *anonymizer.MapText("701:120"));
+}
+
+}  // namespace
+}  // namespace confanon::asn

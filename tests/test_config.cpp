@@ -1,0 +1,229 @@
+#include "config/document.h"
+#include "config/dialect.h"
+#include "config/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace confanon::config {
+namespace {
+
+// --- tokenizer: the paper's two segmentation rules ---
+
+TEST(SegmentWord, PaperExampleEthernet) {
+  const auto segments = SegmentWord("ethernet0/0");
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_TRUE(segments[0].alpha);
+  EXPECT_EQ(segments[0].text, "ethernet");
+  EXPECT_FALSE(segments[1].alpha);
+  EXPECT_EQ(segments[1].text, "0/0");
+}
+
+TEST(SegmentWord, MixedIdentifier) {
+  const auto segments = SegmentWord("Serial1/0.5");
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].text, "Serial");
+  EXPECT_EQ(segments[1].text, "1/0.5");
+}
+
+TEST(SegmentWord, HyphenatedName) {
+  const auto segments = SegmentWord("UUNET-import");
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].text, "UUNET");
+  EXPECT_EQ(segments[1].text, "-");
+  EXPECT_EQ(segments[2].text, "import");
+}
+
+TEST(SegmentWord, PureForms) {
+  EXPECT_EQ(SegmentWord("bgp").size(), 1u);
+  EXPECT_TRUE(SegmentWord("bgp")[0].alpha);
+  EXPECT_EQ(SegmentWord("1234").size(), 1u);
+  EXPECT_FALSE(SegmentWord("1234")[0].alpha);
+  EXPECT_TRUE(SegmentWord("").empty());
+}
+
+TEST(SegmentWord, ConcatenationInvariant) {
+  util::Rng rng(31);
+  const char alphabet[] = "ab0.-/";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string word;
+    const int length = static_cast<int>(rng.Below(12));
+    for (int i = 0; i < length; ++i) {
+      word += alphabet[static_cast<std::size_t>(rng.Below(6))];
+    }
+    std::string reassembled;
+    for (const Segment& segment : SegmentWord(word)) {
+      reassembled += segment.text;
+    }
+    EXPECT_EQ(reassembled, word);
+  }
+}
+
+TEST(IsNonAlphabetic, Basics) {
+  EXPECT_TRUE(IsNonAlphabetic("0/0"));
+  EXPECT_TRUE(IsNonAlphabetic("1.2.3.4"));
+  EXPECT_TRUE(IsNonAlphabetic("!"));
+  EXPECT_TRUE(IsNonAlphabetic(""));
+  EXPECT_FALSE(IsNonAlphabetic("Ethernet0"));
+}
+
+TEST(SplitConfigLine, IndentAndWords) {
+  const SplitLine split = SplitConfigLine("  neighbor 1.2.3.4 remote-as 701");
+  EXPECT_EQ(split.indent, 2);
+  ASSERT_EQ(split.words.size(), 4u);
+  EXPECT_EQ(split.words[0], "neighbor");
+  EXPECT_EQ(split.words[3], "701");
+}
+
+TEST(LineTokens, RenderRoundTripExact) {
+  for (const char* line :
+       {"", " ", "!", " ip address 1.1.1.1  255.255.255.0",
+        "\tdescription  two  spaces ", "a", "  leading", "trailing  "}) {
+    EXPECT_EQ(TokenizeLine(line).Render(), line) << '"' << line << '"';
+  }
+}
+
+TEST(LineTokens, RandomRoundTripProperty) {
+  util::Rng rng(33);
+  const char alphabet[] = "ab1 .\t";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string line;
+    const int length = static_cast<int>(rng.Below(30));
+    for (int i = 0; i < length; ++i) {
+      line += alphabet[static_cast<std::size_t>(rng.Below(6))];
+    }
+    const LineTokens tokens = TokenizeLine(line);
+    EXPECT_EQ(tokens.Render(), line);
+    EXPECT_EQ(tokens.gaps.size(), tokens.words.size() + 1);
+  }
+}
+
+TEST(LineTokens, WordEditPreservesSpacing) {
+  LineTokens tokens = TokenizeLine(" neighbor 2.2.2.2 remote-as  701");
+  tokens.words[3] = "54651";
+  EXPECT_EQ(tokens.Render(), " neighbor 2.2.2.2 remote-as  54651");
+}
+
+// --- document model ---
+
+TEST(ConfigFile, FromTextSplitsLines) {
+  const ConfigFile file = ConfigFile::FromText("r1", "a\nb\nc\n");
+  EXPECT_EQ(file.name(), "r1");
+  ASSERT_EQ(file.LineCount(), 3u);
+  EXPECT_EQ(file.lines()[2], "c");
+}
+
+TEST(ConfigFile, FromTextHandlesCrLfAndNoTrailingNewline) {
+  const ConfigFile file = ConfigFile::FromText("r1", "a\r\nb");
+  ASSERT_EQ(file.LineCount(), 2u);
+  EXPECT_EQ(file.lines()[0], "a");
+  EXPECT_EQ(file.lines()[1], "b");
+}
+
+TEST(ConfigFile, ToTextRoundTrip) {
+  const std::string text = "hostname r1\n!\ninterface Ethernet0\n";
+  EXPECT_EQ(ConfigFile::FromText("r1", text).ToText(), text);
+}
+
+TEST(ConfigFile, EmptyText) {
+  EXPECT_EQ(ConfigFile::FromText("r1", "").LineCount(), 0u);
+}
+
+TEST(BannerRegions, MultiLineBanner) {
+  const ConfigFile file = ConfigFile::FromText("r1",
+                                               "hostname r1\n"
+                                               "banner motd ^C\n"
+                                               "line one\n"
+                                               "line two\n"
+                                               "^C\n"
+                                               "interface Ethernet0\n");
+  const auto regions = FindBannerRegions(file);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].begin, 1u);
+  EXPECT_EQ(regions[0].end, 5u);  // includes the closing ^C line
+}
+
+TEST(BannerRegions, HashDelimiter) {
+  const ConfigFile file = ConfigFile::FromText("r1",
+                                               "banner login #\n"
+                                               "keep out\n"
+                                               "#\n"
+                                               "end\n");
+  const auto regions = FindBannerRegions(file);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0], (LineRegion{0, 3}));
+}
+
+TEST(BannerRegions, InlineSingleLineBanner) {
+  const ConfigFile file =
+      ConfigFile::FromText("r1", "banner motd #unauthorized#\nend\n");
+  const auto regions = FindBannerRegions(file);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0], (LineRegion{0, 1}));
+}
+
+TEST(BannerRegions, UnterminatedExtendsToEof) {
+  const ConfigFile file = ConfigFile::FromText("r1",
+                                               "banner motd ^C\n"
+                                               "text\n"
+                                               "more text\n");
+  const auto regions = FindBannerRegions(file);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].end, 3u);
+}
+
+TEST(BannerRegions, MultipleBanners) {
+  const ConfigFile file = ConfigFile::FromText("r1",
+                                               "banner motd ^C\nx\n^C\n"
+                                               "!\n"
+                                               "banner exec #\ny\n#\n");
+  const auto regions = FindBannerRegions(file);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0], (LineRegion{0, 3}));
+  EXPECT_EQ(regions[1], (LineRegion{4, 7}));
+}
+
+TEST(BannerRegions, NoBanner) {
+  const ConfigFile file =
+      ConfigFile::FromText("r1", "hostname r1\ninterface Ethernet0\n");
+  EXPECT_TRUE(FindBannerRegions(file).empty());
+}
+
+// --- dialect registry ---
+
+TEST(Dialect, Deterministic) {
+  const Dialect a = MakeDialect(17);
+  const Dialect b = MakeDialect(17);
+  EXPECT_EQ(a.version_string, b.version_string);
+  EXPECT_EQ(a.interface_generation, b.interface_generation);
+  EXPECT_EQ(a.emits_no_auto_summary, b.emits_no_auto_summary);
+}
+
+TEST(Dialect, ProducesManyDistinctVersions) {
+  std::set<std::string> versions;
+  for (std::uint32_t i = 0; i < 220; ++i) {
+    versions.insert(MakeDialect(i).version_string);
+  }
+  // The paper's corpus spanned 200+ IOS versions; the registry must offer
+  // comparable diversity.
+  EXPECT_GE(versions.size(), 150u);
+}
+
+TEST(Dialect, QuirksVary) {
+  bool saw_double_space = false, saw_classless = false, saw_gen2 = false;
+  for (std::uint32_t i = 0; i < 220; ++i) {
+    const Dialect d = MakeDialect(i);
+    saw_double_space |= d.double_space_artifact;
+    saw_classless |= d.emits_ip_classless;
+    saw_gen2 |= d.interface_generation == 2;
+  }
+  EXPECT_TRUE(saw_double_space);
+  EXPECT_TRUE(saw_classless);
+  EXPECT_TRUE(saw_gen2);
+}
+
+}  // namespace
+}  // namespace confanon::config

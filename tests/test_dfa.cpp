@@ -1,0 +1,120 @@
+#include "regex/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include "regex/parser.h"
+#include "regex/regex.h"
+#include "util/rng.h"
+
+namespace confanon::regex {
+namespace {
+
+Dfa CompileToDfa(std::string_view pattern) {
+  Ast ast;
+  ParsePattern(pattern, ParseOptions{}, ast);
+  return Dfa::FromNfa(Nfa::Build(ast));
+}
+
+TEST(Dfa, FullMatchLiteral) {
+  const Dfa dfa = CompileToDfa("abc");
+  EXPECT_TRUE(dfa.FullMatch("abc"));
+  EXPECT_FALSE(dfa.FullMatch("ab"));
+  EXPECT_FALSE(dfa.FullMatch("abcd"));
+  EXPECT_FALSE(dfa.FullMatch(""));
+}
+
+TEST(Dfa, FullMatchStar) {
+  const Dfa dfa = CompileToDfa("(ab)*");
+  EXPECT_TRUE(dfa.FullMatch(""));
+  EXPECT_TRUE(dfa.FullMatch("ab"));
+  EXPECT_TRUE(dfa.FullMatch("abab"));
+  EXPECT_FALSE(dfa.FullMatch("aba"));
+}
+
+TEST(Dfa, ByteClassesCompressAlphabet) {
+  const Dfa dfa = CompileToDfa("[0-9]+");
+  // Classes: digits, everything else (at minimum). Far fewer than 256.
+  EXPECT_LE(dfa.NumClasses(), 4);
+  EXPECT_EQ(dfa.ClassOf('3'), dfa.ClassOf('7'));
+  EXPECT_NE(dfa.ClassOf('3'), dfa.ClassOf('a'));
+}
+
+TEST(Dfa, MinimizePreservesLanguage) {
+  const std::vector<std::string> patterns = {
+      "(a|b)*abb", "a{2,5}", "(0|1)(0|1)*", "abc|abd|abe", "x?y?z?",
+  };
+  util::Rng rng(99);
+  for (const auto& pattern : patterns) {
+    const Dfa dfa = CompileToDfa(pattern);
+    const Dfa minimal = dfa.Minimize();
+    EXPECT_LE(minimal.StateCount(), dfa.StateCount()) << pattern;
+    EXPECT_TRUE(dfa.EquivalentTo(minimal)) << pattern;
+    // Spot-check with random subjects too.
+    for (int i = 0; i < 200; ++i) {
+      std::string subject;
+      const int length = static_cast<int>(rng.Below(8));
+      for (int j = 0; j < length; ++j) {
+        subject += static_cast<char>('a' + rng.Below(4));
+      }
+      EXPECT_EQ(dfa.FullMatch(subject), minimal.FullMatch(subject))
+          << pattern << " on " << subject;
+    }
+  }
+}
+
+TEST(Dfa, MinimizeReachesKnownMinimum) {
+  // L = strings over {a,b} ending in "ab": minimal total DFA has 3 states.
+  const Dfa minimal = CompileToDfa("(a|b)*ab").Minimize();
+  EXPECT_EQ(minimal.StateCount(), 4);  // 3 live states + dead state
+}
+
+TEST(Dfa, MinimizeIdempotent) {
+  const Dfa minimal = CompileToDfa("(a|b)*abb").Minimize();
+  EXPECT_EQ(minimal.Minimize().StateCount(), minimal.StateCount());
+}
+
+TEST(Dfa, EquivalentToDetectsEquality) {
+  EXPECT_TRUE(CompileToDfa("a|b").EquivalentTo(CompileToDfa("[ab]")));
+  EXPECT_TRUE(CompileToDfa("aa*").EquivalentTo(CompileToDfa("a+")));
+  EXPECT_TRUE(CompileToDfa("(ab)?").EquivalentTo(CompileToDfa("ab|")));
+}
+
+TEST(Dfa, EquivalentToDetectsInequality) {
+  EXPECT_FALSE(CompileToDfa("a").EquivalentTo(CompileToDfa("b")));
+  EXPECT_FALSE(CompileToDfa("a*").EquivalentTo(CompileToDfa("a+")));
+  EXPECT_FALSE(CompileToDfa("a{2,3}").EquivalentTo(CompileToDfa("a{2,4}")));
+}
+
+TEST(Dfa, IsEmptyLanguage) {
+  // No AST form denotes the empty language directly, but intersecting
+  // contradictory requirements does: nothing matches "a" and is empty.
+  EXPECT_FALSE(CompileToDfa("a").IsEmptyLanguage());
+  EXPECT_FALSE(CompileToDfa("").IsEmptyLanguage());
+  // A pattern whose language is plainly non-empty after minimization.
+  EXPECT_FALSE(CompileToDfa("(a|b)*").Minimize().IsEmptyLanguage());
+}
+
+TEST(Dfa, ClassCharsPartitionIsConsistent) {
+  const Dfa dfa = CompileToDfa("[0-4][5-9]");
+  for (int k = 0; k < dfa.NumClasses(); ++k) {
+    const CharSet chars = dfa.ClassChars(k);
+    for (int b = 0; b < 256; ++b) {
+      const char c = static_cast<char>(b);
+      EXPECT_EQ(chars.Contains(c), dfa.ClassOf(c) == k);
+    }
+  }
+}
+
+TEST(Dfa, TransitionsAreTotal) {
+  const Dfa dfa = CompileToDfa("(cisco|juniper)+");
+  for (int s = 0; s < dfa.StateCount(); ++s) {
+    for (int k = 0; k < dfa.NumClasses(); ++k) {
+      const int t = dfa.TransitionByClass(s, k);
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, dfa.StateCount());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace confanon::regex

@@ -1,0 +1,171 @@
+// End-to-end integration tests: generate -> anonymize -> validate -> attack.
+//
+// These are the paper's Section 5 and Section 6 procedures run as a test,
+// parameterized over seeds, sizes and profiles so that every combination
+// of topology shape, dialect mix, policy features and compartmentalization
+// goes through the full pipeline.
+#include <gtest/gtest.h>
+
+#include "analysis/compartment.h"
+#include "analysis/fingerprint.h"
+#include "analysis/validate.h"
+#include "core/anonymizer.h"
+#include "core/leak_detector.h"
+#include "gen/config_writer.h"
+#include "gen/network_gen.h"
+
+namespace confanon {
+namespace {
+
+struct EndToEndCase {
+  std::uint64_t seed;
+  int routers;
+  gen::NetworkProfile profile;
+  asn::RewriteForm form;
+};
+
+void PrintTo(const EndToEndCase& c, std::ostream* os) {
+  *os << "seed" << c.seed << "_r" << c.routers << "_"
+      << (c.profile == gen::NetworkProfile::kBackbone ? "backbone"
+                                                      : "enterprise")
+      << (c.form == asn::RewriteForm::kAlternation ? "_alt" : "_min");
+}
+
+class EndToEnd : public ::testing::TestWithParam<EndToEndCase> {
+ protected:
+  void SetUp() override {
+    gen::GeneratorParams params;
+    params.seed = GetParam().seed;
+    params.router_count = GetParam().routers;
+    params.profile = GetParam().profile;
+    // Force the interesting regex features on for half the cases so they
+    // are exercised deterministically.
+    if (GetParam().seed % 2 == 0) {
+      params.p_public_range_regex = 1.0;
+      params.p_alternation_regex = 1.0;
+      params.p_community_regex = 1.0;
+    }
+    network_ = gen::GenerateNetwork(params, static_cast<int>(params.seed));
+    pre_ = gen::WriteNetworkConfigs(network_);
+
+    core::AnonymizerOptions options;
+    options.salt = "e2e-salt-" + std::to_string(GetParam().seed);
+    options.regex_form = GetParam().form;
+    anonymizer_ = std::make_unique<core::Anonymizer>(std::move(options));
+    post_ = anonymizer_->AnonymizeNetwork(pre_);
+  }
+
+  gen::NetworkSpec network_;
+  std::vector<config::ConfigFile> pre_;
+  std::vector<config::ConfigFile> post_;
+  std::unique_ptr<core::Anonymizer> anonymizer_;
+};
+
+TEST_P(EndToEnd, BothValidationSuitesPass) {
+  const analysis::ValidationResult result =
+      analysis::ValidateNetwork(pre_, post_, *anonymizer_);
+  EXPECT_TRUE(result.characteristics_match)
+      << result.characteristics_diffs.size() << " diffs, first: "
+      << (result.characteristics_diffs.empty()
+              ? ""
+              : result.characteristics_diffs[0]);
+  EXPECT_TRUE(result.design_match)
+      << (result.design_diffs.empty() ? "" : result.design_diffs[0]);
+  EXPECT_TRUE(result.structural_match)
+      << (result.structural_diffs.empty() ? "" : result.structural_diffs[0]);
+}
+
+TEST_P(EndToEnd, NoLeaksSurvive) {
+  const auto findings =
+      core::LeakDetector::Scan(post_, anonymizer_->leak_record());
+  // Pure-number false positives (the Genuity AS-1 effect) are possible in
+  // principle; assert that no *textual* identifier survives and that any
+  // numeric finding is indeed a different use of the number.
+  for (const auto& finding : findings) {
+    EXPECT_NE(finding.kind, core::LeakFinding::Kind::kHashedWord)
+        << finding.matched << " in: " << finding.line;
+    EXPECT_NE(finding.kind, core::LeakFinding::Kind::kAddress)
+        << finding.matched << " in: " << finding.line;
+  }
+}
+
+TEST_P(EndToEnd, CompanyNameNowhereInOutput) {
+  for (const auto& file : post_) {
+    EXPECT_EQ(file.ToText().find(network_.name), std::string::npos)
+        << file.name();
+  }
+}
+
+TEST_P(EndToEnd, FingerprintsPreserved) {
+  // Section 6.2/6.3: the attack surface — fingerprints are identical
+  // before and after anonymization.
+  EXPECT_TRUE(analysis::SubnetSizeFingerprint(pre_) ==
+              analysis::SubnetSizeFingerprint(post_));
+  EXPECT_TRUE(analysis::PeeringStructureFingerprint(pre_) ==
+              analysis::PeeringStructureFingerprint(post_));
+}
+
+TEST_P(EndToEnd, CompartmentalizationVerdictSurvives) {
+  EXPECT_EQ(analysis::DetectCompartmentalization(pre_),
+            analysis::DetectCompartmentalization(post_));
+}
+
+TEST_P(EndToEnd, DeterministicReanonymization) {
+  core::AnonymizerOptions options;
+  options.salt = "e2e-salt-" + std::to_string(GetParam().seed);
+  options.regex_form = GetParam().form;
+  core::Anonymizer again{std::move(options)};
+  const auto post2 = again.AnonymizeNetwork(pre_);
+  ASSERT_EQ(post2.size(), post_.size());
+  for (std::size_t i = 0; i < post_.size(); ++i) {
+    EXPECT_EQ(post2[i].ToText(), post_[i].ToText());
+  }
+}
+
+TEST(EndToEndKeepComments, ValidationPassesWithCommentsKept) {
+  // With strip_comments off, free text survives as hashed words; the
+  // structural validation must be unaffected (the extractors never read
+  // comment payloads).
+  gen::GeneratorParams params;
+  params.seed = 404;
+  params.router_count = 14;
+  const auto network = gen::GenerateNetwork(params, 0);
+  const auto pre = gen::WriteNetworkConfigs(network);
+  core::AnonymizerOptions options;
+  options.salt = "keep-comments";
+  options.strip_comments = false;
+  core::Anonymizer anonymizer(std::move(options));
+  const auto post = anonymizer.AnonymizeNetwork(pre);
+  const analysis::ValidationResult result =
+      analysis::ValidateNetwork(pre, post, anonymizer);
+  EXPECT_TRUE(result.design_match)
+      << (result.design_diffs.empty() ? "" : result.design_diffs[0]);
+  EXPECT_TRUE(result.structural_match);
+  // The company name still must not survive (its words are hashed).
+  for (const auto& file : post) {
+    EXPECT_EQ(file.ToText().find(network.name), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pipelines, EndToEnd,
+    ::testing::Values(
+        EndToEndCase{1, 10, gen::NetworkProfile::kBackbone,
+                     asn::RewriteForm::kAlternation},
+        EndToEndCase{2, 18, gen::NetworkProfile::kBackbone,
+                     asn::RewriteForm::kAlternation},
+        EndToEndCase{3, 18, gen::NetworkProfile::kEnterprise,
+                     asn::RewriteForm::kAlternation},
+        EndToEndCase{4, 26, gen::NetworkProfile::kBackbone,
+                     asn::RewriteForm::kMinimizedDfa},
+        EndToEndCase{5, 12, gen::NetworkProfile::kEnterprise,
+                     asn::RewriteForm::kMinimizedDfa},
+        EndToEndCase{6, 34, gen::NetworkProfile::kBackbone,
+                     asn::RewriteForm::kAlternation},
+        EndToEndCase{7, 8, gen::NetworkProfile::kEnterprise,
+                     asn::RewriteForm::kAlternation},
+        EndToEndCase{8, 22, gen::NetworkProfile::kBackbone,
+                     asn::RewriteForm::kMinimizedDfa}));
+
+}  // namespace
+}  // namespace confanon

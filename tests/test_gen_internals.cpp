@@ -1,0 +1,244 @@
+// Unit tests for the generator's building blocks: the address plan, the
+// name corpora, and config-writer details (dialect quirks, wildcard
+// rendering, block structure).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "config/dialect.h"
+#include "config/tokenizer.h"
+#include "gen/addressing.h"
+#include "gen/config_writer.h"
+#include "gen/names.h"
+#include "gen/network_gen.h"
+#include "util/strings.h"
+
+namespace confanon::gen {
+namespace {
+
+// --- address plan ---
+
+TEST(AddressPlan, SubnetsAreAlignedAndDisjoint) {
+  util::Rng rng(41);
+  AddressPlan plan(rng, NetworkProfile::kBackbone, 40);
+  std::vector<net::Prefix> allocated;
+  for (int length : {24, 26, 29, 25, 30, 24, 28}) {
+    const net::Prefix subnet = plan.AllocateSubnet(length);
+    EXPECT_EQ(subnet.length(), length);
+    // Aligned: the base address is a multiple of the subnet size.
+    EXPECT_EQ(subnet.address().value() %
+                  (1u << (32 - static_cast<unsigned>(length))),
+              0u);
+    for (const net::Prefix& earlier : allocated) {
+      EXPECT_FALSE(earlier.Contains(subnet) || subnet.Contains(earlier))
+          << earlier.ToString() << " overlaps " << subnet.ToString();
+    }
+    allocated.push_back(subnet);
+  }
+}
+
+TEST(AddressPlan, RegionsAreDisjoint) {
+  util::Rng rng(43);
+  AddressPlan plan(rng, NetworkProfile::kBackbone, 40);
+  const net::Prefix lan = plan.AllocateSubnet(24);
+  const net::Prefix link = plan.AllocateLink();
+  const net::Ipv4Address loopback = plan.AllocateLoopback();
+  EXPECT_FALSE(lan.Contains(link.address()));
+  EXPECT_FALSE(lan.Contains(loopback));
+  EXPECT_FALSE(link.Contains(loopback));
+  // Everything stays inside the base block.
+  EXPECT_TRUE(plan.base().Contains(lan.address()));
+  EXPECT_TRUE(plan.base().Contains(link.address()));
+  EXPECT_TRUE(plan.base().Contains(loopback));
+}
+
+TEST(AddressPlan, LinksAreSlash30AndSequential) {
+  util::Rng rng(47);
+  AddressPlan plan(rng, NetworkProfile::kBackbone, 40);
+  const net::Prefix first = plan.AllocateLink();
+  const net::Prefix second = plan.AllocateLink();
+  EXPECT_EQ(first.length(), 30);
+  EXPECT_EQ(second.address().value(), first.address().value() + 4);
+}
+
+TEST(AddressPlan, EnterpriseUsesRfc1918) {
+  util::Rng rng(53);
+  AddressPlan plan(rng, NetworkProfile::kEnterprise, 40);
+  EXPECT_EQ(plan.base().address().Octet(0), 10);
+}
+
+TEST(AddressPlan, BlockScalesWithRouterCount) {
+  util::Rng rng_small(59), rng_large(59);
+  AddressPlan small(rng_small, NetworkProfile::kBackbone, 30);
+  AddressPlan large(rng_large, NetworkProfile::kBackbone, 300);
+  EXPECT_EQ(small.base().length(), 16);
+  EXPECT_EQ(large.base().length(), 12);
+}
+
+TEST(AddressPlan, NeverAllocatesSpecialBases) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Rng rng(seed);
+    AddressPlan plan(rng, NetworkProfile::kBackbone, 40);
+    const int first = plan.base().address().Octet(0);
+    EXPECT_NE(first, 0);
+    EXPECT_NE(first, 10);
+    EXPECT_NE(first, 127);
+    EXPECT_LT(first, 192);
+  }
+}
+
+// --- names ---
+
+TEST(Names, CorporaAreNonTrivialAndDistinct) {
+  EXPECT_GE(CompanyNames().size(), 20u);
+  EXPECT_GE(CityCodes().size(), 20u);
+  EXPECT_GE(PeerIsps().size(), 10u);
+  std::set<std::string> companies(CompanyNames().begin(),
+                                  CompanyNames().end());
+  EXPECT_EQ(companies.size(), CompanyNames().size());
+}
+
+TEST(Names, DescriptionsEmbedIdentity) {
+  util::Rng rng(61);
+  for (int i = 0; i < 20; ++i) {
+    const std::string text = MakeDescription(rng, "foocorp", "lax");
+    EXPECT_TRUE(text.find("foocorp") != std::string::npos ||
+                text.find("lax") != std::string::npos ||
+                text.find("crossing") != std::string::npos)
+        << text;
+  }
+}
+
+TEST(Names, BannerEmbedsCompanyAndContact) {
+  util::Rng rng(67);
+  const std::string banner = MakeBannerText(rng, "globex");
+  EXPECT_NE(banner.find("globex"), std::string::npos);
+  EXPECT_NE(banner.find("noc@globex.com"), std::string::npos);
+}
+
+// --- config writer details ---
+
+gen::NetworkSpec Sample(std::uint64_t seed, int routers = 14) {
+  GeneratorParams params;
+  params.seed = seed;
+  params.router_count = routers;
+  return GenerateNetwork(params, 0);
+}
+
+TEST(ConfigWriter, WildcardMasksComplementNetmasks) {
+  const auto network = Sample(71);
+  for (const auto& file : WriteNetworkConfigs(network)) {
+    for (const std::string& raw : file.lines()) {
+      const auto split = config::SplitConfigLine(raw);
+      if (split.words.size() >= 5 && split.words[0] == "network" &&
+          util::ToLower(split.words[3]) == "area") {
+        const auto wildcard = net::Ipv4Address::Parse(split.words[2]);
+        ASSERT_TRUE(wildcard.has_value()) << raw;
+        EXPECT_TRUE(net::IsWildcardMask(*wildcard)) << raw;
+      }
+    }
+  }
+}
+
+TEST(ConfigWriter, VersionLineMatchesDialect) {
+  const auto network = Sample(73);
+  for (std::size_t i = 0; i < network.routers.size(); ++i) {
+    const auto file = WriteConfig(network.routers[i], network);
+    const config::Dialect dialect =
+        config::MakeDialect(network.routers[i].dialect);
+    EXPECT_EQ(file.lines()[0], "version " + dialect.version_line);
+  }
+}
+
+TEST(ConfigWriter, EveryInterfaceBlockHasAddress) {
+  const auto network = Sample(79);
+  for (const auto& file : WriteNetworkConfigs(network)) {
+    bool in_interface = false;
+    bool saw_address = true;
+    for (const std::string& raw : file.lines()) {
+      const auto split = config::SplitConfigLine(raw);
+      if (split.words.empty()) continue;
+      if (split.indent == 0) {
+        if (in_interface) {
+          EXPECT_TRUE(saw_address) << file.name();
+        }
+        in_interface = split.words[0] == "interface";
+        saw_address = false;
+        continue;
+      }
+      if (in_interface && split.words.size() >= 3 &&
+          split.words[0] == "ip" && split.words[1] == "address") {
+        saw_address = true;
+      }
+    }
+  }
+}
+
+TEST(ConfigWriter, EndsWithEnd) {
+  const auto network = Sample(83);
+  for (const auto& file : WriteNetworkConfigs(network)) {
+    ASSERT_FALSE(file.lines().empty());
+    EXPECT_EQ(file.lines().back(), "end");
+  }
+}
+
+TEST(ConfigWriter, BannerBracketedByDelimiters) {
+  const auto network = Sample(89, 30);
+  for (const auto& file : WriteNetworkConfigs(network)) {
+    const auto& lines = file.lines();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (util::StartsWith(lines[i], "banner motd")) {
+        // The region must terminate with the delimiter within a few lines.
+        bool closed = false;
+        for (std::size_t j = i + 1; j < lines.size() && j < i + 5; ++j) {
+          if (lines[j] == "^C") {
+            closed = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(closed) << file.name();
+      }
+    }
+  }
+}
+
+TEST(ConfigWriter, DoubleSpaceArtifactFollowsDialect) {
+  // Find a router whose dialect has the artifact and verify the writer
+  // reproduces it (the anonymizer must cope with it; config tests cover
+  // that side).
+  bool found = false;
+  for (std::uint64_t seed = 100; seed < 140 && !found; ++seed) {
+    const auto network = Sample(seed, 10);
+    for (const auto& router : network.routers) {
+      const config::Dialect dialect = config::MakeDialect(router.dialect);
+      if (!dialect.double_space_artifact || !router.bgp.has_value() ||
+          router.bgp->neighbors.empty()) {
+        continue;
+      }
+      const auto file = WriteConfig(router, network);
+      EXPECT_NE(file.ToText().find("remote-as  "), std::string::npos);
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << "no dialect with the artifact sampled";
+}
+
+TEST(ConfigWriter, CoreRoutersDeclareBackboneArea) {
+  const auto network = Sample(97, 24);
+  bool saw_two_areas = false;
+  for (const auto& router : network.routers) {
+    for (const auto& igp : router.igps) {
+      if (!igp.backbone_networks.empty()) {
+        const auto file = WriteConfig(router, network);
+        const std::string text = file.ToText();
+        EXPECT_NE(text.find(" area 0"), std::string::npos);
+        saw_two_areas = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_two_areas);
+}
+
+}  // namespace
+}  // namespace confanon::gen

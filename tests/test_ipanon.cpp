@@ -1,0 +1,284 @@
+#include "ipanon/ip_anonymizer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ipanon/cryptopan.h"
+#include "net/prefix.h"
+#include "net/special.h"
+#include "util/rng.h"
+
+namespace confanon::ipanon {
+namespace {
+
+net::Ipv4Address Addr(const char* text) {
+  return *net::Ipv4Address::Parse(text);
+}
+
+std::vector<net::Ipv4Address> RandomNonSpecial(std::uint64_t seed, int count) {
+  util::Rng rng(seed);
+  std::vector<net::Ipv4Address> addresses;
+  while (static_cast<int>(addresses.size()) < count) {
+    const net::Ipv4Address a(static_cast<std::uint32_t>(rng.Next()));
+    if (!net::IsSpecial(a)) addresses.push_back(a);
+  }
+  return addresses;
+}
+
+TEST(IpAnonymizer, DeterministicForSalt) {
+  IpAnonymizer a("salt-1");
+  IpAnonymizer b("salt-1");
+  for (const auto& addr : RandomNonSpecial(1, 200)) {
+    EXPECT_EQ(a.Map(addr), b.Map(addr));
+  }
+}
+
+TEST(IpAnonymizer, DifferentSaltsDiffer) {
+  IpAnonymizer a("salt-1");
+  IpAnonymizer b("salt-2");
+  int differing = 0;
+  for (const auto& addr : RandomNonSpecial(2, 100)) {
+    if (a.Map(addr) != b.Map(addr)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(IpAnonymizer, MapIsIdempotentPerAddress) {
+  IpAnonymizer anon("salt");
+  const auto addr = Addr("12.34.56.78");
+  const auto first = anon.Map(addr);
+  EXPECT_EQ(anon.Map(addr), first);
+  EXPECT_EQ(anon.Map(addr), first);
+}
+
+TEST(IpAnonymizer, PrefixPreservationProperty) {
+  // The headline invariant: common prefix lengths are preserved exactly
+  // (for non-walked pairs; walking is astronomically rare at this sample
+  // size and checked separately).
+  IpAnonymizer anon("prefix-salt");
+  const auto addresses = RandomNonSpecial(3, 300);
+  std::vector<net::Ipv4Address> mapped;
+  std::vector<bool> walked;
+  for (const auto& addr : addresses) {
+    mapped.push_back(anon.Map(addr));
+    walked.push_back(anon.LastMapWalked());
+  }
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    for (std::size_t j = i + 1; j < addresses.size(); ++j) {
+      if (walked[i] || walked[j]) continue;
+      EXPECT_EQ(net::CommonPrefixLength(addresses[i], addresses[j]),
+                net::CommonPrefixLength(mapped[i], mapped[j]))
+          << addresses[i].ToString() << " / " << addresses[j].ToString();
+    }
+  }
+}
+
+TEST(IpAnonymizer, ClassPreservation) {
+  IpAnonymizer anon("class-salt");
+  for (const auto& addr : RandomNonSpecial(4, 500)) {
+    const auto mapped = anon.Map(addr);
+    EXPECT_EQ(static_cast<int>(addr.GetClass()),
+              static_cast<int>(mapped.GetClass()))
+        << addr.ToString() << " -> " << mapped.ToString();
+  }
+}
+
+TEST(IpAnonymizer, SpecialAddressesPassThrough) {
+  IpAnonymizer anon("special-salt");
+  for (const char* text :
+       {"255.255.255.0", "255.255.255.252", "0.0.0.255", "0.0.0.0",
+        "255.255.255.255", "224.0.0.5", "239.1.2.3", "240.0.0.1",
+        "127.0.0.1", "0.1.2.3", "128.0.0.0"}) {
+    EXPECT_EQ(anon.Map(Addr(text)), Addr(text)) << text;
+  }
+}
+
+TEST(IpAnonymizer, NeverMapsIntoSpecialSet) {
+  IpAnonymizer anon("collision-salt");
+  for (const auto& addr : RandomNonSpecial(5, 2000)) {
+    EXPECT_FALSE(net::IsSpecial(anon.Map(addr)))
+        << addr.ToString() << " -> " << anon.Map(addr).ToString();
+  }
+}
+
+TEST(IpAnonymizer, InjectiveOnSample) {
+  IpAnonymizer anon("inject-salt");
+  std::map<std::uint32_t, net::Ipv4Address> image;
+  for (const auto& addr : RandomNonSpecial(6, 3000)) {
+    const auto mapped = anon.Map(addr);
+    const auto [it, inserted] = image.emplace(mapped.value(), addr);
+    EXPECT_TRUE(inserted || it->second == addr)
+        << "collision: " << it->second.ToString() << " and "
+        << addr.ToString() << " both -> " << mapped.ToString();
+  }
+}
+
+TEST(IpAnonymizer, RawMapIsBijectiveOnDenseRange) {
+  IpAnonymizer anon("biject-salt");
+  std::set<std::uint32_t> outputs;
+  // A dense /20 exercises deep shared trie paths.
+  const std::uint32_t base = Addr("12.34.0.0").value();
+  for (std::uint32_t offset = 0; offset < 4096; ++offset) {
+    outputs.insert(anon.MapRaw(net::Ipv4Address(base + offset)).value());
+  }
+  EXPECT_EQ(outputs.size(), 4096u);
+}
+
+TEST(IpAnonymizer, SubnetAddressesPreservedWithPreload) {
+  IpAnonymizer anon("subnet-salt");
+  std::vector<net::Ipv4Address> addresses;
+  util::Rng rng(7);
+  // Subnet addresses of various sizes plus host addresses inside them.
+  for (int i = 0; i < 120; ++i) {
+    const int host_bits = static_cast<int>(rng.Between(2, 12));
+    std::uint32_t base = static_cast<std::uint32_t>(rng.Next());
+    base &= ~((1u << host_bits) - 1);
+    const net::Ipv4Address subnet(base);
+    if (net::IsSpecial(subnet)) continue;
+    addresses.push_back(subnet);
+    const net::Ipv4Address host(base + 1);
+    if (!net::IsSpecial(host)) addresses.push_back(host);
+  }
+  anon.Preload(addresses);
+  for (const auto& addr : addresses) {
+    const int zeros = net::TrailingZeroBits(addr);
+    if (zeros < 2) continue;
+    const auto mapped = anon.Map(addr);
+    EXPECT_GE(net::TrailingZeroBits(mapped), zeros)
+        << addr.ToString() << " -> " << mapped.ToString();
+  }
+}
+
+TEST(IpAnonymizer, SubnetContainsRelationSurvives) {
+  // The RIP network statement / interface address relation of Figure 1.
+  IpAnonymizer anon("contains-salt");
+  const auto network = Addr("1.0.0.0");   // classful A network
+  const auto iface = Addr("1.1.1.1");
+  anon.Preload({network, iface});
+  const auto mapped_network = anon.Map(network);
+  const auto mapped_iface = anon.Map(iface);
+  EXPECT_TRUE(net::Prefix(mapped_network, 8).Contains(mapped_iface));
+}
+
+TEST(IpAnonymizer, ExportImportReproducesMapping) {
+  IpAnonymizer original("export-salt");
+  const auto addresses = RandomNonSpecial(8, 150);
+  std::vector<net::Ipv4Address> mapped;
+  for (const auto& addr : addresses) {
+    mapped.push_back(original.Map(addr));
+  }
+  std::stringstream stream;
+  original.ExportMappings(stream);
+
+  IpAnonymizer replica("completely-different-salt");
+  replica.ImportMappings(stream);
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    EXPECT_EQ(replica.Map(addresses[i]), mapped[i]);
+  }
+}
+
+TEST(IpAnonymizer, ImportRejectsMalformed) {
+  IpAnonymizer anon("import-salt");
+  std::stringstream bad1("1.2.3.4\n");
+  EXPECT_THROW(anon.ImportMappings(bad1), std::runtime_error);
+  std::stringstream bad2("1.2.3.4 not-an-address\n");
+  EXPECT_THROW(anon.ImportMappings(bad2), std::runtime_error);
+}
+
+TEST(IpAnonymizer, ImportRejectsConflictingPairs) {
+  IpAnonymizer anon("conflict-salt");
+  std::stringstream first("12.0.0.1 99.0.0.1\n");
+  anon.ImportMappings(first);
+  std::stringstream conflict("12.0.0.1 99.0.0.2\n");
+  EXPECT_THROW(anon.ImportMappings(conflict), std::runtime_error);
+}
+
+TEST(IpAnonymizer, NodeCountGrowsSublinearlyWithSharedPrefixes) {
+  IpAnonymizer anon("growth-salt");
+  const std::uint32_t base = Addr("10.1.0.0").value();
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    anon.Map(net::Ipv4Address(base + i));
+  }
+  // 256 addresses sharing a /24: roughly 24 shared nodes + 256 subtree
+  // nodes, far fewer than 256 * 32.
+  EXPECT_LT(anon.NodeCount(), 1200u);
+}
+
+TEST(IpAnonymizer, CollisionWalkActuallyOccursAndStaysSafe) {
+  // Class-A inputs can map onto loopback (127/8) or 0/8 outputs with
+  // probability ~2/128 each; across a few thousand addresses the
+  // cycle-walking path of Section 4.3 must fire at least once, and every
+  // walked result must still be non-special and injective.
+  IpAnonymizer anon("walk-salt");
+  util::Rng rng(515);
+  int walked = 0;
+  std::set<std::uint32_t> outputs;
+  for (int i = 0; i < 4000; ++i) {
+    // Class A, non-special inputs.
+    std::uint32_t value =
+        static_cast<std::uint32_t>(rng.Next()) & 0x7FFFFFFFu;
+    net::Ipv4Address address(value);
+    if (net::IsSpecial(address)) continue;
+    const net::Ipv4Address mapped = anon.Map(address);
+    if (anon.LastMapWalked()) ++walked;
+    EXPECT_FALSE(net::IsSpecial(mapped));
+    EXPECT_TRUE(outputs.insert(mapped.value()).second)
+        << mapped.ToString() << " duplicated";
+  }
+  EXPECT_GT(walked, 0) << "collision walk never exercised";
+}
+
+// --- CryptoPan baseline ---
+
+TEST(CryptoPan, Deterministic) {
+  const CryptoPan a("key");
+  const CryptoPan b("key");
+  for (const auto& addr : RandomNonSpecial(9, 100)) {
+    EXPECT_EQ(a.Map(addr), b.Map(addr));
+  }
+}
+
+TEST(CryptoPan, PrefixPreservationProperty) {
+  const CryptoPan pan("prefix-key");
+  const auto addresses = RandomNonSpecial(10, 200);
+  std::vector<net::Ipv4Address> mapped;
+  for (const auto& addr : addresses) {
+    mapped.push_back(pan.Map(addr));
+  }
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    for (std::size_t j = i + 1; j < addresses.size(); ++j) {
+      EXPECT_EQ(net::CommonPrefixLength(addresses[i], addresses[j]),
+                net::CommonPrefixLength(mapped[i], mapped[j]));
+    }
+  }
+}
+
+TEST(CryptoPan, StatelessInstancesAgree) {
+  // The property the paper credits Xu's scheme with: no shared data
+  // structure is needed for two parties to map consistently.
+  const CryptoPan a("shared-key");
+  const CryptoPan b("shared-key");
+  EXPECT_EQ(a.Map(Addr("4.5.6.7")), b.Map(Addr("4.5.6.7")));
+}
+
+TEST(CryptoPan, IsNotClassPreserving) {
+  // The ablation: the pure cryptographic scheme violates the class and
+  // special-address requirements, which is why the paper chose the
+  // shapeable data-structure scheme.
+  const CryptoPan pan("ablation-key");
+  int class_violations = 0;
+  int special_images = 0;
+  for (const auto& addr : RandomNonSpecial(11, 500)) {
+    const auto mapped = pan.Map(addr);
+    if (addr.GetClass() != mapped.GetClass()) ++class_violations;
+    if (net::IsSpecial(mapped)) ++special_images;
+  }
+  EXPECT_GT(class_violations, 0);
+  EXPECT_GT(special_images + class_violations, 0);
+}
+
+}  // namespace
+}  // namespace confanon::ipanon

@@ -1,0 +1,105 @@
+#include "analysis/probe_attack.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/design_extract.h"
+#include "gen/config_writer.h"
+#include "gen/network_gen.h"
+
+namespace confanon::analysis {
+namespace {
+
+config::ConfigFile File(std::string_view text) {
+  return config::ConfigFile::FromText("r", text);
+}
+
+NetworkDesign TwoSubnetDesign() {
+  return ExtractDesign({File(R"(hostname r
+interface Ethernet0
+ ip address 10.1.0.1 255.255.255.0
+interface Ethernet1
+ ip address 10.2.0.1 255.255.255.240
+)")});
+}
+
+TEST(ProbeAttack, TrueFingerprintMatchesDesign) {
+  ProbeAttackOptions options;
+  options.seed = 1;
+  const ProbeAttackResult result =
+      SimulateProbeSweep(TwoSubnetDesign(), options);
+  EXPECT_EQ(result.true_fingerprint.Get(24), 1u);
+  EXPECT_EQ(result.true_fingerprint.Get(28), 1u);
+  EXPECT_EQ(result.true_fingerprint.Total(), 2u);
+}
+
+TEST(ProbeAttack, CleanSweepRecoversSubnetCount) {
+  ProbeAttackOptions options;
+  options.seed = 7;
+  options.occupancy = 0.5;
+  options.loss = 0.0;
+  const ProbeAttackResult result =
+      SimulateProbeSweep(TwoSubnetDesign(), options);
+  // Two well-separated subnets -> two estimated runs.
+  EXPECT_EQ(result.estimated_fingerprint.Total(), 2u);
+  EXPECT_GT(result.responders, 0u);
+  EXPECT_GT(result.probes, result.responders);
+}
+
+TEST(ProbeAttack, EstimatedSizesNeverSmallerThanHostRuns) {
+  // The power-of-two rounding can only over- or exactly estimate a run,
+  // so the estimated prefix length is <= the true length when the subnet
+  // is densely occupied.
+  ProbeAttackOptions options;
+  options.seed = 11;
+  options.occupancy = 0.9;
+  const ProbeAttackResult result =
+      SimulateProbeSweep(TwoSubnetDesign(), options);
+  for (int bucket : result.estimated_fingerprint.Buckets()) {
+    EXPECT_GE(bucket, 23);
+    EXPECT_LE(bucket, 31);
+  }
+}
+
+TEST(ProbeAttack, LossIncreasesError) {
+  gen::GeneratorParams params;
+  params.seed = 99;
+  params.router_count = 14;
+  const auto design =
+      ExtractDesign(gen::WriteNetworkConfigs(gen::GenerateNetwork(params, 0)));
+  double previous = -1;
+  for (double loss : {0.0, 0.3, 0.7}) {
+    double error = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      ProbeAttackOptions options;
+      options.seed = seed;
+      options.occupancy = 0.4;
+      options.loss = loss;
+      error += SimulateProbeSweep(design, options).RelativeError();
+    }
+    EXPECT_GE(error + 1e-9, previous);
+    previous = error;
+  }
+}
+
+TEST(ProbeAttack, Deterministic) {
+  const auto design = TwoSubnetDesign();
+  ProbeAttackOptions options;
+  options.seed = 42;
+  options.loss = 0.2;
+  const auto a = SimulateProbeSweep(design, options);
+  const auto b = SimulateProbeSweep(design, options);
+  EXPECT_TRUE(a.estimated_fingerprint == b.estimated_fingerprint);
+  EXPECT_EQ(a.responders, b.responders);
+}
+
+TEST(ProbeAttack, EmptyDesign) {
+  const ProbeAttackResult result =
+      SimulateProbeSweep(NetworkDesign{}, ProbeAttackOptions{});
+  EXPECT_EQ(result.probes, 0u);
+  EXPECT_EQ(result.true_fingerprint.Total(), 0u);
+  EXPECT_EQ(result.estimated_fingerprint.Total(), 0u);
+  EXPECT_DOUBLE_EQ(result.RelativeError(), 0.0);
+}
+
+}  // namespace
+}  // namespace confanon::analysis

@@ -1,0 +1,150 @@
+#include "analysis/reachability.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/validate.h"
+#include "core/anonymizer.h"
+#include "gen/config_writer.h"
+#include "gen/network_gen.h"
+
+namespace confanon::analysis {
+namespace {
+
+config::ConfigFile File(std::string name, std::string_view text) {
+  return config::ConfigFile::FromText(std::move(name), text);
+}
+
+// Chain a --- b --- c; each router owns one LAN.
+std::vector<config::ConfigFile> Chain(bool filter_on_c) {
+  std::vector<config::ConfigFile> configs;
+  configs.push_back(File("a", R"(hostname a
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+interface Ethernet0
+ ip address 10.10.1.1 255.255.255.0
+router ospf 1
+ network 10.0.0.0 0.255.255.255 area 0
+)"));
+  configs.push_back(File("b", R"(hostname b
+interface Serial0
+ ip address 10.0.0.2 255.255.255.252
+interface Serial1
+ ip address 10.0.0.5 255.255.255.252
+interface Ethernet0
+ ip address 10.10.2.1 255.255.255.0
+router ospf 1
+ network 10.0.0.0 0.255.255.255 area 0
+)"));
+  std::string c = R"(hostname c
+interface Serial0
+ ip address 10.0.0.6 255.255.255.252
+interface Ethernet0
+ ip address 10.10.3.1 255.255.255.0
+router ospf 1
+ network 10.0.0.0 0.255.255.255 area 0
+)";
+  if (filter_on_c) {
+    c += " distribute-list 7 in\n"
+         "access-list 7 deny ip 10.10.1.0 0.0.0.255\n"
+         "access-list 7 permit ip 0.0.0.0 255.255.255.255\n";
+  }
+  configs.push_back(File("c", c));
+  return configs;
+}
+
+TEST(Reachability, FullMeshWithoutFilters) {
+  const auto design = ExtractDesign(Chain(false));
+  const ReachabilityReport report = AnalyzeReachability(design);
+  EXPECT_EQ(report.routers, 3u);
+  EXPECT_EQ(report.igp_components, 1u);
+  // Destinations: a{link1, lan1}, b{link1, link2, lan2}, c{link2, lan3}
+  // = 7; each of 3 routers reaches the other owners' destinations.
+  EXPECT_EQ(report.destinations, 7u);
+  EXPECT_EQ(report.pairs, 14u);
+  EXPECT_EQ(report.reachable_pairs, 14u);
+  EXPECT_EQ(report.filtered_pairs, 0u);
+  EXPECT_DOUBLE_EQ(report.ReachableFraction(), 1.0);
+}
+
+TEST(Reachability, DistributeListBlocksFilteredDestination) {
+  const auto design = ExtractDesign(Chain(true));
+  const ReachabilityReport report = AnalyzeReachability(design);
+  EXPECT_EQ(report.igp_components, 1u);
+  // c can no longer learn a route to a's LAN 10.10.1.0/24.
+  EXPECT_EQ(report.filtered_pairs, 1u);
+  EXPECT_EQ(report.reachable_pairs, 13u);
+  EXPECT_LT(report.ReachableFraction(), 1.0);
+}
+
+TEST(Reachability, PartitionWhenIgpDoesNotCoverLink) {
+  // b's OSPF covers nothing (network statement outside the link), so the
+  // graph splits into components.
+  auto configs = Chain(false);
+  configs[1] = File("b", R"(hostname b
+interface Serial0
+ ip address 10.0.0.2 255.255.255.252
+interface Serial1
+ ip address 10.0.0.5 255.255.255.252
+router ospf 1
+ network 192.168.0.0 0.0.255.255 area 0
+)");
+  const auto design = ExtractDesign(configs);
+  const ReachabilityReport report = AnalyzeReachability(design);
+  EXPECT_EQ(report.igp_components, 3u);
+  EXPECT_EQ(report.reachable_pairs, 0u);
+}
+
+TEST(Reachability, EmptyDesign) {
+  const ReachabilityReport report = AnalyzeReachability(NetworkDesign{});
+  EXPECT_EQ(report.pairs, 0u);
+  EXPECT_DOUBLE_EQ(report.ReachableFraction(), 1.0);
+}
+
+TEST(Reachability, MatrixPreservedThroughAnonymization) {
+  // The whole reachability report must be identical pre/post, for both a
+  // filtered and an unfiltered corpus (counts are identity-free).
+  for (bool filtered : {false, true}) {
+    const auto pre = Chain(filtered);
+    core::AnonymizerOptions options;
+    options.salt = "reach-salt";
+    core::Anonymizer anonymizer(std::move(options));
+    const auto post = anonymizer.AnonymizeNetwork(pre);
+    EXPECT_TRUE(AnalyzeReachability(ExtractDesign(pre)) ==
+                AnalyzeReachability(ExtractDesign(post)))
+        << "filtered=" << filtered;
+  }
+}
+
+TEST(Reachability, PolicyCompartmentalizedNetworksRestrictReachability) {
+  // Find generated networks with policy compartmentalization and verify
+  // the paper's claim: routing policy prevents some reachability, and the
+  // restriction survives anonymization.
+  int found = 0;
+  for (std::uint64_t seed = 1; seed < 200 && found < 3; ++seed) {
+    gen::GeneratorParams params;
+    params.seed = seed;
+    params.router_count = 16;
+    params.p_compartmentalized = 1.0;
+    const auto network = gen::GenerateNetwork(params, 0);
+    if (network.truth.compartmentalization !=
+        gen::Compartmentalization::kPolicy) {
+      continue;
+    }
+    const auto pre = gen::WriteNetworkConfigs(network);
+    const ReachabilityReport pre_report =
+        AnalyzeReachability(ExtractDesign(pre));
+    if (pre_report.filtered_pairs == 0) continue;  // deny hit own subnet
+    ++found;
+    EXPECT_LT(pre_report.ReachableFraction(), 1.0);
+
+    core::AnonymizerOptions options;
+    options.salt = "reach-" + std::to_string(seed);
+    core::Anonymizer anonymizer(std::move(options));
+    const auto post = anonymizer.AnonymizeNetwork(pre);
+    EXPECT_TRUE(pre_report == AnalyzeReachability(ExtractDesign(post)));
+  }
+  EXPECT_GE(found, 1);
+}
+
+}  // namespace
+}  // namespace confanon::analysis

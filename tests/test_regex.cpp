@@ -1,0 +1,237 @@
+#include "regex/regex.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "util/rng.h"
+
+namespace confanon::regex {
+namespace {
+
+TEST(RegexParser, RejectsMalformed) {
+  EXPECT_THROW(Regex::Compile("("), ParseError);
+  EXPECT_THROW(Regex::Compile(")"), ParseError);
+  EXPECT_THROW(Regex::Compile("a("), ParseError);
+  EXPECT_THROW(Regex::Compile("["), ParseError);
+  EXPECT_THROW(Regex::Compile("[a-"), ParseError);
+  EXPECT_THROW(Regex::Compile("[z-a]"), ParseError);
+  EXPECT_THROW(Regex::Compile("*a"), ParseError);
+  EXPECT_THROW(Regex::Compile("+"), ParseError);
+  EXPECT_THROW(Regex::Compile("a{"), ParseError);
+  EXPECT_THROW(Regex::Compile("a{2"), ParseError);
+  EXPECT_THROW(Regex::Compile("a{x}"), ParseError);
+  EXPECT_THROW(Regex::Compile("a{3,2}"), ParseError);
+  EXPECT_THROW(Regex::Compile("a\\"), ParseError);
+}
+
+TEST(RegexParser, ErrorCarriesOffset) {
+  try {
+    Regex::Compile("abc[");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.offset(), 3u);
+  }
+}
+
+TEST(RegexSearch, LiteralSubstring) {
+  const Regex re = Regex::Compile("701");
+  EXPECT_TRUE(re.Search("701"));
+  EXPECT_TRUE(re.Search("1701"));       // substring semantics
+  EXPECT_TRUE(re.Search("701 1239"));
+  EXPECT_FALSE(re.Search("70 1"));
+  EXPECT_FALSE(re.Search(""));
+}
+
+TEST(RegexSearch, Anchors) {
+  EXPECT_TRUE(SearchOnce("^701", "701 1239"));
+  EXPECT_FALSE(SearchOnce("^701", "1239 701"));
+  EXPECT_TRUE(SearchOnce("701$", "1239 701"));
+  EXPECT_FALSE(SearchOnce("701$", "701 1239"));
+  EXPECT_TRUE(SearchOnce("^$", ""));
+  EXPECT_FALSE(SearchOnce("^$", "x"));
+  EXPECT_TRUE(SearchOnce("^701$", "701"));
+  EXPECT_FALSE(SearchOnce("^701$", "7011"));
+}
+
+TEST(RegexSearch, CiscoUnderscoreMatchesDelimitersAndBoundaries) {
+  const Regex re = Regex::Compile("_701_");
+  EXPECT_TRUE(re.Search("701"));            // both boundaries
+  EXPECT_TRUE(re.Search("701 1239"));       // boundary + space
+  EXPECT_TRUE(re.Search("1239 701"));
+  EXPECT_TRUE(re.Search("13 701 1239"));
+  EXPECT_TRUE(re.Search("{701}"));
+  EXPECT_TRUE(re.Search("(701)"));
+  EXPECT_TRUE(re.Search("13,701,9"));
+  EXPECT_FALSE(re.Search("1701"));          // digit is not a delimiter
+  EXPECT_FALSE(re.Search("7011"));
+}
+
+TEST(RegexSearch, UnderscoreLiteralWhenCiscoModeOff) {
+  Regex::Options options;
+  options.cisco_underscore = false;
+  const Regex re = Regex::Compile("a_b", options);
+  EXPECT_TRUE(re.Search("xa_by"));
+  EXPECT_FALSE(re.Search("a b"));
+}
+
+TEST(RegexSearch, DotDoesNotMatchBoundaries) {
+  // "70." requires a real character after 70.
+  const Regex re = Regex::Compile("70.");
+  EXPECT_TRUE(re.Search("701"));
+  EXPECT_TRUE(re.Search("70x"));
+  EXPECT_FALSE(re.Search("70"));
+}
+
+TEST(RegexSearch, NegatedClassExcludesBoundaries) {
+  const Regex re = Regex::Compile("70[^0-9]");
+  EXPECT_TRUE(re.Search("70 x"));
+  EXPECT_FALSE(re.Search("70"));  // boundary must not satisfy [^0-9]
+  EXPECT_FALSE(re.Search("701"));
+}
+
+TEST(RegexSearch, ClassesAndRanges) {
+  EXPECT_TRUE(SearchOnce("70[1-3]", "702"));
+  EXPECT_FALSE(SearchOnce("70[1-3]", "704"));
+  EXPECT_TRUE(SearchOnce("[abc]x", "bx"));
+  EXPECT_TRUE(SearchOnce("[]a]", "]"));   // ']' first is literal
+  EXPECT_TRUE(SearchOnce("[a-]", "-"));   // trailing '-' is literal
+  EXPECT_TRUE(SearchOnce("[\\]]", "]"));
+}
+
+TEST(RegexSearch, Quantifiers) {
+  EXPECT_TRUE(SearchOnce("^a*$", ""));
+  EXPECT_TRUE(SearchOnce("^a*$", "aaaa"));
+  EXPECT_FALSE(SearchOnce("^a+$", ""));
+  EXPECT_TRUE(SearchOnce("^a+$", "aa"));
+  EXPECT_TRUE(SearchOnce("^ab?$", "a"));
+  EXPECT_TRUE(SearchOnce("^ab?$", "ab"));
+  EXPECT_FALSE(SearchOnce("^ab?$", "abb"));
+}
+
+TEST(RegexSearch, BoundedRepeats) {
+  EXPECT_TRUE(SearchOnce("^a{3}$", "aaa"));
+  EXPECT_FALSE(SearchOnce("^a{3}$", "aa"));
+  EXPECT_FALSE(SearchOnce("^a{3}$", "aaaa"));
+  EXPECT_TRUE(SearchOnce("^a{2,4}$", "aa"));
+  EXPECT_TRUE(SearchOnce("^a{2,4}$", "aaaa"));
+  EXPECT_FALSE(SearchOnce("^a{2,4}$", "aaaaa"));
+  EXPECT_TRUE(SearchOnce("^a{2,}$", "aaaaaaa"));
+  EXPECT_FALSE(SearchOnce("^a{2,}$", "a"));
+  EXPECT_TRUE(SearchOnce("^(ab){2}$", "abab"));
+  EXPECT_TRUE(SearchOnce("^a{0,1}$", ""));
+}
+
+TEST(RegexSearch, AlternationAndGrouping) {
+  EXPECT_TRUE(SearchOnce("^(701|1239)$", "701"));
+  EXPECT_TRUE(SearchOnce("^(701|1239)$", "1239"));
+  EXPECT_FALSE(SearchOnce("^(701|1239)$", "7011239"));
+  EXPECT_TRUE(SearchOnce("(_1239_|_70[2-5]_)", "13 703 9"));
+  EXPECT_TRUE(SearchOnce("^(a|b)*$", "abba"));
+}
+
+TEST(RegexSearch, EscapedMetacharacters) {
+  EXPECT_TRUE(SearchOnce("\\.", "a.b"));
+  EXPECT_FALSE(SearchOnce("\\.", "ab"));
+  EXPECT_TRUE(SearchOnce("\\*", "a*b"));
+  EXPECT_TRUE(SearchOnce("\\(\\)", "()"));
+  EXPECT_TRUE(SearchOnce("\\$", "price$"));
+}
+
+TEST(RegexSearch, EmptyPatternMatchesEverything) {
+  EXPECT_TRUE(SearchOnce("", ""));
+  EXPECT_TRUE(SearchOnce("", "anything"));
+  EXPECT_TRUE(SearchOnce("()", "x"));
+  EXPECT_TRUE(SearchOnce("a|", "zzz"));  // empty right branch
+}
+
+TEST(RegexSearch, NfaAndDfaAgree) {
+  // The Regex facade matches with the DFA; re-run the same framed subject
+  // through the NFA and demand agreement.
+  const std::vector<std::string> patterns = {
+      "70[1-5]",  "^1239$",  "_70._",       "(a|bc)*d",
+      "x{2,3}y?", "[^0-9]+", "1{1,4}(2|3)", ".*",
+  };
+  const std::vector<std::string> subjects = {
+      "",     "701",    "1239",     "70 5",  "abcd",
+      "xxy",  "99",     "12223",    "a1b",   "1701 1239",
+  };
+  for (const auto& pattern : patterns) {
+    const Regex re = Regex::Compile(pattern);
+    for (const auto& subject : subjects) {
+      const std::string framed = FrameSubject(subject);
+      EXPECT_EQ(re.nfa().FullMatch(framed), re.dfa().FullMatch(framed))
+          << pattern << " on " << subject;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Differential test against std::regex (POSIX extended) on the shared
+// dialect subset. Patterns are built from an AST so they are always valid.
+// ---------------------------------------------------------------------
+
+std::string RandomPattern(util::Rng& rng, int depth) {
+  const auto literal = [&]() {
+    static const char kAlphabet[] = "ab01";
+    return std::string(
+        1, kAlphabet[static_cast<std::size_t>(rng.Below(4))]);
+  };
+  if (depth <= 0) {
+    switch (rng.Below(3)) {
+      case 0:
+        return literal();
+      case 1:
+        return std::string("[ab0]");
+      default:
+        return std::string(".");
+    }
+  }
+  switch (rng.Below(6)) {
+    case 0:
+      return RandomPattern(rng, depth - 1) + RandomPattern(rng, depth - 1);
+    case 1:
+      return "(" + RandomPattern(rng, depth - 1) + "|" +
+             RandomPattern(rng, depth - 1) + ")";
+    case 2:
+      return "(" + RandomPattern(rng, depth - 1) + ")*";
+    case 3:
+      return "(" + RandomPattern(rng, depth - 1) + ")?";
+    case 4:
+      return "(" + RandomPattern(rng, depth - 1) + "){1,2}";
+    default:
+      return literal();
+  }
+}
+
+std::string RandomSubject(util::Rng& rng) {
+  static const char kAlphabet[] = "ab01";
+  std::string subject;
+  const int length = static_cast<int>(rng.Below(7));
+  for (int i = 0; i < length; ++i) {
+    subject += kAlphabet[static_cast<std::size_t>(rng.Below(4))];
+  }
+  return subject;
+}
+
+class RegexOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegexOracle, AgreesWithStdRegexExtended) {
+  util::Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string pattern = RandomPattern(rng, 3);
+    const Regex ours = Regex::Compile(pattern);
+    const std::regex theirs(pattern, std::regex_constants::extended);
+    for (int s = 0; s < 25; ++s) {
+      const std::string subject = RandomSubject(rng);
+      EXPECT_EQ(ours.Search(subject), std::regex_search(subject, theirs))
+          << "pattern=" << pattern << " subject=" << subject;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexOracle, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace confanon::regex

@@ -1,0 +1,55 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace confanon::core {
+namespace {
+
+TEST(Report, CountRuleAccumulates) {
+  AnonymizationReport report;
+  report.CountRule("A1.router-bgp");
+  report.CountRule("A1.router-bgp", 4);
+  EXPECT_EQ(report.rule_fires.at("A1.router-bgp"), 5u);
+}
+
+TEST(Report, CommentWordFraction) {
+  AnonymizationReport report;
+  EXPECT_DOUBLE_EQ(report.CommentWordFraction(), 0.0);  // no words
+  report.total_words = 200;
+  report.comment_words_removed = 3;
+  EXPECT_DOUBLE_EQ(report.CommentWordFraction(), 0.015);
+}
+
+TEST(Report, MergeAddsEverything) {
+  AnonymizationReport a, b;
+  a.total_lines = 10;
+  a.words_hashed = 2;
+  a.asns_mapped = 1;
+  a.CountRule("T2.passlist-hash", 2);
+  b.total_lines = 5;
+  b.words_hashed = 3;
+  b.addresses_mapped = 7;
+  b.CountRule("T2.passlist-hash");
+  b.CountRule("I1.map-addresses", 7);
+  a.Merge(b);
+  EXPECT_EQ(a.total_lines, 15u);
+  EXPECT_EQ(a.words_hashed, 5u);
+  EXPECT_EQ(a.asns_mapped, 1u);
+  EXPECT_EQ(a.addresses_mapped, 7u);
+  EXPECT_EQ(a.rule_fires.at("T2.passlist-hash"), 3u);
+  EXPECT_EQ(a.rule_fires.at("I1.map-addresses"), 7u);
+}
+
+TEST(Report, ToStringMentionsKeyFields) {
+  AnonymizationReport report;
+  report.total_lines = 42;
+  report.words_hashed = 7;
+  report.CountRule("A6.as-path-regex");
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("lines=42"), std::string::npos);
+  EXPECT_NE(text.find("words_hashed=7"), std::string::npos);
+  EXPECT_NE(text.find("A6.as-path-regex"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace confanon::core

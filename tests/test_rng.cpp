@@ -1,0 +1,140 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace confanon::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = SplitMix64(state);
+  const std::uint64_t second = SplitMix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(SplitMix64(state2), first);
+  EXPECT_EQ(SplitMix64(state2), second);
+  EXPECT_NE(first, second);
+}
+
+TEST(HashSeed, DistinctStringsDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (const char* s : {"", "a", "b", "ab", "ba", "network-1", "network-2"}) {
+    seeds.insert(HashSeed(s));
+  }
+  EXPECT_EQ(seeds.size(), 7u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, StreamLabelDecorrelates) {
+  Rng a(42, "asn"), b(42, "ip");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 65536ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.Below(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.Between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  auto shuffled = items;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ForkIndependentOfParentContinuation) {
+  Rng parent(23);
+  Rng child = parent.Fork("child");
+  const std::uint64_t parent_next = parent.Next();
+  const std::uint64_t child_next = child.Next();
+  EXPECT_NE(parent_next, child_next);
+}
+
+TEST(Rng, PickReturnsMember) {
+  Rng rng(29);
+  const std::vector<std::string> items = {"a", "b", "c"};
+  for (int i = 0; i < 50; ++i) {
+    const std::string& picked = rng.Pick(items);
+    EXPECT_TRUE(picked == "a" || picked == "b" || picked == "c");
+  }
+}
+
+}  // namespace
+}  // namespace confanon::util

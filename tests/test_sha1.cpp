@@ -1,0 +1,97 @@
+#include "util/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace confanon::util {
+namespace {
+
+// RFC 3174 / FIPS 180-1 test vectors.
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(Sha1::HexDigest(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(Sha1::HexDigest("abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha1::HexDigest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.Update(chunk);
+  }
+  EXPECT_EQ(ToHex(hasher.Finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, QuickBrownFox) {
+  EXPECT_EQ(Sha1::HexDigest("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string message =
+      "interface Serial1/0.5 point-to-point ip address 1.2.3.4";
+  Sha1 incremental;
+  for (char c : message) {
+    incremental.Update(std::string_view(&c, 1));
+  }
+  EXPECT_EQ(ToHex(incremental.Finalize()), Sha1::HexDigest(message));
+}
+
+TEST(Sha1, SplitAtEveryPositionMatchesOneShot) {
+  const std::string message(130, 'x');  // spans three blocks
+  const std::string expected = Sha1::HexDigest(message);
+  for (std::size_t split = 0; split <= message.size(); split += 7) {
+    Sha1 hasher;
+    hasher.Update(std::string_view(message).substr(0, split));
+    hasher.Update(std::string_view(message).substr(split));
+    EXPECT_EQ(ToHex(hasher.Finalize()), expected) << "split=" << split;
+  }
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 hasher;
+  hasher.Update("garbage");
+  (void)hasher.Finalize();
+  hasher.Reset();
+  hasher.Update("abc");
+  EXPECT_EQ(ToHex(hasher.Finalize()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, SaltedDigestDiffersFromUnsalted) {
+  EXPECT_NE(ToHex(SaltedDigest("salt", "abc")), Sha1::HexDigest("abc"));
+  EXPECT_NE(ToHex(SaltedDigest("salt", "abc")),
+            ToHex(SaltedDigest("other", "abc")));
+}
+
+TEST(Sha1, SaltedDigestSeparatorPreventsAliasing) {
+  // Without a separator, ("ab","c") and ("a","bc") would collide.
+  EXPECT_NE(ToHex(SaltedDigest("ab", "c")), ToHex(SaltedDigest("a", "bc")));
+}
+
+TEST(Sha1, SaltedHexTokenLength) {
+  EXPECT_EQ(SaltedHexToken("s", "word").size(), 10u);
+  EXPECT_EQ(SaltedHexToken("s", "word", 40).size(), 40u);
+  EXPECT_EQ(SaltedHexToken("s", "word", 100).size(), 40u);  // capped
+}
+
+TEST(Sha1, SaltedHexTokenDeterministic) {
+  EXPECT_EQ(SaltedHexToken("s", "UUNET-import"),
+            SaltedHexToken("s", "UUNET-import"));
+  EXPECT_NE(SaltedHexToken("s", "UUNET-import"),
+            SaltedHexToken("s", "UUNET-export"));
+}
+
+}  // namespace
+}  // namespace confanon::util

@@ -1,0 +1,116 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace confanon::util {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  s.AddAll({1, 2, 3, 4});
+  EXPECT_EQ(s.Count(), 4u);
+  EXPECT_DOUBLE_EQ(s.Min(), 1);
+  EXPECT_DOUBLE_EQ(s.Max(), 4);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+}
+
+TEST(Summary, NearestRankPercentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 25);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50);
+  EXPECT_DOUBLE_EQ(s.Percentile(90), 90);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100);
+}
+
+TEST(Summary, PercentileSingleSample) {
+  Summary s;
+  s.Add(42);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 42);
+  EXPECT_DOUBLE_EQ(s.Median(), 42);
+}
+
+TEST(Summary, PercentileSmallSampleNearestRank) {
+  Summary s;
+  s.AddAll({10, 20, 30});
+  // ceil(0.25*3)=1 -> first element; ceil(0.5*3)=2 -> second.
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 10);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 20);
+  EXPECT_DOUBLE_EQ(s.Percentile(90), 30);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_THROW(s.Min(), std::logic_error);
+  EXPECT_THROW(s.Mean(), std::logic_error);
+  EXPECT_THROW(s.Percentile(50), std::logic_error);
+}
+
+TEST(Summary, StdDev) {
+  Summary s;
+  s.AddAll({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_NEAR(s.StdDev(), 2.0, 1e-9);
+  Summary one;
+  one.Add(5);
+  EXPECT_DOUBLE_EQ(one.StdDev(), 0.0);
+}
+
+TEST(Summary, AddAfterQueryResorts) {
+  Summary s;
+  s.AddAll({5, 1});
+  EXPECT_DOUBLE_EQ(s.Min(), 1);
+  s.Add(0.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.5);
+}
+
+TEST(Summary, DescribeMentionsCount) {
+  Summary s;
+  s.AddAll({1, 2, 3});
+  EXPECT_NE(s.Describe().find("n=3"), std::string::npos);
+  EXPECT_EQ(Summary().Describe(), "(empty)");
+}
+
+TEST(Histogram, AddAndGet) {
+  Histogram h;
+  h.Add(30);
+  h.Add(30);
+  h.Add(24, 5);
+  EXPECT_EQ(h.Get(30), 2u);
+  EXPECT_EQ(h.Get(24), 5u);
+  EXPECT_EQ(h.Get(29), 0u);
+  EXPECT_EQ(h.Total(), 7u);
+}
+
+TEST(Histogram, BucketsSorted) {
+  Histogram h;
+  h.Add(30);
+  h.Add(8);
+  h.Add(24);
+  EXPECT_EQ(h.Buckets(), (std::vector<int>{8, 24, 30}));
+}
+
+TEST(Histogram, EqualityIsMultisetEquality) {
+  Histogram a, b;
+  a.Add(30, 2);
+  b.Add(30);
+  EXPECT_FALSE(a == b);
+  b.Add(30);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Histogram, L1Distance) {
+  Histogram a, b;
+  a.Add(24, 3);
+  a.Add(30, 1);
+  b.Add(24, 1);
+  b.Add(28, 2);
+  // |3-1| + |1-0| + |0-2| = 5
+  EXPECT_EQ(Histogram::L1Distance(a, b), 5u);
+  EXPECT_EQ(Histogram::L1Distance(a, a), 0u);
+  EXPECT_EQ(Histogram::L1Distance(Histogram{}, b), 3u);
+}
+
+}  // namespace
+}  // namespace confanon::util
