@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comment_frac.dir/bench_comment_frac.cpp.o"
+  "CMakeFiles/bench_comment_frac.dir/bench_comment_frac.cpp.o.d"
+  "bench_comment_frac"
+  "bench_comment_frac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comment_frac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

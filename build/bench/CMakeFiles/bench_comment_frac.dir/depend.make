@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_comment_frac.
+# This may be replaced when dependencies are built.

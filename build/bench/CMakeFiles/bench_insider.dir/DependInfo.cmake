@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_insider.cpp" "bench/CMakeFiles/bench_insider.dir/bench_insider.cpp.o" "gcc" "bench/CMakeFiles/bench_insider.dir/bench_insider.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/confanon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/confanon_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/confanon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/junos/CMakeFiles/confanon_junos.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/confanon_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/confanon_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/confanon_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipanon/CMakeFiles/confanon_ipanon.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/confanon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/passlist/CMakeFiles/confanon_passlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

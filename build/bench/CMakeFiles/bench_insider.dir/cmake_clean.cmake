@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insider.dir/bench_insider.cpp.o"
+  "CMakeFiles/bench_insider.dir/bench_insider.cpp.o.d"
+  "bench_insider"
+  "bench_insider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

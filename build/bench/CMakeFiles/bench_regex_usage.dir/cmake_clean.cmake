@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regex_usage.dir/bench_regex_usage.cpp.o"
+  "CMakeFiles/bench_regex_usage.dir/bench_regex_usage.cpp.o.d"
+  "bench_regex_usage"
+  "bench_regex_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regex_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

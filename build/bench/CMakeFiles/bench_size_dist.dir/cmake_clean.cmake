@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_size_dist.dir/bench_size_dist.cpp.o"
+  "CMakeFiles/bench_size_dist.dir/bench_size_dist.cpp.o.d"
+  "bench_size_dist"
+  "bench_size_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_size_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

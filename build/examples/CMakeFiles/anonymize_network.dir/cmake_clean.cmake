@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymize_network.dir/anonymize_network.cpp.o"
+  "CMakeFiles/anonymize_network.dir/anonymize_network.cpp.o.d"
+  "anonymize_network"
+  "anonymize_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymize_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

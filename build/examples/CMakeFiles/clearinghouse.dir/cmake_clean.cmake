@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearinghouse.dir/clearinghouse.cpp.o"
+  "CMakeFiles/clearinghouse.dir/clearinghouse.cpp.o.d"
+  "clearinghouse"
+  "clearinghouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearinghouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

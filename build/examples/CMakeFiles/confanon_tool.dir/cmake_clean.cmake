@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_tool.dir/confanon_tool.cpp.o"
+  "CMakeFiles/confanon_tool.dir/confanon_tool.cpp.o.d"
+  "confanon_tool"
+  "confanon_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_attack.dir/fingerprint_attack.cpp.o"
+  "CMakeFiles/fingerprint_attack.dir/fingerprint_attack.cpp.o.d"
+  "fingerprint_attack"
+  "fingerprint_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

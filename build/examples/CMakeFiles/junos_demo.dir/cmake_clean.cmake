@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/junos_demo.dir/junos_demo.cpp.o"
+  "CMakeFiles/junos_demo.dir/junos_demo.cpp.o.d"
+  "junos_demo"
+  "junos_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/junos_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

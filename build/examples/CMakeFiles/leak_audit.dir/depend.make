@@ -1,0 +1,2 @@
+# Empty dependencies file for leak_audit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_rewrite_demo.dir/regex_rewrite_demo.cpp.o"
+  "CMakeFiles/regex_rewrite_demo.dir/regex_rewrite_demo.cpp.o.d"
+  "regex_rewrite_demo"
+  "regex_rewrite_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_rewrite_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

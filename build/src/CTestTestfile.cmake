@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("regex")
+subdirs("ipanon")
+subdirs("asn")
+subdirs("passlist")
+subdirs("config")
+subdirs("core")
+subdirs("gen")
+subdirs("junos")
+subdirs("analysis")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/characteristics.cpp" "src/analysis/CMakeFiles/confanon_analysis.dir/characteristics.cpp.o" "gcc" "src/analysis/CMakeFiles/confanon_analysis.dir/characteristics.cpp.o.d"
+  "/root/repo/src/analysis/compartment.cpp" "src/analysis/CMakeFiles/confanon_analysis.dir/compartment.cpp.o" "gcc" "src/analysis/CMakeFiles/confanon_analysis.dir/compartment.cpp.o.d"
+  "/root/repo/src/analysis/design_extract.cpp" "src/analysis/CMakeFiles/confanon_analysis.dir/design_extract.cpp.o" "gcc" "src/analysis/CMakeFiles/confanon_analysis.dir/design_extract.cpp.o.d"
+  "/root/repo/src/analysis/fingerprint.cpp" "src/analysis/CMakeFiles/confanon_analysis.dir/fingerprint.cpp.o" "gcc" "src/analysis/CMakeFiles/confanon_analysis.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/analysis/linkage.cpp" "src/analysis/CMakeFiles/confanon_analysis.dir/linkage.cpp.o" "gcc" "src/analysis/CMakeFiles/confanon_analysis.dir/linkage.cpp.o.d"
+  "/root/repo/src/analysis/probe_attack.cpp" "src/analysis/CMakeFiles/confanon_analysis.dir/probe_attack.cpp.o" "gcc" "src/analysis/CMakeFiles/confanon_analysis.dir/probe_attack.cpp.o.d"
+  "/root/repo/src/analysis/reachability.cpp" "src/analysis/CMakeFiles/confanon_analysis.dir/reachability.cpp.o" "gcc" "src/analysis/CMakeFiles/confanon_analysis.dir/reachability.cpp.o.d"
+  "/root/repo/src/analysis/regex_usage.cpp" "src/analysis/CMakeFiles/confanon_analysis.dir/regex_usage.cpp.o" "gcc" "src/analysis/CMakeFiles/confanon_analysis.dir/regex_usage.cpp.o.d"
+  "/root/repo/src/analysis/validate.cpp" "src/analysis/CMakeFiles/confanon_analysis.dir/validate.cpp.o" "gcc" "src/analysis/CMakeFiles/confanon_analysis.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/confanon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/confanon_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/confanon_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/confanon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confanon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipanon/CMakeFiles/confanon_ipanon.dir/DependInfo.cmake"
+  "/root/repo/build/src/passlist/CMakeFiles/confanon_passlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/confanon_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

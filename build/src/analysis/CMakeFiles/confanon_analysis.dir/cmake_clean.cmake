@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_analysis.dir/characteristics.cpp.o"
+  "CMakeFiles/confanon_analysis.dir/characteristics.cpp.o.d"
+  "CMakeFiles/confanon_analysis.dir/compartment.cpp.o"
+  "CMakeFiles/confanon_analysis.dir/compartment.cpp.o.d"
+  "CMakeFiles/confanon_analysis.dir/design_extract.cpp.o"
+  "CMakeFiles/confanon_analysis.dir/design_extract.cpp.o.d"
+  "CMakeFiles/confanon_analysis.dir/fingerprint.cpp.o"
+  "CMakeFiles/confanon_analysis.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/confanon_analysis.dir/linkage.cpp.o"
+  "CMakeFiles/confanon_analysis.dir/linkage.cpp.o.d"
+  "CMakeFiles/confanon_analysis.dir/probe_attack.cpp.o"
+  "CMakeFiles/confanon_analysis.dir/probe_attack.cpp.o.d"
+  "CMakeFiles/confanon_analysis.dir/reachability.cpp.o"
+  "CMakeFiles/confanon_analysis.dir/reachability.cpp.o.d"
+  "CMakeFiles/confanon_analysis.dir/regex_usage.cpp.o"
+  "CMakeFiles/confanon_analysis.dir/regex_usage.cpp.o.d"
+  "CMakeFiles/confanon_analysis.dir/validate.cpp.o"
+  "CMakeFiles/confanon_analysis.dir/validate.cpp.o.d"
+  "libconfanon_analysis.a"
+  "libconfanon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asn/asn_map.cpp" "src/asn/CMakeFiles/confanon_asn.dir/asn_map.cpp.o" "gcc" "src/asn/CMakeFiles/confanon_asn.dir/asn_map.cpp.o.d"
+  "/root/repo/src/asn/community.cpp" "src/asn/CMakeFiles/confanon_asn.dir/community.cpp.o" "gcc" "src/asn/CMakeFiles/confanon_asn.dir/community.cpp.o.d"
+  "/root/repo/src/asn/regex_rewrite.cpp" "src/asn/CMakeFiles/confanon_asn.dir/regex_rewrite.cpp.o" "gcc" "src/asn/CMakeFiles/confanon_asn.dir/regex_rewrite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/regex/CMakeFiles/confanon_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

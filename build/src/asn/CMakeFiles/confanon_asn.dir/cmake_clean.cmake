@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_asn.dir/asn_map.cpp.o"
+  "CMakeFiles/confanon_asn.dir/asn_map.cpp.o.d"
+  "CMakeFiles/confanon_asn.dir/community.cpp.o"
+  "CMakeFiles/confanon_asn.dir/community.cpp.o.d"
+  "CMakeFiles/confanon_asn.dir/regex_rewrite.cpp.o"
+  "CMakeFiles/confanon_asn.dir/regex_rewrite.cpp.o.d"
+  "libconfanon_asn.a"
+  "libconfanon_asn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_asn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/dialect.cpp" "src/config/CMakeFiles/confanon_config.dir/dialect.cpp.o" "gcc" "src/config/CMakeFiles/confanon_config.dir/dialect.cpp.o.d"
+  "/root/repo/src/config/document.cpp" "src/config/CMakeFiles/confanon_config.dir/document.cpp.o" "gcc" "src/config/CMakeFiles/confanon_config.dir/document.cpp.o.d"
+  "/root/repo/src/config/tokenizer.cpp" "src/config/CMakeFiles/confanon_config.dir/tokenizer.cpp.o" "gcc" "src/config/CMakeFiles/confanon_config.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/confanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

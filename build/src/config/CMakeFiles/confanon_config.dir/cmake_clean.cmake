@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_config.dir/dialect.cpp.o"
+  "CMakeFiles/confanon_config.dir/dialect.cpp.o.d"
+  "CMakeFiles/confanon_config.dir/document.cpp.o"
+  "CMakeFiles/confanon_config.dir/document.cpp.o.d"
+  "CMakeFiles/confanon_config.dir/tokenizer.cpp.o"
+  "CMakeFiles/confanon_config.dir/tokenizer.cpp.o.d"
+  "libconfanon_config.a"
+  "libconfanon_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_core.dir/anonymizer.cpp.o"
+  "CMakeFiles/confanon_core.dir/anonymizer.cpp.o.d"
+  "CMakeFiles/confanon_core.dir/leak_detector.cpp.o"
+  "CMakeFiles/confanon_core.dir/leak_detector.cpp.o.d"
+  "CMakeFiles/confanon_core.dir/report.cpp.o"
+  "CMakeFiles/confanon_core.dir/report.cpp.o.d"
+  "CMakeFiles/confanon_core.dir/string_hasher.cpp.o"
+  "CMakeFiles/confanon_core.dir/string_hasher.cpp.o.d"
+  "libconfanon_core.a"
+  "libconfanon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

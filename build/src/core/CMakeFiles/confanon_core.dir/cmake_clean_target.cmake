@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconfanon_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/addressing.cpp" "src/gen/CMakeFiles/confanon_gen.dir/addressing.cpp.o" "gcc" "src/gen/CMakeFiles/confanon_gen.dir/addressing.cpp.o.d"
+  "/root/repo/src/gen/config_writer.cpp" "src/gen/CMakeFiles/confanon_gen.dir/config_writer.cpp.o" "gcc" "src/gen/CMakeFiles/confanon_gen.dir/config_writer.cpp.o.d"
+  "/root/repo/src/gen/names.cpp" "src/gen/CMakeFiles/confanon_gen.dir/names.cpp.o" "gcc" "src/gen/CMakeFiles/confanon_gen.dir/names.cpp.o.d"
+  "/root/repo/src/gen/network_gen.cpp" "src/gen/CMakeFiles/confanon_gen.dir/network_gen.cpp.o" "gcc" "src/gen/CMakeFiles/confanon_gen.dir/network_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/confanon_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/confanon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_gen.dir/addressing.cpp.o"
+  "CMakeFiles/confanon_gen.dir/addressing.cpp.o.d"
+  "CMakeFiles/confanon_gen.dir/config_writer.cpp.o"
+  "CMakeFiles/confanon_gen.dir/config_writer.cpp.o.d"
+  "CMakeFiles/confanon_gen.dir/names.cpp.o"
+  "CMakeFiles/confanon_gen.dir/names.cpp.o.d"
+  "CMakeFiles/confanon_gen.dir/network_gen.cpp.o"
+  "CMakeFiles/confanon_gen.dir/network_gen.cpp.o.d"
+  "libconfanon_gen.a"
+  "libconfanon_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

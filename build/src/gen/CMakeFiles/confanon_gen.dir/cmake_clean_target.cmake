@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconfanon_gen.a"
+)

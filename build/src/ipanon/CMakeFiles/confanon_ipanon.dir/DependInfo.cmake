@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipanon/cryptopan.cpp" "src/ipanon/CMakeFiles/confanon_ipanon.dir/cryptopan.cpp.o" "gcc" "src/ipanon/CMakeFiles/confanon_ipanon.dir/cryptopan.cpp.o.d"
+  "/root/repo/src/ipanon/ip_anonymizer.cpp" "src/ipanon/CMakeFiles/confanon_ipanon.dir/ip_anonymizer.cpp.o" "gcc" "src/ipanon/CMakeFiles/confanon_ipanon.dir/ip_anonymizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/confanon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_ipanon.dir/cryptopan.cpp.o"
+  "CMakeFiles/confanon_ipanon.dir/cryptopan.cpp.o.d"
+  "CMakeFiles/confanon_ipanon.dir/ip_anonymizer.cpp.o"
+  "CMakeFiles/confanon_ipanon.dir/ip_anonymizer.cpp.o.d"
+  "libconfanon_ipanon.a"
+  "libconfanon_ipanon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_ipanon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

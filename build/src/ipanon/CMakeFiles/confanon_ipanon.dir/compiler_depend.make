@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for confanon_ipanon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_junos.dir/anonymizer.cpp.o"
+  "CMakeFiles/confanon_junos.dir/anonymizer.cpp.o.d"
+  "CMakeFiles/confanon_junos.dir/design_extract.cpp.o"
+  "CMakeFiles/confanon_junos.dir/design_extract.cpp.o.d"
+  "CMakeFiles/confanon_junos.dir/tokenizer.cpp.o"
+  "CMakeFiles/confanon_junos.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/confanon_junos.dir/validate.cpp.o"
+  "CMakeFiles/confanon_junos.dir/validate.cpp.o.d"
+  "CMakeFiles/confanon_junos.dir/writer.cpp.o"
+  "CMakeFiles/confanon_junos.dir/writer.cpp.o.d"
+  "libconfanon_junos.a"
+  "libconfanon_junos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_junos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

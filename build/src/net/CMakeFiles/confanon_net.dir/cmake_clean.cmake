@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_net.dir/ipv4.cpp.o"
+  "CMakeFiles/confanon_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/confanon_net.dir/prefix.cpp.o"
+  "CMakeFiles/confanon_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/confanon_net.dir/special.cpp.o"
+  "CMakeFiles/confanon_net.dir/special.cpp.o.d"
+  "libconfanon_net.a"
+  "libconfanon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_passlist.dir/builtin_corpus.cpp.o"
+  "CMakeFiles/confanon_passlist.dir/builtin_corpus.cpp.o.d"
+  "CMakeFiles/confanon_passlist.dir/passlist.cpp.o"
+  "CMakeFiles/confanon_passlist.dir/passlist.cpp.o.d"
+  "libconfanon_passlist.a"
+  "libconfanon_passlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_passlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

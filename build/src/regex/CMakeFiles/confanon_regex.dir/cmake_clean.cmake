@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_regex.dir/ast.cpp.o"
+  "CMakeFiles/confanon_regex.dir/ast.cpp.o.d"
+  "CMakeFiles/confanon_regex.dir/charset.cpp.o"
+  "CMakeFiles/confanon_regex.dir/charset.cpp.o.d"
+  "CMakeFiles/confanon_regex.dir/dfa.cpp.o"
+  "CMakeFiles/confanon_regex.dir/dfa.cpp.o.d"
+  "CMakeFiles/confanon_regex.dir/dfa_to_regex.cpp.o"
+  "CMakeFiles/confanon_regex.dir/dfa_to_regex.cpp.o.d"
+  "CMakeFiles/confanon_regex.dir/nfa.cpp.o"
+  "CMakeFiles/confanon_regex.dir/nfa.cpp.o.d"
+  "CMakeFiles/confanon_regex.dir/parser.cpp.o"
+  "CMakeFiles/confanon_regex.dir/parser.cpp.o.d"
+  "CMakeFiles/confanon_regex.dir/regex.cpp.o"
+  "CMakeFiles/confanon_regex.dir/regex.cpp.o.d"
+  "libconfanon_regex.a"
+  "libconfanon_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confanon_util.dir/aho_corasick.cpp.o"
+  "CMakeFiles/confanon_util.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/confanon_util.dir/rng.cpp.o"
+  "CMakeFiles/confanon_util.dir/rng.cpp.o.d"
+  "CMakeFiles/confanon_util.dir/sha1.cpp.o"
+  "CMakeFiles/confanon_util.dir/sha1.cpp.o.d"
+  "CMakeFiles/confanon_util.dir/stats.cpp.o"
+  "CMakeFiles/confanon_util.dir/stats.cpp.o.d"
+  "CMakeFiles/confanon_util.dir/strings.cpp.o"
+  "CMakeFiles/confanon_util.dir/strings.cpp.o.d"
+  "libconfanon_util.a"
+  "libconfanon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confanon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aho_corasick.cpp" "tests/CMakeFiles/confanon_tests.dir/test_aho_corasick.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_aho_corasick.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/confanon_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_analysis_extended.cpp" "tests/CMakeFiles/confanon_tests.dir/test_analysis_extended.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_analysis_extended.cpp.o.d"
+  "/root/repo/tests/test_anonymizer.cpp" "tests/CMakeFiles/confanon_tests.dir/test_anonymizer.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_anonymizer.cpp.o.d"
+  "/root/repo/tests/test_asn.cpp" "tests/CMakeFiles/confanon_tests.dir/test_asn.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_asn.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/confanon_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_dfa.cpp" "tests/CMakeFiles/confanon_tests.dir/test_dfa.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_dfa.cpp.o.d"
+  "/root/repo/tests/test_dfa_to_regex.cpp" "tests/CMakeFiles/confanon_tests.dir/test_dfa_to_regex.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_dfa_to_regex.cpp.o.d"
+  "/root/repo/tests/test_end_to_end.cpp" "tests/CMakeFiles/confanon_tests.dir/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/test_final_coverage.cpp" "tests/CMakeFiles/confanon_tests.dir/test_final_coverage.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_final_coverage.cpp.o.d"
+  "/root/repo/tests/test_fuzz_robustness.cpp" "tests/CMakeFiles/confanon_tests.dir/test_fuzz_robustness.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_fuzz_robustness.cpp.o.d"
+  "/root/repo/tests/test_gen_internals.cpp" "tests/CMakeFiles/confanon_tests.dir/test_gen_internals.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_gen_internals.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/confanon_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_invariant_sweep.cpp" "tests/CMakeFiles/confanon_tests.dir/test_invariant_sweep.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_invariant_sweep.cpp.o.d"
+  "/root/repo/tests/test_ipanon.cpp" "tests/CMakeFiles/confanon_tests.dir/test_ipanon.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_ipanon.cpp.o.d"
+  "/root/repo/tests/test_ipv4.cpp" "tests/CMakeFiles/confanon_tests.dir/test_ipv4.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_ipv4.cpp.o.d"
+  "/root/repo/tests/test_junos.cpp" "tests/CMakeFiles/confanon_tests.dir/test_junos.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_junos.cpp.o.d"
+  "/root/repo/tests/test_junos_design.cpp" "tests/CMakeFiles/confanon_tests.dir/test_junos_design.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_junos_design.cpp.o.d"
+  "/root/repo/tests/test_passlist.cpp" "tests/CMakeFiles/confanon_tests.dir/test_passlist.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_passlist.cpp.o.d"
+  "/root/repo/tests/test_prefix.cpp" "tests/CMakeFiles/confanon_tests.dir/test_prefix.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_prefix.cpp.o.d"
+  "/root/repo/tests/test_probe_attack.cpp" "tests/CMakeFiles/confanon_tests.dir/test_probe_attack.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_probe_attack.cpp.o.d"
+  "/root/repo/tests/test_reachability.cpp" "tests/CMakeFiles/confanon_tests.dir/test_reachability.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_reachability.cpp.o.d"
+  "/root/repo/tests/test_regex.cpp" "tests/CMakeFiles/confanon_tests.dir/test_regex.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_regex.cpp.o.d"
+  "/root/repo/tests/test_regex_rewrite.cpp" "tests/CMakeFiles/confanon_tests.dir/test_regex_rewrite.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_regex_rewrite.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/confanon_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/confanon_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rules_matrix.cpp" "tests/CMakeFiles/confanon_tests.dir/test_rules_matrix.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_rules_matrix.cpp.o.d"
+  "/root/repo/tests/test_sha1.cpp" "tests/CMakeFiles/confanon_tests.dir/test_sha1.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_sha1.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/confanon_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/confanon_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/confanon_tests.dir/test_strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/confanon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/confanon_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/confanon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/junos/CMakeFiles/confanon_junos.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/confanon_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/confanon_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/confanon_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipanon/CMakeFiles/confanon_ipanon.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/confanon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/passlist/CMakeFiles/confanon_passlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/confanon_tests[1]_include.cmake")
+add_test(tool_anonymizes_sample "/root/repo/build/examples/confanon_tool" "--salt" "test-secret" "--check-leaks" "/root/repo/tests/data/sample.cfg")
+set_tests_properties(tool_anonymizes_sample PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_rejects_missing_salt "/root/repo/build/examples/confanon_tool" "/nonexistent")
+set_tests_properties(tool_rejects_missing_salt PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
