@@ -1,0 +1,70 @@
+// Shared BENCH_perf.json emitter for the bench binaries.
+//
+// The file is one JSON object:
+//   { "schema": "confanon-bench-v1", "bench": "<binary>",
+//     "meta": { ... scalar run parameters ... },
+//     "metrics": <obs::RunMetrics>,   // counters / gauges / histograms
+//     "report":  <AnonymizationReport> }
+// The per-phase latency histograms ("core.line_ns", "core.file_ns",
+// "asn.rewrite_ns", "leak.scan_ns", ...) carry p50/p90/p95/p99 inline;
+// the "rule.*" counters in metrics equal report.rule_fires by
+// construction (SyncReportDeltas). See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/report.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace confanon::bench {
+
+inline bool WriteBenchJson(
+    const std::string& path, const std::string& bench_name,
+    const std::vector<std::pair<std::string, std::int64_t>>& meta,
+    const obs::RunMetrics& metrics, const core::AnonymizationReport& report) {
+  obs::JsonWriter out;
+  out.BeginObject();
+  out.Key("schema").Value("confanon-bench-v1");
+  out.Key("bench").Value(bench_name);
+  out.Key("meta").BeginObject();
+  for (const auto& [key, value] : meta) {
+    out.Key(key).Value(value);
+  }
+  out.EndObject();
+  out.Key("metrics");
+  metrics.WriteJson(out);
+  out.Key("report");
+  report.WriteJson(out);
+  out.EndObject();
+
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  file << out.str() << "\n";
+  file.close();
+  std::printf("wrote %s (%zu metric counters, %zu histograms)\n", path.c_str(),
+              metrics.counters.size(), metrics.histograms.size());
+  return file.good();
+}
+
+/// "--bench-out=PATH" on the command line overrides `default_path`;
+/// benches share the BENCH_perf.json default so the CI trajectory always
+/// finds one, and pass distinct paths when run back-to-back.
+inline std::string BenchOutPath(int argc, char** argv,
+                                const std::string& default_path) {
+  const std::string flag = "--bench-out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(flag, 0) == 0) return arg.substr(flag.size());
+  }
+  return default_path;
+}
+
+}  // namespace confanon::bench

@@ -10,8 +10,11 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "asn/regex_rewrite.h"
+#include "bench_json.h"
 #include "core/anonymizer.h"
 #include "core/leak_detector.h"
 #include "gen/config_writer.h"
@@ -227,6 +230,45 @@ void BM_ExportImportMappings(benchmark::State& state) {
 }
 BENCHMARK(BM_ExportImportMappings)->Unit(benchmark::kMillisecond);
 
+/// One fully instrumented end-to-end run (anonymize + leak scan) whose
+/// registry snapshot and report become BENCH_perf.json. Kept separate
+/// from the timed benchmarks above, which run with observability off.
+bool WritePerfJson(const std::string& path) {
+  const auto pre = BenchCorpus(24);
+  std::int64_t lines = 0;
+  for (const auto& file : pre) lines += static_cast<std::int64_t>(file.LineCount());
+
+  obs::MetricsRegistry registry;
+  core::AnonymizerOptions options;
+  options.salt = "perf-salt";
+  core::Anonymizer anonymizer(std::move(options));
+  anonymizer.set_metrics(&registry);
+  const auto post = anonymizer.AnonymizeNetwork(pre);
+  core::LeakDetector::Scan(post, anonymizer.leak_record(), &registry);
+
+  return bench::WriteBenchJson(
+      path, "bench_perf",
+      {{"routers", static_cast<std::int64_t>(pre.size())}, {"lines", lines}},
+      registry.Snapshot(), anonymizer.report());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out_path =
+      confanon::bench::BenchOutPath(argc, argv, "BENCH_perf.json");
+  // Strip our flag before handing argv to google-benchmark.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--bench-out=", 0) == 0) continue;
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&bench_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return WritePerfJson(out_path) ? 0 : 1;
+}

@@ -13,15 +13,20 @@
 #include <cstdlib>
 #include <set>
 
+#include "bench_json.h"
 #include "config/dialect.h"
 #include "core/anonymizer.h"
 #include "core/leak_detector.h"
 #include "gen/config_writer.h"
 #include "gen/network_gen.h"
+#include "obs/metrics.h"
 
 int main(int argc, char** argv) {
   using namespace confanon;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  const double scale =
+      argc > 1 && argv[1][0] != '-' ? std::atof(argv[1]) : 0.25;
+  const std::string out_path =
+      bench::BenchOutPath(argc, argv, "BENCH_perf.json");
 
   gen::GeneratorParams params;
   params.seed = 765531;
@@ -40,6 +45,8 @@ int main(int argc, char** argv) {
   std::set<std::string> versions;
   std::size_t textual_leaks = 0;
   std::uint64_t words_hashed = 0, asns_mapped = 0, addresses_mapped = 0;
+  obs::MetricsRegistry registry;
+  core::AnonymizationReport merged_report;
 
   const auto t1 = std::chrono::steady_clock::now();
   for (int i = 0; i < network_count; ++i) {
@@ -54,12 +61,14 @@ int main(int argc, char** argv) {
     core::AnonymizerOptions options;
     options.salt = "scale-" + std::to_string(i);
     core::Anonymizer anonymizer(std::move(options));
+    anonymizer.set_metrics(&registry);
     const auto post = anonymizer.AnonymizeNetwork(pre);
+    merged_report.Merge(anonymizer.report());
     words_hashed += anonymizer.report().words_hashed;
     asns_mapped += anonymizer.report().asns_mapped;
     addresses_mapped += anonymizer.report().addresses_mapped;
     for (const auto& finding :
-         core::LeakDetector::Scan(post, anonymizer.leak_record())) {
+         core::LeakDetector::Scan(post, anonymizer.leak_record(), &registry)) {
       if (finding.kind == core::LeakFinding::Kind::kHashedWord) {
         ++textual_leaks;
       }
@@ -87,7 +96,15 @@ int main(int argc, char** argv) {
   std::printf("(* the paper needed <5 operator iterations; our full rule "
               "set is the converged state)\n");
 
-  const bool ok = textual_leaks == 0 && versions.size() >= 100;
+  const bool wrote = bench::WriteBenchJson(
+      out_path, "bench_scale",
+      {{"scale_percent", static_cast<std::int64_t>(scale * 100.0)},
+       {"networks", static_cast<std::int64_t>(corpus.size())},
+       {"routers", static_cast<std::int64_t>(routers)},
+       {"lines", static_cast<std::int64_t>(lines)}},
+      registry.Snapshot(), merged_report);
+
+  const bool ok = wrote && textual_leaks == 0 && versions.size() >= 100;
   std::printf("\nresult: %s\n", ok ? "REPRODUCED" : "MISMATCH");
   return ok ? 0 : 1;
 }

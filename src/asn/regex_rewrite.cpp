@@ -1,12 +1,34 @@
 #include "asn/regex_rewrite.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "regex/dfa_to_regex.h"
 #include "regex/nfa.h"
 #include "regex/parser.h"
 
 namespace confanon::asn {
+
+namespace {
+
+/// RAII stamp filling RewriteResult's timing on every exit path.
+class RewriteStopwatch {
+ public:
+  explicit RewriteStopwatch(RewriteResult& result)
+      : result_(result), start_(std::chrono::steady_clock::now()) {}
+  ~RewriteStopwatch() {
+    result_.elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  RewriteResult& result_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 TokenLanguage TokenLanguage::Compile(std::string_view pattern) {
   regex::Ast ast;
@@ -42,6 +64,8 @@ std::vector<std::uint32_t> TokenLanguage::Enumerate() const {
   }
   return accepted;
 }
+
+int TokenLanguage::StateCount() const { return dfa_->StateCount(); }
 
 std::string RenderLanguage(const std::vector<std::uint32_t>& values,
                            RewriteForm form) {
@@ -108,8 +132,10 @@ RewriteResult AsnRegexRewriter::Rewrite(std::string_view pattern,
                                         RewriteForm form) const {
   RewriteResult result;
   result.pattern = std::string(pattern);
+  const RewriteStopwatch stopwatch(result);
 
   const TokenLanguage language = TokenLanguage::Compile(pattern);
+  result.dfa_states = static_cast<std::size_t>(language.StateCount());
   const std::vector<std::uint32_t> accepted = language.Enumerate();
   result.language_size = accepted.size();
   for (std::uint32_t asn : accepted) {
@@ -142,6 +168,7 @@ RewriteResult CommunityRegexRewriter::Rewrite(std::string_view pattern,
                                               RewriteForm form) const {
   RewriteResult result;
   result.pattern = std::string(pattern);
+  const RewriteStopwatch stopwatch(result);
 
   const std::size_t colon = FindTopLevelColon(pattern);
   if (colon == std::string_view::npos) {
@@ -152,10 +179,12 @@ RewriteResult CommunityRegexRewriter::Rewrite(std::string_view pattern,
   const std::string_view asn_part = pattern.substr(0, colon);
   const std::string_view value_part = pattern.substr(colon + 1);
 
-  const std::vector<std::uint32_t> asn_language =
-      TokenLanguage::Compile(asn_part).Enumerate();
-  const std::vector<std::uint32_t> value_language =
-      TokenLanguage::Compile(value_part).Enumerate();
+  const TokenLanguage asn_compiled = TokenLanguage::Compile(asn_part);
+  const TokenLanguage value_compiled = TokenLanguage::Compile(value_part);
+  result.dfa_states = static_cast<std::size_t>(asn_compiled.StateCount()) +
+                      static_cast<std::size_t>(value_compiled.StateCount());
+  const std::vector<std::uint32_t> asn_language = asn_compiled.Enumerate();
+  const std::vector<std::uint32_t> value_language = value_compiled.Enumerate();
   result.language_size = asn_language.size() * value_language.size();
   for (std::uint32_t a : asn_language) {
     if (IsPublicAsn(a)) ++result.public_members;

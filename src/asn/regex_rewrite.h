@@ -41,6 +41,10 @@ class TokenLanguage {
   /// All accepted values in ascending order.
   std::vector<std::uint32_t> Enumerate() const;
 
+  /// Number of DFA states the compiled pattern uses (instrumentation; the
+  /// language computation's cost is linear in states x subject length).
+  int StateCount() const;
+
  private:
   TokenLanguage() = default;
   std::shared_ptr<const regex::Dfa> dfa_;
@@ -62,6 +66,10 @@ struct RewriteResult {
   std::size_t language_size = 0;
   /// How many accepted values were public ASNs (pre-anonymization).
   std::size_t public_members = 0;
+  /// Instrumentation: total DFA states compiled for this rewrite (both
+  /// halves for community patterns) and wall time spent in Rewrite().
+  std::size_t dfa_states = 0;
+  std::uint64_t elapsed_ns = 0;
 };
 
 /// Rewrites an as-path regexp. Returns the input unchanged when the

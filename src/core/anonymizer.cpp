@@ -1,6 +1,8 @@
 #include "core/anonymizer.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "config/tokenizer.h"
 #include "net/prefix.h"
@@ -99,11 +101,16 @@ void Anonymizer::CollectAddresses(
 
 std::vector<config::ConfigFile> Anonymizer::AnonymizeNetwork(
     const std::vector<config::ConfigFile>& files) {
+  obs::ScopedTimer network_span(&tracer_, "anonymize-network");
+  network_span.AddArg("files", static_cast<std::int64_t>(files.size()));
   // Rule I7: preload the whole corpus's addresses in sorted order so the
   // subnet-address-preservation property holds network-wide.
   if (RuleEnabled(rules::kSubnetPreload) && !preloaded_) {
+    obs::ScopedTimer preload_span(&tracer_, "preload.I7");
     std::vector<net::Ipv4Address> addresses;
     CollectAddresses(files, addresses);
+    preload_span.AddArg("addresses",
+                        static_cast<std::int64_t>(addresses.size()));
     report_.CountRule(rules::kSubnetPreload, addresses.size());
     ip_.Preload(std::move(addresses));
     preloaded_ = true;
@@ -113,6 +120,7 @@ std::vector<config::ConfigFile> Anonymizer::AnonymizeNetwork(
   for (const config::ConfigFile& file : files) {
     out.push_back(AnonymizeFile(file));
   }
+  SyncMetrics();
   return out;
 }
 
@@ -132,41 +140,49 @@ config::ConfigFile Anonymizer::AnonymizeFile(const config::ConfigFile& file) {
   std::vector<std::string> out_lines;
   out_lines.reserve(file.lines().size());
 
-  // The anonymized file keeps its own name consistent with how the
-  // hostname inside it is anonymized (file names are hostnames).
+  const bool observing =
+      tracer_.enabled() || provenance_ != nullptr || metrics_ != nullptr;
+  const std::int64_t file_start_us = tracer_.enabled() ? tracer_.NowUs() : 0;
+  const auto file_start = std::chrono::steady_clock::now();
+  // Per-rule processing time for this file (traced runs only): the cost
+  // of each line is attributed to the rules that fired on it.
+  std::map<std::string, std::uint64_t> rule_ns;
+
   for (std::size_t index = 0; index < file.lines().size(); ++index) {
-    const std::string& raw = file.lines()[index];
-    ++report_.total_lines;
-    LineTokens tokens = config::TokenizeLine(raw);
-    report_.total_words += tokens.words.size();
-
-    if (in_banner[index]) {
-      // Rule C3: the whole banner block is a comment; drop it, leaving a
-      // bare '!' where it started so the block boundary stays visible.
-      report_.comment_words_removed += tokens.words.size();
-      report_.CountRule(rules::kStripBanners);
-      if (banner_start[index]) out_lines.push_back("!");
-      continue;
+    if (observing) {
+      ObserveLine(file, index, in_banner, banner_start, out_lines, rule_ns);
+    } else {
+      AnonymizeLine(file, index, in_banner, banner_start, out_lines);
     }
+  }
 
-    if (!ApplyCommentRules(file, index, raw, in_banner)) {
-      // Line fully handled as a comment.
-      const config::SplitLine split = config::SplitConfigLine(raw);
-      report_.comment_words_removed +=
-          split.words.empty() ? 0 : split.words.size() - 1;
-      out_lines.push_back(std::string(static_cast<std::size_t>(split.indent),
-                                      ' ') +
-                          "!");
-      continue;
+  if (observing) {
+    const std::int64_t file_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - file_start)
+            .count();
+    if (file_hist_ != nullptr) {
+      file_hist_->Record(static_cast<std::uint64_t>(file_ns));
     }
-
-    std::vector<bool> handled(tokens.words.size(), false);
-    ApplyFreeTextRules(tokens, handled);
-    ApplyAsnLineRules(tokens, handled);
-    ApplyMiscLineRules(tokens, handled);
-    ApplyIpLineRules(tokens, handled);
-    ApplyGenericHashing(tokens, handled);
-    out_lines.push_back(tokens.Render());
+    if (tracer_.enabled()) {
+      const std::int64_t file_end_us =
+          file_start_us + std::max<std::int64_t>(file_ns / 1000, 1);
+      // Per-rule spans, laid end-to-end inside the file span so viewers
+      // nest them under it (timestamp containment). Positions within the
+      // file are synthetic; durations are the measured aggregates.
+      std::int64_t cursor = file_start_us;
+      for (const auto& [rule, ns] : rule_ns) {
+        std::int64_t duration = std::max<std::int64_t>(
+            static_cast<std::int64_t>(ns) / 1000, 1);
+        duration = std::min(duration,
+                            std::max<std::int64_t>(file_end_us - cursor, 1));
+        tracer_.Complete("rule:" + rule, cursor, duration);
+        cursor = std::min(cursor + duration, file_end_us - 1);
+      }
+      tracer_.Complete("file:" + file.name(), file_start_us,
+                       file_end_us - file_start_us);
+    }
+    SyncMetrics();
   }
 
   // File names are derived from hostnames; anonymize consistently.
@@ -175,6 +191,130 @@ config::ConfigFile Anonymizer::AnonymizeFile(const config::ConfigFile& file) {
     out_name = hasher_.Hash(out_name);
   }
   return config::ConfigFile(out_name, std::move(out_lines));
+}
+
+void Anonymizer::AnonymizeLine(const config::ConfigFile& file,
+                               std::size_t index,
+                               const std::vector<bool>& in_banner,
+                               const std::vector<bool>& banner_start,
+                               std::vector<std::string>& out_lines) {
+  const std::string& raw = file.lines()[index];
+  ++report_.total_lines;
+  LineTokens tokens = config::TokenizeLine(raw);
+  report_.total_words += tokens.words.size();
+
+  if (in_banner[index]) {
+    // Rule C3: the whole banner block is a comment; drop it, leaving a
+    // bare '!' where it started so the block boundary stays visible.
+    report_.comment_words_removed += tokens.words.size();
+    report_.CountRule(rules::kStripBanners);
+    if (banner_start[index]) out_lines.push_back("!");
+    return;
+  }
+
+  if (!ApplyCommentRules(file, index, raw, in_banner)) {
+    // Line fully handled as a comment.
+    const config::SplitLine split = config::SplitConfigLine(raw);
+    report_.comment_words_removed +=
+        split.words.empty() ? 0 : split.words.size() - 1;
+    out_lines.push_back(std::string(static_cast<std::size_t>(split.indent),
+                                    ' ') +
+                        "!");
+    return;
+  }
+
+  std::vector<bool> handled(tokens.words.size(), false);
+  ApplyFreeTextRules(tokens, handled);
+  ApplyAsnLineRules(tokens, handled);
+  ApplyMiscLineRules(tokens, handled);
+  ApplyIpLineRules(tokens, handled);
+  ApplyGenericHashing(tokens, handled);
+  out_lines.push_back(tokens.Render());
+}
+
+void Anonymizer::ObserveLine(const config::ConfigFile& file, std::size_t index,
+                             const std::vector<bool>& in_banner,
+                             const std::vector<bool>& banner_start,
+                             std::vector<std::string>& out_lines,
+                             std::map<std::string, std::uint64_t>& rule_ns) {
+  const std::uint64_t words_before = report_.total_words;
+  const std::size_t out_count = out_lines.size();
+  const std::map<std::string, std::uint64_t> fires_before = report_.rule_fires;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  AnonymizeLine(file, index, in_banner, banner_start, out_lines);
+
+  const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  if (line_hist_ != nullptr) line_hist_->Record(elapsed_ns);
+
+  const auto tokens_before =
+      static_cast<std::uint32_t>(report_.total_words - words_before);
+  const auto tokens_after = static_cast<std::uint32_t>(
+      out_lines.size() > out_count ? util::SplitWords(out_lines.back()).size()
+                                   : 0);
+
+  // Rules whose fire count advanced during this line.
+  std::vector<const std::string*> fired;
+  for (const auto& [name, count] : report_.rule_fires) {
+    const auto before = fires_before.find(name);
+    if (before == fires_before.end() || before->second != count) {
+      fired.push_back(&name);
+    }
+  }
+  if (fired.empty()) return;
+  const std::uint64_t share = elapsed_ns / fired.size();
+  for (const std::string* rule : fired) {
+    if (tracer_.enabled()) rule_ns[*rule] += share;
+    if (provenance_ != nullptr) {
+      provenance_->Record(obs::ProvenanceEntry{
+          file.name(), static_cast<std::uint64_t>(index), *rule,
+          tokens_before, tokens_after});
+    }
+  }
+}
+
+void Anonymizer::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  line_hist_ =
+      metrics != nullptr ? &metrics->HistogramNamed("core.line_ns") : nullptr;
+  file_hist_ =
+      metrics != nullptr ? &metrics->HistogramNamed("core.file_ns") : nullptr;
+  rewrite_hist_ = metrics != nullptr
+                      ? &metrics->HistogramNamed("asn.rewrite_ns")
+                      : nullptr;
+  dfa_states_total_ =
+      metrics != nullptr ? &metrics->CounterNamed("asn.rewrite_dfa_states")
+                         : nullptr;
+}
+
+void Anonymizer::RecordRewrite(const asn::RewriteResult& result) {
+  if (rewrite_hist_ != nullptr) rewrite_hist_->Record(result.elapsed_ns);
+  if (dfa_states_total_ != nullptr) {
+    dfa_states_total_->Add(result.dfa_states);
+  }
+}
+
+void Anonymizer::SyncMetrics() {
+  if (metrics_ == nullptr) return;
+  SyncReportDeltas(report_, synced_report_, *metrics_, "");
+  const auto sync = [&](const char* name, std::uint64_t current,
+                        std::uint64_t& base) {
+    if (current > base) {
+      metrics_->CounterNamed(name).Add(current - base);
+      base = current;
+    }
+  };
+  const ipanon::IpAnonymizer::Stats& ip_stats = ip_.stats();
+  sync("ipanon.cache_hits", ip_stats.cache_hits, synced_ip_.cache_hits);
+  sync("ipanon.cache_misses", ip_stats.cache_misses, synced_ip_.cache_misses);
+  sync("ipanon.collision_walks", ip_stats.collision_walks,
+       synced_ip_.collision_walks);
+  sync("ipanon.preloaded_addresses", ip_stats.preloaded, synced_ip_.preloaded);
+  metrics_->GaugeNamed("ipanon.trie_nodes")
+      .Set(static_cast<std::int64_t>(ip_.NodeCount()));
 }
 
 bool Anonymizer::ApplyCommentRules(const config::ConfigFile& file,
@@ -323,6 +463,7 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
         // in place — the conservative fallback is the Section 6.1 leak
         // grep, which flags any ASN that survives inside it.
       }
+      RecordRewrite(result);
       // Every public ASN the pattern accepted is identity-bearing.
       for (std::uint32_t a : AcceptedPublicAsns(pattern)) RecordAsn(a);
       if (result.changed) {
@@ -387,6 +528,7 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
           } catch (const regex::ParseError&) {
             // As above: leave unparseable patterns for the leak grep.
           }
+          RecordRewrite(result);
           if (result.changed) {
             ReplaceTail(tokens, i, result.pattern);
             handled.assign(tokens.words.size(), false);

@@ -45,6 +45,9 @@
 #include "core/string_hasher.h"
 #include "ipanon/ip_anonymizer.h"
 #include "net/prefix.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/trace.h"
 #include "passlist/passlist.h"
 
 namespace confanon::core {
@@ -145,6 +148,29 @@ class Anonymizer {
   const AnonymizationReport& report() const { return report_; }
   const LeakRecord& leak_record() const { return leak_record_; }
 
+  // --- observability (all optional, all non-owning) ---
+  //
+  // With none of these installed the per-line hot path pays a single
+  // branch; the benches run in that mode.
+
+  /// Mirrors the report (per-rule fire counts, word/address totals), the
+  /// IP trie's hit/miss/size stats, and per-phase latency histograms
+  /// ("core.line_ns", "core.file_ns", "asn.rewrite_ns") into `metrics`.
+  /// Synced incrementally at every file boundary.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  /// Emits Chrome-trace spans: the network phase, one span per file, and
+  /// per-rule spans nested inside each file span (a rule's span
+  /// aggregates the line-processing time of the lines it fired on).
+  void set_trace_sink(obs::TraceSink* sink) { tracer_.set_sink(sink); }
+  /// Records one ProvenanceEntry per (line, fired rule) with before/after
+  /// word counts — the Section 6.1 leak-triage record.
+  void set_provenance(obs::ProvenanceLog* provenance) {
+    provenance_ = provenance;
+  }
+  /// Pushes any unreported report/trie deltas into the registry. Called
+  /// automatically at file boundaries; idempotent.
+  void SyncMetrics();
+
   const asn::AsnMap& asn_map() const { return asn_map_; }
   const asn::Uint16Permutation& community_values() const {
     return community_values_;
@@ -161,6 +187,23 @@ class Anonymizer {
   /// Collects every IP address in the corpus for the preload pass.
   void CollectAddresses(const std::vector<config::ConfigFile>& files,
                         std::vector<net::Ipv4Address>& out) const;
+
+  /// Processes one input line end-to-end (comment rules + the five word
+  /// passes), appending the anonymized rendering to `out_lines` (or
+  /// nothing, for banner continuation lines).
+  void AnonymizeLine(const config::ConfigFile& file, std::size_t index,
+                     const std::vector<bool>& in_banner,
+                     const std::vector<bool>& banner_start,
+                     std::vector<std::string>& out_lines);
+  /// AnonymizeLine wrapped in timing + rule-fire attribution; accumulates
+  /// per-rule nanoseconds into `rule_ns` and feeds the provenance log.
+  void ObserveLine(const config::ConfigFile& file, std::size_t index,
+                   const std::vector<bool>& in_banner,
+                   const std::vector<bool>& banner_start,
+                   std::vector<std::string>& out_lines,
+                   std::map<std::string, std::uint64_t>& rule_ns);
+  /// Records a regexp rewrite's cost into the registry, if installed.
+  void RecordRewrite(const asn::RewriteResult& result);
 
   /// Per-line passes (see .cpp for the rule-to-function mapping).
   /// Returns false when the whole line collapses to a '!' comment.
@@ -197,6 +240,19 @@ class Anonymizer {
   AnonymizationReport report_;
   LeakRecord leak_record_;
   bool preloaded_ = false;
+
+  // Observability state. The histogram/counter pointers are resolved once
+  // in set_metrics so instrumented paths touch only atomics.
+  obs::Tracer tracer_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::ProvenanceLog* provenance_ = nullptr;
+  obs::LatencyHistogram* line_hist_ = nullptr;
+  obs::LatencyHistogram* file_hist_ = nullptr;
+  obs::LatencyHistogram* rewrite_hist_ = nullptr;
+  obs::Counter* dfa_states_total_ = nullptr;
+  /// Last report/trie state already pushed to the registry (delta base).
+  AnonymizationReport synced_report_;
+  ipanon::IpAnonymizer::Stats synced_ip_;
 };
 
 }  // namespace confanon::core

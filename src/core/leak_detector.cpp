@@ -1,5 +1,6 @@
 #include "core/leak_detector.h"
 
+#include "obs/trace.h"
 #include "util/aho_corasick.h"
 #include "util/strings.h"
 
@@ -19,7 +20,8 @@ bool IsWordChar(char c) { return util::IsAsciiAlnum(c) || c == '.'; }
 
 std::vector<LeakFinding> LeakDetector::Scan(
     const std::vector<config::ConfigFile>& anonymized,
-    const LeakRecord& record) {
+    const LeakRecord& record, obs::MetricsRegistry* metrics) {
+  obs::ScopedTimer scan_span(&obs::GlobalTracer(), "leak-scan");
   // One Aho-Corasick automaton over every recorded identifier; a single
   // pass per line replaces the per-identifier grep of a naive scan (the
   // paper's corpus was 4.3M lines — this is what keeps the grep-back
@@ -38,10 +40,18 @@ std::vector<LeakFinding> LeakDetector::Scan(
   add_set(record.addresses, LeakFinding::Kind::kAddress);
 
   std::vector<LeakFinding> findings;
+  if (metrics != nullptr) {
+    metrics->CounterNamed("leak.patterns").Add(patterns.size());
+  }
   if (patterns.empty()) return findings;
   const util::AhoCorasick automaton(patterns);
+  obs::LatencyHistogram* scan_hist =
+      metrics != nullptr ? &metrics->HistogramNamed("leak.scan_ns") : nullptr;
+  std::uint64_t lines_scanned = 0;
 
   for (const config::ConfigFile& file : anonymized) {
+    obs::ScopedTimer file_span(nullptr, "leak-scan-file", scan_hist);
+    lines_scanned += file.lines().size();
     for (std::size_t i = 0; i < file.lines().size(); ++i) {
       const std::string& line = file.lines()[i];
       if (line.empty()) continue;
@@ -64,6 +74,10 @@ std::vector<LeakFinding> LeakDetector::Scan(
                                        kinds[match.pattern_index]});
       }
     }
+  }
+  if (metrics != nullptr) {
+    metrics->CounterNamed("leak.lines_scanned").Add(lines_scanned);
+    metrics->CounterNamed("leak.findings").Add(findings.size());
   }
   return findings;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "config/document.h"
+#include "obs/metrics.h"
 
 namespace confanon::core {
 
@@ -44,10 +45,14 @@ struct LeakFinding {
 
 class LeakDetector {
  public:
-  /// Scans anonymized output for residues of recorded identifiers.
+  /// Scans anonymized output for residues of recorded identifiers. With a
+  /// registry installed, records "leak.patterns" / "leak.lines_scanned" /
+  /// "leak.findings" counters and a per-file "leak.scan_ns" latency
+  /// histogram; the scan also runs under a GlobalTracer() span
+  /// ("leak-scan"), so installing a global trace sink covers it.
   static std::vector<LeakFinding> Scan(
       const std::vector<config::ConfigFile>& anonymized,
-      const LeakRecord& record);
+      const LeakRecord& record, obs::MetricsRegistry* metrics = nullptr);
 };
 
 }  // namespace confanon::core

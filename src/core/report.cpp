@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace confanon::core {
@@ -22,10 +23,19 @@ void AnonymizationReport::Merge(const AnonymizationReport& other) {
 }
 
 std::string AnonymizationReport::ToString() const {
+  // Two-decimal percent; with no words at all (empty corpus) the fraction
+  // is undefined, so render "n/a" rather than a misleading 0.00%.
+  char percent[32];
+  if (total_words == 0) {
+    std::snprintf(percent, sizeof(percent), "n/a");
+  } else {
+    std::snprintf(percent, sizeof(percent), "%.2f%%",
+                  CommentWordFraction() * 100.0);
+  }
   std::ostringstream out;
   out << "lines=" << total_lines << " words=" << total_words
       << " comment_words_removed=" << comment_words_removed << " ("
-      << CommentWordFraction() * 100.0 << "%)\n"
+      << percent << ")\n"
       << "words_hashed=" << words_hashed << " words_passed=" << words_passed
       << "\n"
       << "addresses_mapped=" << addresses_mapped
@@ -39,6 +49,71 @@ std::string AnonymizationReport::ToString() const {
     out << "  rule " << name << ": " << count << "\n";
   }
   return out.str();
+}
+
+void AnonymizationReport::WriteJson(obs::JsonWriter& out) const {
+  out.BeginObject();
+  out.Key("total_lines").Value(total_lines);
+  out.Key("total_words").Value(total_words);
+  out.Key("comment_words_removed").Value(comment_words_removed);
+  out.Key("comment_word_fraction").Value(CommentWordFraction());
+  out.Key("words_hashed").Value(words_hashed);
+  out.Key("words_passed").Value(words_passed);
+  out.Key("addresses_mapped").Value(addresses_mapped);
+  out.Key("addresses_special").Value(addresses_special);
+  out.Key("asns_mapped").Value(asns_mapped);
+  out.Key("communities_mapped").Value(communities_mapped);
+  out.Key("aspath_regexps_rewritten").Value(aspath_regexps_rewritten);
+  out.Key("community_regexps_rewritten").Value(community_regexps_rewritten);
+  out.Key("rule_fires").BeginObject();
+  for (const auto& [name, count] : rule_fires) {
+    out.Key(name).Value(count);
+  }
+  out.EndObject();
+  out.EndObject();
+}
+
+std::string AnonymizationReport::ToJson() const {
+  obs::JsonWriter out;
+  WriteJson(out);
+  return out.Take();
+}
+
+void SyncReportDeltas(const AnonymizationReport& current,
+                      AnonymizationReport& base,
+                      obs::MetricsRegistry& registry,
+                      const std::string& prefix) {
+  const auto sync = [&](const char* name, std::uint64_t value,
+                        std::uint64_t& prev) {
+    if (value > prev) {
+      registry.CounterNamed(prefix + ("report." + std::string(name)))
+          .Add(value - prev);
+      prev = value;
+    }
+  };
+  sync("total_lines", current.total_lines, base.total_lines);
+  sync("total_words", current.total_words, base.total_words);
+  sync("comment_words_removed", current.comment_words_removed,
+       base.comment_words_removed);
+  sync("words_hashed", current.words_hashed, base.words_hashed);
+  sync("words_passed", current.words_passed, base.words_passed);
+  sync("addresses_mapped", current.addresses_mapped, base.addresses_mapped);
+  sync("addresses_special", current.addresses_special,
+       base.addresses_special);
+  sync("asns_mapped", current.asns_mapped, base.asns_mapped);
+  sync("communities_mapped", current.communities_mapped,
+       base.communities_mapped);
+  sync("aspath_regexps_rewritten", current.aspath_regexps_rewritten,
+       base.aspath_regexps_rewritten);
+  sync("community_regexps_rewritten", current.community_regexps_rewritten,
+       base.community_regexps_rewritten);
+  for (const auto& [name, count] : current.rule_fires) {
+    std::uint64_t& prev = base.rule_fires[name];
+    if (count > prev) {
+      registry.CounterNamed(prefix + ("rule." + name)).Add(count - prev);
+      prev = count;
+    }
+  }
 }
 
 }  // namespace confanon::core

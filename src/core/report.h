@@ -9,6 +9,9 @@
 #include <map>
 #include <string>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+
 namespace confanon::core {
 
 struct AnonymizationReport {
@@ -51,6 +54,24 @@ struct AnonymizationReport {
 
   /// Multi-line human-readable rendering.
   std::string ToString() const;
+
+  /// Writes the report as one JSON object: every scalar field by name,
+  /// `comment_word_fraction`, and a `rule_fires` sub-object keyed by rule
+  /// name. This is the machine-readable counterpart of ToString() and the
+  /// shape embedded in BENCH_perf.json.
+  void WriteJson(obs::JsonWriter& out) const;
+  std::string ToJson() const;
 };
+
+/// Pushes the delta between `current` and `base` into `registry` —
+/// counters "<prefix>report.<field>" for the scalar fields and
+/// "<prefix>rule.<name>" for per-rule fires — then advances `base` to
+/// `current`. Calling it repeatedly with the same pair is idempotent, so
+/// the anonymizers can sync at every file boundary; the registry's
+/// counters then always equal the report's totals.
+void SyncReportDeltas(const AnonymizationReport& current,
+                      AnonymizationReport& base,
+                      obs::MetricsRegistry& registry,
+                      const std::string& prefix);
 
 }  // namespace confanon::core

@@ -7,6 +7,7 @@
 #include "config/dialect.h"
 #include "gen/addressing.h"
 #include "gen/names.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace confanon::gen {
@@ -229,6 +230,11 @@ void AddPeerPolicy(RouterSpec& router, const PeerIsp& peer,
 }  // namespace
 
 NetworkSpec GenerateNetwork(const GeneratorParams& params, int index) {
+  // Traced under the process-wide tracer: generation is the other half of
+  // every bench's wall time, and the spans make that visible.
+  obs::ScopedTimer span(&obs::GlobalTracer(),
+                        "gen.network:" + std::to_string(index));
+  span.AddArg("routers", static_cast<std::int64_t>(params.router_count));
   util::Rng rng(params.seed, "network-" + std::to_string(index));
 
   NetworkSpec network;
@@ -679,6 +685,9 @@ NetworkSpec GenerateNetwork(const GeneratorParams& params, int index) {
 
 std::vector<NetworkSpec> GenerateCorpus(const GeneratorParams& params,
                                         int count, int total_routers) {
+  obs::ScopedTimer span(&obs::GlobalTracer(), "gen.corpus");
+  span.AddArg("networks", static_cast<std::int64_t>(count));
+  span.AddArg("total_routers", static_cast<std::int64_t>(total_routers));
   // Skewed size mix: ranks follow a Zipf-ish series so a couple of
   // networks dominate, matching the carrier + enterprises shape of the
   // paper's dataset.

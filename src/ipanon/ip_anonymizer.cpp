@@ -81,8 +81,10 @@ std::uint32_t IpAnonymizer::FlipMask(std::uint32_t address,
 net::Ipv4Address IpAnonymizer::MapRaw(net::Ipv4Address address) {
   const auto cached = raw_cache_.find(address.value());
   if (cached != raw_cache_.end()) {
+    ++stats_.cache_hits;
     return net::Ipv4Address(cached->second);
   }
+  ++stats_.cache_misses;
   const std::uint32_t mapped =
       address.value() ^ FlipMask(address.value(), -1);
   raw_cache_.emplace(address.value(), mapped);
@@ -101,6 +103,7 @@ net::Ipv4Address IpAnonymizer::Map(net::Ipv4Address address) {
     // non-special input must leave the (finite) special set before the
     // orbit returns to the input.
     last_map_walked_ = true;
+    ++stats_.collision_walks;
     mapped = MapRaw(mapped);
   }
   return mapped;
@@ -110,6 +113,7 @@ void IpAnonymizer::Preload(std::vector<net::Ipv4Address> addresses) {
   std::sort(addresses.begin(), addresses.end());
   addresses.erase(std::unique(addresses.begin(), addresses.end()),
                   addresses.end());
+  stats_.preloaded += addresses.size();
   for (net::Ipv4Address address : addresses) {
     Map(address);
   }

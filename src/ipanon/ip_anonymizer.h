@@ -61,6 +61,17 @@ class IpAnonymizer {
   /// Number of trie nodes allocated (memory/DS-size diagnostics).
   std::size_t NodeCount() const { return nodes_.size(); }
 
+  /// Instrumentation counters, maintained unconditionally (plain integer
+  /// increments on the paths that already pay a hash lookup or trie walk).
+  /// The observability layer snapshots these into the metrics registry.
+  struct Stats {
+    std::uint64_t cache_hits = 0;    // memoized raw mappings served
+    std::uint64_t cache_misses = 0;  // raw mappings that walked the trie
+    std::uint64_t collision_walks = 0;  // cycle-walk steps taken by Map()
+    std::uint64_t preloaded = 0;     // addresses inserted by Preload()
+  };
+  const Stats& stats() const { return stats_; }
+
   /// Writes "input output" dotted-quad pairs, one per line, for every
   /// address mapped so far. Another instance can ImportMappings() them to
   /// reproduce the same mapping (e.g. to anonymize a second batch of files
@@ -87,6 +98,7 @@ class IpAnonymizer {
 
   std::vector<Node> nodes_;
   util::Rng rng_;
+  Stats stats_;
   bool last_map_walked_ = false;
   /// Raw mapping memo: avoids re-walking the trie for repeated addresses
   /// (configs repeat the same addresses heavily) and deduplicates the

@@ -1,5 +1,8 @@
 #include "junos/anonymizer.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "config/tokenizer.h"
 #include "net/prefix.h"
 #include "net/special.h"
@@ -58,7 +61,10 @@ JunosAnonymizer::JunosAnonymizer(JunosAnonymizerOptions options)
 
 std::vector<config::ConfigFile> JunosAnonymizer::AnonymizeNetwork(
     const std::vector<config::ConfigFile>& files) {
+  obs::ScopedTimer network_span(&tracer_, "junos-anonymize-network");
+  network_span.AddArg("files", static_cast<std::int64_t>(files.size()));
   if (!preloaded_) {
+    obs::ScopedTimer preload_span(&tracer_, "junos-preload");
     std::vector<net::Ipv4Address> addresses;
     for (const config::ConfigFile& file : files) {
       for (const std::string& raw : file.lines()) {
@@ -85,6 +91,7 @@ std::vector<config::ConfigFile> JunosAnonymizer::AnonymizeNetwork(
   for (const config::ConfigFile& file : files) {
     out.push_back(AnonymizeFile(file));
   }
+  SyncMetrics();
   return out;
 }
 
@@ -94,29 +101,45 @@ config::ConfigFile JunosAnonymizer::AnonymizeFile(
   out_lines.reserve(file.lines().size());
   in_block_comment_ = false;
 
-  for (const std::string& raw : file.lines()) {
-    ++report_.total_lines;
+  const bool observing =
+      tracer_.enabled() || provenance_ != nullptr || metrics_ != nullptr;
+  const std::int64_t file_start_us = tracer_.enabled() ? tracer_.NowUs() : 0;
+  const auto file_start = std::chrono::steady_clock::now();
+  std::map<std::string, std::uint64_t> rule_ns;
 
-    // '/* ... */' block comments (possibly multi-line): stripped whole.
-    std::string_view text = raw;
-    if (options_.strip_comments) {
-      const bool opens =
-          !in_block_comment_ &&
-          util::Trim(text).substr(0, 2) == std::string_view("/*");
-      if (opens || in_block_comment_) {
-        const std::size_t close = text.find("*/");
-        report_.total_words += util::SplitWords(text).size();
-        report_.comment_words_removed += util::SplitWords(text).size();
-        in_block_comment_ = close == std::string_view::npos;
-        out_lines.push_back("/* */");
-        continue;
-      }
+  for (std::size_t index = 0; index < file.lines().size(); ++index) {
+    if (observing) {
+      ObserveLine(file.name(), index, file.lines()[index], out_lines,
+                  rule_ns);
+    } else {
+      AnonymizeLine(file.lines()[index], out_lines);
     }
+  }
 
-    JunosLine line = TokenizeJunosLine(raw);
-    report_.total_words += WordsOf(line).size();
-    ProcessLine(line);
-    out_lines.push_back(line.Render());
+  if (observing) {
+    const std::int64_t file_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - file_start)
+            .count();
+    if (file_hist_ != nullptr) {
+      file_hist_->Record(static_cast<std::uint64_t>(file_ns));
+    }
+    if (tracer_.enabled()) {
+      const std::int64_t file_end_us =
+          file_start_us + std::max<std::int64_t>(file_ns / 1000, 1);
+      std::int64_t cursor = file_start_us;
+      for (const auto& [rule, ns] : rule_ns) {
+        std::int64_t duration = std::max<std::int64_t>(
+            static_cast<std::int64_t>(ns) / 1000, 1);
+        duration = std::min(duration,
+                            std::max<std::int64_t>(file_end_us - cursor, 1));
+        tracer_.Complete("rule:" + rule, cursor, duration);
+        cursor = std::min(cursor + duration, file_end_us - 1);
+      }
+      tracer_.Complete("file:" + file.name(), file_start_us,
+                       file_end_us - file_start_us);
+    }
+    SyncMetrics();
   }
 
   std::string out_name = file.name();
@@ -124,6 +147,107 @@ config::ConfigFile JunosAnonymizer::AnonymizeFile(
     out_name = hasher_.Hash(out_name);
   }
   return config::ConfigFile(out_name, std::move(out_lines));
+}
+
+void JunosAnonymizer::AnonymizeLine(const std::string& raw,
+                                    std::vector<std::string>& out_lines) {
+  ++report_.total_lines;
+
+  // '/* ... */' block comments (possibly multi-line): stripped whole.
+  std::string_view text = raw;
+  if (options_.strip_comments) {
+    const bool opens =
+        !in_block_comment_ &&
+        util::Trim(text).substr(0, 2) == std::string_view("/*");
+    if (opens || in_block_comment_) {
+      const std::size_t close = text.find("*/");
+      report_.total_words += util::SplitWords(text).size();
+      report_.comment_words_removed += util::SplitWords(text).size();
+      report_.CountRule("J.strip-block-comment");
+      in_block_comment_ = close == std::string_view::npos;
+      out_lines.push_back("/* */");
+      return;
+    }
+  }
+
+  JunosLine line = TokenizeJunosLine(raw);
+  report_.total_words += WordsOf(line).size();
+  ProcessLine(line);
+  out_lines.push_back(line.Render());
+}
+
+void JunosAnonymizer::ObserveLine(const std::string& file_name,
+                                  std::size_t index, const std::string& raw,
+                                  std::vector<std::string>& out_lines,
+                                  std::map<std::string, std::uint64_t>& rule_ns) {
+  const std::uint64_t words_before = report_.total_words;
+  const std::size_t out_count = out_lines.size();
+  const std::map<std::string, std::uint64_t> fires_before = report_.rule_fires;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  AnonymizeLine(raw, out_lines);
+
+  const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  if (line_hist_ != nullptr) line_hist_->Record(elapsed_ns);
+
+  const auto tokens_before =
+      static_cast<std::uint32_t>(report_.total_words - words_before);
+  const auto tokens_after = static_cast<std::uint32_t>(
+      out_lines.size() > out_count ? util::SplitWords(out_lines.back()).size()
+                                   : 0);
+
+  std::vector<const std::string*> fired;
+  for (const auto& [name, count] : report_.rule_fires) {
+    const auto before = fires_before.find(name);
+    if (before == fires_before.end() || before->second != count) {
+      fired.push_back(&name);
+    }
+  }
+  if (fired.empty()) return;
+  const std::uint64_t share = elapsed_ns / fired.size();
+  for (const std::string* rule : fired) {
+    if (tracer_.enabled()) rule_ns[*rule] += share;
+    if (provenance_ != nullptr) {
+      provenance_->Record(obs::ProvenanceEntry{
+          file_name, static_cast<std::uint64_t>(index), *rule, tokens_before,
+          tokens_after});
+    }
+  }
+}
+
+void JunosAnonymizer::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  line_hist_ = metrics != nullptr
+                   ? &metrics->HistogramNamed("junos.line_ns")
+                   : nullptr;
+  file_hist_ = metrics != nullptr
+                   ? &metrics->HistogramNamed("junos.file_ns")
+                   : nullptr;
+}
+
+void JunosAnonymizer::SyncMetrics() {
+  if (metrics_ == nullptr) return;
+  core::SyncReportDeltas(report_, synced_report_, *metrics_, "junos.");
+  const auto sync = [&](const char* name, std::uint64_t current,
+                        std::uint64_t& base) {
+    if (current > base) {
+      metrics_->CounterNamed(name).Add(current - base);
+      base = current;
+    }
+  };
+  const ipanon::IpAnonymizer::Stats& ip_stats = ip_.stats();
+  sync("junos.ipanon.cache_hits", ip_stats.cache_hits, synced_ip_.cache_hits);
+  sync("junos.ipanon.cache_misses", ip_stats.cache_misses,
+       synced_ip_.cache_misses);
+  sync("junos.ipanon.collision_walks", ip_stats.collision_walks,
+       synced_ip_.collision_walks);
+  sync("junos.ipanon.preloaded_addresses", ip_stats.preloaded,
+       synced_ip_.preloaded);
+  metrics_->GaugeNamed("junos.ipanon.trie_nodes")
+      .Set(static_cast<std::int64_t>(ip_.NodeCount()));
 }
 
 void JunosAnonymizer::ForceHash(JunosLine& line, std::size_t index,

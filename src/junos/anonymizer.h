@@ -37,6 +37,9 @@
 #include "core/string_hasher.h"
 #include "ipanon/ip_anonymizer.h"
 #include "junos/tokenizer.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/trace.h"
 #include "passlist/passlist.h"
 
 namespace confanon::junos {
@@ -64,8 +67,28 @@ class JunosAnonymizer {
   ipanon::IpAnonymizer& ip_anonymizer() { return ip_; }
   core::StringHasher& string_hasher() { return hasher_; }
 
+  // --- observability (optional, non-owning; see core::Anonymizer) ---
+  // Metric names carry a "junos." prefix so a mixed IOS/JunOS run can
+  // share one registry without colliding ("junos.report.*",
+  // "junos.line_ns"); rule counters keep their globally unique "J." names
+  // under "junos.rule.J.*".
+  void set_metrics(obs::MetricsRegistry* metrics);
+  void set_trace_sink(obs::TraceSink* sink) { tracer_.set_sink(sink); }
+  void set_provenance(obs::ProvenanceLog* provenance) {
+    provenance_ = provenance;
+  }
+  void SyncMetrics();
+
  private:
   void ProcessLine(JunosLine& line);
+  /// One raw input line end-to-end: block-comment handling, tokenization,
+  /// rule pack, rendering.
+  void AnonymizeLine(const std::string& raw,
+                     std::vector<std::string>& out_lines);
+  /// AnonymizeLine under timing + rule attribution (see core::Anonymizer).
+  void ObserveLine(const std::string& file_name, std::size_t index,
+                   const std::string& raw, std::vector<std::string>& out_lines,
+                   std::map<std::string, std::uint64_t>& rule_ns);
   /// Force-hashes the word token at `index` (records it when unknown).
   void ForceHash(JunosLine& line, std::size_t index, const char* rule);
   std::string MapAsnText(std::string_view text);
@@ -83,6 +106,14 @@ class JunosAnonymizer {
   core::LeakRecord leak_record_;
   bool in_block_comment_ = false;
   bool preloaded_ = false;
+
+  obs::Tracer tracer_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::ProvenanceLog* provenance_ = nullptr;
+  obs::LatencyHistogram* line_hist_ = nullptr;
+  obs::LatencyHistogram* file_hist_ = nullptr;
+  core::AnonymizationReport synced_report_;
+  ipanon::IpAnonymizer::Stats synced_ip_;
 };
 
 }  // namespace confanon::junos

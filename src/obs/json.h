@@ -1,0 +1,61 @@
+// Minimal streaming JSON writer for the observability outputs.
+//
+// The instrumentation layer emits three machine-readable artifacts —
+// Chrome-trace JSONL events, RunMetrics snapshots, and the anonymization
+// run report — and all of them go through this writer so escaping and
+// number formatting are decided once. No DOM, no allocation beyond the
+// output string: callers open objects/arrays, write keyed values, close.
+// The writer tracks nesting so commas are inserted correctly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace confanon::obs {
+
+/// Escapes `text` per RFC 8259 (quotes, backslash, control characters)
+/// and returns it wrapped in double quotes.
+std::string JsonQuote(std::string_view text);
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Starts a keyed member inside an object; follow with a value or a
+  /// Begin{Object,Array} call.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view text);
+  JsonWriter& Value(const char* text) { return Value(std::string_view(text)); }
+  JsonWriter& Value(std::uint64_t value);
+  JsonWriter& Value(std::int64_t value);
+  JsonWriter& Value(std::uint32_t v) { return Value(std::uint64_t{v}); }
+  JsonWriter& Value(std::int32_t v) { return Value(std::int64_t{v}); }
+  JsonWriter& Value(double value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+  /// Splices a pre-rendered JSON fragment in value position (used to embed
+  /// one artifact inside another, e.g. a report inside a bench summary).
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One char per nesting level: 'o' = object, 'a' = array.
+  std::string stack_;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+}  // namespace confanon::obs

@@ -1,0 +1,215 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace confanon::obs {
+
+// --- bucket layout -------------------------------------------------------
+//
+// HdrHistogram-style: values below kSubBuckets get one bucket each
+// (exact); above that, each power-of-two octave is split into kSubBuckets
+// linear sub-buckets, so a bucket's width is always < 1/kSubBuckets of
+// its lower bound.
+
+int LatencyHistogram::BucketIndex(std::uint64_t value) {
+  if (value < static_cast<std::uint64_t>(kSubBuckets)) {
+    return static_cast<int>(value);
+  }
+  const int exponent = 63 - std::countl_zero(value);  // MSB position
+  const int shift = exponent - kSubBucketBits;
+  const int sub =
+      static_cast<int>((value >> shift) - static_cast<std::uint64_t>(kSubBuckets));
+  const int index = (exponent - kSubBucketBits + 1) * kSubBuckets + sub;
+  return std::min(index, kBucketCount - 1);
+}
+
+std::uint64_t LatencyHistogram::BucketLowerBound(int index) {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int block = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return static_cast<std::uint64_t>(kSubBuckets + sub) << (block - 1);
+}
+
+void LatencyHistogram::Record(std::uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[static_cast<std::size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  // Lock-free running min/max; contention on these CAS loops is benign
+  // (they only retry while another writer is improving the bound).
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  if (snapshot.count > 0) {
+    snapshot.min = min_.load(std::memory_order_relaxed);
+    snapshot.max = max_.load(std::memory_order_relaxed);
+  }
+  snapshot.buckets.resize(kBucketCount);
+  for (int i = 0; i < kBucketCount; ++i) {
+    snapshot.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest rank on the bucketized sample, linear interpolation inside the
+  // resolved bucket.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= rank) {
+      const double lower =
+          static_cast<double>(LatencyHistogram::BucketLowerBound(static_cast<int>(i)));
+      const double upper =
+          i + 1 < buckets.size()
+              ? static_cast<double>(
+                    LatencyHistogram::BucketLowerBound(static_cast<int>(i) + 1))
+              : static_cast<double>(max);
+      const double within = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(buckets[i]);
+      const double estimate = lower + within * (upper - lower);
+      return std::clamp(estimate, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cumulative += buckets[i];
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size());
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+void HistogramSnapshot::WriteJson(JsonWriter& out) const {
+  out.BeginObject();
+  out.Key("count").Value(count);
+  out.Key("sum").Value(sum);
+  out.Key("min").Value(count == 0 ? 0 : min);
+  out.Key("max").Value(max);
+  out.Key("mean").Value(Mean());
+  out.Key("p50").Value(Percentile(50));
+  out.Key("p90").Value(Percentile(90));
+  out.Key("p95").Value(Percentile(95));
+  out.Key("p99").Value(Percentile(99));
+  out.EndObject();
+}
+
+void RunMetrics::Merge(const RunMetrics& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[name] = value;
+  }
+  for (const auto& [name, histogram] : other.histograms) {
+    histograms[name].Merge(histogram);
+  }
+}
+
+void RunMetrics::WriteJson(JsonWriter& out) const {
+  out.BeginObject();
+  out.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) {
+    out.Key(name).Value(value);
+  }
+  out.EndObject();
+  out.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) {
+    out.Key(name).Value(value);
+  }
+  out.EndObject();
+  out.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms) {
+    out.Key(name);
+    histogram.WriteJson(out);
+  }
+  out.EndObject();
+  out.EndObject();
+}
+
+std::string RunMetrics::ToJson() const {
+  JsonWriter out;
+  WriteJson(out);
+  return out.Take();
+}
+
+Counter& MetricsRegistry::CounterNamed(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GaugeNamed(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::HistogramNamed(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+RunMetrics MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RunMetrics out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms[name] = histogram->Snapshot();
+  }
+  return out;
+}
+
+}  // namespace confanon::obs

@@ -1,0 +1,39 @@
+#include "obs/provenance.h"
+
+#include "obs/json.h"
+
+namespace confanon::obs {
+
+std::vector<ProvenanceEntry> ProvenanceLog::ForRule(
+    const std::string& rule) const {
+  std::vector<ProvenanceEntry> out;
+  for (const ProvenanceEntry& entry : entries_) {
+    if (entry.rule == rule) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<ProvenanceEntry> ProvenanceLog::ForLine(const std::string& file,
+                                                    std::uint64_t line) const {
+  std::vector<ProvenanceEntry> out;
+  for (const ProvenanceEntry& entry : entries_) {
+    if (entry.line == line && entry.file == file) out.push_back(entry);
+  }
+  return out;
+}
+
+void ProvenanceLog::WriteJsonl(std::ostream& out) const {
+  for (const ProvenanceEntry& entry : entries_) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("file").Value(entry.file);
+    json.Key("line").Value(std::uint64_t{entry.line});
+    json.Key("rule").Value(entry.rule);
+    json.Key("tokens_before").Value(std::uint64_t{entry.tokens_before});
+    json.Key("tokens_after").Value(std::uint64_t{entry.tokens_after});
+    json.EndObject();
+    out << json.str() << '\n';
+  }
+}
+
+}  // namespace confanon::obs

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace confanon::obs {
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(out) {
+  out_ << "[\n";
+}
+
+JsonlTraceSink::~JsonlTraceSink() { Close(); }
+
+void JsonlTraceSink::Close() {
+  if (closed_) return;
+  closed_ = true;
+  out_ << "{}]\n";
+  out_.flush();
+}
+
+void JsonlTraceSink::Write(const TraceEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").Value(event.name);
+  json.Key("cat").Value(event.category);
+  json.Key("ph").Value(std::string_view(&event.phase, 1));
+  json.Key("ts").Value(event.ts_us);
+  if (event.phase == 'X') {
+    json.Key("dur").Value(event.dur_us);
+  }
+  json.Key("pid").Value(std::int64_t{1});
+  json.Key("tid").Value(std::int64_t{1});
+  if (event.phase == 'C') {
+    // Counter events carry their samples in args.
+    json.Key("args").BeginObject();
+    for (const auto& [key, value] : event.num_args) {
+      json.Key(key).Value(value);
+    }
+    json.EndObject();
+  } else if (!event.str_args.empty() || !event.num_args.empty()) {
+    json.Key("args").BeginObject();
+    for (const auto& [key, value] : event.str_args) {
+      json.Key(key).Value(value);
+    }
+    for (const auto& [key, value] : event.num_args) {
+      json.Key(key).Value(value);
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+  out_ << json.str() << ",\n";
+  ++event_count_;
+}
+
+void Tracer::Emit(TraceEvent event) {
+  if (sink_ == nullptr) return;
+  sink_->Write(event);
+}
+
+void Tracer::Complete(std::string name, std::int64_t ts_us,
+                      std::int64_t dur_us) {
+  if (sink_ == nullptr) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  sink_->Write(event);
+}
+
+void Tracer::Instant(std::string name) {
+  if (sink_ == nullptr) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.phase = 'i';
+  event.ts_us = NowUs();
+  sink_->Write(event);
+}
+
+void Tracer::CounterSample(std::string name, std::int64_t value) {
+  if (sink_ == nullptr) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.phase = 'C';
+  event.ts_us = NowUs();
+  event.num_args.emplace_back("value", value);
+  sink_->Write(event);
+}
+
+Tracer& GlobalTracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void InstallGlobalTraceSink(TraceSink* sink) { GlobalTracer().set_sink(sink); }
+
+ScopedTimer::~ScopedTimer() {
+  if (tracer_ == nullptr && histogram_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  const std::int64_t elapsed_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count();
+  if (histogram_ != nullptr) {
+    histogram_->Record(static_cast<std::uint64_t>(elapsed_ns < 0 ? 0 : elapsed_ns));
+  }
+  if (tracer_ != nullptr) {
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.phase = 'X';
+    event.ts_us = start_us_;
+    // Sub-microsecond spans still get a visible 1us sliver.
+    event.dur_us = std::max<std::int64_t>(elapsed_ns / 1000, 1);
+    event.str_args = std::move(str_args_);
+    event.num_args = std::move(num_args_);
+    tracer_->Emit(std::move(event));
+  }
+}
+
+}  // namespace confanon::obs

@@ -1,0 +1,158 @@
+// Chrome-trace-format tracing: RAII spans over a pluggable sink.
+//
+// Events follow the Trace Event Format consumed by chrome://tracing and
+// Perfetto. The emitted file is line-oriented (one event object per
+// line — JSONL with array framing, see JsonlTraceSink), so a partially
+// written trace from a crashed run still loads.
+//
+// Design constraints, in order:
+//   1. Zero cost when no sink is installed: ScopedTimer's constructor and
+//      destructor reduce to one inline null check — no clock read, no
+//      allocation. The per-line hot path of the anonymizer can carry
+//      spans unconditionally.
+//   2. Sinks are pluggable (file, in-memory for tests, discarding).
+//   3. Events nest phase -> rule -> file by timestamp containment, the
+//      way trace viewers expect.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace confanon::obs {
+
+class LatencyHistogram;
+
+/// One Trace Event Format record. `phase` is the format's single-letter
+/// event type: 'X' complete (ts + dur), 'B'/'E' begin/end, 'i' instant,
+/// 'C' counter, 'M' metadata.
+struct TraceEvent {
+  std::string name;
+  const char* category = "confanon";
+  char phase = 'X';
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;  // 'X' only
+  std::vector<std::pair<std::string, std::string>> str_args;
+  std::vector<std::pair<std::string, std::int64_t>> num_args;
+};
+
+/// Receives every emitted event. Implementations must tolerate events
+/// arriving out of timestamp order (viewers sort).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Write(const TraceEvent& event) = 0;
+};
+
+/// Writes events to a stream, one JSON object per line. The first line is
+/// "[" and Close() appends "{}]", so the whole file is also one valid
+/// JSON array — chrome://tracing and Perfetto load it directly, while
+/// line-oriented tools can strip the framing and trailing commas and
+/// parse each event independently.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out);
+  ~JsonlTraceSink() override;
+
+  void Write(const TraceEvent& event) override;
+  /// Terminates the array framing; idempotent, called by the destructor.
+  void Close();
+
+  std::size_t event_count() const { return event_count_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t event_count_ = 0;
+  bool closed_ = false;
+};
+
+/// Front door for emitting events. Holds a non-owned sink pointer; a null
+/// sink makes every operation a no-op. Timestamps are microseconds since
+/// the tracer's construction (Trace Event Format wants a consistent
+/// monotonic epoch, not wall time).
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+  bool enabled() const { return sink_ != nullptr; }
+
+  std::int64_t NowUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void Emit(TraceEvent event);
+
+  /// Emits an 'X' complete event spanning [ts_us, ts_us + dur_us].
+  void Complete(std::string name, std::int64_t ts_us, std::int64_t dur_us);
+  /// Emits an 'i' instant event at now.
+  void Instant(std::string name);
+  /// Emits a 'C' counter sample at now.
+  void CounterSample(std::string name, std::int64_t value);
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Process-wide tracer for code that has no natural place to thread a
+/// Tracer through (the generator, the leak detector). Disabled until a
+/// sink is installed.
+Tracer& GlobalTracer();
+/// Installs (or clears, with nullptr) the global tracer's sink.
+void InstallGlobalTraceSink(TraceSink* sink);
+
+/// RAII span. When armed (tracer has a sink and/or a histogram is
+/// attached) it reads the clock at construction and destruction, emits an
+/// 'X' event named `name`, and records the elapsed nanoseconds into the
+/// histogram. When idle it does nothing at all.
+class ScopedTimer {
+ public:
+  ScopedTimer(Tracer* tracer, std::string name,
+              LatencyHistogram* histogram = nullptr)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        histogram_(histogram) {
+    if (tracer_ != nullptr || histogram_ != nullptr) {
+      name_ = std::move(name);
+      start_ = std::chrono::steady_clock::now();
+      if (tracer_ != nullptr) start_us_ = tracer_->NowUs();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Attaches a string argument shown in the viewer's detail pane.
+  void AddArg(std::string key, std::string value) {
+    if (tracer_ != nullptr) str_args_.emplace_back(std::move(key), std::move(value));
+  }
+  void AddArg(std::string key, std::int64_t value) {
+    if (tracer_ != nullptr) num_args_.emplace_back(std::move(key), value);
+  }
+
+  std::int64_t ElapsedNs() const {
+    if (tracer_ == nullptr && histogram_ == nullptr) return 0;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  ~ScopedTimer();
+
+ private:
+  Tracer* tracer_;
+  LatencyHistogram* histogram_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_{};
+  std::int64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> str_args_;
+  std::vector<std::pair<std::string, std::int64_t>> num_args_;
+};
+
+}  // namespace confanon::obs

@@ -51,5 +51,97 @@ TEST(Report, ToStringMentionsKeyFields) {
   EXPECT_NE(text.find("A6.as-path-regex"), std::string::npos);
 }
 
+AnonymizationReport FullReport() {
+  AnonymizationReport report;
+  report.total_lines = 1;
+  report.total_words = 2;
+  report.comment_words_removed = 3;
+  report.words_hashed = 4;
+  report.words_passed = 5;
+  report.addresses_mapped = 6;
+  report.addresses_special = 7;
+  report.asns_mapped = 8;
+  report.communities_mapped = 9;
+  report.aspath_regexps_rewritten = 10;
+  report.community_regexps_rewritten = 11;
+  report.CountRule("A1.router-bgp", 12);
+  return report;
+}
+
+TEST(Report, MergeCoversEveryScalarField) {
+  AnonymizationReport a = FullReport();
+  a.Merge(FullReport());
+  EXPECT_EQ(a.total_lines, 2u);
+  EXPECT_EQ(a.total_words, 4u);
+  EXPECT_EQ(a.comment_words_removed, 6u);
+  EXPECT_EQ(a.words_hashed, 8u);
+  EXPECT_EQ(a.words_passed, 10u);
+  EXPECT_EQ(a.addresses_mapped, 12u);
+  EXPECT_EQ(a.addresses_special, 14u);
+  EXPECT_EQ(a.asns_mapped, 16u);
+  EXPECT_EQ(a.communities_mapped, 18u);
+  EXPECT_EQ(a.aspath_regexps_rewritten, 20u);
+  EXPECT_EQ(a.community_regexps_rewritten, 22u);
+  EXPECT_EQ(a.rule_fires.at("A1.router-bgp"), 24u);
+}
+
+TEST(Report, MergeUnionsDisjointRuleMaps) {
+  AnonymizationReport a, b;
+  a.CountRule("C1.strip-comments", 2);
+  b.CountRule("I1.map-addresses", 5);
+  a.Merge(b);
+  EXPECT_EQ(a.rule_fires.size(), 2u);
+  EXPECT_EQ(a.rule_fires.at("C1.strip-comments"), 2u);
+  EXPECT_EQ(a.rule_fires.at("I1.map-addresses"), 5u);
+}
+
+TEST(Report, MergeWithEmptyIsIdentity) {
+  AnonymizationReport a = FullReport();
+  a.Merge(AnonymizationReport{});
+  const AnonymizationReport reference = FullReport();
+  EXPECT_EQ(a.total_lines, reference.total_lines);
+  EXPECT_EQ(a.total_words, reference.total_words);
+  EXPECT_EQ(a.community_regexps_rewritten,
+            reference.community_regexps_rewritten);
+  EXPECT_EQ(a.rule_fires, reference.rule_fires);
+
+  AnonymizationReport empty;
+  empty.Merge(FullReport());
+  EXPECT_EQ(empty.words_passed, reference.words_passed);
+  EXPECT_EQ(empty.rule_fires, reference.rule_fires);
+}
+
+TEST(Report, SelfMergeDoubles) {
+  AnonymizationReport a = FullReport();
+  a.Merge(a);
+  EXPECT_EQ(a.total_lines, 2u);
+  EXPECT_EQ(a.community_regexps_rewritten, 22u);
+  EXPECT_EQ(a.rule_fires.at("A1.router-bgp"), 24u);
+}
+
+TEST(Report, ToStringFormatsFractionWithTwoDecimals) {
+  AnonymizationReport report;
+  report.total_words = 300;
+  report.comment_words_removed = 100;  // 33.333...%
+  EXPECT_NE(report.ToString().find("(33.33%)"), std::string::npos);
+}
+
+TEST(Report, ToStringHandlesZeroWords) {
+  const std::string text = AnonymizationReport{}.ToString();
+  EXPECT_NE(text.find("(n/a)"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+TEST(Report, ToJsonCarriesFieldsAndRules) {
+  AnonymizationReport report = FullReport();
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"total_lines\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"community_regexps_rewritten\":11"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"comment_word_fraction\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"rule_fires\":{\"A1.router-bgp\":12}"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace confanon::core
