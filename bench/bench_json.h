@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -65,6 +66,17 @@ inline std::string BenchOutPath(int argc, char** argv,
     if (arg.rfind(flag, 0) == 0) return arg.substr(flag.size());
   }
   return default_path;
+}
+
+/// "--threads=N" selects the corpus-pipeline worker count; 0 (and the
+/// default when the flag is absent) means hardware concurrency.
+inline int BenchThreads(int argc, char** argv, int default_threads = 1) {
+  const std::string flag = "--threads=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(flag, 0) == 0) return std::atoi(arg.c_str() + flag.size());
+  }
+  return default_threads;
 }
 
 }  // namespace confanon::bench

@@ -9,8 +9,11 @@
 //     whether the paper's 4.3M-line corpus was tractable.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "asn/regex_rewrite.h"
@@ -23,6 +26,8 @@
 #include "junos/writer.h"
 #include "ipanon/cryptopan.h"
 #include "ipanon/ip_anonymizer.h"
+#include "obs/hooks.h"
+#include "pipeline/pipeline.h"
 #include "util/aho_corasick.h"
 #include "util/rng.h"
 #include "util/sha1.h"
@@ -109,8 +114,10 @@ BENCHMARK(BM_TokenLanguageEnumerate);
 
 void BM_RewriteAlternation(benchmark::State& state) {
   const asn::AsnMap map("bench-salt");
-  const asn::AsnRegexRewriter rewriter(map);
   for (auto _ : state) {
+    // Fresh rewriter per iteration: measures the full language
+    // computation, not the rewrite memo (see BM_RewriteMemoHit).
+    const asn::AsnRegexRewriter rewriter(map);
     benchmark::DoNotOptimize(
         rewriter.Rewrite("_7[0-9][0-9]_", asn::RewriteForm::kAlternation));
   }
@@ -119,18 +126,39 @@ BENCHMARK(BM_RewriteAlternation);
 
 void BM_RewriteMinimizedDfa(benchmark::State& state) {
   const asn::AsnMap map("bench-salt");
-  const asn::AsnRegexRewriter rewriter(map);
   for (auto _ : state) {
+    const asn::AsnRegexRewriter rewriter(map);
     benchmark::DoNotOptimize(
         rewriter.Rewrite("_7[0-9][0-9]_", asn::RewriteForm::kMinimizedDfa));
   }
 }
 BENCHMARK(BM_RewriteMinimizedDfa);
 
+void BM_RewriteMemoHit(benchmark::State& state) {
+  // The repeated-pattern path: after the first call every Rewrite of the
+  // same (pattern, form) is an LRU lookup under a mutex.
+  const asn::AsnMap map("bench-salt");
+  const asn::AsnRegexRewriter rewriter(map);
+  benchmark::DoNotOptimize(
+      rewriter.Rewrite("_7[0-9][0-9]_", asn::RewriteForm::kAlternation));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rewriter.Rewrite("_7[0-9][0-9]_", asn::RewriteForm::kAlternation));
+  }
+  state.counters["memo_hits"] =
+      static_cast<double>(rewriter.memo().hits());
+}
+BENCHMARK(BM_RewriteMemoHit);
+
 std::vector<config::ConfigFile> BenchCorpus(int routers) {
   gen::GeneratorParams params;
   params.seed = 99;
   params.router_count = routers;
+  // Force the policy-regex features on so the rewriters (and the memo
+  // behind asn.rewrite_memo_hits) run on every bench corpus.
+  params.p_public_range_regex = 1.0;
+  params.p_alternation_regex = 1.0;
+  params.p_community_regex = 1.0;
   return gen::WriteNetworkConfigs(gen::GenerateNetwork(params, 0));
 }
 
@@ -230,26 +258,96 @@ void BM_ExportImportMappings(benchmark::State& state) {
 }
 BENCHMARK(BM_ExportImportMappings)->Unit(benchmark::kMillisecond);
 
-/// One fully instrumented end-to-end run (anonymize + leak scan) whose
+void BM_PipelineAnonymizeCorpus(benchmark::State& state) {
+  const auto pre = BenchCorpus(24);
+  std::size_t lines = 0;
+  for (const auto& file : pre) lines += file.LineCount();
+  for (auto _ : state) {
+    pipeline::PipelineOptions options;
+    options.base.salt = "perf-salt";
+    options.threads = static_cast<int>(state.range(0));
+    pipeline::CorpusPipeline pipeline(std::move(options));
+    benchmark::DoNotOptimize(pipeline.AnonymizeCorpus(pre));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lines));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PipelineAnonymizeCorpus)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// One fully instrumented end-to-end run (sequential baseline, then the
+/// parallel pipeline at `threads` workers, then a leak scan) whose
 /// registry snapshot and report become BENCH_perf.json. Kept separate
-/// from the timed benchmarks above, which run with observability off.
-bool WritePerfJson(const std::string& path) {
+/// from the timed benchmarks above, which run with observability off —
+/// except the wall-clock comparison, which times both paths with hooks
+/// uninstalled on the sequential side and only metrics on the pipeline.
+bool WritePerfJson(const std::string& path, int threads) {
   const auto pre = BenchCorpus(24);
   std::int64_t lines = 0;
   for (const auto& file : pre) lines += static_cast<std::int64_t>(file.LineCount());
 
-  obs::MetricsRegistry registry;
+  // Sequential baseline: the classic single-threaded engine.
   core::AnonymizerOptions options;
   options.salt = "perf-salt";
-  core::Anonymizer anonymizer(std::move(options));
-  anonymizer.set_metrics(&registry);
-  const auto post = anonymizer.AnonymizeNetwork(pre);
-  core::LeakDetector::Scan(post, anonymizer.leak_record(), &registry);
+  const auto seq_start = std::chrono::steady_clock::now();
+  core::Anonymizer sequential(options);
+  const auto seq_post = sequential.AnonymizeNetwork(pre);
+  const auto seq_end = std::chrono::steady_clock::now();
 
-  return bench::WriteBenchJson(
+  // Parallel pipeline over the same corpus, instrumented: its snapshot
+  // (including asn.rewrite_memo_hits and the shared-trie counters) is
+  // what lands in the JSON.
+  obs::MetricsRegistry registry;
+  pipeline::PipelineOptions popts;
+  popts.base = options;
+  popts.threads = threads;
+  pipeline::CorpusPipeline pipe(std::move(popts));
+  pipe.install_hooks(obs::Hooks{.metrics = &registry});
+  const auto par_start = std::chrono::steady_clock::now();
+  const auto post = pipe.AnonymizeCorpus(pre);
+  const auto par_end = std::chrono::steady_clock::now();
+
+  // The determinism guarantee, asserted on every bench run.
+  bool identical = seq_post.size() == post.size();
+  for (std::size_t i = 0; identical && i < post.size(); ++i) {
+    identical = seq_post[i].ToText() == post[i].ToText();
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "bench_perf: parallel output DIVERGED from sequential\n");
+  }
+
+  core::LeakDetector::Scan(post, pipe.leak_record(), &registry);
+
+  const auto us = [](auto start, auto end) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+        .count();
+  };
+  const std::int64_t seq_us = us(seq_start, seq_end);
+  const std::int64_t par_us = std::max<std::int64_t>(us(par_start, par_end), 1);
+  const int resolved_threads =
+      threads > 0 ? threads
+                  : std::max(1u, std::thread::hardware_concurrency());
+  std::printf("pipeline threads=%d: sequential %lld us, parallel %lld us "
+              "(speedup %.2fx, outputs %s)\n",
+              resolved_threads, static_cast<long long>(seq_us),
+              static_cast<long long>(par_us),
+              static_cast<double>(seq_us) / static_cast<double>(par_us),
+              identical ? "identical" : "DIVERGED");
+
+  const bool wrote = bench::WriteBenchJson(
       path, "bench_perf",
-      {{"routers", static_cast<std::int64_t>(pre.size())}, {"lines", lines}},
-      registry.Snapshot(), anonymizer.report());
+      {{"routers", static_cast<std::int64_t>(pre.size())},
+       {"lines", lines},
+       {"threads", resolved_threads},
+       {"sequential_us", seq_us},
+       {"parallel_us", par_us},
+       {"speedup_x100", seq_us * 100 / par_us},
+       {"outputs_identical", identical ? 1 : 0}},
+      registry.Snapshot(), pipe.report());
+  return wrote && identical;
 }
 
 }  // namespace
@@ -257,10 +355,13 @@ bool WritePerfJson(const std::string& path) {
 int main(int argc, char** argv) {
   const std::string out_path =
       confanon::bench::BenchOutPath(argc, argv, "BENCH_perf.json");
-  // Strip our flag before handing argv to google-benchmark.
+  const int threads = confanon::bench::BenchThreads(argc, argv, 1);
+  // Strip our flags before handing argv to google-benchmark.
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--bench-out=", 0) == 0) continue;
+    const std::string arg = argv[i];
+    if (arg.rfind("--bench-out=", 0) == 0) continue;
+    if (arg.rfind("--threads=", 0) == 0) continue;
     args.push_back(argv[i]);
   }
   int bench_argc = static_cast<int>(args.size());
@@ -270,5 +371,5 @@ int main(int argc, char** argv) {
   }
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  return WritePerfJson(out_path) ? 0 : 1;
+  return WritePerfJson(out_path, threads) ? 0 : 1;
 }

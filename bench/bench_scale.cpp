@@ -19,7 +19,9 @@
 #include "core/leak_detector.h"
 #include "gen/config_writer.h"
 #include "gen/network_gen.h"
+#include "obs/hooks.h"
 #include "obs/metrics.h"
+#include "pipeline/pipeline.h"
 
 int main(int argc, char** argv) {
   using namespace confanon;
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
       argc > 1 && argv[1][0] != '-' ? std::atof(argv[1]) : 0.25;
   const std::string out_path =
       bench::BenchOutPath(argc, argv, "BENCH_perf.json");
+  const int threads = bench::BenchThreads(argc, argv, 1);
 
   gen::GeneratorParams params;
   params.seed = 765531;
@@ -34,12 +37,16 @@ int main(int argc, char** argv) {
   const int total_routers = static_cast<int>(7655 * scale);
 
   std::printf("== SCALE: dataset-scale anonymization (Sections 1, 6.1) ==\n");
-  std::printf("scale %.2f: targeting %d routers across %d networks\n\n",
-              scale, total_routers, network_count);
+  std::printf("scale %.2f: targeting %d routers across %d networks "
+              "(%d pipeline worker%s per network)\n\n",
+              scale, total_routers, network_count, threads,
+              threads == 1 ? "" : "s");
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto corpus =
       gen::GenerateCorpus(params, network_count, total_routers);
+  const auto gen_seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0).count();
 
   std::size_t routers = 0, lines = 0;
   std::set<std::string> versions;
@@ -58,17 +65,21 @@ int main(int argc, char** argv) {
     routers += pre.size();
     for (const auto& file : pre) lines += file.LineCount();
 
-    core::AnonymizerOptions options;
-    options.salt = "scale-" + std::to_string(i);
-    core::Anonymizer anonymizer(std::move(options));
-    anonymizer.set_metrics(&registry);
-    const auto post = anonymizer.AnonymizeNetwork(pre);
-    merged_report.Merge(anonymizer.report());
-    words_hashed += anonymizer.report().words_hashed;
-    asns_mapped += anonymizer.report().asns_mapped;
-    addresses_mapped += anonymizer.report().addresses_mapped;
+    // Each network runs through the corpus pipeline: one shared mapping
+    // per network, `threads` workers over its files. threads=1 is the
+    // sequential baseline (byte-identical by the determinism guarantee).
+    pipeline::PipelineOptions popts;
+    popts.base.salt = "scale-" + std::to_string(i);
+    popts.threads = threads;
+    pipeline::CorpusPipeline pipe(std::move(popts));
+    pipe.install_hooks(obs::Hooks{.metrics = &registry});
+    const auto post = pipe.AnonymizeCorpus(pre);
+    merged_report.Merge(pipe.report());
+    words_hashed += pipe.report().words_hashed;
+    asns_mapped += pipe.report().asns_mapped;
+    addresses_mapped += pipe.report().addresses_mapped;
     for (const auto& finding :
-         core::LeakDetector::Scan(post, anonymizer.leak_record(), &registry)) {
+         core::LeakDetector::Scan(post, pipe.leak_record(), &registry)) {
       if (finding.kind == core::LeakFinding::Kind::kHashedWord) {
         ++textual_leaks;
       }
@@ -86,9 +97,10 @@ int main(int argc, char** argv) {
               versions.size());
   std::printf("%-34s %12s %12s\n", "textual leaks after one pass", "0*",
               std::to_string(textual_leaks).c_str());
-  std::printf("\nanonymized %zu lines in %.1f s (%.0f lines/s); hashed %llu "
+  std::printf("\ngenerated in %.1f s; anonymized %zu lines in %.1f s "
+              "(%.0f lines/s); hashed %llu "
               "words, mapped %llu ASNs, %llu addresses\n",
-              lines, anonymize_seconds,
+              gen_seconds, lines, anonymize_seconds,
               static_cast<double>(lines) / anonymize_seconds,
               static_cast<unsigned long long>(words_hashed),
               static_cast<unsigned long long>(asns_mapped),
@@ -101,7 +113,10 @@ int main(int argc, char** argv) {
       {{"scale_percent", static_cast<std::int64_t>(scale * 100.0)},
        {"networks", static_cast<std::int64_t>(corpus.size())},
        {"routers", static_cast<std::int64_t>(routers)},
-       {"lines", static_cast<std::int64_t>(lines)}},
+       {"lines", static_cast<std::int64_t>(lines)},
+       {"threads", static_cast<std::int64_t>(threads)},
+       {"anonymize_ms",
+        static_cast<std::int64_t>(anonymize_seconds * 1000.0)}},
       registry.Snapshot(), merged_report);
 
   const bool ok = wrote && textual_leaks == 0 && versions.size() >= 100;

@@ -9,41 +9,44 @@
 // Options:
 //   --salt SECRET        owner-chosen secret (required)
 //   --out DIR            write anonymized files to DIR (default: stdout)
+//   --threads N          pipeline worker threads (0 = all cores, the
+//                        default; output is byte-identical for any N)
 //   --minimized-regexps  emit minimized-DFA regexps instead of alternations
 //   --keep-comments      do not strip comments (NOT recommended)
 //   --export-map FILE    save the IP mapping for a later consistent run
 //   --import-map FILE    preload the IP mapping from an earlier run
 //   --report             print the anonymization report to stderr
 //   --check-leaks        run the Section 6.1 grep-back and report findings
-//   --junos              treat inputs as JunOS configs (hierarchical
-//                        brace syntax) instead of Cisco IOS
+//   --junos              force JunOS treatment of every input; without it
+//                        each file is routed per dialect (IOS vs JunOS
+//                        brace syntax) automatically
+//   --ios                force IOS treatment of every input
 //   --entities FILE      known-entity declarations (paper Section 5), one
 //                        per line: "label | asn asn ... | prefix prefix ..."
 //   --entities-out FILE  write the anonymized entity groupings
 //
 // All files given in one invocation are treated as one network: they share
 // the hash memo, IP trie and ASN permutation, so cross-file references
-// stay consistent.
+// stay consistent — including across dialects in a mixed corpus.
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <optional>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/anonymizer.h"
 #include "core/leak_detector.h"
-#include "junos/anonymizer.h"
+#include "pipeline/pipeline.h"
 #include "util/strings.h"
 
 namespace {
 
 void Usage() {
-  std::cerr << "usage: confanon_tool --salt SECRET [--out DIR] "
+  std::cerr << "usage: confanon_tool --salt SECRET [--out DIR] [--threads N] "
                "[--minimized-regexps] [--keep-comments]\n"
                "                     [--export-map FILE] [--import-map FILE] "
-               "[--report] [--check-leaks] [--junos]\n"
+               "[--report] [--check-leaks] [--junos] [--ios]\n"
                "                     config1 [config2 ...]\n";
 }
 
@@ -52,12 +55,13 @@ void Usage() {
 int main(int argc, char** argv) {
   using namespace confanon;
 
-  core::AnonymizerOptions options;
-  options.salt.clear();
+  pipeline::PipelineOptions options;
+  options.base.salt.clear();
+  options.threads = 0;  // all cores; byte-identical regardless
   std::string out_dir;
   std::string export_map, import_map;
   std::string entities_in, entities_out;
-  bool report = false, check_leaks = false, junos_mode = false;
+  bool report = false, check_leaks = false;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -70,13 +74,15 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--salt") {
-      options.salt = next();
+      options.base.salt = next();
     } else if (arg == "--out") {
       out_dir = next();
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next());
     } else if (arg == "--minimized-regexps") {
-      options.regex_form = asn::RewriteForm::kMinimizedDfa;
+      options.base.regex_form = asn::RewriteForm::kMinimizedDfa;
     } else if (arg == "--keep-comments") {
-      options.strip_comments = false;
+      options.base.strip_comments = false;
     } else if (arg == "--export-map") {
       export_map = next();
     } else if (arg == "--import-map") {
@@ -86,7 +92,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--check-leaks") {
       check_leaks = true;
     } else if (arg == "--junos") {
-      junos_mode = true;
+      options.dialect = pipeline::FileDialect::kJunos;
+    } else if (arg == "--ios") {
+      options.dialect = pipeline::FileDialect::kIos;
     } else if (arg == "--entities") {
       entities_in = next();
     } else if (arg == "--entities-out") {
@@ -102,7 +110,7 @@ int main(int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
-  if (options.salt.empty() || inputs.empty()) {
+  if (options.base.salt.empty() || inputs.empty()) {
     Usage();
     return 2;
   }
@@ -148,39 +156,25 @@ int main(int argc, char** argv) {
           entity.prefixes.push_back(*prefix);
         }
       }
-      options.known_entities.push_back(std::move(entity));
+      options.base.known_entities.push_back(std::move(entity));
     }
   }
 
-  // Both language modes share the primitives; --junos swaps the rule
-  // pack. A small adapter keeps the rest of the tool uniform.
-  std::optional<core::Anonymizer> ios;
-  std::optional<junos::JunosAnonymizer> junos_anonymizer;
-  if (junos_mode) {
-    junos::JunosAnonymizerOptions junos_options;
-    junos_options.salt = options.salt;
-    junos_options.regex_form = options.regex_form;
-    junos_options.strip_comments = options.strip_comments;
-    junos_anonymizer.emplace(std::move(junos_options));
-  } else {
-    ios.emplace(options);
-  }
-  const auto ip_anonymizer = [&]() -> ipanon::IpAnonymizer& {
-    return junos_mode ? junos_anonymizer->ip_anonymizer()
-                      : ios->ip_anonymizer();
-  };
+  // One pipeline per invocation: per-file dialect routing over one shared
+  // mapping, `--threads` workers, byte-identical output for any count.
+  pipeline::CorpusPipeline pipeline(std::move(options));
+
   if (!import_map.empty()) {
     std::ifstream in(import_map);
     if (!in) {
       std::cerr << "cannot read mapping " << import_map << "\n";
       return 1;
     }
-    ip_anonymizer().ImportMappings(in);
+    pipeline.ip_anonymizer().ImportMappings(in);
   }
 
   const std::vector<config::ConfigFile> anonymized =
-      junos_mode ? junos_anonymizer->AnonymizeNetwork(files)
-                 : ios->AnonymizeNetwork(files);
+      pipeline.AnonymizeCorpus(files);
 
   if (out_dir.empty()) {
     for (const auto& file : anonymized) {
@@ -203,33 +197,26 @@ int main(int argc, char** argv) {
 
   if (!export_map.empty()) {
     std::ofstream out(export_map);
-    ip_anonymizer().ExportMappings(out);
+    pipeline.ip_anonymizer().ExportMappings(out);
     if (!out) {
       std::cerr << "cannot write mapping " << export_map << "\n";
       return 1;
     }
   }
   if (!entities_out.empty()) {
-    if (junos_mode) {
-      std::cerr << "--entities-out is not supported with --junos\n";
-      return 2;
-    }
     std::ofstream out(entities_out);
-    ios->ExportKnownEntities(out);
+    pipeline.ExportKnownEntities(out);
     if (!out) {
       std::cerr << "cannot write entities " << entities_out << "\n";
       return 1;
     }
   }
   if (report) {
-    std::cerr << (junos_mode ? junos_anonymizer->report()
-                             : ios->report())
-                     .ToString();
+    std::cerr << pipeline.report().ToString();
   }
   if (check_leaks) {
-    const auto findings = core::LeakDetector::Scan(
-        anonymized, junos_mode ? junos_anonymizer->leak_record()
-                               : ios->leak_record());
+    const auto findings =
+        core::LeakDetector::Scan(anonymized, pipeline.leak_record());
     std::cerr << "leak findings: " << findings.size() << "\n";
     for (const auto& finding : findings) {
       std::cerr << "  " << finding.file << ":" << finding.line_number + 1

@@ -30,6 +30,60 @@ class RewriteStopwatch {
 
 }  // namespace
 
+std::string RewriteMemo::KeyOf(std::string_view pattern, RewriteForm form) {
+  std::string key;
+  key.reserve(pattern.size() + 2);
+  key += form == RewriteForm::kAlternation ? 'a' : 'd';
+  key += pattern;
+  return key;
+}
+
+std::optional<RewriteResult> RewriteMemo::Lookup(std::string_view pattern,
+                                                 RewriteForm form) const {
+  const std::string key = KeyOf(pattern, form);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  RewriteResult result = entries_.front().second;
+  result.memo_hit = true;
+  result.elapsed_ns = 0;
+  return result;
+}
+
+void RewriteMemo::Store(std::string_view pattern, RewriteForm form,
+                        const RewriteResult& result) const {
+  const std::string key = KeyOf(pattern, form);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index_.contains(key)) return;  // racing workers computed it twice
+  entries_.emplace_front(key, result);
+  entries_.front().second.memo_hit = false;
+  index_.emplace(key, entries_.begin());
+  if (entries_.size() > capacity_) {
+    index_.erase(entries_.back().first);
+    entries_.pop_back();
+  }
+}
+
+std::uint64_t RewriteMemo::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t RewriteMemo::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t RewriteMemo::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
 TokenLanguage TokenLanguage::Compile(std::string_view pattern) {
   regex::Ast ast;
   regex::ParseOptions options;
@@ -130,6 +184,14 @@ std::size_t FindTopLevelColon(std::string_view pattern) {
 
 RewriteResult AsnRegexRewriter::Rewrite(std::string_view pattern,
                                         RewriteForm form) const {
+  if (auto cached = memo_.Lookup(pattern, form)) return *std::move(cached);
+  RewriteResult result = RewriteUncached(pattern, form);
+  memo_.Store(pattern, form, result);
+  return result;
+}
+
+RewriteResult AsnRegexRewriter::RewriteUncached(std::string_view pattern,
+                                                RewriteForm form) const {
   RewriteResult result;
   result.pattern = std::string(pattern);
   const RewriteStopwatch stopwatch(result);
@@ -166,6 +228,14 @@ RewriteResult AsnRegexRewriter::Rewrite(std::string_view pattern,
 
 RewriteResult CommunityRegexRewriter::Rewrite(std::string_view pattern,
                                               RewriteForm form) const {
+  if (auto cached = memo_.Lookup(pattern, form)) return *std::move(cached);
+  RewriteResult result = RewriteUncached(pattern, form);
+  memo_.Store(pattern, form, result);
+  return result;
+}
+
+RewriteResult CommunityRegexRewriter::RewriteUncached(
+    std::string_view pattern, RewriteForm form) const {
   RewriteResult result;
   result.pattern = std::string(pattern);
   const RewriteStopwatch stopwatch(result);

@@ -18,8 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "asn/asn_map.h"
@@ -70,6 +75,47 @@ struct RewriteResult {
   /// halves for community patterns) and wall time spent in Rewrite().
   std::size_t dfa_states = 0;
   std::uint64_t elapsed_ns = 0;
+  /// True when the result was served from the rewriter's memo — no
+  /// NFA/DFA work happened, and dfa_states describes the original
+  /// compilation, not this call.
+  bool memo_hit = false;
+};
+
+/// Bounded LRU memo over (pattern, form) -> RewriteResult. Real and
+/// generated corpora repeat the same handful of as-path/community
+/// regexps across hundreds of routers; since the rewriters are pure
+/// functions of their (immutable-after-seed) permutations, the rewrite —
+/// parse, NFA, DFA, 2^16-membership enumeration, regex reconstruction —
+/// only needs to run once per distinct pattern. Thread-safe: pipeline
+/// workers share one memo per rewriter.
+class RewriteMemo {
+ public:
+  explicit RewriteMemo(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Returns the memoized result (memo_hit set, elapsed_ns zeroed — the
+  /// lookup cost is not the rewrite cost) or nullopt on a miss.
+  std::optional<RewriteResult> Lookup(std::string_view pattern,
+                                      RewriteForm form) const;
+  void Store(std::string_view pattern, RewriteForm form,
+             const RewriteResult& result) const;
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+
+ private:
+  static std::string KeyOf(std::string_view pattern, RewriteForm form);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Most-recently-used at the front.
+  mutable std::list<std::pair<std::string, RewriteResult>> entries_;
+  mutable std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string, RewriteResult>>::iterator>
+      index_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
 };
 
 /// Rewrites an as-path regexp. Returns the input unchanged when the
@@ -83,8 +129,14 @@ class AsnRegexRewriter {
   RewriteResult Rewrite(std::string_view pattern,
                         RewriteForm form = RewriteForm::kAlternation) const;
 
+  const RewriteMemo& memo() const { return memo_; }
+
  private:
+  RewriteResult RewriteUncached(std::string_view pattern,
+                                RewriteForm form) const;
+
   const AsnMap& asn_map_;
+  RewriteMemo memo_;
 };
 
 /// Rewrites a community-list regexp of the form ASNRE:VALUERE (split at the
@@ -101,9 +153,15 @@ class CommunityRegexRewriter {
   RewriteResult Rewrite(std::string_view pattern,
                         RewriteForm form = RewriteForm::kAlternation) const;
 
+  const RewriteMemo& memo() const { return memo_; }
+
  private:
+  RewriteResult RewriteUncached(std::string_view pattern,
+                                RewriteForm form) const;
+
   const AsnMap& asn_map_;
   const Uint16Permutation& value_permutation_;
+  RewriteMemo memo_;
 };
 
 /// Renders a set of 16-bit values as a regexp in the requested form.

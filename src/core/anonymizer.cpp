@@ -70,30 +70,81 @@ std::vector<std::string> LowerWords(const std::vector<std::string>& words) {
 
 }  // namespace
 
+void Anonymizer::LineCtx::SetWord(std::size_t i, std::string value) {
+  lower[i] = util::ToLower(value);
+  tokens.words[i] = std::move(value);
+}
+
+void Anonymizer::LineCtx::TruncateWords(std::size_t from) {
+  tokens.words.resize(from);
+  tokens.gaps.resize(from + 1);
+  lower.resize(from);
+  handled.resize(from);
+}
+
+void Anonymizer::LineCtx::ReplaceTailWith(std::size_t from,
+                                          const std::string& replacement) {
+  ReplaceTail(tokens, from, replacement);
+  lower.resize(from);
+  lower.push_back(util::ToLower(replacement));
+  handled.assign(tokens.words.size(), false);
+  handled[from] = true;
+}
+
 Anonymizer::Anonymizer(AnonymizerOptions options)
+    : Anonymizer(std::move(options), nullptr) {}
+
+Anonymizer::Anonymizer(AnonymizerOptions options,
+                       std::shared_ptr<NetworkState> state)
     : options_(std::move(options)),
       pass_list_(options_.pass_list),
-      hasher_(options_.salt),
-      ip_(options_.salt),
-      asn_map_(options_.salt),
-      community_values_(options_.salt, "community-values"),
-      community_(asn_map_, community_values_),
-      aspath_rewriter_(asn_map_),
-      community_rewriter_(asn_map_, community_values_) {}
+      enabled_{},
+      shared_state_(state != nullptr),
+      state_(shared_state_ ? std::move(state)
+                           : std::make_shared<NetworkState>(options_.salt)) {
+  const auto on = [&](const char* name) {
+    return !options_.disabled_rules.contains(name);
+  };
+  enabled_.segment_words = on(rules::kSegmentWords);
+  enabled_.passlist_hash = on(rules::kPasslistHash);
+  enabled_.strip_bang_comments = on(rules::kStripBangComments);
+  enabled_.strip_free_text = on(rules::kStripFreeText);
+  enabled_.strip_banners = on(rules::kStripBanners);
+  enabled_.dialer_strings = on(rules::kDialerStrings);
+  enabled_.snmp_strings = on(rules::kSnmpStrings);
+  enabled_.secrets = on(rules::kSecrets);
+  enabled_.name_arguments = on(rules::kNameArguments);
+  enabled_.router_bgp = on(rules::kRouterBgp);
+  enabled_.neighbor_remote_as = on(rules::kNeighborRemoteAs);
+  enabled_.neighbor_local_as = on(rules::kNeighborLocalAs);
+  enabled_.confed_identifier = on(rules::kConfedIdentifier);
+  enabled_.confed_peers = on(rules::kConfedPeers);
+  enabled_.aspath_regex = on(rules::kAsPathRegex);
+  enabled_.aspath_prepend = on(rules::kAsPathPrepend);
+  enabled_.community_list_literal = on(rules::kCommunityListLiteral);
+  enabled_.community_list_regex = on(rules::kCommunityListRegex);
+  enabled_.set_community = on(rules::kSetCommunity);
+  enabled_.set_extcommunity = on(rules::kSetExtcommunity);
+  enabled_.asn_audit = on(rules::kAsnAudit);
+  enabled_.map_addresses = on(rules::kMapAddresses);
+  enabled_.special_passthrough = on(rules::kSpecialPassthrough);
+  enabled_.map_prefixes = on(rules::kMapPrefixes);
+  enabled_.address_mask_pairs = on(rules::kAddressMaskPairs);
+  enabled_.address_wildcard_pairs = on(rules::kAddressWildcardPairs);
+  enabled_.plain_address_args = on(rules::kPlainAddressArgs);
+  enabled_.subnet_preload = on(rules::kSubnetPreload);
+}
 
-void Anonymizer::CollectAddresses(
-    const std::vector<config::ConfigFile>& files,
-    std::vector<net::Ipv4Address>& out) const {
-  for (const config::ConfigFile& file : files) {
-    for (const std::string& line : file.lines()) {
-      for (std::string_view word : util::SplitWords(line)) {
-        // CIDR tokens keep their literal (possibly host-bearing) address.
-        const std::size_t slash = word.find('/');
-        const auto address = net::Ipv4Address::Parse(
-            slash == std::string_view::npos ? word : word.substr(0, slash));
-        if (address && !net::IsSpecial(*address)) {
-          out.push_back(*address);
-        }
+void Anonymizer::CollectFileAddresses(const config::ConfigFile& file,
+                                      std::vector<net::Ipv4Address>& out) {
+  for (const std::string& line : file.lines()) {
+    for (std::string_view word : util::SplitWords(line)) {
+      // CIDR tokens keep their literal (possibly host-bearing) address.
+      const std::size_t slash = word.find('/');
+      const auto address = net::Ipv4Address::Parse(
+          slash == std::string_view::npos ? word : word.substr(0, slash));
+      if (address && !net::IsSpecial(*address)) {
+        out.push_back(*address);
       }
     }
   }
@@ -105,15 +156,18 @@ std::vector<config::ConfigFile> Anonymizer::AnonymizeNetwork(
   network_span.AddArg("files", static_cast<std::int64_t>(files.size()));
   // Rule I7: preload the whole corpus's addresses in sorted order so the
   // subnet-address-preservation property holds network-wide.
-  if (RuleEnabled(rules::kSubnetPreload) && !preloaded_) {
+  if (enabled_.subnet_preload &&
+      !state_->preloaded.load(std::memory_order_acquire)) {
     obs::ScopedTimer preload_span(&tracer_, "preload.I7");
     std::vector<net::Ipv4Address> addresses;
-    CollectAddresses(files, addresses);
+    for (const config::ConfigFile& file : files) {
+      CollectFileAddresses(file, addresses);
+    }
     preload_span.AddArg("addresses",
                         static_cast<std::int64_t>(addresses.size()));
     report_.CountRule(rules::kSubnetPreload, addresses.size());
-    ip_.Preload(std::move(addresses));
-    preloaded_ = true;
+    state_->ip.Preload(std::move(addresses));
+    state_->preloaded.store(true, std::memory_order_release);
   }
   std::vector<config::ConfigFile> out;
   out.reserve(files.size());
@@ -125,10 +179,22 @@ std::vector<config::ConfigFile> Anonymizer::AnonymizeNetwork(
 }
 
 config::ConfigFile Anonymizer::AnonymizeFile(const config::ConfigFile& file) {
+  // Standalone streaming use (no corpus-wide pass ran): preload this
+  // file's own addresses so rule I7's subnet-address guarantee holds at
+  // least file-locally. Within AnonymizeNetwork or the pipeline the
+  // corpus preload already ran and this is skipped.
+  if (enabled_.subnet_preload &&
+      !state_->preloaded.load(std::memory_order_acquire)) {
+    std::vector<net::Ipv4Address> addresses;
+    CollectFileAddresses(file, addresses);
+    report_.CountRule(rules::kSubnetPreload, addresses.size());
+    state_->ip.Preload(std::move(addresses));
+  }
+
   const std::vector<config::LineRegion> banners = FindBannerRegions(file);
   std::vector<bool> in_banner(file.lines().size(), false);
   std::vector<bool> banner_start(file.lines().size(), false);
-  if (options_.strip_comments && RuleEnabled(rules::kStripBanners)) {
+  if (options_.strip_comments && enabled_.strip_banners) {
     for (const config::LineRegion& region : banners) {
       for (std::size_t i = region.begin; i < region.end; ++i) {
         in_banner[i] = true;
@@ -188,7 +254,7 @@ config::ConfigFile Anonymizer::AnonymizeFile(const config::ConfigFile& file) {
   // File names are derived from hostnames; anonymize consistently.
   std::string out_name = file.name();
   if (!out_name.empty() && !pass_list_.Contains(out_name)) {
-    out_name = hasher_.Hash(out_name);
+    out_name = state_->hasher.Hash(out_name);
   }
   return config::ConfigFile(out_name, std::move(out_lines));
 }
@@ -200,13 +266,14 @@ void Anonymizer::AnonymizeLine(const config::ConfigFile& file,
                                std::vector<std::string>& out_lines) {
   const std::string& raw = file.lines()[index];
   ++report_.total_lines;
-  LineTokens tokens = config::TokenizeLine(raw);
-  report_.total_words += tokens.words.size();
+  LineCtx ctx;
+  ctx.tokens = config::TokenizeLine(raw);
+  report_.total_words += ctx.tokens.words.size();
 
   if (in_banner[index]) {
     // Rule C3: the whole banner block is a comment; drop it, leaving a
     // bare '!' where it started so the block boundary stays visible.
-    report_.comment_words_removed += tokens.words.size();
+    report_.comment_words_removed += ctx.tokens.words.size();
     report_.CountRule(rules::kStripBanners);
     if (banner_start[index]) out_lines.push_back("!");
     return;
@@ -223,13 +290,21 @@ void Anonymizer::AnonymizeLine(const config::ConfigFile& file,
     return;
   }
 
-  std::vector<bool> handled(tokens.words.size(), false);
-  ApplyFreeTextRules(tokens, handled);
-  ApplyAsnLineRules(tokens, handled);
-  ApplyMiscLineRules(tokens, handled);
-  ApplyIpLineRules(tokens, handled);
-  ApplyGenericHashing(tokens, handled);
-  out_lines.push_back(tokens.Render());
+  ctx.lower = LowerWords(ctx.tokens.words);
+  ctx.handled.assign(ctx.tokens.words.size(), false);
+  ApplyWordPasses(ctx);
+  out_lines.push_back(ctx.tokens.Render());
+}
+
+void Anonymizer::ApplyWordPasses(LineCtx& ctx) {
+  // The former five independent passes, fused: one lowercase view
+  // computed up front (each pass used to recompute it), the line-shaped
+  // rule groups dispatched off it, then a single traversal applying the
+  // per-token rules.
+  ApplyFreeTextRules(ctx);
+  ApplyAsnLineRules(ctx);
+  ApplyMiscLineRules(ctx);
+  ApplyTokenRules(ctx);
 }
 
 void Anonymizer::ObserveLine(const config::ConfigFile& file, std::size_t index,
@@ -276,21 +351,55 @@ void Anonymizer::ObserveLine(const config::ConfigFile& file, std::size_t index,
   }
 }
 
+void Anonymizer::install_hooks(const obs::Hooks& hooks) {
+  hooks_ = hooks;
+  ApplyHooks();
+}
+
 void Anonymizer::set_metrics(obs::MetricsRegistry* metrics) {
-  metrics_ = metrics;
-  line_hist_ =
-      metrics != nullptr ? &metrics->HistogramNamed("core.line_ns") : nullptr;
-  file_hist_ =
-      metrics != nullptr ? &metrics->HistogramNamed("core.file_ns") : nullptr;
-  rewrite_hist_ = metrics != nullptr
-                      ? &metrics->HistogramNamed("asn.rewrite_ns")
+  hooks_.metrics = metrics;
+  ApplyHooks();
+}
+
+void Anonymizer::set_trace_sink(obs::TraceSink* sink) {
+  hooks_.trace = sink;
+  ApplyHooks();
+}
+
+void Anonymizer::set_provenance(obs::ProvenanceLog* provenance) {
+  hooks_.provenance = provenance;
+  ApplyHooks();
+}
+
+void Anonymizer::ApplyHooks() {
+  tracer_.set_sink(hooks_.trace);
+  provenance_ = hooks_.provenance;
+  metrics_ = hooks_.metrics;
+  // Resolve every instrument eagerly (including the memo-hit counter, so
+  // it appears in snapshots even before the first hit) and touch only
+  // atomics on the hot paths.
+  line_hist_ = metrics_ != nullptr ? &metrics_->HistogramNamed("core.line_ns")
+                                   : nullptr;
+  file_hist_ = metrics_ != nullptr ? &metrics_->HistogramNamed("core.file_ns")
+                                   : nullptr;
+  rewrite_hist_ = metrics_ != nullptr
+                      ? &metrics_->HistogramNamed("asn.rewrite_ns")
                       : nullptr;
   dfa_states_total_ =
-      metrics != nullptr ? &metrics->CounterNamed("asn.rewrite_dfa_states")
-                         : nullptr;
+      metrics_ != nullptr ? &metrics_->CounterNamed("asn.rewrite_dfa_states")
+                          : nullptr;
+  rewrite_memo_hits_ =
+      metrics_ != nullptr ? &metrics_->CounterNamed("asn.rewrite_memo_hits")
+                          : nullptr;
 }
 
 void Anonymizer::RecordRewrite(const asn::RewriteResult& result) {
+  if (result.memo_hit) {
+    // The rewrite was served from the LRU memo: no NFA/DFA work happened,
+    // so neither the latency histogram nor the DFA-state total moves.
+    if (rewrite_memo_hits_ != nullptr) rewrite_memo_hits_->Add(1);
+    return;
+  }
   if (rewrite_hist_ != nullptr) rewrite_hist_->Record(result.elapsed_ns);
   if (dfa_states_total_ != nullptr) {
     dfa_states_total_->Add(result.dfa_states);
@@ -300,6 +409,12 @@ void Anonymizer::RecordRewrite(const asn::RewriteResult& result) {
 void Anonymizer::SyncMetrics() {
   if (metrics_ == nullptr) return;
   SyncReportDeltas(report_, synced_report_, *metrics_, "");
+  if (shared_state_) {
+    // The trie/hasher belong to the pipeline's shared NetworkState;
+    // per-worker delta syncs would double count, so the pipeline syncs
+    // those centrally at join.
+    return;
+  }
   const auto sync = [&](const char* name, std::uint64_t current,
                         std::uint64_t& base) {
     if (current > base) {
@@ -307,14 +422,14 @@ void Anonymizer::SyncMetrics() {
       base = current;
     }
   };
-  const ipanon::IpAnonymizer::Stats& ip_stats = ip_.stats();
+  const ipanon::IpAnonymizer::Stats ip_stats = state_->ip.stats();
   sync("ipanon.cache_hits", ip_stats.cache_hits, synced_ip_.cache_hits);
   sync("ipanon.cache_misses", ip_stats.cache_misses, synced_ip_.cache_misses);
   sync("ipanon.collision_walks", ip_stats.collision_walks,
        synced_ip_.collision_walks);
   sync("ipanon.preloaded_addresses", ip_stats.preloaded, synced_ip_.preloaded);
   metrics_->GaugeNamed("ipanon.trie_nodes")
-      .Set(static_cast<std::int64_t>(ip_.NodeCount()));
+      .Set(static_cast<std::int64_t>(state_->ip.NodeCount()));
 }
 
 bool Anonymizer::ApplyCommentRules(const config::ConfigFile& file,
@@ -323,7 +438,7 @@ bool Anonymizer::ApplyCommentRules(const config::ConfigFile& file,
   (void)file;
   (void)index;
   (void)in_banner;
-  if (!options_.strip_comments || !RuleEnabled(rules::kStripBangComments)) {
+  if (!options_.strip_comments || !enabled_.strip_bang_comments) {
     return true;
   }
   // Rule C1: '!' full-line comments. A bare '!' is a section separator and
@@ -338,11 +453,10 @@ bool Anonymizer::ApplyCommentRules(const config::ConfigFile& file,
   return true;
 }
 
-void Anonymizer::ApplyFreeTextRules(LineTokens& tokens,
-                                    std::vector<bool>& handled) {
-  if (!options_.strip_comments || !RuleEnabled(rules::kStripFreeText)) return;
-  if (tokens.words.empty()) return;
-  const std::vector<std::string> lower = LowerWords(tokens.words);
+void Anonymizer::ApplyFreeTextRules(LineCtx& ctx) {
+  if (!options_.strip_comments || !enabled_.strip_free_text) return;
+  if (ctx.tokens.words.empty()) return;
+  const std::vector<std::string>& lower = ctx.lower;
 
   // Rule C2: free-text payloads. `description ...` carries arbitrary prose
   // ("Foo Corp's LAX Main St offices"); `remark` inside ACLs likewise. The
@@ -363,12 +477,10 @@ void Anonymizer::ApplyFreeTextRules(LineTokens& tokens,
     }
   }
   if (payload_from != std::string::npos &&
-      payload_from < tokens.words.size()) {
-    report_.comment_words_removed += tokens.words.size() - payload_from;
+      payload_from < ctx.tokens.words.size()) {
+    report_.comment_words_removed += ctx.tokens.words.size() - payload_from;
     report_.CountRule(rules::kStripFreeText);
-    tokens.words.resize(payload_from);
-    tokens.gaps.resize(payload_from + 1);
-    handled.resize(payload_from);
+    ctx.TruncateWords(payload_from);
   }
 }
 
@@ -379,13 +491,13 @@ std::string Anonymizer::MapAsnWord(std::string_view word) {
   }
   RecordAsn(static_cast<std::uint32_t>(asn));
   const std::uint32_t mapped =
-      asn_map_.Map(static_cast<std::uint32_t>(asn));
+      state_->asn_map.Map(static_cast<std::uint32_t>(asn));
   if (mapped != asn) ++report_.asns_mapped;
   return std::to_string(mapped);
 }
 
 void Anonymizer::RecordAsn(std::uint32_t asn) {
-  if (asn::IsPublicAsn(asn) && RuleEnabled(rules::kAsnAudit)) {
+  if (asn::IsPublicAsn(asn) && enabled_.asn_audit) {
     // Rule A12: remember every public ASN seen so the leak detector can
     // grep the anonymized output for survivors (Section 6.1).
     leak_record_.public_asns.insert(std::to_string(asn));
@@ -393,18 +505,17 @@ void Anonymizer::RecordAsn(std::uint32_t asn) {
   }
 }
 
-void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
-                                   std::vector<bool>& handled) {
-  auto& words = tokens.words;
+void Anonymizer::ApplyAsnLineRules(LineCtx& ctx) {
+  auto& words = ctx.tokens.words;
   if (words.empty()) return;
-  const std::vector<std::string> lower = LowerWords(words);
+  const std::vector<std::string>& lower = ctx.lower;
+  auto& handled = ctx.handled;
   const auto mark = [&](std::size_t i) { handled[i] = true; };
 
   // Rule A1: `router bgp <asn>`.
-  if (RuleEnabled(rules::kRouterBgp) && words.size() >= 3 &&
-      lower[0] == "router" && lower[1] == "bgp" &&
-      util::IsAllDigits(words[2])) {
-    words[2] = MapAsnWord(words[2]);
+  if (enabled_.router_bgp && words.size() >= 3 && lower[0] == "router" &&
+      lower[1] == "bgp" && util::IsAllDigits(words[2])) {
+    ctx.SetWord(2, MapAsnWord(words[2]));
     mark(2);
     report_.CountRule(rules::kRouterBgp);
     return;
@@ -412,14 +523,14 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
 
   // Rules A2/A3: `neighbor <peer> remote-as|local-as <asn>`.
   if (words.size() >= 4 && lower[0] == "neighbor") {
-    if (RuleEnabled(rules::kNeighborRemoteAs) && lower[2] == "remote-as" &&
+    if (enabled_.neighbor_remote_as && lower[2] == "remote-as" &&
         util::IsAllDigits(words[3])) {
-      words[3] = MapAsnWord(words[3]);
+      ctx.SetWord(3, MapAsnWord(words[3]));
       mark(3);
       report_.CountRule(rules::kNeighborRemoteAs);
-    } else if (RuleEnabled(rules::kNeighborLocalAs) &&
-               lower[2] == "local-as" && util::IsAllDigits(words[3])) {
-      words[3] = MapAsnWord(words[3]);
+    } else if (enabled_.neighbor_local_as && lower[2] == "local-as" &&
+               util::IsAllDigits(words[3])) {
+      ctx.SetWord(3, MapAsnWord(words[3]));
       mark(3);
       report_.CountRule(rules::kNeighborLocalAs);
     }
@@ -428,15 +539,15 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
 
   // Rules A4/A5: confederation identifier / peer list.
   if (words.size() >= 4 && lower[0] == "bgp" && lower[1] == "confederation") {
-    if (RuleEnabled(rules::kConfedIdentifier) && lower[2] == "identifier" &&
+    if (enabled_.confed_identifier && lower[2] == "identifier" &&
         util::IsAllDigits(words[3])) {
-      words[3] = MapAsnWord(words[3]);
+      ctx.SetWord(3, MapAsnWord(words[3]));
       mark(3);
       report_.CountRule(rules::kConfedIdentifier);
-    } else if (RuleEnabled(rules::kConfedPeers) && lower[2] == "peers") {
+    } else if (enabled_.confed_peers && lower[2] == "peers") {
       for (std::size_t i = 3; i < words.size(); ++i) {
         if (util::IsAllDigits(words[i])) {
-          words[i] = MapAsnWord(words[i]);
+          ctx.SetWord(i, MapAsnWord(words[i]));
           mark(i);
         }
       }
@@ -448,16 +559,15 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
   // Rule A6: `ip as-path access-list <n> permit|deny <regex...>`. The
   // regex is the remainder of the line (it can contain spaces) and is
   // rewritten by language computation.
-  if (RuleEnabled(rules::kAsPathRegex) && words.size() >= 5 &&
-      lower[0] == "ip" && lower[1] == "as-path" &&
-      lower[2] == "access-list" &&
+  if (enabled_.aspath_regex && words.size() >= 5 && lower[0] == "ip" &&
+      lower[1] == "as-path" && lower[2] == "access-list" &&
       (lower[4] == "permit" || lower[4] == "deny")) {
-    const std::string pattern = JoinTail(tokens, 5);
+    const std::string pattern = JoinTail(ctx.tokens, 5);
     if (!pattern.empty()) {
       asn::RewriteResult result;
       result.pattern = pattern;
       try {
-        result = aspath_rewriter_.Rewrite(pattern, options_.regex_form);
+        result = state_->aspath_rewriter.Rewrite(pattern, options_.regex_form);
       } catch (const regex::ParseError&) {
         // Unparseable pattern (possible on exotic IOS syntax): leave it
         // in place — the conservative fallback is the Section 6.1 leak
@@ -470,9 +580,7 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
         // The tail collapses to one rewritten word at index 5; the
         // leading keywords stay for the later passes (they are all
         // pass-listed or numeric).
-        ReplaceTail(tokens, 5, result.pattern);
-        handled.assign(tokens.words.size(), false);
-        handled[5] = true;
+        ctx.ReplaceTailWith(5, result.pattern);
         ++report_.aspath_regexps_rewritten;
         report_.CountRule(rules::kAsPathRegex);
       } else {
@@ -484,11 +592,11 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
   }
 
   // Rule A7: `set as-path prepend <asn> <asn> ...`.
-  if (RuleEnabled(rules::kAsPathPrepend) && words.size() >= 4 &&
-      lower[0] == "set" && lower[1] == "as-path" && lower[2] == "prepend") {
+  if (enabled_.aspath_prepend && words.size() >= 4 && lower[0] == "set" &&
+      lower[1] == "as-path" && lower[2] == "prepend") {
     for (std::size_t i = 3; i < words.size(); ++i) {
       if (util::IsAllDigits(words[i])) {
-        words[i] = MapAsnWord(words[i]);
+        ctx.SetWord(i, MapAsnWord(words[i]));
         mark(i);
       }
     }
@@ -510,29 +618,28 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
       for (std::size_t i = action + 1; i < words.size(); ++i) {
         if (IsCommunityKeyword(lower[i])) continue;
         const auto literal = asn::ParseCommunity(words[i]);
-        if (literal && RuleEnabled(rules::kCommunityListLiteral)) {
+        if (literal && enabled_.community_list_literal) {
           RecordAsn(literal->asn);
-          words[i] = community_.Map(*literal).ToString();
+          ctx.SetWord(i, state_->community.Map(*literal).ToString());
           mark(i);
           ++report_.communities_mapped;
           any_literal = true;
           continue;
         }
-        if (!literal && RuleEnabled(rules::kCommunityListRegex)) {
+        if (!literal && enabled_.community_list_regex) {
           // Expanded community-list: the remainder is one regex.
-          const std::string pattern = JoinTail(tokens, i);
+          const std::string pattern = JoinTail(ctx.tokens, i);
           asn::RewriteResult result;
           result.pattern = pattern;
           try {
-            result = community_rewriter_.Rewrite(pattern, options_.regex_form);
+            result =
+                state_->community_rewriter.Rewrite(pattern, options_.regex_form);
           } catch (const regex::ParseError&) {
             // As above: leave unparseable patterns for the leak grep.
           }
           RecordRewrite(result);
           if (result.changed) {
-            ReplaceTail(tokens, i, result.pattern);
-            handled.assign(tokens.words.size(), false);
-            handled[i] = true;
+            ctx.ReplaceTailWith(i, result.pattern);
             ++report_.community_regexps_rewritten;
             report_.CountRule(rules::kCommunityListRegex);
           } else {
@@ -549,14 +656,14 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
   }
 
   // Rule A10: `set community <c> <c> ... [additive]`.
-  if (RuleEnabled(rules::kSetCommunity) && words.size() >= 3 &&
-      lower[0] == "set" && lower[1] == "community") {
+  if (enabled_.set_community && words.size() >= 3 && lower[0] == "set" &&
+      lower[1] == "community") {
     bool fired = false;
     for (std::size_t i = 2; i < words.size(); ++i) {
       if (IsCommunityKeyword(lower[i])) continue;
       if (const auto literal = asn::ParseCommunity(words[i])) {
         RecordAsn(literal->asn);
-        words[i] = community_.Map(*literal).ToString();
+        ctx.SetWord(i, state_->community.Map(*literal).ToString());
         mark(i);
         ++report_.communities_mapped;
         fired = true;
@@ -569,9 +676,9 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
           const auto low = static_cast<std::uint32_t>(value & 0xFFFF);
           RecordAsn(high);
           const std::uint64_t mapped =
-              (static_cast<std::uint64_t>(asn_map_.Map(high)) << 16) |
-              community_values_.Map(low);
-          words[i] = std::to_string(mapped);
+              (static_cast<std::uint64_t>(state_->asn_map.Map(high)) << 16) |
+              state_->community_values.Map(low);
+          ctx.SetWord(i, std::to_string(mapped));
           mark(i);
           ++report_.communities_mapped;
           fired = true;
@@ -583,13 +690,13 @@ void Anonymizer::ApplyAsnLineRules(LineTokens& tokens,
   }
 
   // Rule A11: `set extcommunity rt|soo <asn:val> ...`.
-  if (RuleEnabled(rules::kSetExtcommunity) && words.size() >= 4 &&
-      lower[0] == "set" && lower[1] == "extcommunity") {
+  if (enabled_.set_extcommunity && words.size() >= 4 && lower[0] == "set" &&
+      lower[1] == "extcommunity") {
     bool fired = false;
     for (std::size_t i = 3; i < words.size(); ++i) {
       if (const auto literal = asn::ParseCommunity(words[i])) {
         RecordAsn(literal->asn);
-        words[i] = community_.Map(*literal).ToString();
+        ctx.SetWord(i, state_->community.Map(*literal).ToString());
         mark(i);
         ++report_.communities_mapped;
         fired = true;
@@ -606,12 +713,12 @@ void Anonymizer::ExportKnownEntities(std::ostream& out) {
        options_.known_entities) {
     out << "entity " << index++ << ": asns";
     for (std::uint32_t asn : entity.asns) {
-      out << ' ' << asn_map_.Map(asn);
+      out << ' ' << state_->asn_map.Map(asn);
     }
     out << " prefixes";
     for (const net::Prefix& prefix : entity.prefixes) {
       out << ' '
-          << net::Prefix(ip_.Map(prefix.address()), prefix.length())
+          << net::Prefix(state_->ip.Map(prefix.address()), prefix.length())
                  .ToString();
     }
     out << '\n';
@@ -633,30 +740,29 @@ std::vector<std::uint32_t> Anonymizer::AcceptedPublicAsns(
   return result;
 }
 
-void Anonymizer::ApplyMiscLineRules(LineTokens& tokens,
-                                    std::vector<bool>& handled) {
-  auto& words = tokens.words;
+void Anonymizer::ApplyMiscLineRules(LineCtx& ctx) {
+  auto& words = ctx.tokens.words;
   if (words.empty()) return;
-  const std::vector<std::string> lower = LowerWords(words);
+  const std::vector<std::string>& lower = ctx.lower;
+  auto& handled = ctx.handled;
 
   const auto force_hash = [&](std::size_t i, const char* rule) {
     if (i >= words.size() || handled[i]) return;
     if (!pass_list_.Contains(words[i])) {
       leak_record_.hashed_words.insert(words[i]);
     }
-    words[i] = hasher_.Hash(words[i]);
+    ctx.SetWord(i, state_->hasher.Hash(words[i]));
     handled[i] = true;
     ++report_.words_hashed;
     report_.CountRule(rule);
   };
 
   // Rule M1: dial strings are phone numbers.
-  if (RuleEnabled(rules::kDialerStrings) && words.size() >= 3 &&
-      lower[0] == "dialer" &&
+  if (enabled_.dialer_strings && words.size() >= 3 && lower[0] == "dialer" &&
       (lower[1] == "string" || lower[1] == "called" ||
        lower[1] == "caller")) {
     leak_record_.hashed_words.insert(words[2]);
-    words[2] = PseudoDigits(options_.salt, words[2]);
+    ctx.SetWord(2, PseudoDigits(options_.salt, words[2]));
     handled[2] = true;
     report_.CountRule(rules::kDialerStrings);
     return;
@@ -664,7 +770,7 @@ void Anonymizer::ApplyMiscLineRules(LineTokens& tokens,
 
   // Rule M2: SNMP strings (community secrets, contact/location prose).
   if (lower[0] == "snmp-server" && words.size() >= 2 &&
-      RuleEnabled(rules::kSnmpStrings)) {
+      enabled_.snmp_strings) {
     if (lower[1] == "community" && words.size() >= 3) {
       force_hash(2, rules::kSnmpStrings);
       return;
@@ -673,9 +779,7 @@ void Anonymizer::ApplyMiscLineRules(LineTokens& tokens,
          lower[1] == "chassis-id") &&
         words.size() >= 3 && options_.strip_comments) {
       report_.comment_words_removed += words.size() - 2;
-      tokens.words.resize(2);
-      tokens.gaps.resize(3);
-      handled.resize(2);
+      ctx.TruncateWords(2);
       report_.CountRule(rules::kSnmpStrings);
       return;
     }
@@ -688,7 +792,7 @@ void Anonymizer::ApplyMiscLineRules(LineTokens& tokens,
   }
 
   // Rule M3: passwords and keys.
-  if (RuleEnabled(rules::kSecrets)) {
+  if (enabled_.secrets) {
     if (lower[0] == "enable" && words.size() >= 2 &&
         (lower[1] == "secret" || lower[1] == "password")) {
       force_hash(words.size() - 1, rules::kSecrets);
@@ -736,7 +840,7 @@ void Anonymizer::ApplyMiscLineRules(LineTokens& tokens,
 
   // Rule M4: name arguments — commands whose argument is a hostname or
   // domain name that must be anonymized even if its words are innocuous.
-  if (RuleEnabled(rules::kNameArguments)) {
+  if (enabled_.name_arguments) {
     if (lower[0] == "hostname" && words.size() >= 2) {
       force_hash(1, rules::kNameArguments);
       return;
@@ -760,11 +864,11 @@ void Anonymizer::ApplyMiscLineRules(LineTokens& tokens,
   }
 }
 
-void Anonymizer::ApplyIpLineRules(LineTokens& tokens,
-                                  std::vector<bool>& handled) {
-  auto& words = tokens.words;
+void Anonymizer::ApplyTokenRules(LineCtx& ctx) {
+  auto& words = ctx.tokens.words;
   if (words.empty()) return;
-  const std::vector<std::string> lower = LowerWords(words);
+  const std::vector<std::string>& lower = ctx.lower;
+  auto& handled = ctx.handled;
 
   // Context accounting for rules I4/I5/I6 (the mapping operation itself is
   // uniform; the context rules exist so the operator-facing report shows
@@ -782,74 +886,70 @@ void Anonymizer::ApplyIpLineRules(LineTokens& tokens,
     context_rule = rules::kPlainAddressArgs;
   }
 
+  // Fused traversal: for each token, the IP rules run first; whatever
+  // they leave unhandled falls through to generic hashing — the same
+  // per-token outcome as the former two sequential whole-line loops,
+  // since neither rule group reads any *other* token's rewrite.
   bool fired_context = false;
   for (std::size_t i = 0; i < words.size(); ++i) {
-    if (handled[i]) continue;
-
-    // Rule I3: CIDR tokens ("a.b.c.d/len"). The literal address is
-    // mapped (it may carry host bits, e.g. a JunOS-style interface
-    // address) and the length is kept verbatim.
-    if (RuleEnabled(rules::kMapPrefixes)) {
-      const std::size_t slash = words[i].find('/');
-      if (slash != std::string::npos) {
-        const auto address =
-            net::Ipv4Address::Parse(std::string_view(words[i]).substr(0, slash));
-        std::uint64_t length = 0;
-        if (address &&
-            util::ParseUint(std::string_view(words[i]).substr(slash + 1), 32,
-                            length)) {
-          if (net::IsSpecial(*address)) {
-            handled[i] = true;
-            ++report_.addresses_special;
-            report_.CountRule(rules::kSpecialPassthrough);
-            continue;
+    if (!handled[i]) {
+      // --- IP rules (I1/I2/I3) ---
+      // Rule I3: CIDR tokens ("a.b.c.d/len"). The literal address is
+      // mapped (it may carry host bits, e.g. a JunOS-style interface
+      // address) and the length is kept verbatim.
+      bool ip_done = false;
+      if (enabled_.map_prefixes) {
+        const std::size_t slash = words[i].find('/');
+        if (slash != std::string::npos) {
+          const auto address = net::Ipv4Address::Parse(
+              std::string_view(words[i]).substr(0, slash));
+          std::uint64_t length = 0;
+          if (address &&
+              util::ParseUint(std::string_view(words[i]).substr(slash + 1),
+                              32, length)) {
+            if (net::IsSpecial(*address)) {
+              handled[i] = true;
+              ++report_.addresses_special;
+              report_.CountRule(rules::kSpecialPassthrough);
+              ip_done = true;
+            } else {
+              leak_record_.addresses.insert(address->ToString());
+              ctx.SetWord(i, state_->ip.Map(*address).ToString() + "/" +
+                                 std::to_string(length));
+              handled[i] = true;
+              ++report_.addresses_mapped;
+              report_.CountRule(rules::kMapPrefixes);
+              fired_context = true;
+              ip_done = true;
+            }
           }
-          leak_record_.addresses.insert(address->ToString());
-          words[i] = ip_.Map(*address).ToString() + "/" +
-                     std::to_string(length);
-          handled[i] = true;
-          ++report_.addresses_mapped;
-          report_.CountRule(rules::kMapPrefixes);
-          fired_context = true;
-          continue;
+        }
+      }
+      if (!ip_done) {
+        if (const auto address = net::Ipv4Address::Parse(words[i])) {
+          // Rule I2: special addresses (netmasks, wildcard masks,
+          // multicast, loopback, ...) pass through unchanged.
+          if (net::IsSpecial(*address)) {
+            if (enabled_.special_passthrough) {
+              handled[i] = true;
+              ++report_.addresses_special;
+              report_.CountRule(rules::kSpecialPassthrough);
+            }
+          } else if (enabled_.map_addresses) {
+            // Rule I1: everything else is mapped through the
+            // prefix-preserving trie.
+            leak_record_.addresses.insert(address->ToString());
+            ctx.SetWord(i, state_->ip.Map(*address).ToString());
+            handled[i] = true;
+            ++report_.addresses_mapped;
+            report_.CountRule(rules::kMapAddresses);
+            fired_context = true;
+          }
         }
       }
     }
 
-    const auto address = net::Ipv4Address::Parse(words[i]);
-    if (!address) continue;
-
-    // Rule I2: special addresses (netmasks, wildcard masks, multicast,
-    // loopback, ...) pass through unchanged.
-    if (net::IsSpecial(*address)) {
-      if (RuleEnabled(rules::kSpecialPassthrough)) {
-        handled[i] = true;
-        ++report_.addresses_special;
-        report_.CountRule(rules::kSpecialPassthrough);
-      }
-      continue;
-    }
-
-    // Rule I1: everything else is mapped through the prefix-preserving
-    // trie.
-    if (RuleEnabled(rules::kMapAddresses)) {
-      leak_record_.addresses.insert(address->ToString());
-      words[i] = ip_.Map(*address).ToString();
-      handled[i] = true;
-      ++report_.addresses_mapped;
-      report_.CountRule(rules::kMapAddresses);
-      fired_context = true;
-    }
-  }
-  if (fired_context && context_rule != nullptr) {
-    report_.CountRule(context_rule);
-  }
-}
-
-void Anonymizer::ApplyGenericHashing(LineTokens& tokens,
-                                     std::vector<bool>& handled) {
-  auto& words = tokens.words;
-  for (std::size_t i = 0; i < words.size(); ++i) {
+    // --- Generic hashing (T1/T2) on whatever is still unhandled ---
     if (handled[i]) continue;
     const std::string& word = words[i];
     if (word.empty() || config::IsNonAlphabetic(word)) continue;
@@ -870,9 +970,12 @@ void Anonymizer::ApplyGenericHashing(LineTokens& tokens,
       continue;
     }
     leak_record_.hashed_words.insert(word);
-    words[i] = hasher_.Hash(word);
+    ctx.SetWord(i, state_->hasher.Hash(word));
     ++report_.words_hashed;
     report_.CountRule(rules::kPasslistHash);
+  }
+  if (fired_context && context_rule != nullptr) {
+    report_.CountRule(context_rule);
   }
 }
 

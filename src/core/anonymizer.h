@@ -25,8 +25,12 @@
 // full grammar — by design, since no consistent grammar exists across the
 // 200+ IOS versions the tool must survive (Section 3).
 //
-// All state (hash memo, IP trie, ASN permutation) is shared across the
-// files of one Anonymizer instance: one instance == one network.
+// All mapping state (hash memo, IP trie, ASN permutation) lives in a
+// core::NetworkState shared by every engine of one network: one state ==
+// one network. An Anonymizer constructed standalone owns a fresh state; a
+// pipeline constructs several engines over one shared state so files can
+// be anonymized in parallel (and across dialects) with full referential
+// integrity.
 #pragma once
 
 #include <memory>
@@ -40,11 +44,14 @@
 #include "asn/regex_rewrite.h"
 #include "config/document.h"
 #include "config/tokenizer.h"
+#include "core/engine.h"
 #include "core/leak_detector.h"
+#include "core/network_state.h"
 #include "core/report.h"
 #include "core/string_hasher.h"
 #include "ipanon/ip_anonymizer.h"
 #include "net/prefix.h"
+#include "obs/hooks.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
@@ -123,74 +130,126 @@ inline constexpr char kPlainAddressArgs[] = "I6.plain-address-args";
 inline constexpr char kSubnetPreload[] = "I7.subnet-preload";
 }  // namespace rules
 
-class Anonymizer {
+class Anonymizer : public AnonymizerEngine {
  public:
+  /// Standalone engine owning a fresh NetworkState.
   explicit Anonymizer(AnonymizerOptions options);
+  /// Engine over an existing (possibly shared) NetworkState. Used by the
+  /// parallel pipeline: each worker gets its own engine (own report, own
+  /// observability buffers) over the one shared state. Engines sharing
+  /// state do not sync the shared trie's counters into metrics — the
+  /// pipeline does that once, centrally, to avoid double counting.
+  Anonymizer(AnonymizerOptions options, std::shared_ptr<NetworkState> state);
 
   /// Anonymizes all files of one network consistently. Performs the
   /// address-preload pass over the whole corpus first (rule I7), then
   /// rewrites each file.
   std::vector<config::ConfigFile> AnonymizeNetwork(
-      const std::vector<config::ConfigFile>& files);
+      const std::vector<config::ConfigFile>& files) override;
 
   /// Anonymizes a single file using (and extending) the shared state.
-  /// Addresses first seen here miss the preload guarantee; prefer
-  /// AnonymizeNetwork for whole corpora.
-  config::ConfigFile AnonymizeFile(const config::ConfigFile& file);
+  /// When no corpus-wide preload has happened yet (standalone streaming
+  /// use), this file's own addresses are preloaded first, so rule I7's
+  /// subnet-address guarantee holds file-locally.
+  config::ConfigFile AnonymizeFile(const config::ConfigFile& file) override;
 
   /// Writes the anonymized groupings of the declared known entities, one
   /// entity per line: "entity <n>: asns <a1> <a2> ... prefixes <p1> ...".
   /// All values are post-anonymization; labels are never written. This is
   /// the Section 5 extension: the implicit AS-X/prefix-Y relationship is
   /// preserved as an explicit, still-anonymous grouping.
-  void ExportKnownEntities(std::ostream& out);
+  void ExportKnownEntities(std::ostream& out) override;
 
-  const AnonymizationReport& report() const { return report_; }
-  const LeakRecord& leak_record() const { return leak_record_; }
+  const AnonymizationReport& report() const override { return report_; }
+  const LeakRecord& leak_record() const override { return leak_record_; }
 
   // --- observability (all optional, all non-owning) ---
   //
-  // With none of these installed the per-line hot path pays a single
-  // branch; the benches run in that mode.
+  // With no hooks installed the per-line hot path pays a single branch;
+  // the benches run in that mode.
 
-  /// Mirrors the report (per-rule fire counts, word/address totals), the
-  /// IP trie's hit/miss/size stats, and per-phase latency histograms
-  /// ("core.line_ns", "core.file_ns", "asn.rewrite_ns") into `metrics`.
-  /// Synced incrementally at every file boundary.
+  /// Installs all observability hooks in one shot:
+  ///   * hooks.metrics — mirrors the report (per-rule fire counts,
+  ///     word/address totals), the IP trie's hit/miss/size stats, and
+  ///     per-phase latency histograms ("core.line_ns", "core.file_ns",
+  ///     "asn.rewrite_ns") into the registry, synced at file boundaries;
+  ///   * hooks.trace — emits Chrome-trace spans (network phase, one span
+  ///     per file, per-rule spans nested inside each file span);
+  ///   * hooks.provenance — records one ProvenanceEntry per (line, fired
+  ///     rule) with before/after word counts (Section 6.1 leak triage).
+  void install_hooks(const obs::Hooks& hooks) override;
+
+  /// Deprecated: prefer install_hooks(). Thin forwarder replacing only
+  /// the metrics member of the installed hook set.
   void set_metrics(obs::MetricsRegistry* metrics);
-  /// Emits Chrome-trace spans: the network phase, one span per file, and
-  /// per-rule spans nested inside each file span (a rule's span
-  /// aggregates the line-processing time of the lines it fired on).
-  void set_trace_sink(obs::TraceSink* sink) { tracer_.set_sink(sink); }
-  /// Records one ProvenanceEntry per (line, fired rule) with before/after
-  /// word counts — the Section 6.1 leak-triage record.
-  void set_provenance(obs::ProvenanceLog* provenance) {
-    provenance_ = provenance;
-  }
+  /// Deprecated: prefer install_hooks(). Replaces only the trace sink.
+  void set_trace_sink(obs::TraceSink* sink);
+  /// Deprecated: prefer install_hooks(). Replaces only the provenance log.
+  void set_provenance(obs::ProvenanceLog* provenance);
+
   /// Pushes any unreported report/trie deltas into the registry. Called
   /// automatically at file boundaries; idempotent.
-  void SyncMetrics();
+  void SyncMetrics() override;
 
-  const asn::AsnMap& asn_map() const { return asn_map_; }
-  const asn::Uint16Permutation& community_values() const {
-    return community_values_;
+  const std::shared_ptr<NetworkState>& state() const override {
+    return state_;
   }
-  ipanon::IpAnonymizer& ip_anonymizer() { return ip_; }
-  StringHasher& string_hasher() { return hasher_; }
+
+  const asn::AsnMap& asn_map() const { return state_->asn_map; }
+  const asn::Uint16Permutation& community_values() const {
+    return state_->community_values;
+  }
+  ipanon::IpAnonymizer& ip_anonymizer() { return state_->ip; }
+  StringHasher& string_hasher() { return state_->hasher; }
   const passlist::PassList& pass_list() const { return pass_list_; }
 
+  /// Collects every non-special IP address literal in `file` (the
+  /// operand of rule I7's preload). Exposed so the pipeline can run the
+  /// corpus-wide preload across dialects without an engine instance.
+  static void CollectFileAddresses(const config::ConfigFile& file,
+                                   std::vector<net::Ipv4Address>& out);
+
  private:
-  bool RuleEnabled(const char* name) const {
-    return !options_.disabled_rules.contains(name);
-  }
+  /// Everything the five word passes need for one line, computed once.
+  /// `lower` mirrors `tokens.words` lowercased and is kept in sync by
+  /// every mutation — exactly the view each pass used to recompute.
+  struct LineCtx {
+    config::LineTokens tokens;
+    std::vector<std::string> lower;
+    std::vector<bool> handled;
 
-  /// Collects every IP address in the corpus for the preload pass.
-  void CollectAddresses(const std::vector<config::ConfigFile>& files,
-                        std::vector<net::Ipv4Address>& out) const;
+    /// Replaces words[i], maintaining the lowercase mirror.
+    void SetWord(std::size_t i, std::string value);
+    /// Drops words[from..], keeping the trailing gap (free-text strips).
+    void TruncateWords(std::size_t from);
+    /// Collapses words[from..] to one replacement word (regexp rewrites),
+    /// resetting `handled` with only the replacement marked.
+    void ReplaceTailWith(std::size_t from, const std::string& replacement);
+  };
 
-  /// Processes one input line end-to-end (comment rules + the five word
-  /// passes), appending the anonymized rendering to `out_lines` (or
-  /// nothing, for banner continuation lines).
+  /// The rule-enabled predicate, resolved once at construction so the
+  /// per-token hot paths test a bool instead of probing a set<string>.
+  struct EnabledRules {
+    bool segment_words, passlist_hash;
+    bool strip_bang_comments, strip_free_text, strip_banners;
+    bool dialer_strings, snmp_strings, secrets, name_arguments;
+    bool router_bgp, neighbor_remote_as, neighbor_local_as;
+    bool confed_identifier, confed_peers, aspath_regex, aspath_prepend;
+    bool community_list_literal, community_list_regex;
+    bool set_community, set_extcommunity, asn_audit;
+    bool map_addresses, special_passthrough, map_prefixes;
+    bool address_mask_pairs, address_wildcard_pairs, plain_address_args;
+    bool subnet_preload;
+  };
+
+  /// Re-resolves the cached metric instrument pointers and pushes the
+  /// current hook set into the tracer/provenance members.
+  void ApplyHooks();
+
+  /// Processes one input line end-to-end: comment rules, then the fused
+  /// single-dispatch word pass over the tokens. Appends the anonymized
+  /// rendering to `out_lines` (or nothing, for banner continuation
+  /// lines).
   void AnonymizeLine(const config::ConfigFile& file, std::size_t index,
                      const std::vector<bool>& in_banner,
                      const std::vector<bool>& banner_start,
@@ -203,23 +262,27 @@ class Anonymizer {
                    std::vector<std::string>& out_lines,
                    std::map<std::string, std::uint64_t>& rule_ns);
   /// Records a regexp rewrite's cost into the registry, if installed.
+  /// Memo-served results count toward "asn.rewrite_memo_hits" instead of
+  /// re-adding DFA states / rewrite latency.
   void RecordRewrite(const asn::RewriteResult& result);
 
-  /// Per-line passes (see .cpp for the rule-to-function mapping).
-  /// Returns false when the whole line collapses to a '!' comment.
+  /// Comment rules (C1). Returns false when the whole line collapses to
+  /// a '!' comment.
   bool ApplyCommentRules(const config::ConfigFile& file, std::size_t index,
                          const std::string& line,
                          const std::vector<bool>& in_banner);
-  void ApplyFreeTextRules(config::LineTokens& tokens,
-                          std::vector<bool>& handled);
-  void ApplyAsnLineRules(config::LineTokens& tokens,
-                         std::vector<bool>& handled);
-  void ApplyMiscLineRules(config::LineTokens& tokens,
-                          std::vector<bool>& handled);
-  void ApplyIpLineRules(config::LineTokens& tokens,
-                        std::vector<bool>& handled);
-  void ApplyGenericHashing(config::LineTokens& tokens,
-                           std::vector<bool>& handled);
+  /// The five word passes fused into one dispatch: line-shaped rules
+  /// (free text, ASN locations, misc) run off the shared lowercase view,
+  /// then one loop applies the per-token IP and generic-hashing rules to
+  /// each word in a single traversal.
+  void ApplyWordPasses(LineCtx& ctx);
+  void ApplyFreeTextRules(LineCtx& ctx);
+  void ApplyAsnLineRules(LineCtx& ctx);
+  void ApplyMiscLineRules(LineCtx& ctx);
+  /// Fused per-token pass: IP rules (I1/I2/I3 + I4/I5/I6 context
+  /// accounting) and generic hashing (T1/T2) applied to token i before
+  /// moving to token i+1.
+  void ApplyTokenRules(LineCtx& ctx);
 
   /// Public ASNs accepted by a policy regexp (for the A12 audit record).
   std::vector<std::uint32_t> AcceptedPublicAsns(
@@ -230,19 +293,16 @@ class Anonymizer {
 
   AnonymizerOptions options_;
   passlist::PassList pass_list_;
-  StringHasher hasher_;
-  ipanon::IpAnonymizer ip_;
-  asn::AsnMap asn_map_;
-  asn::Uint16Permutation community_values_;
-  asn::CommunityAnonymizer community_;
-  asn::AsnRegexRewriter aspath_rewriter_;
-  asn::CommunityRegexRewriter community_rewriter_;
+  EnabledRules enabled_;
+  /// Whether state_ was handed in (pipeline worker) rather than owned.
+  bool shared_state_ = false;
+  std::shared_ptr<NetworkState> state_;
   AnonymizationReport report_;
   LeakRecord leak_record_;
-  bool preloaded_ = false;
 
   // Observability state. The histogram/counter pointers are resolved once
-  // in set_metrics so instrumented paths touch only atomics.
+  // in ApplyHooks so instrumented paths touch only atomics.
+  obs::Hooks hooks_;
   obs::Tracer tracer_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::ProvenanceLog* provenance_ = nullptr;
@@ -250,6 +310,7 @@ class Anonymizer {
   obs::LatencyHistogram* file_hist_ = nullptr;
   obs::LatencyHistogram* rewrite_hist_ = nullptr;
   obs::Counter* dfa_states_total_ = nullptr;
+  obs::Counter* rewrite_memo_hits_ = nullptr;
   /// Last report/trie state already pushed to the registry (delta base).
   AnonymizationReport synced_report_;
   ipanon::IpAnonymizer::Stats synced_ip_;

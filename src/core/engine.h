@@ -1,0 +1,59 @@
+// The dialect-agnostic anonymization engine interface.
+//
+// Both core::Anonymizer (IOS) and junos::JunosAnonymizer implement this,
+// so callers — the parallel corpus pipeline, the CLI tool, the benches —
+// can drive a mixed-dialect corpus through one call site and one shared
+// NetworkState without caring which concrete engine handles which file.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "config/document.h"
+#include "core/leak_detector.h"
+#include "core/report.h"
+#include "obs/hooks.h"
+
+namespace confanon::core {
+
+struct NetworkState;
+
+class AnonymizerEngine {
+ public:
+  virtual ~AnonymizerEngine() = default;
+
+  /// Anonymizes all files of one network consistently: corpus-wide
+  /// address preload (rule I7) first, then each file in order.
+  virtual std::vector<config::ConfigFile> AnonymizeNetwork(
+      const std::vector<config::ConfigFile>& files) = 0;
+
+  /// Anonymizes a single file using (and extending) the shared state.
+  /// When no corpus-wide preload has run yet, the engine preloads this
+  /// file's own addresses first so rule I7's subnet-address guarantee
+  /// holds at least file-locally.
+  virtual config::ConfigFile AnonymizeFile(const config::ConfigFile& file) = 0;
+
+  /// Writes the anonymized groupings of declared known entities
+  /// (paper Section 5); a no-op when none were declared.
+  virtual void ExportKnownEntities(std::ostream& out) = 0;
+
+  virtual const AnonymizationReport& report() const = 0;
+  virtual const LeakRecord& leak_record() const = 0;
+
+  /// Installs the observability hooks (metrics registry, trace sink,
+  /// provenance log) in one shot; any member may be null. Replaces the
+  /// previously installed set.
+  virtual void install_hooks(const obs::Hooks& hooks) = 0;
+
+  /// Pushes any unreported report/trie deltas into the installed metrics
+  /// registry. Called automatically at file boundaries; idempotent.
+  virtual void SyncMetrics() = 0;
+
+  /// The network-wide mapping state this engine reads and extends.
+  /// Engines over the same NetworkState produce referentially consistent
+  /// output across files and dialects.
+  virtual const std::shared_ptr<NetworkState>& state() const = 0;
+};
+
+}  // namespace confanon::core

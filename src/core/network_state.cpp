@@ -1,0 +1,14 @@
+#include "core/network_state.h"
+
+namespace confanon::core {
+
+NetworkState::NetworkState(std::string_view salt)
+    : hasher(salt),
+      ip(salt),
+      asn_map(salt),
+      community_values(salt, "community-values"),
+      community(asn_map, community_values),
+      aspath_rewriter(asn_map),
+      community_rewriter(asn_map, community_values) {}
+
+}  // namespace confanon::core

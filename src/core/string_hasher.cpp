@@ -1,34 +1,72 @@
 #include "core/string_hasher.h"
 
+#include <functional>
 #include <stdexcept>
 
 #include "util/sha1.h"
 
 namespace confanon::core {
 
-const std::string& StringHasher::Hash(std::string_view word) {
-  const auto it = memo_.find(std::string(word));
-  if (it != memo_.end()) return it->second;
+std::size_t StringHasher::MemoShardOf(std::string_view word) {
+  return std::hash<std::string_view>{}(word) % kShards;
+}
 
-  std::string token = "h" + util::SaltedHexToken(salt_, word, 10);
-  const auto [rev_it, fresh] = reverse_.emplace(token, std::string(word));
-  if (!fresh && rev_it->second != word) {
-    // Two different identifiers landing on the same token would silently
-    // merge two distinct config objects; refuse loudly instead.
-    throw std::runtime_error("hash token collision between '" +
-                             rev_it->second + "' and '" + std::string(word) +
-                             "'");
+std::size_t StringHasher::ReverseShardOf(std::string_view token) {
+  // token = "h" + hex digits; the first digit spreads uniformly (it is
+  // the digest's top nibble).
+  const char c = token.size() > 1 ? token[1] : '0';
+  return static_cast<std::size_t>(
+             c <= '9' ? c - '0' : 10 + (c - 'a')) %
+         kShards;
+}
+
+const std::string& StringHasher::Hash(std::string_view word) {
+  MemoShard& shard = memo_shards_[MemoShardOf(word)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.memo.find(std::string(word));
+    if (it != shard.memo.end()) return it->second;
   }
+
+  // Miss: compute outside any lock (SHA-1 dominates the cost), then
+  // register the token for collision detection and memoize.
+  std::string token = "h" + util::SaltedHexToken(salt_, word, 10);
+  {
+    ReverseShard& rev = reverse_shards_[ReverseShardOf(token)];
+    std::lock_guard<std::mutex> lock(rev.mutex);
+    const auto [rev_it, fresh] = rev.reverse.emplace(token, std::string(word));
+    if (!fresh && rev_it->second != word) {
+      // Two different identifiers landing on the same token would silently
+      // merge two distinct config objects; refuse loudly instead.
+      throw std::runtime_error("hash token collision between '" +
+                               rev_it->second + "' and '" + std::string(word) +
+                               "'");
+    }
+  }
+  std::lock_guard<std::mutex> lock(shard.mutex);
   const auto [memo_it, inserted] =
-      memo_.emplace(std::string(word), std::move(token));
+      shard.memo.emplace(std::string(word), std::move(token));
+  // A racing thread may have inserted the same word first; emplace then
+  // kept its (identical, deterministic) token.
   return memo_it->second;
+}
+
+std::size_t StringHasher::DistinctCount() const {
+  std::size_t total = 0;
+  for (const MemoShard& shard : memo_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.memo.size();
+  }
+  return total;
 }
 
 std::vector<std::string> StringHasher::Originals() const {
   std::vector<std::string> out;
-  out.reserve(memo_.size());
-  for (const auto& [original, token] : memo_) {
-    out.push_back(original);
+  for (const MemoShard& shard : memo_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [original, token] : shard.memo) {
+      out.push_back(original);
+    }
   }
   return out;
 }

@@ -11,8 +11,19 @@
 // network's identifier population negligible (and detected: a collision
 // between two distinct originals throws, since silently merging two
 // identifiers would corrupt the config's structure).
+//
+// Thread safety: the memo is sharded — originals by their (unsalted)
+// string hash, the token->original collision map by the token's first hex
+// digit — with one mutex per shard, so pipeline workers anonymizing
+// different files of one network can hash concurrently with low
+// contention. The token for a word is a pure function of (salt, word), so
+// the mapping itself is independent of thread interleaving; sharding only
+// protects the memo/collision bookkeeping.
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -26,19 +37,41 @@ class StringHasher {
 
   /// Returns the anonymized replacement for `word`. Deterministic; memoized.
   /// Throws std::runtime_error on a 40-bit digest collision between two
-  /// distinct originals.
+  /// distinct originals. Safe to call from multiple threads; the returned
+  /// reference stays valid for the hasher's lifetime (node-based memo,
+  /// never erased).
   const std::string& Hash(std::string_view word);
 
   /// Number of distinct originals hashed so far.
-  std::size_t DistinctCount() const { return memo_.size(); }
+  std::size_t DistinctCount() const;
 
   /// Every original hashed so far (for the leak detector's grep pass).
   std::vector<std::string> Originals() const;
 
  private:
+  static constexpr std::size_t kShards = 16;
+
+  /// original -> token, sharded by std::hash of the original so the memo
+  /// lookup (the hot path: repeated identifiers) takes only its shard's
+  /// mutex.
+  struct MemoShard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::string> memo;
+  };
+  /// token -> original, sharded by the token's first hex digit. Collision
+  /// detection must be global over tokens, and two colliding originals
+  /// land in the same token shard by construction.
+  struct ReverseShard {
+    std::mutex mutex;
+    std::unordered_map<std::string, std::string> reverse;
+  };
+
+  static std::size_t MemoShardOf(std::string_view word);
+  static std::size_t ReverseShardOf(std::string_view token);
+
   std::string salt_;
-  std::unordered_map<std::string, std::string> memo_;     // original -> token
-  std::unordered_map<std::string, std::string> reverse_;  // token -> original
+  std::array<MemoShard, kShards> memo_shards_;
+  std::array<ReverseShard, kShards> reverse_shards_;
 };
 
 }  // namespace confanon::core

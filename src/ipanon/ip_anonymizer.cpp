@@ -1,6 +1,7 @@
 #include "ipanon/ip_anonymizer.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -79,12 +80,22 @@ std::uint32_t IpAnonymizer::FlipMask(std::uint32_t address,
 }
 
 net::Ipv4Address IpAnonymizer::MapRaw(net::Ipv4Address address) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto cached = raw_cache_.find(address.value());
+    if (cached != raw_cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return net::Ipv4Address(cached->second);
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Re-check: another thread may have mapped it between the locks.
   const auto cached = raw_cache_.find(address.value());
   if (cached != raw_cache_.end()) {
-    ++stats_.cache_hits;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return net::Ipv4Address(cached->second);
   }
-  ++stats_.cache_misses;
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
   const std::uint32_t mapped =
       address.value() ^ FlipMask(address.value(), -1);
   raw_cache_.emplace(address.value(), mapped);
@@ -93,7 +104,7 @@ net::Ipv4Address IpAnonymizer::MapRaw(net::Ipv4Address address) {
 }
 
 net::Ipv4Address IpAnonymizer::Map(net::Ipv4Address address) {
-  last_map_walked_ = false;
+  last_map_walked_.store(false, std::memory_order_relaxed);
   if (net::IsSpecial(address)) {
     return address;
   }
@@ -102,24 +113,39 @@ net::Ipv4Address IpAnonymizer::Map(net::Ipv4Address address) {
     // Cycle-walk: the trie map is a bijection, so iterating it from a
     // non-special input must leave the (finite) special set before the
     // orbit returns to the input.
-    last_map_walked_ = true;
-    ++stats_.collision_walks;
+    last_map_walked_.store(true, std::memory_order_relaxed);
+    collision_walks_.fetch_add(1, std::memory_order_relaxed);
     mapped = MapRaw(mapped);
   }
   return mapped;
+}
+
+std::size_t IpAnonymizer::NodeCount() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return nodes_.size();
+}
+
+IpAnonymizer::Stats IpAnonymizer::stats() const {
+  Stats stats;
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.collision_walks = collision_walks_.load(std::memory_order_relaxed);
+  stats.preloaded = preloaded_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void IpAnonymizer::Preload(std::vector<net::Ipv4Address> addresses) {
   std::sort(addresses.begin(), addresses.end());
   addresses.erase(std::unique(addresses.begin(), addresses.end()),
                   addresses.end());
-  stats_.preloaded += addresses.size();
+  preloaded_.fetch_add(addresses.size(), std::memory_order_relaxed);
   for (net::Ipv4Address address : addresses) {
     Map(address);
   }
 }
 
 void IpAnonymizer::ExportMappings(std::ostream& out) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   // Dump the raw trie pairs (including collision-walk intermediates) so a
   // replaying instance reconstructs identical flip bits.
   for (const auto& [input, output] : mapped_log_) {
@@ -129,6 +155,7 @@ void IpAnonymizer::ExportMappings(std::ostream& out) const {
 }
 
 void IpAnonymizer::ImportMappings(std::istream& in) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   std::string line;
   while (std::getline(in, line)) {
     const std::string_view trimmed = util::Trim(line);

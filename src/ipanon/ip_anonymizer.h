@@ -21,11 +21,20 @@
 //    are preloaded (they are inserted in ascending order, so no zero-tail
 //    node can have been created by an earlier address) and best-effort for
 //    addresses first seen during streaming.
+//
+// Thread safety: lookups of already-mapped addresses take a shared lock on
+// the memo; trie growth (first sight of an address) takes the exclusive
+// lock. After a corpus-wide Preload the file-processing phase is
+// effectively read-only — every Map() hits the memo — which is what makes
+// the parallel corpus pipeline byte-identical to the sequential path: no
+// RNG is consumed in any thread-interleaving-dependent order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,25 +52,30 @@ class IpAnonymizer {
 
   /// Inserts every address (sorted ascending, duplicates ignored) before
   /// any lookup, guaranteeing the subnet-address-preservation property for
-  /// the whole set. Call once, before Map().
+  /// the whole set. Idempotent per address; safe to call per-file for
+  /// streaming use.
   void Preload(std::vector<net::Ipv4Address> addresses);
 
   /// Maps one address: identity for special addresses, the trie bijection
   /// with cycle-walking otherwise. Inserts new trie paths on demand.
+  /// Thread-safe.
   net::Ipv4Address Map(net::Ipv4Address address);
 
   /// The raw trie bijection without the special-address rules; exposed for
-  /// tests and for the collision-walk implementation.
+  /// tests and for the collision-walk implementation. Thread-safe.
   net::Ipv4Address MapRaw(net::Ipv4Address address);
 
   /// True if mapping `address` required at least one collision-resolution
   /// walk step (diagnostics; the experiments report how rare this is).
-  bool LastMapWalked() const { return last_map_walked_; }
+  /// Under concurrent Map() calls the value reflects *some* recent call.
+  bool LastMapWalked() const {
+    return last_map_walked_.load(std::memory_order_relaxed);
+  }
 
   /// Number of trie nodes allocated (memory/DS-size diagnostics).
-  std::size_t NodeCount() const { return nodes_.size(); }
+  std::size_t NodeCount() const;
 
-  /// Instrumentation counters, maintained unconditionally (plain integer
+  /// Instrumentation counters, maintained unconditionally (relaxed atomic
   /// increments on the paths that already pay a hash lookup or trie walk).
   /// The observability layer snapshots these into the metrics registry.
   struct Stats {
@@ -70,7 +84,9 @@ class IpAnonymizer {
     std::uint64_t collision_walks = 0;  // cycle-walk steps taken by Map()
     std::uint64_t preloaded = 0;     // addresses inserted by Preload()
   };
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of the counters (consistent enough for reporting; each
+  /// field is read with relaxed ordering).
+  Stats stats() const;
 
   /// Writes "input output" dotted-quad pairs, one per line, for every
   /// address mapped so far. Another instance can ImportMappings() them to
@@ -92,14 +108,21 @@ class IpAnonymizer {
   /// Walks/extends the trie for `address`, returning the XOR mask of flip
   /// bits. `forced_output`, when non-negative, pins newly created flips so
   /// that address maps to that exact output (used by ImportMappings).
+  /// Caller must hold the exclusive lock.
   std::uint32_t FlipMask(std::uint32_t address, std::int64_t forced_output);
 
   std::int32_t NewNode();
 
+  /// Guards the trie, the raw-mapping memo, and the export log. Reads of
+  /// already-memoized mappings take it shared; trie growth exclusive.
+  mutable std::shared_mutex mutex_;
   std::vector<Node> nodes_;
   util::Rng rng_;
-  Stats stats_;
-  bool last_map_walked_ = false;
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> collision_walks_{0};
+  std::atomic<std::uint64_t> preloaded_{0};
+  std::atomic<bool> last_map_walked_{false};
   /// Raw mapping memo: avoids re-walking the trie for repeated addresses
   /// (configs repeat the same addresses heavily) and deduplicates the
   /// export log.

@@ -49,42 +49,47 @@ passlist::PassList JunosPassList() {
 }
 
 JunosAnonymizer::JunosAnonymizer(JunosAnonymizerOptions options)
+    : JunosAnonymizer(std::move(options), nullptr) {}
+
+JunosAnonymizer::JunosAnonymizer(JunosAnonymizerOptions options,
+                                 std::shared_ptr<core::NetworkState> state)
     : options_(std::move(options)),
       pass_list_(JunosPassList()),
-      hasher_(options_.salt),
-      ip_(options_.salt),
-      asn_map_(options_.salt),
-      community_values_(options_.salt, "community-values"),
-      community_(asn_map_, community_values_),
-      aspath_rewriter_(asn_map_),
-      community_rewriter_(asn_map_, community_values_) {}
+      shared_state_(state != nullptr),
+      state_(shared_state_
+                 ? std::move(state)
+                 : std::make_shared<core::NetworkState>(options_.salt)) {}
+
+void JunosAnonymizer::CollectFileAddresses(const config::ConfigFile& file,
+                                           std::vector<net::Ipv4Address>& out) {
+  for (const std::string& raw : file.lines()) {
+    const JunosLine line = TokenizeJunosLine(raw);
+    for (const Token& token : line.tokens) {
+      if (token.kind != Token::Kind::kWord) continue;
+      const std::string& text = token.text;
+      const std::size_t slash = text.find('/');
+      const auto address = net::Ipv4Address::Parse(
+          slash == std::string::npos ? std::string_view(text)
+                                     : std::string_view(text).substr(0, slash));
+      if (address && !net::IsSpecial(*address)) {
+        out.push_back(*address);
+      }
+    }
+  }
+}
 
 std::vector<config::ConfigFile> JunosAnonymizer::AnonymizeNetwork(
     const std::vector<config::ConfigFile>& files) {
   obs::ScopedTimer network_span(&tracer_, "junos-anonymize-network");
   network_span.AddArg("files", static_cast<std::int64_t>(files.size()));
-  if (!preloaded_) {
+  if (!state_->preloaded.load(std::memory_order_acquire)) {
     obs::ScopedTimer preload_span(&tracer_, "junos-preload");
     std::vector<net::Ipv4Address> addresses;
     for (const config::ConfigFile& file : files) {
-      for (const std::string& raw : file.lines()) {
-        const JunosLine line = TokenizeJunosLine(raw);
-        for (const Token& token : line.tokens) {
-          if (token.kind != Token::Kind::kWord) continue;
-          const std::string& text = token.text;
-          const std::size_t slash = text.find('/');
-          const auto address = net::Ipv4Address::Parse(
-              slash == std::string::npos
-                  ? std::string_view(text)
-                  : std::string_view(text).substr(0, slash));
-          if (address && !net::IsSpecial(*address)) {
-            addresses.push_back(*address);
-          }
-        }
-      }
+      CollectFileAddresses(file, addresses);
     }
-    ip_.Preload(std::move(addresses));
-    preloaded_ = true;
+    state_->ip.Preload(std::move(addresses));
+    state_->preloaded.store(true, std::memory_order_release);
   }
   std::vector<config::ConfigFile> out;
   out.reserve(files.size());
@@ -97,6 +102,16 @@ std::vector<config::ConfigFile> JunosAnonymizer::AnonymizeNetwork(
 
 config::ConfigFile JunosAnonymizer::AnonymizeFile(
     const config::ConfigFile& file) {
+  // Standalone streaming use (no corpus-wide pass ran): preload this
+  // file's own addresses so the subnet-address guarantee holds at least
+  // file-locally. Within AnonymizeNetwork or the pipeline the corpus
+  // preload already ran and this is skipped.
+  if (!state_->preloaded.load(std::memory_order_acquire)) {
+    std::vector<net::Ipv4Address> addresses;
+    CollectFileAddresses(file, addresses);
+    state_->ip.Preload(std::move(addresses));
+  }
+
   std::vector<std::string> out_lines;
   out_lines.reserve(file.lines().size());
   in_block_comment_ = false;
@@ -144,7 +159,7 @@ config::ConfigFile JunosAnonymizer::AnonymizeFile(
 
   std::string out_name = file.name();
   if (!out_name.empty() && !pass_list_.Contains(out_name)) {
-    out_name = hasher_.Hash(out_name);
+    out_name = state_->hasher.Hash(out_name);
   }
   return config::ConfigFile(out_name, std::move(out_lines));
 }
@@ -218,19 +233,48 @@ void JunosAnonymizer::ObserveLine(const std::string& file_name,
   }
 }
 
+void JunosAnonymizer::install_hooks(const obs::Hooks& hooks) {
+  hooks_ = hooks;
+  ApplyHooks();
+}
+
 void JunosAnonymizer::set_metrics(obs::MetricsRegistry* metrics) {
-  metrics_ = metrics;
-  line_hist_ = metrics != nullptr
-                   ? &metrics->HistogramNamed("junos.line_ns")
+  hooks_.metrics = metrics;
+  ApplyHooks();
+}
+
+void JunosAnonymizer::set_trace_sink(obs::TraceSink* sink) {
+  hooks_.trace = sink;
+  ApplyHooks();
+}
+
+void JunosAnonymizer::set_provenance(obs::ProvenanceLog* provenance) {
+  hooks_.provenance = provenance;
+  ApplyHooks();
+}
+
+void JunosAnonymizer::ApplyHooks() {
+  tracer_.set_sink(hooks_.trace);
+  provenance_ = hooks_.provenance;
+  metrics_ = hooks_.metrics;
+  line_hist_ = metrics_ != nullptr
+                   ? &metrics_->HistogramNamed("junos.line_ns")
                    : nullptr;
-  file_hist_ = metrics != nullptr
-                   ? &metrics->HistogramNamed("junos.file_ns")
+  file_hist_ = metrics_ != nullptr
+                   ? &metrics_->HistogramNamed("junos.file_ns")
                    : nullptr;
 }
+
+void JunosAnonymizer::ExportKnownEntities(std::ostream& out) { (void)out; }
 
 void JunosAnonymizer::SyncMetrics() {
   if (metrics_ == nullptr) return;
   core::SyncReportDeltas(report_, synced_report_, *metrics_, "junos.");
+  if (shared_state_) {
+    // The trie belongs to the pipeline's shared NetworkState; per-worker
+    // delta syncs would double count, so the pipeline syncs centrally.
+    return;
+  }
   const auto sync = [&](const char* name, std::uint64_t current,
                         std::uint64_t& base) {
     if (current > base) {
@@ -238,7 +282,7 @@ void JunosAnonymizer::SyncMetrics() {
       base = current;
     }
   };
-  const ipanon::IpAnonymizer::Stats& ip_stats = ip_.stats();
+  const ipanon::IpAnonymizer::Stats ip_stats = state_->ip.stats();
   sync("junos.ipanon.cache_hits", ip_stats.cache_hits, synced_ip_.cache_hits);
   sync("junos.ipanon.cache_misses", ip_stats.cache_misses,
        synced_ip_.cache_misses);
@@ -247,7 +291,7 @@ void JunosAnonymizer::SyncMetrics() {
   sync("junos.ipanon.preloaded_addresses", ip_stats.preloaded,
        synced_ip_.preloaded);
   metrics_->GaugeNamed("junos.ipanon.trie_nodes")
-      .Set(static_cast<std::int64_t>(ip_.NodeCount()));
+      .Set(static_cast<std::int64_t>(state_->ip.NodeCount()));
 }
 
 void JunosAnonymizer::ForceHash(JunosLine& line, std::size_t index,
@@ -259,7 +303,7 @@ void JunosAnonymizer::ForceHash(JunosLine& line, std::size_t index,
   if (!pass_list_.Contains(original)) {
     leak_record_.hashed_words.insert(original);
   }
-  const std::string& hashed = hasher_.Hash(original);
+  const std::string& hashed = state_->hasher.Hash(original);
   token.text = token.kind == Token::Kind::kString ? Quote(hashed) : hashed;
   ++report_.words_hashed;
   report_.CountRule(rule);
@@ -272,7 +316,7 @@ std::string JunosAnonymizer::MapAsnText(std::string_view text) {
     leak_record_.public_asns.insert(std::string(text));
   }
   const std::uint32_t mapped =
-      asn_map_.Map(static_cast<std::uint32_t>(asn));
+      state_->asn_map.Map(static_cast<std::uint32_t>(asn));
   if (mapped != asn) ++report_.asns_mapped;
   return std::to_string(mapped);
 }
@@ -347,7 +391,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
       const std::string pattern = Unquote(word(w + 2));
       try {
         const asn::RewriteResult result =
-            aspath_rewriter_.Rewrite(pattern, options_.regex_form);
+            state_->aspath_rewriter.Rewrite(pattern, options_.regex_form);
         for (std::uint32_t a :
              asn::TokenLanguage::Compile(pattern).Enumerate()) {
           if (asn::IsPublicAsn(a)) {
@@ -388,7 +432,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
           const std::string pattern = Unquote(value.text);
           try {
             const asn::RewriteResult result =
-                community_rewriter_.Rewrite(pattern, options_.regex_form);
+                state_->community_rewriter.Rewrite(pattern, options_.regex_form);
             if (result.changed) {
               value.text = Quote(result.pattern);
               ++report_.community_regexps_rewritten;
@@ -401,7 +445,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
           if (asn::IsPublicAsn(literal->asn)) {
             leak_record_.public_asns.insert(std::to_string(literal->asn));
           }
-          value.text = community_.Map(*literal).ToString();
+          value.text = state_->community.Map(*literal).ToString();
           ++report_.communities_mapped;
           handled[word_at[v]] = true;
           report_.CountRule("J.community-literal");
@@ -431,7 +475,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
         }
         leak_record_.addresses.insert(address->ToString());
         token.text =
-            ip_.Map(*address).ToString() + "/" + std::to_string(length);
+            state_->ip.Map(*address).ToString() + "/" + std::to_string(length);
         handled[i] = true;
         ++report_.addresses_mapped;
         report_.CountRule("J.map-prefixes");
@@ -446,7 +490,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
         continue;
       }
       leak_record_.addresses.insert(address->ToString());
-      token.text = ip_.Map(*address).ToString();
+      token.text = state_->ip.Map(*address).ToString();
       handled[i] = true;
       ++report_.addresses_mapped;
       report_.CountRule("J.map-addresses");
@@ -474,7 +518,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
       continue;
     }
     leak_record_.hashed_words.insert(value);
-    const std::string& hashed = hasher_.Hash(value);
+    const std::string& hashed = state_->hasher.Hash(value);
     tokens[i].text =
         tokens[i].kind == Token::Kind::kString ? Quote(hashed) : hashed;
     ++report_.words_hashed;

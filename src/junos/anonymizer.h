@@ -20,11 +20,15 @@
 //   * addresses appear in CIDR form ("address 1.2.3.4/30;"), mapped by
 //     the shared trie.
 //
-// An Anonymizer instance holds one network's state; for a mixed
-// IOS/JunOS network, construct it with the SAME salt as the IOS
-// anonymizer and the mappings agree (tested).
+// JunosAnonymizer implements core::AnonymizerEngine over a
+// core::NetworkState: construct it with the SAME state (or just the same
+// salt) as an IOS engine and the mappings agree (tested) — which is how
+// the pipeline routes a mixed IOS/JunOS corpus through one consistent
+// mapping.
 #pragma once
 
+#include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -32,11 +36,14 @@
 #include "asn/community.h"
 #include "asn/regex_rewrite.h"
 #include "config/document.h"
+#include "core/engine.h"
 #include "core/leak_detector.h"
+#include "core/network_state.h"
 #include "core/report.h"
 #include "core/string_hasher.h"
 #include "ipanon/ip_anonymizer.h"
 #include "junos/tokenizer.h"
+#include "obs/hooks.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
@@ -53,33 +60,58 @@ struct JunosAnonymizerOptions {
   bool strip_comments = true;
 };
 
-class JunosAnonymizer {
+class JunosAnonymizer : public core::AnonymizerEngine {
  public:
+  /// Standalone engine owning a fresh NetworkState.
   explicit JunosAnonymizer(JunosAnonymizerOptions options);
+  /// Engine over an existing (possibly shared) NetworkState — the mixed-
+  /// dialect / pipeline-worker form; see core::Anonymizer's counterpart.
+  JunosAnonymizer(JunosAnonymizerOptions options,
+                  std::shared_ptr<core::NetworkState> state);
 
   std::vector<config::ConfigFile> AnonymizeNetwork(
-      const std::vector<config::ConfigFile>& files);
-  config::ConfigFile AnonymizeFile(const config::ConfigFile& file);
+      const std::vector<config::ConfigFile>& files) override;
+  /// Anonymizes a single file. When no corpus-wide preload has happened
+  /// yet, this file's own addresses are preloaded first (the file-local
+  /// form of the IOS rule I7 guarantee).
+  config::ConfigFile AnonymizeFile(const config::ConfigFile& file) override;
 
-  const core::AnonymizationReport& report() const { return report_; }
-  const core::LeakRecord& leak_record() const { return leak_record_; }
-  const asn::AsnMap& asn_map() const { return asn_map_; }
-  ipanon::IpAnonymizer& ip_anonymizer() { return ip_; }
-  core::StringHasher& string_hasher() { return hasher_; }
+  /// JunOS options declare no known entities; writes nothing.
+  void ExportKnownEntities(std::ostream& out) override;
+
+  const core::AnonymizationReport& report() const override { return report_; }
+  const core::LeakRecord& leak_record() const override { return leak_record_; }
+  const asn::AsnMap& asn_map() const { return state_->asn_map; }
+  ipanon::IpAnonymizer& ip_anonymizer() { return state_->ip; }
+  core::StringHasher& string_hasher() { return state_->hasher; }
+
+  const std::shared_ptr<core::NetworkState>& state() const override {
+    return state_;
+  }
+
+  /// Collects every non-special IP address literal in `file` under JunOS
+  /// tokenization (for the corpus-wide preload pass).
+  static void CollectFileAddresses(const config::ConfigFile& file,
+                                   std::vector<net::Ipv4Address>& out);
 
   // --- observability (optional, non-owning; see core::Anonymizer) ---
   // Metric names carry a "junos." prefix so a mixed IOS/JunOS run can
   // share one registry without colliding ("junos.report.*",
   // "junos.line_ns"); rule counters keep their globally unique "J." names
   // under "junos.rule.J.*".
+
+  /// Installs all observability hooks in one shot.
+  void install_hooks(const obs::Hooks& hooks) override;
+  /// Deprecated: prefer install_hooks(). Replaces only the metrics member.
   void set_metrics(obs::MetricsRegistry* metrics);
-  void set_trace_sink(obs::TraceSink* sink) { tracer_.set_sink(sink); }
-  void set_provenance(obs::ProvenanceLog* provenance) {
-    provenance_ = provenance;
-  }
-  void SyncMetrics();
+  /// Deprecated: prefer install_hooks(). Replaces only the trace sink.
+  void set_trace_sink(obs::TraceSink* sink);
+  /// Deprecated: prefer install_hooks(). Replaces only the provenance log.
+  void set_provenance(obs::ProvenanceLog* provenance);
+  void SyncMetrics() override;
 
  private:
+  void ApplyHooks();
   void ProcessLine(JunosLine& line);
   /// One raw input line end-to-end: block-comment handling, tokenization,
   /// rule pack, rendering.
@@ -95,18 +127,15 @@ class JunosAnonymizer {
 
   JunosAnonymizerOptions options_;
   passlist::PassList pass_list_;
-  core::StringHasher hasher_;
-  ipanon::IpAnonymizer ip_;
-  asn::AsnMap asn_map_;
-  asn::Uint16Permutation community_values_;
-  asn::CommunityAnonymizer community_;
-  asn::AsnRegexRewriter aspath_rewriter_;
-  asn::CommunityRegexRewriter community_rewriter_;
+  /// Whether state_ was handed in (pipeline worker / mixed-dialect run)
+  /// rather than owned; shared trie counters are then synced centrally.
+  bool shared_state_ = false;
+  std::shared_ptr<core::NetworkState> state_;
   core::AnonymizationReport report_;
   core::LeakRecord leak_record_;
   bool in_block_comment_ = false;
-  bool preloaded_ = false;
 
+  obs::Hooks hooks_;
   obs::Tracer tracer_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::ProvenanceLog* provenance_ = nullptr;

@@ -1,0 +1,37 @@
+// One-stop observability wiring for anonymization engines.
+//
+// The three observability substrates (metrics registry, Chrome-trace
+// sink, provenance log) used to be installed through three separate
+// setters on every engine. Hooks bundles them into a single value that
+// travels through one call (`install_hooks`), so call sites — and the
+// corpus pipeline, which re-installs hooks on every worker engine —
+// configure observability atomically instead of in three steps.
+//
+// All pointers are optional and non-owning; a default-constructed Hooks
+// disables observability entirely. The pointed-to objects must outlive
+// every engine they are installed on.
+#pragma once
+
+namespace confanon::obs {
+
+class MetricsRegistry;
+class TraceSink;
+class ProvenanceLog;
+
+struct Hooks {
+  /// Counters/gauges/latency histograms (see metrics.h). Thread-safe:
+  /// multiple pipeline workers may share one registry.
+  MetricsRegistry* metrics = nullptr;
+  /// Chrome-trace span sink (see trace.h). JsonlTraceSink serializes
+  /// writes internally, so workers may share one sink.
+  TraceSink* trace = nullptr;
+  /// Per-line rule-firing record (see provenance.h). Single-writer: the
+  /// pipeline gives each file its own log and merges in corpus order.
+  ProvenanceLog* provenance = nullptr;
+
+  bool any() const {
+    return metrics != nullptr || trace != nullptr || provenance != nullptr;
+  }
+};
+
+}  // namespace confanon::obs

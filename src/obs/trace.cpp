@@ -12,6 +12,7 @@ JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(out) {
 JsonlTraceSink::~JsonlTraceSink() { Close(); }
 
 void JsonlTraceSink::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (closed_) return;
   closed_ = true;
   out_ << "{}]\n";
@@ -48,6 +49,7 @@ void JsonlTraceSink::Write(const TraceEvent& event) {
     json.EndObject();
   }
   json.EndObject();
+  std::lock_guard<std::mutex> lock(mutex_);
   out_ << json.str() << ",\n";
   ++event_count_;
 }

@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -52,6 +53,10 @@ class TraceSink {
 /// JSON array — chrome://tracing and Perfetto load it directly, while
 /// line-oriented tools can strip the framing and trailing commas and
 /// parse each event independently.
+///
+/// Thread-safe: a mutex serializes writes, so one sink can be shared by
+/// every worker of the parallel pipeline (each event line stays intact;
+/// viewers sort by timestamp anyway).
 class JsonlTraceSink : public TraceSink {
  public:
   explicit JsonlTraceSink(std::ostream& out);
@@ -61,9 +66,13 @@ class JsonlTraceSink : public TraceSink {
   /// Terminates the array framing; idempotent, called by the destructor.
   void Close();
 
-  std::size_t event_count() const { return event_count_; }
+  std::size_t event_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return event_count_;
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::ostream& out_;
   std::size_t event_count_ = 0;
   bool closed_ = false;

@@ -1,0 +1,236 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "core/anonymizer.h"
+#include "obs/provenance.h"
+#include "util/strings.h"
+
+namespace confanon::pipeline {
+
+namespace {
+
+/// One worker's engines: an IOS and a JunOS anonymizer over the shared
+/// NetworkState. Each worker owns its pair so reports, leak records and
+/// per-line observability buffers are single-writer; only the state is
+/// shared (and internally synchronized).
+struct EngineWorker {
+  EngineWorker(const PipelineOptions& options,
+               std::shared_ptr<core::NetworkState> state)
+      : ios(options.base, state),
+        junos(junos::JunosAnonymizerOptions{options.base.salt,
+                                            options.base.regex_form,
+                                            options.base.strip_comments},
+              std::move(state)) {}
+
+  core::AnonymizerEngine& ForDialect(FileDialect dialect) {
+    return dialect == FileDialect::kJunos
+               ? static_cast<core::AnonymizerEngine&>(junos)
+               : static_cast<core::AnonymizerEngine&>(ios);
+  }
+
+  core::Anonymizer ios;
+  junos::JunosAnonymizer junos;
+};
+
+}  // namespace
+
+FileDialect DetectDialect(const config::ConfigFile& file) {
+  for (const std::string& line : file.lines()) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.back() == '{' || trimmed == "}") return FileDialect::kJunos;
+  }
+  return FileDialect::kIos;
+}
+
+CorpusPipeline::CorpusPipeline(PipelineOptions options)
+    : options_(std::move(options)),
+      state_(std::make_shared<core::NetworkState>(options_.base.salt)) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+}
+
+int CorpusPipeline::ResolveThreads(std::size_t file_count) const {
+  int threads = options_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  // More workers than files just idle.
+  threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads),
+                            std::max<std::size_t>(file_count, 1)));
+  return threads;
+}
+
+FileDialect CorpusPipeline::ResolveDialect(
+    const config::ConfigFile& file) const {
+  return options_.dialect == FileDialect::kAuto ? DetectDialect(file)
+                                                : options_.dialect;
+}
+
+void CorpusPipeline::PreloadCorpus(
+    const std::vector<config::ConfigFile>& files,
+    const std::vector<FileDialect>& dialects) {
+  if (state_->preloaded.load(std::memory_order_acquire)) return;
+  const bool i7_enabled =
+      !options_.base.disabled_rules.contains(core::rules::kSubnetPreload);
+
+  // JunOS files always contribute (the JunOS engine preloads
+  // unconditionally — its rule pack has no toggles); IOS files
+  // contribute under rule I7, with the sequential engine's accounting.
+  std::vector<net::Ipv4Address> addresses;
+  std::size_t ios_count = 0;
+  bool any_ios = false;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (dialects[i] == FileDialect::kJunos) {
+      junos::JunosAnonymizer::CollectFileAddresses(files[i], addresses);
+    } else if (i7_enabled) {
+      any_ios = true;
+      const std::size_t before = addresses.size();
+      core::Anonymizer::CollectFileAddresses(files[i], addresses);
+      ios_count += addresses.size() - before;
+    }
+  }
+  if (i7_enabled && any_ios) {
+    report_.CountRule(core::rules::kSubnetPreload, ios_count);
+    if (hooks_.metrics != nullptr) {
+      hooks_.metrics
+          ->CounterNamed(std::string("rule.") + core::rules::kSubnetPreload)
+          .Add(ios_count);
+    }
+  }
+  state_->ip.Preload(std::move(addresses));
+  state_->preloaded.store(true, std::memory_order_release);
+}
+
+std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
+    const std::vector<config::ConfigFile>& files) {
+  std::vector<FileDialect> dialects(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    dialects[i] = ResolveDialect(files[i]);
+  }
+
+  // Phase 1: corpus-wide preload. All RNG consumption happens here;
+  // phase 2 only reads the trie's memo.
+  PreloadCorpus(files, dialects);
+
+  // Per-file provenance buffers, merged in corpus order at join so the
+  // log is independent of which worker processed which file.
+  const bool collect_provenance = hooks_.provenance != nullptr;
+  std::vector<obs::ProvenanceLog> file_provenance(
+      collect_provenance ? files.size() : 0);
+
+  // With rule I7 disabled, IOS addresses enter the trie on demand during
+  // file processing — an order-dependent operation. Fall back to one
+  // worker so the output still matches the sequential engine exactly.
+  const bool i7_enabled =
+      !options_.base.disabled_rules.contains(core::rules::kSubnetPreload);
+  const int threads = i7_enabled ? ResolveThreads(files.size()) : 1;
+  std::vector<config::ConfigFile> out(files.size());
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto run_worker = [&](EngineWorker& worker) {
+    obs::Hooks worker_hooks = hooks_;
+    worker_hooks.provenance = nullptr;
+    worker.ios.install_hooks(worker_hooks);
+    worker.junos.install_hooks(worker_hooks);
+    try {
+      for (;;) {
+        const std::size_t begin =
+            cursor.fetch_add(options_.batch_size, std::memory_order_relaxed);
+        if (begin >= files.size()) break;
+        const std::size_t end =
+            std::min(begin + options_.batch_size, files.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          core::AnonymizerEngine& engine = worker.ForDialect(dialects[i]);
+          if (collect_provenance) {
+            obs::Hooks per_file = worker_hooks;
+            per_file.provenance = &file_provenance[i];
+            engine.install_hooks(per_file);
+          }
+          out[i] = engine.AnonymizeFile(files[i]);
+        }
+      }
+      worker.ios.SyncMetrics();
+      worker.junos.SyncMetrics();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::unique_ptr<EngineWorker>> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.push_back(std::make_unique<EngineWorker>(options_, state_));
+  }
+
+  if (threads <= 1) {
+    run_worker(*workers.front());
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&run_worker, &workers, t] {
+        run_worker(*workers[static_cast<std::size_t>(t)]);
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Deterministic join: merge per-worker reports/leak records (sums and
+  // set unions commute) and concatenate provenance in corpus order.
+  for (const auto& worker : workers) {
+    report_.Merge(worker->ios.report());
+    report_.Merge(worker->junos.report());
+    leak_record_.Merge(worker->ios.leak_record());
+    leak_record_.Merge(worker->junos.leak_record());
+  }
+  if (collect_provenance) {
+    for (const obs::ProvenanceLog& log : file_provenance) {
+      for (const obs::ProvenanceEntry& entry : log.entries()) {
+        hooks_.provenance->Record(entry);
+      }
+    }
+  }
+  SyncSharedMetrics();
+  return out;
+}
+
+void CorpusPipeline::SyncSharedMetrics() {
+  if (hooks_.metrics == nullptr) return;
+  const auto sync = [&](const char* name, std::uint64_t current,
+                        std::uint64_t& base) {
+    if (current > base) {
+      hooks_.metrics->CounterNamed(name).Add(current - base);
+      base = current;
+    }
+  };
+  const ipanon::IpAnonymizer::Stats ip_stats = state_->ip.stats();
+  sync("ipanon.cache_hits", ip_stats.cache_hits, synced_ip_.cache_hits);
+  sync("ipanon.cache_misses", ip_stats.cache_misses, synced_ip_.cache_misses);
+  sync("ipanon.collision_walks", ip_stats.collision_walks,
+       synced_ip_.collision_walks);
+  sync("ipanon.preloaded_addresses", ip_stats.preloaded, synced_ip_.preloaded);
+  hooks_.metrics->GaugeNamed("ipanon.trie_nodes")
+      .Set(static_cast<std::int64_t>(state_->ip.NodeCount()));
+}
+
+void CorpusPipeline::ExportKnownEntities(std::ostream& out) {
+  // A throwaway engine over the shared state renders the groupings; the
+  // mappings live in the state, so any engine emits the same lines.
+  core::Anonymizer exporter(options_.base, state_);
+  exporter.ExportKnownEntities(out);
+}
+
+}  // namespace confanon::pipeline

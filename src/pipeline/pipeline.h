@@ -1,0 +1,121 @@
+// Parallel corpus pipeline over the dialect-agnostic engine API.
+//
+// Anonymizing a network is embarrassingly parallel *after* the corpus-wide
+// address preload: rule I7 inserts every address (sorted) into the IP trie
+// up front, which exhausts all randomness consumption — every subsequent
+// Map() is a memo hit, every word hash is a pure function of (salt, word),
+// and the ASN/community permutations are immutable after seeding. So the
+// pipeline runs in two phases:
+//
+//   1. Preload (sequential): collect every address in the corpus — using
+//      the right tokenizer per file dialect — and preload the shared trie.
+//   2. Files (parallel): a fixed-size worker pool pulls fixed-size batches
+//      of file indices from an atomic cursor. Each worker owns one IOS and
+//      one JunOS engine over the ONE shared core::NetworkState, and routes
+//      each file to the engine matching its dialect.
+//
+// Determinism guarantee: output files land at their input index, and the
+// per-file transformation depends only on the shared (preloaded,
+// interleaving-independent) state — so the corpus output is byte-identical
+// to the sequential path for the same salt, for any thread count. Reports
+// and leak records are merged at join (commutative sums / set unions), and
+// provenance is collected per file and concatenated in corpus order, so
+// those are deterministic too. See docs/PIPELINE.md.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "config/document.h"
+#include "core/anonymizer.h"
+#include "core/engine.h"
+#include "core/leak_detector.h"
+#include "core/network_state.h"
+#include "core/report.h"
+#include "junos/anonymizer.h"
+#include "obs/hooks.h"
+
+namespace confanon::pipeline {
+
+enum class FileDialect {
+  kAuto,   // per-file heuristic (DetectDialect)
+  kIos,    // force core::Anonymizer
+  kJunos,  // force junos::JunosAnonymizer
+};
+
+/// Brace-structure heuristic: JunOS configs open blocks with a trailing
+/// '{' and close them with a bare '}'; IOS configs never do. Returns
+/// kJunos when any line matches, kIos otherwise.
+FileDialect DetectDialect(const config::ConfigFile& file);
+
+struct PipelineOptions {
+  /// Engine options (salt, regexp form, rule toggles, pass-list, known
+  /// entities). JunOS engines take the applicable subset.
+  core::AnonymizerOptions base;
+  /// Worker threads. 0 picks std::thread::hardware_concurrency(); 1 runs
+  /// everything on the calling thread (no pool).
+  int threads = 0;
+  /// Files per work-queue batch. Batching amortizes the cursor
+  /// fetch_add; small batches keep the tail balanced.
+  std::size_t batch_size = 4;
+  /// Dialect routing; kAuto detects per file.
+  FileDialect dialect = FileDialect::kAuto;
+};
+
+/// Anonymizes one network's corpus with a pool of engine workers over a
+/// single shared NetworkState. Construct once per network; AnonymizeCorpus
+/// may be called repeatedly (later calls reuse the established mappings,
+/// like sequential AnonymizeNetwork does).
+class CorpusPipeline {
+ public:
+  explicit CorpusPipeline(PipelineOptions options);
+
+  /// Phase 1 + phase 2 (see file comment). Output file i corresponds to
+  /// input file i. Worker exceptions are rethrown on the calling thread.
+  std::vector<config::ConfigFile> AnonymizeCorpus(
+      const std::vector<config::ConfigFile>& files);
+
+  /// Merged view across the preload phase and every worker engine.
+  const core::AnonymizationReport& report() const { return report_; }
+  const core::LeakRecord& leak_record() const { return leak_record_; }
+
+  /// Observability for the whole pipeline: the registry and trace sink
+  /// are shared by all workers (both are thread-safe); provenance is
+  /// captured per file and appended to hooks.provenance in corpus order
+  /// at join, so the log is deterministic.
+  void install_hooks(const obs::Hooks& hooks) { hooks_ = hooks; }
+
+  /// The shared per-network state (for mapping export/import and tests).
+  const std::shared_ptr<core::NetworkState>& state() const { return state_; }
+  ipanon::IpAnonymizer& ip_anonymizer() { return state_->ip; }
+  core::StringHasher& string_hasher() { return state_->hasher; }
+
+  /// Section 5 known-entity export over the shared mappings.
+  void ExportKnownEntities(std::ostream& out);
+
+ private:
+  /// Effective thread count for a corpus of `file_count` files.
+  int ResolveThreads(std::size_t file_count) const;
+  FileDialect ResolveDialect(const config::ConfigFile& file) const;
+
+  /// Corpus-wide rule I7: collect every file's addresses with the
+  /// dialect-appropriate tokenizer and preload the shared trie.
+  void PreloadCorpus(const std::vector<config::ConfigFile>& files,
+                     const std::vector<FileDialect>& dialects);
+
+  /// Pushes shared-trie counter deltas and the trie-size gauge into the
+  /// metrics registry (the workers deliberately skip these — syncing
+  /// shared counters per worker would double count).
+  void SyncSharedMetrics();
+
+  PipelineOptions options_;
+  std::shared_ptr<core::NetworkState> state_;
+  core::AnonymizationReport report_;
+  core::LeakRecord leak_record_;
+  obs::Hooks hooks_;
+  ipanon::IpAnonymizer::Stats synced_ip_;
+};
+
+}  // namespace confanon::pipeline

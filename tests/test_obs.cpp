@@ -15,6 +15,7 @@
 #include "core/anonymizer.h"
 #include "core/leak_detector.h"
 #include "junos/anonymizer.h"
+#include "obs/hooks.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
@@ -295,9 +296,7 @@ TEST(ObservedAnonymizer, MetricsMatchReportAndTraceNests) {
   core::AnonymizerOptions options;
   options.salt = "obs-test";
   core::Anonymizer anonymizer(std::move(options));
-  anonymizer.set_metrics(&registry);
-  anonymizer.set_trace_sink(&sink);
-  anonymizer.set_provenance(&provenance);
+  anonymizer.install_hooks(obs::Hooks{&registry, &sink, &provenance});
   const auto post = anonymizer.AnonymizeNetwork(
       {config::ConfigFile::FromText("edge.cfg", kConfig)});
   ASSERT_EQ(post.size(), 1u);
@@ -365,8 +364,8 @@ TEST(ObservedAnonymizer, JunosMetricsUsePrefix) {
   junos::JunosAnonymizerOptions options;
   options.salt = "obs-test";
   junos::JunosAnonymizer anonymizer(std::move(options));
-  anonymizer.set_metrics(&registry);
-  anonymizer.set_provenance(&provenance);
+  anonymizer.install_hooks(obs::Hooks{.metrics = &registry,
+                                      .provenance = &provenance});
   anonymizer.AnonymizeNetwork({config::ConfigFile::FromText(
       "r0.conf",
       "/* core router */\n"
@@ -389,6 +388,32 @@ TEST(ObservedAnonymizer, JunosMetricsUsePrefix) {
   for (const auto& entry : provenance.entries()) {
     EXPECT_EQ(entry.rule.substr(0, 2), "J.") << entry.rule;
   }
+}
+
+TEST(ObservedAnonymizer, DeprecatedSettersForwardToHooks) {
+  // The pre-Hooks setters must keep working: each one replaces exactly
+  // its own member and leaves the others installed.
+  obs::MetricsRegistry registry;
+  obs::ProvenanceLog provenance;
+  std::ostringstream trace_stream;
+  obs::JsonlTraceSink sink(trace_stream);
+
+  core::AnonymizerOptions options;
+  options.salt = "obs-test";
+  core::Anonymizer anonymizer(std::move(options));
+  anonymizer.set_metrics(&registry);
+  anonymizer.set_trace_sink(&sink);
+  anonymizer.set_provenance(&provenance);
+  const auto post = anonymizer.AnonymizeNetwork(
+      {config::ConfigFile::FromText("edge.cfg", kConfig)});
+  ASSERT_EQ(post.size(), 1u);
+  sink.Close();
+
+  const obs::RunMetrics metrics = registry.Snapshot();
+  EXPECT_EQ(metrics.counters.at("report.total_lines"),
+            anonymizer.report().total_lines);
+  EXPECT_GT(sink.event_count(), 0u);
+  EXPECT_FALSE(provenance.empty());
 }
 
 TEST(ObservedAnonymizer, LeakScanRecordsMetrics) {
