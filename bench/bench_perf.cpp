@@ -26,9 +26,11 @@
 #include "junos/writer.h"
 #include "ipanon/cryptopan.h"
 #include "ipanon/ip_anonymizer.h"
+#include "config/tokenizer.h"
 #include "obs/hooks.h"
 #include "pipeline/pipeline.h"
 #include "util/aho_corasick.h"
+#include "util/charscan.h"
 #include "util/rng.h"
 #include "util/sha1.h"
 
@@ -149,6 +151,48 @@ void BM_RewriteMemoHit(benchmark::State& state) {
       static_cast<double>(rewriter.memo().hits());
 }
 BENCHMARK(BM_RewriteMemoHit);
+
+void BM_TokenizeLine(benchmark::State& state) {
+  // The tokenizer hot path over representative IOS lines, using the
+  // buffer-reusing *Into form the engines use (zero allocations once
+  // the vectors reach capacity).
+  const std::vector<std::string> lines = {
+      " ip address 203.0.113.77 255.255.255.0",
+      " neighbor 198.51.100.9 route-map UUNET-import in",
+      "interface GigabitEthernet0/0/1.503",
+      "  description\t\tcore uplink  (  do not touch  )",
+      "snmp-server community s3cr3t RO 99",
+  };
+  std::size_t bytes = 0;
+  for (const auto& line : lines) bytes += line.size();
+  config::LineTokens tokens;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    config::TokenizeLineInto(lines[i++ % lines.size()], tokens);
+    benchmark::DoNotOptimize(tokens.words.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes / lines.size()));
+  state.SetLabel(util::CharScanImplName());
+}
+BENCHMARK(BM_TokenizeLine);
+
+void BM_SegmentWord(benchmark::State& state) {
+  // Rule T1 segmentation of the identifiers the pass-list check sees.
+  const std::vector<std::string> words = {
+      "ethernet0/0", "GigabitEthernet0/0/1.503", "UUNET-import",
+      "h38c2cc71c4", "255.255.255.0",
+  };
+  std::vector<config::Segment> segments;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    config::SegmentWordInto(words[i++ % words.size()], segments);
+    benchmark::DoNotOptimize(segments.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(util::CharScanImplName());
+}
+BENCHMARK(BM_SegmentWord);
 
 std::vector<config::ConfigFile> BenchCorpus(int routers) {
   gen::GeneratorParams params;

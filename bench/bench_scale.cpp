@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
 
   std::printf("== SCALE: dataset-scale anonymization (Sections 1, 6.1) ==\n");
   std::printf("scale %.2f: targeting %d routers across %d networks "
-              "(%d pipeline worker%s per network)\n\n",
+              "(%d worker thread%s shared across networks)\n\n",
               scale, total_routers, network_count, threads,
               threads == 1 ? "" : "s");
 
@@ -56,30 +56,34 @@ int main(int argc, char** argv) {
   core::AnonymizationReport merged_report;
 
   const auto t1 = std::chrono::steady_clock::now();
+  // All networks run concurrently through AnonymizeNetworkSet: one
+  // pipeline (one shared mapping) per network, `threads` worker threads
+  // shared across the whole set. threads=1 is the sequential baseline
+  // (byte-identical by the per-network determinism guarantee).
+  std::vector<pipeline::NetworkTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(network_count));
   for (int i = 0; i < network_count; ++i) {
     const auto& network = corpus[static_cast<std::size_t>(i)];
     for (const auto& router : network.routers) {
       versions.insert(config::MakeDialect(router.dialect).version_string);
     }
-    const auto pre = gen::WriteNetworkConfigs(network);
-    routers += pre.size();
-    for (const auto& file : pre) lines += file.LineCount();
-
-    // Each network runs through the corpus pipeline: one shared mapping
-    // per network, `threads` workers over its files. threads=1 is the
-    // sequential baseline (byte-identical by the determinism guarantee).
-    pipeline::PipelineOptions popts;
-    popts.base.salt = "scale-" + std::to_string(i);
-    popts.threads = threads;
-    pipeline::CorpusPipeline pipe(std::move(popts));
-    pipe.install_hooks(obs::Hooks{.metrics = &registry});
-    const auto post = pipe.AnonymizeCorpus(pre);
-    merged_report.Merge(pipe.report());
-    words_hashed += pipe.report().words_hashed;
-    asns_mapped += pipe.report().asns_mapped;
-    addresses_mapped += pipe.report().addresses_mapped;
+    pipeline::NetworkTask task;
+    task.options.base.salt = "scale-" + std::to_string(i);
+    task.files = gen::WriteNetworkConfigs(network);
+    routers += task.files.size();
+    for (const auto& file : task.files) lines += file.LineCount();
+    tasks.push_back(std::move(task));
+  }
+  const auto results = pipeline::AnonymizeNetworkSet(
+      tasks, {.threads = threads, .metrics = &registry});
+  for (const auto& result : results) {
+    merged_report.Merge(result.report);
+    words_hashed += result.report.words_hashed;
+    asns_mapped += result.report.asns_mapped;
+    addresses_mapped += result.report.addresses_mapped;
     for (const auto& finding :
-         core::LeakDetector::Scan(post, pipe.leak_record(), &registry)) {
+         core::LeakDetector::Scan(result.files, result.leak_record,
+                                  &registry)) {
       if (finding.kind == core::LeakFinding::Kind::kHashedWord) {
         ++textual_leaks;
       }

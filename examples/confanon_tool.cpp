@@ -24,10 +24,18 @@
 //   --entities FILE      known-entity declarations (paper Section 5), one
 //                        per line: "label | asn asn ... | prefix prefix ..."
 //   --entities-out FILE  write the anonymized entity groupings
+//   --network-dir ROOT   multi-network mode: each immediate subdirectory
+//                        of ROOT is one network (own salt "SECRET:name",
+//                        own mapping); networks are anonymized
+//                        concurrently over the shared --threads budget
 //
 // All files given in one invocation are treated as one network: they share
 // the hash memo, IP trie and ASN permutation, so cross-file references
-// stay consistent — including across dialects in a mixed corpus.
+// stay consistent — including across dialects in a mixed corpus. With
+// --network-dir, each subdirectory is instead its own network with its own
+// mapping, and the set is processed in parallel (byte-identical output for
+// any --threads value).
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -47,7 +55,23 @@ void Usage() {
                "[--minimized-regexps] [--keep-comments]\n"
                "                     [--export-map FILE] [--import-map FILE] "
                "[--report] [--check-leaks] [--junos] [--ios]\n"
-               "                     config1 [config2 ...]\n";
+               "                     config1 [config2 ...]\n"
+               "       confanon_tool --salt SECRET --network-dir ROOT "
+               "[--out DIR] [--threads N] [options]\n";
+}
+
+/// Reads one file into a ConfigFile named after its basename; exits the
+/// process with a diagnostic when unreadable.
+confanon::config::ConfigFile ReadConfig(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return confanon::config::ConfigFile::FromText(path.filename().string(),
+                                                buffer.str());
 }
 
 }  // namespace
@@ -61,6 +85,7 @@ int main(int argc, char** argv) {
   std::string out_dir;
   std::string export_map, import_map;
   std::string entities_in, entities_out;
+  std::string network_dir;
   bool report = false, check_leaks = false;
   std::vector<std::string> inputs;
 
@@ -99,6 +124,8 @@ int main(int argc, char** argv) {
       entities_in = next();
     } else if (arg == "--entities-out") {
       entities_out = next();
+    } else if (arg == "--network-dir") {
+      network_dir = next();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -110,22 +137,99 @@ int main(int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
-  if (options.base.salt.empty() || inputs.empty()) {
+  if (options.base.salt.empty() ||
+      (inputs.empty() == network_dir.empty())) {
     Usage();
     return 2;
   }
 
-  std::vector<config::ConfigFile> files;
-  for (const std::string& path : inputs) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "cannot read " << path << "\n";
+  // --- multi-network mode: one network per subdirectory of ROOT ---
+  if (!network_dir.empty()) {
+    if (!export_map.empty() || !import_map.empty() || !entities_in.empty() ||
+        !entities_out.empty()) {
+      std::cerr << "--network-dir is incompatible with map/entity options "
+                   "(mappings are per network)\n";
+      return 2;
+    }
+    std::vector<std::string> names;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(network_dir)) {
+      if (entry.is_directory()) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(names.begin(), names.end());
+    if (names.empty()) {
+      std::cerr << "no network subdirectories under " << network_dir << "\n";
       return 1;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    files.push_back(config::ConfigFile::FromText(
-        std::filesystem::path(path).filename().string(), buffer.str()));
+    std::vector<pipeline::NetworkTask> tasks;
+    tasks.reserve(names.size());
+    for (const std::string& name : names) {
+      pipeline::NetworkTask task;
+      task.options = options;
+      task.options.threads = 0;  // share the set's budget
+      task.options.base.salt = options.base.salt + ":" + name;
+      std::vector<std::filesystem::path> paths;
+      for (const auto& entry : std::filesystem::directory_iterator(
+               std::filesystem::path(network_dir) / name)) {
+        if (entry.is_regular_file()) paths.push_back(entry.path());
+      }
+      std::sort(paths.begin(), paths.end());
+      for (const auto& path : paths) task.files.push_back(ReadConfig(path));
+      tasks.push_back(std::move(task));
+    }
+    const auto results = pipeline::AnonymizeNetworkSet(
+        tasks, {.threads = options.threads});
+
+    core::AnonymizationReport merged_report;
+    std::size_t leak_findings = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (out_dir.empty()) {
+        for (const auto& file : results[i].files) {
+          std::cout << "! ===== " << names[i] << "/" << file.name()
+                    << " =====\n"
+                    << file.ToText();
+        }
+      } else {
+        const auto dir = std::filesystem::path(out_dir) / names[i];
+        std::filesystem::create_directories(dir);
+        for (const auto& file : results[i].files) {
+          const auto path = dir / (file.name() + ".cfg");
+          std::ofstream out(path);
+          out << file.ToText();
+          if (!out) {
+            std::cerr << "cannot write " << path << "\n";
+            return 1;
+          }
+        }
+      }
+      merged_report.Merge(results[i].report);
+      if (check_leaks) {
+        for (const auto& finding : core::LeakDetector::Scan(
+                 results[i].files, results[i].leak_record)) {
+          ++leak_findings;
+          std::cerr << "  " << names[i] << "/" << finding.file << ":"
+                    << finding.line_number + 1 << " [" << finding.matched
+                    << "] " << finding.line << "\n";
+        }
+      }
+    }
+    if (!out_dir.empty()) {
+      std::cerr << "wrote " << results.size() << " networks to " << out_dir
+                << "\n";
+    }
+    if (report) std::cerr << merged_report.ToString();
+    if (check_leaks) {
+      std::cerr << "leak findings: " << leak_findings << "\n";
+      return leak_findings == 0 ? 0 : 3;
+    }
+    return 0;
+  }
+
+  std::vector<config::ConfigFile> files;
+  for (const std::string& path : inputs) {
+    files.push_back(ReadConfig(path));
   }
 
   // Known-entity declarations: "label | asn asn | prefix prefix".

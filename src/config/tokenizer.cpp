@@ -1,63 +1,74 @@
 #include "config/tokenizer.h"
 
+#include "util/charscan.h"
 #include "util/strings.h"
 
 namespace confanon::config {
 
-std::vector<Segment> SegmentWord(std::string_view word) {
-  std::vector<Segment> segments;
+void SegmentWordInto(std::string_view word, std::vector<Segment>& out) {
+  out.clear();
   std::size_t i = 0;
   while (i < word.size()) {
     const bool alpha = util::IsAsciiAlpha(word[i]);
-    const std::size_t start = i;
-    while (i < word.size() && util::IsAsciiAlpha(word[i]) == alpha) ++i;
-    segments.push_back(Segment{alpha, word.substr(start, i - start)});
+    const std::size_t end = util::FindAlphaBoundary(word, i + 1, alpha);
+    out.push_back(Segment{alpha, word.substr(i, end - i)});
+    i = end;
   }
+}
+
+std::vector<Segment> SegmentWord(std::string_view word) {
+  std::vector<Segment> segments;
+  SegmentWordInto(word, segments);
   return segments;
 }
 
 bool IsNonAlphabetic(std::string_view word) {
-  for (char c : word) {
-    if (util::IsAsciiAlpha(c)) return false;
-  }
-  return true;
+  return util::FindAlphaBoundary(word, 0, false) == word.size();
 }
 
 std::string LineTokens::Render() const {
+  std::size_t total = 0;
+  for (const std::string_view gap : gaps) total += gap.size();
+  for (const std::string_view word : words) total += word.size();
   std::string out;
+  out.reserve(total);
   for (std::size_t i = 0; i < words.size(); ++i) {
-    out += gaps[i];
-    out += words[i];
+    out.append(gaps[i]);
+    out.append(words[i]);
   }
-  out += gaps.back();
+  out.append(gaps.back());
   return out;
+}
+
+void TokenizeLineInto(std::string_view line, LineTokens& out) {
+  out.gaps.clear();
+  out.words.clear();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t word_start = util::FindNonBlank(line, i);
+    out.gaps.push_back(line.substr(i, word_start - i));
+    if (word_start == line.size()) break;
+    const std::size_t word_end = util::FindBlank(line, word_start + 1);
+    out.words.push_back(line.substr(word_start, word_end - word_start));
+    i = word_end;
+    if (i == line.size()) {
+      out.gaps.emplace_back();
+      break;
+    }
+  }
 }
 
 LineTokens TokenizeLine(std::string_view line) {
   LineTokens tokens;
-  std::size_t i = 0;
-  while (true) {
-    const std::size_t gap_start = i;
-    while (i < line.size() && util::IsBlank(line[i])) ++i;
-    tokens.gaps.emplace_back(line.substr(gap_start, i - gap_start));
-    if (i == line.size()) break;
-    const std::size_t word_start = i;
-    while (i < line.size() && !util::IsBlank(line[i])) ++i;
-    tokens.words.emplace_back(line.substr(word_start, i - word_start));
-    if (i == line.size()) {
-      tokens.gaps.emplace_back();
-      break;
-    }
-  }
+  TokenizeLineInto(line, tokens);
   return tokens;
 }
 
 SplitLine SplitConfigLine(std::string_view line) {
   SplitLine result;
-  std::size_t i = 0;
-  while (i < line.size() && util::IsBlank(line[i])) ++i;
-  result.indent = static_cast<int>(i);
-  result.words = util::SplitWords(line.substr(i));
+  const std::size_t start = util::FindNonBlank(line, 0);
+  result.indent = static_cast<int>(start);
+  result.words = util::SplitWords(line.substr(start));
   return result;
 }
 

@@ -11,8 +11,16 @@
 // segment is unknown (a partial hash would still leak the unknown part's
 // surroundings, and whole-word hashing keeps referential integrity at the
 // identifier granularity configs actually use).
+//
+// Tokenization is zero-copy: every token is a std::string_view slice of
+// the input line (boundaries found with the SWAR/SIMD scanners of
+// util/charscan.h), so the tokenize step allocates nothing beyond the
+// index vectors — and those are reused across lines via the *Into forms.
+// A caller that rewrites a word repoints its view at replacement bytes it
+// keeps alive itself (the engines use a per-file util::Arena).
 #pragma once
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -28,8 +36,11 @@ struct Segment {
 };
 
 /// Splits one whitespace-delimited word into alternating alpha / non-alpha
-/// segments. The concatenation of all segment texts equals the input.
+/// segments. The concatenation of all segment texts equals the input; the
+/// segment views alias the input word's bytes.
 std::vector<Segment> SegmentWord(std::string_view word);
+/// Buffer-reusing form: clears and fills `out`.
+void SegmentWordInto(std::string_view word, std::vector<Segment>& out);
 
 /// True if the word consists only of non-alphabetic characters (so the
 /// pass-list is irrelevant to it).
@@ -48,14 +59,21 @@ SplitLine SplitConfigLine(std::string_view line);
 /// normalizing spacing ("even space is not consistently a separator"
 /// across IOS versions — the rest of the line must survive untouched).
 ///
+/// All views alias the tokenized line (or whatever buffer a caller
+/// repointed a word at); the line must outlive the tokens.
+///
 /// Invariant: gaps.size() == words.size() + 1 and
 /// Render() == gaps[0] + words[0] + gaps[1] + ... + words[n-1] + gaps[n].
 struct LineTokens {
-  std::vector<std::string> gaps;
-  std::vector<std::string> words;
+  std::vector<std::string_view> gaps;
+  std::vector<std::string_view> words;
 
+  /// Renders into a string reserved to the exact output length.
   std::string Render() const;
 };
 LineTokens TokenizeLine(std::string_view line);
+/// Buffer-reusing form: clears and refills `out` (keeps capacity), so a
+/// per-file loop tokenizes with zero allocations after the first lines.
+void TokenizeLineInto(std::string_view line, LineTokens& out);
 
 }  // namespace confanon::config

@@ -28,17 +28,18 @@ std::string JoinTail(const LineTokens& tokens, std::size_t from) {
 }
 
 /// Replaces words[from..] with a single word, keeping the trailing gap.
+/// `replacement` must be stable (arena- or memo-backed).
 void ReplaceTail(LineTokens& tokens, std::size_t from,
-                 const std::string& replacement) {
+                 std::string_view replacement) {
   tokens.words.resize(from);
   tokens.words.push_back(replacement);
-  std::string trailing = tokens.gaps.back();
+  const std::string_view trailing = tokens.gaps.back();
   tokens.gaps.resize(from + 1);
-  tokens.gaps.push_back(std::move(trailing));
+  tokens.gaps.push_back(trailing);
 }
 
 /// Well-known community keywords that may appear where literals do.
-bool IsCommunityKeyword(const std::string& lower_word) {
+bool IsCommunityKeyword(std::string_view lower_word) {
   return lower_word == "additive" || lower_word == "none" ||
          lower_word == "internet" || lower_word == "no-export" ||
          lower_word == "no-advertise" || lower_word == "local-as" ||
@@ -61,18 +62,15 @@ std::string PseudoDigits(std::string_view salt, std::string_view original) {
   return out;
 }
 
-std::vector<std::string> LowerWords(const std::vector<std::string>& words) {
-  std::vector<std::string> lower;
-  lower.reserve(words.size());
-  for (const auto& w : words) lower.push_back(util::ToLower(w));
-  return lower;
-}
-
 }  // namespace
 
-void Anonymizer::LineCtx::SetWord(std::size_t i, std::string value) {
-  lower[i] = util::ToLower(value);
-  tokens.words[i] = std::move(value);
+void Anonymizer::LineCtx::SetWordRef(std::size_t i, std::string_view stable) {
+  tokens.words[i] = stable;
+  lower[i] = util::ToLowerArena(stable, *arena);
+}
+
+void Anonymizer::LineCtx::SetWord(std::size_t i, std::string_view value) {
+  SetWordRef(i, arena->Store(value));
 }
 
 void Anonymizer::LineCtx::TruncateWords(std::size_t from) {
@@ -83,10 +81,10 @@ void Anonymizer::LineCtx::TruncateWords(std::size_t from) {
 }
 
 void Anonymizer::LineCtx::ReplaceTailWith(std::size_t from,
-                                          const std::string& replacement) {
-  ReplaceTail(tokens, from, replacement);
+                                          std::string_view replacement) {
+  ReplaceTail(tokens, from, arena->Store(replacement));
   lower.resize(from);
-  lower.push_back(util::ToLower(replacement));
+  lower.push_back(util::ToLowerArena(tokens.words[from], *arena));
   handled.assign(tokens.words.size(), false);
   handled[from] = true;
 }
@@ -221,6 +219,9 @@ config::ConfigFile Anonymizer::AnonymizeFile(const config::ConfigFile& file) {
       AnonymizeLine(file, index, in_banner, banner_start, out_lines);
     }
   }
+  // Every line has been rendered into an owned output string; no
+  // arena-backed view survives past this point.
+  arena_.Reset();
 
   if (observing) {
     const std::int64_t file_ns =
@@ -266,8 +267,18 @@ void Anonymizer::AnonymizeLine(const config::ConfigFile& file,
                                std::vector<std::string>& out_lines) {
   const std::string& raw = file.lines()[index];
   ++report_.total_lines;
-  LineCtx ctx;
-  ctx.tokens = config::TokenizeLine(raw);
+  LineCtx& ctx = line_ctx_;
+  ctx.arena = &arena_;
+  if (tokenize_hist_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    config::TokenizeLineInto(raw, ctx.tokens);
+    tokenize_hist_->Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  } else {
+    config::TokenizeLineInto(raw, ctx.tokens);
+  }
   report_.total_words += ctx.tokens.words.size();
 
   if (in_banner[index]) {
@@ -290,7 +301,10 @@ void Anonymizer::AnonymizeLine(const config::ConfigFile& file,
     return;
   }
 
-  ctx.lower = LowerWords(ctx.tokens.words);
+  ctx.lower.clear();
+  for (const std::string_view word : ctx.tokens.words) {
+    ctx.lower.push_back(util::ToLowerArena(word, arena_));
+  }
   ctx.handled.assign(ctx.tokens.words.size(), false);
   ApplyWordPasses(ctx);
   out_lines.push_back(ctx.tokens.Render());
@@ -356,21 +370,6 @@ void Anonymizer::install_hooks(const obs::Hooks& hooks) {
   ApplyHooks();
 }
 
-void Anonymizer::set_metrics(obs::MetricsRegistry* metrics) {
-  hooks_.metrics = metrics;
-  ApplyHooks();
-}
-
-void Anonymizer::set_trace_sink(obs::TraceSink* sink) {
-  hooks_.trace = sink;
-  ApplyHooks();
-}
-
-void Anonymizer::set_provenance(obs::ProvenanceLog* provenance) {
-  hooks_.provenance = provenance;
-  ApplyHooks();
-}
-
 void Anonymizer::ApplyHooks() {
   tracer_.set_sink(hooks_.trace);
   provenance_ = hooks_.provenance;
@@ -382,6 +381,9 @@ void Anonymizer::ApplyHooks() {
                                    : nullptr;
   file_hist_ = metrics_ != nullptr ? &metrics_->HistogramNamed("core.file_ns")
                                    : nullptr;
+  tokenize_hist_ = metrics_ != nullptr
+                       ? &metrics_->HistogramNamed("core.tokenize_ns")
+                       : nullptr;
   rewrite_hist_ = metrics_ != nullptr
                       ? &metrics_->HistogramNamed("asn.rewrite_ns")
                       : nullptr;
@@ -409,12 +411,6 @@ void Anonymizer::RecordRewrite(const asn::RewriteResult& result) {
 void Anonymizer::SyncMetrics() {
   if (metrics_ == nullptr) return;
   SyncReportDeltas(report_, synced_report_, *metrics_, "");
-  if (shared_state_) {
-    // The trie/hasher belong to the pipeline's shared NetworkState;
-    // per-worker delta syncs would double count, so the pipeline syncs
-    // those centrally at join.
-    return;
-  }
   const auto sync = [&](const char* name, std::uint64_t current,
                         std::uint64_t& base) {
     if (current > base) {
@@ -422,6 +418,16 @@ void Anonymizer::SyncMetrics() {
       base = current;
     }
   };
+  // The arena is engine-local (one per worker), so its counters sync
+  // here even under a shared NetworkState.
+  sync("arena.bytes", arena_.bytes_allocated(), synced_arena_bytes_);
+  sync("arena.resets", arena_.resets(), synced_arena_resets_);
+  if (shared_state_) {
+    // The trie/hasher belong to the pipeline's shared NetworkState;
+    // per-worker delta syncs would double count, so the pipeline syncs
+    // those centrally at join.
+    return;
+  }
   const ipanon::IpAnonymizer::Stats ip_stats = state_->ip.stats();
   sync("ipanon.cache_hits", ip_stats.cache_hits, synced_ip_.cache_hits);
   sync("ipanon.cache_misses", ip_stats.cache_misses, synced_ip_.cache_misses);
@@ -456,7 +462,7 @@ bool Anonymizer::ApplyCommentRules(const config::ConfigFile& file,
 void Anonymizer::ApplyFreeTextRules(LineCtx& ctx) {
   if (!options_.strip_comments || !enabled_.strip_free_text) return;
   if (ctx.tokens.words.empty()) return;
-  const std::vector<std::string>& lower = ctx.lower;
+  const std::vector<std::string_view>& lower = ctx.lower;
 
   // Rule C2: free-text payloads. `description ...` carries arbitrary prose
   // ("Foo Corp's LAX Main St offices"); `remark` inside ACLs likewise. The
@@ -508,7 +514,7 @@ void Anonymizer::RecordAsn(std::uint32_t asn) {
 void Anonymizer::ApplyAsnLineRules(LineCtx& ctx) {
   auto& words = ctx.tokens.words;
   if (words.empty()) return;
-  const std::vector<std::string>& lower = ctx.lower;
+  const std::vector<std::string_view>& lower = ctx.lower;
   auto& handled = ctx.handled;
   const auto mark = [&](std::size_t i) { handled[i] = true; };
 
@@ -743,15 +749,16 @@ std::vector<std::uint32_t> Anonymizer::AcceptedPublicAsns(
 void Anonymizer::ApplyMiscLineRules(LineCtx& ctx) {
   auto& words = ctx.tokens.words;
   if (words.empty()) return;
-  const std::vector<std::string>& lower = ctx.lower;
+  const std::vector<std::string_view>& lower = ctx.lower;
   auto& handled = ctx.handled;
 
   const auto force_hash = [&](std::size_t i, const char* rule) {
     if (i >= words.size() || handled[i]) return;
     if (!pass_list_.Contains(words[i])) {
-      leak_record_.hashed_words.insert(words[i]);
+      leak_record_.hashed_words.insert(std::string(words[i]));
     }
-    ctx.SetWord(i, state_->hasher.Hash(words[i]));
+    // Hash() returns a stable ref into the hasher's memo.
+    ctx.SetWordRef(i, state_->hasher.Hash(words[i]));
     handled[i] = true;
     ++report_.words_hashed;
     report_.CountRule(rule);
@@ -761,7 +768,7 @@ void Anonymizer::ApplyMiscLineRules(LineCtx& ctx) {
   if (enabled_.dialer_strings && words.size() >= 3 && lower[0] == "dialer" &&
       (lower[1] == "string" || lower[1] == "called" ||
        lower[1] == "caller")) {
-    leak_record_.hashed_words.insert(words[2]);
+    leak_record_.hashed_words.insert(std::string(words[2]));
     ctx.SetWord(2, PseudoDigits(options_.salt, words[2]));
     handled[2] = true;
     report_.CountRule(rules::kDialerStrings);
@@ -867,7 +874,7 @@ void Anonymizer::ApplyMiscLineRules(LineCtx& ctx) {
 void Anonymizer::ApplyTokenRules(LineCtx& ctx) {
   auto& words = ctx.tokens.words;
   if (words.empty()) return;
-  const std::vector<std::string>& lower = ctx.lower;
+  const std::vector<std::string_view>& lower = ctx.lower;
   auto& handled = ctx.handled;
 
   // Context accounting for rules I4/I5/I6 (the mapping operation itself is
@@ -901,12 +908,11 @@ void Anonymizer::ApplyTokenRules(LineCtx& ctx) {
       if (enabled_.map_prefixes) {
         const std::size_t slash = words[i].find('/');
         if (slash != std::string::npos) {
-          const auto address = net::Ipv4Address::Parse(
-              std::string_view(words[i]).substr(0, slash));
+          const auto address =
+              net::Ipv4Address::Parse(words[i].substr(0, slash));
           std::uint64_t length = 0;
           if (address &&
-              util::ParseUint(std::string_view(words[i]).substr(slash + 1),
-                              32, length)) {
+              util::ParseUint(words[i].substr(slash + 1), 32, length)) {
             if (net::IsSpecial(*address)) {
               handled[i] = true;
               ++report_.addresses_special;
@@ -951,7 +957,7 @@ void Anonymizer::ApplyTokenRules(LineCtx& ctx) {
 
     // --- Generic hashing (T1/T2) on whatever is still unhandled ---
     if (handled[i]) continue;
-    const std::string& word = words[i];
+    const std::string_view word = words[i];
     if (word.empty() || config::IsNonAlphabetic(word)) continue;
 
     // Rule T1: segment the word into alphabetic cores and non-alphabetic
@@ -969,8 +975,8 @@ void Anonymizer::ApplyTokenRules(LineCtx& ctx) {
       ++report_.words_passed;
       continue;
     }
-    leak_record_.hashed_words.insert(word);
-    ctx.SetWord(i, state_->hasher.Hash(word));
+    leak_record_.hashed_words.insert(std::string(word));
+    ctx.SetWordRef(i, state_->hasher.Hash(word));
     ++report_.words_hashed;
     report_.CountRule(rules::kPasslistHash);
   }

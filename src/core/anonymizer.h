@@ -56,6 +56,7 @@
 #include "obs/provenance.h"
 #include "obs/trace.h"
 #include "passlist/passlist.h"
+#include "util/arena.h"
 
 namespace confanon::core {
 
@@ -170,22 +171,16 @@ class Anonymizer : public AnonymizerEngine {
 
   /// Installs all observability hooks in one shot:
   ///   * hooks.metrics — mirrors the report (per-rule fire counts,
-  ///     word/address totals), the IP trie's hit/miss/size stats, and
+  ///     word/address totals), the IP trie's hit/miss/size stats, the
+  ///     arena's allocation counters ("arena.bytes", "arena.resets") and
   ///     per-phase latency histograms ("core.line_ns", "core.file_ns",
-  ///     "asn.rewrite_ns") into the registry, synced at file boundaries;
+  ///     "core.tokenize_ns", "asn.rewrite_ns") into the registry, synced
+  ///     at file boundaries;
   ///   * hooks.trace — emits Chrome-trace spans (network phase, one span
   ///     per file, per-rule spans nested inside each file span);
   ///   * hooks.provenance — records one ProvenanceEntry per (line, fired
   ///     rule) with before/after word counts (Section 6.1 leak triage).
   void install_hooks(const obs::Hooks& hooks) override;
-
-  /// Deprecated: prefer install_hooks(). Thin forwarder replacing only
-  /// the metrics member of the installed hook set.
-  void set_metrics(obs::MetricsRegistry* metrics);
-  /// Deprecated: prefer install_hooks(). Replaces only the trace sink.
-  void set_trace_sink(obs::TraceSink* sink);
-  /// Deprecated: prefer install_hooks(). Replaces only the provenance log.
-  void set_provenance(obs::ProvenanceLog* provenance);
 
   /// Pushes any unreported report/trie deltas into the registry. Called
   /// automatically at file boundaries; idempotent.
@@ -213,18 +208,30 @@ class Anonymizer : public AnonymizerEngine {
   /// Everything the five word passes need for one line, computed once.
   /// `lower` mirrors `tokens.words` lowercased and is kept in sync by
   /// every mutation — exactly the view each pass used to recompute.
+  ///
+  /// All views are zero-copy: tokens alias the input line, lowercase
+  /// mirrors alias the word itself when it carries no uppercase, and
+  /// every rewrite repoints the word at bytes owned by either the
+  /// hasher's memo (stable for the network's lifetime) or the per-file
+  /// arena (stable until the file's lines are rendered).
   struct LineCtx {
     config::LineTokens tokens;
-    std::vector<std::string> lower;
+    std::vector<std::string_view> lower;
     std::vector<bool> handled;
+    util::Arena* arena = nullptr;
 
-    /// Replaces words[i], maintaining the lowercase mirror.
-    void SetWord(std::size_t i, std::string value);
+    /// Repoints words[i] at `stable` — bytes the caller guarantees
+    /// outlive the line (hasher memo entries, string literals).
+    void SetWordRef(std::size_t i, std::string_view stable);
+    /// Copies `value` into the arena, then repoints words[i] at the
+    /// copy. For computed strings (mapped addresses, permuted ASNs).
+    void SetWord(std::size_t i, std::string_view value);
     /// Drops words[from..], keeping the trailing gap (free-text strips).
     void TruncateWords(std::size_t from);
-    /// Collapses words[from..] to one replacement word (regexp rewrites),
-    /// resetting `handled` with only the replacement marked.
-    void ReplaceTailWith(std::size_t from, const std::string& replacement);
+    /// Collapses words[from..] to one arena-copied replacement word
+    /// (regexp rewrites), resetting `handled` with only the replacement
+    /// marked.
+    void ReplaceTailWith(std::size_t from, std::string_view replacement);
   };
 
   /// The rule-enabled predicate, resolved once at construction so the
@@ -308,12 +315,20 @@ class Anonymizer : public AnonymizerEngine {
   obs::ProvenanceLog* provenance_ = nullptr;
   obs::LatencyHistogram* line_hist_ = nullptr;
   obs::LatencyHistogram* file_hist_ = nullptr;
+  obs::LatencyHistogram* tokenize_hist_ = nullptr;
   obs::LatencyHistogram* rewrite_hist_ = nullptr;
   obs::Counter* dfa_states_total_ = nullptr;
   obs::Counter* rewrite_memo_hits_ = nullptr;
   /// Last report/trie state already pushed to the registry (delta base).
   AnonymizationReport synced_report_;
   ipanon::IpAnonymizer::Stats synced_ip_;
+  std::uint64_t synced_arena_bytes_ = 0;
+  std::uint64_t synced_arena_resets_ = 0;
+
+  /// Per-file scratch for rewritten words; reset at file boundaries.
+  util::Arena arena_;
+  /// Reused across lines so tokenize allocates nothing in steady state.
+  LineCtx line_ctx_;
 };
 
 }  // namespace confanon::core

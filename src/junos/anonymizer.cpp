@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "config/tokenizer.h"
 #include "net/prefix.h"
@@ -27,16 +28,23 @@ constexpr const char* kJunosWords[] = {
     "servers",
 };
 
-bool IsQuoted(const std::string& text) {
+bool IsQuoted(std::string_view text) {
   return text.size() >= 2 && text.front() == '"' && text.back() == '"';
 }
 
-std::string Unquote(const std::string& text) {
+std::string_view Unquote(std::string_view text) {
   if (IsQuoted(text)) return text.substr(1, text.size() - 2);
   return text;
 }
 
-std::string Quote(const std::string& text) { return "\"" + text + "\""; }
+/// Arena-backed quoting: the returned view lives until the next Reset().
+std::string_view Quote(std::string_view text, util::Arena& arena) {
+  char* out = arena.Allocate(text.size() + 2);
+  out[0] = '"';
+  if (!text.empty()) std::memcpy(out + 1, text.data(), text.size());
+  out[text.size() + 1] = '"';
+  return {out, text.size() + 2};
+}
 
 }  // namespace
 
@@ -62,15 +70,15 @@ JunosAnonymizer::JunosAnonymizer(JunosAnonymizerOptions options,
 
 void JunosAnonymizer::CollectFileAddresses(const config::ConfigFile& file,
                                            std::vector<net::Ipv4Address>& out) {
+  JunosLine line;
   for (const std::string& raw : file.lines()) {
-    const JunosLine line = TokenizeJunosLine(raw);
+    TokenizeJunosLineInto(raw, line);
     for (const Token& token : line.tokens) {
       if (token.kind != Token::Kind::kWord) continue;
-      const std::string& text = token.text;
+      const std::string_view text = token.text;
       const std::size_t slash = text.find('/');
       const auto address = net::Ipv4Address::Parse(
-          slash == std::string::npos ? std::string_view(text)
-                                     : std::string_view(text).substr(0, slash));
+          slash == std::string_view::npos ? text : text.substr(0, slash));
       if (address && !net::IsSpecial(*address)) {
         out.push_back(*address);
       }
@@ -130,6 +138,9 @@ config::ConfigFile JunosAnonymizer::AnonymizeFile(
       AnonymizeLine(file.lines()[index], out_lines);
     }
   }
+  // Every line has been rendered into an owned output string; no
+  // arena-backed view survives past this point.
+  arena_.Reset();
 
   if (observing) {
     const std::int64_t file_ns =
@@ -185,8 +196,18 @@ void JunosAnonymizer::AnonymizeLine(const std::string& raw,
     }
   }
 
-  JunosLine line = TokenizeJunosLine(raw);
-  report_.total_words += WordsOf(line).size();
+  JunosLine& line = line_buf_;
+  if (tokenize_hist_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    TokenizeJunosLineInto(raw, line);
+    tokenize_hist_->Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  } else {
+    TokenizeJunosLineInto(raw, line);
+  }
+  report_.total_words += WordCount(line);
   ProcessLine(line);
   out_lines.push_back(line.Render());
 }
@@ -238,21 +259,6 @@ void JunosAnonymizer::install_hooks(const obs::Hooks& hooks) {
   ApplyHooks();
 }
 
-void JunosAnonymizer::set_metrics(obs::MetricsRegistry* metrics) {
-  hooks_.metrics = metrics;
-  ApplyHooks();
-}
-
-void JunosAnonymizer::set_trace_sink(obs::TraceSink* sink) {
-  hooks_.trace = sink;
-  ApplyHooks();
-}
-
-void JunosAnonymizer::set_provenance(obs::ProvenanceLog* provenance) {
-  hooks_.provenance = provenance;
-  ApplyHooks();
-}
-
 void JunosAnonymizer::ApplyHooks() {
   tracer_.set_sink(hooks_.trace);
   provenance_ = hooks_.provenance;
@@ -263,6 +269,9 @@ void JunosAnonymizer::ApplyHooks() {
   file_hist_ = metrics_ != nullptr
                    ? &metrics_->HistogramNamed("junos.file_ns")
                    : nullptr;
+  tokenize_hist_ = metrics_ != nullptr
+                       ? &metrics_->HistogramNamed("junos.tokenize_ns")
+                       : nullptr;
 }
 
 void JunosAnonymizer::ExportKnownEntities(std::ostream& out) { (void)out; }
@@ -270,11 +279,6 @@ void JunosAnonymizer::ExportKnownEntities(std::ostream& out) { (void)out; }
 void JunosAnonymizer::SyncMetrics() {
   if (metrics_ == nullptr) return;
   core::SyncReportDeltas(report_, synced_report_, *metrics_, "junos.");
-  if (shared_state_) {
-    // The trie belongs to the pipeline's shared NetworkState; per-worker
-    // delta syncs would double count, so the pipeline syncs centrally.
-    return;
-  }
   const auto sync = [&](const char* name, std::uint64_t current,
                         std::uint64_t& base) {
     if (current > base) {
@@ -282,6 +286,15 @@ void JunosAnonymizer::SyncMetrics() {
       base = current;
     }
   };
+  // The arena is engine-local (one per worker), so its counters sync
+  // here even under a shared NetworkState.
+  sync("junos.arena.bytes", arena_.bytes_allocated(), synced_arena_bytes_);
+  sync("junos.arena.resets", arena_.resets(), synced_arena_resets_);
+  if (shared_state_) {
+    // The trie belongs to the pipeline's shared NetworkState; per-worker
+    // delta syncs would double count, so the pipeline syncs centrally.
+    return;
+  }
   const ipanon::IpAnonymizer::Stats ip_stats = state_->ip.stats();
   sync("junos.ipanon.cache_hits", ip_stats.cache_hits, synced_ip_.cache_hits);
   sync("junos.ipanon.cache_misses", ip_stats.cache_misses,
@@ -298,13 +311,16 @@ void JunosAnonymizer::ForceHash(JunosLine& line, std::size_t index,
                                 const char* rule) {
   if (index >= line.tokens.size()) return;
   Token& token = line.tokens[index];
-  const std::string original = Unquote(token.text);
+  const std::string_view original = Unquote(token.text);
   if (original.empty()) return;
   if (!pass_list_.Contains(original)) {
-    leak_record_.hashed_words.insert(original);
+    leak_record_.hashed_words.insert(std::string(original));
   }
+  // Hash() returns a stable ref into the hasher's memo; only the quoted
+  // form needs arena bytes.
   const std::string& hashed = state_->hasher.Hash(original);
-  token.text = token.kind == Token::Kind::kString ? Quote(hashed) : hashed;
+  token.text = token.kind == Token::Kind::kString ? Quote(hashed, arena_)
+                                                  : std::string_view(hashed);
   ++report_.words_hashed;
   report_.CountRule(rule);
 }
@@ -344,7 +360,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
     }
   }
   if (word_at.empty()) return;
-  const auto word = [&](std::size_t w) -> const std::string& {
+  const auto word = [&](std::size_t w) -> std::string_view {
     return tokens[word_at[w]].text;
   };
   std::vector<bool> handled(tokens.size(), false);
@@ -353,7 +369,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
   // neighbor 4.4.4.4; }"), so context rules scan every word position, not
   // just the line head.
   for (std::size_t w = 0; w < word_at.size(); ++w) {
-    const std::string keyword = util::ToLower(word(w));
+    const std::string_view keyword = util::ToLowerArena(word(w), arena_);
     const bool has_next = w + 1 < word_at.size();
 
     // --- free text: description / message strings are comments ---
@@ -378,7 +394,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
     // --- ASN-bearing statements ---
     if ((keyword == "peer-as" || keyword == "autonomous-system") &&
         has_next && util::IsAllDigits(word(w + 1))) {
-      tokens[word_at[w + 1]].text = MapAsnText(word(w + 1));
+      tokens[word_at[w + 1]].text = arena_.Store(MapAsnText(word(w + 1)));
       handled[word_at[w + 1]] = true;
       report_.CountRule("J.asn-statement");
       continue;
@@ -388,7 +404,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
     // `from as-path NAME;` reference does not).
     if (keyword == "as-path" && w + 2 < word_at.size() &&
         tokens[word_at[w + 2]].kind == Token::Kind::kString) {
-      const std::string pattern = Unquote(word(w + 2));
+      const std::string pattern(Unquote(word(w + 2)));
       try {
         const asn::RewriteResult result =
             state_->aspath_rewriter.Rewrite(pattern, options_.regex_form);
@@ -399,7 +415,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
           }
         }
         if (result.changed) {
-          tokens[word_at[w + 2]].text = Quote(result.pattern);
+          tokens[word_at[w + 2]].text = Quote(result.pattern, arena_);
           ++report_.aspath_regexps_rewritten;
           report_.CountRule("J.as-path-regex");
         }
@@ -414,11 +430,11 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
     if (keyword == "as-path-prepend" && has_next &&
         tokens[word_at[w + 1]].kind == Token::Kind::kString) {
       std::vector<std::string> mapped;
-      const std::string inner = Unquote(word(w + 1));
+      const std::string_view inner = Unquote(word(w + 1));
       for (const auto asn_text : util::SplitWords(inner)) {
         mapped.push_back(MapAsnText(asn_text));
       }
-      tokens[word_at[w + 1]].text = Quote(util::Join(mapped, " "));
+      tokens[word_at[w + 1]].text = Quote(util::Join(mapped, " "), arena_);
       handled[word_at[w + 1]] = true;
       report_.CountRule("J.as-path-prepend");
       continue;
@@ -429,12 +445,12 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
       for (std::size_t v = w + 1; v < word_at.size(); ++v) {
         Token& value = tokens[word_at[v]];
         if (value.kind == Token::Kind::kString) {
-          const std::string pattern = Unquote(value.text);
+          const std::string pattern(Unquote(value.text));
           try {
             const asn::RewriteResult result =
                 state_->community_rewriter.Rewrite(pattern, options_.regex_form);
             if (result.changed) {
-              value.text = Quote(result.pattern);
+              value.text = Quote(result.pattern, arena_);
               ++report_.community_regexps_rewritten;
               report_.CountRule("J.community-regex");
             }
@@ -445,7 +461,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
           if (asn::IsPublicAsn(literal->asn)) {
             leak_record_.public_asns.insert(std::to_string(literal->asn));
           }
-          value.text = state_->community.Map(*literal).ToString();
+          value.text = arena_.Store(state_->community.Map(*literal).ToString());
           ++report_.communities_mapped;
           handled[word_at[v]] = true;
           report_.CountRule("J.community-literal");
@@ -460,13 +476,11 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
     if (handled[i] || tokens[i].kind != Token::Kind::kWord) continue;
     Token& token = tokens[i];
     const std::size_t slash = token.text.find('/');
-    if (slash != std::string::npos) {
-      const auto address = net::Ipv4Address::Parse(
-          std::string_view(token.text).substr(0, slash));
+    if (slash != std::string_view::npos) {
+      const auto address = net::Ipv4Address::Parse(token.text.substr(0, slash));
       std::uint64_t length = 0;
       if (address &&
-          util::ParseUint(std::string_view(token.text).substr(slash + 1), 32,
-                          length)) {
+          util::ParseUint(token.text.substr(slash + 1), 32, length)) {
         if (net::IsSpecial(*address)) {
           handled[i] = true;
           ++report_.addresses_special;
@@ -474,8 +488,8 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
           continue;
         }
         leak_record_.addresses.insert(address->ToString());
-        token.text =
-            state_->ip.Map(*address).ToString() + "/" + std::to_string(length);
+        token.text = arena_.Store(state_->ip.Map(*address).ToString() + "/" +
+                                  std::to_string(length));
         handled[i] = true;
         ++report_.addresses_mapped;
         report_.CountRule("J.map-prefixes");
@@ -490,7 +504,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
         continue;
       }
       leak_record_.addresses.insert(address->ToString());
-      token.text = state_->ip.Map(*address).ToString();
+      token.text = arena_.Store(state_->ip.Map(*address).ToString());
       handled[i] = true;
       ++report_.addresses_mapped;
       report_.CountRule("J.map-addresses");
@@ -504,7 +518,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
         tokens[i].kind != Token::Kind::kString) {
       continue;
     }
-    const std::string value = Unquote(tokens[i].text);
+    const std::string_view value = Unquote(tokens[i].text);
     if (value.empty() || config::IsNonAlphabetic(value)) continue;
     bool all_passed = true;
     for (const config::Segment& segment : config::SegmentWord(value)) {
@@ -517,10 +531,11 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
       ++report_.words_passed;
       continue;
     }
-    leak_record_.hashed_words.insert(value);
+    leak_record_.hashed_words.insert(std::string(value));
     const std::string& hashed = state_->hasher.Hash(value);
-    tokens[i].text =
-        tokens[i].kind == Token::Kind::kString ? Quote(hashed) : hashed;
+    tokens[i].text = tokens[i].kind == Token::Kind::kString
+                         ? Quote(hashed, arena_)
+                         : std::string_view(hashed);
     ++report_.words_hashed;
     report_.CountRule("J.passlist-hash");
   }

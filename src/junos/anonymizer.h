@@ -48,6 +48,7 @@
 #include "obs/provenance.h"
 #include "obs/trace.h"
 #include "passlist/passlist.h"
+#include "util/arena.h"
 
 namespace confanon::junos {
 
@@ -102,12 +103,6 @@ class JunosAnonymizer : public core::AnonymizerEngine {
 
   /// Installs all observability hooks in one shot.
   void install_hooks(const obs::Hooks& hooks) override;
-  /// Deprecated: prefer install_hooks(). Replaces only the metrics member.
-  void set_metrics(obs::MetricsRegistry* metrics);
-  /// Deprecated: prefer install_hooks(). Replaces only the trace sink.
-  void set_trace_sink(obs::TraceSink* sink);
-  /// Deprecated: prefer install_hooks(). Replaces only the provenance log.
-  void set_provenance(obs::ProvenanceLog* provenance);
   void SyncMetrics() override;
 
  private:
@@ -141,8 +136,17 @@ class JunosAnonymizer : public core::AnonymizerEngine {
   obs::ProvenanceLog* provenance_ = nullptr;
   obs::LatencyHistogram* line_hist_ = nullptr;
   obs::LatencyHistogram* file_hist_ = nullptr;
+  obs::LatencyHistogram* tokenize_hist_ = nullptr;
   core::AnonymizationReport synced_report_;
   ipanon::IpAnonymizer::Stats synced_ip_;
+  std::uint64_t synced_arena_bytes_ = 0;
+  std::uint64_t synced_arena_resets_ = 0;
+
+  /// Per-file scratch for rewritten/quoted token text; reset at file
+  /// boundaries, after the file's lines have been rendered.
+  util::Arena arena_;
+  /// Reused across lines so tokenize allocates nothing in steady state.
+  JunosLine line_buf_;
 };
 
 }  // namespace confanon::junos

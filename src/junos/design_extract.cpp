@@ -61,14 +61,14 @@ class Extractor {
       for (const Token& token : line.tokens) {
         switch (token.kind) {
           case Token::Kind::kWord:
-            buffer_.push_back(token.text);
+            buffer_.emplace_back(token.text);
             break;
           case Token::Kind::kString: {
-            std::string inner = token.text;
+            std::string_view inner = token.text;
             if (inner.size() >= 2 && inner.front() == '"') {
               inner = inner.substr(1, inner.size() - 2);
             }
-            buffer_.push_back(inner);
+            buffer_.emplace_back(inner);
             break;
           }
           case Token::Kind::kPunct:

@@ -1,41 +1,57 @@
 #include "junos/tokenizer.h"
 
+#include "util/charscan.h"
 #include "util/strings.h"
 
 namespace confanon::junos {
 
+namespace {
+
+inline bool IsStructural(char c) {
+  return c == '{' || c == '}' || c == ';' || c == '[' || c == ']' ||
+         c == '"' || c == '#';
+}
+
+}  // namespace
+
 std::string JunosLine::Render() const {
-  std::string out;
+  std::size_t total = trailing_gap.size();
   for (const Token& token : tokens) {
-    out += token.leading_gap;
-    out += token.text;
+    total += token.leading_gap.size() + token.text.size();
   }
-  out += trailing_gap;
+  std::string out;
+  out.reserve(total);
+  for (const Token& token : tokens) {
+    out.append(token.leading_gap);
+    out.append(token.text);
+  }
+  out.append(trailing_gap);
   return out;
 }
 
-JunosLine TokenizeJunosLine(std::string_view line) {
-  JunosLine result;
+void TokenizeJunosLineInto(std::string_view line, JunosLine& out) {
+  out.tokens.clear();
+  out.trailing_gap = std::string_view();
   std::size_t i = 0;
   while (i < line.size()) {
     const std::size_t gap_start = i;
-    while (i < line.size() && util::IsBlank(line[i])) ++i;
-    std::string gap(line.substr(gap_start, i - gap_start));
+    i = util::FindNonBlank(line, i);
+    const std::string_view gap = line.substr(gap_start, i - gap_start);
     if (i == line.size()) {
-      result.trailing_gap = std::move(gap);
+      out.trailing_gap = gap;
       break;
     }
 
     Token token;
-    token.leading_gap = std::move(gap);
+    token.leading_gap = gap;
     const char c = line[i];
     if (c == '{' || c == '}' || c == ';' || c == '[' || c == ']') {
       token.kind = Token::Kind::kPunct;
-      token.text = std::string(1, c);
+      token.text = line.substr(i, 1);
       ++i;
     } else if (c == '#') {
       token.kind = Token::Kind::kComment;
-      token.text = std::string(line.substr(i));
+      token.text = line.substr(i);
       i = line.size();
     } else if (c == '"') {
       token.kind = Token::Kind::kString;
@@ -45,30 +61,36 @@ JunosLine TokenizeJunosLine(std::string_view line) {
         ++end;
       }
       if (end < line.size()) ++end;  // closing quote
-      token.text = std::string(line.substr(i, end - i));
+      token.text = line.substr(i, end - i);
       i = end;
     } else {
       token.kind = Token::Kind::kWord;
       const std::size_t start = i;
-      while (i < line.size() && !util::IsBlank(line[i]) && line[i] != '{' &&
-             line[i] != '}' && line[i] != ';' && line[i] != '[' &&
-             line[i] != ']' && line[i] != '"' && line[i] != '#') {
+      // Words end at whitespace or structural punctuation; scan blanks
+      // in bulk and stop early on punctuation.
+      while (i < line.size() && !util::IsBlank(line[i]) &&
+             !IsStructural(line[i])) {
         ++i;
       }
-      token.text = std::string(line.substr(start, i - start));
+      token.text = line.substr(start, i - start);
     }
-    result.tokens.push_back(std::move(token));
+    out.tokens.push_back(token);
   }
+}
+
+JunosLine TokenizeJunosLine(std::string_view line) {
+  JunosLine result;
+  TokenizeJunosLineInto(line, result);
   return result;
 }
 
-std::vector<std::string> WordsOf(const JunosLine& line) {
-  std::vector<std::string> words;
+std::vector<std::string_view> WordsOf(const JunosLine& line) {
+  std::vector<std::string_view> words;
   for (const Token& token : line.tokens) {
     if (token.kind == Token::Kind::kWord) {
       words.push_back(token.text);
     } else if (token.kind == Token::Kind::kString) {
-      std::string inner = token.text;
+      std::string_view inner = token.text;
       if (inner.size() >= 2 && inner.front() == '"' && inner.back() == '"') {
         inner = inner.substr(1, inner.size() - 2);
       }
@@ -76,6 +98,15 @@ std::vector<std::string> WordsOf(const JunosLine& line) {
     }
   }
   return words;
+}
+
+std::size_t WordCount(const JunosLine& line) {
+  std::size_t count = 0;
+  for (const Token& token : line.tokens) {
+    count += token.kind == Token::Kind::kWord ||
+             token.kind == Token::Kind::kString;
+  }
+  return count;
 }
 
 }  // namespace confanon::junos

@@ -7,6 +7,11 @@
 // semicolon to the value; this tokenizer splits the structural
 // punctuation into standalone tokens while preserving the original
 // spacing for exact re-rendering.
+//
+// Tokens are zero-copy std::string_view slices of the input line; the
+// line must outlive the tokens. A caller that rewrites a token repoints
+// its view at replacement bytes it keeps alive itself (the JunOS engine
+// uses a per-file util::Arena).
 #pragma once
 
 #include <string>
@@ -23,9 +28,9 @@ struct Token {
     kComment,     // '#' to end of line (text includes the '#')
   };
   Kind kind = Kind::kWord;
-  std::string text;
+  std::string_view text;
   /// Whitespace that preceded this token in the original line.
-  std::string leading_gap;
+  std::string_view leading_gap;
 
   bool operator==(const Token&) const = default;
 };
@@ -33,17 +38,24 @@ struct Token {
 struct JunosLine {
   std::vector<Token> tokens;
   /// Whitespace after the last token.
-  std::string trailing_gap;
+  std::string_view trailing_gap;
 
-  /// Re-renders exactly (concatenation of gaps and token texts).
+  /// Re-renders exactly (concatenation of gaps and token texts), into a
+  /// string reserved to the exact output length.
   std::string Render() const;
 };
 
 /// Tokenizes one line. Quoted strings keep their quotes; an unterminated
 /// quote runs to end of line.
 JunosLine TokenizeJunosLine(std::string_view line);
+/// Buffer-reusing form: clears and refills `out` (keeps capacity).
+void TokenizeJunosLineInto(std::string_view line, JunosLine& out);
 
 /// Returns the word texts only (no punctuation/comments/gaps), unquoted.
-std::vector<std::string> WordsOf(const JunosLine& line);
+/// The views alias the tokenized line.
+std::vector<std::string_view> WordsOf(const JunosLine& line);
+
+/// Number of word/string tokens, without materializing them.
+std::size_t WordCount(const JunosLine& line);
 
 }  // namespace confanon::junos

@@ -233,4 +233,60 @@ void CorpusPipeline::ExportKnownEntities(std::ostream& out) {
   exporter.ExportKnownEntities(out);
 }
 
+std::vector<NetworkOutput> AnonymizeNetworkSet(
+    const std::vector<NetworkTask>& tasks,
+    const NetworkSetOptions& set_options) {
+  std::vector<NetworkOutput> out(tasks.size());
+  if (tasks.empty()) return out;
+
+  int total = set_options.threads;
+  if (total <= 0) {
+    total = static_cast<int>(std::thread::hardware_concurrency());
+    if (total <= 0) total = 1;
+  }
+  // Slots run whole networks concurrently; each network's own pipeline
+  // gets an equal share of the remaining budget (so total concurrency
+  // stays ~= the budget whichever way the work is shaped).
+  const int slots = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(total), tasks.size()));
+  const int inner = std::max(1, total / slots);
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto run_slot = [&] {
+    try {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) break;
+        PipelineOptions options = tasks[i].options;
+        if (options.threads <= 0) options.threads = inner;
+        CorpusPipeline pipe(std::move(options));
+        if (set_options.metrics != nullptr) {
+          pipe.install_hooks(obs::Hooks{.metrics = set_options.metrics});
+        }
+        out[i].files = pipe.AnonymizeCorpus(tasks[i].files);
+        out[i].report = pipe.report();
+        out[i].leak_record = pipe.leak_record();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (slots <= 1) {
+    run_slot();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(slots));
+    for (int s = 0; s < slots; ++s) pool.emplace_back(run_slot);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
 }  // namespace confanon::pipeline

@@ -118,4 +118,49 @@ class CorpusPipeline {
   ipanon::IpAnonymizer::Stats synced_ip_;
 };
 
+// --- cross-network parallelism ---
+//
+// Networks are fully independent: each has its own salt, its own
+// NetworkState and its own pipeline, so a multi-network corpus (the
+// paper's 31-network dataset) parallelizes across networks as well as
+// across the files within one. AnonymizeNetworkSet runs one
+// CorpusPipeline per network over a shared thread budget: min(threads,
+// networks) network slots run concurrently, and each network's own
+// pipeline gets an equal share of the remaining budget. Every network's
+// output is deterministic (the per-network guarantee composes — nothing
+// is shared between networks), so the set output is byte-identical for
+// any thread count.
+
+/// One network's corpus plus its pipeline configuration. A task whose
+/// options_.threads is 0 receives its share of the set's budget;
+/// explicit per-task thread counts are respected.
+struct NetworkTask {
+  PipelineOptions options;
+  std::vector<config::ConfigFile> files;
+};
+
+/// One network's anonymized corpus and merged accounting, at the same
+/// index as its task.
+struct NetworkOutput {
+  std::vector<config::ConfigFile> files;
+  core::AnonymizationReport report;
+  core::LeakRecord leak_record;
+};
+
+struct NetworkSetOptions {
+  /// Total worker-thread budget shared by all networks. 0 picks
+  /// std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Optional registry shared by every network's pipeline (thread-safe;
+  /// counter totals are order-independent).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Anonymizes several independent networks concurrently. Output i
+/// corresponds to tasks[i]. The first worker exception is rethrown on
+/// the calling thread.
+std::vector<NetworkOutput> AnonymizeNetworkSet(
+    const std::vector<NetworkTask>& tasks,
+    const NetworkSetOptions& set_options = {});
+
 }  // namespace confanon::pipeline

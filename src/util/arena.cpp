@@ -1,0 +1,77 @@
+#include "util/arena.h"
+
+#include <cstring>
+
+namespace confanon::util {
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? 1 : block_bytes) {}
+
+void Arena::NextBlock(std::size_t size) {
+  // Reuse a retained block if the next one is big enough; otherwise
+  // insert a fresh block here (oversized requests get an exact fit).
+  const std::size_t want = size > block_bytes_ ? size : block_bytes_;
+  if (!blocks_.empty() && current_ + 1 < blocks_.size() &&
+      blocks_[current_ + 1].size >= size) {
+    ++current_;
+  } else {
+    Block block;
+    block.data = std::make_unique<char[]>(want);
+    block.size = want;
+    const std::size_t at = blocks_.empty() ? 0 : current_ + 1;
+    blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(at),
+                   std::move(block));
+    current_ = at;
+  }
+  offset_ = 0;
+}
+
+char* Arena::Allocate(std::size_t size) {
+  if (size == 0) size = 1;
+  if (blocks_.empty() || offset_ + size > blocks_[current_].size) {
+    NextBlock(size);
+  }
+  char* out = blocks_[current_].data.get() + offset_;
+  offset_ += size;
+  bytes_allocated_ += size;
+  return out;
+}
+
+std::string_view Arena::Store(std::string_view text) {
+  if (text.empty()) return std::string_view();
+  char* out = Allocate(text.size());
+  std::memcpy(out, text.data(), text.size());
+  return std::string_view(out, text.size());
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  ++resets_;
+}
+
+std::size_t Arena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.size;
+  return total;
+}
+
+std::string_view ToLowerArena(std::string_view text, Arena& arena) {
+  std::size_t first_upper = text.size();
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] >= 'A' && text[i] <= 'Z') {
+      first_upper = i;
+      break;
+    }
+  }
+  if (first_upper == text.size()) return text;  // already lowercase
+  char* out = arena.Allocate(text.size());
+  std::memcpy(out, text.data(), first_upper);
+  for (std::size_t i = first_upper; i < text.size(); ++i) {
+    const char c = text[i];
+    out[i] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  return std::string_view(out, text.size());
+}
+
+}  // namespace confanon::util

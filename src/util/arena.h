@@ -1,0 +1,76 @@
+// Bump-pointer arena for per-file string scratch.
+//
+// The anonymization hot path rewrites a minority of the words on each
+// line (hash tokens, mapped addresses, permuted ASNs). Routing those
+// short-lived strings through the global heap costs an allocate/free
+// pair per rewrite; the arena instead hands out slices of block-sized
+// buffers and releases everything at once when the owning worker calls
+// Reset() at the next file boundary. Blocks are retained across resets,
+// so a steady-state worker performs no heap traffic at all.
+//
+// Lifetime rule: a view returned by Store()/Allocate() is valid until
+// the next Reset(). The engines reset per file, after the file's lines
+// have been rendered into owned output strings — so no arena-backed
+// view ever outlives its region. Arenas are single-threaded by design:
+// each pipeline worker owns its own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace confanon::util {
+
+class Arena {
+ public:
+  /// `block_bytes` is the granularity of backing allocations; oversized
+  /// requests get a dedicated block of their exact size.
+  explicit Arena(std::size_t block_bytes = 16 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` writable bytes valid until Reset().
+  char* Allocate(std::size_t size);
+
+  /// Copies `text` into the arena and returns the stable view.
+  std::string_view Store(std::string_view text);
+
+  /// Releases every allocation at once. Blocks are kept for reuse, so
+  /// after warm-up a per-file reset touches no allocator.
+  void Reset();
+
+  /// Bytes handed out since construction (monotonic, survives Reset —
+  /// the delta-synced source for the "arena.bytes" metric).
+  std::uint64_t bytes_allocated() const { return bytes_allocated_; }
+  /// Number of Reset() calls (the "arena.resets" metric).
+  std::uint64_t resets() const { return resets_; }
+  /// Bytes reserved in backing blocks (high-water memory footprint).
+  std::size_t bytes_reserved() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Makes `current_` point at a block with at least `size` bytes free.
+  void NextBlock(std::size_t size);
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // index into blocks_
+  std::size_t offset_ = 0;   // fill position within blocks_[current_]
+  std::uint64_t bytes_allocated_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+/// ASCII-lowercases `text` into `arena` — unless it contains no
+/// uppercase letters, in which case the input view is returned as-is
+/// (no copy). Config keywords are overwhelmingly already lowercase, so
+/// the common case is allocation-free.
+std::string_view ToLowerArena(std::string_view text, Arena& arena);
+
+}  // namespace confanon::util

@@ -1,0 +1,311 @@
+#include "util/charscan.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "util/strings.h"
+
+#if !defined(CONFANON_FORCE_SCALAR_TOKENIZER)
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define CONFANON_CHARSCAN_SSE2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define CONFANON_CHARSCAN_NEON 1
+#endif
+#endif
+
+namespace confanon::util {
+
+namespace scalar {
+
+std::size_t FindBlank(std::string_view text, std::size_t pos) {
+  while (pos < text.size() && !IsBlank(text[pos])) ++pos;
+  return pos;
+}
+
+std::size_t FindNonBlank(std::string_view text, std::size_t pos) {
+  while (pos < text.size() && IsBlank(text[pos])) ++pos;
+  return pos;
+}
+
+std::size_t FindAlphaBoundary(std::string_view text, std::size_t pos,
+                              bool alpha) {
+  while (pos < text.size() && IsAsciiAlpha(text[pos]) == alpha) ++pos;
+  return pos;
+}
+
+}  // namespace scalar
+
+namespace swar {
+
+namespace {
+
+constexpr std::uint64_t kOnes = 0x0101010101010101ULL;
+constexpr std::uint64_t kHigh = 0x8080808080808080ULL;
+constexpr std::uint64_t kLow7 = 0x7f7f7f7f7f7f7f7fULL;
+
+inline std::uint64_t Load64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Exact per-byte zero detector: 0x80 in every byte lane that is zero,
+/// 0x00 elsewhere. Unlike the classic `(v - kOnes) & ~v & kHigh` trick,
+/// no borrow crosses byte lanes, so *every* lane is exact — required
+/// because the scanners combine and invert these masks.
+inline std::uint64_t ZeroBytes(std::uint64_t v) {
+  return ~(((v & kLow7) + kLow7) | v | kLow7);
+}
+
+inline std::uint64_t EqBytes(std::uint64_t v, char c) {
+  return ZeroBytes(v ^ (kOnes * static_cast<std::uint8_t>(c)));
+}
+
+/// 0x80 per byte lane holding space or tab.
+inline std::uint64_t BlankMask(std::uint64_t v) {
+  return EqBytes(v, ' ') | EqBytes(v, '\t');
+}
+
+/// 0x80 per byte lane holding an ASCII letter. Case-fold with |0x20,
+/// then an exact in-lane range check against ['a','z']; lanes with the
+/// top bit set (non-ASCII) are excluded explicitly.
+inline std::uint64_t AlphaMask(std::uint64_t v) {
+  const std::uint64_t low7 = (v | (kOnes * 0x20)) & kLow7;
+  const std::uint64_t ge_a = (low7 + kOnes * (0x80 - 'a')) & kHigh;
+  const std::uint64_t gt_z = (low7 + kOnes * (0x7f - 'z')) & kHigh;
+  return ge_a & ~gt_z & ~(v & kHigh);
+}
+
+/// Byte index of the lowest set lane in a 0x80-per-lane mask.
+inline std::size_t FirstLane(std::uint64_t mask) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return static_cast<std::size_t>(std::countr_zero(mask)) >> 3;
+  } else {
+    return static_cast<std::size_t>(std::countl_zero(mask)) >> 3;
+  }
+}
+
+template <typename MaskFn, typename ScalarFn>
+inline std::size_t Scan(std::string_view text, std::size_t pos, MaskFn mask_of,
+                        ScalarFn scalar_tail) {
+  const char* data = text.data();
+  const std::size_t size = text.size();
+  while (pos + 8 <= size) {
+    const std::uint64_t mask = mask_of(Load64(data + pos));
+    if (mask != 0) return pos + FirstLane(mask);
+    pos += 8;
+  }
+  return scalar_tail(text, pos);
+}
+
+}  // namespace
+
+std::size_t FindBlank(std::string_view text, std::size_t pos) {
+  return Scan(
+      text, pos, [](std::uint64_t v) { return BlankMask(v); },
+      scalar::FindBlank);
+}
+
+std::size_t FindNonBlank(std::string_view text, std::size_t pos) {
+  return Scan(
+      text, pos, [](std::uint64_t v) { return ~BlankMask(v) & kHigh; },
+      scalar::FindNonBlank);
+}
+
+std::size_t FindAlphaBoundary(std::string_view text, std::size_t pos,
+                              bool alpha) {
+  if (alpha) {
+    return Scan(
+        text, pos, [](std::uint64_t v) { return ~AlphaMask(v) & kHigh; },
+        [](std::string_view t, std::size_t p) {
+          return scalar::FindAlphaBoundary(t, p, true);
+        });
+  }
+  return Scan(
+      text, pos, [](std::uint64_t v) { return AlphaMask(v); },
+      [](std::string_view t, std::size_t p) {
+        return scalar::FindAlphaBoundary(t, p, false);
+      });
+}
+
+}  // namespace swar
+
+#if defined(CONFANON_CHARSCAN_SSE2)
+
+namespace {
+
+/// 16-bytes-at-a-time scans; the movemask bit index is the byte index.
+template <typename MaskFn, typename ScalarFn>
+inline std::size_t ScanSse2(std::string_view text, std::size_t pos,
+                            MaskFn mask_of, ScalarFn scalar_tail) {
+  const char* data = text.data();
+  const std::size_t size = text.size();
+  while (pos + 16 <= size) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    const int mask = _mm_movemask_epi8(mask_of(v));
+    if (mask != 0) {
+      return pos + static_cast<std::size_t>(
+                       std::countr_zero(static_cast<unsigned>(mask)));
+    }
+    pos += 16;
+  }
+  return scalar_tail(text, pos);
+}
+
+inline __m128i BlankMask128(__m128i v) {
+  return _mm_or_si128(_mm_cmpeq_epi8(v, _mm_set1_epi8(' ')),
+                      _mm_cmpeq_epi8(v, _mm_set1_epi8('\t')));
+}
+
+inline __m128i AlphaMask128(__m128i v) {
+  // Case-fold, then signed compares: non-ASCII lanes are negative and
+  // fail the >= 'a' side, so they classify as non-alpha.
+  const __m128i fold = _mm_or_si128(v, _mm_set1_epi8(0x20));
+  const __m128i ge_a = _mm_cmpgt_epi8(fold, _mm_set1_epi8('a' - 1));
+  const __m128i le_z = _mm_cmplt_epi8(fold, _mm_set1_epi8('z' + 1));
+  return _mm_and_si128(ge_a, le_z);
+}
+
+inline __m128i Not128(__m128i m) {
+  return _mm_xor_si128(m, _mm_set1_epi8(static_cast<char>(0xFF)));
+}
+
+}  // namespace
+
+std::size_t FindBlank(std::string_view text, std::size_t pos) {
+  return ScanSse2(text, pos, BlankMask128, scalar::FindBlank);
+}
+
+std::size_t FindNonBlank(std::string_view text, std::size_t pos) {
+  return ScanSse2(
+      text, pos, [](__m128i v) { return Not128(BlankMask128(v)); },
+      scalar::FindNonBlank);
+}
+
+std::size_t FindAlphaBoundary(std::string_view text, std::size_t pos,
+                              bool alpha) {
+  if (alpha) {
+    return ScanSse2(
+        text, pos, [](__m128i v) { return Not128(AlphaMask128(v)); },
+        [](std::string_view t, std::size_t p) {
+          return scalar::FindAlphaBoundary(t, p, true);
+        });
+  }
+  return ScanSse2(text, pos, AlphaMask128,
+                  [](std::string_view t, std::size_t p) {
+                    return scalar::FindAlphaBoundary(t, p, false);
+                  });
+}
+
+const char* CharScanImplName() { return "sse2"; }
+
+#elif defined(CONFANON_CHARSCAN_NEON)
+
+namespace {
+
+/// NEON has no movemask; narrow each 16x8 lane mask to a 64-bit value
+/// with 4 bits per lane (the shrn-by-4 idiom) and count trailing zeros.
+template <typename MaskFn, typename ScalarFn>
+inline std::size_t ScanNeon(std::string_view text, std::size_t pos,
+                            MaskFn mask_of, ScalarFn scalar_tail) {
+  const char* data = text.data();
+  const std::size_t size = text.size();
+  while (pos + 16 <= size) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(data + pos));
+    const uint8x16_t m = mask_of(v);
+    const std::uint64_t bits = vget_lane_u64(
+        vreinterpret_u64_u8(vshrn_n_u16(vreinterpretq_u16_u8(m), 4)), 0);
+    if (bits != 0) {
+      return pos +
+             (static_cast<std::size_t>(std::countr_zero(bits)) >> 2);
+    }
+    pos += 16;
+  }
+  return scalar_tail(text, pos);
+}
+
+inline uint8x16_t BlankMaskNeon(uint8x16_t v) {
+  return vorrq_u8(vceqq_u8(v, vdupq_n_u8(' ')),
+                  vceqq_u8(v, vdupq_n_u8('\t')));
+}
+
+inline uint8x16_t AlphaMaskNeon(uint8x16_t v) {
+  // Unsigned range check on the case-folded value; non-ASCII lanes
+  // (>= 0x80) fold to >= 0xA0 and fail the <= 'z' side.
+  const uint8x16_t fold = vorrq_u8(v, vdupq_n_u8(0x20));
+  const uint8x16_t ge_a = vcgeq_u8(fold, vdupq_n_u8('a'));
+  const uint8x16_t le_z = vcleq_u8(fold, vdupq_n_u8('z'));
+  return vandq_u8(ge_a, le_z);
+}
+
+}  // namespace
+
+std::size_t FindBlank(std::string_view text, std::size_t pos) {
+  return ScanNeon(text, pos, BlankMaskNeon, scalar::FindBlank);
+}
+
+std::size_t FindNonBlank(std::string_view text, std::size_t pos) {
+  return ScanNeon(
+      text, pos, [](uint8x16_t v) { return vmvnq_u8(BlankMaskNeon(v)); },
+      scalar::FindNonBlank);
+}
+
+std::size_t FindAlphaBoundary(std::string_view text, std::size_t pos,
+                              bool alpha) {
+  if (alpha) {
+    return ScanNeon(
+        text, pos, [](uint8x16_t v) { return vmvnq_u8(AlphaMaskNeon(v)); },
+        [](std::string_view t, std::size_t p) {
+          return scalar::FindAlphaBoundary(t, p, true);
+        });
+  }
+  return ScanNeon(text, pos, AlphaMaskNeon,
+                  [](std::string_view t, std::size_t p) {
+                    return scalar::FindAlphaBoundary(t, p, false);
+                  });
+}
+
+const char* CharScanImplName() { return "neon"; }
+
+#elif defined(CONFANON_FORCE_SCALAR_TOKENIZER)
+
+std::size_t FindBlank(std::string_view text, std::size_t pos) {
+  return scalar::FindBlank(text, pos);
+}
+
+std::size_t FindNonBlank(std::string_view text, std::size_t pos) {
+  return scalar::FindNonBlank(text, pos);
+}
+
+std::size_t FindAlphaBoundary(std::string_view text, std::size_t pos,
+                              bool alpha) {
+  return scalar::FindAlphaBoundary(text, pos, alpha);
+}
+
+const char* CharScanImplName() { return "scalar"; }
+
+#else
+
+std::size_t FindBlank(std::string_view text, std::size_t pos) {
+  return swar::FindBlank(text, pos);
+}
+
+std::size_t FindNonBlank(std::string_view text, std::size_t pos) {
+  return swar::FindNonBlank(text, pos);
+}
+
+std::size_t FindAlphaBoundary(std::string_view text, std::size_t pos,
+                              bool alpha) {
+  return swar::FindAlphaBoundary(text, pos, alpha);
+}
+
+const char* CharScanImplName() { return "swar"; }
+
+#endif
+
+}  // namespace confanon::util

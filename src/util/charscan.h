@@ -1,0 +1,57 @@
+// Bulk character classification for the tokenizer hot path.
+//
+// Tokenizing 4.3M config lines means finding, over and over, the next
+// blank (space/tab), the next non-blank, and the next alpha/non-alpha
+// boundary. Byte-at-a-time loops dominate `core.line_ns`; these
+// scanners classify 8 bytes per step with portable SWAR bit tricks
+// (exact per-byte masks — no carry bleeds across byte lanes), or 16
+// bytes per step on SSE2/NEON hardware when the compiler advertises it.
+//
+// Dispatch is compile-time: SSE2 or NEON when available, SWAR
+// otherwise, and the plain byte-at-a-time scalar path when the build
+// defines CONFANON_FORCE_SCALAR_TOKENIZER (one CI leg does, so the
+// fallback stays correct — no silent SIMD-only behavior). The `scalar`
+// and `swar` namespaces are always compiled so property tests can
+// compare every implementation against the reference on the same
+// inputs regardless of what the top-level functions dispatch to.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace confanon::util {
+
+/// Index of the first blank (space or tab) at or after `pos`, or
+/// `text.size()` when none remains.
+std::size_t FindBlank(std::string_view text, std::size_t pos);
+
+/// Index of the first non-blank at or after `pos`, or `text.size()`.
+std::size_t FindNonBlank(std::string_view text, std::size_t pos);
+
+/// Index of the first character at or after `pos` whose ASCII-alpha
+/// classification differs from `alpha`, or `text.size()`. This is the
+/// segment-boundary scan of the paper's rule T1.
+std::size_t FindAlphaBoundary(std::string_view text, std::size_t pos,
+                              bool alpha);
+
+/// Name of the implementation the top-level functions dispatch to:
+/// "sse2", "neon", "swar" or "scalar".
+const char* CharScanImplName();
+
+/// Byte-at-a-time reference implementations (always compiled).
+namespace scalar {
+std::size_t FindBlank(std::string_view text, std::size_t pos);
+std::size_t FindNonBlank(std::string_view text, std::size_t pos);
+std::size_t FindAlphaBoundary(std::string_view text, std::size_t pos,
+                              bool alpha);
+}  // namespace scalar
+
+/// Portable 8-bytes-at-a-time implementations (always compiled).
+namespace swar {
+std::size_t FindBlank(std::string_view text, std::size_t pos);
+std::size_t FindNonBlank(std::string_view text, std::size_t pos);
+std::size_t FindAlphaBoundary(std::string_view text, std::size_t pos,
+                              bool alpha);
+}  // namespace swar
+
+}  // namespace confanon::util

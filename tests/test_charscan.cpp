@@ -1,0 +1,172 @@
+// Property tests for the SWAR/SIMD character scanners.
+//
+// The scalar byte-at-a-time loops are the reference semantics; the SWAR
+// path and whatever the top-level functions dispatch to (SSE2, NEON,
+// SWAR or — under CONFANON_FORCE_SCALAR_TOKENIZER — scalar itself) must
+// agree with them on EVERY input byte and EVERY starting position. The
+// random corpus covers all 256 byte values, because the historic SWAR
+// failure mode is a carry bleeding across byte lanes for values the
+// ASCII-focused unit tests never exercise (0x80+, bytes adjacent to the
+// classification boundaries).
+#include "util/charscan.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace confanon::util {
+namespace {
+
+TEST(CharScan, ImplNameIsKnown) {
+  const std::string name = CharScanImplName();
+  EXPECT_TRUE(name == "sse2" || name == "neon" || name == "swar" ||
+              name == "scalar")
+      << name;
+#ifdef CONFANON_FORCE_SCALAR_TOKENIZER
+  EXPECT_EQ(name, "scalar");
+#endif
+}
+
+TEST(CharScan, ScalarReferenceSemantics) {
+  // Pin the reference behavior itself before comparing others to it.
+  EXPECT_EQ(scalar::FindBlank("abc def", 0), 3u);
+  EXPECT_EQ(scalar::FindBlank("abc\tdef", 0), 3u);
+  EXPECT_EQ(scalar::FindBlank("abcdef", 0), 6u);
+  EXPECT_EQ(scalar::FindNonBlank("  \t x", 0), 4u);
+  EXPECT_EQ(scalar::FindNonBlank("   ", 0), 3u);
+  EXPECT_EQ(scalar::FindAlphaBoundary("abc123", 0, true), 3u);
+  EXPECT_EQ(scalar::FindAlphaBoundary("123abc", 0, false), 3u);
+  EXPECT_EQ(scalar::FindAlphaBoundary("abc", 0, true), 3u);
+  // Position at or past the end comes straight back (no scan).
+  EXPECT_EQ(scalar::FindBlank("ab", 2), 2u);
+  EXPECT_EQ(scalar::FindBlank("ab", 5), 5u);
+  EXPECT_EQ(scalar::FindBlank("", 0), 0u);
+}
+
+// Every byte value, one at a time: the classification of byte b must be
+// identical across implementations.
+TEST(CharScan, AllSingleBytesAgree) {
+  for (int b = 0; b < 256; ++b) {
+    const char c = static_cast<char>(b);
+    const std::string one(1, c);
+    EXPECT_EQ(swar::FindBlank(one, 0), scalar::FindBlank(one, 0)) << b;
+    EXPECT_EQ(swar::FindNonBlank(one, 0), scalar::FindNonBlank(one, 0)) << b;
+    EXPECT_EQ(swar::FindAlphaBoundary(one, 0, true),
+              scalar::FindAlphaBoundary(one, 0, true))
+        << b;
+    EXPECT_EQ(swar::FindAlphaBoundary(one, 0, false),
+              scalar::FindAlphaBoundary(one, 0, false))
+        << b;
+    EXPECT_EQ(FindBlank(one, 0), scalar::FindBlank(one, 0)) << b;
+    EXPECT_EQ(FindNonBlank(one, 0), scalar::FindNonBlank(one, 0)) << b;
+    EXPECT_EQ(FindAlphaBoundary(one, 0, true),
+              scalar::FindAlphaBoundary(one, 0, true))
+        << b;
+    EXPECT_EQ(FindAlphaBoundary(one, 0, false),
+              scalar::FindAlphaBoundary(one, 0, false))
+        << b;
+    // And against <cctype>: blanks are exactly space/tab, alpha is
+    // exactly ASCII [A-Za-z].
+    const bool blank = c == ' ' || c == '\t';
+    const bool alpha = (b >= 'A' && b <= 'Z') || (b >= 'a' && b <= 'z');
+    EXPECT_EQ(scalar::FindBlank(one, 0) == 0u, blank) << b;
+    EXPECT_EQ(scalar::FindNonBlank(one, 0) == 0u, !blank) << b;
+    EXPECT_EQ(scalar::FindAlphaBoundary(one, 0, false) == 0u, alpha) << b;
+  }
+}
+
+// Boundary-adjacent bytes planted in every lane of an 8-byte block:
+// '@'(0x40), '['(0x5B), '`'(0x60), '{'(0x7B) sit one off the alpha
+// ranges; 0x80/0xC1/0xE1 are high-bit bytes whose low 7 bits LOOK
+// alphabetic and must still classify as non-alpha.
+TEST(CharScan, BoundaryBytesInEveryLane) {
+  const char probes[] = {'@', '[', '`',  '{',  'A',  'Z',
+                         'a', 'z', '\x7f', '\x80', '\xc1', '\xe1'};
+  for (const char probe : probes) {
+    for (std::size_t lane = 0; lane < 24; ++lane) {
+      std::string text(24, 'x');
+      text[lane] = probe;
+      for (std::size_t pos = 0; pos <= text.size(); ++pos) {
+        ASSERT_EQ(swar::FindAlphaBoundary(text, pos, true),
+                  scalar::FindAlphaBoundary(text, pos, true))
+            << static_cast<int>(probe) << " lane " << lane << " pos " << pos;
+        ASSERT_EQ(FindAlphaBoundary(text, pos, true),
+                  scalar::FindAlphaBoundary(text, pos, true))
+            << static_cast<int>(probe) << " lane " << lane << " pos " << pos;
+        ASSERT_EQ(swar::FindBlank(text, pos), scalar::FindBlank(text, pos));
+        ASSERT_EQ(FindBlank(text, pos), scalar::FindBlank(text, pos));
+      }
+    }
+  }
+}
+
+// Random byte strings, every starting position, all three scans: the
+// SWAR and dispatched implementations must match the scalar reference
+// exactly. Lengths 0..47 straddle the 8-byte SWAR and 16-byte SIMD
+// block boundaries plus their unaligned heads and tails.
+TEST(CharScan, RandomBytesPropertyAllPositions) {
+  util::Rng rng(8086);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string text;
+    const std::size_t length = rng.Below(48);
+    for (std::size_t i = 0; i < length; ++i) {
+      text += static_cast<char>(rng.Below(256));
+    }
+    // Seed extra blanks/alphas so boundaries actually occur often.
+    for (std::size_t i = 0; i < length; ++i) {
+      const std::uint64_t roll = rng.Below(8);
+      if (roll == 0) text[i] = ' ';
+      if (roll == 1) text[i] = '\t';
+      if (roll == 2) text[i] = 'q';
+    }
+    const std::string_view view = text;
+    for (std::size_t pos = 0; pos <= view.size() + 2; ++pos) {
+      ASSERT_EQ(swar::FindBlank(view, pos), scalar::FindBlank(view, pos))
+          << '"' << text << "\" pos " << pos;
+      ASSERT_EQ(swar::FindNonBlank(view, pos), scalar::FindNonBlank(view, pos))
+          << '"' << text << "\" pos " << pos;
+      ASSERT_EQ(FindBlank(view, pos), scalar::FindBlank(view, pos))
+          << '"' << text << "\" pos " << pos;
+      ASSERT_EQ(FindNonBlank(view, pos), scalar::FindNonBlank(view, pos))
+          << '"' << text << "\" pos " << pos;
+      for (const bool alpha : {false, true}) {
+        ASSERT_EQ(swar::FindAlphaBoundary(view, pos, alpha),
+                  scalar::FindAlphaBoundary(view, pos, alpha))
+            << '"' << text << "\" pos " << pos << " alpha " << alpha;
+        ASSERT_EQ(FindAlphaBoundary(view, pos, alpha),
+                  scalar::FindAlphaBoundary(view, pos, alpha))
+            << '"' << text << "\" pos " << pos << " alpha " << alpha;
+      }
+    }
+  }
+}
+
+// Unaligned starts: the same 64-byte buffer scanned from offsets 0..63
+// must agree with the reference at every offset — the vector paths read
+// aligned heads via an unaligned load, which is where off-by-ones live.
+TEST(CharScan, UnalignedStartsAgree) {
+  std::string text;
+  util::Rng rng(4004);
+  for (int i = 0; i < 64; ++i) {
+    const char pool[] = " \taz@AZ[`{\x80~09";
+    text += pool[rng.Below(sizeof(pool) - 1)];
+  }
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    EXPECT_EQ(swar::FindBlank(text, pos), scalar::FindBlank(text, pos)) << pos;
+    EXPECT_EQ(swar::FindNonBlank(text, pos), scalar::FindNonBlank(text, pos))
+        << pos;
+    EXPECT_EQ(swar::FindAlphaBoundary(text, pos, true),
+              scalar::FindAlphaBoundary(text, pos, true))
+        << pos;
+    EXPECT_EQ(FindAlphaBoundary(text, pos, false),
+              scalar::FindAlphaBoundary(text, pos, false))
+        << pos;
+  }
+}
+
+}  // namespace
+}  // namespace confanon::util

@@ -101,6 +101,101 @@ TEST(LineTokens, RandomRoundTripProperty) {
   }
 }
 
+TEST(LineTokens, TabOnlyGapsAndTrailingWhitespace) {
+  // Tab-only separators survive verbatim, and trailing blanks land in
+  // the final gap (never glued onto the last word, which a rewrite
+  // would otherwise drag along).
+  const LineTokens tabs = TokenizeLine("\t\tneighbor\t1.2.3.4\t\t");
+  ASSERT_EQ(tabs.words.size(), 2u);
+  EXPECT_EQ(tabs.gaps[0], "\t\t");
+  EXPECT_EQ(tabs.words[0], "neighbor");
+  EXPECT_EQ(tabs.gaps[1], "\t");
+  EXPECT_EQ(tabs.words[1], "1.2.3.4");
+  EXPECT_EQ(tabs.gaps[2], "\t\t");
+  EXPECT_EQ(tabs.Render(), "\t\tneighbor\t1.2.3.4\t\t");
+
+  const LineTokens trailing = TokenizeLine("shutdown   ");
+  ASSERT_EQ(trailing.words.size(), 1u);
+  EXPECT_EQ(trailing.words[0], "shutdown");
+  EXPECT_EQ(trailing.gaps[1], "   ");
+}
+
+TEST(LineTokens, EmptyAndBlankLines) {
+  const LineTokens empty = TokenizeLine("");
+  EXPECT_TRUE(empty.words.empty());
+  ASSERT_EQ(empty.gaps.size(), 1u);
+  EXPECT_EQ(empty.gaps[0], "");
+  EXPECT_EQ(empty.Render(), "");
+
+  const LineTokens blank = TokenizeLine(" \t \t");
+  EXPECT_TRUE(blank.words.empty());
+  ASSERT_EQ(blank.gaps.size(), 1u);
+  EXPECT_EQ(blank.Render(), " \t \t");
+}
+
+TEST(LineTokens, CarriageReturnIsPartOfTheWord) {
+  // A stray CR (CRLF file read as LF-split lines) is not a separator:
+  // only space and tab delimit words, so the CR rides along with the
+  // last word and the round trip stays exact.
+  const LineTokens tokens = TokenizeLine("hostname edge-1\r");
+  ASSERT_EQ(tokens.words.size(), 2u);
+  EXPECT_EQ(tokens.words[1], "edge-1\r");
+  EXPECT_EQ(tokens.Render(), "hostname edge-1\r");
+}
+
+TEST(LineTokens, ArbitraryByteRoundTripProperty) {
+  // Render() == input for fully random byte strings — every value
+  // 0..255, including NUL, DEL and high-bit bytes, at lengths that
+  // straddle the 8/16-byte SWAR and SIMD block boundaries. This is the
+  // guarantee that lets the hot path skip all validation: whatever the
+  // scanners classify, the gap/word decomposition loses nothing.
+  util::Rng rng(34);
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string line;
+    const int length = static_cast<int>(rng.Below(40));
+    for (int i = 0; i < length; ++i) {
+      line += static_cast<char>(rng.Below(256));
+    }
+    const LineTokens tokens = TokenizeLine(line);
+    EXPECT_EQ(tokens.Render(), line);
+    ASSERT_EQ(tokens.gaps.size(), tokens.words.size() + 1);
+    // No word may contain a blank, no gap a non-blank.
+    for (const std::string_view word : tokens.words) {
+      EXPECT_EQ(word.find_first_of(" \t"), std::string_view::npos);
+      EXPECT_FALSE(word.empty());
+    }
+    for (const std::string_view gap : tokens.gaps) {
+      EXPECT_EQ(gap.find_first_not_of(" \t"), std::string_view::npos);
+    }
+  }
+}
+
+TEST(SegmentWord, ArbitraryByteConcatenationProperty) {
+  // Segments must reassemble to the input for arbitrary bytes too —
+  // the alpha classification only decides *where* the cuts land.
+  util::Rng rng(35);
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string word;
+    const int length = static_cast<int>(rng.Below(24));
+    for (int i = 0; i < length; ++i) {
+      word += static_cast<char>(rng.Below(256));
+    }
+    std::string reassembled;
+    bool last_alpha = false;
+    bool first = true;
+    for (const Segment& segment : SegmentWord(word)) {
+      EXPECT_FALSE(segment.text.empty());
+      if (!first) {
+        EXPECT_NE(segment.alpha, last_alpha);  // strict alternation
+      }
+      first = false;
+      last_alpha = segment.alpha;
+      reassembled += segment.text;
+    }
+    EXPECT_EQ(reassembled, word);
+  }
+}
+
 TEST(LineTokens, WordEditPreservesSpacing) {
   LineTokens tokens = TokenizeLine(" neighbor 2.2.2.2 remote-as  701");
   tokens.words[3] = "54651";

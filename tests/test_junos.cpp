@@ -29,7 +29,7 @@ TEST(JunosTokenizer, BracesAndBrackets) {
       TokenizeJunosLine("community c members [ 701:120 702:9 ];");
   std::vector<std::string> punct;
   for (const Token& token : line.tokens) {
-    if (token.kind == Token::Kind::kPunct) punct.push_back(token.text);
+    if (token.kind == Token::Kind::kPunct) punct.emplace_back(token.text);
   }
   EXPECT_EQ(punct, (std::vector<std::string>{"[", "]", ";"}));
 }

@@ -390,30 +390,30 @@ TEST(ObservedAnonymizer, JunosMetricsUsePrefix) {
   }
 }
 
-TEST(ObservedAnonymizer, DeprecatedSettersForwardToHooks) {
-  // The pre-Hooks setters must keep working: each one replaces exactly
-  // its own member and leaves the others installed.
+TEST(ObservedAnonymizer, HotPathInstrumentsArenaAndTokenize) {
+  // The zero-copy hot path reports its own health: tokenize latency per
+  // line and the arena's allocation/reset counters at file boundaries.
   obs::MetricsRegistry registry;
-  obs::ProvenanceLog provenance;
-  std::ostringstream trace_stream;
-  obs::JsonlTraceSink sink(trace_stream);
+  obs::Hooks hooks;
+  hooks.metrics = &registry;
 
   core::AnonymizerOptions options;
   options.salt = "obs-test";
   core::Anonymizer anonymizer(std::move(options));
-  anonymizer.set_metrics(&registry);
-  anonymizer.set_trace_sink(&sink);
-  anonymizer.set_provenance(&provenance);
+  anonymizer.install_hooks(hooks);
   const auto post = anonymizer.AnonymizeNetwork(
       {config::ConfigFile::FromText("edge.cfg", kConfig)});
   ASSERT_EQ(post.size(), 1u);
-  sink.Close();
 
   const obs::RunMetrics metrics = registry.Snapshot();
-  EXPECT_EQ(metrics.counters.at("report.total_lines"),
+  // One tokenize sample per non-banner line that reached the tokenizer.
+  EXPECT_GT(metrics.histograms.at("core.tokenize_ns").count, 0u);
+  EXPECT_LE(metrics.histograms.at("core.tokenize_ns").count,
             anonymizer.report().total_lines);
-  EXPECT_GT(sink.event_count(), 0u);
-  EXPECT_FALSE(provenance.empty());
+  // The sample config rewrites words (hashes, mapped addresses), so the
+  // arena handed out bytes and was reset once per file.
+  EXPECT_GT(metrics.counters.at("arena.bytes"), 0u);
+  EXPECT_EQ(metrics.counters.at("arena.resets"), 1u);
 }
 
 TEST(ObservedAnonymizer, LeakScanRecordsMetrics) {

@@ -184,6 +184,54 @@ TEST_P(PipelineDeterminism, ReportsMatchAcrossThreadCounts) {
   EXPECT_EQ(baseline.report().ToJson(), parallel.report().ToJson());
 }
 
+TEST_P(PipelineDeterminism, NetworkSetByteIdenticalAcrossThreads) {
+  // Cross-network mode: three independent networks (IOS, JunOS, mixed),
+  // each with its own salt, run through AnonymizeNetworkSet. The
+  // per-network determinism guarantee composes, so the whole set must be
+  // byte-identical at any thread budget — and outputs must land at their
+  // task index.
+  const auto build_tasks = [] {
+    std::vector<pipeline::NetworkTask> tasks(3);
+    tasks[0].options.base.salt = "netset-a";
+    tasks[0].files = IosCorpus(41, 6);
+    tasks[1].options.base.salt = "netset-b";
+    tasks[1].files = JunosCorpus(42, 6);
+    tasks[2].options.base.salt = "netset-c";
+    tasks[2].files = MixedCorpus(43);
+    return tasks;
+  };
+  const auto tasks = build_tasks();
+  const auto baseline = pipeline::AnonymizeNetworkSet(tasks, {.threads = 1});
+  const auto parallel =
+      pipeline::AnonymizeNetworkSet(tasks, {.threads = GetParam()});
+  ASSERT_EQ(baseline.size(), tasks.size());
+  ASSERT_EQ(parallel.size(), tasks.size());
+  for (std::size_t n = 0; n < tasks.size(); ++n) {
+    ExpectSameTexts(baseline[n].files, parallel[n].files);
+    EXPECT_EQ(baseline[n].report.ToJson(), parallel[n].report.ToJson())
+        << "network " << n;
+  }
+}
+
+TEST(AnonymizeNetworkSet, MatchesStandalonePipelines) {
+  // Each network's output equals what its own standalone CorpusPipeline
+  // produces — the set adds scheduling, never changes a byte.
+  std::vector<pipeline::NetworkTask> tasks(2);
+  tasks[0].options.base.salt = "solo-a";
+  tasks[0].files = IosCorpus(51, 5);
+  tasks[1].options.base.salt = "solo-b";
+  tasks[1].files = JunosCorpus(52, 5);
+
+  const auto results = pipeline::AnonymizeNetworkSet(tasks, {.threads = 4});
+
+  for (std::size_t n = 0; n < tasks.size(); ++n) {
+    pipeline::CorpusPipeline solo(tasks[n].options);
+    const auto expected = solo.AnonymizeCorpus(tasks[n].files);
+    ExpectSameTexts(expected, results[n].files);
+    EXPECT_EQ(solo.report().ToJson(), results[n].report.ToJson());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, PipelineDeterminism,
                          ::testing::Values(2, 4, 8),
                          [](const ::testing::TestParamInfo<int>& info) {

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare two confanon-bench-v1 JSON files and flag p50 regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--warn-above PCT] [--fail]
+
+Prints a table of every latency histogram present in both files
+(`core.line_ns`, `core.tokenize_ns`, `junos.line_ns`, ...) with the
+baseline p50, the current p50 and the relative change. A regression
+larger than --warn-above percent (default 25) emits a GitHub Actions
+`::warning::` annotation; with --fail it also makes the exit code
+nonzero. The default is warn-only: CI bench machines are noisy enough
+that a hard gate on shared runners would flake, but the trend should be
+visible on every run.
+"""
+
+import argparse
+import json
+import sys
+
+
+def histogram_p50s(doc):
+    return {
+        name: snap["p50"]
+        for name, snap in doc.get("metrics", {}).get("histograms", {}).items()
+        if snap.get("count", 0) > 0 and "p50" in snap
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--warn-above", type=float, default=25.0,
+                        metavar="PCT",
+                        help="warn when p50 regresses more than PCT%%")
+    parser.add_argument("--fail", action="store_true",
+                        help="exit nonzero on regression instead of warning")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    base_p50s = histogram_p50s(baseline)
+    cur_p50s = histogram_p50s(current)
+    shared = sorted(set(base_p50s) & set(cur_p50s))
+    if not shared:
+        print("bench_diff: no shared histograms to compare", file=sys.stderr)
+        return 1
+
+    regressions = []
+    print(f"{'histogram':<24} {'baseline p50':>14} {'current p50':>14} "
+          f"{'change':>9}")
+    for name in shared:
+        base, cur = base_p50s[name], cur_p50s[name]
+        change = (cur - base) / base * 100.0 if base > 0 else 0.0
+        marker = ""
+        if change > args.warn_above:
+            marker = "  <-- regression"
+            regressions.append((name, base, cur, change))
+        print(f"{name:<24} {base:>14.0f} {cur:>14.0f} {change:>+8.1f}%"
+              f"{marker}")
+
+    only = sorted(set(cur_p50s) - set(base_p50s))
+    if only:
+        print(f"(not in baseline: {', '.join(only)})")
+
+    for name, base, cur, change in regressions:
+        print(f"::warning::bench p50 regression: {name} "
+              f"{base:.0f}ns -> {cur:.0f}ns ({change:+.1f}%, "
+              f"threshold {args.warn_above:.0f}%)")
+    if regressions and args.fail:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
