@@ -1,0 +1,167 @@
+// confanon_audit: map-free static audit of config corpora (docs/AUDIT.md).
+//
+// Usage:
+//   confanon_audit [options] DIR             residue lint of one corpus
+//   confanon_audit --pre DIR --post DIR      pre/post isomorphism check
+//
+// Options:
+//   --threads N     worker threads for per-file scanning (0 = all cores)
+//   --ios/--junos   force the dialect (default: per-file auto-detection)
+//   --sarif FILE    also write the findings as SARIF 2.1.0
+//   --metrics FILE  write the audit.* metrics snapshot as JSON
+//
+// Exit codes: 0 = clean, 1 = I/O error, 2 = usage error, 3 = audit found
+// error-severity findings. Warnings and notes never fail the run.
+//
+// The auditor holds no anonymizer state — no maps, no salt. A single
+// trailing ".cfg" is stripped from loaded file names so corpus-internal
+// names match what the anonymizer saw (confanon_tool appends ".cfg" when
+// writing output to a directory).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "audit/sarif.h"
+#include "config/document.h"
+#include "obs/metrics.h"
+
+namespace {
+
+void Usage() {
+  std::cerr << "usage: confanon_audit [--threads N] [--ios|--junos] "
+               "[--sarif FILE] [--metrics FILE] DIR\n"
+               "       confanon_audit --pre DIR --post DIR [options]\n";
+}
+
+std::string StripCfgSuffix(std::string name) {
+  const std::string suffix = ".cfg";
+  if (name.size() > suffix.size() &&
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    name.resize(name.size() - suffix.size());
+  }
+  return name;
+}
+
+bool LoadCorpus(const std::string& dir,
+                std::vector<confanon::config::ConfigFile>& out) {
+  std::error_code ec;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  if (ec) {
+    std::cerr << "confanon_audit: cannot read " << dir << ": " << ec.message()
+              << "\n";
+    return false;
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "confanon_audit: cannot open " << path << "\n";
+      return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    out.push_back(confanon::config::ConfigFile::FromText(
+        StripCfgSuffix(path.filename().string()), text.str()));
+  }
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content,
+               const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "confanon_audit: cannot write " << what << " to " << path
+              << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string lint_dir;
+  std::string pre_dir;
+  std::string post_dir;
+  std::string sarif_path;
+  std::string metrics_path;
+  confanon::audit::AuditOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--pre") {
+      pre_dir = next();
+    } else if (arg == "--post") {
+      post_dir = next();
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next());
+    } else if (arg == "--ios") {
+      options.dialect = confanon::audit::DialectMode::kIos;
+    } else if (arg == "--junos") {
+      options.dialect = confanon::audit::DialectMode::kJunos;
+    } else if (arg == "--sarif") {
+      sarif_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      Usage();
+      return 2;
+    } else if (lint_dir.empty()) {
+      lint_dir = arg;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  const bool pair_mode = !pre_dir.empty() || !post_dir.empty();
+  if (pair_mode && (pre_dir.empty() || post_dir.empty() || !lint_dir.empty())) {
+    Usage();
+    return 2;
+  }
+  if (!pair_mode && lint_dir.empty()) {
+    Usage();
+    return 2;
+  }
+
+  confanon::obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+
+  confanon::audit::AuditResult result;
+  if (pair_mode) {
+    std::vector<confanon::config::ConfigFile> pre;
+    std::vector<confanon::config::ConfigFile> post;
+    if (!LoadCorpus(pre_dir, pre) || !LoadCorpus(post_dir, post)) return 1;
+    result = confanon::audit::ComparePair(pre, post, options);
+  } else {
+    std::vector<confanon::config::ConfigFile> files;
+    if (!LoadCorpus(lint_dir, files)) return 1;
+    result = confanon::audit::LintCorpus(files, options);
+  }
+
+  std::cout << result.ToText();
+  if (!sarif_path.empty() &&
+      !WriteFile(sarif_path, confanon::audit::ToSarif(result), "SARIF")) {
+    return 1;
+  }
+  if (!metrics_path.empty() &&
+      !WriteFile(metrics_path, metrics.Snapshot().ToJson(), "metrics")) {
+    return 1;
+  }
+  return result.HasErrors() ? 3 : 0;
+}

@@ -1,0 +1,57 @@
+// Map-free static audit driver.
+//
+// Two modes, both requiring nothing but config text (paper Section 5's
+// third-party "colleague" scenario — no anonymizer instance, no maps, no
+// salt):
+//
+//  - LintCorpus: residue lint over one corpus (rules AUD-R001..R007).
+//    Run it over anonymizer OUTPUT; error-severity findings mean
+//    identity-bearing residue survived.
+//  - ComparePair: structural isomorphism check between an original
+//    corpus and its anonymized counterpart (rules AUD-P001..P006). Files
+//    are paired by canonical shape hash (output file names are hashed,
+//    so name-based pairing is impossible by design); renamed tokens are
+//    checked through corpus-wide per-class bimaps; the def/use reference
+//    graphs and the prefix-containment lattice must match edge for edge.
+//
+// Per-file scanning fans out over the pipeline worker pool; corpus-level
+// analysis (pairing, bimaps, symbol table, lattice) is sequential.
+#pragma once
+
+#include <vector>
+
+#include "audit/finding.h"
+#include "config/document.h"
+#include "obs/metrics.h"
+
+namespace confanon::audit {
+
+enum class DialectMode : std::uint8_t { kAuto, kIos, kJunos };
+
+struct AuditOptions {
+  /// Worker threads for per-file scanning; <= 0 means one per core.
+  int threads = 0;
+  DialectMode dialect = DialectMode::kAuto;
+  /// Optional metrics sink (audit.files, audit.findings, audit.scan_ns).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Residue lint over a single corpus.
+AuditResult LintCorpus(const std::vector<config::ConfigFile>& files,
+                       const AuditOptions& options = {});
+
+/// Pre/post isomorphism check. `post` file names should have tool
+/// suffixes (".cfg") already stripped by the caller.
+AuditResult ComparePair(const std::vector<config::ConfigFile>& pre,
+                        const std::vector<config::ConfigFile>& post,
+                        const AuditOptions& options = {});
+
+/// Rule ids for pair mode.
+inline constexpr const char* kRuleUnpairedFile = "AUD-P001";
+inline constexpr const char* kRuleShapeDivergence = "AUD-P002";
+inline constexpr const char* kRuleRenameConflict = "AUD-P003";
+inline constexpr const char* kRuleRefGraphDivergence = "AUD-P004";
+inline constexpr const char* kRuleIdentitySurvived = "AUD-P005";
+inline constexpr const char* kRuleLatticeDivergence = "AUD-P006";
+
+}  // namespace confanon::audit

@@ -1,0 +1,74 @@
+#include "audit/finding.h"
+
+namespace confanon::audit {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "note";
+}
+
+std::string Anchor::ToString() const {
+  if (file.empty()) return "";
+  if (line == kNoLine) return file;
+  return file + ":" + std::to_string(line + 1);
+}
+
+std::string Finding::ToString() const {
+  std::string out = anchor.ToString();
+  if (!out.empty()) out += ": ";
+  out += SeverityName(severity);
+  out += " [";
+  out += rule_id;
+  out += "] ";
+  out += message;
+  if (!related.file.empty()) {
+    out += " (vs ";
+    out += related.ToString();
+    out += ")";
+  }
+  return out;
+}
+
+std::size_t AuditResult::CountAtLeast(Severity severity) const {
+  std::size_t count = 0;
+  for (const Finding& finding : findings) {
+    if (static_cast<int>(finding.severity) <= static_cast<int>(severity)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string AuditResult::ToText() const {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += finding.ToString();
+    out += '\n';
+  }
+  out += "audit: ";
+  out += std::to_string(files_scanned);
+  out += " files, ";
+  out += std::to_string(lines_scanned);
+  out += " lines, ";
+  out += std::to_string(findings.size());
+  out += " findings (";
+  out += std::to_string(CountAtLeast(Severity::kError));
+  out += " errors)\n";
+  for (const auto& [name, value] : stats) {
+    out += "  ";
+    out += name;
+    out += " = ";
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace confanon::audit

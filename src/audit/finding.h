@@ -1,0 +1,65 @@
+// Diagnostic model for the map-free static auditor.
+//
+// The auditor is the paper's Section 5 "colleague" made executable: a
+// third party holding only config corpora — no anonymizer instance, no
+// maps, no salt — checks that anonymization preserved structure and left
+// no identity-bearing residue. Every check reduces to findings of this
+// shape: a stable rule id, a severity, a primary file:line anchor, and
+// (for pair-mode divergences) a related anchor on the other corpus.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace confanon::audit {
+
+enum class Severity : std::uint8_t {
+  kError,    // structure broken or identity leaked — fails the CI gate
+  kWarning,  // suspicious but adjudicable (the paper's AS 1 false-positive
+             // class lives here)
+  kNote,     // informational (dead definitions and similar)
+};
+
+const char* SeverityName(Severity severity);
+
+/// A file:line anchor. Lines are 1-based in rendered output; kNoLine
+/// marks findings that anchor to a whole file (e.g. its name).
+struct Anchor {
+  static constexpr std::size_t kNoLine = ~std::size_t{0};
+
+  std::string file;
+  std::size_t line = kNoLine;  // zero-based when != kNoLine
+
+  std::string ToString() const;  // "file:LINE" (1-based) or "file"
+};
+
+struct Finding {
+  std::string rule_id;      // stable, documented in docs/AUDIT.md
+  Severity severity = Severity::kError;
+  Anchor anchor;            // pre-corpus side in pair mode
+  Anchor related;           // post-corpus side in pair mode (may be empty)
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct AuditResult {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t lines_scanned = 0;
+  /// Structural fingerprint counters (per-protocol line counts and
+  /// symbol-space sizes), for the human summary.
+  std::map<std::string, std::uint64_t> stats;
+
+  std::size_t CountAtLeast(Severity severity) const;
+  std::size_t ErrorCount() const { return CountAtLeast(Severity::kError); }
+  bool HasErrors() const { return ErrorCount() > 0; }
+
+  /// Human-readable report: one line per finding plus a summary block.
+  std::string ToText() const;
+};
+
+}  // namespace confanon::audit

@@ -1,0 +1,130 @@
+#include "audit/sarif.h"
+
+#include "obs/json.h"
+
+namespace confanon::audit {
+
+namespace {
+
+const char* SarifLevel(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "note";
+}
+
+void WriteLocation(obs::JsonWriter& json, const Anchor& anchor) {
+  json.BeginObject();
+  json.Key("physicalLocation").BeginObject();
+  json.Key("artifactLocation")
+      .BeginObject()
+      .Key("uri")
+      .Value(anchor.file)
+      .EndObject();
+  if (anchor.line != Anchor::kNoLine) {
+    json.Key("region")
+        .BeginObject()
+        .Key("startLine")
+        .Value(static_cast<std::uint64_t>(anchor.line + 1))
+        .EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& RuleCatalog() {
+  static const std::vector<RuleInfo> rules = {
+      {"AUD-R001", "Free-text payload survived anonymization"},
+      {"AUD-R002", "Dotted-quad address embedded in a surviving token"},
+      {"AUD-R003", "ASN-like digit run fused into a surviving name"},
+      {"AUD-R004", "Hostname is not an anonymized hash token"},
+      {"AUD-R005",
+       "Token is neither pass-listed nor an anonymized hash (pass-list "
+       "fallthrough)"},
+      {"AUD-R006", "Reference to a symbol never defined in the corpus"},
+      {"AUD-R007", "Symbol defined but never referenced in the corpus"},
+      {"AUD-P001", "File has no structural counterpart in the other corpus"},
+      {"AUD-P002", "Canonical shapes of paired files diverge"},
+      {"AUD-P003", "Renaming is inconsistent across the corpus pair"},
+      {"AUD-P004", "Def/use reference graphs of paired files diverge"},
+      {"AUD-P005", "Original identifier survived into the anonymized corpus"},
+      {"AUD-P006", "Prefix-containment lattice diverges between corpora"},
+  };
+  return rules;
+}
+
+std::string ToSarif(const AuditResult& result, std::string_view tool_version) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("$schema").Value(
+      "https://json.schemastore.org/sarif-2.1.0.json");
+  json.Key("version").Value("2.1.0");
+  json.Key("runs").BeginArray();
+  json.BeginObject();
+
+  json.Key("tool").BeginObject();
+  json.Key("driver").BeginObject();
+  json.Key("name").Value("confanon_audit");
+  json.Key("version").Value(tool_version);
+  json.Key("informationUri")
+      .Value("https://github.com/confanon/confanon/blob/main/docs/AUDIT.md");
+  json.Key("rules").BeginArray();
+  for (const RuleInfo& rule : RuleCatalog()) {
+    json.BeginObject();
+    json.Key("id").Value(rule.id);
+    json.Key("shortDescription")
+        .BeginObject()
+        .Key("text")
+        .Value(rule.summary)
+        .EndObject();
+    json.EndObject();
+  }
+  json.EndArray();  // rules
+  json.EndObject();  // driver
+  json.EndObject();  // tool
+
+  json.Key("results").BeginArray();
+  for (const Finding& finding : result.findings) {
+    json.BeginObject();
+    json.Key("ruleId").Value(finding.rule_id);
+    json.Key("level").Value(SarifLevel(finding.severity));
+    json.Key("message")
+        .BeginObject()
+        .Key("text")
+        .Value(finding.message)
+        .EndObject();
+    if (!finding.anchor.file.empty()) {
+      json.Key("locations").BeginArray();
+      WriteLocation(json, finding.anchor);
+      json.EndArray();
+    }
+    if (!finding.related.file.empty()) {
+      json.Key("relatedLocations").BeginArray();
+      WriteLocation(json, finding.related);
+      json.EndArray();
+    }
+    json.EndObject();
+  }
+  json.EndArray();  // results
+
+  json.Key("properties").BeginObject();
+  json.Key("filesScanned")
+      .Value(static_cast<std::uint64_t>(result.files_scanned));
+  json.Key("linesScanned")
+      .Value(static_cast<std::uint64_t>(result.lines_scanned));
+  json.EndObject();
+
+  json.EndObject();  // run
+  json.EndArray();   // runs
+  json.EndObject();
+  return json.Take();
+}
+
+}  // namespace confanon::audit

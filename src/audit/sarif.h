@@ -1,0 +1,35 @@
+// SARIF 2.1.0 rendering of audit results.
+//
+// SARIF (Static Analysis Results Interchange Format, OASIS standard,
+// schema: https://json.schemastore.org/sarif-2.1.0.json) is the lingua
+// franca of static-analysis tooling — emitting it lets CI systems and
+// code hosts ingest audit findings natively. One run object carries the
+// tool descriptor (with the full rule catalog), and one result per
+// finding with its file:line location; pair-mode findings attach the
+// post-corpus anchor as a related location.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "audit/finding.h"
+
+namespace confanon::audit {
+
+/// Static metadata for one audit rule, shared by the SARIF catalog and
+/// docs/AUDIT.md.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// All rule ids the auditor can emit (lint AUD-R*, pair AUD-P*).
+const std::vector<RuleInfo>& RuleCatalog();
+
+/// Renders the result as a SARIF 2.1.0 log with a single run.
+/// `tool_version` goes into the driver descriptor.
+std::string ToSarif(const AuditResult& result,
+                    std::string_view tool_version = "0.1.0");
+
+}  // namespace confanon::audit

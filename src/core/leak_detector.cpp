@@ -1,7 +1,6 @@
 #include "core/leak_detector.h"
 
 #include "obs/trace.h"
-#include "util/aho_corasick.h"
 #include "util/strings.h"
 
 namespace confanon::core {
@@ -16,35 +15,82 @@ namespace {
 
 bool IsWordChar(char c) { return util::IsAsciiAlnum(c) || c == '.'; }
 
+std::vector<std::string> CollectPatterns(const LeakRecord& record) {
+  std::vector<std::string> patterns;
+  patterns.reserve(record.hashed_words.size() + record.public_asns.size() +
+                   record.addresses.size());
+  patterns.insert(patterns.end(), record.hashed_words.begin(),
+                  record.hashed_words.end());
+  patterns.insert(patterns.end(), record.public_asns.begin(),
+                  record.public_asns.end());
+  patterns.insert(patterns.end(), record.addresses.begin(),
+                  record.addresses.end());
+  return patterns;
+}
+
+std::vector<LeakFinding::Kind> CollectKinds(const LeakRecord& record) {
+  std::vector<LeakFinding::Kind> kinds;
+  kinds.reserve(record.hashed_words.size() + record.public_asns.size() +
+                record.addresses.size());
+  kinds.insert(kinds.end(), record.hashed_words.size(),
+               LeakFinding::Kind::kHashedWord);
+  kinds.insert(kinds.end(), record.public_asns.size(),
+               LeakFinding::Kind::kAsn);
+  kinds.insert(kinds.end(), record.addresses.size(),
+               LeakFinding::Kind::kAddress);
+  return kinds;
+}
+
 }  // namespace
+
+LeakScanner::LeakScanner(const LeakRecord& record)
+    : patterns_(CollectPatterns(record)),
+      kinds_(CollectKinds(record)),
+      automaton_(patterns_),
+      reported_generation_(patterns_.size(), 0) {}
+
+void LeakScanner::ScanFile(const config::ConfigFile& file,
+                           std::vector<LeakFinding>& findings) {
+  if (patterns_.empty()) return;
+  for (std::size_t i = 0; i < file.lines().size(); ++i) {
+    const std::string& line = file.lines()[i];
+    if (line.empty()) continue;
+    // Each identifier is reported at most once per line (a line with
+    // "701 701" is one finding), matching grep -l style triage.
+    ++generation_;
+    automaton_.FindAllInto(line, matches_);
+    for (const util::AhoCorasick::Match& match : matches_) {
+      if (reported_generation_[match.pattern_index] == generation_) continue;
+      // Word-boundary check: '.'-joined alphanumerics count as one
+      // word, so "1.2.3.4" does not fire inside "11.2.3.40" while
+      // "701" still fires inside "701:120".
+      const bool left_ok =
+          match.begin == 0 || !IsWordChar(line[match.begin - 1]);
+      const bool right_ok =
+          match.end == line.size() || !IsWordChar(line[match.end]);
+      if (!left_ok || !right_ok) continue;
+      reported_generation_[match.pattern_index] = generation_;
+      findings.push_back(LeakFinding{file.name(), i, line,
+                                     patterns_[match.pattern_index],
+                                     kinds_[match.pattern_index]});
+    }
+  }
+}
 
 std::vector<LeakFinding> LeakDetector::Scan(
     const std::vector<config::ConfigFile>& anonymized,
     const LeakRecord& record, obs::MetricsRegistry* metrics) {
   obs::ScopedTimer scan_span(&obs::GlobalTracer(), "leak-scan");
-  // One Aho-Corasick automaton over every recorded identifier; a single
-  // pass per line replaces the per-identifier grep of a naive scan (the
-  // paper's corpus was 4.3M lines — this is what keeps the grep-back
-  // defence cheap).
-  std::vector<std::string> patterns;
-  std::vector<LeakFinding::Kind> kinds;
-  const auto add_set = [&](const std::set<std::string>& identifiers,
-                           LeakFinding::Kind kind) {
-    for (const std::string& identifier : identifiers) {
-      patterns.push_back(identifier);
-      kinds.push_back(kind);
-    }
-  };
-  add_set(record.hashed_words, LeakFinding::Kind::kHashedWord);
-  add_set(record.public_asns, LeakFinding::Kind::kAsn);
-  add_set(record.addresses, LeakFinding::Kind::kAddress);
-
+  // One Aho-Corasick automaton over every recorded identifier, built once
+  // per corpus; a single pass per line covers all three identifier
+  // classes (the paper's corpus was 4.3M lines — this is what keeps the
+  // grep-back defence cheap).
+  LeakScanner scanner(record);
   std::vector<LeakFinding> findings;
   if (metrics != nullptr) {
-    metrics->CounterNamed("leak.patterns").Add(patterns.size());
+    metrics->CounterNamed("leak.patterns").Add(scanner.pattern_count());
   }
-  if (patterns.empty()) return findings;
-  const util::AhoCorasick automaton(patterns);
+  if (scanner.pattern_count() == 0) return findings;
   obs::LatencyHistogram* scan_hist =
       metrics != nullptr ? &metrics->HistogramNamed("leak.scan_ns") : nullptr;
   std::uint64_t lines_scanned = 0;
@@ -52,28 +98,7 @@ std::vector<LeakFinding> LeakDetector::Scan(
   for (const config::ConfigFile& file : anonymized) {
     obs::ScopedTimer file_span(nullptr, "leak-scan-file", scan_hist);
     lines_scanned += file.lines().size();
-    for (std::size_t i = 0; i < file.lines().size(); ++i) {
-      const std::string& line = file.lines()[i];
-      if (line.empty()) continue;
-      // Each identifier is reported at most once per line (a line with
-      // "701 701" is one finding), matching grep -l style triage.
-      std::vector<bool> reported(patterns.size(), false);
-      for (const util::AhoCorasick::Match& match : automaton.FindAll(line)) {
-        if (reported[match.pattern_index]) continue;
-        // Word-boundary check: '.'-joined alphanumerics count as one
-        // word, so "1.2.3.4" does not fire inside "11.2.3.40" while
-        // "701" still fires inside "701:120".
-        const bool left_ok =
-            match.begin == 0 || !IsWordChar(line[match.begin - 1]);
-        const bool right_ok =
-            match.end == line.size() || !IsWordChar(line[match.end]);
-        if (!left_ok || !right_ok) continue;
-        reported[match.pattern_index] = true;
-        findings.push_back(LeakFinding{file.name(), i, line,
-                                       patterns[match.pattern_index],
-                                       kinds[match.pattern_index]});
-      }
-    }
+    scanner.ScanFile(file, findings);
   }
   if (metrics != nullptr) {
     metrics->CounterNamed("leak.lines_scanned").Add(lines_scanned);

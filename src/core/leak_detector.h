@@ -15,12 +15,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "config/document.h"
 #include "obs/metrics.h"
+#include "util/aho_corasick.h"
 
 namespace confanon::core {
 
@@ -41,6 +43,35 @@ struct LeakFinding {
   std::string line;
   std::string matched;  // the recorded identifier that matched
   Kind kind = Kind::kHashedWord;
+};
+
+/// Reusable scanner over one LeakRecord: the Aho-Corasick automaton over
+/// all three identifier classes (hashed words, public ASNs, addresses) is
+/// built once at construction and every line is walked exactly once. The
+/// per-line "report each identifier at most once" dedup uses generation
+/// stamps instead of a fresh O(patterns) bitmap per line, and the match
+/// buffer is reused across lines — the two allocations that used to
+/// dominate leak.scan_ns.
+class LeakScanner {
+ public:
+  explicit LeakScanner(const LeakRecord& record);
+
+  std::size_t pattern_count() const { return patterns_.size(); }
+
+  /// Appends this file's findings. Not thread-safe (owns scratch state);
+  /// use one scanner per thread for parallel scans.
+  void ScanFile(const config::ConfigFile& file,
+                std::vector<LeakFinding>& findings);
+
+ private:
+  std::vector<std::string> patterns_;
+  std::vector<LeakFinding::Kind> kinds_;
+  util::AhoCorasick automaton_;
+  // Scratch: match buffer and per-pattern generation stamps (a pattern is
+  // reported on the current line iff its stamp equals generation_).
+  std::vector<util::AhoCorasick::Match> matches_;
+  std::vector<std::uint64_t> reported_generation_;
+  std::uint64_t generation_ = 0;
 };
 
 class LeakDetector {

@@ -30,7 +30,10 @@ const std::string& StringHasher::Hash(std::string_view word) {
 
   // Miss: compute outside any lock (SHA-1 dominates the cost), then
   // register the token for collision detection and memoize.
-  std::string token = "h" + util::SaltedHexToken(salt_, word, 10);
+  // Built via insert (not operator+ on the rvalue) to sidestep GCC 12's
+  // bogus -Wrestrict diagnostic on `literal + std::string&&` (PR105651).
+  std::string token = util::SaltedHexToken(salt_, word, 10);
+  token.insert(0, 1, 'h');
   {
     ReverseShard& rev = reverse_shards_[ReverseShardOf(token)];
     std::lock_guard<std::mutex> lock(rev.mutex);

@@ -91,7 +91,7 @@ class Writer {
       const std::string gap = dialect_.double_space_artifact ? "  " : " ";
       Line(indent_ + "ip address " + iface.address.ToString() + gap +
            MaskOf(iface.prefix_length));
-      if (iface.name.rfind("Serial", 0) == 0 &&
+      if (util::StartsWith(iface.name, "Serial") &&
           iface.name.find('.') == std::string::npos) {
         Line(indent_ + "bandwidth 1544");
         Line(indent_ + "no fair-queue");
@@ -255,7 +255,8 @@ class Writer {
         if (!clause.set_prepend.empty()) {
           std::string prepend = indent_ + "set as-path prepend";
           for (std::uint32_t asn : clause.set_prepend) {
-            prepend += " " + std::to_string(asn);
+            prepend += ' ';
+            prepend += std::to_string(asn);
           }
           Line(prepend);
         }

@@ -1,0 +1,48 @@
+#include "pipeline/parallel_for.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace confanon::pipeline {
+
+int ResolveWorkerCount(int requested, std::size_t items) {
+  int threads = requested;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(threads), std::max<std::size_t>(items, 1)));
+  return threads;
+}
+
+void RunWorkers(int threads, const std::function<void(int)>& worker) {
+  if (threads <= 1) {
+    worker(0);
+    return;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto guarded = [&](int index) {
+    try {
+      worker(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back(guarded, t);
+  }
+  for (std::thread& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace confanon::pipeline

@@ -1,0 +1,55 @@
+// Reusable worker-pool primitives for embarrassingly parallel stages.
+//
+// Three subsystems fan work out over an index space with the same shape:
+// the corpus pipeline (files of one network), the network-set runner
+// (whole networks), and the audit driver (files of a corpus under
+// analysis). Each wants the identical idiom — a fixed pool of workers
+// pulling fixed-size batches from an atomic cursor, with the first worker
+// exception rethrown on the calling thread — so the idiom lives here once
+// instead of being re-derived per call site.
+//
+// Determinism: the queue hands out disjoint index ranges, so as long as
+// each worker writes only to slots of its own indices, the aggregate
+// result is independent of scheduling. Nothing here synchronizes user
+// state beyond the cursor; that is the caller's contract.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace confanon::pipeline {
+
+/// Clamps a requested worker count to something sensible for `items`
+/// units of work: <=0 means "ask the hardware", and more workers than
+/// items just idle.
+int ResolveWorkerCount(int requested, std::size_t items);
+
+/// An atomic batch cursor over [0, count). Thread-safe; each Next() hands
+/// out a disjoint half-open range.
+class WorkQueue {
+ public:
+  WorkQueue(std::size_t count, std::size_t batch)
+      : count_(count), batch_(batch == 0 ? 1 : batch) {}
+
+  /// Claims the next batch. Returns false when the range is exhausted.
+  bool Next(std::size_t& begin, std::size_t& end) {
+    begin = cursor_.fetch_add(batch_, std::memory_order_relaxed);
+    if (begin >= count_) return false;
+    end = begin + batch_ < count_ ? begin + batch_ : count_;
+    return true;
+  }
+
+ private:
+  std::size_t count_;
+  std::size_t batch_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+/// Runs `worker(worker_index)` on `threads` workers. With threads <= 1 the
+/// worker runs inline on the calling thread (no pool, no synchronization
+/// cost). Exceptions are caught per worker and the first one is rethrown
+/// on the calling thread after the join.
+void RunWorkers(int threads, const std::function<void(int)>& worker);
+
+}  // namespace confanon::pipeline

@@ -1,13 +1,11 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
 
 #include "core/anonymizer.h"
 #include "obs/provenance.h"
+#include "pipeline/parallel_for.h"
 #include "util/strings.h"
 
 namespace confanon::pipeline {
@@ -55,16 +53,7 @@ CorpusPipeline::CorpusPipeline(PipelineOptions options)
 }
 
 int CorpusPipeline::ResolveThreads(std::size_t file_count) const {
-  int threads = options_.threads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
-  // More workers than files just idle.
-  threads = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(threads),
-                            std::max<std::size_t>(file_count, 1)));
-  return threads;
+  return ResolveWorkerCount(options_.threads, file_count);
 }
 
 FileDialect CorpusPipeline::ResolveDialect(
@@ -133,60 +122,35 @@ std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
   const int threads = i7_enabled ? ResolveThreads(files.size()) : 1;
   std::vector<config::ConfigFile> out(files.size());
 
-  std::atomic<std::size_t> cursor{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  const auto run_worker = [&](EngineWorker& worker) {
-    obs::Hooks worker_hooks = hooks_;
-    worker_hooks.provenance = nullptr;
-    worker.ios.install_hooks(worker_hooks);
-    worker.junos.install_hooks(worker_hooks);
-    try {
-      for (;;) {
-        const std::size_t begin =
-            cursor.fetch_add(options_.batch_size, std::memory_order_relaxed);
-        if (begin >= files.size()) break;
-        const std::size_t end =
-            std::min(begin + options_.batch_size, files.size());
-        for (std::size_t i = begin; i < end; ++i) {
-          core::AnonymizerEngine& engine = worker.ForDialect(dialects[i]);
-          if (collect_provenance) {
-            obs::Hooks per_file = worker_hooks;
-            per_file.provenance = &file_provenance[i];
-            engine.install_hooks(per_file);
-          }
-          out[i] = engine.AnonymizeFile(files[i]);
-        }
-      }
-      worker.ios.SyncMetrics();
-      worker.junos.SyncMetrics();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  };
-
   std::vector<std::unique_ptr<EngineWorker>> workers;
   workers.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     workers.push_back(std::make_unique<EngineWorker>(options_, state_));
   }
 
-  if (threads <= 1) {
-    run_worker(*workers.front());
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back([&run_worker, &workers, t] {
-        run_worker(*workers[static_cast<std::size_t>(t)]);
-      });
+  WorkQueue queue(files.size(), options_.batch_size);
+  RunWorkers(threads, [&](int worker_index) {
+    EngineWorker& worker = *workers[static_cast<std::size_t>(worker_index)];
+    obs::Hooks worker_hooks = hooks_;
+    worker_hooks.provenance = nullptr;
+    worker.ios.install_hooks(worker_hooks);
+    worker.junos.install_hooks(worker_hooks);
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    while (queue.Next(begin, end)) {
+      for (std::size_t i = begin; i < end; ++i) {
+        core::AnonymizerEngine& engine = worker.ForDialect(dialects[i]);
+        if (collect_provenance) {
+          obs::Hooks per_file = worker_hooks;
+          per_file.provenance = &file_provenance[i];
+          engine.install_hooks(per_file);
+        }
+        out[i] = engine.AnonymizeFile(files[i]);
+      }
     }
-    for (std::thread& thread : pool) thread.join();
-  }
-
-  if (first_error) std::rethrow_exception(first_error);
+    worker.ios.SyncMetrics();
+    worker.junos.SyncMetrics();
+  });
 
   // Deterministic join: merge per-worker reports/leak records (sums and
   // set unions commute) and concatenate provenance in corpus order.
@@ -247,19 +211,15 @@ std::vector<NetworkOutput> AnonymizeNetworkSet(
   // Slots run whole networks concurrently; each network's own pipeline
   // gets an equal share of the remaining budget (so total concurrency
   // stays ~= the budget whichever way the work is shaped).
-  const int slots = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(total), tasks.size()));
+  const int slots = ResolveWorkerCount(total, tasks.size());
   const int inner = std::max(1, total / slots);
 
-  std::atomic<std::size_t> cursor{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  const auto run_slot = [&] {
-    try {
-      for (;;) {
-        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= tasks.size()) break;
+  WorkQueue queue(tasks.size(), 1);
+  RunWorkers(slots, [&](int) {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    while (queue.Next(begin, end)) {
+      for (std::size_t i = begin; i < end; ++i) {
         PipelineOptions options = tasks[i].options;
         if (options.threads <= 0) options.threads = inner;
         CorpusPipeline pipe(std::move(options));
@@ -270,22 +230,8 @@ std::vector<NetworkOutput> AnonymizeNetworkSet(
         out[i].report = pipe.report();
         out[i].leak_record = pipe.leak_record();
       }
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
     }
-  };
-
-  if (slots <= 1) {
-    run_slot();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(slots));
-    for (int s = 0; s < slots; ++s) pool.emplace_back(run_slot);
-    for (std::thread& thread : pool) thread.join();
-  }
-
-  if (first_error) std::rethrow_exception(first_error);
+  });
   return out;
 }
 

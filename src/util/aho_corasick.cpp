@@ -91,18 +91,23 @@ std::int32_t AhoCorasick::Step(std::int32_t state, unsigned char c) const {
 std::vector<AhoCorasick::Match> AhoCorasick::FindAll(
     std::string_view text) const {
   std::vector<Match> matches;
+  FindAllInto(text, matches);
+  return matches;
+}
+
+void AhoCorasick::FindAllInto(std::string_view text,
+                              std::vector<Match>& out) const {
+  out.clear();
   std::int32_t state = 0;
   for (std::size_t i = 0; i < text.size(); ++i) {
     state = Step(state, Fold(text[i]));
     for (std::int32_t node = state; node != -1;
          node = nodes_[static_cast<std::size_t>(node)].output_link) {
       for (std::size_t p : nodes_[static_cast<std::size_t>(node)].ends_here) {
-        matches.push_back(
-            Match{p, i + 1 - pattern_lengths_[p], i + 1});
+        out.push_back(Match{p, i + 1 - pattern_lengths_[p], i + 1});
       }
     }
   }
-  return matches;
 }
 
 bool AhoCorasick::AnyMatch(std::string_view text) const {

@@ -33,6 +33,10 @@ class AhoCorasick {
   /// order.
   std::vector<Match> FindAll(std::string_view text) const;
 
+  /// FindAll into a caller-owned buffer (cleared first). Per-line scan
+  /// loops reuse one buffer instead of allocating a vector per line.
+  void FindAllInto(std::string_view text, std::vector<Match>& out) const;
+
   /// True if any pattern occurs in `text`.
   bool AnyMatch(std::string_view text) const;
 

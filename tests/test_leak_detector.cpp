@@ -1,0 +1,186 @@
+// LeakDetector/LeakScanner: equivalence against a naive reference scan
+// and word-boundary edge cases of the Section 6.1 grep-back defence.
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/document.h"
+#include "core/leak_detector.h"
+#include "util/aho_corasick.h"
+
+namespace confanon {
+namespace {
+
+using core::LeakDetector;
+using core::LeakFinding;
+using core::LeakRecord;
+using core::LeakScanner;
+
+char FoldChar(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool IsWordChar(char c) {
+  return (c >= '0' && c <= '9') || (FoldChar(c) >= 'a' && FoldChar(c) <= 'z') ||
+         c == '.';
+}
+
+/// The specification the optimized scanner must match: for every recorded
+/// identifier independently, case-insensitive substring search with
+/// word-boundary checks, each identifier reported at most once per line.
+std::vector<LeakFinding> ReferenceScan(
+    const std::vector<config::ConfigFile>& corpus, const LeakRecord& record) {
+  std::vector<std::pair<std::string, LeakFinding::Kind>> patterns;
+  for (const std::string& word : record.hashed_words) {
+    patterns.emplace_back(word, LeakFinding::Kind::kHashedWord);
+  }
+  for (const std::string& asn : record.public_asns) {
+    patterns.emplace_back(asn, LeakFinding::Kind::kAsn);
+  }
+  for (const std::string& address : record.addresses) {
+    patterns.emplace_back(address, LeakFinding::Kind::kAddress);
+  }
+  std::vector<LeakFinding> findings;
+  for (const config::ConfigFile& file : corpus) {
+    for (std::size_t i = 0; i < file.lines().size(); ++i) {
+      std::string folded = file.lines()[i];
+      std::transform(folded.begin(), folded.end(), folded.begin(), FoldChar);
+      for (const auto& [pattern, kind] : patterns) {
+        std::string needle = pattern;
+        std::transform(needle.begin(), needle.end(), needle.begin(), FoldChar);
+        for (std::size_t pos = folded.find(needle); pos != std::string::npos;
+             pos = folded.find(needle, pos + 1)) {
+          const std::size_t end = pos + needle.size();
+          const bool left_ok = pos == 0 || !IsWordChar(folded[pos - 1]);
+          const bool right_ok =
+              end == folded.size() || !IsWordChar(folded[end]);
+          if (!left_ok || !right_ok) continue;
+          findings.push_back(
+              LeakFinding{file.name(), i, file.lines()[i], pattern, kind});
+          break;  // at most one report per identifier per line
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+/// Order-insensitive comparison key.
+std::vector<std::tuple<std::string, std::size_t, std::string, int>> Keys(
+    std::vector<LeakFinding> findings) {
+  std::vector<std::tuple<std::string, std::size_t, std::string, int>> keys;
+  keys.reserve(findings.size());
+  for (const LeakFinding& finding : findings) {
+    keys.emplace_back(finding.file, finding.line_number, finding.matched,
+                      static_cast<int>(finding.kind));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+LeakRecord SampleRecord() {
+  LeakRecord record;
+  record.hashed_words = {"corp-gw", "secret", "Chicago"};
+  record.public_asns = {"1", "701", "7018"};
+  record.addresses = {"10.1.1.1", "1.2.3.4"};
+  return record;
+}
+
+TEST(LeakDetector, MatchesReferenceScanOnMixedCorpus) {
+  const std::vector<config::ConfigFile> corpus = {
+      config::ConfigFile::FromText(
+          "a.cfg",
+          "hostname corp-gw\n"
+          "router bgp 701\n"
+          " neighbor 10.1.1.1 remote-as 7018\n"
+          " neighbor 10.1.1.10 remote-as 17018\n"
+          "snmp-server community SECRET ro\n"
+          "! 701 701 twice on one line is one finding\n"
+          "ip route 1.2.3.4 255.255.255.255 Null0\n"
+          "ip route 11.2.3.40 255.255.255.255 Null0\n"),
+      config::ConfigFile::FromText(
+          "b.cfg",
+          "set community 701:120\n"
+          "interface chicago0/1\n"
+          "description CHICAGO uplink\n"
+          "as7018 is embedded, 7018 is not\n"),
+  };
+  const std::vector<LeakFinding> fast =
+      LeakDetector::Scan(corpus, SampleRecord());
+  EXPECT_FALSE(fast.empty());
+  EXPECT_EQ(Keys(fast), Keys(ReferenceScan(corpus, SampleRecord())));
+}
+
+TEST(LeakDetector, WordBoundaryEdgeCases) {
+  LeakRecord record;
+  record.public_asns = {"701", "1"};
+  record.addresses = {"10.1.1.1"};
+  const auto matches = [&](const std::string& line) {
+    const std::vector<config::ConfigFile> corpus = {
+        config::ConfigFile::FromText("t.cfg", line + "\n")};
+    std::vector<std::string> matched;
+    for (const LeakFinding& finding : LeakDetector::Scan(corpus, record)) {
+      matched.push_back(finding.matched);
+    }
+    std::sort(matched.begin(), matched.end());
+    return matched;
+  };
+  using V = std::vector<std::string>;
+
+  // Line start / line end / whole line.
+  EXPECT_EQ(matches("701 appears first"), V{"701"});
+  EXPECT_EQ(matches("last word is 701"), V{"701"});
+  EXPECT_EQ(matches("701"), V{"701"});
+
+  // ':' and '/' are boundaries; '.' joins a word.
+  EXPECT_EQ(matches("set community 701:120"), V{"701"});
+  EXPECT_EQ(matches("ip address 10.1.1.1/24"), (V{"10.1.1.1"}));
+  EXPECT_EQ(matches("bgp neighbor 10.1.1.1:179"), (V{"10.1.1.1"}));
+  EXPECT_EQ(matches("version 701.1"), V{});
+  EXPECT_EQ(matches("list 1.2 deny"), V{});
+
+  // ASN digits embedded in longer numbers must not match.
+  EXPECT_EQ(matches("router bgp 7011"), V{});
+  EXPECT_EQ(matches("router bgp 1701"), V{});
+  EXPECT_EQ(matches("mtu 17012"), V{});
+  EXPECT_EQ(matches("as701 fused into a name"), V{});
+
+  // Address embedded in a longer dotted quad must not match.
+  EXPECT_EQ(matches("ip route 110.1.1.1 Null0"), V{});
+  EXPECT_EQ(matches("ip route 10.1.1.10 Null0"), V{});
+}
+
+TEST(LeakScanner, ReusedScannerMatchesOneShotScan) {
+  const std::vector<config::ConfigFile> corpus = {
+      config::ConfigFile::FromText("a.cfg", "router bgp 701\nhello corp-gw\n"),
+      config::ConfigFile::FromText("b.cfg", "ip route 1.2.3.4 Null0\n"),
+  };
+  LeakScanner scanner(SampleRecord());
+  std::vector<LeakFinding> findings;
+  for (int round = 0; round < 2; ++round) {
+    findings.clear();
+    for (const config::ConfigFile& file : corpus) {
+      scanner.ScanFile(file, findings);
+    }
+    EXPECT_EQ(Keys(findings),
+              Keys(LeakDetector::Scan(corpus, SampleRecord())));
+  }
+}
+
+TEST(AhoCorasick, FindAllIntoClearsAndRefillsTheBuffer) {
+  const util::AhoCorasick automaton({"ab", "bc"});
+  std::vector<util::AhoCorasick::Match> buffer;
+  automaton.FindAllInto("abc", buffer);
+  ASSERT_EQ(buffer.size(), 2u);
+  automaton.FindAllInto("xbc", buffer);
+  ASSERT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer[0].pattern_index, 1u);
+  automaton.FindAllInto("zzz", buffer);
+  EXPECT_TRUE(buffer.empty());
+}
+
+}  // namespace
+}  // namespace confanon
