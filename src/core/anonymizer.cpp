@@ -99,7 +99,8 @@ Anonymizer::Anonymizer(AnonymizerOptions options,
       enabled_{},
       shared_state_(state != nullptr),
       state_(shared_state_ ? std::move(state)
-                           : std::make_shared<NetworkState>(options_.salt)) {
+                           : std::make_shared<NetworkState>(options_.salt)),
+      batcher_(state_->hasher) {
   const auto on = [&](const char* name) {
     return !options_.disabled_rules.contains(name);
   };
@@ -143,6 +144,22 @@ void Anonymizer::CollectFileAddresses(const config::ConfigFile& file,
           slash == std::string_view::npos ? word : word.substr(0, slash));
       if (address && !net::IsSpecial(*address)) {
         out.push_back(*address);
+      }
+    }
+  }
+}
+
+void Anonymizer::CollectHashCandidates(const config::ConfigFile& file,
+                                       const passlist::PassList& pass_list,
+                                       std::vector<std::string_view>& out) {
+  for (const std::string& line : file.lines()) {
+    for (std::string_view word : util::SplitWords(line)) {
+      if (word.empty() || config::IsNonAlphabetic(word)) continue;
+      for (const config::Segment& segment : config::SegmentWord(word)) {
+        if (segment.alpha && !pass_list.Contains(segment.text)) {
+          out.push_back(word);
+          break;
+        }
       }
     }
   }
@@ -219,6 +236,11 @@ config::ConfigFile Anonymizer::AnonymizeFile(const config::ConfigFile& file) {
       AnonymizeLine(file, index, in_banner, banner_start, out_lines);
     }
   }
+  // Resolve the remaining partial hash batch (dummy-padded lanes) and
+  // render the lines waiting on it — the pending words and deferred token
+  // views are arena-backed, so this must precede the reset.
+  batcher_.FlushAll();
+  DrainDeferred(out_lines);
   // Every line has been rendered into an owned output string; no
   // arena-backed view survives past this point.
   arena_.Reset();
@@ -306,8 +328,46 @@ void Anonymizer::AnonymizeLine(const config::ConfigFile& file,
     ctx.lower.push_back(util::ToLowerArena(word, arena_));
   }
   ctx.handled.assign(ctx.tokens.words.size(), false);
+  ctx.pending_slots = 0;
   ApplyWordPasses(ctx);
-  out_lines.push_back(ctx.tokens.Render());
+  if (ctx.pending_slots == 0) {
+    out_lines.push_back(ctx.tokens.Render());
+  } else {
+    // Some hash tokens are still pending in the batcher: park the line
+    // (moving the token vectors keeps the slot addresses stable) and
+    // reserve its output position. It renders once the batcher's
+    // resolved sequence reaches everything this line enqueued.
+    deferred_.push_back(DeferredLine{std::move(ctx.tokens), out_lines.size(),
+                                     batcher_.enqueued_seq()});
+    out_lines.emplace_back();
+  }
+  // Flush policy: full 4-lane batches flush eagerly; with a provenance
+  // log installed everything flushes per line, since the log records
+  // post-line word counts and must see the rendered line immediately.
+  if (provenance_ != nullptr) {
+    batcher_.FlushAll();
+  } else {
+    batcher_.FlushFull();
+  }
+  DrainDeferred(out_lines);
+}
+
+void Anonymizer::HashWord(LineCtx& ctx, std::size_t i) {
+  if (const std::string* token =
+          batcher_.Lookup(ctx.tokens.words[i], arena_, &ctx.tokens.words[i])) {
+    ctx.SetWordRef(i, *token);
+  } else {
+    ++ctx.pending_slots;
+  }
+}
+
+void Anonymizer::DrainDeferred(std::vector<std::string>& out_lines) {
+  while (!deferred_.empty() &&
+         deferred_.front().seq <= batcher_.resolved_seq()) {
+    DeferredLine& line = deferred_.front();
+    out_lines[line.out_index] = line.tokens.Render();
+    deferred_.pop_front();
+  }
 }
 
 void Anonymizer::ApplyWordPasses(LineCtx& ctx) {
@@ -393,6 +453,17 @@ void Anonymizer::ApplyHooks() {
   rewrite_memo_hits_ =
       metrics_ != nullptr ? &metrics_->CounterNamed("asn.rewrite_memo_hits")
                           : nullptr;
+  // The batched word-hash instruments are unprefixed ("hash.*"): the
+  // hasher is dialect-agnostic shared state, so both engines feed the
+  // same instruments.
+  if (metrics_ != nullptr) {
+    batcher_.set_metrics(&metrics_->HistogramNamed("hash.batch_ns"),
+                         &metrics_->CounterNamed("hash.batched_words"),
+                         &metrics_->CounterNamed("hash.batch_flushes"),
+                         &metrics_->HistogramNamed("hash.lane_fill"));
+  } else {
+    batcher_.set_metrics(nullptr, nullptr, nullptr, nullptr);
+  }
 }
 
 void Anonymizer::RecordRewrite(const asn::RewriteResult& result) {
@@ -757,8 +828,9 @@ void Anonymizer::ApplyMiscLineRules(LineCtx& ctx) {
     if (!pass_list_.Contains(words[i])) {
       leak_record_.hashed_words.insert(std::string(words[i]));
     }
-    // Hash() returns a stable ref into the hasher's memo.
-    ctx.SetWordRef(i, state_->hasher.Hash(words[i]));
+    // Memo hits rewrite immediately; misses batch through the 4-way
+    // SHA-1 kernel and patch the word at flush time.
+    HashWord(ctx, i);
     handled[i] = true;
     ++report_.words_hashed;
     report_.CountRule(rule);
@@ -976,7 +1048,7 @@ void Anonymizer::ApplyTokenRules(LineCtx& ctx) {
       continue;
     }
     leak_record_.hashed_words.insert(std::string(word));
-    ctx.SetWordRef(i, state_->hasher.Hash(word));
+    HashWord(ctx, i);
     ++report_.words_hashed;
     report_.CountRule(rules::kPasslistHash);
   }

@@ -1,0 +1,136 @@
+#include "core/hash_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <unordered_set>
+
+namespace confanon::core {
+
+void HashBatcher::set_metrics(obs::LatencyHistogram* batch_ns,
+                              obs::Counter* batched_words,
+                              obs::Counter* batch_flushes,
+                              obs::LatencyHistogram* lane_fill) {
+  batch_ns_ = batch_ns;
+  batched_words_ = batched_words;
+  batch_flushes_ = batch_flushes;
+  lane_fill_ = lane_fill;
+}
+
+const std::string* HashBatcher::Lookup(std::string_view word,
+                                       util::Arena& arena,
+                                       std::string_view* slot, bool quote) {
+  if (const std::string* token = hasher_->Find(word)) return token;
+
+  util::Arena* quote_arena = quote ? &arena : nullptr;
+  if (const auto it = index_.find(word); it != index_.end()) {
+    it->second->slots.push_back(Slot{slot, quote_arena});
+    return nullptr;
+  }
+  const std::string_view stored = arena.Store(word);
+  pending_.push_back(Pending{stored, ++enqueued_seq_, {}});
+  Pending& entry = pending_.back();
+  entry.slots.push_back(Slot{slot, quote_arena});
+  index_.emplace(stored, &entry);
+  return nullptr;
+}
+
+void HashBatcher::FlushBatch() {
+  const std::size_t live = std::min<std::size_t>(kLanes, pending_.size());
+  if (live == 0) return;
+
+  const bool timed = batch_ns_ != nullptr;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point();
+
+  std::string_view words[kLanes];
+  const std::string* tokens[kLanes] = {};
+  for (std::size_t i = 0; i < live; ++i) words[i] = pending_[i].word;
+  hasher_->HashBatch(words, live, tokens);
+
+  for (std::size_t i = 0; i < live; ++i) {
+    const std::string& token = *tokens[i];
+    for (const Slot& slot : pending_[i].slots) {
+      if (slot.quote_arena != nullptr) {
+        char* buf = slot.quote_arena->Allocate(token.size() + 2);
+        buf[0] = '"';
+        std::memcpy(buf + 1, token.data(), token.size());
+        buf[token.size() + 1] = '"';
+        *slot.view = std::string_view(buf, token.size() + 2);
+      } else {
+        *slot.view = token;
+      }
+    }
+  }
+
+  resolved_seq_ = pending_[live - 1].seq;
+  for (std::size_t i = 0; i < live; ++i) index_.erase(pending_[i].word);
+  pending_.erase(pending_.begin(), pending_.begin() + live);
+
+  if (timed) {
+    batch_ns_->Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  if (batched_words_ != nullptr) batched_words_->Add(live);
+  if (batch_flushes_ != nullptr) batch_flushes_->Add(1);
+  if (lane_fill_ != nullptr) lane_fill_->Record(live);
+}
+
+void HashBatcher::FlushFull() {
+  while (pending_.size() >= kLanes) FlushBatch();
+}
+
+void HashBatcher::FlushAll() {
+  while (!pending_.empty()) FlushBatch();
+}
+
+std::size_t PrewarmHashMemo(StringHasher& hasher,
+                            const std::vector<std::string_view>& words,
+                            obs::MetricsRegistry* metrics) {
+  std::unordered_set<std::string_view> seen;
+  seen.reserve(words.size());
+  std::vector<std::string_view> fresh;
+  for (const std::string_view word : words) {
+    if (!seen.insert(word).second) continue;
+    if (hasher.Find(word) != nullptr) continue;
+    fresh.push_back(word);
+  }
+
+  obs::LatencyHistogram* batch_ns =
+      metrics != nullptr ? &metrics->HistogramNamed("hash.batch_ns") : nullptr;
+  obs::Counter* batched_words =
+      metrics != nullptr ? &metrics->CounterNamed("hash.batched_words")
+                         : nullptr;
+  obs::Counter* batch_flushes =
+      metrics != nullptr ? &metrics->CounterNamed("hash.batch_flushes")
+                         : nullptr;
+  obs::LatencyHistogram* lane_fill =
+      metrics != nullptr ? &metrics->HistogramNamed("hash.lane_fill") : nullptr;
+
+  for (std::size_t start = 0; start < fresh.size();
+       start += HashBatcher::kLanes) {
+    const std::size_t live =
+        std::min<std::size_t>(HashBatcher::kLanes, fresh.size() - start);
+    const bool timed = batch_ns != nullptr;
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point();
+    std::string_view lane_words[HashBatcher::kLanes];
+    const std::string* tokens[HashBatcher::kLanes] = {};
+    for (std::size_t i = 0; i < live; ++i) lane_words[i] = fresh[start + i];
+    hasher.HashBatch(lane_words, live, tokens);
+    if (timed) {
+      batch_ns->Record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+    if (batched_words != nullptr) batched_words->Add(live);
+    if (batch_flushes != nullptr) batch_flushes->Add(1);
+    if (lane_fill != nullptr) lane_fill->Record(live);
+  }
+  return fresh.size();
+}
+
+}  // namespace confanon::core

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstddef>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -42,6 +43,22 @@ class StringHasher {
   /// never erased).
   const std::string& Hash(std::string_view word);
 
+  /// Memo probe: the token for `word` if it has already been hashed,
+  /// nullptr otherwise. Never computes a digest or installs anything.
+  /// Thread-safe; the returned pointer stays valid for the hasher's
+  /// lifetime.
+  const std::string* Find(std::string_view word) const;
+
+  /// Hashes up to Sha1Batch::kLanes *distinct* words in one call, writing
+  /// `out[i]` = stable memo token for `words[i]`. Words whose salted
+  /// message fits one SHA-1 block go through the 4-way batch kernel
+  /// (remainder lanes padded with dummy messages and discarded); oversized
+  /// words take the multi-block scalar path. Tokens are byte-identical to
+  /// Hash() on each word. Returns the number of words digested by the
+  /// batch kernel. Thread-safe (the memo install takes shard locks).
+  std::size_t HashBatch(const std::string_view* words, std::size_t count,
+                        const std::string** out);
+
   /// Number of distinct originals hashed so far.
   std::size_t DistinctCount() const;
 
@@ -51,12 +68,23 @@ class StringHasher {
  private:
   static constexpr std::size_t kShards = 16;
 
+  /// Transparent hash so the memo can be probed with a string_view
+  /// without materializing a temporary std::string per lookup.
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view text) const noexcept {
+      return std::hash<std::string_view>{}(text);
+    }
+  };
+
   /// original -> token, sharded by std::hash of the original so the memo
   /// lookup (the hot path: repeated identifiers) takes only its shard's
   /// mutex.
   struct MemoShard {
     mutable std::mutex mutex;
-    std::unordered_map<std::string, std::string> memo;
+    std::unordered_map<std::string, std::string, TransparentHash,
+                       std::equal_to<>>
+        memo;
   };
   /// token -> original, sharded by the token's first hex digit. Collision
   /// detection must be global over tokens, and two colliding originals
@@ -68,6 +96,11 @@ class StringHasher {
 
   static std::size_t MemoShardOf(std::string_view word);
   static std::size_t ReverseShardOf(std::string_view token);
+
+  /// Registers `token` for collision detection and memoizes word -> token.
+  /// Returns the stable memo string (a racing thread may have installed
+  /// the identical token first; its entry wins and is returned).
+  const std::string& Install(std::string_view word, std::string token);
 
   std::string salt_;
   std::array<MemoShard, kShards> memo_shards_;

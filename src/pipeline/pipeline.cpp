@@ -4,7 +4,9 @@
 #include <thread>
 
 #include "core/anonymizer.h"
+#include "core/hash_batcher.h"
 #include "obs/provenance.h"
+#include "passlist/passlist.h"
 #include "pipeline/parallel_for.h"
 #include "util/strings.h"
 
@@ -107,6 +109,28 @@ std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
   // Phase 1: corpus-wide preload. All RNG consumption happens here;
   // phase 2 only reads the trie's memo.
   PreloadCorpus(files, dialects);
+
+  // Phase 1.5: prewarm the shared hash memo in full 4-lane batches.
+  // Per-file miss counts are small, so without this the workers'
+  // HashBatchers would mostly flush dummy-padded remainders. The word
+  // set is an over-approximation of what the rule packs hash — tokens
+  // are pure functions of (salt, word), so extra memo entries cannot
+  // change a byte of output.
+  {
+    std::vector<std::string_view> candidates;
+    const passlist::PassList ios_list = passlist::PassList::Builtin();
+    const passlist::PassList junos_list = junos::JunosPassList();
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      if (dialects[i] == FileDialect::kJunos) {
+        junos::JunosAnonymizer::CollectHashCandidates(files[i], junos_list,
+                                                      candidates);
+      } else {
+        core::Anonymizer::CollectHashCandidates(files[i], ios_list,
+                                                candidates);
+      }
+    }
+    core::PrewarmHashMemo(state_->hasher, candidates, hooks_.metrics);
+  }
 
   // Per-file provenance buffers, merged in corpus order at join so the
   // log is independent of which worker processed which file.

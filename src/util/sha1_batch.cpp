@@ -1,0 +1,294 @@
+#include "util/sha1_batch.h"
+
+#include <cstdint>
+#include <cstring>
+
+#if !defined(CONFANON_FORCE_SCALAR_SHA1)
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace confanon::util {
+
+namespace {
+
+constexpr std::uint32_t kInit[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                                    0x10325476u, 0xC3D2E1F0u};
+constexpr std::uint32_t kRoundK[4] = {0x5A827999u, 0x6ED9EBA1u, 0x8F1BBCDCu,
+                                      0xCA62C1D6u};
+
+/// Lays `msg` (at most 55 bytes) out as one padded 512-bit SHA-1 block:
+/// message, 0x80 terminator, zero fill, 64-bit big-endian bit length.
+void PadBlock(std::string_view msg, std::uint8_t block[64]) {
+  const std::size_t len = msg.size();
+  if (len != 0) std::memcpy(block, msg.data(), len);
+  block[len] = 0x80;
+  std::memset(block + len + 1, 0, 56 - len - 1);
+  const std::uint64_t bits = static_cast<std::uint64_t>(len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[56 + i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+}
+
+inline std::uint32_t LoadBe32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+inline void StoreDigestWord(std::uint32_t h, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(h >> 24);
+  out[1] = static_cast<std::uint8_t>(h >> 16);
+  out[2] = static_cast<std::uint8_t>(h >> 8);
+  out[3] = static_cast<std::uint8_t>(h);
+}
+
+constexpr std::uint32_t RotL(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+namespace sha1x4_scalar {
+
+// Same 80-round schedule as util::Sha1::ProcessBlock, but with every
+// variable widened to a 4-element lane array so the compiler can keep the
+// four interleaved states in flight (and auto-vectorize where profitable)
+// without any ISA-specific intrinsics.
+void Hash4(const std::string_view messages[Sha1Batch::kLanes],
+           Sha1::Digest digests[Sha1Batch::kLanes]) {
+  constexpr std::size_t kLanes = Sha1Batch::kLanes;
+  std::uint8_t block[kLanes][64];
+  for (std::size_t l = 0; l < kLanes; ++l) PadBlock(messages[l], block[l]);
+
+  std::uint32_t w[80][kLanes];
+  for (int t = 0; t < 16; ++t) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      w[t][l] = LoadBe32(block[l] + 4 * t);
+    }
+  }
+  for (int t = 16; t < 80; ++t) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      w[t][l] =
+          RotL(w[t - 3][l] ^ w[t - 8][l] ^ w[t - 14][l] ^ w[t - 16][l], 1);
+    }
+  }
+
+  std::uint32_t a[kLanes], b[kLanes], c[kLanes], d[kLanes], e[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    a[l] = kInit[0];
+    b[l] = kInit[1];
+    c[l] = kInit[2];
+    d[l] = kInit[3];
+    e[l] = kInit[4];
+  }
+
+  for (int t = 0; t < 80; ++t) {
+    const std::uint32_t k = kRoundK[t / 20];
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      std::uint32_t f;
+      if (t < 20) {
+        f = d[l] ^ (b[l] & (c[l] ^ d[l]));  // Ch
+      } else if (t < 40 || t >= 60) {
+        f = b[l] ^ c[l] ^ d[l];  // Parity
+      } else {
+        f = (b[l] & c[l]) | (d[l] & (b[l] | c[l]));  // Maj
+      }
+      const std::uint32_t temp = RotL(a[l], 5) + f + e[l] + w[t][l] + k;
+      e[l] = d[l];
+      d[l] = c[l];
+      c[l] = RotL(b[l], 30);
+      b[l] = a[l];
+      a[l] = temp;
+    }
+  }
+
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    StoreDigestWord(kInit[0] + a[l], digests[l].data() + 0);
+    StoreDigestWord(kInit[1] + b[l], digests[l].data() + 4);
+    StoreDigestWord(kInit[2] + c[l], digests[l].data() + 8);
+    StoreDigestWord(kInit[3] + d[l], digests[l].data() + 12);
+    StoreDigestWord(kInit[4] + e[l], digests[l].data() + 16);
+  }
+}
+
+}  // namespace sha1x4_scalar
+
+#if !defined(CONFANON_FORCE_SCALAR_SHA1) && defined(__SSE2__)
+
+namespace {
+
+inline __m128i RotL4(__m128i x, int n) {
+  return _mm_or_si128(_mm_slli_epi32(x, n), _mm_srli_epi32(x, 32 - n));
+}
+
+// One 32-bit SHA-1 state word per 128-bit lane; the message schedule is
+// transposed at load so round t's w[t] for all four messages sits in one
+// vector. Every round primitive (rotate, Ch/Parity/Maj, modular add) maps
+// 1:1 onto an SSE2 integer op, so the 80 rounds run once for 4 digests.
+void Hash4Sse2(const std::string_view messages[Sha1Batch::kLanes],
+               Sha1::Digest digests[Sha1Batch::kLanes]) {
+  std::uint8_t block[Sha1Batch::kLanes][64];
+  for (std::size_t l = 0; l < Sha1Batch::kLanes; ++l) {
+    PadBlock(messages[l], block[l]);
+  }
+
+  __m128i w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = _mm_set_epi32(static_cast<int>(LoadBe32(block[3] + 4 * t)),
+                         static_cast<int>(LoadBe32(block[2] + 4 * t)),
+                         static_cast<int>(LoadBe32(block[1] + 4 * t)),
+                         static_cast<int>(LoadBe32(block[0] + 4 * t)));
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = RotL4(_mm_xor_si128(_mm_xor_si128(w[t - 3], w[t - 8]),
+                               _mm_xor_si128(w[t - 14], w[t - 16])),
+                 1);
+  }
+
+  __m128i a = _mm_set1_epi32(static_cast<int>(kInit[0]));
+  __m128i b = _mm_set1_epi32(static_cast<int>(kInit[1]));
+  __m128i c = _mm_set1_epi32(static_cast<int>(kInit[2]));
+  __m128i d = _mm_set1_epi32(static_cast<int>(kInit[3]));
+  __m128i e = _mm_set1_epi32(static_cast<int>(kInit[4]));
+
+  for (int t = 0; t < 80; ++t) {
+    __m128i f;
+    if (t < 20) {
+      f = _mm_xor_si128(d, _mm_and_si128(b, _mm_xor_si128(c, d)));  // Ch
+    } else if (t < 40 || t >= 60) {
+      f = _mm_xor_si128(b, _mm_xor_si128(c, d));  // Parity
+    } else {
+      f = _mm_or_si128(_mm_and_si128(b, c),
+                       _mm_and_si128(d, _mm_or_si128(b, c)));  // Maj
+    }
+    const __m128i k = _mm_set1_epi32(static_cast<int>(kRoundK[t / 20]));
+    const __m128i temp =
+        _mm_add_epi32(_mm_add_epi32(_mm_add_epi32(RotL4(a, 5), f),
+                                    _mm_add_epi32(e, w[t])),
+                      k);
+    e = d;
+    d = c;
+    c = RotL4(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  alignas(16) std::uint32_t lanes[5][4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes[0]),
+                  _mm_add_epi32(a, _mm_set1_epi32(static_cast<int>(kInit[0]))));
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes[1]),
+                  _mm_add_epi32(b, _mm_set1_epi32(static_cast<int>(kInit[1]))));
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes[2]),
+                  _mm_add_epi32(c, _mm_set1_epi32(static_cast<int>(kInit[2]))));
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes[3]),
+                  _mm_add_epi32(d, _mm_set1_epi32(static_cast<int>(kInit[3]))));
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes[4]),
+                  _mm_add_epi32(e, _mm_set1_epi32(static_cast<int>(kInit[4]))));
+  for (std::size_t l = 0; l < Sha1Batch::kLanes; ++l) {
+    for (int i = 0; i < 5; ++i) {
+      StoreDigestWord(lanes[i][l], digests[l].data() + 4 * i);
+    }
+  }
+}
+
+}  // namespace
+
+void Sha1Batch::Hash4(const std::string_view messages[kLanes],
+                      Sha1::Digest digests[kLanes]) {
+  Hash4Sse2(messages, digests);
+}
+
+const char* Sha1BatchImplName() { return "sse2"; }
+
+#elif !defined(CONFANON_FORCE_SCALAR_SHA1) && defined(__ARM_NEON)
+
+namespace {
+
+template <int N>
+inline uint32x4_t RotL4(uint32x4_t x) {
+  return vorrq_u32(vshlq_n_u32(x, N), vshrq_n_u32(x, 32 - N));
+}
+
+void Hash4Neon(const std::string_view messages[Sha1Batch::kLanes],
+               Sha1::Digest digests[Sha1Batch::kLanes]) {
+  std::uint8_t block[Sha1Batch::kLanes][64];
+  for (std::size_t l = 0; l < Sha1Batch::kLanes; ++l) {
+    PadBlock(messages[l], block[l]);
+  }
+
+  uint32x4_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    const std::uint32_t words[4] = {
+        LoadBe32(block[0] + 4 * t), LoadBe32(block[1] + 4 * t),
+        LoadBe32(block[2] + 4 * t), LoadBe32(block[3] + 4 * t)};
+    w[t] = vld1q_u32(words);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = RotL4<1>(veorq_u32(veorq_u32(w[t - 3], w[t - 8]),
+                              veorq_u32(w[t - 14], w[t - 16])));
+  }
+
+  uint32x4_t a = vdupq_n_u32(kInit[0]);
+  uint32x4_t b = vdupq_n_u32(kInit[1]);
+  uint32x4_t c = vdupq_n_u32(kInit[2]);
+  uint32x4_t d = vdupq_n_u32(kInit[3]);
+  uint32x4_t e = vdupq_n_u32(kInit[4]);
+
+  for (int t = 0; t < 80; ++t) {
+    uint32x4_t f;
+    if (t < 20) {
+      f = veorq_u32(d, vandq_u32(b, veorq_u32(c, d)));  // Ch
+    } else if (t < 40 || t >= 60) {
+      f = veorq_u32(b, veorq_u32(c, d));  // Parity
+    } else {
+      f = vorrq_u32(vandq_u32(b, c), vandq_u32(d, vorrq_u32(b, c)));  // Maj
+    }
+    const uint32x4_t k = vdupq_n_u32(kRoundK[t / 20]);
+    const uint32x4_t temp = vaddq_u32(
+        vaddq_u32(vaddq_u32(RotL4<5>(a), f), vaddq_u32(e, w[t])), k);
+    e = d;
+    d = c;
+    c = RotL4<30>(b);
+    b = a;
+    a = temp;
+  }
+
+  std::uint32_t lanes[5][4];
+  vst1q_u32(lanes[0], vaddq_u32(a, vdupq_n_u32(kInit[0])));
+  vst1q_u32(lanes[1], vaddq_u32(b, vdupq_n_u32(kInit[1])));
+  vst1q_u32(lanes[2], vaddq_u32(c, vdupq_n_u32(kInit[2])));
+  vst1q_u32(lanes[3], vaddq_u32(d, vdupq_n_u32(kInit[3])));
+  vst1q_u32(lanes[4], vaddq_u32(e, vdupq_n_u32(kInit[4])));
+  for (std::size_t l = 0; l < Sha1Batch::kLanes; ++l) {
+    for (int i = 0; i < 5; ++i) {
+      StoreDigestWord(lanes[i][l], digests[l].data() + 4 * i);
+    }
+  }
+}
+
+}  // namespace
+
+void Sha1Batch::Hash4(const std::string_view messages[kLanes],
+                      Sha1::Digest digests[kLanes]) {
+  Hash4Neon(messages, digests);
+}
+
+const char* Sha1BatchImplName() { return "neon"; }
+
+#else
+
+void Sha1Batch::Hash4(const std::string_view messages[kLanes],
+                      Sha1::Digest digests[kLanes]) {
+  sha1x4_scalar::Hash4(messages, digests);
+}
+
+const char* Sha1BatchImplName() { return "scalar4"; }
+
+#endif
+
+}  // namespace confanon::util

@@ -1,0 +1,53 @@
+// Batched 4-way SHA-1 for the word-hash hot path.
+//
+// The anonymizer's salted word hashes are tiny: salt + 0x00 + word almost
+// always fits a single 512-bit SHA-1 block (message <= 55 bytes). Hashing
+// such messages one at a time leaves 3/4 of a 128-bit vector unit idle;
+// this kernel instead runs four independent single-block messages in
+// lockstep, one 32-bit word per SIMD lane, so the 80 SHA-1 rounds are paid
+// once for four digests. On hardware without SSE2/NEON (or when the build
+// defines CONFANON_FORCE_SCALAR_SHA1 — one CI leg does) a scalar
+// 4-at-a-time fallback keeps the same interface and bit-exact results.
+//
+// Dispatch is compile-time, mirroring util/charscan.h: the `sha1x4_scalar`
+// namespace is always compiled so property tests can compare it and the
+// dispatched implementation against the reference util::Sha1 on the same
+// inputs regardless of the build's vector ISA.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "util/sha1.h"
+
+namespace confanon::util {
+
+class Sha1Batch {
+ public:
+  /// Number of messages hashed per batch.
+  static constexpr std::size_t kLanes = 4;
+
+  /// Longest message that still fits one padded SHA-1 block: 64 bytes
+  /// minus the 0x80 terminator and the 8-byte big-endian bit length.
+  static constexpr std::size_t kMaxMessageLen = 55;
+
+  /// Digests four independent messages, each at most kMaxMessageLen
+  /// bytes, producing bit-identical results to util::Sha1::Hash on each
+  /// message individually. Lanes are independent: duplicate, empty, and
+  /// dummy messages are all fine (callers with fewer than four live
+  /// messages pad with any valid lane and discard its digest).
+  static void Hash4(const std::string_view messages[kLanes],
+                    Sha1::Digest digests[kLanes]);
+};
+
+/// Name of the implementation Sha1Batch::Hash4 dispatches to:
+/// "sse2", "neon" or "scalar4".
+const char* Sha1BatchImplName();
+
+/// Scalar 4-at-a-time reference implementation (always compiled).
+namespace sha1x4_scalar {
+void Hash4(const std::string_view messages[Sha1Batch::kLanes],
+           Sha1::Digest digests[Sha1Batch::kLanes]);
+}  // namespace sha1x4_scalar
+
+}  // namespace confanon::util

@@ -1,0 +1,232 @@
+// Property tests for the 4-way batched SHA-1 kernel (util/sha1_batch.h).
+//
+// The batch kernel must be bit-identical to the reference util::Sha1 on
+// every lane, for every message the word-hash path can produce (lengths
+// 0..55, arbitrary bytes), regardless of which lane a message lands in,
+// how many lanes are live, and whether lanes repeat. Both the dispatched
+// implementation and the always-compiled scalar fallback are checked, so
+// the forced-scalar CI leg exercises the same suite.
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/string_hasher.h"
+#include "util/rng.h"
+#include "util/sha1.h"
+#include "util/sha1_batch.h"
+
+namespace confanon {
+namespace {
+
+using util::Sha1;
+using util::Sha1Batch;
+
+Sha1::Digest Reference(std::string_view msg) { return Sha1::Hash(msg); }
+
+std::string RandomMessage(util::Rng& rng, std::size_t len) {
+  std::string msg;
+  msg.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    msg += static_cast<char>(rng.Below(256));
+  }
+  return msg;
+}
+
+void ExpectBatchMatchesReference(const std::array<std::string, 4>& msgs) {
+  std::string_view views[Sha1Batch::kLanes];
+  for (std::size_t l = 0; l < Sha1Batch::kLanes; ++l) views[l] = msgs[l];
+
+  Sha1::Digest dispatched[Sha1Batch::kLanes];
+  Sha1Batch::Hash4(views, dispatched);
+  Sha1::Digest scalar[Sha1Batch::kLanes];
+  util::sha1x4_scalar::Hash4(views, scalar);
+
+  for (std::size_t l = 0; l < Sha1Batch::kLanes; ++l) {
+    const Sha1::Digest want = Reference(msgs[l]);
+    EXPECT_EQ(util::ToHex(dispatched[l]), util::ToHex(want))
+        << "dispatch lane " << l << " len " << msgs[l].size();
+    EXPECT_EQ(util::ToHex(scalar[l]), util::ToHex(want))
+        << "scalar4 lane " << l << " len " << msgs[l].size();
+  }
+}
+
+TEST(Sha1Batch, ImplNameMatchesBuild) {
+  const std::string name = util::Sha1BatchImplName();
+#if defined(CONFANON_FORCE_SCALAR_SHA1)
+  EXPECT_EQ(name, "scalar4");
+#else
+  EXPECT_TRUE(name == "sse2" || name == "neon" || name == "scalar4") << name;
+#endif
+}
+
+TEST(Sha1Batch, EveryLengthZeroTo55) {
+  util::Rng rng(20260807);
+  // Each batch covers four consecutive lengths, so all of 0..55 is hit,
+  // with fresh random payloads per trial.
+  for (int trial = 0; trial < 8; ++trial) {
+    for (std::size_t base = 0; base <= Sha1Batch::kMaxMessageLen - 3;
+         base += 4) {
+      std::array<std::string, 4> msgs;
+      for (std::size_t l = 0; l < Sha1Batch::kLanes; ++l) {
+        msgs[l] = RandomMessage(rng, base + l);
+      }
+      ExpectBatchMatchesReference(msgs);
+    }
+  }
+}
+
+TEST(Sha1Batch, RandomLengthsAndBytes) {
+  util::Rng rng(99881);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::array<std::string, 4> msgs;
+    for (auto& msg : msgs) {
+      msg = RandomMessage(rng, rng.Below(Sha1Batch::kMaxMessageLen + 1));
+    }
+    ExpectBatchMatchesReference(msgs);
+  }
+}
+
+TEST(Sha1Batch, AllLanePermutations) {
+  std::array<std::string, 4> base = {"", "a", "router bgp 7018",
+                                     std::string(55, 'x')};
+  std::array<std::size_t, 4> perm = {0, 1, 2, 3};
+  do {
+    std::array<std::string, 4> msgs;
+    for (std::size_t l = 0; l < 4; ++l) msgs[l] = base[perm[l]];
+    ExpectBatchMatchesReference(msgs);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(Sha1Batch, PartialBatchesWithDummyLanes) {
+  // Callers with 1-3 live messages pad the remaining lanes with empty
+  // dummies and discard those digests; the dummies must not perturb the
+  // live lanes, and must themselves hash correctly.
+  util::Rng rng(777);
+  for (std::size_t live = 1; live <= 3; ++live) {
+    std::array<std::string, 4> msgs;  // default: empty dummy lanes
+    for (std::size_t l = 0; l < live; ++l) {
+      msgs[l] = RandomMessage(rng, 1 + rng.Below(Sha1Batch::kMaxMessageLen));
+    }
+    ExpectBatchMatchesReference(msgs);
+  }
+}
+
+TEST(Sha1Batch, IdenticalMessagesInAllLanes) {
+  std::array<std::string, 4> msgs;
+  msgs.fill("interface GigabitEthernet0/0");
+  ExpectBatchMatchesReference(msgs);
+  Sha1::Digest digests[Sha1Batch::kLanes];
+  std::string_view views[Sha1Batch::kLanes] = {msgs[0], msgs[1], msgs[2],
+                                               msgs[3]};
+  Sha1Batch::Hash4(views, digests);
+  for (std::size_t l = 1; l < Sha1Batch::kLanes; ++l) {
+    EXPECT_EQ(digests[0], digests[l]);
+  }
+}
+
+TEST(Sha1Batch, MatchesSaltedDigestLayout) {
+  // The word-hash path feeds salt || 0x00 || word as one message; the
+  // batched digest must equal util::SaltedDigest byte for byte.
+  const std::string salt = "test-secret";
+  const std::array<std::string, 4> words = {"UUNET-import", "CustA", "",
+                                            "h0123456789"};
+  std::array<std::string, 4> msgs;
+  for (std::size_t l = 0; l < 4; ++l) {
+    msgs[l] = salt;
+    msgs[l].push_back('\0');
+    msgs[l] += words[l];
+  }
+  std::string_view views[4] = {msgs[0], msgs[1], msgs[2], msgs[3]};
+  Sha1::Digest digests[4];
+  Sha1Batch::Hash4(views, digests);
+  for (std::size_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(util::ToHex(digests[l]),
+              util::ToHex(util::SaltedDigest(salt, words[l])));
+  }
+}
+
+// --- StringHasher batched path -------------------------------------------
+
+TEST(StringHasherBatch, HashBatchMatchesScalarHash) {
+  core::StringHasher batched("secret-salt");
+  core::StringHasher scalar("secret-salt");
+
+  const std::vector<std::string> words = {"UUNET-import", "CustA-export",
+                                          "SEATTLE-POP",  "core1",
+                                          "loopback0",    "community-out"};
+  std::vector<std::string_view> views(words.begin(), words.end());
+  for (std::size_t start = 0; start < views.size(); start += 4) {
+    const std::size_t count = std::min<std::size_t>(4, views.size() - start);
+    const std::string* out[4] = {};
+    batched.HashBatch(views.data() + start, count, out);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_NE(out[i], nullptr);
+      EXPECT_EQ(*out[i], scalar.Hash(words[start + i]));
+    }
+  }
+  EXPECT_EQ(batched.DistinctCount(), words.size());
+}
+
+TEST(StringHasherBatch, OversizedWordsFallBackToScalarDigest) {
+  // salt + separator + word beyond one SHA-1 block must still produce the
+  // exact multi-block scalar token.
+  core::StringHasher batched("salt");
+  core::StringHasher scalar("salt");
+  const std::string long_word(120, 'q');
+  const std::string medium_word(55, 'm');  // oversized once salted
+  const std::string_view views[3] = {long_word, medium_word, "short"};
+  const std::string* out[3] = {};
+  batched.HashBatch(views, 3, out);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_NE(out[i], nullptr);
+    EXPECT_EQ(*out[i], scalar.Hash(views[i]));
+  }
+}
+
+TEST(StringHasherBatch, FindProbesWithoutInstalling) {
+  core::StringHasher hasher("salt");
+  EXPECT_EQ(hasher.Find("fresh-word"), nullptr);
+  EXPECT_EQ(hasher.DistinctCount(), 0u);
+  const std::string& token = hasher.Hash("fresh-word");
+  const std::string* found = hasher.Find("fresh-word");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &token);
+}
+
+TEST(StringHasherBatch, RandomizedBatchAgainstScalar) {
+  util::Rng rng(31337);
+  core::StringHasher batched("long-ish-salt-value");
+  core::StringHasher scalar("long-ish-salt-value");
+  static constexpr char kPool[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<std::string, 4> words;
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      // Unique (trial, lane) prefix: HashBatch requires distinct words
+      // per call.
+      std::string word =
+          std::to_string(trial) + "t" + std::to_string(w) + "-";
+      const std::size_t len = 1 + rng.Below(60);
+      for (std::size_t i = 0; i < len; ++i) {
+        word += kPool[rng.Below(sizeof(kPool) - 1)];
+      }
+      words[w] = std::move(word);
+    }
+    std::string_view views[4] = {words[0], words[1], words[2], words[3]};
+    const std::string* out[4] = {};
+    batched.HashBatch(views, 4, out);
+    for (std::size_t i = 0; i < 4; ++i) {
+      ASSERT_NE(out[i], nullptr);
+      EXPECT_EQ(*out[i], scalar.Hash(words[i])) << words[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace confanon

@@ -12,6 +12,15 @@ larger than --warn-above percent (default 25) emits a GitHub Actions
 nonzero. The default is warn-only: CI bench machines are noisy enough
 that a hard gate on shared runners would flake, but the trend should be
 visible on every run.
+
+Two special cases for the batched word-hash instrumentation:
+
+  * `*.lane_fill` histograms count lanes per flush, not nanoseconds —
+    HIGHER is better, so the warning direction is inverted (a p50 DROP
+    beyond the threshold warns).
+  * `hash.*` counters (batched_words, batch_flushes) are diffed in a
+    separate warn-only table; batching silently turning off
+    (baseline > 0, current == 0) warns.
 """
 
 import argparse
@@ -25,6 +34,20 @@ def histogram_p50s(doc):
         for name, snap in doc.get("metrics", {}).get("histograms", {}).items()
         if snap.get("count", 0) > 0 and "p50" in snap
     }
+
+
+def hash_counters(doc):
+    return {
+        name: value
+        for name, value in doc.get("metrics", {}).get("counters", {}).items()
+        if name.startswith("hash.")
+    }
+
+
+def lower_is_better(name):
+    # lane_fill counts live lanes per batch flush (max 4): a drop means
+    # the batcher is flushing emptier, which is the regression direction.
+    return not name.endswith(".lane_fill") and not name == "hash.lane_fill"
 
 
 def main():
@@ -56,8 +79,11 @@ def main():
     for name in shared:
         base, cur = base_p50s[name], cur_p50s[name]
         change = (cur - base) / base * 100.0 if base > 0 else 0.0
+        # Regression = p50 up for latencies, p50 down for lane_fill.
+        regressed = (change > args.warn_above if lower_is_better(name)
+                     else change < -args.warn_above)
         marker = ""
-        if change > args.warn_above:
+        if regressed:
             marker = "  <-- regression"
             regressions.append((name, base, cur, change))
         print(f"{name:<24} {base:>14.0f} {cur:>14.0f} {change:>+8.1f}%"
@@ -66,6 +92,20 @@ def main():
     only = sorted(set(cur_p50s) - set(base_p50s))
     if only:
         print(f"(not in baseline: {', '.join(only)})")
+
+    # hash.* counters: informational diff, warn-only, never fails.
+    base_hash = hash_counters(baseline)
+    cur_hash = hash_counters(current)
+    hash_names = sorted(set(base_hash) | set(cur_hash))
+    if hash_names:
+        print(f"\n{'hash counter':<24} {'baseline':>14} {'current':>14}")
+        for name in hash_names:
+            base = base_hash.get(name, 0)
+            cur = cur_hash.get(name, 0)
+            print(f"{name:<24} {base:>14} {cur:>14}")
+            if base > 0 and cur == 0:
+                print(f"::warning::bench: {name} dropped to 0 "
+                      f"(was {base}) — word-hash batching disabled?")
 
     for name, base, cur, change in regressions:
         print(f"::warning::bench p50 regression: {name} "
