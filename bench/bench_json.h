@@ -79,4 +79,16 @@ inline int BenchThreads(int argc, char** argv, int default_threads = 1) {
   return default_threads;
 }
 
+/// Generic "--NAME=VALUE" lookup ("metrics-listen", "profile-out", ...).
+/// Returns an empty string when the flag is absent.
+inline std::string BenchStringFlag(int argc, char** argv,
+                                   const std::string& name) {
+  const std::string flag = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(flag, 0) == 0) return arg.substr(flag.size());
+  }
+  return {};
+}
+
 }  // namespace confanon::bench

@@ -8,20 +8,62 @@
 // quick; pass a scale factor as argv[1] for the full reproduction:
 //
 //   bench_scale 1.0
+//
+// Live observability (both optional):
+//   --metrics-listen=HOST:PORT  serve Prometheus /metrics + /healthz
+//                               for the duration of the run (PORT 0
+//                               picks an ephemeral port, printed)
+//   --profile-out=FILE          write a flamegraph.pl-compatible folded
+//                               stack profile and print the per-phase
+//                               wall/IPC table after the run
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <set>
 
+#include "audit/audit.h"
 #include "bench_json.h"
 #include "config/dialect.h"
 #include "core/anonymizer.h"
 #include "core/leak_detector.h"
 #include "gen/config_writer.h"
 #include "gen/network_gen.h"
+#include "obs/export.h"
+#include "obs/exposition.h"
 #include "obs/hooks.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "pipeline/pipeline.h"
+
+namespace {
+
+// Touch every metric family the run will populate so the first /metrics
+// scrape — possibly before any file is anonymized — already exposes the
+// full schema (Prometheus treats a family appearing mid-run as a new
+// series; pre-registration keeps dashboards stable from t=0).
+void PreregisterFamilies(confanon::obs::MetricsRegistry& registry) {
+  registry.HistogramNamed("core.line_ns");
+  registry.HistogramNamed("core.file_ns");
+  registry.HistogramNamed("core.tokenize_ns");
+  registry.HistogramNamed("hash.batch_ns");
+  registry.HistogramNamed("hash.lane_fill");
+  registry.CounterNamed("hash.batched_words");
+  registry.CounterNamed("hash.batch_flushes");
+  registry.CounterNamed("ipanon.cache_hits");
+  registry.CounterNamed("ipanon.cache_misses");
+  registry.CounterNamed("ipanon.preloaded_addresses");
+  registry.GaugeNamed("ipanon.trie_nodes");
+  registry.CounterNamed("audit.files");
+  registry.CounterNamed("audit.findings");
+  registry.HistogramNamed("audit.scan_ns");
+  registry.CounterNamed("leak.lines_scanned");
+  registry.CounterNamed("leak.findings");
+  registry.HistogramNamed("leak.scan_ns");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace confanon;
@@ -30,6 +72,10 @@ int main(int argc, char** argv) {
   const std::string out_path =
       bench::BenchOutPath(argc, argv, "BENCH_perf.json");
   const int threads = bench::BenchThreads(argc, argv, 1);
+  const std::string metrics_listen =
+      bench::BenchStringFlag(argc, argv, "metrics-listen");
+  const std::string profile_out =
+      bench::BenchStringFlag(argc, argv, "profile-out");
 
   gen::GeneratorParams params;
   params.seed = 765531;
@@ -51,9 +97,42 @@ int main(int argc, char** argv) {
   std::size_t routers = 0, lines = 0;
   std::set<std::string> versions;
   std::size_t textual_leaks = 0;
+  std::size_t audit_findings = 0;
   std::uint64_t words_hashed = 0, asns_mapped = 0, addresses_mapped = 0;
   obs::MetricsRegistry registry;
+  PreregisterFamilies(registry);
   core::AnonymizationReport merged_report;
+
+  // Live exposition: snapshots are scrape-safe, so the server runs for
+  // the whole anonymization window on its own thread.
+  obs::SnapshotExporter exporter(&registry);
+  obs::ExpositionServer::Options listen_options;
+  std::unique_ptr<obs::ExpositionServer> live_server;
+  if (!metrics_listen.empty()) {
+    if (!obs::ExpositionServer::ParseListenSpec(
+            metrics_listen, listen_options.host, listen_options.port)) {
+      std::fprintf(stderr, "bench_scale: bad --metrics-listen spec '%s' "
+                           "(want HOST:PORT)\n",
+                   metrics_listen.c_str());
+      return 1;
+    }
+    live_server = std::make_unique<obs::ExpositionServer>(
+        listen_options,
+        [&exporter] { return obs::RenderPrometheus(exporter.Capture()); });
+    std::string error;
+    if (!live_server->Start(&error)) {
+      std::fprintf(stderr, "bench_scale: --metrics-listen failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::printf("serving /metrics and /healthz on http://%s:%u/\n\n",
+                live_server->host().c_str(), live_server->port());
+  }
+
+  // Phase profiler: always brackets the pipeline phases (cheap); span
+  // buffering for the folded flamegraph profile only when requested —
+  // feeding the trace sink makes every engine emit file/rule spans.
+  obs::PhaseProfiler profiler;
 
   const auto t1 = std::chrono::steady_clock::now();
   // All networks run concurrently through AnonymizeNetworkSet: one
@@ -74,13 +153,28 @@ int main(int argc, char** argv) {
     for (const auto& file : task.files) lines += file.LineCount();
     tasks.push_back(std::move(task));
   }
-  const auto results = pipeline::AnonymizeNetworkSet(
-      tasks, {.threads = threads, .metrics = &registry});
+  pipeline::NetworkSetOptions set_options;
+  set_options.threads = threads;
+  set_options.metrics = &registry;
+  set_options.profiler = &profiler;
+  if (!profile_out.empty()) set_options.trace = &profiler;
+  const auto results = pipeline::AnonymizeNetworkSet(tasks, set_options);
+
+  // Post-pass over each network's output: residue audit (the "audit"
+  // phase, fanned out over the worker pool) and the leak scan.
+  audit::AuditOptions audit_options;
+  audit_options.threads = threads;
+  audit_options.metrics = &registry;
+  audit_options.profiler = &profiler;
   for (const auto& result : results) {
     merged_report.Merge(result.report);
     words_hashed += result.report.words_hashed;
     asns_mapped += result.report.asns_mapped;
     addresses_mapped += result.report.addresses_mapped;
+    audit_findings +=
+        audit::LintCorpus(result.files, audit_options).findings.size();
+    obs::PhaseProfiler::ScopedPhase leak_phase(&profiler, nullptr,
+                                               "leak-scan");
     for (const auto& finding :
          core::LeakDetector::Scan(result.files, result.leak_record,
                                   &registry)) {
@@ -111,6 +205,39 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(addresses_mapped));
   std::printf("(* the paper needed <5 operator iterations; our full rule "
               "set is the converged state)\n");
+  std::printf("audit: %zu residue findings across %zu networks\n",
+              audit_findings, results.size());
+
+  // Phase profile: always print the table; write folded stacks when
+  // requested. Coverage = phase wall over the measured window — at
+  // threads=1 the phases tile the window, so this should sit near 100%.
+  {
+    const obs::PhaseProfiler::Profile profile = profiler.Finish();
+    const double window_ns =
+        std::chrono::duration<double, std::nano>(t2 - t1).count();
+    std::printf("\n%s", obs::PhaseProfiler::RenderTable(profile).c_str());
+    std::printf("phase coverage: %.1f%% of the %.2fs anonymize window\n",
+                static_cast<double>(profile.PhaseWallNsTotal()) / window_ns *
+                    100.0,
+                window_ns / 1e9);
+    if (!profile_out.empty()) {
+      std::ofstream folded(profile_out, std::ios::trunc);
+      if (folded) {
+        obs::PhaseProfiler::WriteFolded(profile, folded);
+        std::printf("wrote %s (%zu folded stacks; feed to flamegraph.pl)\n",
+                    profile_out.c_str(), profile.spans.size());
+      } else {
+        std::fprintf(stderr, "bench_scale: cannot write %s\n",
+                     profile_out.c_str());
+      }
+    }
+  }
+  if (live_server != nullptr) {
+    std::printf("served %llu /metrics requests\n",
+                static_cast<unsigned long long>(
+                    live_server->requests_served()));
+    live_server->Stop();
+  }
 
   const bool wrote = bench::WriteBenchJson(
       out_path, "bench_scale",

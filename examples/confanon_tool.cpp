@@ -28,6 +28,12 @@
 //                        of ROOT is one network (own salt "SECRET:name",
 //                        own mapping); networks are anonymized
 //                        concurrently over the shared --threads budget
+//   --metrics-listen H:P serve live Prometheus /metrics (+ /healthz) on
+//                        HOST:PORT for the duration of the run (port 0
+//                        picks an ephemeral port, printed to stderr)
+//   --profile-out FILE   write a flamegraph.pl-compatible folded-stack
+//                        profile and print the per-phase wall/IPC table
+//                        to stderr after the run
 //
 // All files given in one invocation are treated as one network: they share
 // the hash memo, IP trie and ASN permutation, so cross-file references
@@ -40,11 +46,17 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/leak_detector.h"
+#include "obs/export.h"
+#include "obs/exposition.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "pipeline/pipeline.h"
 #include "util/strings.h"
 
@@ -57,7 +69,9 @@ void Usage() {
                "[--report] [--check-leaks] [--junos] [--ios]\n"
                "                     config1 [config2 ...]\n"
                "       confanon_tool --salt SECRET --network-dir ROOT "
-               "[--out DIR] [--threads N] [options]\n";
+               "[--out DIR] [--threads N] [options]\n"
+               "       (observability: [--metrics-listen HOST:PORT] "
+               "[--profile-out FILE])\n";
 }
 
 /// Reads one file into a ConfigFile named after its basename; exits the
@@ -86,6 +100,7 @@ int main(int argc, char** argv) {
   std::string export_map, import_map;
   std::string entities_in, entities_out;
   std::string network_dir;
+  std::string metrics_listen, profile_out;
   bool report = false, check_leaks = false;
   std::vector<std::string> inputs;
 
@@ -126,6 +141,14 @@ int main(int argc, char** argv) {
       entities_out = next();
     } else if (arg == "--network-dir") {
       network_dir = next();
+    } else if (arg == "--metrics-listen") {
+      metrics_listen = next();
+    } else if (arg.rfind("--metrics-listen=", 0) == 0) {
+      metrics_listen = arg.substr(std::string("--metrics-listen=").size());
+    } else if (arg == "--profile-out") {
+      profile_out = next();
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      profile_out = arg.substr(std::string("--profile-out=").size());
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -142,6 +165,58 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+
+  // --- live observability (both modes) ---
+  obs::MetricsRegistry registry;
+  obs::SnapshotExporter exporter(&registry);
+  std::unique_ptr<obs::ExpositionServer> metrics_server;
+  if (!metrics_listen.empty()) {
+    obs::ExpositionServer::Options listen_options;
+    if (!obs::ExpositionServer::ParseListenSpec(
+            metrics_listen, listen_options.host, listen_options.port)) {
+      std::cerr << "bad --metrics-listen spec '" << metrics_listen
+                << "' (want HOST:PORT)\n";
+      return 2;
+    }
+    metrics_server = std::make_unique<obs::ExpositionServer>(
+        listen_options,
+        [&exporter] { return obs::RenderPrometheus(exporter.Capture()); });
+    std::string error;
+    if (!metrics_server->Start(&error)) {
+      std::cerr << "--metrics-listen failed: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "serving /metrics and /healthz on http://"
+              << metrics_server->host() << ":" << metrics_server->port()
+              << "/\n";
+  }
+  std::unique_ptr<obs::PhaseProfiler> profiler;
+  if (!profile_out.empty()) {
+    profiler = std::make_unique<obs::PhaseProfiler>();
+  }
+  obs::Hooks obs_hooks;
+  if (metrics_server != nullptr) obs_hooks.metrics = &registry;
+  if (profiler != nullptr) {
+    obs_hooks.profiler = profiler.get();
+    obs_hooks.trace = profiler.get();  // buffer spans for the folded output
+  }
+  // Runs after anonymization in either mode: render the phase table,
+  // write the folded profile, and shut the listener down cleanly.
+  const auto finish_observability = [&] {
+    if (profiler != nullptr) {
+      const obs::PhaseProfiler::Profile profile = profiler->Finish();
+      std::cerr << obs::PhaseProfiler::RenderTable(profile);
+      std::ofstream folded(profile_out, std::ios::trunc);
+      if (folded) {
+        obs::PhaseProfiler::WriteFolded(profile, folded);
+        std::cerr << "wrote " << profile_out << " (" << profile.spans.size()
+                  << " folded stacks)\n";
+      } else {
+        std::cerr << "cannot write profile " << profile_out << "\n";
+      }
+    }
+    if (metrics_server != nullptr) metrics_server->Stop();
+  };
 
   // --- multi-network mode: one network per subdirectory of ROOT ---
   if (!network_dir.empty()) {
@@ -179,8 +254,12 @@ int main(int argc, char** argv) {
       for (const auto& path : paths) task.files.push_back(ReadConfig(path));
       tasks.push_back(std::move(task));
     }
-    const auto results = pipeline::AnonymizeNetworkSet(
-        tasks, {.threads = options.threads});
+    pipeline::NetworkSetOptions set_options;
+    set_options.threads = options.threads;
+    set_options.metrics = obs_hooks.metrics;
+    set_options.trace = obs_hooks.trace;
+    set_options.profiler = obs_hooks.profiler;
+    const auto results = pipeline::AnonymizeNetworkSet(tasks, set_options);
 
     core::AnonymizationReport merged_report;
     std::size_t leak_findings = 0;
@@ -220,6 +299,7 @@ int main(int argc, char** argv) {
                 << "\n";
     }
     if (report) std::cerr << merged_report.ToString();
+    finish_observability();
     if (check_leaks) {
       std::cerr << "leak findings: " << leak_findings << "\n";
       return leak_findings == 0 ? 0 : 3;
@@ -267,6 +347,7 @@ int main(int argc, char** argv) {
   // One pipeline per invocation: per-file dialect routing over one shared
   // mapping, `--threads` workers, byte-identical output for any count.
   pipeline::CorpusPipeline pipeline(std::move(options));
+  if (obs_hooks.any()) pipeline.install_hooks(obs_hooks);
 
   if (!import_map.empty()) {
     std::ifstream in(import_map);
@@ -318,6 +399,7 @@ int main(int argc, char** argv) {
   if (report) {
     std::cerr << pipeline.report().ToString();
   }
+  finish_observability();
   if (check_leaks) {
     const auto findings =
         core::LeakDetector::Scan(anonymized, pipeline.leak_record());

@@ -13,6 +13,7 @@
 #include "audit/canonical.h"
 #include "audit/lint.h"
 #include "audit/refgraph.h"
+#include "obs/profiler.h"
 #include "pipeline/parallel_for.h"
 #include "pipeline/pipeline.h"
 
@@ -54,6 +55,7 @@ std::vector<FileScan> ScanFiles(const std::vector<config::ConfigFile>& files,
   const int threads =
       pipeline::ResolveWorkerCount(options.threads, files.size());
   pipeline::WorkQueue queue(files.size(), 4);
+  obs::PhaseProfiler::ScopedPhase phase(options.profiler, nullptr, "audit");
   pipeline::RunWorkers(threads, [&](int) {
     std::size_t begin = 0;
     std::size_t end = 0;

@@ -24,6 +24,10 @@
 #include "config/document.h"
 #include "obs/metrics.h"
 
+namespace confanon::obs {
+class PhaseProfiler;
+}
+
 namespace confanon::audit {
 
 enum class DialectMode : std::uint8_t { kAuto, kIos, kJunos };
@@ -34,6 +38,9 @@ struct AuditOptions {
   DialectMode dialect = DialectMode::kAuto;
   /// Optional metrics sink (audit.files, audit.findings, audit.scan_ns).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional phase profiler: the per-file parallel scan is bracketed as
+  /// the "audit" phase (see obs/profiler.h).
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 /// Residue lint over a single corpus.

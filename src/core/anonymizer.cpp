@@ -169,11 +169,13 @@ std::vector<config::ConfigFile> Anonymizer::AnonymizeNetwork(
     const std::vector<config::ConfigFile>& files) {
   obs::ScopedTimer network_span(&tracer_, "anonymize-network");
   network_span.AddArg("files", static_cast<std::int64_t>(files.size()));
+  network_span.AddArg("phase", "anonymize");
   // Rule I7: preload the whole corpus's addresses in sorted order so the
   // subnet-address-preservation property holds network-wide.
   if (enabled_.subnet_preload &&
       !state_->preloaded.load(std::memory_order_acquire)) {
     obs::ScopedTimer preload_span(&tracer_, "preload.I7");
+    preload_span.AddArg("phase", "preload");
     std::vector<net::Ipv4Address> addresses;
     for (const config::ConfigFile& file : files) {
       CollectFileAddresses(file, addresses);
@@ -265,11 +267,11 @@ config::ConfigFile Anonymizer::AnonymizeFile(const config::ConfigFile& file) {
             static_cast<std::int64_t>(ns) / 1000, 1);
         duration = std::min(duration,
                             std::max<std::int64_t>(file_end_us - cursor, 1));
-        tracer_.Complete("rule:" + rule, cursor, duration);
+        tracer_.Complete("rule:" + rule, cursor, duration, "anonymize");
         cursor = std::min(cursor + duration, file_end_us - 1);
       }
       tracer_.Complete("file:" + file.name(), file_start_us,
-                       file_end_us - file_start_us);
+                       file_end_us - file_start_us, "anonymize");
     }
     SyncMetrics();
   }

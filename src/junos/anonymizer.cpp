@@ -114,8 +114,10 @@ std::vector<config::ConfigFile> JunosAnonymizer::AnonymizeNetwork(
     const std::vector<config::ConfigFile>& files) {
   obs::ScopedTimer network_span(&tracer_, "junos-anonymize-network");
   network_span.AddArg("files", static_cast<std::int64_t>(files.size()));
+  network_span.AddArg("phase", "anonymize");
   if (!state_->preloaded.load(std::memory_order_acquire)) {
     obs::ScopedTimer preload_span(&tracer_, "junos-preload");
+    preload_span.AddArg("phase", "preload");
     std::vector<net::Ipv4Address> addresses;
     for (const config::ConfigFile& file : files) {
       CollectFileAddresses(file, addresses);
@@ -188,11 +190,11 @@ config::ConfigFile JunosAnonymizer::AnonymizeFile(
             static_cast<std::int64_t>(ns) / 1000, 1);
         duration = std::min(duration,
                             std::max<std::int64_t>(file_end_us - cursor, 1));
-        tracer_.Complete("rule:" + rule, cursor, duration);
+        tracer_.Complete("rule:" + rule, cursor, duration, "anonymize");
         cursor = std::min(cursor + duration, file_end_us - 1);
       }
       tracer_.Complete("file:" + file.name(), file_start_us,
-                       file_end_us - file_start_us);
+                       file_end_us - file_start_us, "anonymize");
     }
     SyncMetrics();
   }

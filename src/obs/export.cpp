@@ -1,0 +1,198 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace confanon::obs {
+
+MetricsSnapshot SnapshotExporter::Capture() {
+  MetricsSnapshot snapshot;
+  // Sequence is assigned before the registry read: a snapshot with a
+  // higher sequence was *started* later, which is the ordering a scraper
+  // can act on without coordinating with other scrapers.
+  snapshot.sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snapshot.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  snapshot.mono_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+  if (registry_ != nullptr) snapshot.metrics = registry_->Snapshot();
+  return snapshot;
+}
+
+SnapshotDelta DiffSnapshots(const MetricsSnapshot& earlier,
+                            const MetricsSnapshot& later) {
+  SnapshotDelta delta;
+  delta.interval_s =
+      static_cast<double>(later.mono_ns - earlier.mono_ns) / 1e9;
+
+  for (const auto& [name, value] : later.metrics.counters) {
+    const auto it = earlier.metrics.counters.find(name);
+    const std::uint64_t base = it == earlier.metrics.counters.end() ? 0 : it->second;
+    const std::uint64_t d = value >= base ? value - base : 0;
+    delta.counter_deltas[name] = d;
+    delta.counter_rates[name] =
+        delta.interval_s > 0.0 ? static_cast<double>(d) / delta.interval_s : 0.0;
+  }
+  for (const auto& [name, value] : later.metrics.gauges) {
+    const auto it = earlier.metrics.gauges.find(name);
+    const std::int64_t base = it == earlier.metrics.gauges.end() ? 0 : it->second;
+    delta.gauge_changes[name] = value - base;
+  }
+  for (const auto& [name, snap] : later.metrics.histograms) {
+    HistogramSnapshot d;
+    const auto it = earlier.metrics.histograms.find(name);
+    if (it == earlier.metrics.histograms.end()) {
+      d = snap;
+    } else {
+      const HistogramSnapshot& base = it->second;
+      d.count = snap.count >= base.count ? snap.count - base.count : 0;
+      d.sum = snap.sum >= base.sum ? snap.sum - base.sum : 0;
+      // Interval min/max are unrecoverable from cumulative snapshots;
+      // carry the later run-wide extrema, which is what a dashboard
+      // annotates the interval with anyway.
+      d.min = snap.min;
+      d.max = snap.max;
+      d.buckets.resize(snap.buckets.size());
+      for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+        const std::uint64_t b = i < base.buckets.size() ? base.buckets[i] : 0;
+        d.buckets[i] = snap.buckets[i] >= b ? snap.buckets[i] - b : 0;
+      }
+    }
+    delta.histogram_deltas[name] = d;
+  }
+  return delta;
+}
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') {
+    out.push_back('_');
+  }
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+void AppendFamilyName(std::string& out, const PrometheusOptions& options,
+                      std::string_view name, std::string_view suffix) {
+  if (!options.prefix.empty()) {
+    out += options.prefix;
+    out += '_';
+  }
+  out += SanitizeMetricName(name);
+  out += suffix;
+}
+
+void AppendType(std::string& out, const PrometheusOptions& options,
+                std::string_view name, std::string_view suffix,
+                std::string_view type) {
+  if (!options.type_comments) return;
+  out += "# TYPE ";
+  AppendFamilyName(out, options, name, suffix);
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void AppendUint(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+void AppendInt(std::string& out, std::int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const RunMetrics& metrics,
+                             const PrometheusOptions& options) {
+  std::string out;
+  out.reserve(4096);
+
+  for (const auto& [name, value] : metrics.counters) {
+    AppendType(out, options, name, "_total", "counter");
+    AppendFamilyName(out, options, name, "_total");
+    out += ' ';
+    AppendUint(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    AppendType(out, options, name, "", "gauge");
+    AppendFamilyName(out, options, name, "");
+    out += ' ';
+    AppendInt(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, snap] : metrics.histograms) {
+    AppendType(out, options, name, "", "histogram");
+    // Cumulative buckets at every occupied boundary. Emitting all 512
+    // log-scale buckets would bloat every scrape ~50x; a subset of
+    // boundaries (always including +Inf) is valid exposition and loses
+    // nothing — an empty bucket's cumulative count equals its
+    // predecessor's.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;
+      cumulative += snap.buckets[i];
+      // The top bucket has no finite upper edge; its samples are covered
+      // by the +Inf series below.
+      if (static_cast<int>(i) + 1 >= LatencyHistogram::kBucketCount) continue;
+      AppendFamilyName(out, options, name, "_bucket");
+      out += "{le=\"";
+      // The bucket's inclusive upper edge is the next bucket's lower
+      // bound minus one; exposition convention is "le" (<=), so that
+      // edge is exact for our integer-valued histograms.
+      const std::uint64_t upper =
+          LatencyHistogram::BucketLowerBound(static_cast<int>(i) + 1) - 1;
+      AppendUint(out, upper);
+      out += "\"} ";
+      AppendUint(out, cumulative);
+      out += '\n';
+    }
+    AppendFamilyName(out, options, name, "_bucket");
+    out += "{le=\"+Inf\"} ";
+    AppendUint(out, snap.count);
+    out += '\n';
+    AppendFamilyName(out, options, name, "_sum");
+    out += ' ';
+    AppendUint(out, snap.sum);
+    out += '\n';
+    AppendFamilyName(out, options, name, "_count");
+    out += ' ';
+    AppendUint(out, snap.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot,
+                             const PrometheusOptions& options) {
+  std::string out = RenderPrometheus(snapshot.metrics, options);
+  AppendType(out, options, "export.sequence", "", "counter");
+  AppendFamilyName(out, options, "export.sequence", "");
+  out += ' ';
+  AppendUint(out, snapshot.sequence);
+  out += '\n';
+  AppendType(out, options, "export.timestamp_ms", "", "gauge");
+  AppendFamilyName(out, options, "export.timestamp_ms", "");
+  out += ' ';
+  AppendInt(out, snapshot.wall_ms);
+  out += '\n';
+  return out;
+}
+
+}  // namespace confanon::obs

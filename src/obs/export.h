@@ -1,0 +1,103 @@
+// Telemetry export: point-in-time registry snapshots, snapshot
+// differencing, and Prometheus text exposition.
+//
+// The metrics registry (metrics.h) was built for one-shot batch runs —
+// freeze everything at exit, write BENCH_perf.json, done. A long-running
+// service (the ROADMAP's `confanond`) instead needs the registry to be
+// observable *while it runs*: scrape-safe snapshots that can be ordered
+// (sequence numbers), turned into rates (differencing), and rendered in
+// the one format every metrics stack already ingests (Prometheus text
+// exposition, content type text/plain; version=0.0.4).
+//
+// Everything here reads the registry through MetricsRegistry::Snapshot(),
+// which is safe to call concurrently with writers, so a scrape never
+// blocks the anonymization hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace confanon::obs {
+
+/// One frozen view of a registry plus the bookkeeping a scraper needs to
+/// order and difference it: a monotonic per-exporter sequence number and
+/// both clock readings (wall for display, steady for rate math).
+struct MetricsSnapshot {
+  std::uint64_t sequence = 0;
+  std::int64_t wall_ms = 0;   // milliseconds since the Unix epoch
+  std::int64_t mono_ns = 0;   // steady-clock nanoseconds (rate denominator)
+  RunMetrics metrics;
+};
+
+/// Stamps registry snapshots with monotonically increasing sequence
+/// numbers. Thread-safe: concurrent Capture() calls get distinct,
+/// strictly ordered sequence numbers (though their registry views may
+/// interleave — compare sequences, not contents, to order them).
+class SnapshotExporter {
+ public:
+  explicit SnapshotExporter(const MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  MetricsSnapshot Capture();
+  std::uint64_t last_sequence() const {
+    return sequence_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const MetricsRegistry* registry_;
+  std::atomic<std::uint64_t> sequence_{0};
+};
+
+/// The change between two snapshots of the same registry, as a service
+/// dashboard wants it: counter deltas and per-second rates, gauge
+/// changes, and bucket-wise histogram deltas (the samples recorded in
+/// the interval). Counters that went backwards (registry replaced,
+/// process restarted) clamp to zero rather than going negative.
+struct SnapshotDelta {
+  double interval_s = 0.0;
+  std::map<std::string, std::uint64_t> counter_deltas;
+  std::map<std::string, double> counter_rates;  // deltas / interval_s
+  std::map<std::string, std::int64_t> gauge_changes;
+  std::map<std::string, HistogramSnapshot> histogram_deltas;
+};
+
+/// Differences `later` against `earlier`. Instruments present only in
+/// `later` (registered mid-interval) are treated as starting from zero.
+SnapshotDelta DiffSnapshots(const MetricsSnapshot& earlier,
+                            const MetricsSnapshot& later);
+
+/// Maps a registry instrument name to a legal Prometheus metric name:
+/// every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+/// digit gets a '_' prefix ("core.line_ns" -> "core_line_ns").
+std::string SanitizeMetricName(std::string_view name);
+
+struct PrometheusOptions {
+  /// Namespace prepended to every family ("confanon" -> the registry's
+  /// "core.line_ns" histogram becomes "confanon_core_line_ns").
+  std::string prefix = "confanon";
+  /// Emit "# TYPE" comment lines (scrapers require them for counters to
+  /// be treated as counters; turn off only for size-constrained tests).
+  bool type_comments = true;
+};
+
+/// Renders a RunMetrics value in Prometheus text exposition format
+/// (version 0.0.4). Deterministic: families appear counters first, then
+/// gauges, then histograms, each sorted by instrument name. Counters get
+/// the conventional "_total" suffix; histograms emit cumulative
+/// "_bucket{le=...}" series at every occupied log-scale bucket boundary
+/// plus "+Inf", then "_sum" and "_count".
+std::string RenderPrometheus(const RunMetrics& metrics,
+                             const PrometheusOptions& options = {});
+
+/// Snapshot variant: everything above plus the exporter's own meta
+/// families ("<prefix>_export_sequence", "<prefix>_export_timestamp_ms")
+/// so scrape staleness is itself observable.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot,
+                             const PrometheusOptions& options = {});
+
+}  // namespace confanon::obs

@@ -1,0 +1,221 @@
+#include "obs/exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace confanon::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+/// Blocking full write with a poll-guarded retry on partial sends.
+bool SendAll(int fd, std::string_view data, int timeout_ms) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, timeout_ms) <= 0) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::string MakeResponse(std::string_view status, std::string_view content_type,
+                         std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+ExpositionServer::ExpositionServer(Options options, MetricsProducer producer)
+    : options_(std::move(options)), producer_(std::move(producer)) {}
+
+ExpositionServer::~ExpositionServer() { Stop(); }
+
+bool ExpositionServer::ParseListenSpec(std::string_view spec,
+                                       std::string& host,
+                                       std::uint16_t& port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  const std::string_view port_text = spec.substr(colon + 1);
+  if (port_text.empty() || port_text.size() > 5) return false;
+  std::uint32_t value = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (value > 65535) return false;
+  host = std::string(spec.substr(0, colon));
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+bool ExpositionServer::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "already running";
+    return false;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  const std::string& host =
+      options_.host == "localhost" ? std::string("127.0.0.1") : options_.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + host + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void ExpositionServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  // The accept loop polls with a timeout, so it observes stopping_ even
+  // if no connection ever arrives; shutdown() additionally wakes a poll
+  // that is already parked on the fd.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void ExpositionServer::Serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) continue;
+      break;  // listener shut down or unrecoverable
+    }
+    const timeval timeout{options_.io_timeout_ms / 1000,
+                          static_cast<suseconds_t>(
+                              (options_.io_timeout_ms % 1000) * 1000)};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void ExpositionServer::HandleConnection(int fd) {
+  // Read until the end of the request head; drop oversized requests.
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return;  // timeout, reset, or EOF before a full head
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.size() > kMaxRequestBytes) {
+      SendAll(fd,
+              MakeResponse("431 Request Header Fields Too Large",
+                           "text/plain", "request too large\n"),
+              options_.io_timeout_ms);
+      return;
+    }
+  }
+
+  // "METHOD SP PATH SP VERSION" — everything else is a 400.
+  const std::size_t line_end = request.find("\r\n");
+  const std::string_view line = std::string_view(request).substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    SendAll(fd, MakeResponse("400 Bad Request", "text/plain", "bad request\n"),
+            options_.io_timeout_ms);
+    return;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string_view::npos) path = path.substr(0, query);
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (method != "GET" && method != "HEAD") {
+    SendAll(fd,
+            MakeResponse("405 Method Not Allowed", "text/plain",
+                         "only GET is supported\n"),
+            options_.io_timeout_ms);
+    return;
+  }
+
+  std::string response;
+  if (path == "/metrics") {
+    response = MakeResponse("200 OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            producer_ ? producer_() : std::string());
+  } else if (path == "/healthz") {
+    response = MakeResponse("200 OK", "text/plain", "ok\n");
+  } else {
+    response = MakeResponse("404 Not Found", "text/plain", "not found\n");
+  }
+  if (method == "HEAD") {
+    response.resize(response.find("\r\n\r\n") + 4);
+  }
+  SendAll(fd, response, options_.io_timeout_ms);
+}
+
+}  // namespace confanon::obs

@@ -1,0 +1,87 @@
+// Minimal self-contained HTTP/1.1 metrics listener.
+//
+// Serves two endpoints from a dedicated accept thread:
+//
+//   GET /metrics  -> whatever the installed producer returns (Prometheus
+//                    text exposition by convention; see export.h)
+//   GET /healthz  -> "ok\n" (liveness for load balancers / systemd)
+//
+// Scope is deliberately tiny: one listening socket with a bounded accept
+// backlog, one connection handled at a time, Connection: close on every
+// response. A metrics scrape arrives every few seconds and reads a few
+// kilobytes — the failure mode worth engineering against is a wedged or
+// slow scraper holding the thread, so every socket gets a receive/send
+// timeout and oversized or malformed requests are dropped with 4xx.
+// Nothing here ever blocks or allocates on the anonymization hot path;
+// the producer runs on the accept thread.
+//
+// Start() binds immediately (port 0 picks an ephemeral port, readable
+// through port() — tests and "--metrics-listen=127.0.0.1:0" rely on it);
+// Stop() closes the listener and joins the thread, and is safe to call
+// twice. The destructor stops the server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace confanon::obs {
+
+class ExpositionServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral, see port()
+    int backlog = 16;        // bounded kernel accept queue
+    int io_timeout_ms = 2000;
+  };
+
+  /// Called per /metrics request, on the accept thread.
+  using MetricsProducer = std::function<std::string()>;
+
+  ExpositionServer(Options options, MetricsProducer producer);
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Returns false (with a
+  /// diagnostic in *error when non-null) on bind/listen failure; the
+  /// server is then inert and Stop() is a no-op.
+  bool Start(std::string* error = nullptr);
+
+  /// Closes the listener and joins the accept thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The actual bound port (resolves port 0 after Start()).
+  std::uint16_t port() const { return bound_port_; }
+  const std::string& host() const { return options_.host; }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Parses "HOST:PORT" ("127.0.0.1:9464", "localhost:0"). Returns false
+  /// on a missing colon or an unparseable port.
+  static bool ParseListenSpec(std::string_view spec, std::string& host,
+                              std::uint16_t& port);
+
+ private:
+  void Serve();                    // accept-thread main loop
+  void HandleConnection(int fd);   // one request/response cycle
+
+  Options options_;
+  MetricsProducer producer_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace confanon::obs

@@ -17,6 +17,7 @@ namespace confanon::obs {
 class MetricsRegistry;
 class TraceSink;
 class ProvenanceLog;
+class PhaseProfiler;
 
 struct Hooks {
   /// Counters/gauges/latency histograms (see metrics.h). Thread-safe:
@@ -28,9 +29,16 @@ struct Hooks {
   /// Per-line rule-firing record (see provenance.h). Single-writer: the
   /// pipeline gives each file its own log and merges in corpus order.
   ProvenanceLog* provenance = nullptr;
+  /// Phase window aggregator (see profiler.h). When set, the pipeline
+  /// brackets its sequential phases so the profiler can attribute wall
+  /// time and hardware counters per phase. Usually the same object as
+  /// `trace` (PhaseProfiler is a TraceSink), but kept separate so a
+  /// plain JSONL trace can coexist with phase accounting.
+  PhaseProfiler* profiler = nullptr;
 
   bool any() const {
-    return metrics != nullptr || trace != nullptr || provenance != nullptr;
+    return metrics != nullptr || trace != nullptr || provenance != nullptr ||
+           profiler != nullptr;
   }
 };
 

@@ -69,10 +69,15 @@ double HistogramSnapshot::Percentile(double p) const {
   if (count == 0 || buckets.empty()) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
   // Nearest rank on the bucketized sample, linear interpolation inside the
-  // resolved bucket.
+  // resolved bucket: the rank-th sample is the (rank - cumulative)-th of
+  // the bucket's `n` occupants, placed at the start of its 1/n slice of
+  // the bucket's value range. A single-occupant bucket therefore reports
+  // its LOWER bound — the only value the recorded sample is known to have
+  // reached — not the bucket's upper edge.
   const std::uint64_t rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(
              std::ceil(p / 100.0 * static_cast<double>(count))));
+  if (rank >= count) return static_cast<double>(max);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     if (buckets[i] == 0) continue;
@@ -84,7 +89,7 @@ double HistogramSnapshot::Percentile(double p) const {
               ? static_cast<double>(
                     LatencyHistogram::BucketLowerBound(static_cast<int>(i) + 1))
               : static_cast<double>(max);
-      const double within = static_cast<double>(rank - cumulative) /
+      const double within = static_cast<double>(rank - cumulative - 1) /
                             static_cast<double>(buckets[i]);
       const double estimate = lower + within * (upper - lower);
       return std::clamp(estimate, static_cast<double>(min),

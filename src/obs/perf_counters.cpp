@@ -1,0 +1,129 @@
+#include "obs/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace confanon::obs {
+
+PerfSample PerfSample::Since(const PerfSample& earlier) const {
+  PerfSample d;
+  d.valid = valid && earlier.valid;
+  if (!d.valid) return d;
+  auto sub = [](std::uint64_t a, std::uint64_t b) { return a >= b ? a - b : 0; };
+  d.cycles = sub(cycles, earlier.cycles);
+  d.instructions = sub(instructions, earlier.instructions);
+  d.branch_misses = sub(branch_misses, earlier.branch_misses);
+  d.cache_misses = sub(cache_misses, earlier.cache_misses);
+  d.time_enabled_ns = sub(time_enabled_ns, earlier.time_enabled_ns);
+  d.time_running_ns = sub(time_running_ns, earlier.time_running_ns);
+  return d;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+/// Opens one hardware event for this process + inherited threads.
+/// Independent fds rather than a kernel fd-group: inherit=1 (required to
+/// count pipeline worker threads) is incompatible with
+/// PERF_FORMAT_GROUP reads, so the "group" is an API-level bundle.
+int OpenHardwareEvent(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 0;  // count from open; callers difference readings
+  attr.inherit = 1;   // follow threads spawned after open (worker pool)
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, &attr, 0 /* this process */,
+                -1 /* any cpu */, -1 /* no group: see above */, 0));
+}
+
+/// read() layout under the two time fields: value, time_enabled,
+/// time_running.
+struct ReadBuffer {
+  std::uint64_t value;
+  std::uint64_t time_enabled;
+  std::uint64_t time_running;
+};
+
+bool ReadEvent(int fd, ReadBuffer& out) {
+  if (fd < 0) return false;
+  const ssize_t n = ::read(fd, &out, sizeof out);
+  return n == static_cast<ssize_t>(sizeof out);
+}
+
+}  // namespace
+
+bool PerfCounterGroup::Open() {
+  Close();
+  static constexpr std::uint64_t kConfigs[kEvents] = {
+      PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_BRANCH_MISSES, PERF_COUNT_HW_CACHE_MISSES};
+  for (int i = 0; i < kEvents; ++i) {
+    fds_[i] = OpenHardwareEvent(kConfigs[i]);
+  }
+  if (fds_[0] < 0 || fds_[1] < 0) {
+    Close();  // cycles+instructions are the minimum useful set
+    return false;
+  }
+  return true;
+}
+
+void PerfCounterGroup::Close() {
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() { Close(); }
+
+PerfSample PerfCounterGroup::Read() const {
+  PerfSample sample;
+  if (!ok()) return sample;
+  ReadBuffer buf{};
+  if (!ReadEvent(fds_[0], buf)) return sample;
+  sample.cycles = buf.value;
+  sample.time_enabled_ns = buf.time_enabled;
+  sample.time_running_ns = buf.time_running;
+  if (!ReadEvent(fds_[1], buf)) return sample;
+  sample.instructions = buf.value;
+  if (ReadEvent(fds_[2], buf)) sample.branch_misses = buf.value;
+  if (ReadEvent(fds_[3], buf)) sample.cache_misses = buf.value;
+  sample.valid = true;
+  return sample;
+}
+
+bool PerfCounterGroup::Supported() {
+  static const bool supported = [] {
+    const int fd = OpenHardwareEvent(PERF_COUNT_HW_INSTRUCTIONS);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+#else  // !__linux__: permanent null implementation
+
+bool PerfCounterGroup::Open() { return false; }
+void PerfCounterGroup::Close() {}
+PerfCounterGroup::~PerfCounterGroup() = default;
+PerfSample PerfCounterGroup::Read() const { return {}; }
+bool PerfCounterGroup::Supported() { return false; }
+
+#endif
+
+}  // namespace confanon::obs

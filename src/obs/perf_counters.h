@@ -1,0 +1,81 @@
+// Hardware performance counters via perf_event_open, with a null
+// fallback everywhere the syscall is unavailable.
+//
+// A PerfCounterGroup opens four CPU-level events — cycles, instructions,
+// branch misses, cache (LLC) misses — scoped to the calling process and
+// inherited by threads it spawns afterwards, which is exactly the shape
+// of the corpus pipeline: counters opened before a phase, worker threads
+// spawned and joined inside it, counters read after. Reads never reset;
+// callers difference two PerfSample readings to attribute counts to a
+// phase (see profiler.h), which sidesteps the kernel restriction that
+// inherited counters cannot be reliably reset.
+//
+// Degradation contract (the part that matters in CI containers and on
+// non-Linux builds): if perf_event_open is missing (ENOSYS), forbidden
+// (EPERM/EACCES under perf_event_paranoid or seccomp), or the PMU lacks
+// an event (ENOENT/EINVAL/EOPNOTSUPP), the group silently becomes null —
+// Open() returns false, ok() is false, Read() returns a zeroed sample
+// with valid=false, and nothing is ever printed. Callers render "n/a"
+// instead of IPC and move on.
+#pragma once
+
+#include <cstdint>
+
+namespace confanon::obs {
+
+/// One reading of the group. Raw event counts are cumulative since
+/// Open(); difference two samples for a phase. time_enabled/time_running
+/// expose kernel multiplexing (running < enabled means the PMU was
+/// oversubscribed and counts are underestimates).
+struct PerfSample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+  bool valid = false;
+
+  /// Instructions per cycle; 0 when invalid or no cycles elapsed.
+  double Ipc() const {
+    return valid && cycles > 0
+               ? static_cast<double>(instructions) / static_cast<double>(cycles)
+               : 0.0;
+  }
+
+  /// Field-wise difference (this - earlier), for phase attribution.
+  PerfSample Since(const PerfSample& earlier) const;
+};
+
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup() = default;
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// Opens the counters (enabled immediately, inherited by new threads).
+  /// Returns false — leaving the group null — when the cycles or
+  /// instructions event cannot be opened; branch/cache misses are
+  /// optional extras (some PMUs lack them) and read as 0 when absent.
+  bool Open();
+  /// Closes all event fds; the group returns to the null state.
+  void Close();
+
+  bool ok() const { return fds_[0] >= 0 && fds_[1] >= 0; }
+
+  /// Cumulative counts since Open(); {valid=false} when null.
+  PerfSample Read() const;
+
+  /// One cached probe of whether a minimal counter can be opened in this
+  /// environment (false in most unprivileged containers).
+  static bool Supported();
+
+ private:
+  // Slot order: cycles, instructions, branch-misses, cache-misses.
+  static constexpr int kEvents = 4;
+  int fds_[kEvents] = {-1, -1, -1, -1};
+};
+
+}  // namespace confanon::obs

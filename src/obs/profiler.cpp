@@ -1,0 +1,269 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+namespace confanon::obs {
+
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PhaseProfiler::PhaseProfiler(Options options) : options_(options) {
+  if (options_.enable_perf_counters) {
+    perf_.Open();  // silently null on failure — the degradation contract
+  }
+}
+
+void PhaseProfiler::Write(const TraceEvent& event) {
+  if (event.phase == 'X') {  // only complete spans carry durations
+    SpanRecord record;
+    record.name = event.name;
+    record.ts_us = event.ts_us;
+    record.dur_us = event.dur_us;
+    for (const auto& [key, value] : event.str_args) {
+      if (key == "phase") {
+        record.phase = value;
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (span_count_ < options_.max_spans) {
+      spans_[std::this_thread::get_id()].push_back(std::move(record));
+      ++span_count_;
+    } else {
+      ++dropped_spans_;
+    }
+  }
+  if (downstream_ != nullptr) downstream_->Write(event);
+}
+
+void PhaseProfiler::BeginPhase(std::string_view phase) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = phases_.find(phase);
+  if (it == phases_.end()) {
+    PhaseRecord record;
+    record.name = std::string(phase);
+    record.order = next_phase_order_++;
+    it = phases_.emplace(record.name, std::move(record)).first;
+  }
+  PhaseRecord& record = it->second;
+  ++record.invocations;
+  if (record.active++ == 0) {
+    record.window_start_ns = NowNs();
+    record.window_baseline = perf_.Read();
+  }
+}
+
+void PhaseProfiler::EndPhase(std::string_view phase) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = phases_.find(phase);
+  if (it == phases_.end() || it->second.active == 0) return;  // unbalanced
+  PhaseRecord& record = it->second;
+  if (--record.active == 0) {
+    record.wall_ns +=
+        static_cast<std::uint64_t>(NowNs() - record.window_start_ns);
+    const PerfSample delta = perf_.Read().Since(record.window_baseline);
+    if (delta.valid) {
+      record.counters.cycles += delta.cycles;
+      record.counters.instructions += delta.instructions;
+      record.counters.branch_misses += delta.branch_misses;
+      record.counters.cache_misses += delta.cache_misses;
+      record.counters.time_enabled_ns += delta.time_enabled_ns;
+      record.counters.time_running_ns += delta.time_running_ns;
+      record.counters.valid = true;
+    }
+  }
+}
+
+PhaseProfiler::ScopedPhase::ScopedPhase(PhaseProfiler* profiler,
+                                        Tracer* tracer,
+                                        std::string_view phase)
+    : profiler_(profiler),
+      tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+      phase_(phase) {
+  if (profiler_ != nullptr) profiler_->BeginPhase(phase_);
+  if (tracer_ != nullptr) start_us_ = tracer_->NowUs();
+}
+
+PhaseProfiler::ScopedPhase::~ScopedPhase() {
+  if (profiler_ != nullptr) profiler_->EndPhase(phase_);
+  if (tracer_ != nullptr) {
+    tracer_->Complete("phase:" + phase_, start_us_,
+                      std::max<std::int64_t>(tracer_->NowUs() - start_us_, 1),
+                      phase_);
+  }
+}
+
+std::uint64_t PhaseProfiler::Profile::PhaseWallNsTotal() const {
+  std::uint64_t total = 0;
+  for (const PhaseStats& phase : phases) total += phase.wall_ns;
+  return total;
+}
+
+PhaseProfiler::Profile PhaseProfiler::Finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Profile profile;
+  profile.perf_available = perf_.ok();
+  profile.dropped_spans = dropped_spans_;
+
+  // Phase table, in first-begin order; close any still-open window.
+  std::vector<const PhaseRecord*> ordered;
+  ordered.reserve(phases_.size());
+  for (auto& [name, record] : phases_) {
+    if (record.active > 0) {  // defensive: profile of a live run
+      record.wall_ns +=
+          static_cast<std::uint64_t>(NowNs() - record.window_start_ns);
+      record.window_start_ns = NowNs();
+    }
+    ordered.push_back(&record);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const PhaseRecord* a, const PhaseRecord* b) {
+              return a->order < b->order;
+            });
+  for (const PhaseRecord* record : ordered) {
+    PhaseStats stats;
+    stats.name = record->name;
+    stats.wall_ns = record->wall_ns;
+    stats.invocations = record->invocations;
+    stats.counters = record->counters;
+    profile.phases.push_back(std::move(stats));
+  }
+
+  // Folded stacks: per emitting thread, sort spans into pre-order
+  // (start ascending, longer-first on ties puts parents before their
+  // children) and sweep with an explicit stack. A span is a child of the
+  // deepest open span that contains it; otherwise it roots a new stack
+  // labeled by its phase tag.
+  struct Frame {
+    const SpanRecord* span;
+    std::int64_t end_us;
+    std::uint64_t child_us = 0;
+    std::string path;
+  };
+  struct Aggregate {
+    std::uint64_t total_us = 0;
+    std::uint64_t self_us = 0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, Aggregate> folded;
+
+  for (auto& [tid, records] : spans_) {
+    (void)tid;
+    std::vector<const SpanRecord*> sorted;
+    sorted.reserve(records.size());
+    for (const SpanRecord& record : records) sorted.push_back(&record);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const SpanRecord* a, const SpanRecord* b) {
+                       if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+                       return a->dur_us > b->dur_us;
+                     });
+
+    std::vector<Frame> stack;
+    const auto pop_frame = [&] {
+      const Frame& frame = stack.back();
+      Aggregate& aggregate = folded[frame.path];
+      aggregate.total_us += static_cast<std::uint64_t>(frame.span->dur_us);
+      const std::uint64_t dur = static_cast<std::uint64_t>(frame.span->dur_us);
+      aggregate.self_us += dur > frame.child_us ? dur - frame.child_us : 0;
+      aggregate.count += 1;
+      stack.pop_back();
+    };
+
+    for (const SpanRecord* span : sorted) {
+      const std::int64_t end = span->ts_us + span->dur_us;
+      while (!stack.empty() &&
+             (span->ts_us >= stack.back().end_us || end > stack.back().end_us)) {
+        pop_frame();
+      }
+      Frame frame;
+      frame.span = span;
+      frame.end_us = end;
+      if (!stack.empty()) {
+        stack.back().child_us += static_cast<std::uint64_t>(span->dur_us);
+        frame.path = stack.back().path + ";" + span->name;
+      } else {
+        const std::string& root =
+            span->phase.empty() ? std::string("unphased") : span->phase;
+        frame.path = root + ";" + span->name;
+      }
+      stack.push_back(std::move(frame));
+    }
+    while (!stack.empty()) pop_frame();
+  }
+
+  profile.spans.reserve(folded.size());
+  for (const auto& [path, aggregate] : folded) {
+    SpanStats stats;
+    stats.path = path;
+    stats.total_us = aggregate.total_us;
+    stats.self_us = aggregate.self_us;
+    stats.count = aggregate.count;
+    profile.total_self_us += aggregate.self_us;
+    profile.spans.push_back(std::move(stats));
+  }
+  return profile;
+}
+
+std::string PhaseProfiler::RenderTable(const Profile& profile) {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof line, "%-12s %12s %7s %8s %6s %12s %12s\n",
+                "phase", "wall_ms", "share", "begins", "IPC", "br-miss/kI",
+                "$-miss/kI");
+  out += line;
+  const double total_ns =
+      static_cast<double>(std::max<std::uint64_t>(profile.PhaseWallNsTotal(), 1));
+  for (const PhaseStats& phase : profile.phases) {
+    const double wall_ms = static_cast<double>(phase.wall_ns) / 1e6;
+    const double share = static_cast<double>(phase.wall_ns) / total_ns * 100.0;
+    if (phase.counters.valid && phase.counters.instructions > 0) {
+      const double per_ki =
+          1000.0 / static_cast<double>(phase.counters.instructions);
+      std::snprintf(line, sizeof line,
+                    "%-12s %12.2f %6.1f%% %8llu %6.2f %12.3f %12.3f\n",
+                    phase.name.c_str(), wall_ms, share,
+                    static_cast<unsigned long long>(phase.invocations),
+                    phase.Ipc(),
+                    static_cast<double>(phase.counters.branch_misses) * per_ki,
+                    static_cast<double>(phase.counters.cache_misses) * per_ki);
+    } else {
+      std::snprintf(line, sizeof line,
+                    "%-12s %12.2f %6.1f%% %8llu %6s %12s %12s\n",
+                    phase.name.c_str(), wall_ms, share,
+                    static_cast<unsigned long long>(phase.invocations), "n/a",
+                    "n/a", "n/a");
+    }
+    out += line;
+  }
+  if (!profile.perf_available) {
+    out += "(hardware counters unavailable: perf_event_open denied or "
+           "unsupported — wall-clock columns only)\n";
+  }
+  if (profile.dropped_spans > 0) {
+    std::snprintf(line, sizeof line,
+                  "(span buffer full: %llu spans dropped from the folded "
+                  "profile)\n",
+                  static_cast<unsigned long long>(profile.dropped_spans));
+    out += line;
+  }
+  return out;
+}
+
+void PhaseProfiler::WriteFolded(const Profile& profile, std::ostream& out) {
+  for (const SpanStats& span : profile.spans) {
+    if (span.self_us == 0) continue;
+    out << span.path << ' ' << span.self_us << '\n';
+  }
+}
+
+}  // namespace confanon::obs

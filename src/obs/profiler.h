@@ -1,0 +1,165 @@
+// Phase profiler: a TraceSink that turns the span stream into a
+// per-phase self-time/IPC table and flamegraph-ready folded stacks.
+//
+// Two feeds, one report:
+//
+//  1. Spans. The profiler *is* a TraceSink — install it as hooks.trace
+//     (optionally teeing to a JSONL sink via set_downstream) and every
+//     completed span the engines already emit (network, preload, file,
+//     rule) is buffered per emitting thread. Finish() reconstructs the
+//     nesting per thread by timestamp containment (completion events
+//     arrive child-before-parent within a thread) and aggregates
+//     identical stacks into folded "root;child;leaf <self_us>" lines —
+//     the input format of Brendan Gregg's flamegraph.pl and of any
+//     speedscope-style viewer.
+//  2. Phases. The corpus pipeline (and the audit driver) bracket their
+//     sequential phases with BeginPhase/EndPhase. Each phase accumulates
+//     wall time and — when perf_event_open is usable (perf_counters.h) —
+//     hardware-counter deltas, so the table reports per-phase IPC,
+//     branch-miss and cache-miss density. Phases are re-entrant across
+//     threads (31 concurrent network pipelines all run a "preload"
+//     phase): the window is open while any holder is inside, so
+//     overlapping holders are counted once, not summed.
+//
+// Span roots are labeled by the span's "phase" string argument (the
+// engines tag their spans; children inherit the parent's label), so the
+// folded stacks group under the same phase names as the table even when
+// worker threads emit spans the phase window cannot textually contain.
+//
+// Thread-safety: Write/BeginPhase/EndPhase take one internal mutex and
+// do O(1) work plus an event append — cheap relative to the spans being
+// profiled (file granularity, not line granularity). Finish() is meant
+// to be called once, after the run quiesces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/perf_counters.h"
+#include "obs/trace.h"
+
+namespace confanon::obs {
+
+class PhaseProfiler : public TraceSink {
+ public:
+  struct Options {
+    /// Try perf_event_open for per-phase hardware counters; the profiler
+    /// degrades to wall-time-only when the syscall is unavailable.
+    bool enable_perf_counters = true;
+    /// Span-buffer cap: beyond this, further spans are dropped (counted
+    /// in Profile::dropped_spans) so a pathological trace cannot exhaust
+    /// memory. 1M spans ~ 64MB, far above any corpus profiled so far.
+    std::size_t max_spans = 1u << 20;
+  };
+
+  // Default argument spelled as a delegating constructor: a `= {}`
+  // default would need Options' member initializers before PhaseProfiler
+  // is a complete type.
+  PhaseProfiler() : PhaseProfiler(Options{}) {}
+  explicit PhaseProfiler(Options options);
+
+  // --- TraceSink ---------------------------------------------------------
+  void Write(const TraceEvent& event) override;
+  /// Optional downstream sink (e.g. a JsonlTraceSink): every event is
+  /// forwarded after being recorded, so profiling and trace capture can
+  /// share the single hooks.trace slot.
+  void set_downstream(TraceSink* sink) { downstream_ = sink; }
+
+  // --- Phase windows -----------------------------------------------------
+  void BeginPhase(std::string_view phase);
+  void EndPhase(std::string_view phase);
+
+  /// RAII phase bracket; null profiler/tracer pointers are no-ops. When a
+  /// tracer is given, a "phase:<name>" span tagged with the phase label
+  /// is emitted on destruction so trace viewers see the window too.
+  class ScopedPhase {
+   public:
+    ScopedPhase(PhaseProfiler* profiler, Tracer* tracer,
+                std::string_view phase);
+    ~ScopedPhase();
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+   private:
+    PhaseProfiler* profiler_;
+    Tracer* tracer_;
+    std::string phase_;
+    std::int64_t start_us_ = 0;
+  };
+
+  // --- Report ------------------------------------------------------------
+  struct PhaseStats {
+    std::string name;
+    std::uint64_t wall_ns = 0;       // union of this phase's open windows
+    std::uint64_t invocations = 0;   // BeginPhase calls
+    PerfSample counters;             // deltas; valid only with perf access
+    double Ipc() const { return counters.Ipc(); }
+  };
+
+  struct SpanStats {
+    std::string path;            // "phase;parent;child" folded stack
+    std::uint64_t total_us = 0;  // inclusive time of spans at this path
+    std::uint64_t self_us = 0;   // total minus direct children
+    std::uint64_t count = 0;
+  };
+
+  struct Profile {
+    std::vector<PhaseStats> phases;  // in first-begin order
+    std::vector<SpanStats> spans;    // sorted by path
+    std::uint64_t total_self_us = 0;
+    std::uint64_t dropped_spans = 0;
+    bool perf_available = false;
+
+    std::uint64_t PhaseWallNsTotal() const;
+  };
+
+  /// Reconstructs nesting and aggregates. Call after the profiled run
+  /// has quiesced; still-open phase windows are closed at "now".
+  Profile Finish();
+
+  bool perf_available() const { return perf_.ok(); }
+
+  /// Human-readable per-phase table (wall, share, invocations, IPC,
+  /// branch/cache miss densities; "n/a" columns without perf access).
+  static std::string RenderTable(const Profile& profile);
+  /// Folded stacks, one "path weight" line per aggregated stack, weight =
+  /// self-time in microseconds. Feed to flamegraph.pl.
+  static void WriteFolded(const Profile& profile, std::ostream& out);
+
+ private:
+  struct SpanRecord {
+    std::string name;
+    std::string phase;  // from the event's "phase" str arg, may be empty
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;
+  };
+  struct PhaseRecord {
+    std::string name;
+    std::uint64_t order = 0;       // first-begin rank
+    std::uint64_t invocations = 0;
+    int active = 0;                // re-entrancy depth across threads
+    std::int64_t window_start_ns = 0;
+    PerfSample window_baseline;
+    std::uint64_t wall_ns = 0;
+    PerfSample counters;           // accumulated deltas
+  };
+
+  Options options_;
+  TraceSink* downstream_ = nullptr;
+  PerfCounterGroup perf_;
+
+  mutable std::mutex mutex_;
+  std::map<std::thread::id, std::vector<SpanRecord>> spans_;
+  std::size_t span_count_ = 0;
+  std::uint64_t dropped_spans_ = 0;
+  std::map<std::string, PhaseRecord, std::less<>> phases_;
+  std::uint64_t next_phase_order_ = 0;
+};
+
+}  // namespace confanon::obs

@@ -59,14 +59,23 @@ void Tracer::Emit(TraceEvent event) {
   sink_->Write(event);
 }
 
+std::chrono::steady_clock::time_point Tracer::ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
 void Tracer::Complete(std::string name, std::int64_t ts_us,
-                      std::int64_t dur_us) {
+                      std::int64_t dur_us, std::string_view phase) {
   if (sink_ == nullptr) return;
   TraceEvent event;
   event.name = std::move(name);
   event.phase = 'X';
   event.ts_us = ts_us;
   event.dur_us = dur_us;
+  if (!phase.empty()) {
+    event.str_args.emplace_back("phase", std::string(phase));
+  }
   sink_->Write(event);
 }
 

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -80,11 +81,17 @@ class JsonlTraceSink : public TraceSink {
 
 /// Front door for emitting events. Holds a non-owned sink pointer; a null
 /// sink makes every operation a no-op. Timestamps are microseconds since
-/// the tracer's construction (Trace Event Format wants a consistent
-/// monotonic epoch, not wall time).
+/// a process-wide epoch (Trace Event Format wants a consistent monotonic
+/// epoch, not wall time) — shared by every Tracer so spans emitted by
+/// different engines, the pipeline, and the global tracer land on one
+/// comparable timeline. The phase profiler's nesting reconstruction and
+/// multi-engine trace files both rely on this.
 class Tracer {
  public:
-  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer() : epoch_(ProcessEpoch()) {}
+
+  /// The shared epoch: fixed at first use, identical for all tracers.
+  static std::chrono::steady_clock::time_point ProcessEpoch();
 
   void set_sink(TraceSink* sink) { sink_ = sink; }
   TraceSink* sink() const { return sink_; }
@@ -98,8 +105,12 @@ class Tracer {
 
   void Emit(TraceEvent event);
 
-  /// Emits an 'X' complete event spanning [ts_us, ts_us + dur_us].
-  void Complete(std::string name, std::int64_t ts_us, std::int64_t dur_us);
+  /// Emits an 'X' complete event spanning [ts_us, ts_us + dur_us]. A
+  /// non-empty `phase` is attached as a "phase" string argument — the
+  /// profiler (profiler.h) uses it to root folded stacks under the
+  /// pipeline phase that emitted the span.
+  void Complete(std::string name, std::int64_t ts_us, std::int64_t dur_us,
+                std::string_view phase = {});
   /// Emits an 'i' instant event at now.
   void Instant(std::string name);
   /// Emits a 'C' counter sample at now.

@@ -5,6 +5,7 @@
 
 #include "core/anonymizer.h"
 #include "core/hash_batcher.h"
+#include "obs/profiler.h"
 #include "obs/provenance.h"
 #include "passlist/passlist.h"
 #include "pipeline/parallel_for.h"
@@ -102,13 +103,17 @@ void CorpusPipeline::PreloadCorpus(
 std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
     const std::vector<config::ConfigFile>& files) {
   std::vector<FileDialect> dialects(files.size());
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    dialects[i] = ResolveDialect(files[i]);
-  }
 
-  // Phase 1: corpus-wide preload. All RNG consumption happens here;
-  // phase 2 only reads the trie's memo.
-  PreloadCorpus(files, dialects);
+  // Phase 1: dialect routing + corpus-wide preload. All RNG consumption
+  // happens here; phase 2 only reads the trie's memo.
+  {
+    obs::PhaseProfiler::ScopedPhase phase(hooks_.profiler, &tracer_,
+                                          "preload");
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      dialects[i] = ResolveDialect(files[i]);
+    }
+    PreloadCorpus(files, dialects);
+  }
 
   // Phase 1.5: prewarm the shared hash memo in full 4-lane batches.
   // Per-file miss counts are small, so without this the workers'
@@ -117,6 +122,8 @@ std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
   // are pure functions of (salt, word), so extra memo entries cannot
   // change a byte of output.
   {
+    obs::PhaseProfiler::ScopedPhase phase(hooks_.profiler, &tracer_,
+                                          "prewarm");
     std::vector<std::string_view> candidates;
     const passlist::PassList ios_list = passlist::PassList::Builtin();
     const passlist::PassList junos_list = junos::JunosPassList();
@@ -152,46 +159,56 @@ std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
     workers.push_back(std::make_unique<EngineWorker>(options_, state_));
   }
 
+  // Phase 2: parallel per-file anonymization. The phase window spans the
+  // whole pool (open while any worker runs); at threads <= 1 RunWorkers
+  // executes inline, so the four phase windows tile the call exactly.
   WorkQueue queue(files.size(), options_.batch_size);
-  RunWorkers(threads, [&](int worker_index) {
-    EngineWorker& worker = *workers[static_cast<std::size_t>(worker_index)];
-    obs::Hooks worker_hooks = hooks_;
-    worker_hooks.provenance = nullptr;
-    worker.ios.install_hooks(worker_hooks);
-    worker.junos.install_hooks(worker_hooks);
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    while (queue.Next(begin, end)) {
-      for (std::size_t i = begin; i < end; ++i) {
-        core::AnonymizerEngine& engine = worker.ForDialect(dialects[i]);
-        if (collect_provenance) {
-          obs::Hooks per_file = worker_hooks;
-          per_file.provenance = &file_provenance[i];
-          engine.install_hooks(per_file);
+  {
+    obs::PhaseProfiler::ScopedPhase phase(hooks_.profiler, &tracer_,
+                                          "anonymize");
+    RunWorkers(threads, [&](int worker_index) {
+      EngineWorker& worker = *workers[static_cast<std::size_t>(worker_index)];
+      obs::Hooks worker_hooks = hooks_;
+      worker_hooks.provenance = nullptr;
+      worker.ios.install_hooks(worker_hooks);
+      worker.junos.install_hooks(worker_hooks);
+      std::size_t begin = 0;
+      std::size_t end = 0;
+      while (queue.Next(begin, end)) {
+        for (std::size_t i = begin; i < end; ++i) {
+          core::AnonymizerEngine& engine = worker.ForDialect(dialects[i]);
+          if (collect_provenance) {
+            obs::Hooks per_file = worker_hooks;
+            per_file.provenance = &file_provenance[i];
+            engine.install_hooks(per_file);
+          }
+          out[i] = engine.AnonymizeFile(files[i]);
         }
-        out[i] = engine.AnonymizeFile(files[i]);
       }
-    }
-    worker.ios.SyncMetrics();
-    worker.junos.SyncMetrics();
-  });
+      worker.ios.SyncMetrics();
+      worker.junos.SyncMetrics();
+    });
+  }
 
   // Deterministic join: merge per-worker reports/leak records (sums and
   // set unions commute) and concatenate provenance in corpus order.
-  for (const auto& worker : workers) {
-    report_.Merge(worker->ios.report());
-    report_.Merge(worker->junos.report());
-    leak_record_.Merge(worker->ios.leak_record());
-    leak_record_.Merge(worker->junos.leak_record());
-  }
-  if (collect_provenance) {
-    for (const obs::ProvenanceLog& log : file_provenance) {
-      for (const obs::ProvenanceEntry& entry : log.entries()) {
-        hooks_.provenance->Record(entry);
+  {
+    obs::PhaseProfiler::ScopedPhase phase(hooks_.profiler, &tracer_, "join");
+    for (const auto& worker : workers) {
+      report_.Merge(worker->ios.report());
+      report_.Merge(worker->junos.report());
+      leak_record_.Merge(worker->ios.leak_record());
+      leak_record_.Merge(worker->junos.leak_record());
+    }
+    if (collect_provenance) {
+      for (const obs::ProvenanceLog& log : file_provenance) {
+        for (const obs::ProvenanceEntry& entry : log.entries()) {
+          hooks_.provenance->Record(entry);
+        }
       }
     }
+    SyncSharedMetrics();
   }
-  SyncSharedMetrics();
   return out;
 }
 
@@ -247,9 +264,11 @@ std::vector<NetworkOutput> AnonymizeNetworkSet(
         PipelineOptions options = tasks[i].options;
         if (options.threads <= 0) options.threads = inner;
         CorpusPipeline pipe(std::move(options));
-        if (set_options.metrics != nullptr) {
-          pipe.install_hooks(obs::Hooks{.metrics = set_options.metrics});
-        }
+        obs::Hooks hooks;
+        hooks.metrics = set_options.metrics;
+        hooks.trace = set_options.trace;
+        hooks.profiler = set_options.profiler;
+        if (hooks.any()) pipe.install_hooks(hooks);
         out[i].files = pipe.AnonymizeCorpus(tasks[i].files);
         out[i].report = pipe.report();
         out[i].leak_record = pipe.leak_record();

@@ -36,6 +36,7 @@
 #include "core/report.h"
 #include "junos/anonymizer.h"
 #include "obs/hooks.h"
+#include "obs/trace.h"
 
 namespace confanon::pipeline {
 
@@ -84,8 +85,15 @@ class CorpusPipeline {
   /// Observability for the whole pipeline: the registry and trace sink
   /// are shared by all workers (both are thread-safe); provenance is
   /// captured per file and appended to hooks.provenance in corpus order
-  /// at join, so the log is deterministic.
-  void install_hooks(const obs::Hooks& hooks) { hooks_ = hooks; }
+  /// at join, so the log is deterministic. When hooks.profiler is set,
+  /// AnonymizeCorpus brackets its sequential phases (preload, prewarm,
+  /// anonymize, join) so the profiler attributes wall time and hardware
+  /// counters per phase; when hooks.trace is also set, matching
+  /// "phase:<name>" spans land in the trace.
+  void install_hooks(const obs::Hooks& hooks) {
+    hooks_ = hooks;
+    tracer_.set_sink(hooks.trace);
+  }
 
   /// The shared per-network state (for mapping export/import and tests).
   const std::shared_ptr<core::NetworkState>& state() const { return state_; }
@@ -115,6 +123,7 @@ class CorpusPipeline {
   core::AnonymizationReport report_;
   core::LeakRecord leak_record_;
   obs::Hooks hooks_;
+  obs::Tracer tracer_;  // pipeline-level phase spans; sink from hooks_
   ipanon::IpAnonymizer::Stats synced_ip_;
 };
 
@@ -154,6 +163,13 @@ struct NetworkSetOptions {
   /// Optional registry shared by every network's pipeline (thread-safe;
   /// counter totals are order-independent).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional span sink shared by every network's pipeline (must be
+  /// thread-safe, like JsonlTraceSink or PhaseProfiler).
+  obs::TraceSink* trace = nullptr;
+  /// Optional phase profiler; every pipeline brackets its phases on it.
+  /// Phase windows are re-entrant, so concurrent networks in the same
+  /// phase count overlapping wall time once.
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 /// Anonymizes several independent networks concurrently. Output i

@@ -102,6 +102,45 @@ TEST(LatencyHistogram, PercentilesOnUniformDistribution) {
   EXPECT_DOUBLE_EQ(snap.Percentile(100), 1000.0);
 }
 
+TEST(LatencyHistogram, PercentileInterpolatesWithinBucket) {
+  // Values below 8 land in exact single-value buckets, so percentile
+  // answers there must be EXACT, not the bucket's upper edge: the
+  // rank-th sample of a bucket sits at the start of its 1/n slice. A
+  // former off-by-one reported a single-occupant bucket's upper bound
+  // (p50 of {5, 1000} came back 6, a value nobody recorded).
+  {
+    obs::LatencyHistogram histogram;
+    histogram.Record(5);
+    histogram.Record(1000);
+    const obs::HistogramSnapshot snap = histogram.Snapshot();
+    EXPECT_DOUBLE_EQ(snap.Percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(snap.Percentile(100), 1000.0);
+  }
+  {
+    obs::LatencyHistogram histogram;
+    histogram.Record(7);
+    const obs::HistogramSnapshot snap = histogram.Snapshot();
+    // Every percentile of a one-sample distribution is that sample.
+    EXPECT_DOUBLE_EQ(snap.Percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(snap.Percentile(50), 7.0);
+    EXPECT_DOUBLE_EQ(snap.Percentile(100), 7.0);
+  }
+  {
+    // Three samples in one bucket plus a far outlier: the bucket's first
+    // occupant answers exactly at its lower bound, later occupants
+    // interpolate within the bucket (never reaching the next one), and
+    // p100 reports the true max, not the outlier's bucket edge.
+    obs::LatencyHistogram histogram;
+    for (int i = 0; i < 3; ++i) histogram.Record(4);
+    histogram.Record(100000);
+    const obs::HistogramSnapshot snap = histogram.Snapshot();
+    EXPECT_DOUBLE_EQ(snap.Percentile(25), 4.0);
+    EXPECT_GE(snap.Percentile(75), 4.0);
+    EXPECT_LT(snap.Percentile(75), 5.0);
+    EXPECT_DOUBLE_EQ(snap.Percentile(100), 100000.0);
+  }
+}
+
 TEST(LatencyHistogram, EmptySnapshot) {
   const obs::HistogramSnapshot snap = obs::LatencyHistogram().Snapshot();
   EXPECT_EQ(snap.count, 0u);

@@ -9,6 +9,8 @@
 // detection, not just for equality.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -22,6 +24,7 @@
 #include "junos/writer.h"
 #include "obs/hooks.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
 #include "pipeline/pipeline.h"
@@ -423,6 +426,53 @@ TEST(CorpusPipeline, RewriteMemoCountsRepeatedPatterns) {
   EXPECT_GT(pipeline.state()->aspath_rewriter.memo().hits(), 0u);
   const obs::RunMetrics metrics = registry.Snapshot();
   EXPECT_GT(metrics.counters.at("asn.rewrite_memo_hits"), 0u);
+}
+
+TEST(CorpusPipeline, PhaseProfileCoversTheRun) {
+  // At threads=1 the four phase windows (preload, prewarm, anonymize,
+  // join) tile AnonymizeCorpus exactly, so their wall total must track
+  // the measured call duration — the acceptance check behind the
+  // profiler's "self-times sum to wall time" claim. A generous absolute
+  // slack absorbs scheduler noise on tiny corpora.
+  const auto files = MixedCorpus(77);
+  pipeline::PipelineOptions options;
+  options.base.salt = "pipeline-test-salt";
+  options.threads = 1;
+  pipeline::CorpusPipeline pipeline(std::move(options));
+
+  obs::PhaseProfiler profiler({.enable_perf_counters = false});
+  obs::Hooks hooks;
+  hooks.profiler = &profiler;
+  hooks.trace = &profiler;  // buffer engine spans for the folded profile
+  pipeline.install_hooks(hooks);
+
+  const auto start = std::chrono::steady_clock::now();
+  pipeline.AnonymizeCorpus(files);
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+
+  const obs::PhaseProfiler::Profile profile = profiler.Finish();
+  std::vector<std::string> names;
+  for (const auto& phase : profile.phases) names.push_back(phase.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"preload", "prewarm",
+                                             "anonymize", "join"}));
+
+  const double phase_ns = static_cast<double>(profile.PhaseWallNsTotal());
+  const double slack = std::max(wall_ns * 0.10, 2e6);  // 10% or 2ms
+  EXPECT_NEAR(phase_ns, wall_ns, slack);
+
+  // The span stream folds under the same phase labels, with the file
+  // spans rooted in the anonymize window.
+  bool saw_anonymize_file = false;
+  for (const auto& span : profile.spans) {
+    if (span.path.rfind("anonymize;", 0) == 0 &&
+        span.path.find("file:") != std::string::npos) {
+      saw_anonymize_file = true;
+    }
+  }
+  EXPECT_TRUE(saw_anonymize_file);
 }
 
 TEST(CorpusPipeline, ExportKnownEntitiesRendersSharedMappings) {
