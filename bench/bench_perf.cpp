@@ -327,10 +327,11 @@ void BM_PipelineAnonymizeCorpus(benchmark::State& state) {
   std::size_t lines = 0;
   for (const auto& file : pre) lines += file.LineCount();
   for (auto _ : state) {
-    pipeline::PipelineOptions options;
+    core::ServiceOptions options;
     options.base.salt = "perf-salt";
     options.threads = static_cast<int>(state.range(0));
-    pipeline::CorpusPipeline pipeline(std::move(options));
+    const auto context = pipeline::MakeServiceContext(std::move(options));
+    pipeline::CorpusPipeline pipeline(context, context->CreateSession());
     benchmark::DoNotOptimize(pipeline.AnonymizeCorpus(pre));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -364,11 +365,12 @@ bool WritePerfJson(const std::string& path, int threads) {
   // (including asn.rewrite_memo_hits and the shared-trie counters) is
   // what lands in the JSON.
   obs::MetricsRegistry registry;
-  pipeline::PipelineOptions popts;
+  core::ServiceOptions popts;
   popts.base = options;
   popts.threads = threads;
-  pipeline::CorpusPipeline pipe(std::move(popts));
-  pipe.install_hooks(obs::Hooks{.metrics = &registry});
+  const auto context = pipeline::MakeServiceContext(std::move(popts));
+  context->install_hooks(obs::Hooks{.metrics = &registry});
+  pipeline::CorpusPipeline pipe(context, context->CreateSession());
   const auto par_start = std::chrono::steady_clock::now();
   const auto post = pipe.AnonymizeCorpus(pre);
   const auto par_end = std::chrono::steady_clock::now();

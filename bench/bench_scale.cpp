@@ -153,12 +153,15 @@ int main(int argc, char** argv) {
     for (const auto& file : task.files) lines += file.LineCount();
     tasks.push_back(std::move(task));
   }
-  pipeline::NetworkSetOptions set_options;
+  core::ServiceOptions set_options;
   set_options.threads = threads;
-  set_options.metrics = &registry;
-  set_options.profiler = &profiler;
-  if (!profile_out.empty()) set_options.trace = &profiler;
-  const auto results = pipeline::AnonymizeNetworkSet(tasks, set_options);
+  const auto set_context = pipeline::MakeServiceContext(std::move(set_options));
+  obs::Hooks set_hooks;
+  set_hooks.metrics = &registry;
+  set_hooks.profiler = &profiler;
+  if (!profile_out.empty()) set_hooks.trace = &profiler;
+  set_context->install_hooks(set_hooks);
+  const auto results = pipeline::AnonymizeNetworkSet(tasks, *set_context);
 
   // Post-pass over each network's output: residue audit (the "audit"
   // phase, fanned out over the worker pool) and the leak scan.

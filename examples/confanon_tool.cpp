@@ -254,12 +254,13 @@ int main(int argc, char** argv) {
       for (const auto& path : paths) task.files.push_back(ReadConfig(path));
       tasks.push_back(std::move(task));
     }
-    pipeline::NetworkSetOptions set_options;
-    set_options.threads = options.threads;
-    set_options.metrics = obs_hooks.metrics;
-    set_options.trace = obs_hooks.trace;
-    set_options.profiler = obs_hooks.profiler;
-    const auto results = pipeline::AnonymizeNetworkSet(tasks, set_options);
+    // The set-level context carries the shared thread budget and hooks;
+    // each task's per-network context/session is built inside.
+    core::ServiceOptions set_options = options;
+    const auto set_context =
+        pipeline::MakeServiceContext(std::move(set_options));
+    set_context->install_hooks(obs_hooks);
+    const auto results = pipeline::AnonymizeNetworkSet(tasks, *set_context);
 
     core::AnonymizationReport merged_report;
     std::size_t leak_findings = 0;
@@ -344,10 +345,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  // One pipeline per invocation: per-file dialect routing over one shared
+  // One context + session per invocation (the Session-API spelling of
+  // the classic batch run): per-file dialect routing over one shared
   // mapping, `--threads` workers, byte-identical output for any count.
-  pipeline::CorpusPipeline pipeline(std::move(options));
-  if (obs_hooks.any()) pipeline.install_hooks(obs_hooks);
+  const std::shared_ptr<core::ServiceContext> context =
+      pipeline::MakeServiceContext(std::move(options));
+  context->install_hooks(obs_hooks);
+  pipeline::CorpusPipeline pipeline(context, context->CreateSession());
 
   if (!import_map.empty()) {
     std::ifstream in(import_map);

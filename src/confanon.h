@@ -29,6 +29,7 @@
 #include "core/anonymizer.h"
 #include "core/leak_detector.h"
 #include "core/report.h"
+#include "core/session.h"
 #include "core/string_hasher.h"
 #include "gen/config_writer.h"
 #include "gen/network_gen.h"

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "config/tokenizer.h"
+#include "core/session.h"
 #include "net/prefix.h"
 #include "net/special.h"
 #include "util/sha1.h"
@@ -91,6 +92,9 @@ void Anonymizer::LineCtx::ReplaceTailWith(std::size_t from,
 
 Anonymizer::Anonymizer(AnonymizerOptions options)
     : Anonymizer(std::move(options), nullptr) {}
+
+Anonymizer::Anonymizer(const ServiceContext& context, const Session& session)
+    : Anonymizer(context.EngineOptions(session), session.state()) {}
 
 Anonymizer::Anonymizer(AnonymizerOptions options,
                        std::shared_ptr<NetworkState> state)

@@ -134,6 +134,9 @@ inline constexpr char kPlainAddressArgs[] = "I6.plain-address-args";
 inline constexpr char kSubnetPreload[] = "I7.subnet-preload";
 }  // namespace rules
 
+class ServiceContext;
+class Session;
+
 class Anonymizer : public AnonymizerEngine {
  public:
   /// Standalone engine owning a fresh NetworkState.
@@ -144,6 +147,10 @@ class Anonymizer : public AnonymizerEngine {
   /// state do not sync the shared trie's counters into metrics — the
   /// pipeline does that once, centrally, to avoid double counting.
   Anonymizer(AnonymizerOptions options, std::shared_ptr<NetworkState> state);
+  /// Session-API form (see core/session.h): an engine over `session`'s
+  /// shared state with the context's engine options re-salted for the
+  /// session. Equivalent to what the context's kIos factory builds.
+  Anonymizer(const ServiceContext& context, const Session& session);
 
   /// Anonymizes all files of one network consistently. Performs the
   /// address-preload pass over the whole corpus first (rule I7), then

@@ -1,0 +1,183 @@
+// The service-shaped public API: process-lifetime context, per-tenant
+// session.
+//
+// Everything long-lived and tenant-independent — the pass-list automaton,
+// the dialect engine factories, the observability hooks, the worker
+// thread budget — lives in one immutable ServiceContext built once per
+// process. Everything salted — the word-hash memo, the prefix-preserving
+// IP trie, the ASN/community permutations, the regexp rewrite memo — is a
+// core::NetworkState wrapped in a Session, created per tenant (or per
+// network in batch mode) and kept warm across requests.
+//
+// The split follows the batch tools' own shape: a CorpusPipeline always
+// was "shared immutable configuration + one NetworkState"; this header
+// names those halves so a long-running daemon (confanond), the CLI, and
+// the benches all construct the same two objects and differ only in how
+// long they keep them alive.
+//
+// Concurrency contract:
+//   * ServiceContext is immutable after setup (RegisterEngineFactory and
+//     install_hooks are setup-time calls); any thread may read it.
+//   * Session::state() is the internally synchronized NetworkState (see
+//     network_state.h); MergeRequest/report() are mutex-guarded, so
+//     concurrent requests may merge their accounting freely.
+//   * Determinism across requests of one session requires the requests
+//     themselves to be serialized (the daemon holds a per-session lock):
+//     the trie's address mappings depend on insertion history, so two
+//     interleaved requests of the SAME tenant would race randomness
+//     consumption. Different sessions never share state and need no
+//     ordering.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "config/document.h"
+#include "core/anonymizer.h"
+#include "core/engine.h"
+#include "core/leak_detector.h"
+#include "core/network_state.h"
+#include "core/report.h"
+#include "obs/hooks.h"
+
+namespace confanon::core {
+
+/// Which rule pack handles a config file. kAuto defers to the per-file
+/// brace-structure heuristic (DetectDialect).
+enum class ConfigDialect {
+  kAuto,
+  kIos,
+  kJunos,
+};
+
+/// Brace-structure heuristic: JunOS configs open blocks with a trailing
+/// '{' and close them with a bare '}'; IOS configs never do. Returns
+/// kJunos when any line matches, kIos otherwise.
+ConfigDialect DetectDialect(const config::ConfigFile& file);
+
+/// The one options struct consumed by ServiceContext. Consolidates the
+/// fields that used to be split (and partially duplicated) across
+/// pipeline::PipelineOptions and pipeline::NetworkSetOptions: engine
+/// configuration, thread budget, work batching, and dialect routing.
+struct ServiceOptions {
+  /// Engine options (salt, regexp form, rule toggles, pass-list, known
+  /// entities). `base.salt` is the context-wide base secret; sessions
+  /// derive their own salt from it (daemon: "base:tenant") or override
+  /// it outright via CreateSession(salt).
+  AnonymizerOptions base;
+  /// Worker threads per corpus/request. 0 picks
+  /// std::thread::hardware_concurrency(); 1 runs on the calling thread.
+  int threads = 0;
+  /// Files per work-queue batch (amortizes the cursor fetch_add).
+  std::size_t batch_size = 4;
+  /// Dialect routing; kAuto detects per file.
+  ConfigDialect dialect = ConfigDialect::kAuto;
+};
+
+class Session;
+
+/// Process-lifetime, tenant-independent half of the API. Immutable after
+/// setup; every session, pipeline, and daemon request reads the same
+/// context. Engine construction is routed through registered per-dialect
+/// factories so callers that only see core (no junos link) still drive
+/// mixed corpora once the factories are in place —
+/// pipeline::MakeServiceContext registers both built-in dialects.
+class ServiceContext {
+ public:
+  /// Builds a dialect engine over a session's shared state. The options
+  /// are the context's engine options with the session's salt resolved.
+  using EngineFactory = std::function<std::unique_ptr<AnonymizerEngine>(
+      const AnonymizerOptions& options,
+      std::shared_ptr<NetworkState> state)>;
+
+  /// The IOS factory (core::Anonymizer) is registered by the
+  /// constructor; JunOS needs a registration from a layer that links it.
+  explicit ServiceContext(ServiceOptions options);
+
+  ServiceContext(const ServiceContext&) = delete;
+  ServiceContext& operator=(const ServiceContext&) = delete;
+
+  const ServiceOptions& options() const { return options_; }
+  const passlist::PassList& pass_list() const {
+    return options_.base.pass_list;
+  }
+
+  /// Effective worker count for `items` units of work: <= 0 asks the
+  /// hardware, more workers than items just idle.
+  int ResolveThreads(std::size_t items) const;
+
+  /// Setup-time: replaces the factory for `dialect` (kAuto is invalid —
+  /// resolve it per file first).
+  void RegisterEngineFactory(ConfigDialect dialect, EngineFactory factory);
+  bool HasEngineFactory(ConfigDialect dialect) const;
+
+  /// Constructs a dialect engine over `session`'s state, with the
+  /// context's engine options re-salted for the session. Throws
+  /// std::invalid_argument for kAuto or an unregistered dialect.
+  std::unique_ptr<AnonymizerEngine> MakeEngine(ConfigDialect dialect,
+                                               const Session& session) const;
+
+  /// The context engine options with `session`'s salt substituted.
+  AnonymizerOptions EngineOptions(const Session& session) const;
+
+  /// Setup-time: observability shared by everything built on this
+  /// context (all substrates are thread-safe; see obs/hooks.h).
+  void install_hooks(const obs::Hooks& hooks) { hooks_ = hooks; }
+  const obs::Hooks& hooks() const { return hooks_; }
+
+  /// A fresh session salted with `salt` (or the base salt).
+  std::shared_ptr<Session> CreateSession(std::string_view salt) const;
+  std::shared_ptr<Session> CreateSession() const;
+
+ private:
+  ServiceOptions options_;
+  obs::Hooks hooks_;
+  std::array<EngineFactory, 3> factories_;  // indexed by ConfigDialect
+};
+
+/// Per-tenant half of the API: one salted NetworkState plus the
+/// accounting merged across every request served against it. Keeping a
+/// Session alive is what keeps a tenant's hash memo, IP trie, and
+/// rewrite memo warm between requests — and what gives a multi-request
+/// stream the same referential integrity as a batch corpus run.
+class Session {
+ public:
+  Session(const ServiceContext& context, std::string_view salt);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& salt() const { return salt_; }
+  const std::shared_ptr<NetworkState>& state() const { return state_; }
+
+  /// Merges one request's (or corpus run's) accounting into the
+  /// session-lifetime totals. Thread-safe.
+  void MergeRequest(const AnonymizationReport& report,
+                    const LeakRecord& leaks);
+
+  /// Session-lifetime copies (mutex-guarded snapshot).
+  AnonymizationReport report() const;
+  LeakRecord leak_record() const;
+
+  /// Requests merged so far.
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string salt_;
+  std::shared_ptr<NetworkState> state_;
+  mutable std::mutex mutex_;
+  AnonymizationReport report_;
+  LeakRecord leak_record_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace confanon::core

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "config/tokenizer.h"
+#include "core/session.h"
 #include "net/prefix.h"
 #include "net/special.h"
 #include "util/strings.h"
@@ -58,6 +59,17 @@ passlist::PassList JunosPassList() {
 
 JunosAnonymizer::JunosAnonymizer(JunosAnonymizerOptions options)
     : JunosAnonymizer(std::move(options), nullptr) {}
+
+JunosAnonymizer::JunosAnonymizer(const core::ServiceContext& context,
+                                 const core::Session& session)
+    : JunosAnonymizer(
+          [&] {
+            const core::AnonymizerOptions base =
+                context.EngineOptions(session);
+            return JunosAnonymizerOptions{base.salt, base.regex_form,
+                                          base.strip_comments};
+          }(),
+          session.state()) {}
 
 JunosAnonymizer::JunosAnonymizer(JunosAnonymizerOptions options,
                                  std::shared_ptr<core::NetworkState> state)

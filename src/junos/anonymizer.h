@@ -53,6 +53,11 @@
 #include "passlist/passlist.h"
 #include "util/arena.h"
 
+namespace confanon::core {
+class ServiceContext;
+class Session;
+}  // namespace confanon::core
+
 namespace confanon::junos {
 
 /// The embedded IOS corpus extended with JunOS keywords.
@@ -72,6 +77,12 @@ class JunosAnonymizer : public core::AnonymizerEngine {
   /// dialect / pipeline-worker form; see core::Anonymizer's counterpart.
   JunosAnonymizer(JunosAnonymizerOptions options,
                   std::shared_ptr<core::NetworkState> state);
+  /// Session-API form (see core/session.h): an engine over `session`'s
+  /// shared state, taking the JunOS-applicable subset of the context's
+  /// engine options with the session's salt. Equivalent to what the
+  /// context's kJunos factory (pipeline::MakeServiceContext) builds.
+  JunosAnonymizer(const core::ServiceContext& context,
+                  const core::Session& session);
 
   std::vector<config::ConfigFile> AnonymizeNetwork(
       const std::vector<config::ConfigFile>& files) override;

@@ -1,34 +1,104 @@
-// Minimal self-contained HTTP/1.1 metrics listener.
+// Minimal self-contained HTTP/1.1 listener.
 //
-// Serves two endpoints from a dedicated accept thread:
+// Grown from the PR 6 metrics endpoint into the shared front door for
+// everything in-process that speaks HTTP: the Prometheus scrape, the
+// health probe, and the anonymization daemon's API routes all hang off
+// ONE ExpositionServer instance (one port, one accept loop) instead of
+// each feature binding its own socket.
+//
+// Built-in endpoints (always served):
 //
 //   GET /metrics  -> whatever the installed producer returns (Prometheus
 //                    text exposition by convention; see export.h)
 //   GET /healthz  -> "ok\n" (liveness for load balancers / systemd)
 //
-// Scope is deliberately tiny: one listening socket with a bounded accept
-// backlog, one connection handled at a time, Connection: close on every
-// response. A metrics scrape arrives every few seconds and reads a few
-// kilobytes — the failure mode worth engineering against is a wedged or
-// slow scraper holding the thread, so every socket gets a receive/send
+// Additional routes are registered with AddRoute(method, path, handler)
+// before Start(). A handler receives the parsed request (method, path,
+// lowercased headers, fully read body) and a response writer that can
+// either send one buffered response or stream a chunked one
+// (Transfer-Encoding: chunked) — the daemon streams anonymized configs
+// back without buffering bookkeeping on top of the socket.
+//
+// Concurrency and admission control: with handler_threads == 0 (the
+// metrics default) connections are handled one at a time on the accept
+// thread, exactly the PR 6 behavior. With handler_threads > 0 the accept
+// thread only enqueues connections into a bounded queue drained by that
+// many handler threads; when the queue is full the connection is
+// answered immediately with `overload_status` (the daemon sets 429) and
+// closed — overload never builds an unbounded backlog, and the counter
+// is readable through rejected(). Every socket gets a receive/send
 // timeout and oversized or malformed requests are dropped with 4xx.
-// Nothing here ever blocks or allocates on the anonymization hot path;
-// the producer runs on the accept thread.
+// Nothing here ever blocks or allocates on the anonymization hot path.
 //
 // Start() binds immediately (port 0 picks an ephemeral port, readable
 // through port() — tests and "--metrics-listen=127.0.0.1:0" rely on it);
-// Stop() closes the listener and joins the thread, and is safe to call
+// Stop() closes the listener and joins all threads, and is safe to call
 // twice. The destructor stops the server.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace confanon::obs {
+
+/// One fully read request, as a route handler sees it.
+struct HttpRequest {
+  std::string method;  // as sent ("GET", "POST", ...)
+  std::string path;    // query string stripped
+  std::string query;   // text after '?', empty when absent
+  /// Header fields in arrival order, names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (lowercase), or "" when absent.
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Writes one response for one connection. Either Send() a buffered
+/// response, or BeginChunked() + WriteChunk()* + EndChunked() to stream.
+/// All writers honor the connection's I/O timeout; a handler that never
+/// writes gets a 500 from the server.
+class HttpResponseWriter {
+ public:
+  HttpResponseWriter(int fd, int timeout_ms, bool head_only)
+      : fd_(fd), timeout_ms_(timeout_ms), head_only_(head_only) {}
+
+  /// One buffered response with Content-Length; finishes the exchange.
+  bool Send(int status, std::string_view content_type, std::string_view body);
+
+  /// Starts a chunked response (Transfer-Encoding: chunked). `extra`
+  /// headers are emitted verbatim after the standard set.
+  bool BeginChunked(
+      int status, std::string_view content_type,
+      const std::vector<std::pair<std::string, std::string>>& extra = {});
+  /// One chunk; empty data is skipped (an empty chunk would terminate).
+  bool WriteChunk(std::string_view data);
+  /// Terminating 0-chunk.
+  bool EndChunked();
+
+  /// True once any response head has been written.
+  bool sent() const { return sent_; }
+
+  /// "200 OK"-style status line text for the handful of codes the server
+  /// uses; unknown codes render as "<code> Status".
+  static std::string StatusLine(int status);
+
+ private:
+  int fd_;
+  int timeout_ms_;
+  bool head_only_;
+  bool sent_ = false;
+  bool chunked_ = false;
+};
 
 class ExpositionServer {
  public:
@@ -37,10 +107,24 @@ class ExpositionServer {
     std::uint16_t port = 0;  // 0 = ephemeral, see port()
     int backlog = 16;        // bounded kernel accept queue
     int io_timeout_ms = 2000;
+    /// 0: handle connections on the accept thread (metrics-scrape mode).
+    /// > 0: that many handler threads drain a bounded connection queue.
+    int handler_threads = 0;
+    /// Admission control (handler_threads > 0): connections beyond this
+    /// many waiting are answered with `overload_status` and closed.
+    std::size_t max_pending = 16;
+    /// Request bodies beyond this are answered with 413 and dropped.
+    std::size_t max_body_bytes = 1 << 20;
+    /// Status for connections rejected by the bounded queue. 503 by
+    /// default; the anonymization daemon sets 429 (Too Many Requests).
+    int overload_status = 503;
   };
 
-  /// Called per /metrics request, on the accept thread.
+  /// Called per /metrics request, on the handling thread.
   using MetricsProducer = std::function<std::string()>;
+  /// Called per matched route, on the handling thread.
+  using HttpHandler =
+      std::function<void(const HttpRequest&, HttpResponseWriter&)>;
 
   ExpositionServer(Options options, MetricsProducer producer);
   ~ExpositionServer();
@@ -48,12 +132,18 @@ class ExpositionServer {
   ExpositionServer(const ExpositionServer&) = delete;
   ExpositionServer& operator=(const ExpositionServer&) = delete;
 
-  /// Binds, listens, and starts the accept thread. Returns false (with a
-  /// diagnostic in *error when non-null) on bind/listen failure; the
-  /// server is then inert and Stop() is a no-op.
+  /// Registers `handler` for exact (method, path) matches. Must be
+  /// called before Start(). A path registered under one method answers
+  /// 405 for other methods.
+  void AddRoute(std::string method, std::string path, HttpHandler handler);
+
+  /// Binds, listens, and starts the accept (and handler) threads.
+  /// Returns false (with a diagnostic in *error when non-null) on
+  /// bind/listen failure; the server is then inert and Stop() is a
+  /// no-op.
   bool Start(std::string* error = nullptr);
 
-  /// Closes the listener and joins the accept thread. Idempotent.
+  /// Closes the listener and joins all threads. Idempotent.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -64,6 +154,10 @@ class ExpositionServer {
   std::uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Connections rejected by the bounded queue (admission control).
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
   /// Parses "HOST:PORT" ("127.0.0.1:9464", "localhost:0"). Returns false
   /// on a missing colon or an unparseable port.
@@ -71,17 +165,31 @@ class ExpositionServer {
                               std::uint16_t& port);
 
  private:
-  void Serve();                    // accept-thread main loop
-  void HandleConnection(int fd);   // one request/response cycle
+  struct Route {
+    std::string method;
+    std::string path;
+    HttpHandler handler;
+  };
+
+  void Serve();                   // accept-thread main loop
+  void HandlerLoop();             // handler-thread main loop
+  void Dispatch(int fd);          // queue or reject one connection
+  void HandleConnection(int fd);  // one request/response cycle
 
   Options options_;
   MetricsProducer producer_;
+  std::vector<Route> routes_;
   int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;
   std::thread thread_;
+  std::vector<std::thread> handlers_;
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::deque<int> pending_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejected_{0};
 };
 
 }  // namespace confanon::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "core/anonymizer.h"
 #include "core/hash_batcher.h"
@@ -15,62 +16,84 @@ namespace confanon::pipeline {
 
 namespace {
 
-/// One worker's engines: an IOS and a JunOS anonymizer over the shared
-/// NetworkState. Each worker owns its pair so reports, leak records and
-/// per-line observability buffers are single-writer; only the state is
-/// shared (and internally synchronized).
+/// One worker's engines: an IOS and a JunOS anonymizer (built by the
+/// context's dialect factories) over the shared session state. Each
+/// worker owns its pair so reports, leak records and per-line
+/// observability buffers are single-writer; only the state is shared
+/// (and internally synchronized).
 struct EngineWorker {
-  EngineWorker(const PipelineOptions& options,
-               std::shared_ptr<core::NetworkState> state)
-      : ios(options.base, state),
-        junos(junos::JunosAnonymizerOptions{options.base.salt,
-                                            options.base.regex_form,
-                                            options.base.strip_comments},
-              std::move(state)) {}
+  EngineWorker(const core::ServiceContext& context,
+               const core::Session& session)
+      : ios(context.MakeEngine(core::ConfigDialect::kIos, session)),
+        junos(context.MakeEngine(core::ConfigDialect::kJunos, session)) {}
 
   core::AnonymizerEngine& ForDialect(FileDialect dialect) {
-    return dialect == FileDialect::kJunos
-               ? static_cast<core::AnonymizerEngine&>(junos)
-               : static_cast<core::AnonymizerEngine&>(ios);
+    return dialect == FileDialect::kJunos ? *junos : *ios;
   }
 
-  core::Anonymizer ios;
-  junos::JunosAnonymizer junos;
+  std::unique_ptr<core::AnonymizerEngine> ios;
+  std::unique_ptr<core::AnonymizerEngine> junos;
 };
 
 }  // namespace
 
-FileDialect DetectDialect(const config::ConfigFile& file) {
-  for (const std::string& line : file.lines()) {
-    const std::string_view trimmed = util::Trim(line);
-    if (trimmed.empty()) continue;
-    if (trimmed.back() == '{' || trimmed == "}") return FileDialect::kJunos;
-  }
-  return FileDialect::kIos;
+std::shared_ptr<core::ServiceContext> MakeServiceContext(
+    core::ServiceOptions options) {
+  auto context = std::make_shared<core::ServiceContext>(std::move(options));
+  // core registered the IOS factory; the JunOS engine links against core,
+  // so its factory is registered here — the lowest layer that sees it.
+  context->RegisterEngineFactory(
+      core::ConfigDialect::kJunos,
+      [](const core::AnonymizerOptions& engine_options,
+         std::shared_ptr<core::NetworkState> state) {
+        return std::make_unique<junos::JunosAnonymizer>(
+            junos::JunosAnonymizerOptions{engine_options.salt,
+                                          engine_options.regex_form,
+                                          engine_options.strip_comments},
+            std::move(state));
+      });
+  return context;
+}
+
+CorpusPipeline::CorpusPipeline(
+    std::shared_ptr<const core::ServiceContext> context,
+    std::shared_ptr<core::Session> session)
+    : context_(std::move(context)),
+      session_(std::move(session)),
+      per_call_preload_(true) {
+  install_hooks(context_->hooks());
 }
 
 CorpusPipeline::CorpusPipeline(PipelineOptions options)
-    : options_(std::move(options)),
-      state_(std::make_shared<core::NetworkState>(options_.base.salt)) {
-  if (options_.batch_size == 0) options_.batch_size = 1;
-}
+    : context_(MakeServiceContext(std::move(options))),
+      session_(context_->CreateSession()),
+      per_call_preload_(false) {}
 
 int CorpusPipeline::ResolveThreads(std::size_t file_count) const {
-  return ResolveWorkerCount(options_.threads, file_count);
+  return context_->ResolveThreads(file_count);
 }
 
 FileDialect CorpusPipeline::ResolveDialect(
     const config::ConfigFile& file) const {
-  return options_.dialect == FileDialect::kAuto ? DetectDialect(file)
-                                                : options_.dialect;
+  const FileDialect dialect = context_->options().dialect;
+  return dialect == FileDialect::kAuto ? core::DetectDialect(file) : dialect;
 }
 
 void CorpusPipeline::PreloadCorpus(
     const std::vector<config::ConfigFile>& files,
     const std::vector<FileDialect>& dialects) {
-  if (state_->preloaded.load(std::memory_order_acquire)) return;
-  const bool i7_enabled =
-      !options_.base.disabled_rules.contains(core::rules::kSubnetPreload);
+  core::NetworkState& state = *session_->state();
+  // Options form: one preload per session (the sequential engine's
+  // corpus-pass semantics). Session form: every call preloads its own
+  // corpus — Preload is idempotent per address, and a per-request
+  // preload is exactly what the standalone streaming AnonymizeFile path
+  // does, which keeps request streams byte-identical to it.
+  if (!per_call_preload_ &&
+      state.preloaded.load(std::memory_order_acquire)) {
+    return;
+  }
+  const bool i7_enabled = !context_->options().base.disabled_rules.contains(
+      core::rules::kSubnetPreload);
 
   // JunOS files always contribute (the JunOS engine preloads
   // unconditionally — its rule pack has no toggles); IOS files
@@ -96,8 +119,8 @@ void CorpusPipeline::PreloadCorpus(
           .Add(ios_count);
     }
   }
-  state_->ip.Preload(std::move(addresses));
-  state_->preloaded.store(true, std::memory_order_release);
+  state.ip.Preload(std::move(addresses));
+  state.preloaded.store(true, std::memory_order_release);
 }
 
 std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
@@ -136,7 +159,8 @@ std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
                                                 candidates);
       }
     }
-    core::PrewarmHashMemo(state_->hasher, candidates, hooks_.metrics);
+    core::PrewarmHashMemo(session_->state()->hasher, candidates,
+                          hooks_.metrics);
   }
 
   // Per-file provenance buffers, merged in corpus order at join so the
@@ -148,21 +172,21 @@ std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
   // With rule I7 disabled, IOS addresses enter the trie on demand during
   // file processing — an order-dependent operation. Fall back to one
   // worker so the output still matches the sequential engine exactly.
-  const bool i7_enabled =
-      !options_.base.disabled_rules.contains(core::rules::kSubnetPreload);
+  const bool i7_enabled = !context_->options().base.disabled_rules.contains(
+      core::rules::kSubnetPreload);
   const int threads = i7_enabled ? ResolveThreads(files.size()) : 1;
   std::vector<config::ConfigFile> out(files.size());
 
   std::vector<std::unique_ptr<EngineWorker>> workers;
   workers.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
-    workers.push_back(std::make_unique<EngineWorker>(options_, state_));
+    workers.push_back(std::make_unique<EngineWorker>(*context_, *session_));
   }
 
   // Phase 2: parallel per-file anonymization. The phase window spans the
   // whole pool (open while any worker runs); at threads <= 1 RunWorkers
   // executes inline, so the four phase windows tile the call exactly.
-  WorkQueue queue(files.size(), options_.batch_size);
+  WorkQueue queue(files.size(), context_->options().batch_size);
   {
     obs::PhaseProfiler::ScopedPhase phase(hooks_.profiler, &tracer_,
                                           "anonymize");
@@ -170,8 +194,8 @@ std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
       EngineWorker& worker = *workers[static_cast<std::size_t>(worker_index)];
       obs::Hooks worker_hooks = hooks_;
       worker_hooks.provenance = nullptr;
-      worker.ios.install_hooks(worker_hooks);
-      worker.junos.install_hooks(worker_hooks);
+      worker.ios->install_hooks(worker_hooks);
+      worker.junos->install_hooks(worker_hooks);
       std::size_t begin = 0;
       std::size_t end = 0;
       while (queue.Next(begin, end)) {
@@ -185,8 +209,8 @@ std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
           out[i] = engine.AnonymizeFile(files[i]);
         }
       }
-      worker.ios.SyncMetrics();
-      worker.junos.SyncMetrics();
+      worker.ios->SyncMetrics();
+      worker.junos->SyncMetrics();
     });
   }
 
@@ -195,10 +219,10 @@ std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
   {
     obs::PhaseProfiler::ScopedPhase phase(hooks_.profiler, &tracer_, "join");
     for (const auto& worker : workers) {
-      report_.Merge(worker->ios.report());
-      report_.Merge(worker->junos.report());
-      leak_record_.Merge(worker->ios.leak_record());
-      leak_record_.Merge(worker->junos.leak_record());
+      report_.Merge(worker->ios->report());
+      report_.Merge(worker->junos->report());
+      leak_record_.Merge(worker->ios->leak_record());
+      leak_record_.Merge(worker->junos->leak_record());
     }
     if (collect_provenance) {
       for (const obs::ProvenanceLog& log : file_provenance) {
@@ -221,34 +245,33 @@ void CorpusPipeline::SyncSharedMetrics() {
       base = current;
     }
   };
-  const ipanon::IpAnonymizer::Stats ip_stats = state_->ip.stats();
+  core::NetworkState& state = *session_->state();
+  const ipanon::IpAnonymizer::Stats ip_stats = state.ip.stats();
   sync("ipanon.cache_hits", ip_stats.cache_hits, synced_ip_.cache_hits);
   sync("ipanon.cache_misses", ip_stats.cache_misses, synced_ip_.cache_misses);
   sync("ipanon.collision_walks", ip_stats.collision_walks,
        synced_ip_.collision_walks);
   sync("ipanon.preloaded_addresses", ip_stats.preloaded, synced_ip_.preloaded);
   hooks_.metrics->GaugeNamed("ipanon.trie_nodes")
-      .Set(static_cast<std::int64_t>(state_->ip.NodeCount()));
+      .Set(static_cast<std::int64_t>(state.ip.NodeCount()));
 }
 
 void CorpusPipeline::ExportKnownEntities(std::ostream& out) {
   // A throwaway engine over the shared state renders the groupings; the
   // mappings live in the state, so any engine emits the same lines.
-  core::Anonymizer exporter(options_.base, state_);
-  exporter.ExportKnownEntities(out);
+  const auto exporter =
+      context_->MakeEngine(core::ConfigDialect::kIos, *session_);
+  exporter->ExportKnownEntities(out);
 }
 
 std::vector<NetworkOutput> AnonymizeNetworkSet(
     const std::vector<NetworkTask>& tasks,
-    const NetworkSetOptions& set_options) {
+    const core::ServiceContext& set_context) {
   std::vector<NetworkOutput> out(tasks.size());
   if (tasks.empty()) return out;
 
-  int total = set_options.threads;
-  if (total <= 0) {
-    total = static_cast<int>(std::thread::hardware_concurrency());
-    if (total <= 0) total = 1;
-  }
+  // ResolveThreads with no item clamp: the raw budget.
+  const int total = set_context.ResolveThreads(0);
   // Slots run whole networks concurrently; each network's own pipeline
   // gets an equal share of the remaining budget (so total concurrency
   // stays ~= the budget whichever way the work is shaped).
@@ -261,14 +284,11 @@ std::vector<NetworkOutput> AnonymizeNetworkSet(
     std::size_t end = 0;
     while (queue.Next(begin, end)) {
       for (std::size_t i = begin; i < end; ++i) {
-        PipelineOptions options = tasks[i].options;
+        core::ServiceOptions options = tasks[i].options;
         if (options.threads <= 0) options.threads = inner;
-        CorpusPipeline pipe(std::move(options));
-        obs::Hooks hooks;
-        hooks.metrics = set_options.metrics;
-        hooks.trace = set_options.trace;
-        hooks.profiler = set_options.profiler;
-        if (hooks.any()) pipe.install_hooks(hooks);
+        auto task_context = MakeServiceContext(std::move(options));
+        task_context->install_hooks(set_context.hooks());
+        CorpusPipeline pipe(task_context, task_context->CreateSession());
         out[i].files = pipe.AnonymizeCorpus(tasks[i].files);
         out[i].report = pipe.report();
         out[i].leak_record = pipe.leak_record();
@@ -276,6 +296,20 @@ std::vector<NetworkOutput> AnonymizeNetworkSet(
     }
   });
   return out;
+}
+
+std::vector<NetworkOutput> AnonymizeNetworkSet(
+    const std::vector<NetworkTask>& tasks,
+    const NetworkSetOptions& set_options) {
+  core::ServiceOptions options;
+  options.threads = set_options.threads;
+  core::ServiceContext set_context(std::move(options));
+  obs::Hooks hooks;
+  hooks.metrics = set_options.metrics;
+  hooks.trace = set_options.trace;
+  hooks.profiler = set_options.profiler;
+  set_context.install_hooks(hooks);
+  return AnonymizeNetworkSet(tasks, set_context);
 }
 
 }  // namespace confanon::pipeline

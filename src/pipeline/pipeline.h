@@ -1,4 +1,4 @@
-// Parallel corpus pipeline over the dialect-agnostic engine API.
+// Parallel corpus pipeline over the Session/Context API.
 //
 // Anonymizing a network is embarrassingly parallel *after* the corpus-wide
 // address preload: rule I7 inserts every address (sorted) into the IP trie
@@ -11,8 +11,9 @@
 //      the right tokenizer per file dialect — and preload the shared trie.
 //   2. Files (parallel): a fixed-size worker pool pulls fixed-size batches
 //      of file indices from an atomic cursor. Each worker owns one IOS and
-//      one JunOS engine over the ONE shared core::NetworkState, and routes
-//      each file to the engine matching its dialect.
+//      one JunOS engine (built by the context's dialect factories) over
+//      the ONE shared core::Session, and routes each file to the engine
+//      matching its dialect.
 //
 // Determinism guarantee: output files land at their input index, and the
 // per-file transformation depends only on the shared (preloaded,
@@ -21,6 +22,13 @@
 // and leak records are merged at join (commutative sums / set unions), and
 // provenance is collected per file and concatenated in corpus order, so
 // those are deterministic too. See docs/PIPELINE.md.
+//
+// Public API shape (see core/session.h): a process-lifetime
+// core::ServiceContext (options, pass list, dialect engine factories,
+// hooks, thread budget) plus a per-network/per-tenant core::Session
+// (salted NetworkState). The pipeline is a *driver* over those two
+// objects; batch tools build both per run, the daemon keeps sessions
+// alive across requests.
 #pragma once
 
 #include <cstddef>
@@ -34,43 +42,58 @@
 #include "core/leak_detector.h"
 #include "core/network_state.h"
 #include "core/report.h"
+#include "core/session.h"
 #include "junos/anonymizer.h"
 #include "obs/hooks.h"
 #include "obs/trace.h"
 
 namespace confanon::pipeline {
 
-enum class FileDialect {
-  kAuto,   // per-file heuristic (DetectDialect)
-  kIos,    // force core::Anonymizer
-  kJunos,  // force junos::JunosAnonymizer
-};
+/// DEPRECATED alias: dialect routing now lives in core::ConfigDialect so
+/// the Session/Context API can route files without linking the pipeline.
+/// Kept for one release; new code should spell core::ConfigDialect.
+using FileDialect = core::ConfigDialect;
 
-/// Brace-structure heuristic: JunOS configs open blocks with a trailing
-/// '{' and close them with a bare '}'; IOS configs never do. Returns
-/// kJunos when any line matches, kIos otherwise.
-FileDialect DetectDialect(const config::ConfigFile& file);
+/// DEPRECATED forwarder for core::DetectDialect (the brace-structure
+/// heuristic); kept for one release.
+inline FileDialect DetectDialect(const config::ConfigFile& file) {
+  return core::DetectDialect(file);
+}
 
-struct PipelineOptions {
-  /// Engine options (salt, regexp form, rule toggles, pass-list, known
-  /// entities). JunOS engines take the applicable subset.
-  core::AnonymizerOptions base;
-  /// Worker threads. 0 picks std::thread::hardware_concurrency(); 1 runs
-  /// everything on the calling thread (no pool).
-  int threads = 0;
-  /// Files per work-queue batch. Batching amortizes the cursor
-  /// fetch_add; small batches keep the tail balanced.
-  std::size_t batch_size = 4;
-  /// Dialect routing; kAuto detects per file.
-  FileDialect dialect = FileDialect::kAuto;
-};
+/// DEPRECATED alias: the consolidated options struct consumed by
+/// core::ServiceContext is core::ServiceOptions — one struct for the
+/// fields previously duplicated between PipelineOptions and
+/// NetworkSetOptions (threads, dialect routing, engine options). Kept
+/// for one release; new code should spell core::ServiceOptions.
+using PipelineOptions = core::ServiceOptions;
 
-/// Anonymizes one network's corpus with a pool of engine workers over a
-/// single shared NetworkState. Construct once per network; AnonymizeCorpus
-/// may be called repeatedly (later calls reuse the established mappings,
-/// like sequential AnonymizeNetwork does).
+/// Builds a ServiceContext with BOTH built-in dialect engine factories
+/// registered (IOS is registered by core itself; JunOS is registered
+/// here, the lowest layer that links the JunOS engine). Every batch tool
+/// and the daemon construct their context through this.
+std::shared_ptr<core::ServiceContext> MakeServiceContext(
+    core::ServiceOptions options);
+
+/// Anonymizes corpora against one core::Session with a pool of engine
+/// workers. Two construction forms:
+///
+///   * Session form — CorpusPipeline(context, session): the pipeline is a
+///     driver over an externally owned (possibly long-lived) session.
+///     EVERY AnonymizeCorpus call preloads its own corpus's addresses
+///     (Preload is idempotent per address), so a session fed successive
+///     requests produces byte-for-byte what a sequential engine fed the
+///     same files in the same order produces — the daemon's streaming
+///     contract.
+///   * Options form — CorpusPipeline(options): DEPRECATED thin forwarder
+///     that builds a private context + session; preserves the historical
+///     batch semantics (one preload per session, later AnonymizeCorpus
+///     calls reuse the established mappings).
 class CorpusPipeline {
  public:
+  CorpusPipeline(std::shared_ptr<const core::ServiceContext> context,
+                 std::shared_ptr<core::Session> session);
+
+  /// DEPRECATED forwarder; see class comment.
   explicit CorpusPipeline(PipelineOptions options);
 
   /// Phase 1 + phase 2 (see file comment). Output file i corresponds to
@@ -89,16 +112,21 @@ class CorpusPipeline {
   /// AnonymizeCorpus brackets its sequential phases (preload, prewarm,
   /// anonymize, join) so the profiler attributes wall time and hardware
   /// counters per phase; when hooks.trace is also set, matching
-  /// "phase:<name>" spans land in the trace.
+  /// "phase:<name>" spans land in the trace. Defaults to the context's
+  /// hooks; calling this overrides them for this pipeline.
   void install_hooks(const obs::Hooks& hooks) {
     hooks_ = hooks;
     tracer_.set_sink(hooks.trace);
   }
 
-  /// The shared per-network state (for mapping export/import and tests).
-  const std::shared_ptr<core::NetworkState>& state() const { return state_; }
-  ipanon::IpAnonymizer& ip_anonymizer() { return state_->ip; }
-  core::StringHasher& string_hasher() { return state_->hasher; }
+  /// The session this pipeline drives and its shared per-network state
+  /// (for mapping export/import and tests).
+  const std::shared_ptr<core::Session>& session() const { return session_; }
+  const std::shared_ptr<core::NetworkState>& state() const {
+    return session_->state();
+  }
+  ipanon::IpAnonymizer& ip_anonymizer() { return session_->state()->ip; }
+  core::StringHasher& string_hasher() { return session_->state()->hasher; }
 
   /// Section 5 known-entity export over the shared mappings.
   void ExportKnownEntities(std::ostream& out);
@@ -109,7 +137,10 @@ class CorpusPipeline {
   FileDialect ResolveDialect(const config::ConfigFile& file) const;
 
   /// Corpus-wide rule I7: collect every file's addresses with the
-  /// dialect-appropriate tokenizer and preload the shared trie.
+  /// dialect-appropriate tokenizer and preload the shared trie. In the
+  /// session form this runs once per AnonymizeCorpus call (streaming
+  /// requests each preload their own file set); in the options form it
+  /// runs once per session, like the sequential engine's corpus pass.
   void PreloadCorpus(const std::vector<config::ConfigFile>& files,
                      const std::vector<FileDialect>& dialects);
 
@@ -118,8 +149,10 @@ class CorpusPipeline {
   /// shared counters per worker would double count).
   void SyncSharedMetrics();
 
-  PipelineOptions options_;
-  std::shared_ptr<core::NetworkState> state_;
+  std::shared_ptr<const core::ServiceContext> context_;
+  std::shared_ptr<core::Session> session_;
+  /// Session form: preload every AnonymizeCorpus call's corpus.
+  bool per_call_preload_ = false;
   core::AnonymizationReport report_;
   core::LeakRecord leak_record_;
   obs::Hooks hooks_;
@@ -130,7 +163,7 @@ class CorpusPipeline {
 // --- cross-network parallelism ---
 //
 // Networks are fully independent: each has its own salt, its own
-// NetworkState and its own pipeline, so a multi-network corpus (the
+// Session and its own pipeline, so a multi-network corpus (the
 // paper's 31-network dataset) parallelizes across networks as well as
 // across the files within one. AnonymizeNetworkSet runs one
 // CorpusPipeline per network over a shared thread budget: min(threads,
@@ -141,10 +174,10 @@ class CorpusPipeline {
 // any thread count.
 
 /// One network's corpus plus its pipeline configuration. A task whose
-/// options_.threads is 0 receives its share of the set's budget;
+/// options.threads is 0 receives its share of the set's budget;
 /// explicit per-task thread counts are respected.
 struct NetworkTask {
-  PipelineOptions options;
+  core::ServiceOptions options;
   std::vector<config::ConfigFile> files;
 };
 
@@ -156,6 +189,9 @@ struct NetworkOutput {
   core::LeakRecord leak_record;
 };
 
+/// DEPRECATED: the thread budget and the observability pointers both
+/// moved into core::ServiceContext (options().threads and hooks());
+/// kept for one release as a forwarder into the context overload.
 struct NetworkSetOptions {
   /// Total worker-thread budget shared by all networks. 0 picks
   /// std::thread::hardware_concurrency().
@@ -172,9 +208,15 @@ struct NetworkSetOptions {
   obs::PhaseProfiler* profiler = nullptr;
 };
 
-/// Anonymizes several independent networks concurrently. Output i
+/// Anonymizes several independent networks concurrently over
+/// `set_context`'s thread budget (options().threads) and hooks. Output i
 /// corresponds to tasks[i]. The first worker exception is rethrown on
 /// the calling thread.
+std::vector<NetworkOutput> AnonymizeNetworkSet(
+    const std::vector<NetworkTask>& tasks,
+    const core::ServiceContext& set_context);
+
+/// DEPRECATED thin forwarder into the ServiceContext overload.
 std::vector<NetworkOutput> AnonymizeNetworkSet(
     const std::vector<NetworkTask>& tasks,
     const NetworkSetOptions& set_options = {});

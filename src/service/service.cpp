@@ -1,0 +1,226 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "config/document.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "pipeline/pipeline.h"
+
+namespace confanon::service {
+
+namespace {
+
+/// Streaming flush threshold: lines accumulate into a buffer this large
+/// before going out as one chunk, so a multi-megabyte config neither
+/// buffers fully nor pays a syscall per line.
+constexpr std::size_t kChunkBytes = 64 * 1024;
+
+const char* DialectName(core::ConfigDialect dialect) {
+  switch (dialect) {
+    case core::ConfigDialect::kIos: return "ios";
+    case core::ConfigDialect::kJunos: return "junos";
+    case core::ConfigDialect::kAuto: break;
+  }
+  return "auto";
+}
+
+}  // namespace
+
+AnonymizationService::AnonymizationService(
+    std::shared_ptr<const core::ServiceContext> context,
+    AnonymizationServiceOptions options)
+    : context_(std::move(context)), options_(options) {}
+
+void AnonymizationService::RegisterRoutes(obs::ExpositionServer& server) {
+  server.AddRoute("POST", "/v1/anonymize",
+                  [this](const obs::HttpRequest& request,
+                         obs::HttpResponseWriter& response) {
+                    HandleAnonymize(request, response);
+                  });
+  server.AddRoute("GET", "/v1/sessions",
+                  [this](const obs::HttpRequest& request,
+                         obs::HttpResponseWriter& response) {
+                    HandleSessions(request, response);
+                  });
+}
+
+bool AnonymizationService::ValidTenantName(std::string_view name) const {
+  if (name.empty() || name.size() > options_.max_tenant_length) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<AnonymizationService::Tenant> AnonymizationService::TenantFor(
+    std::string_view name) {
+  const std::lock_guard<std::mutex> lock(tenants_mutex_);
+  if (const auto it = tenants_.find(name); it != tenants_.end()) {
+    return it->second;
+  }
+  if (tenants_.size() >= options_.max_sessions) return nullptr;
+  auto tenant = std::make_shared<Tenant>();
+  tenant->name = std::string(name);
+  // The per-tenant salt convention shared with `confanon_tool
+  // --network-dir`: a directory named <tenant> under base salt S runs
+  // with salt "S:<tenant>", so CLI and daemon mappings agree.
+  tenant->session =
+      context_->CreateSession(context_->options().base.salt + ":" +
+                              tenant->name);
+  tenants_.emplace(tenant->name, tenant);
+  if (obs::MetricsRegistry* metrics = context_->hooks().metrics) {
+    metrics->GaugeNamed("service.sessions")
+        .Set(static_cast<std::int64_t>(tenants_.size()));
+  }
+  return tenant;
+}
+
+std::shared_ptr<core::Session> AnonymizationService::FindSession(
+    std::string_view tenant) const {
+  const std::lock_guard<std::mutex> lock(tenants_mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second->session;
+}
+
+std::size_t AnonymizationService::session_count() const {
+  const std::lock_guard<std::mutex> lock(tenants_mutex_);
+  return tenants_.size();
+}
+
+void AnonymizationService::HandleAnonymize(const obs::HttpRequest& request,
+                                           obs::HttpResponseWriter& response) {
+  obs::MetricsRegistry* metrics = context_->hooks().metrics;
+  const auto start = std::chrono::steady_clock::now();
+  const auto fail = [&](int status, std::string_view message) {
+    if (metrics != nullptr) {
+      metrics->CounterNamed("service.request_errors").Add();
+    }
+    response.Send(status, "text/plain", message);
+  };
+
+  std::string_view tenant_name = request.Header(kTenantHeader);
+  if (tenant_name.empty()) tenant_name = kDefaultTenant;
+  if (!ValidTenantName(tenant_name)) {
+    fail(400, "bad X-Confanon-Tenant (want 1..128 chars of [A-Za-z0-9._-])\n");
+    return;
+  }
+  if (request.body.empty()) {
+    fail(400, "empty request body (expected one config file)\n");
+    return;
+  }
+
+  const std::shared_ptr<Tenant> tenant = TenantFor(tenant_name);
+  if (tenant == nullptr) {
+    fail(429, "session limit reached\n");
+    return;
+  }
+
+  std::string name(request.Header(kNameHeader));
+  if (name.empty()) {
+    name = "request-" +
+           std::to_string(
+               request_seq_.fetch_add(1, std::memory_order_relaxed) + 1) +
+           ".cfg";
+  }
+  config::ConfigFile file = config::ConfigFile::FromText(
+      std::move(name), request.body);
+  core::ConfigDialect dialect = context_->options().dialect;
+  if (dialect == core::ConfigDialect::kAuto) {
+    dialect = core::DetectDialect(file);
+  }
+
+  // One request = one single-file corpus through the session-form
+  // pipeline, under the tenant's mutex: the serialization that makes a
+  // tenant's response stream equal the sequential-engine stream.
+  std::vector<config::ConfigFile> output;
+  {
+    const std::lock_guard<std::mutex> lock(tenant->mutex);
+    const obs::PhaseProfiler::ScopedPhase phase(
+        context_->hooks().profiler, nullptr, "service.request");
+    try {
+      pipeline::CorpusPipeline pipeline(context_, tenant->session);
+      output = pipeline.AnonymizeCorpus({std::move(file)});
+      tenant->session->MergeRequest(pipeline.report(), pipeline.leak_record());
+    } catch (const std::exception&) {
+      fail(500, "anonymization failed\n");
+      return;
+    }
+  }
+
+  if (!response.BeginChunked(
+          200, "text/plain; charset=utf-8",
+          {{"X-Confanon-Tenant", std::string(tenant_name)},
+           {"X-Confanon-Dialect", DialectName(dialect)}})) {
+    return;  // peer went away; nothing to account
+  }
+  std::uint64_t bytes_out = 0;
+  std::string chunk;
+  chunk.reserve(kChunkBytes + 4096);
+  for (const std::string& line : output.front().lines()) {
+    chunk += line;
+    chunk += '\n';
+    if (chunk.size() >= kChunkBytes) {
+      bytes_out += chunk.size();
+      if (!response.WriteChunk(chunk)) return;
+      chunk.clear();
+    }
+  }
+  bytes_out += chunk.size();
+  if (!response.WriteChunk(chunk)) return;
+  response.EndChunked();
+
+  tenant->bytes_in.fetch_add(request.body.size(), std::memory_order_relaxed);
+  tenant->bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
+  if (metrics != nullptr) {
+    metrics->CounterNamed("service.requests").Add();
+    metrics->CounterNamed("service.bytes_in").Add(request.body.size());
+    metrics->CounterNamed("service.bytes_out").Add(bytes_out);
+    metrics->HistogramNamed("service.request_ns")
+        .Record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+  }
+}
+
+void AnonymizationService::HandleSessions(const obs::HttpRequest& request,
+                                          obs::HttpResponseWriter& response) {
+  (void)request;
+  // Copy the registry under the lock, render outside it.
+  std::vector<std::shared_ptr<Tenant>> tenants;
+  {
+    const std::lock_guard<std::mutex> lock(tenants_mutex_);
+    tenants.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) tenants.push_back(tenant);
+  }
+
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("sessions").BeginArray();
+  for (const std::shared_ptr<Tenant>& tenant : tenants) {
+    const core::AnonymizationReport report = tenant->session->report();
+    json.BeginObject();
+    json.Key("tenant").Value(tenant->name);
+    json.Key("requests").Value(tenant->session->requests());
+    json.Key("bytes_in")
+        .Value(tenant->bytes_in.load(std::memory_order_relaxed));
+    json.Key("bytes_out")
+        .Value(tenant->bytes_out.load(std::memory_order_relaxed));
+    json.Key("lines").Value(report.total_lines);
+    json.Key("words_hashed").Value(report.words_hashed);
+    json.Key("addresses_mapped").Value(report.addresses_mapped);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  response.Send(200, "application/json", json.str());
+}
+
+}  // namespace confanon::service
