@@ -131,7 +131,7 @@ int main() {
   std::printf("\nregexp language preservation:\n");
   const asn::TokenLanguage rewritten = [&] {
     // Find the rewritten as-path pattern in the output.
-    for (const std::string& line : post.lines()) {
+    for (const std::string_view line : post.lines()) {
       const auto words = util::SplitWords(line);
       if (words.size() >= 6 && words[1] == "as-path") {
         return asn::TokenLanguage::Compile(words[5]);

@@ -28,6 +28,7 @@
 #include "audit/audit.h"
 #include "audit/sarif.h"
 #include "config/document.h"
+#include "util/io.h"
 #include "obs/metrics.h"
 
 namespace {
@@ -61,15 +62,15 @@ bool LoadCorpus(const std::string& dir,
   }
   std::sort(paths.begin(), paths.end());
   for (const auto& path : paths) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "confanon_audit: cannot open " << path << "\n";
+    std::string error;
+    auto contents = confanon::util::ReadFileContents(path.string(), &error);
+    if (!contents) {
+      std::cerr << "confanon_audit: " << error << "\n";
       return false;
     }
-    std::ostringstream text;
-    text << in.rdbuf();
-    out.push_back(confanon::config::ConfigFile::FromText(
-        StripCfgSuffix(path.filename().string()), text.str()));
+    out.push_back(confanon::config::ConfigFile::FromBacking(
+        StripCfgSuffix(path.filename().string()), contents->view,
+        std::move(contents->backing)));
   }
   return true;
 }

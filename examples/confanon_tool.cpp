@@ -58,6 +58,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "pipeline/pipeline.h"
+#include "util/io.h"
 #include "util/strings.h"
 
 namespace {
@@ -74,18 +75,30 @@ void Usage() {
                "[--profile-out FILE])\n";
 }
 
-/// Reads one file into a ConfigFile named after its basename; exits the
-/// process with a diagnostic when unreadable.
-confanon::config::ConfigFile ReadConfig(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "cannot read " << path << "\n";
+/// Corpus-level ingest accounting (the io.* metric source).
+struct IoTally {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t read_ns = 0;
+  std::uint64_t mmap_files = 0;
+};
+
+/// Reads one file into a ConfigFile named after its basename — mmap for
+/// large regular files, single-allocation read otherwise; the file's
+/// lines alias the backing with no per-line copies. Exits the process
+/// with an errno-bearing diagnostic when unreadable.
+confanon::config::ConfigFile ReadConfig(const std::filesystem::path& path,
+                                        IoTally& io) {
+  std::string error;
+  auto contents = confanon::util::ReadFileContents(path.string(), &error);
+  if (!contents) {
+    std::cerr << error << "\n";
     std::exit(1);
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return confanon::config::ConfigFile::FromText(path.filename().string(),
-                                                buffer.str());
+  io.bytes_read += contents->view.size();
+  io.read_ns += contents->read_ns;
+  if (contents->mapped) ++io.mmap_files;
+  return confanon::config::ConfigFile::FromBacking(
+      path.filename().string(), contents->view, std::move(contents->backing));
 }
 
 }  // namespace
@@ -200,9 +213,22 @@ int main(int argc, char** argv) {
     obs_hooks.profiler = profiler.get();
     obs_hooks.trace = profiler.get();  // buffer spans for the folded output
   }
+  // Corpus-level I/O accounting; one writer reused across every output
+  // file so its buffer is allocated once for the whole run.
+  IoTally io_tally;
+  util::BufferedWriter writer;
+  const auto flush_io_metrics = [&] {
+    if (obs_hooks.metrics == nullptr) return;
+    registry.CounterNamed("io.bytes_read").Add(io_tally.bytes_read);
+    registry.CounterNamed("io.read_ns").Add(io_tally.read_ns);
+    registry.CounterNamed("io.mmap_files").Add(io_tally.mmap_files);
+    registry.CounterNamed("io.bytes_written").Add(writer.bytes_written());
+    registry.CounterNamed("io.write_ns").Add(writer.write_ns());
+  };
   // Runs after anonymization in either mode: render the phase table,
   // write the folded profile, and shut the listener down cleanly.
   const auto finish_observability = [&] {
+    flush_io_metrics();
     if (profiler != nullptr) {
       const obs::PhaseProfiler::Profile profile = profiler->Finish();
       std::cerr << obs::PhaseProfiler::RenderTable(profile);
@@ -240,19 +266,25 @@ int main(int argc, char** argv) {
     }
     std::vector<pipeline::NetworkTask> tasks;
     tasks.reserve(names.size());
-    for (const std::string& name : names) {
-      pipeline::NetworkTask task;
-      task.options = options;
-      task.options.threads = 0;  // share the set's budget
-      task.options.base.salt = options.base.salt + ":" + name;
-      std::vector<std::filesystem::path> paths;
-      for (const auto& entry : std::filesystem::directory_iterator(
-               std::filesystem::path(network_dir) / name)) {
-        if (entry.is_regular_file()) paths.push_back(entry.path());
+    {
+      obs::PhaseProfiler::ScopedPhase phase(obs_hooks.profiler, nullptr,
+                                            "ingest");
+      for (const std::string& name : names) {
+        pipeline::NetworkTask task;
+        task.options = options;
+        task.options.threads = 0;  // share the set's budget
+        task.options.base.salt = options.base.salt + ":" + name;
+        std::vector<std::filesystem::path> paths;
+        for (const auto& entry : std::filesystem::directory_iterator(
+                 std::filesystem::path(network_dir) / name)) {
+          if (entry.is_regular_file()) paths.push_back(entry.path());
+        }
+        std::sort(paths.begin(), paths.end());
+        for (const auto& path : paths) {
+          task.files.push_back(ReadConfig(path, io_tally));
+        }
+        tasks.push_back(std::move(task));
       }
-      std::sort(paths.begin(), paths.end());
-      for (const auto& path : paths) task.files.push_back(ReadConfig(path));
-      tasks.push_back(std::move(task));
     }
     // The set-level context carries the shared thread budget and hooks;
     // each task's per-network context/session is built inside.
@@ -272,14 +304,20 @@ int main(int argc, char** argv) {
                     << file.ToText();
         }
       } else {
+        obs::PhaseProfiler::ScopedPhase phase(obs_hooks.profiler, nullptr,
+                                              "emit");
         const auto dir = std::filesystem::path(out_dir) / names[i];
         std::filesystem::create_directories(dir);
         for (const auto& file : results[i].files) {
           const auto path = dir / (file.name() + ".cfg");
-          std::ofstream out(path);
-          out << file.ToText();
-          if (!out) {
-            std::cerr << "cannot write " << path << "\n";
+          std::string error;
+          if (!writer.Open(path.string(), &error)) {
+            std::cerr << error << "\n";
+            return 1;
+          }
+          file.AppendTo(writer);
+          if (!writer.Close()) {
+            std::cerr << writer.error() << "\n";
             return 1;
           }
         }
@@ -309,8 +347,12 @@ int main(int argc, char** argv) {
   }
 
   std::vector<config::ConfigFile> files;
-  for (const std::string& path : inputs) {
-    files.push_back(ReadConfig(path));
+  {
+    obs::PhaseProfiler::ScopedPhase phase(obs_hooks.profiler, nullptr,
+                                          "ingest");
+    for (const std::string& path : inputs) {
+      files.push_back(ReadConfig(path, io_tally));
+    }
   }
 
   // Known-entity declarations: "label | asn asn | prefix prefix".
@@ -354,12 +396,13 @@ int main(int argc, char** argv) {
   pipeline::CorpusPipeline pipeline(context, context->CreateSession());
 
   if (!import_map.empty()) {
-    std::ifstream in(import_map);
-    if (!in) {
-      std::cerr << "cannot read mapping " << import_map << "\n";
+    std::string error;
+    const auto text = util::ReadFileFully(import_map, &error);
+    if (!text) {
+      std::cerr << error << "\n";
       return 1;
     }
-    pipeline.ip_anonymizer().ImportMappings(in);
+    pipeline.ip_anonymizer().ImportMappings(std::string_view(*text));
   }
 
   const std::vector<config::ConfigFile> anonymized =
@@ -370,13 +413,19 @@ int main(int argc, char** argv) {
       std::cout << "! ===== " << file.name() << " =====\n" << file.ToText();
     }
   } else {
+    obs::PhaseProfiler::ScopedPhase phase(obs_hooks.profiler, nullptr,
+                                          "emit");
     std::filesystem::create_directories(out_dir);
     for (const auto& file : anonymized) {
       const auto path = std::filesystem::path(out_dir) / (file.name() + ".cfg");
-      std::ofstream out(path);
-      out << file.ToText();
-      if (!out) {
-        std::cerr << "cannot write " << path << "\n";
+      std::string error;
+      if (!writer.Open(path.string(), &error)) {
+        std::cerr << error << "\n";
+        return 1;
+      }
+      file.AppendTo(writer);
+      if (!writer.Close()) {
+        std::cerr << writer.error() << "\n";
         return 1;
       }
     }

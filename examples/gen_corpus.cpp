@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -19,6 +18,7 @@
 #include "gen/config_writer.h"
 #include "gen/network_gen.h"
 #include "junos/writer.h"
+#include "util/io.h"
 
 namespace {
 
@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
   }
 
   std::size_t written = 0;
+  confanon::util::BufferedWriter out;  // one buffer reused across configs
   for (std::size_t i = 0; i < network.routers.size(); ++i) {
     const bool junos =
         mode == Mode::kJunos || (mode == Mode::kMixed && i % 2 == 1);
@@ -94,12 +95,16 @@ int main(int argc, char** argv) {
               : confanon::gen::WriteConfig(network.routers[i], network);
     const auto path =
         std::filesystem::path(out_dir) / (file.name() + ".cfg");
-    std::ofstream out(path);
-    if (!out) {
-      std::cerr << "gen_corpus: cannot write " << path << "\n";
+    std::string error;
+    if (!out.Open(path.string(), &error)) {
+      std::cerr << "gen_corpus: " << error << "\n";
       return 1;
     }
-    out << file.ToText();
+    file.AppendTo(out);
+    if (!out.Close()) {
+      std::cerr << "gen_corpus: " << out.error() << "\n";
+      return 1;
+    }
     ++written;
   }
   std::cout << "gen_corpus: wrote " << written << " configs to " << out_dir

@@ -20,7 +20,7 @@ NetworkCharacteristics ExtractCharacteristics(
     bool in_bgp = false;
     std::uint32_t local_asn = 0;
 
-    for (const std::string& raw : file.lines()) {
+    for (const std::string_view raw : file.lines()) {
       const config::SplitLine split = config::SplitConfigLine(raw);
       const auto& words = split.words;
       if (words.empty()) continue;

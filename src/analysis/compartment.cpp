@@ -11,7 +11,7 @@ CompartmentMechanism DetectCompartmentalization(
   bool policy = false;
   bool probe_drop = false;
   for (const config::ConfigFile& file : configs) {
-    for (const std::string& raw : file.lines()) {
+    for (const std::string_view raw : file.lines()) {
       const config::SplitLine split = config::SplitConfigLine(raw);
       const auto& words = split.words;
       if (words.size() < 2) continue;

@@ -47,7 +47,7 @@ NetworkDesign ExtractDesign(const std::vector<config::ConfigFile>& configs) {
     std::uint32_t local_asn = 0;
     std::map<net::Ipv4Address, BgpNeighborDesign> neighbors;
 
-    for (const std::string& raw : file.lines()) {
+    for (const std::string_view raw : file.lines()) {
       const config::SplitLine split = config::SplitConfigLine(raw);
       const auto& words = split.words;
       if (words.empty()) continue;

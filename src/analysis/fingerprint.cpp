@@ -22,7 +22,7 @@ PeeringFingerprint PeeringStructureFingerprint(
     bool in_bgp = false;
     std::uint32_t local_asn = 0;
     int external_sessions = 0;
-    for (const std::string& raw : file.lines()) {
+    for (const std::string_view raw : file.lines()) {
       const config::SplitLine split = config::SplitConfigLine(raw);
       const auto& words = split.words;
       if (words.empty()) continue;

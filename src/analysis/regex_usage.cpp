@@ -38,7 +38,7 @@ bool HasAlternation(std::string_view pattern) {
 RegexUsage DetectRegexUsage(const std::vector<config::ConfigFile>& configs) {
   RegexUsage usage;
   for (const config::ConfigFile& file : configs) {
-    for (const std::string& raw : file.lines()) {
+    for (const std::string_view raw : file.lines()) {
       const config::LineTokens tokens = config::TokenizeLine(raw);
       const auto& words = tokens.words;
       if (words.size() < 2) continue;
@@ -56,8 +56,7 @@ RegexUsage DetectRegexUsage(const std::vector<config::ConfigFile>& configs) {
         if (HasRangeOrWildcard(pattern)) {
           try {
             bool any_public = false;
-            for (std::uint32_t asn :
-                 asn::TokenLanguage::Compile(pattern).Enumerate()) {
+            for (std::uint32_t asn : asn::EnumerateLanguage(pattern)->accepted) {
               if (asn::IsPublicAsn(asn)) {
                 any_public = true;
                 break;

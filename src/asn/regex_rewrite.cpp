@@ -121,6 +121,41 @@ std::vector<std::uint32_t> TokenLanguage::Enumerate() const {
 
 int TokenLanguage::StateCount() const { return dfa_->StateCount(); }
 
+std::shared_ptr<const EnumeratedLanguage> EnumerateLanguage(
+    std::string_view pattern) {
+  struct Cache {
+    std::mutex mutex;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const EnumeratedLanguage>>
+        entries;
+  };
+  // Stop inserting (but keep serving) past this size so a daemon fed
+  // adversarial pattern streams cannot grow the cache without bound.
+  constexpr std::size_t kMaxEntries = 4096;
+  static Cache cache;
+  {
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto it = cache.entries.find(std::string(pattern));
+    if (it != cache.entries.end()) return it->second;
+  }
+  // Compile and enumerate outside the lock: racing threads may duplicate
+  // the work once, but never serialize the 2^16 scan behind the mutex.
+  const TokenLanguage language = TokenLanguage::Compile(pattern);
+  auto entry = std::make_shared<EnumeratedLanguage>();
+  entry->dfa_states = language.StateCount();
+  entry->accepted = language.Enumerate();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const auto [it, inserted] = cache.entries.try_emplace(
+      std::string(pattern), std::move(entry));
+  if (!inserted) return it->second;  // a racing thread stored first
+  if (cache.entries.size() > kMaxEntries) {
+    auto result = it->second;
+    cache.entries.erase(it);
+    return result;
+  }
+  return it->second;
+}
+
 std::string RenderLanguage(const std::vector<std::uint32_t>& values,
                            RewriteForm form) {
   if (values.size() == 1) {
@@ -196,9 +231,9 @@ RewriteResult AsnRegexRewriter::RewriteUncached(std::string_view pattern,
   result.pattern = std::string(pattern);
   const RewriteStopwatch stopwatch(result);
 
-  const TokenLanguage language = TokenLanguage::Compile(pattern);
-  result.dfa_states = static_cast<std::size_t>(language.StateCount());
-  const std::vector<std::uint32_t> accepted = language.Enumerate();
+  const auto language = EnumerateLanguage(pattern);
+  result.dfa_states = static_cast<std::size_t>(language->dfa_states);
+  const std::vector<std::uint32_t>& accepted = language->accepted;
   result.language_size = accepted.size();
   for (std::uint32_t asn : accepted) {
     if (IsPublicAsn(asn)) ++result.public_members;
@@ -249,12 +284,12 @@ RewriteResult CommunityRegexRewriter::RewriteUncached(
   const std::string_view asn_part = pattern.substr(0, colon);
   const std::string_view value_part = pattern.substr(colon + 1);
 
-  const TokenLanguage asn_compiled = TokenLanguage::Compile(asn_part);
-  const TokenLanguage value_compiled = TokenLanguage::Compile(value_part);
-  result.dfa_states = static_cast<std::size_t>(asn_compiled.StateCount()) +
-                      static_cast<std::size_t>(value_compiled.StateCount());
-  const std::vector<std::uint32_t> asn_language = asn_compiled.Enumerate();
-  const std::vector<std::uint32_t> value_language = value_compiled.Enumerate();
+  const auto asn_compiled = EnumerateLanguage(asn_part);
+  const auto value_compiled = EnumerateLanguage(value_part);
+  result.dfa_states = static_cast<std::size_t>(asn_compiled->dfa_states) +
+                      static_cast<std::size_t>(value_compiled->dfa_states);
+  const std::vector<std::uint32_t>& asn_language = asn_compiled->accepted;
+  const std::vector<std::uint32_t>& value_language = value_compiled->accepted;
   result.language_size = asn_language.size() * value_language.size();
   for (std::uint32_t a : asn_language) {
     if (IsPublicAsn(a)) ++result.public_members;

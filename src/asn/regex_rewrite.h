@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -54,6 +55,25 @@ class TokenLanguage {
   TokenLanguage() = default;
   std::shared_ptr<const regex::Dfa> dfa_;
 };
+
+/// A compiled pattern's accepted language over the 2^16 token space plus
+/// the DFA size that produced it.
+struct EnumeratedLanguage {
+  /// Accepted values in ascending order.
+  std::vector<std::uint32_t> accepted;
+  int dfa_states = 0;
+};
+
+/// Compiles `pattern` and enumerates its accepted language, memoized
+/// process-wide by pattern text. The language is a pure function of the
+/// pattern — unlike RewriteResult it does not depend on any per-network
+/// permutation — so one enumeration serves every engine, network, and
+/// tenant in the process. Corpora repeat the same handful of as-path and
+/// community regexps across networks; without this memo each network
+/// re-runs the 2^16-membership scan per pattern. Throws regex::ParseError
+/// on malformed patterns (failures are not cached). Thread-safe.
+std::shared_ptr<const EnumeratedLanguage> EnumerateLanguage(
+    std::string_view pattern);
 
 /// How the rewritten language is rendered.
 enum class RewriteForm {

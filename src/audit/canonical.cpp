@@ -402,7 +402,7 @@ void CanonicalizeIos(const config::ConfigFile& file, CanonicalFile& out) {
 
   config::LineTokens tokens;
   for (std::size_t index = 0; index < file.lines().size(); ++index) {
-    const std::string& raw = file.lines()[index];
+    const std::string_view raw = file.lines()[index];
     const auto line_no = static_cast<std::uint32_t>(index);
 
     if (in_banner[index]) {
@@ -483,7 +483,7 @@ void CanonicalizeJunos(const config::ConfigFile& file, CanonicalFile& out) {
   bool in_block_comment = false;
   junos::JunosLine line_buf;
   for (std::size_t index = 0; index < file.lines().size(); ++index) {
-    const std::string& raw = file.lines()[index];
+    const std::string_view raw = file.lines()[index];
     const auto line_no = static_cast<std::uint32_t>(index);
 
     // '/* ... */' block comments collapse to a fixed marker per line.

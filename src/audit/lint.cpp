@@ -162,7 +162,7 @@ void ScanJunosFreeText(const config::ConfigFile& file,
   junos::JunosLine line;
   bool in_block_comment = false;
   for (std::size_t index = 0; index < file.lines().size(); ++index) {
-    const std::string& raw = file.lines()[index];
+    const std::string_view raw = file.lines()[index];
     const bool opens =
         !in_block_comment && util::StartsWith(util::Trim(raw), "/*");
     if (opens || in_block_comment) {

@@ -1,12 +1,25 @@
 #include "config/document.h"
 
+#include <utility>
+
 #include "config/tokenizer.h"
+#include "util/io.h"
 #include "util/strings.h"
 
 namespace confanon::config {
 
-ConfigFile ConfigFile::FromText(std::string name, std::string_view text) {
-  std::vector<std::string> lines;
+namespace {
+
+/// Splits `text` on '\n' into views (dropping one trailing '\r' per
+/// line; a trailing newline does not create an empty final line). The
+/// views alias `text` — the caller owns the lifetime.
+void SplitLinesInto(std::string_view text,
+                    std::vector<std::string_view>& out) {
+  out.clear();
+  // One line per newline plus a possible unterminated tail.
+  std::size_t newlines = 0;
+  for (const char c : text) newlines += c == '\n';
+  out.reserve(newlines + 1);
   std::size_t start = 0;
   for (std::size_t i = 0; i <= text.size(); ++i) {
     if (i == text.size() || text[i] == '\n') {
@@ -15,20 +28,94 @@ ConfigFile ConfigFile::FromText(std::string name, std::string_view text) {
       if (!line.empty() && line.back() == '\r') {
         line.remove_suffix(1);
       }
-      lines.emplace_back(line);
+      out.push_back(line);
       start = i + 1;
     }
   }
-  return ConfigFile(std::move(name), std::move(lines));
+}
+
+}  // namespace
+
+ConfigFile::ConfigFile(std::string name, std::vector<std::string> lines)
+    : name_(std::move(name)), owned_lines_(std::move(lines)) {
+  RebuildViews();
+}
+
+ConfigFile::ConfigFile(const ConfigFile& other)
+    : name_(other.name_), backing_(other.backing_) {
+  if (backing_ != nullptr) {
+    // Buffer-backed: the views alias the shared backing — copy them.
+    views_ = other.views_;
+  } else {
+    // Owned-lines: deep-copy and re-point the views at our strings.
+    owned_lines_ = other.owned_lines_;
+    RebuildViews();
+  }
+}
+
+ConfigFile& ConfigFile::operator=(const ConfigFile& other) {
+  if (this != &other) {
+    *this = ConfigFile(other);  // copy-construct, then move into place
+  }
+  return *this;
+}
+
+ConfigFile ConfigFile::FromText(std::string name, std::string_view text) {
+  return FromBuffer(std::move(name), std::string(text));
+}
+
+ConfigFile ConfigFile::FromBuffer(std::string name, std::string&& text) {
+  auto backing = std::make_shared<const std::string>(std::move(text));
+  const std::string_view view = *backing;
+  return FromBacking(std::move(name), view, std::move(backing));
+}
+
+ConfigFile ConfigFile::FromBacking(std::string name, std::string_view text,
+                                   std::shared_ptr<const void> backing) {
+  ConfigFile file;
+  file.name_ = std::move(name);
+  file.backing_ = std::move(backing);
+  SplitLinesInto(text, file.views_);
+  return file;
+}
+
+std::vector<std::string>& ConfigFile::mutable_lines() {
+  if (backing_ != nullptr) {
+    // COW: materialize owned strings from the backing views, then drop
+    // the backing — subsequent reads never touch the shared buffer.
+    owned_lines_.assign(views_.begin(), views_.end());
+    backing_.reset();
+  }
+  views_stale_ = true;
+  return owned_lines_;
+}
+
+void ConfigFile::RebuildViews() const {
+  views_.assign(owned_lines_.begin(), owned_lines_.end());
+  views_stale_ = false;
+}
+
+std::size_t ConfigFile::TextBytes() const {
+  std::size_t bytes = 0;
+  for (const std::string_view line : lines()) bytes += line.size() + 1;
+  return bytes;
 }
 
 std::string ConfigFile::ToText() const {
   std::string out;
-  for (const std::string& line : lines_) {
-    out += line;
-    out += '\n';
+  out.reserve(TextBytes());
+  for (const std::string_view line : lines()) {
+    out.append(line);
+    out.push_back('\n');
   }
   return out;
+}
+
+void ConfigFile::AppendTo(util::BufferedWriter& out) const {
+  for (const std::string_view line : lines()) {
+    out.Append(line);
+    out.Append('\n');
+  }
 }
 
 std::vector<LineRegion> FindBannerRegions(const ConfigFile& config) {
@@ -36,7 +123,18 @@ std::vector<LineRegion> FindBannerRegions(const ConfigFile& config) {
   const auto& lines = config.lines();
   std::size_t i = 0;
   while (i < lines.size()) {
-    const SplitLine split = SplitConfigLine(lines[i]);
+    // Fast reject: only lines whose first word can be "banner" pay the
+    // full split (this pass runs over every line of every file, before
+    // the tokenizer's own pass).
+    const std::string_view raw = lines[i];
+    std::size_t first = 0;
+    while (first < raw.size() && util::IsBlank(raw[first])) ++first;
+    if (first >= raw.size() ||
+        (raw[first] != 'b' && raw[first] != 'B')) {
+      ++i;
+      continue;
+    }
+    const SplitLine split = SplitConfigLine(raw);
     const bool is_banner =
         split.words.size() >= 3 && util::ToLower(split.words[0]) == "banner";
     if (!is_banner) {
@@ -56,7 +154,7 @@ std::vector<LineRegion> FindBannerRegions(const ConfigFile& config) {
         after.find(delimiter) != std::string_view::npos;
     if (!closed_inline) {
       while (end < lines.size() &&
-             lines[end].find(delimiter) == std::string::npos) {
+             lines[end].find(delimiter) == std::string_view::npos) {
         ++end;
       }
       // Include the closing-delimiter line when present.

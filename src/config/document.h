@@ -9,12 +9,33 @@
 //   * trailing free text after keywords like `description` and `remark`,
 //   * banner blocks ("banner motd ^C ... ^C"), which span multiple lines
 //     bracketed by an arbitrary delimiter character.
+//
+// Storage model (zero-copy ingest): lines() are string_views over ONE of
+// two backings —
+//
+//   * a single contiguous buffer (an owned string or a shared mmap) that
+//     FromText/FromBuffer/FromContents split in place: paper-scale
+//     corpora are ingested with zero per-line allocations, and an
+//     mmap-backed file is never copied at all;
+//   * a vector of owned line strings (the generator/engine output path,
+//     and the copy-on-write escape hatch behind mutable_lines()).
+//
+// Copying a buffer-backed ConfigFile shares the backing (shared_ptr);
+// copying a line-backed one deep-copies. Moves never invalidate views in
+// either mode. mutable_lines() materializes owned lines on first use
+// (COW) and is NOT thread-safe against concurrent lines() readers — the
+// pipeline only ever mutates before fan-out, never during it.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace confanon::util {
+class BufferedWriter;
+}  // namespace confanon::util
 
 namespace confanon::config {
 
@@ -22,24 +43,67 @@ namespace confanon::config {
 class ConfigFile {
  public:
   ConfigFile() = default;
-  ConfigFile(std::string name, std::vector<std::string> lines)
-      : name_(std::move(name)), lines_(std::move(lines)) {}
+  /// Owned-lines mode: adopts rendered lines (generator/engine output).
+  ConfigFile(std::string name, std::vector<std::string> lines);
+
+  ConfigFile(const ConfigFile& other);
+  ConfigFile& operator=(const ConfigFile& other);
+  ConfigFile(ConfigFile&&) noexcept = default;
+  ConfigFile& operator=(ConfigFile&&) noexcept = default;
 
   /// Splits text on '\n' (a trailing newline does not create an empty
-  /// final line).
+  /// final line; a trailing '\r' per line is dropped). The text is
+  /// copied ONCE into an owned backing buffer; lines are views into it.
   static ConfigFile FromText(std::string name, std::string_view text);
 
-  const std::string& name() const { return name_; }
-  const std::vector<std::string>& lines() const { return lines_; }
-  std::vector<std::string>& mutable_lines() { return lines_; }
+  /// Zero-copy form of FromText: adopts `text` as the backing buffer
+  /// (no copy; use with ReadFileFully's result).
+  static ConfigFile FromBuffer(std::string name, std::string&& text);
 
+  /// Zero-copy over an externally owned backing (an mmap, a request
+  /// body buffer): `text` must alias memory kept alive by `backing`.
+  static ConfigFile FromBacking(std::string name, std::string_view text,
+                                std::shared_ptr<const void> backing);
+
+  const std::string& name() const { return name_; }
+
+  /// The lines, as views into the backing buffer (or the owned lines).
+  /// Valid until the ConfigFile is destroyed or mutated.
+  const std::vector<std::string_view>& lines() const {
+    if (views_stale_) RebuildViews();
+    return views_;
+  }
+
+  /// Copy-on-write escape hatch: materializes owned per-line strings
+  /// (detaching from any shared backing) and returns them mutably.
+  /// lines() reflects mutations on its next call. Not thread-safe
+  /// against concurrent readers.
+  std::vector<std::string>& mutable_lines();
+
+  /// Exact-reserve concatenation ("line\n" per line) — one allocation.
   std::string ToText() const;
 
-  std::size_t LineCount() const { return lines_.size(); }
+  /// Streams every line + '\n' into `out` without materializing the
+  /// ToText string (the zero-copy egress path).
+  void AppendTo(util::BufferedWriter& out) const;
+
+  /// Sum of line lengths plus one newline per line == ToText().size().
+  std::size_t TextBytes() const;
+
+  std::size_t LineCount() const { return lines().size(); }
 
  private:
+  void RebuildViews() const;
+
   std::string name_;
-  std::vector<std::string> lines_;
+  /// Keeps the bytes behind buffer-backed views alive (owned string or
+  /// mmap). Null in owned-lines mode.
+  std::shared_ptr<const void> backing_;
+  /// Owned-lines mode storage; empty in buffer-backed mode.
+  std::vector<std::string> owned_lines_;
+  /// The authoritative line views. Stale only after mutable_lines().
+  mutable std::vector<std::string_view> views_;
+  mutable bool views_stale_ = false;
 };
 
 /// A half-open line range [begin, end) within a ConfigFile.

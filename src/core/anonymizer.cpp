@@ -140,7 +140,7 @@ Anonymizer::Anonymizer(AnonymizerOptions options,
 
 void Anonymizer::CollectFileAddresses(const config::ConfigFile& file,
                                       std::vector<net::Ipv4Address>& out) {
-  for (const std::string& line : file.lines()) {
+  for (const std::string_view line : file.lines()) {
     for (std::string_view word : util::SplitWords(line)) {
       // CIDR tokens keep their literal (possibly host-bearing) address.
       const std::size_t slash = word.find('/');
@@ -156,7 +156,7 @@ void Anonymizer::CollectFileAddresses(const config::ConfigFile& file,
 void Anonymizer::CollectHashCandidates(const config::ConfigFile& file,
                                        const passlist::PassList& pass_list,
                                        std::vector<std::string_view>& out) {
-  for (const std::string& line : file.lines()) {
+  for (const std::string_view line : file.lines()) {
     for (std::string_view word : util::SplitWords(line)) {
       if (word.empty() || config::IsNonAlphabetic(word)) continue;
       for (const config::Segment& segment : config::SegmentWord(word)) {
@@ -293,7 +293,7 @@ void Anonymizer::AnonymizeLine(const config::ConfigFile& file,
                                const std::vector<bool>& in_banner,
                                const std::vector<bool>& banner_start,
                                std::vector<std::string>& out_lines) {
-  const std::string& raw = file.lines()[index];
+  const std::string_view raw = file.lines()[index];
   ++report_.total_lines;
   LineCtx& ctx = line_ctx_;
   ctx.arena = &arena_;
@@ -516,7 +516,7 @@ void Anonymizer::SyncMetrics() {
 }
 
 bool Anonymizer::ApplyCommentRules(const config::ConfigFile& file,
-                                   std::size_t index, const std::string& line,
+                                   std::size_t index, std::string_view line,
                                    const std::vector<bool>& in_banner) {
   (void)file;
   (void)index;
@@ -812,8 +812,8 @@ std::vector<std::uint32_t> Anonymizer::AcceptedPublicAsns(
     std::string_view pattern) const {
   std::vector<std::uint32_t> result;
   try {
-    const asn::TokenLanguage language = asn::TokenLanguage::Compile(pattern);
-    for (std::uint32_t a : language.Enumerate()) {
+    const auto language = asn::EnumerateLanguage(pattern);
+    for (std::uint32_t a : language->accepted) {
       if (asn::IsPublicAsn(a)) result.push_back(a);
     }
   } catch (const regex::ParseError&) {

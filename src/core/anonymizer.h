@@ -299,7 +299,7 @@ class Anonymizer : public AnonymizerEngine {
   /// Comment rules (C1). Returns false when the whole line collapses to
   /// a '!' comment.
   bool ApplyCommentRules(const config::ConfigFile& file, std::size_t index,
-                         const std::string& line,
+                         std::string_view line,
                          const std::vector<bool>& in_banner);
   /// The five word passes fused into one dispatch: line-shaped rules
   /// (free text, ASN locations, misc) run off the shared lowercase view,

@@ -53,7 +53,7 @@ void LeakScanner::ScanFile(const config::ConfigFile& file,
                            std::vector<LeakFinding>& findings) {
   if (patterns_.empty()) return;
   for (std::size_t i = 0; i < file.lines().size(); ++i) {
-    const std::string& line = file.lines()[i];
+    const std::string_view line = file.lines()[i];
     if (line.empty()) continue;
     // Each identifier is reported at most once per line (a line with
     // "701 701" is one finding), matching grep -l style triage.
@@ -70,7 +70,7 @@ void LeakScanner::ScanFile(const config::ConfigFile& file,
           match.end == line.size() || !IsWordChar(line[match.end]);
       if (!left_ok || !right_ok) continue;
       reported_generation_[match.pattern_index] = generation_;
-      findings.push_back(LeakFinding{file.name(), i, line,
+      findings.push_back(LeakFinding{file.name(), i, std::string(line),
                                      patterns_[match.pattern_index],
                                      kinds_[match.pattern_index]});
     }

@@ -9,7 +9,7 @@
 namespace confanon::core {
 
 ConfigDialect DetectDialect(const config::ConfigFile& file) {
-  for (const std::string& line : file.lines()) {
+  for (const std::string_view line : file.lines()) {
     const std::string_view trimmed = util::Trim(line);
     if (trimmed.empty()) continue;
     if (trimmed.back() == '{' || trimmed == "}") return ConfigDialect::kJunos;

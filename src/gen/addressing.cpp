@@ -17,7 +17,11 @@ AddressPlan::AddressPlan(util::Rng& rng, NetworkProfile profile,
   // Block size scales with the topology so large corpus networks cannot
   // exhaust their LAN region.
   int base_length = 16;
-  if (router_count > 250) {
+  if (router_count > 1000) {
+    // Paper-scale corpora: the Zipf head network of a ~7.6k-router corpus
+    // holds >1.5k routers, whose LAN demand overflows a /12.
+    base_length = 8;
+  } else if (router_count > 250) {
     base_length = 12;
   } else if (router_count > 60) {
     base_length = 14;

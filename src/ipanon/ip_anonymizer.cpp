@@ -1,6 +1,7 @@
 #include "ipanon/ip_anonymizer.h"
 
 #include <algorithm>
+#include <iterator>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
@@ -154,24 +155,36 @@ void IpAnonymizer::ExportMappings(std::ostream& out) const {
   }
 }
 
-void IpAnonymizer::ImportMappings(std::istream& in) {
+void IpAnonymizer::ImportMappings(std::string_view text) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  std::string line;
-  while (std::getline(in, line)) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != '\n') continue;
+    std::string_view line = text.substr(start, i - start);
+    start = i + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     const std::string_view trimmed = util::Trim(line);
     if (trimmed.empty()) continue;
     const auto words = util::SplitWords(trimmed);
     if (words.size() != 2) {
-      throw std::runtime_error("malformed mapping line: " + line);
+      throw std::runtime_error("malformed mapping line: " +
+                               std::string(line));
     }
     const auto input = net::Ipv4Address::Parse(words[0]);
     const auto output = net::Ipv4Address::Parse(words[1]);
     if (!input || !output) {
-      throw std::runtime_error("malformed mapping addresses: " + line);
+      throw std::runtime_error("malformed mapping addresses: " +
+                               std::string(line));
     }
     FlipMask(input->value(), static_cast<std::int64_t>(output->value()));
     mapped_log_.emplace_back(input->value(), output->value());
   }
+}
+
+void IpAnonymizer::ImportMappings(std::istream& in) {
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  ImportMappings(std::string_view(text));
 }
 
 }  // namespace confanon::ipanon

@@ -96,7 +96,10 @@ class IpAnonymizer {
 
   /// Replays exported pairs, forcing the trie's flip bits to agree. Throws
   /// std::runtime_error on malformed input or on pairs inconsistent with
-  /// flips already fixed.
+  /// flips already fixed. The text form walks line views over the buffer
+  /// (no per-line reads or copies — the fast path for file-backed maps);
+  /// the stream form slurps the stream once and delegates to it.
+  void ImportMappings(std::string_view text);
   void ImportMappings(std::istream& in);
 
  private:

@@ -84,7 +84,7 @@ JunosAnonymizer::JunosAnonymizer(JunosAnonymizerOptions options,
 void JunosAnonymizer::CollectFileAddresses(const config::ConfigFile& file,
                                            std::vector<net::Ipv4Address>& out) {
   JunosLine line;
-  for (const std::string& raw : file.lines()) {
+  for (const std::string_view raw : file.lines()) {
     TokenizeJunosLineInto(raw, line);
     for (const Token& token : line.tokens) {
       if (token.kind != Token::Kind::kWord) continue;
@@ -103,7 +103,7 @@ void JunosAnonymizer::CollectHashCandidates(
     const config::ConfigFile& file, const passlist::PassList& pass_list,
     std::vector<std::string_view>& out) {
   JunosLine line;
-  for (const std::string& raw : file.lines()) {
+  for (const std::string_view raw : file.lines()) {
     TokenizeJunosLineInto(raw, line);
     for (const Token& token : line.tokens) {
       if (token.kind != Token::Kind::kWord &&
@@ -218,7 +218,7 @@ config::ConfigFile JunosAnonymizer::AnonymizeFile(
   return config::ConfigFile(out_name, std::move(out_lines));
 }
 
-void JunosAnonymizer::AnonymizeLine(const std::string& raw,
+void JunosAnonymizer::AnonymizeLine(std::string_view raw,
                                     std::vector<std::string>& out_lines) {
   ++report_.total_lines;
 
@@ -283,7 +283,7 @@ void JunosAnonymizer::DrainDeferred(std::vector<std::string>& out_lines) {
 }
 
 void JunosAnonymizer::ObserveLine(const std::string& file_name,
-                                  std::size_t index, const std::string& raw,
+                                  std::size_t index, std::string_view raw,
                                   std::vector<std::string>& out_lines,
                                   std::map<std::string, std::uint64_t>& rule_ns) {
   const std::uint64_t words_before = report_.total_words;
@@ -504,8 +504,7 @@ void JunosAnonymizer::ProcessLine(JunosLine& line) {
       try {
         const asn::RewriteResult result =
             state_->aspath_rewriter.Rewrite(pattern, options_.regex_form);
-        for (std::uint32_t a :
-             asn::TokenLanguage::Compile(pattern).Enumerate()) {
+        for (std::uint32_t a : asn::EnumerateLanguage(pattern)->accepted) {
           if (asn::IsPublicAsn(a)) {
             leak_record_.public_asns.insert(std::to_string(a));
           }

@@ -131,11 +131,11 @@ class JunosAnonymizer : public core::AnonymizerEngine {
   void ProcessLine(JunosLine& line);
   /// One raw input line end-to-end: block-comment handling, tokenization,
   /// rule pack, rendering.
-  void AnonymizeLine(const std::string& raw,
+  void AnonymizeLine(std::string_view raw,
                      std::vector<std::string>& out_lines);
   /// AnonymizeLine under timing + rule attribution (see core::Anonymizer).
   void ObserveLine(const std::string& file_name, std::size_t index,
-                   const std::string& raw, std::vector<std::string>& out_lines,
+                   std::string_view raw, std::vector<std::string>& out_lines,
                    std::map<std::string, std::uint64_t>& rule_ns);
   /// Force-hashes the word token at `index` (records it when unknown).
   void ForceHash(JunosLine& line, std::size_t index, const char* rule);

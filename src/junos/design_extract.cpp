@@ -52,7 +52,7 @@ class Extractor {
   }
 
   RouterDesign Extract() {
-    for (const std::string& raw : file_.lines()) {
+    for (const std::string_view raw : file_.lines()) {
       // Block comments are irrelevant to the design; skip comment lines
       // conservatively (the writer emits them on their own lines).
       const auto trimmed = util::Trim(raw);

@@ -1,7 +1,8 @@
 #include "passlist/passlist.h"
 
-#include <sstream>
+#include <iterator>
 
+#include "util/io.h"
 #include "util/strings.h"
 
 namespace confanon::passlist {
@@ -63,9 +64,16 @@ std::size_t DocScraper::ScrapeText(std::string_view text) {
 }
 
 std::size_t DocScraper::ScrapeStream(std::istream& in) {
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ScrapeText(buffer.str());
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  return ScrapeText(text);
+}
+
+std::optional<std::size_t> DocScraper::ScrapeFile(const std::string& path,
+                                                  std::string* error) {
+  const auto text = util::ReadFileFully(path, error);
+  if (!text) return std::nullopt;
+  return ScrapeText(*text);
 }
 
 }  // namespace confanon::passlist

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <istream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -66,8 +67,14 @@ class DocScraper {
   /// tokens added.
   std::size_t ScrapeText(std::string_view text);
 
-  /// Scrapes a whole stream (e.g. a file).
+  /// Scrapes a whole stream (one copy off the stream buffer).
   std::size_t ScrapeStream(std::istream& in);
+
+  /// Scrapes a file via the single-allocation reader. Returns nullopt
+  /// (with an errno-bearing message in `error`, when non-null) if the
+  /// file cannot be read.
+  std::optional<std::size_t> ScrapeFile(const std::string& path,
+                                        std::string* error = nullptr);
 
  private:
   PassList& target_;

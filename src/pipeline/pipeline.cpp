@@ -273,19 +273,47 @@ std::vector<NetworkOutput> AnonymizeNetworkSet(
   // ResolveThreads with no item clamp: the raw budget.
   const int total = set_context.ResolveThreads(0);
   // Slots run whole networks concurrently; each network's own pipeline
-  // gets an equal share of the remaining budget (so total concurrency
-  // stays ~= the budget whichever way the work is shaped).
+  // gets a share of the remaining budget (so total concurrency stays
+  // ~= the budget whichever way the work is shaped).
   const int slots = ResolveWorkerCount(total, tasks.size());
-  const int inner = std::max(1, total / slots);
+
+  // Shard-aware partitioning: a network's cost tracks its byte size, not
+  // its file count (the paper's corpora mix backbone routers at hundreds
+  // of KB with access switches at a few KB). Schedule largest-bytes
+  // first (LPT) so the straggler network starts earliest, and give each
+  // network an inner-thread share proportional to its byte weight among
+  // `slots` average concurrent networks.
+  std::vector<std::uint64_t> task_bytes(tasks.size(), 0);
+  std::uint64_t set_bytes = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (const config::ConfigFile& file : tasks[i].files) {
+      task_bytes[i] += file.TextBytes();
+    }
+    set_bytes += task_bytes[i];
+  }
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return task_bytes[a] > task_bytes[b];
+                   });
+  const auto inner_share = [&](std::size_t i) {
+    if (set_bytes == 0) return std::max(1, total / slots);
+    const auto weighted = static_cast<int>(
+        static_cast<std::uint64_t>(total) * slots * task_bytes[i] /
+        set_bytes);
+    return std::clamp(weighted, 1, total);
+  };
 
   WorkQueue queue(tasks.size(), 1);
   RunWorkers(slots, [&](int) {
     std::size_t begin = 0;
     std::size_t end = 0;
     while (queue.Next(begin, end)) {
-      for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t rank = begin; rank < end; ++rank) {
+        const std::size_t i = order[rank];
         core::ServiceOptions options = tasks[i].options;
-        if (options.threads <= 0) options.threads = inner;
+        if (options.threads <= 0) options.threads = inner_share(i);
         auto task_context = MakeServiceContext(std::move(options));
         task_context->install_hooks(set_context.hooks());
         CorpusPipeline pipe(task_context, task_context->CreateSession());

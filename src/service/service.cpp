@@ -129,8 +129,13 @@ void AnonymizationService::HandleAnonymize(const obs::HttpRequest& request,
                request_seq_.fetch_add(1, std::memory_order_relaxed) + 1) +
            ".cfg";
   }
-  config::ConfigFile file = config::ConfigFile::FromText(
-      std::move(name), request.body);
+  // Zero-copy ingest: the file's lines alias the request body directly
+  // (non-owning backing — the request outlives the pipeline call below,
+  // whose output owns its lines).
+  config::ConfigFile file = config::ConfigFile::FromBacking(
+      std::move(name), request.body,
+      std::shared_ptr<const void>(std::shared_ptr<const void>(),
+                                  request.body.data()));
   core::ConfigDialect dialect = context_->options().dialect;
   if (dialect == core::ConfigDialect::kAuto) {
     dialect = core::DetectDialect(file);
@@ -163,7 +168,7 @@ void AnonymizationService::HandleAnonymize(const obs::HttpRequest& request,
   std::uint64_t bytes_out = 0;
   std::string chunk;
   chunk.reserve(kChunkBytes + 4096);
-  for (const std::string& line : output.front().lines()) {
+  for (const std::string_view line : output.front().lines()) {
     chunk += line;
     chunk += '\n';
     if (chunk.size() >= kChunkBytes) {

@@ -1,0 +1,260 @@
+#include "util/io.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define CONFANON_HAVE_MMAP 1
+#endif
+
+namespace confanon::util {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SetError(std::string* error, std::string_view verb,
+              std::string_view path, int errno_value) {
+  if (error != nullptr) *error = ErrnoMessage(verb, path, errno_value);
+}
+
+}  // namespace
+
+std::string ErrnoMessage(std::string_view verb, std::string_view path,
+                         int errno_value) {
+  std::string message;
+  message.reserve(verb.size() + path.size() + 40);
+  message.append(verb);
+  message.append(" ");
+  message.append(path);
+  message.append(": ");
+  message.append(std::strerror(errno_value));
+  return message;
+}
+
+// --- MappedFile -----------------------------------------------------------
+
+MappedFile::~MappedFile() {
+#if defined(CONFANON_HAVE_MMAP)
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), mapped_(other.mapped_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+#if defined(CONFANON_HAVE_MMAP)
+    if (mapped_ && data_ != nullptr) ::munmap(data_, size_);
+#endif
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+std::optional<MappedFile> MappedFile::Map(const std::string& path,
+                                          std::string* error) {
+#if !defined(CONFANON_HAVE_MMAP)
+  SetError(error, "mmap", path, ENOTSUP);
+  return std::nullopt;
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    SetError(error, "open", path, errno);
+    return std::nullopt;
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    SetError(error, "stat", path, errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    // Pipes, devices and directories have no stable size to map; the
+    // caller falls back to the streaming read.
+    SetError(error, "mmap (not a regular file)", path, EINVAL);
+    ::close(fd);
+    return std::nullopt;
+  }
+  MappedFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ == 0) {
+    // mmap rejects zero-length mappings; an empty view needs no mapping.
+    ::close(fd);
+    return file;
+  }
+  void* data = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is
+  // not needed past this point either way.
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    SetError(error, "mmap", path, errno);
+    return std::nullopt;
+  }
+  file.data_ = data;
+  file.mapped_ = true;
+  return file;
+#endif
+}
+
+// --- whole-file read ------------------------------------------------------
+
+std::optional<std::string> ReadFileFully(const std::string& path,
+                                         std::string* error,
+                                         std::uint64_t* read_ns) {
+  const std::uint64_t start = NowNs();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    SetError(error, "open", path, errno);
+    return std::nullopt;
+  }
+  struct stat st = {};
+  std::size_t size_hint = 0;
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    size_hint = static_cast<std::size_t>(st.st_size);
+  }
+  std::string contents;
+  contents.resize(size_hint);
+  std::size_t filled = 0;
+  for (;;) {
+    if (filled == contents.size()) {
+      // stat lied (proc files, growing logs): extend in large steps.
+      contents.resize(contents.size() + (64 << 10));
+    }
+    const ssize_t n =
+        ::read(fd, contents.data() + filled, contents.size() - filled);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, "read", path, errno);
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    filled += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  contents.resize(filled);
+  if (read_ns != nullptr) *read_ns = NowNs() - start;
+  return contents;
+}
+
+std::optional<FileContents> ReadFileContents(const std::string& path,
+                                             std::string* error,
+                                             std::size_t mmap_threshold) {
+#if defined(CONFANON_HAVE_MMAP)
+  {
+    const std::uint64_t start = NowNs();
+    std::string mmap_error;
+    auto mapped = MappedFile::Map(path, &mmap_error);
+    if (mapped && mapped->size() >= mmap_threshold) {
+      FileContents contents;
+      auto holder = std::make_shared<MappedFile>(std::move(*mapped));
+      contents.view = holder->view();
+      contents.backing = std::move(holder);
+      contents.mapped = true;
+      contents.read_ns = NowNs() - start;
+      return contents;
+    }
+    // Small regular files fall through to the plain read (one tiny
+    // allocation beats a page-granular mapping); so do mapping failures
+    // of any kind — the read below produces the authoritative error.
+  }
+#else
+  (void)mmap_threshold;
+#endif
+  std::uint64_t read_ns = 0;
+  auto text = ReadFileFully(path, error, &read_ns);
+  if (!text) return std::nullopt;
+  FileContents contents;
+  auto holder = std::make_shared<std::string>(std::move(*text));
+  contents.view = *holder;
+  contents.backing = std::move(holder);
+  contents.read_ns = read_ns;
+  return contents;
+}
+
+// --- BufferedWriter -------------------------------------------------------
+
+BufferedWriter::BufferedWriter(std::size_t flush_bytes)
+    : flush_bytes_(flush_bytes) {
+  buffer_.reserve(flush_bytes_);
+}
+
+BufferedWriter::~BufferedWriter() {
+  Close();
+}
+
+bool BufferedWriter::Open(const std::string& path, std::string* error) {
+  Close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    ok_ = false;
+    error_ = ErrnoMessage("open", path, errno);
+    if (error != nullptr) *error = error_;
+    return false;
+  }
+  ok_ = true;
+  error_.clear();
+  buffer_.clear();
+  return true;
+}
+
+bool BufferedWriter::Flush() {
+  if (fd_ < 0 || !ok_) {
+    buffer_.clear();
+    return ok_;
+  }
+  const std::uint64_t start = NowNs();
+  std::size_t offset = 0;
+  while (offset < buffer_.size()) {
+    const ssize_t n =
+        ::write(fd_, buffer_.data() + offset, buffer_.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok_ = false;
+      error_ = ErrnoMessage("write", "output", errno);
+      break;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  bytes_written_ += offset;
+  write_ns_ += NowNs() - start;
+  buffer_.clear();
+  return ok_;
+}
+
+bool BufferedWriter::Close() {
+  if (fd_ < 0) return ok_;
+  Flush();
+  if (::close(fd_) != 0 && ok_) {
+    ok_ = false;
+    error_ = ErrnoMessage("close", "output", errno);
+  }
+  fd_ = -1;
+  return ok_;
+}
+
+}  // namespace confanon::util

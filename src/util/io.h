@@ -1,0 +1,157 @@
+// Zero-copy file ingest and batched egress.
+//
+// The paper's headline corpus is 4.3M config lines across 7655 files;
+// at that scale the I/O layer — not the anonymization kernels — becomes
+// the bottleneck if every file pays two full copies on the way in
+// (ifstream -> stringstream -> string) and a per-line string round trip
+// on the way out. This header centralizes both directions:
+//
+//   * MappedFile — a read-only mmap of a regular file. The kernel pages
+//     the bytes in on demand and the tokenizer's string_views point
+//     straight at the page cache: zero copies end to end.
+//   * ReadFileFully — the fallback (and the non-Linux / non-regular-file
+//     path): stat for the size, reserve once, read(2) in large chunks.
+//     One allocation, one copy — still strictly better than the
+//     historical double-copy stream idiom.
+//   * ReadFileContents — policy front door: mmap when the file is a
+//     regular file large enough to amortize the syscall, single-
+//     allocation read otherwise. Returns a FileContents whose backing
+//     (mapping or owned string) is shared_ptr-held, so config::ConfigFile
+//     can alias it without copying.
+//   * BufferedWriter — appends rendered output into one reusable buffer
+//     and flushes with large write(2)s; no per-line ostream round trips.
+//
+// Every reader/writer reports bytes and nanoseconds so callers can feed
+// the io.* metrics (io.bytes_read, io.bytes_written, io.read_ns,
+// io.write_ns, io.mmap_files — see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace confanon::util {
+
+/// A read-only memory mapping of a regular file. Move-only; the mapping
+/// is released on destruction. Empty files map to an empty view without
+/// touching mmap (POSIX forbids zero-length mappings).
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Returns nullopt (and an errno-bearing
+  /// message in `error`, when non-null) if the file cannot be opened,
+  /// statted, is not a regular file, or the mapping fails.
+  static std::optional<MappedFile> Map(const std::string& path,
+                                       std::string* error = nullptr);
+
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::string_view view() const {
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;  // false for the empty-file sentinel
+};
+
+/// The bytes of one file plus how they got here. `view` aliases
+/// `backing`, which keeps either a MappedFile or the owned string alive;
+/// copies share the backing.
+struct FileContents {
+  std::string_view view;
+  std::shared_ptr<const void> backing;
+  bool mapped = false;        // true when `view` aliases an mmap
+  std::uint64_t read_ns = 0;  // open+map / open+read wall time
+};
+
+/// Single-allocation whole-file read: stat for the size hint, resize
+/// once, then read(2) until EOF (files that grow between stat and read
+/// are still read fully). Returns nullopt with an errno-bearing message
+/// in `error` on failure. `read_ns`, when non-null, receives the wall
+/// time spent in the open/read syscalls.
+std::optional<std::string> ReadFileFully(const std::string& path,
+                                         std::string* error = nullptr,
+                                         std::uint64_t* read_ns = nullptr);
+
+/// Policy front door: mmap regular files of at least `mmap_threshold`
+/// bytes (pass 0 to force-map every regular file, SIZE_MAX to disable
+/// mapping); everything else — small files, pipes, /dev/stdin, non-Linux
+/// builds — goes through ReadFileFully. Returns nullopt with an
+/// errno-bearing `error` when both paths fail.
+std::optional<FileContents> ReadFileContents(
+    const std::string& path, std::string* error = nullptr,
+    std::size_t mmap_threshold = 16 * 1024);
+
+/// Batched output writer: Append() into one reusable buffer, flushed
+/// with large write(2)s whenever it crosses the flush threshold (and on
+/// Close). The buffer is retained across Open() calls, so a steady-state
+/// corpus writer performs no heap traffic at all.
+class BufferedWriter {
+ public:
+  /// `flush_bytes` is the buffered high-water mark before an automatic
+  /// flush; the buffer reserves this much up front.
+  explicit BufferedWriter(std::size_t flush_bytes = 1 << 20);
+  ~BufferedWriter();
+  BufferedWriter(const BufferedWriter&) = delete;
+  BufferedWriter& operator=(const BufferedWriter&) = delete;
+
+  /// Opens (creates/truncates) `path`. Any previously open file is
+  /// closed first. Returns false with an errno-bearing `error`.
+  bool Open(const std::string& path, std::string* error = nullptr);
+
+  /// Buffers `text`, flushing to the file when the threshold is crossed.
+  /// Append never fails; write errors surface on the flush boundary via
+  /// ok()/Close().
+  void Append(std::string_view text) {
+    buffer_.append(text.data(), text.size());
+    if (buffer_.size() >= flush_bytes_) Flush();
+  }
+  void Append(char c) {
+    buffer_.push_back(c);
+    if (buffer_.size() >= flush_bytes_) Flush();
+  }
+
+  /// Writes the buffered bytes now. Returns false (and latches !ok())
+  /// when the underlying write fails.
+  bool Flush();
+
+  /// Flushes and closes. Returns false if any write or the close failed
+  /// since Open; the error message is available via error().
+  bool Close();
+
+  /// False once any write has failed; sticky until the next Open.
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes handed to write(2) and wall time spent there, across the
+  /// writer's lifetime (monotonic; the io.bytes_written / io.write_ns
+  /// source).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t write_ns() const { return write_ns_; }
+
+ private:
+  int fd_ = -1;
+  std::size_t flush_bytes_;
+  std::string buffer_;
+  bool ok_ = true;
+  std::string error_;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t write_ns_ = 0;
+};
+
+/// "<verb> <path>: <strerror(errno)>" — the uniform errno-bearing
+/// diagnostic used by every reader/writer above.
+std::string ErrnoMessage(std::string_view verb, std::string_view path,
+                         int errno_value);
+
+}  // namespace confanon::util

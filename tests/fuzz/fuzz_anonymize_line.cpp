@@ -78,23 +78,21 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
 // Standalone replay driver for toolchains without -fsanitize=fuzzer:
 // feeds every file named on the command line through the fuzz entry
 // point once. Exit 0 means no property tripped.
-#include <fstream>
 #include <iostream>
-#include <sstream>
+
+#include "util/io.h"
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    std::ifstream in(argv[i], std::ios::binary);
-    if (!in) {
-      std::cerr << "cannot open " << argv[i] << "\n";
+    std::string error;
+    const auto bytes = confanon::util::ReadFileFully(argv[i], &error);
+    if (!bytes) {
+      std::cerr << error << "\n";
       return 1;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string bytes = buffer.str();
     LLVMFuzzerTestOneInput(
-        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
-    std::cout << "replayed " << argv[i] << " (" << bytes.size()
+        reinterpret_cast<const std::uint8_t*>(bytes->data()), bytes->size());
+    std::cout << "replayed " << argv[i] << " (" << bytes->size()
               << " bytes)\n";
   }
   return 0;

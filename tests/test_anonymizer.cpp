@@ -191,7 +191,7 @@ TEST(Anonymizer, SubnetContainsPreserved) {
       "router rip\n network 1.0.0.0\n")});
   // Re-extract the two addresses and check containment survived.
   std::optional<net::Ipv4Address> iface, network;
-  for (const std::string& line : out.front().lines()) {
+  for (const std::string_view line : out.front().lines()) {
     const auto words = util::SplitWords(line);
     for (std::size_t i = 0; i + 1 < words.size(); ++i) {
       if (words[i] == "address") iface = net::Ipv4Address::Parse(words[i + 1]);

@@ -118,7 +118,7 @@ TEST(AuditPair, RenamedUseSiteIsCaught) {
   // different (well-formed) hash token.
   bool mutated = false;
   for (std::size_t f = 0; f < post.size() && !mutated; ++f) {
-    std::vector<std::string> lines = post[f].lines();
+    std::vector<std::string> lines(post[f].lines().begin(), post[f].lines().end());
     for (std::size_t i = lines.size(); i-- > 0 && !mutated;) {
       const std::size_t at = FindHashToken(lines[i]);
       if (at == std::string::npos) continue;
@@ -143,7 +143,7 @@ TEST(AuditPair, DroppedDefinitionIsCaught) {
   // Drop one definition line (a route-map or prefix-list header).
   std::string mutated_file;
   for (std::size_t f = 0; f < post.size() && mutated_file.empty(); ++f) {
-    std::vector<std::string> lines = post[f].lines();
+    std::vector<std::string> lines(post[f].lines().begin(), post[f].lines().end());
     for (std::size_t i = 0; i < lines.size(); ++i) {
       if (lines[i].rfind("route-map ", 0) == 0 ||
           lines[i].rfind("ip prefix-list ", 0) == 0) {
@@ -169,7 +169,7 @@ TEST(AuditPair, ReinsertedOriginalIdentifierIsCaught) {
   // original back everywhere in that file (shape-preserving, so the file
   // still pairs — only AUD-P005/P003 can catch it).
   std::string original;
-  for (const std::string& line : pre[0].lines()) {
+  for (const std::string_view line : pre[0].lines()) {
     if (line.rfind("hostname ", 0) == 0) {
       original = line.substr(std::string("hostname ").size());
       break;
@@ -177,7 +177,7 @@ TEST(AuditPair, ReinsertedOriginalIdentifierIsCaught) {
   }
   ASSERT_FALSE(original.empty());
   std::string hashed;
-  std::vector<std::string> lines = post[0].lines();
+  std::vector<std::string> lines(post[0].lines().begin(), post[0].lines().end());
   for (const std::string& line : lines) {
     if (line.rfind("hostname ", 0) == 0) {
       hashed = line.substr(std::string("hostname ").size());

@@ -128,7 +128,7 @@ gen::NetworkSpec Sample(std::uint64_t seed, int routers = 14) {
 TEST(ConfigWriter, WildcardMasksComplementNetmasks) {
   const auto network = Sample(71);
   for (const auto& file : WriteNetworkConfigs(network)) {
-    for (const std::string& raw : file.lines()) {
+    for (const std::string_view raw : file.lines()) {
       const auto split = config::SplitConfigLine(raw);
       if (split.words.size() >= 5 && split.words[0] == "network" &&
           util::ToLower(split.words[3]) == "area") {
@@ -155,7 +155,7 @@ TEST(ConfigWriter, EveryInterfaceBlockHasAddress) {
   for (const auto& file : WriteNetworkConfigs(network)) {
     bool in_interface = false;
     bool saw_address = true;
-    for (const std::string& raw : file.lines()) {
+    for (const std::string_view raw : file.lines()) {
       const auto split = config::SplitConfigLine(raw);
       if (split.words.empty()) continue;
       if (split.indent == 0) {

@@ -121,7 +121,7 @@ TEST(Generator, CommandKeywordsAllPassListed) {
   std::set<std::string> missing;
   for (const auto& file : configs) {
     bool in_banner = false;
-    for (const std::string& line : file.lines()) {
+    for (const std::string_view line : file.lines()) {
       const auto split = config::SplitConfigLine(line);
       if (split.words.empty()) continue;
       const std::string first = util::ToLower(split.words[0]);

@@ -1,0 +1,197 @@
+// Ingest/egress edge cases over util/io.{h,cpp} and the buffer-backed
+// ConfigFile splitter: CRLF, missing trailing newlines, empty files,
+// lone carriage returns, embedded NULs, mmap-vs-read equality, and the
+// BufferedWriter flush/accounting contract.
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/document.h"
+#include "util/io.h"
+
+namespace confanon {
+namespace {
+
+std::filesystem::path WriteTemp(const std::string& name,
+                                std::string_view bytes) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / name;
+  util::BufferedWriter writer;
+  std::string error;
+  EXPECT_TRUE(writer.Open(path.string(), &error)) << error;
+  writer.Append(bytes);
+  EXPECT_TRUE(writer.Close()) << writer.error();
+  return path;
+}
+
+std::vector<std::string> Lines(const config::ConfigFile& file) {
+  return std::vector<std::string>(file.lines().begin(), file.lines().end());
+}
+
+TEST(ReadFileFully, ReadsExactBytes) {
+  const auto path = WriteTemp("io_exact.cfg", "hostname r1\n!\nend\n");
+  std::uint64_t read_ns = 0;
+  std::string error;
+  const auto text = util::ReadFileFully(path.string(), &error, &read_ns);
+  ASSERT_TRUE(text.has_value()) << error;
+  EXPECT_EQ(*text, "hostname r1\n!\nend\n");
+  EXPECT_GT(read_ns, 0u);
+}
+
+TEST(ReadFileFully, MissingFileCarriesErrno) {
+  std::string error;
+  const auto text = util::ReadFileFully("/nonexistent/io.cfg", &error);
+  EXPECT_FALSE(text.has_value());
+  EXPECT_NE(error.find("/nonexistent/io.cfg"), std::string::npos) << error;
+}
+
+TEST(MappedFile, EmptyFileMapsToEmptyView) {
+  const auto path = WriteTemp("io_empty.cfg", "");
+  std::string error;
+  const auto mapped = util::MappedFile::Map(path.string(), &error);
+  ASSERT_TRUE(mapped.has_value()) << error;
+  EXPECT_TRUE(mapped->view().empty());
+}
+
+TEST(MappedFile, RejectsNonRegularFile) {
+  std::string error;
+  EXPECT_FALSE(util::MappedFile::Map("/dev/null", &error).has_value());
+}
+
+TEST(ReadFileContents, NonRegularFileFallsBackToRead) {
+  std::string error;
+  const auto contents = util::ReadFileContents("/dev/null", &error);
+  ASSERT_TRUE(contents.has_value()) << error;
+  EXPECT_FALSE(contents->mapped);
+  EXPECT_TRUE(contents->view.empty());
+}
+
+TEST(ReadFileContents, MmapAndReadAgreeOnAwkwardBytes) {
+  // CRLF line, embedded NUL, no trailing newline.
+  const std::string bytes = std::string("line one\r\nnul ") +
+                            std::string(1, '\0') + " byte\nlast";
+  const auto path = WriteTemp("io_awkward.cfg", bytes);
+
+  std::string error;
+  const auto mapped =
+      util::ReadFileContents(path.string(), &error, /*mmap_threshold=*/0);
+  ASSERT_TRUE(mapped.has_value()) << error;
+  EXPECT_TRUE(mapped->mapped);
+
+  const auto copied = util::ReadFileContents(path.string(), &error,
+                                             /*mmap_threshold=*/SIZE_MAX);
+  ASSERT_TRUE(copied.has_value()) << error;
+  EXPECT_FALSE(copied->mapped);
+
+  EXPECT_EQ(mapped->view, std::string_view(bytes));
+  EXPECT_EQ(mapped->view, copied->view);
+
+  // Both backings split to the same lines through ConfigFile.
+  const auto from_map = config::ConfigFile::FromBacking(
+      "awkward.cfg", mapped->view, mapped->backing);
+  const auto from_read = config::ConfigFile::FromBacking(
+      "awkward.cfg", copied->view, copied->backing);
+  EXPECT_EQ(Lines(from_map), Lines(from_read));
+}
+
+TEST(ConfigFileSplit, StripsOneCarriageReturnPerCrlfLine) {
+  const auto file =
+      config::ConfigFile::FromText("crlf.cfg", "a\r\nb\r\nc\r\r\n");
+  EXPECT_EQ(Lines(file), (std::vector<std::string>{"a", "b", "c\r"}));
+}
+
+TEST(ConfigFileSplit, MissingTrailingNewlineKeepsLastLine) {
+  const auto file = config::ConfigFile::FromText("tail.cfg", "a\nb");
+  EXPECT_EQ(Lines(file), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ConfigFileSplit, EmptyInputHasNoLines) {
+  const auto file = config::ConfigFile::FromText("empty.cfg", "");
+  EXPECT_TRUE(file.lines().empty());
+  EXPECT_EQ(file.ToText(), "");
+  EXPECT_EQ(file.TextBytes(), 0u);
+}
+
+TEST(ConfigFileSplit, LoneCarriageReturnBecomesEmptyLine) {
+  const auto file = config::ConfigFile::FromText("cr.cfg", "\r");
+  EXPECT_EQ(Lines(file), (std::vector<std::string>{""}));
+}
+
+TEST(ConfigFileSplit, EmbeddedNulSurvives) {
+  const std::string text = std::string("a") + std::string(1, '\0') + "b\n";
+  const auto file = config::ConfigFile::FromText("nul.cfg", text);
+  ASSERT_EQ(file.lines().size(), 1u);
+  EXPECT_EQ(file.lines()[0],
+            std::string_view(std::string("a") + std::string(1, '\0') + "b"));
+  EXPECT_EQ(file.ToText(), text);
+}
+
+TEST(ConfigFileSplit, NewlineTerminatedTextRoundTrips) {
+  const std::string text = "interface Serial0\n ip address 10.0.0.1\n!\n";
+  const auto file = config::ConfigFile::FromText("rt.cfg", text);
+  EXPECT_EQ(file.ToText(), text);
+  EXPECT_EQ(file.TextBytes(), text.size());
+}
+
+TEST(ConfigFile, CopyOnWriteLeavesOriginalIntact) {
+  const auto original = config::ConfigFile::FromText("cow.cfg", "a\nb\n");
+  config::ConfigFile copy = original;
+  copy.mutable_lines()[0] = "changed";
+  EXPECT_EQ(Lines(original), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(Lines(copy), (std::vector<std::string>{"changed", "b"}));
+  EXPECT_EQ(copy.ToText(), "changed\nb\n");
+}
+
+TEST(BufferedWriter, FlushesAcrossThresholdAndAccounts) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "io_writer.cfg";
+  util::BufferedWriter writer(/*flush_bytes=*/4);
+  std::string error;
+  ASSERT_TRUE(writer.Open(path.string(), &error)) << error;
+  writer.Append("hostname ");
+  writer.Append('r');
+  writer.Append("1\n");
+  ASSERT_TRUE(writer.Close()) << writer.error();
+  EXPECT_EQ(writer.bytes_written(), 12u);
+  EXPECT_GT(writer.write_ns(), 0u);
+
+  const auto text = util::ReadFileFully(path.string(), &error);
+  ASSERT_TRUE(text.has_value()) << error;
+  EXPECT_EQ(*text, "hostname r1\n");
+
+  // The writer (and its accounting) is reusable across Open calls.
+  ASSERT_TRUE(writer.Open(path.string(), &error)) << error;
+  writer.Append("x\n");
+  ASSERT_TRUE(writer.Close()) << writer.error();
+  EXPECT_EQ(writer.bytes_written(), 14u);
+}
+
+TEST(BufferedWriter, OpenFailureCarriesErrno) {
+  util::BufferedWriter writer;
+  std::string error;
+  EXPECT_FALSE(writer.Open("/nonexistent-dir/out.cfg", &error));
+  EXPECT_NE(error.find("/nonexistent-dir/out.cfg"), std::string::npos)
+      << error;
+}
+
+TEST(BufferedWriter, AppendToWritesConfigVerbatim) {
+  const auto file =
+      config::ConfigFile::FromText("verbatim.cfg", "a\nb b\n!\n");
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "io_verbatim.cfg";
+  util::BufferedWriter writer;
+  std::string error;
+  ASSERT_TRUE(writer.Open(path.string(), &error)) << error;
+  file.AppendTo(writer);
+  ASSERT_TRUE(writer.Close()) << writer.error();
+  const auto text = util::ReadFileFully(path.string(), &error);
+  ASSERT_TRUE(text.has_value()) << error;
+  EXPECT_EQ(*text, "a\nb b\n!\n");
+}
+
+}  // namespace
+}  // namespace confanon

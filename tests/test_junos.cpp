@@ -99,7 +99,7 @@ TEST(JunosWriter, BalancedBraces) {
   const auto network = SampleNetwork();
   for (const auto& file : WriteJunosNetworkConfigs(network)) {
     int depth = 0;
-    for (const std::string& raw : file.lines()) {
+    for (const std::string_view raw : file.lines()) {
       for (char c : raw) {
         if (c == '{') ++depth;
         if (c == '}') --depth;
@@ -287,7 +287,7 @@ TEST(JunosAnonymizer, StructurePreservedEndToEnd) {
   for (std::size_t i = 0; i < pre.size(); ++i) {
     EXPECT_EQ(post[i].LineCount(), pre[i].LineCount());
     int depth = 0;
-    for (const std::string& raw : post[i].lines()) {
+    for (const std::string_view raw : post[i].lines()) {
       for (char c : raw) {
         if (c == '{') ++depth;
         if (c == '}') --depth;

@@ -46,7 +46,7 @@ std::vector<LeakFinding> ReferenceScan(
   std::vector<LeakFinding> findings;
   for (const config::ConfigFile& file : corpus) {
     for (std::size_t i = 0; i < file.lines().size(); ++i) {
-      std::string folded = file.lines()[i];
+      std::string folded(file.lines()[i]);
       std::transform(folded.begin(), folded.end(), folded.begin(), FoldChar);
       for (const auto& [pattern, kind] : patterns) {
         std::string needle = pattern;
@@ -59,7 +59,7 @@ std::vector<LeakFinding> ReferenceScan(
               end == folded.size() || !IsWordChar(folded[end]);
           if (!left_ok || !right_ok) continue;
           findings.push_back(
-              LeakFinding{file.name(), i, file.lines()[i], pattern, kind});
+              LeakFinding{file.name(), i, std::string(file.lines()[i]), pattern, kind});
           break;  // at most one report per identifier per line
         }
       }

@@ -19,9 +19,16 @@ Tolerances come from a noise file (--noise), a JSON object:
       "default_tolerance_pct": 25.0,
       "metrics": {
         "core.line_ns":  {"tolerance_pct": 25.0, "gate": true},
-        "hash.lane_fill": {"tolerance_pct": 10.0}
+        "hash.lane_fill": {"tolerance_pct": 10.0},
+        "scale.lines_per_s": {"tolerance_pct": 30.0,
+                              "higher_is_better": true}
       }
     }
+
+A metric entry may set "higher_is_better": true to invert the regression
+direction (a p50 DROP beyond tolerance regresses, and best-of-runs takes
+the maximum) — throughput metrics like scale.lines_per_s read this way.
+`*.lane_fill` histograms are inverted implicitly for compatibility.
 
 A metric regressing beyond its tolerance emits a GitHub Actions
 annotation. Only metrics marked "gate": true fail the run (exit 1)
@@ -34,8 +41,8 @@ Two special cases for the batched word-hash instrumentation:
   * `*.lane_fill` histograms count lanes per flush, not nanoseconds —
     HIGHER is better, so the regression direction is inverted (a p50
     DROP beyond tolerance regresses) and min-of-runs becomes max.
-  * `hash.*` counters (batched_words, batch_flushes) are diffed in a
-    separate warn-only table; batching silently turning off
+  * `hash.*`, `io.*`, and `scale.*` counters are diffed in a separate
+    warn-only table; word-hash batching silently turning off
     (baseline > 0, current == 0) warns.
 """
 
@@ -52,24 +59,32 @@ def histogram_p50s(doc):
     }
 
 
-def hash_counters(doc):
+INFO_COUNTER_PREFIXES = ("hash.", "io.", "scale.")
+
+
+def info_counters(doc):
     return {
         name: value
         for name, value in doc.get("metrics", {}).get("counters", {}).items()
-        if name.startswith("hash.")
+        if name.startswith(INFO_COUNTER_PREFIXES)
     }
 
 
-def lower_is_better(name):
+def lower_is_better(name, metric_noise):
     # lane_fill counts live lanes per batch flush (max 4): a drop means
     # the batcher is flushing emptier, which is the regression direction.
-    return not name.endswith(".lane_fill") and not name == "hash.lane_fill"
+    # Throughput metrics declare the same inversion in the noise file via
+    # "higher_is_better": true.
+    if name.endswith(".lane_fill"):
+        return False
+    return not metric_noise.get(name, {}).get("higher_is_better", False)
 
 
-def best_of_runs(runs, name):
+def best_of_runs(runs, name, metric_noise):
     """Min across runs for latencies, max for inverted metrics."""
     values = [p50s[name] for p50s in runs if name in p50s]
-    return min(values) if lower_is_better(name) else max(values)
+    return (min(values) if lower_is_better(name, metric_noise)
+            else max(values))
 
 
 def load_noise(path):
@@ -123,13 +138,14 @@ def main():
           f"{'change':>9} {'tol':>6}")
     for name in shared:
         base = base_p50s[name]
-        cur = best_of_runs(runs, name)
+        cur = best_of_runs(runs, name, metric_noise)
         noise = metric_noise.get(name, {})
         tol = noise.get("tolerance_pct", default_tol)
         gated = bool(noise.get("gate", False))
         change = (cur - base) / base * 100.0 if base > 0 else 0.0
-        # Regression = p50 up for latencies, p50 down for lane_fill.
-        regressed = (change > tol if lower_is_better(name)
+        # Regression = p50 up for latencies, p50 down for inverted
+        # (higher-is-better) metrics.
+        regressed = (change > tol if lower_is_better(name, metric_noise)
                      else change < -tol)
         marker = ""
         if regressed:
@@ -143,20 +159,20 @@ def main():
     if only:
         print(f"(not in baseline: {', '.join(only)})")
 
-    # hash.* counters: informational diff, warn-only, never fails. Only
-    # the first current run is shown — counters are deterministic, so the
-    # runs agree.
-    base_hash = hash_counters(baseline)
+    # hash.* / io.* / scale.* counters: informational diff, warn-only,
+    # never fails. Only the first current run is shown — counters are
+    # deterministic, so the runs agree.
+    base_info = info_counters(baseline)
     with open(args.current[0]) as f:
-        cur_hash = hash_counters(json.load(f))
-    hash_names = sorted(set(base_hash) | set(cur_hash))
-    if hash_names:
-        print(f"\n{'hash counter':<24} {'baseline':>14} {'current':>14}")
-        for name in hash_names:
-            base = base_hash.get(name, 0)
-            cur = cur_hash.get(name, 0)
+        cur_info = info_counters(json.load(f))
+    info_names = sorted(set(base_info) | set(cur_info))
+    if info_names:
+        print(f"\n{'counter':<24} {'baseline':>14} {'current':>14}")
+        for name in info_names:
+            base = base_info.get(name, 0)
+            cur = cur_info.get(name, 0)
             print(f"{name:<24} {base:>14} {cur:>14}")
-            if base > 0 and cur == 0:
+            if name.startswith("hash.") and base > 0 and cur == 0:
                 print(f"::warning::bench: {name} dropped to 0 "
                       f"(was {base}) — word-hash batching disabled?")
 
