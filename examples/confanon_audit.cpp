@@ -1,17 +1,28 @@
-// confanon_audit: map-free static audit of config corpora (docs/AUDIT.md).
+// confanon_audit: map-free static audit of config corpora (docs/AUDIT.md)
+// and static verification of anonymization policies (docs/VERIFY.md).
 //
 // Usage:
 //   confanon_audit [options] DIR             residue lint of one corpus
 //   confanon_audit --pre DIR --post DIR      pre/post isomorphism check
+//   confanon_audit --policy [options]        static policy verification
 //
 // Options:
 //   --threads N     worker threads for per-file scanning (0 = all cores)
 //   --ios/--junos   force the dialect (default: per-file auto-detection)
 //   --sarif FILE    also write the findings as SARIF 2.1.0
-//   --metrics FILE  write the audit.* metrics snapshot as JSON
+//   --metrics FILE  write the audit.*/verify.* metrics snapshot as JSON
+//
+// Policy-mode options (see docs/VERIFY.md):
+//   --passlist FILE additional pass-list entries, one token per line,
+//                   merged onto both dialect baselines (the daemon's
+//                   per-tenant shape)
+//   --disable RULE  disable an anonymizer rule (repeatable; the verifier
+//                   reports the uncovered value class)
+//   --strict        also fail (exit 3) on warning findings
 //
 // Exit codes: 0 = clean, 1 = I/O error, 2 = usage error, 3 = audit found
-// error-severity findings. Warnings and notes never fail the run.
+// error-severity findings (or warnings under --strict). Warnings and
+// notes otherwise never fail the run.
 //
 // The auditor holds no anonymizer state — no maps, no salt. A single
 // trailing ".cfg" is stripped from loaded file names so corpus-internal
@@ -28,15 +39,44 @@
 #include "audit/audit.h"
 #include "audit/sarif.h"
 #include "config/document.h"
+#include "core/anonymizer.h"
+#include "passlist/passlist.h"
 #include "util/io.h"
+#include "util/strings.h"
 #include "obs/metrics.h"
+#include "verify/verify.h"
 
 namespace {
 
 void Usage() {
   std::cerr << "usage: confanon_audit [--threads N] [--ios|--junos] "
                "[--sarif FILE] [--metrics FILE] DIR\n"
-               "       confanon_audit --pre DIR --post DIR [options]\n";
+               "       confanon_audit --pre DIR --post DIR [options]\n"
+               "       confanon_audit --policy [--passlist FILE] "
+               "[--disable RULE] [--strict] [options]\n";
+}
+
+/// Loads one token per line (blank lines and '#' comments skipped) into
+/// an extra pass-list, the same shape the daemon accepts per tenant.
+bool LoadPassListFile(const std::string& path,
+                      confanon::passlist::PassList& out) {
+  std::string error;
+  const auto text = confanon::util::ReadFileFully(path, &error);
+  if (!text) {
+    std::cerr << "confanon_audit: " << error << "\n";
+    return false;
+  }
+  std::string_view rest = *text;
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find('\n');
+    const std::string_view line = rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 1);
+    const auto token = confanon::util::Trim(line);
+    if (token.empty() || token.front() == '#') continue;
+    out.Add(token);
+  }
+  return true;
 }
 
 std::string StripCfgSuffix(std::string name) {
@@ -95,7 +135,10 @@ int main(int argc, char** argv) {
   std::string post_dir;
   std::string sarif_path;
   std::string metrics_path;
+  bool policy_mode = false;
+  bool strict = false;
   confanon::audit::AuditOptions options;
+  confanon::core::AnonymizerOptions policy_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -120,6 +163,14 @@ int main(int argc, char** argv) {
       sarif_path = next();
     } else if (arg == "--metrics") {
       metrics_path = next();
+    } else if (arg == "--policy") {
+      policy_mode = true;
+    } else if (arg == "--passlist") {
+      if (!LoadPassListFile(next(), policy_options.extra_pass_list)) return 1;
+    } else if (arg == "--disable") {
+      policy_options.disabled_rules.insert(next());
+    } else if (arg == "--strict") {
+      strict = true;
     } else if (!arg.empty() && arg[0] == '-') {
       Usage();
       return 2;
@@ -131,11 +182,15 @@ int main(int argc, char** argv) {
     }
   }
   const bool pair_mode = !pre_dir.empty() || !post_dir.empty();
+  if (policy_mode && (pair_mode || !lint_dir.empty())) {
+    Usage();
+    return 2;
+  }
   if (pair_mode && (pre_dir.empty() || post_dir.empty() || !lint_dir.empty())) {
     Usage();
     return 2;
   }
-  if (!pair_mode && lint_dir.empty()) {
+  if (!policy_mode && !pair_mode && lint_dir.empty()) {
     Usage();
     return 2;
   }
@@ -144,7 +199,14 @@ int main(int argc, char** argv) {
   options.metrics = &metrics;
 
   confanon::audit::AuditResult result;
-  if (pair_mode) {
+  if (policy_mode) {
+    result = confanon::verify::VerifyEngineOptions(policy_options);
+    // Mirror the verifier's stats into the verify.* metrics family so
+    // --metrics serves the same counters the daemon exposes.
+    for (const auto& [name, value] : result.stats) {
+      metrics.CounterNamed(name).Add(value);
+    }
+  } else if (pair_mode) {
     std::vector<confanon::config::ConfigFile> pre;
     std::vector<confanon::config::ConfigFile> post;
     if (!LoadCorpus(pre_dir, pre) || !LoadCorpus(post_dir, post)) return 1;
@@ -164,5 +226,11 @@ int main(int argc, char** argv) {
       !WriteFile(metrics_path, metrics.Snapshot().ToJson(), "metrics")) {
     return 1;
   }
-  return result.HasErrors() ? 3 : 0;
+  if (result.HasErrors()) return 3;
+  if (strict &&
+      result.CountAtLeast(confanon::audit::Severity::kWarning) >
+          result.ErrorCount()) {
+    return 3;
+  }
+  return 0;
 }

@@ -8,7 +8,7 @@
 //
 //   confanond --salt SECRET [--listen HOST:PORT] [--threads N]
 //             [--workers N] [--queue N] [--max-body BYTES]
-//             [--profile FILE.folded]
+//             [--profile FILE.folded] [--allow-policy-warnings]
 //
 //   --salt SECRET     base secret; tenant T runs with salt "SECRET:T"
 //                     (the confanon_tool --network-dir convention)
@@ -21,6 +21,16 @@
 //   --max-body BYTES  request body cap, answered 413 beyond (default 1MiB)
 //   --profile FILE    write a folded flamegraph profile on shutdown and
 //                     print the per-phase table
+//   --allow-policy-warnings
+//                     start (and accept tenant pass-lists) despite
+//                     warning-severity verifier findings; errors always
+//                     refuse (docs/VERIFY.md)
+//
+// Startup gate: MakeServiceContext statically verifies the anonymization
+// policy (src/verify). A verdict with errors — or warnings without
+// --allow-policy-warnings — prints the most severe finding and exits 1
+// before the listener ever binds: a daemon over a provably leaky policy
+// must not come up.
 //
 // ONE listener serves everything (satellite 2 of the daemon issue): the
 // daemon's /v1/* routes hang off the same obs::ExpositionServer that
@@ -52,7 +62,7 @@ void Usage() {
   std::cerr
       << "usage: confanond --salt SECRET [--listen HOST:PORT] [--threads N]\n"
          "                 [--workers N] [--queue N] [--max-body BYTES]\n"
-         "                 [--profile FILE.folded]\n";
+         "                 [--profile FILE.folded] [--allow-policy-warnings]\n";
 }
 
 bool ParseCount(const std::string& text, std::uint64_t& out) {
@@ -106,6 +116,8 @@ int main(int argc, char** argv) {
       max_body = count;
     } else if (arg == "--profile") {
       profile_out = value("--profile");
+    } else if (arg == "--allow-policy-warnings") {
+      options.allow_policy_warnings = true;
     } else {
       Usage();
       return 2;
@@ -131,7 +143,31 @@ int main(int argc, char** argv) {
   // --- the process-lifetime context and the tenant service over it ---
   std::shared_ptr<core::ServiceContext> context =
       pipeline::MakeServiceContext(options);
+  // Startup gate: refuse to serve over a provably leaky policy. The
+  // verdict was recorded by MakeServiceContext (options.verify_policy).
+  const core::PolicyVerdict& verdict = context->policy_verdict();
+  if (verdict.verified &&
+      (verdict.errors > 0 ||
+       (verdict.warnings > 0 && !options.allow_policy_warnings))) {
+    std::cerr << "confanond: policy verification failed ("
+              << verdict.errors << " errors, " << verdict.warnings
+              << " warnings): " << verdict.first_finding << "\n";
+    if (verdict.errors == 0) {
+      std::cerr << "confanond: pass --allow-policy-warnings to start "
+                   "anyway\n";
+    }
+    return 1;
+  }
   context->install_hooks(hooks);
+  // The startup verdict, visible on /metrics from the first scrape (the
+  // full verify.* counter family accrues whenever /v1/passlist verifies
+  // a tenant list).
+  registry.GaugeNamed("verify.errors")
+      .Set(static_cast<std::int64_t>(verdict.errors));
+  registry.GaugeNamed("verify.warnings")
+      .Set(static_cast<std::int64_t>(verdict.warnings));
+  registry.GaugeNamed("verify.notes")
+      .Set(static_cast<std::int64_t>(verdict.notes));
   service::AnonymizationService anonymization(context);
 
   // --- ONE listener: /metrics + /healthz + the daemon routes ---

@@ -56,6 +56,14 @@ const std::vector<RuleInfo>& RuleCatalog() {
       {"AUD-P004", "Def/use reference graphs of paired files diverge"},
       {"AUD-P005", "Original identifier survived into the anonymized corpus"},
       {"AUD-P006", "Prefix-containment lattice diverges between corpora"},
+      {"VER-001", "Pass-list entry inside a sensitive recognizer language"},
+      {"VER-002", "Pass-list entry unreachable under tokenizer boundary "
+                  "rules"},
+      {"VER-003", "Pass-list entry shadowed by an earlier load"},
+      {"VER-004", "Token passed in one dialect but hashed in the other"},
+      {"VER-005", "Symbol space uncovered: word transform disabled"},
+      {"VER-006", "Value class uncovered: transform rule disabled"},
+      {"VER-007", "Unknown rule name in disabled_rules"},
   };
   return rules;
 }

@@ -24,7 +24,9 @@ struct RuleInfo {
   const char* summary;
 };
 
-/// All rule ids the auditor can emit (lint AUD-R*, pair AUD-P*).
+/// All rule ids the auditor can emit (lint AUD-R*, pair AUD-P*, plus
+/// the static policy verifier's VER-* — src/verify shares this catalog
+/// so one SARIF consumer covers both tools).
 const std::vector<RuleInfo>& RuleCatalog();
 
 /// Renders the result as a SARIF 2.1.0 log with a single run.

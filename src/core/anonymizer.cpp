@@ -105,6 +105,7 @@ Anonymizer::Anonymizer(AnonymizerOptions options,
       state_(shared_state_ ? std::move(state)
                            : std::make_shared<NetworkState>(options_.salt)),
       batcher_(state_->hasher) {
+  pass_list_.Merge(options_.extra_pass_list);
   const auto on = [&](const char* name) {
     return !options_.disabled_rules.contains(name);
   };

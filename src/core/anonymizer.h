@@ -78,6 +78,12 @@ struct AnonymizerOptions {
   /// The pass-list to consult; defaults to the embedded corpus. The
   /// coverage ablation passes a Truncated() copy.
   passlist::PassList pass_list = passlist::PassList::Builtin();
+  /// Additional entries merged on top of the dialect baseline. Unlike
+  /// `pass_list` (which *replaces* the IOS baseline and is ignored by the
+  /// JunOS engine), extras apply in every dialect — this is the field the
+  /// daemon's per-tenant pass-lists land in, and the one the static
+  /// policy verifier (src/verify) checks before a session may be created.
+  passlist::PassList extra_pass_list;
 
   /// Known external entities (paper Section 5): "it might be well known
   /// that all addresses used by AS number X have prefix Y ... If the

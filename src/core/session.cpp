@@ -56,6 +56,7 @@ bool ServiceContext::HasEngineFactory(ConfigDialect dialect) const {
 AnonymizerOptions ServiceContext::EngineOptions(const Session& session) const {
   AnonymizerOptions engine_options = options_.base;
   engine_options.salt = session.salt();
+  engine_options.extra_pass_list.Merge(session.extra_pass_list());
   return engine_options;
 }
 
@@ -75,6 +76,24 @@ std::unique_ptr<AnonymizerEngine> ServiceContext::MakeEngine(
 
 std::shared_ptr<Session> ServiceContext::CreateSession(
     std::string_view salt) const {
+  const PolicyVerdict& verdict = policy_verdict_;
+  if (verdict.verified) {
+    if (verdict.errors > 0) {
+      throw PolicyError(
+          "policy verification failed with " +
+              std::to_string(verdict.errors) + " error finding(s): " +
+              verdict.first_finding,
+          verdict);
+    }
+    if (verdict.warnings > 0 && !options_.allow_policy_warnings) {
+      throw PolicyError(
+          "policy verification produced " +
+              std::to_string(verdict.warnings) +
+              " warning(s) (pass --allow-policy-warnings to proceed): " +
+              verdict.first_finding,
+          verdict);
+    }
+  }
   return std::make_shared<Session>(*this, salt);
 }
 
@@ -85,6 +104,15 @@ std::shared_ptr<Session> ServiceContext::CreateSession() const {
 Session::Session(const ServiceContext& context, std::string_view salt)
     : salt_(salt), state_(std::make_shared<NetworkState>(salt)) {
   (void)context;  // the pairing is the API; nothing is read today
+}
+
+void Session::SetExtraPassList(passlist::PassList extras) {
+  if (requests() > 0) {
+    throw std::logic_error(
+        "SetExtraPassList after the session served requests would break "
+        "referential integrity");
+  }
+  extras_ = std::move(extras);
 }
 
 void Session::MergeRequest(const AnonymizationReport& report,

@@ -49,6 +49,35 @@
 
 namespace confanon::core {
 
+/// Outcome of the static policy verification pass (src/verify) over a
+/// context's anonymization policy. Core only carries the verdict — the
+/// analyses live in verify, and pipeline::MakeServiceContext runs them —
+/// so a context built directly (verified == false) gates nothing.
+struct PolicyVerdict {
+  /// True once a verification pass actually ran and filled the counts.
+  bool verified = false;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+  /// "VER-001 <message>" of the most severe finding, for error text.
+  std::string first_finding;
+
+  bool Clean() const { return errors == 0 && warnings == 0; }
+};
+
+/// Thrown by ServiceContext::CreateSession when the verified policy has
+/// error findings (or warnings without allow_policy_warnings): a session
+/// over a provably leaky policy must never come into existence.
+class PolicyError : public std::runtime_error {
+ public:
+  PolicyError(const std::string& message, PolicyVerdict verdict)
+      : std::runtime_error(message), verdict_(std::move(verdict)) {}
+  const PolicyVerdict& verdict() const { return verdict_; }
+
+ private:
+  PolicyVerdict verdict_;
+};
+
 /// Which rule pack handles a config file. kAuto defers to the per-file
 /// brace-structure heuristic (DetectDialect).
 enum class ConfigDialect {
@@ -79,6 +108,12 @@ struct ServiceOptions {
   std::size_t batch_size = 4;
   /// Dialect routing; kAuto detects per file.
   ConfigDialect dialect = ConfigDialect::kAuto;
+  /// Run the static policy verifier (src/verify) at context build time
+  /// (honored by pipeline::MakeServiceContext; plain ServiceContext
+  /// construction never verifies) and gate CreateSession on the verdict.
+  bool verify_policy = true;
+  /// Permit sessions when verification produced warnings (never errors).
+  bool allow_policy_warnings = false;
 };
 
 class Session;
@@ -132,13 +167,25 @@ class ServiceContext {
   void install_hooks(const obs::Hooks& hooks) { hooks_ = hooks; }
   const obs::Hooks& hooks() const { return hooks_; }
 
-  /// A fresh session salted with `salt` (or the base salt).
+  /// Setup-time: records the static verifier's verdict over this
+  /// context's policy (pipeline::MakeServiceContext calls this when
+  /// options.verify_policy is set). Until called, the verdict is
+  /// unverified and CreateSession gates nothing.
+  void SetPolicyVerdict(PolicyVerdict verdict) {
+    policy_verdict_ = std::move(verdict);
+  }
+  const PolicyVerdict& policy_verdict() const { return policy_verdict_; }
+
+  /// A fresh session salted with `salt` (or the base salt). Throws
+  /// PolicyError when a recorded policy verdict has errors, or warnings
+  /// without options().allow_policy_warnings.
   std::shared_ptr<Session> CreateSession(std::string_view salt) const;
   std::shared_ptr<Session> CreateSession() const;
 
  private:
   ServiceOptions options_;
   obs::Hooks hooks_;
+  PolicyVerdict policy_verdict_;
   std::array<EngineFactory, 3> factories_;  // indexed by ConfigDialect
 };
 
@@ -157,6 +204,16 @@ class Session {
   const std::string& salt() const { return salt_; }
   const std::shared_ptr<NetworkState>& state() const { return state_; }
 
+  /// Installs this session's extra pass-list entries (the daemon's
+  /// per-tenant pass-list), merged into every engine's options on top of
+  /// the context's own extras. Must be called before the first request —
+  /// changing the pass-list mid-stream would break referential
+  /// integrity — and throws std::logic_error afterwards. Callers are
+  /// expected to verify the combined policy (verify::VerifyPolicy)
+  /// before installing.
+  void SetExtraPassList(passlist::PassList extras);
+  const passlist::PassList& extra_pass_list() const { return extras_; }
+
   /// Merges one request's (or corpus run's) accounting into the
   /// session-lifetime totals. Thread-safe.
   void MergeRequest(const AnonymizationReport& report,
@@ -174,6 +231,7 @@ class Session {
  private:
   std::string salt_;
   std::shared_ptr<NetworkState> state_;
+  passlist::PassList extras_;
   mutable std::mutex mutex_;
   AnonymizationReport report_;
   LeakRecord leak_record_;

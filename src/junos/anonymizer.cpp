@@ -16,17 +16,9 @@ namespace {
 
 /// JunOS configuration keywords not already covered by the IOS corpus.
 constexpr const char* kJunosWords[] = {
-    "apply",   "groups",    "statement", "policy",    "options",
-    "term",    "from",      "then",      "accept",    "reject",
-    "members", "inet",      "unit",      "family",    "disable",
-    "lo",      "so",        "ge",        "fe",        "xe",
-    "et",      "peer",      "mesh",      "login",     "message",
-    "host",    "name",      "static",    "next",      "hop",
-    "metric",  "add",       "delete",    "aspath",    "comm",
-    "ext",     "rib",       "instance",  "routing",   "protocols",
-    "area",    "neighbor",  "import",    "export",    "prepend",
-    "preference", "interfaces", "neighbors", "units",     "families",
-    "servers",
+    "groups", "statement", "term", "accept", "reject", "members", "inet",
+    "unit", "family", "lo", "so", "fe", "xe", "et", "mesh", "comm", "ext",
+    "rib", "protocols", "interfaces", "neighbors", "units", "families",
 };
 
 bool IsQuoted(std::string_view text) {
@@ -64,10 +56,10 @@ JunosAnonymizer::JunosAnonymizer(const core::ServiceContext& context,
                                  const core::Session& session)
     : JunosAnonymizer(
           [&] {
-            const core::AnonymizerOptions base =
-                context.EngineOptions(session);
+            core::AnonymizerOptions base = context.EngineOptions(session);
             return JunosAnonymizerOptions{base.salt, base.regex_form,
-                                          base.strip_comments};
+                                          base.strip_comments,
+                                          std::move(base.extra_pass_list)};
           }(),
           session.state()) {}
 
@@ -79,7 +71,9 @@ JunosAnonymizer::JunosAnonymizer(JunosAnonymizerOptions options,
       state_(shared_state_
                  ? std::move(state)
                  : std::make_shared<core::NetworkState>(options_.salt)),
-      batcher_(state_->hasher) {}
+      batcher_(state_->hasher) {
+  pass_list_.Merge(options_.extra_pass_list);
+}
 
 void JunosAnonymizer::CollectFileAddresses(const config::ConfigFile& file,
                                            std::vector<net::Ipv4Address>& out) {

@@ -67,6 +67,9 @@ struct JunosAnonymizerOptions {
   std::string salt = "default-salt";
   asn::RewriteForm regex_form = asn::RewriteForm::kAlternation;
   bool strip_comments = true;
+  /// Additional entries merged on top of JunosPassList() — the JunOS leg
+  /// of core::AnonymizerOptions::extra_pass_list (tenant pass-lists).
+  passlist::PassList extra_pass_list;
 };
 
 class JunosAnonymizer : public core::AnonymizerEngine {

@@ -28,8 +28,8 @@ const char* const kBuiltinCorpus[] = {
     "serial", "loopback", "tunnel", "vlan", "portchannel", "port", "channel",
     "atm", "pos", "hssi", "fddi", "tokenring", "token", "ring", "dialer",
     "bri", "pri", "async", "group", "bundle", "multilink", "virtual",
-    "template", "subinterface", "mgmt", "management", "console", "aux",
-    "vty", "line", "tty", "slot", "module", "card", "chassis", "supervisor",
+    "template", "subinterface", "mgmt", "management", "console", "aux", "vty",
+    "line", "tty", "slot", "module", "card", "chassis", "supervisor",
     "fabric", "backplane", "transceiver", "sfp", "xfp", "media", "fiber",
     "copper", "rj", "duplex", "half", "full", "auto", "speed", "mdix",
     "crossover", "cable", "modem", "flash", "nvram", "bootflash", "disk",
@@ -38,15 +38,15 @@ const char* const kBuiltinCorpus[] = {
     "hostname", "version", "service", "timestamps", "debug", "datetime",
     "msec", "localtime", "uptime", "password", "encryption", "enable",
     "secret", "banner", "motd", "login", "exec", "incoming", "logging",
-    "buffered", "monitor", "trap", "console", "facility", "source",
-    "interface", "host", "no", "shutdown", "description", "boot", "system",
-    "config", "configuration", "register", "confreg", "reload", "running",
-    "startup", "write", "erase", "copy", "tftp", "ftp", "scp", "http",
-    "https", "server", "clock", "timezone", "summer", "time", "ntp",
-    "calendar", "peer", "alias", "prompt", "terminal", "length", "width",
-    "editing", "history", "size", "domain", "name", "lookup", "list",
-    "search", "dns", "resolver", "scheduler", "allocate", "interval",
-    "process", "watchdog", "exception", "dump", "core", "crashinfo",
+    "buffered", "monitor", "trap", "facility", "source", "interface", "host",
+    "no", "shutdown", "description", "boot", "system", "config",
+    "configuration", "register", "confreg", "reload", "running", "startup",
+    "write", "erase", "copy", "tftp", "ftp", "scp", "http", "https", "server",
+    "clock", "timezone", "summer", "time", "ntp", "calendar", "peer", "alias",
+    "prompt", "terminal", "length", "width", "editing", "history", "size",
+    "domain", "name", "lookup", "list", "search", "dns", "resolver",
+    "scheduler", "allocate", "interval", "process", "watchdog", "exception",
+    "dump", "core", "crashinfo",
     // --- ip / addressing ---
     "ip", "ipv", "address", "secondary", "unnumbered", "negotiated", "dhcp",
     "pool", "excluded", "lease", "relay", "helper", "broadcast", "directed",
@@ -57,170 +57,152 @@ const char* const kBuiltinCorpus[] = {
     "ttl", "tos", "precedence", "dscp", "ecn", "icmp", "redirect",
     "redirects", "unreachable", "unreachables", "echo", "reply", "request",
     "proxy", "arp", "gratuitous", "inspection", "verify", "unicast", "rpf",
-    "reverse", "path", "multicast", "igmp", "pim", "sparse", "dense",
-    "mode", "rendezvous", "point", "bsr", "candidate", "rp", "mroute",
-    "boundary", "scope", "tcp", "udp", "port", "syn", "ack", "fin", "rst",
-    "keepalive", "timeout", "window", "mss", "adjust", "intercept",
-    "directed", "local", "identification", "accounting", "violations",
+    "reverse", "path", "multicast", "igmp", "pim", "sparse", "dense", "mode",
+    "rendezvous", "point", "bsr", "candidate", "rp", "mroute", "boundary",
+    "scope", "tcp", "udp", "syn", "ack", "fin", "rst", "keepalive", "timeout",
+    "window", "mss", "adjust", "intercept", "local", "identification",
+    "accounting", "violations",
     // --- routing protocols: common ---
     "router", "network", "area", "redistribute", "metric", "distance",
     "administrative", "passive", "neighbor", "update", "timers", "basic",
     "holdtime", "hello", "dead", "retransmit", "delay", "bandwidth",
-    "reliability", "load", "variance", "maximum", "paths", "split",
-    "horizon", "poison", "triggered", "flash", "summary", "auto",
-    "summarization", "supernet", "originate", "advertise", "advertisement",
-    "announce", "suppress", "filter", "offset", "tag", "internal",
-    "external", "type", "backdoor", "connected", "subnets", "level",
-    "stub", "totally", "nssa", "transit", "virtual", "link", "cost",
-    "priority", "identifier", "id", "reference", "compatible", "rfc",
-    "log", "adjacency", "changes", "graceful", "restart", "nonstop",
+    "reliability", "load", "variance", "maximum", "paths", "split", "horizon",
+    "poison", "triggered", "summary", "summarization", "supernet",
+    "originate", "advertise", "advertisement", "announce", "suppress",
+    "filter", "offset", "tag", "internal", "external", "type", "backdoor",
+    "connected", "subnets", "level", "stub", "totally", "nssa", "transit",
+    "link", "cost", "priority", "identifier", "id", "reference", "compatible",
+    "rfc", "log", "adjacency", "changes", "graceful", "restart", "nonstop",
     // --- rip ---
-    "rip", "validate", "source", "flash", "receive", "send",
+    "rip", "validate", "receive", "send",
     // --- eigrp ---
-    "eigrp", "autonomous", "system", "stub", "leak", "composite",
-    "feasible", "successor", "topology", "active", "passive", "query",
-    "reply", "sia", "stuck",
+    "eigrp", "autonomous", "leak", "composite", "feasible", "successor",
+    "topology", "active", "query", "sia", "stuck",
     // --- ospf ---
     "ospf", "spf", "throttle", "lsa", "flood", "pacing", "database",
-    "overflow", "demand", "circuit", "point", "multipoint", "nonbroadcast",
-    "nbma", "designated", "backup", "dr", "bdr", "authentication",
-    "message", "digest", "key", "null", "simple", "opaque", "capability",
-    "ignore", "mospf", "transmit", "wait",
+    "overflow", "demand", "circuit", "multipoint", "nonbroadcast", "nbma",
+    "designated", "backup", "dr", "bdr", "authentication", "message",
+    "digest", "key", "null", "simple", "opaque", "capability", "ignore",
+    "mospf", "transmit", "wait",
     // --- isis ---
-    "isis", "net", "clns", "hello", "padding", "lsp", "psnp", "csnp",
-    "metric", "wide", "narrow", "circuit", "overload", "attached",
+    "isis", "net", "clns", "padding", "lsp", "psnp", "csnp", "wide", "narrow",
+    "overload", "attached",
     // --- bgp ---
-    "bgp", "remote", "as", "asn", "ebgp", "ibgp", "multihop", "ttl",
-    "security", "hops", "confederation", "peers", "route", "reflector",
-    "client", "cluster", "dampening", "reuse", "halflife", "penalty",
-    "flap", "statistics", "aggregate", "atomic", "med", "always", "compare",
-    "deterministic", "bestpath", "aspath", "multipath", "relax",
-    "synchronization", "scan", "advertisement", "soft", "reconfiguration",
-    "inbound", "outbound", "next", "hop", "self", "weight", "override",
-    "allowas", "capability", "orf", "refresh", "version", "community",
-    "send", "extended", "both", "additive", "none", "internet", "additive",
-    "local", "preference", "localpref", "origin", "igp", "incomplete",
-    "shutdown", "notification", "maxas", "limit", "prepend", "slow",
-    "update", "source", "ttl", "disable",
+    "bgp", "remote", "as", "asn", "ebgp", "ibgp", "multihop", "security",
+    "hops", "confederation", "peers", "reflector", "client", "cluster",
+    "dampening", "reuse", "halflife", "penalty", "flap", "statistics",
+    "aggregate", "atomic", "med", "always", "compare", "deterministic",
+    "bestpath", "aspath", "multipath", "relax", "synchronization", "scan",
+    "soft", "reconfiguration", "inbound", "outbound", "next", "hop", "self",
+    "weight", "override", "allowas", "orf", "refresh", "community",
+    "extended", "both", "additive", "none", "internet", "preference",
+    "localpref", "origin", "igp", "incomplete", "notification", "maxas",
+    "limit", "prepend", "slow", "disable",
     // --- route policy: route-maps, lists, filters ---
     "access", "permit", "deny", "remark", "sequence", "resequence",
-    "distribute", "redistribution", "prefix", "suppress", "unsuppress",
-    "seq", "expanded", "substring", "regexp", "regex", "public", "privately",
-    "standard", "extended", "match", "set", "continue", "policy", "map",
-    "class", "entries", "any", "all", "exact", "longer", "ge", "le", "eq",
-    "neq", "gt", "lt", "range", "established", "reflexive", "evaluate",
-    "dynamic", "lock", "absolute", "periodic", "expression",
+    "distribute", "redistribution", "unsuppress", "seq", "expanded",
+    "substring", "regexp", "regex", "public", "privately", "standard",
+    "match", "set", "continue", "policy", "map", "class", "entries", "any",
+    "all", "exact", "longer", "ge", "le", "eq", "neq", "gt", "lt", "range",
+    "established", "reflexive", "evaluate", "dynamic", "lock", "absolute",
+    "periodic", "expression",
     // --- nat ---
-    "nat", "inside", "outside", "translation", "overload", "pat", "pools",
-    "static", "netflow", "top", "talkers",
+    "nat", "inside", "outside", "translation", "pat", "pools", "netflow",
+    "top", "talkers",
     // --- qos ---
     "qos", "queue", "queueing", "fair", "weighted", "random", "detect",
     "wred", "shape", "shaping", "police", "policing", "rate", "cir", "bc",
-    "be", "burst", "conform", "exceed", "violate", "action", "transmit",
-    "drop", "priority", "bandwidth", "percent", "remaining", "llq", "cbwfq",
-    "fifo", "service", "policy", "input", "output", "marking", "trust",
-    "cos", "mls",
+    "be", "burst", "conform", "exceed", "violate", "action", "drop",
+    "percent", "remaining", "llq", "cbwfq", "fifo", "input", "output",
+    "marking", "trust", "cos", "mls",
     // --- security / aaa ---
     "aaa", "new", "model", "radius", "tacacs", "kerberos", "authorization",
-    "commands", "accounting", "session", "attempts", "lockout", "failed",
-    "username", "privilege", "role", "view", "parser", "secret", "md",
-    "sha", "hash", "salt", "crypto", "ipsec", "isakmp", "ike", "transform",
-    "esp", "ah", "des", "aes", "rsa", "dh", "diffie", "hellman", "pki",
-    "certificate", "trustpoint", "enrollment", "revocation", "crl", "ocsp",
-    "ssh", "telnet", "transport", "preferred", "firewall", "zone", "pair",
-    "inspect", "audit", "attack", "signature", "guard", "storm", "control",
-    "dot", "x", "port", "security", "sticky", "violation", "protect",
-    "restrict", "errdisable", "recovery", "cause", "bpduguard", "snooping",
-    "dai", "urpf",
+    "commands", "session", "attempts", "lockout", "failed", "username",
+    "privilege", "role", "view", "parser", "md", "sha", "hash", "salt",
+    "crypto", "ipsec", "isakmp", "ike", "transform", "esp", "ah", "des",
+    "aes", "rsa", "dh", "diffie", "hellman", "pki", "certificate",
+    "trustpoint", "enrollment", "revocation", "crl", "ocsp", "ssh", "telnet",
+    "transport", "preferred", "firewall", "zone", "pair", "inspect", "audit",
+    "attack", "signature", "guard", "storm", "control", "dot", "x", "sticky",
+    "violation", "protect", "restrict", "errdisable", "recovery", "cause",
+    "bpduguard", "snooping", "dai", "urpf",
     // --- switching / l2 ---
-    "switchport", "access", "trunk", "encapsulation", "dot1q", "isl",
-    "native", "allowed", "pruning", "vtp", "domain", "transparent",
-    "spanning", "tree", "pvst", "rapid", "mst", "instance", "root",
-    "primary", "secondary", "guard", "portfast", "uplinkfast",
-    "backbonefast", "etherchannel", "lacp", "pagp", "desirable", "on",
-    "off", "passive", "active", "macro", "storm", "udld", "aggressive",
-    "cdp", "lldp", "run", "holdtime", "mac", "aging", "sticky", "table",
+    "switchport", "trunk", "encapsulation", "isl", "native", "allowed",
+    "pruning", "vtp", "transparent", "spanning", "tree", "pvst", "rapid",
+    "mst", "instance", "root", "primary", "portfast", "uplinkfast",
+    "backbonefast", "etherchannel", "lacp", "pagp", "desirable", "on", "off",
+    "macro", "udld", "aggressive", "cdp", "lldp", "run", "mac", "aging",
+    "table",
     // --- wan / ppp / frame-relay ---
-    "ppp", "chap", "pap", "callin", "hostname", "multilink", "fragment",
-    "interleave", "hdlc", "frame", "relay", "lmi", "dlci", "pvc", "svc",
-    "subinterface", "inverse", "ietf", "cisco", "x25", "smds", "isdn",
-    "switch", "spid", "dialer", "string", "caller", "idle", "fast", "idle",
-    "map", "pri", "bri", "channelized", "controller", "framing", "esf",
-    "linecode", "b8zs", "ami", "clock", "rate", "dce", "dte", "invert",
-    "txclock", "compress", "stac", "predictor",
+    "ppp", "chap", "pap", "callin", "interleave", "hdlc", "frame", "lmi",
+    "dlci", "pvc", "svc", "inverse", "ietf", "cisco", "smds", "isdn",
+    "switch", "spid", "string", "caller", "idle", "channelized", "controller",
+    "framing", "esf", "linecode", "ami", "dce", "dte", "invert", "txclock",
+    "compress", "stac", "predictor",
     // --- mpls / vpn ---
-    "mpls", "label", "ldp", "tdp", "rsvp", "te", "traffic", "eng",
-    "tunnels", "vrf", "rd", "route", "target", "import", "export", "vpnv",
-    "l2vpn", "xconnect", "pseudowire", "vpls", "forwarding",
+    "mpls", "label", "ldp", "tdp", "rsvp", "te", "traffic", "eng", "tunnels",
+    "vrf", "rd", "target", "import", "vpnv", "xconnect", "pseudowire", "vpls",
     // --- snmp / management ---
-    "snmp", "mib", "oid", "informs", "traps", "community", "ro", "rw",
-    "contact", "location", "chassis", "engineid", "user", "group", "v3",
-    "auth", "priv", "noauth", "syslog", "archive", "event", "manager",
-    "applet", "rmon", "alarm", "threshold", "rising", "falling", "ipsla",
-    "sla", "responder", "probe", "track", "boolean", "delay", "up", "down",
-    "kron", "occurrence",
+    "snmp", "mib", "oid", "informs", "traps", "ro", "rw", "contact",
+    "location", "engineid", "user", "auth", "priv", "noauth", "syslog",
+    "archive", "event", "manager", "applet", "rmon", "alarm", "threshold",
+    "rising", "falling", "ipsla", "sla", "responder", "probe", "track",
+    "boolean", "up", "down", "kron", "occurrence",
     // --- hsrp / vrrp / glbp ---
-    "standby", "hsrp", "vrrp", "glbp", "preempt", "track", "decrement",
-    "virtual", "mac", "use", "bia", "follow", "redirects",
+    "standby", "hsrp", "vrrp", "glbp", "preempt", "decrement", "use", "bia",
+    "follow",
     // --- misc protocol names and tools ---
-    "ping", "traceroute", "mtr", "lookup", "whois", "finger", "bootp",
-    "pad", "rlogin", "rsh", "rcp", "nagle", "small", "servers", "tcp",
-    "identd", "mop", "xremote", "vpdn", "l2tp", "pptp", "gre", "ipip",
-    "sit", "nve", "vxlan", "overlay", "underlay",
+    "ping", "traceroute", "mtr", "whois", "finger", "bootp", "pad", "rlogin",
+    "rsh", "rcp", "nagle", "small", "servers", "identd", "mop", "xremote",
+    "vpdn", "pptp", "gre", "ipip", "sit", "nve", "vxlan", "overlay",
+    "underlay",
     // --- common verbs/adjectives from the reference guides ---
     "the", "a", "an", "of", "to", "in", "for", "with", "and", "or", "not",
-    "is", "are", "was", "be", "been", "this", "that", "these", "those",
-    "use", "used", "uses", "using", "configure", "configured", "configures",
-    "configuring", "specify", "specifies", "specified", "specifying",
-    "command", "commands", "argument", "arguments", "keyword", "keywords",
-    "value", "values", "parameter", "parameters", "option", "options",
-    "enable", "enables", "enabled", "disable", "disables", "disabled",
-    "display", "displays", "show", "shows", "clear", "clears", "reset",
-    "resets", "remove", "removes", "removed", "add", "adds", "added",
-    "create", "creates", "created", "delete", "deletes", "deleted",
-    "assign", "assigns", "assigned", "define", "defines", "defined",
-    "apply", "applies", "applied", "associate", "associated", "bind",
-    "binds", "bound", "example", "examples", "usage", "guidelines",
-    "defaults", "syntax", "mode", "modes", "global", "releases", "release",
-    "history", "introduced", "modified", "support", "supported", "supports",
-    "platform", "platforms", "feature", "features", "information", "about",
-    "when", "where", "which", "while", "after", "before", "during", "each",
-    "every", "following", "above", "below", "between", "through", "must",
-    "should", "can", "cannot", "may", "might", "will", "would", "allows",
-    "allowed", "allow", "prevent", "prevents", "ensure", "ensures", "verify",
-    "number", "numbers", "integer", "string", "word", "text", "optional",
-    "required", "valid", "invalid", "maximum", "minimum", "first", "last",
-    "single", "multiple", "per", "only", "also", "both", "other", "same",
-    "different", "new", "old", "current", "previous", "next", "more",
-    "less", "than", "then", "note", "caution", "warning", "tip", "out",
-    "end", "begin", "start", "stop", "exit", "quit", "con", "cts",
-    "into", "onto", "from", "at", "by", "as", "if", "else", "do", "does",
-    "done", "it", "its", "on", "off", "over", "under", "no", "yes",
-    "related", "see", "refer", "reference", "guide", "documentation",
-    "document", "chapter", "section", "table", "figure", "appendix",
-    "overview", "introduction", "summary", "task", "tasks", "step",
+    "is", "are", "was", "been", "this", "that", "these", "those", "used",
+    "uses", "using", "configure", "configured", "configures", "configuring",
+    "specify", "specifies", "specified", "specifying", "command", "argument",
+    "arguments", "keyword", "keywords", "value", "values", "parameter",
+    "parameters", "option", "options", "enables", "enabled", "disables",
+    "disabled", "display", "displays", "show", "shows", "clear", "clears",
+    "reset", "resets", "remove", "removes", "removed", "add", "adds", "added",
+    "create", "creates", "created", "delete", "deletes", "deleted", "assign",
+    "assigns", "assigned", "define", "defines", "defined", "apply", "applies",
+    "applied", "associate", "associated", "bind", "binds", "bound", "example",
+    "examples", "usage", "guidelines", "defaults", "syntax", "modes",
+    "global", "releases", "release", "introduced", "modified", "support",
+    "supported", "supports", "platform", "platforms", "feature", "features",
+    "information", "about", "when", "where", "which", "while", "after",
+    "before", "during", "each", "every", "following", "above", "below",
+    "between", "through", "must", "should", "can", "cannot", "may", "might",
+    "will", "would", "allows", "allow", "prevent", "prevents", "ensure",
+    "ensures", "number", "numbers", "integer", "word", "text", "optional",
+    "required", "valid", "invalid", "minimum", "first", "last", "single",
+    "multiple", "per", "only", "also", "other", "same", "different", "old",
+    "current", "previous", "more", "less", "than", "then", "note", "caution",
+    "warning", "tip", "out", "end", "begin", "start", "stop", "exit", "quit",
+    "con", "cts", "into", "onto", "from", "at", "by", "if", "else", "do",
+    "does", "done", "it", "its", "over", "under", "yes", "related", "see",
+    "refer", "guide", "documentation", "document", "chapter", "section",
+    "figure", "appendix", "overview", "introduction", "task", "tasks", "step",
     "steps", "procedure", "procedures", "prerequisites", "restrictions",
     "limitations", "troubleshooting", "monitoring", "maintaining",
-    "examples", "additional", "detailed", "specific", "general", "common",
-    "crossing", "traffic", "packet", "packets", "frame", "frames", "byte",
-    "bytes", "bit", "bits", "second", "seconds", "millisecond",
-    "milliseconds", "minute", "minutes", "hour", "hours", "day", "days",
-    "week", "month", "year", "once", "twice", "count", "counts", "counter",
-    "counters", "statistic", "statistics", "status", "state", "states",
+    "additional", "detailed", "specific", "general", "common", "crossing",
+    "packet", "packets", "frames", "byte", "bytes", "bits", "second",
+    "seconds", "millisecond", "milliseconds", "minute", "minutes", "hour",
+    "hours", "day", "days", "week", "month", "year", "once", "twice", "count",
+    "counts", "counter", "counters", "statistic", "status", "state", "states",
     "condition", "conditions", "result", "results", "error", "errors",
-    "failure", "failures", "success", "successful", "operation",
-    "operations", "operational", "performance", "utilization", "threshold",
-    "level", "levels", "severity", "critical", "major", "minor",
-    "informational", "emergency", "alert", "notice", "warning", "device",
-    "devices", "equipment", "hardware", "software", "image", "images",
-    "file", "files", "directory", "directories", "filename", "path",
-    "location", "destination", "target", "remote", "locally", "connection",
-    "connections", "connected", "connectivity", "session", "sessions",
-    "user", "users", "administrator", "administrators", "operator",
-    "operators", "customer", "customers", "provider", "providers",
-    "carrier", "carriers", "vendor", "vendors", "topology", "design",
-    "architecture", "redundancy", "redundant", "failover", "resilience",
-    "convergence", "stability", "scalability",
+    "failure", "failures", "success", "successful", "operation", "operations",
+    "operational", "performance", "utilization", "levels", "severity",
+    "critical", "major", "minor", "informational", "emergency", "alert",
+    "notice", "device", "devices", "equipment", "hardware", "software",
+    "image", "images", "file", "files", "directory", "directories",
+    "filename", "destination", "locally", "connection", "connections",
+    "connectivity", "sessions", "users", "administrator", "administrators",
+    "operator", "operators", "customer", "customers", "provider", "providers",
+    "carrier", "carriers", "vendor", "vendors", "design", "architecture",
+    "redundancy", "redundant", "failover", "resilience", "convergence",
+    "stability", "scalability",
 };
 
 const std::size_t kBuiltinCorpusSize =

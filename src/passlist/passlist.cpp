@@ -21,7 +21,9 @@ PassList PassList::Builtin() {
 
 void PassList::Add(std::string_view token) {
   if (token.empty()) return;
-  tokens_.insert(util::ToLower(token));
+  std::string lowered = util::ToLower(token);
+  entries_.push_back(lowered);
+  tokens_.insert(std::move(lowered));
 }
 
 bool PassList::Contains(std::string_view token) const {
@@ -30,16 +32,20 @@ bool PassList::Contains(std::string_view token) const {
 
 void PassList::Merge(const PassList& other) {
   tokens_.insert(other.tokens_.begin(), other.tokens_.end());
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
 }
 
 PassList PassList::Truncated(double keep_fraction, std::uint64_t seed) const {
   PassList out;
   // Per-token coin flip keyed by the token text so the subset is stable
-  // regardless of hash-set iteration order.
-  for (const std::string& token : tokens_) {
+  // regardless of hash-set iteration order. Walking entries_ keeps the
+  // survivors in load order; re-added tokens keep only their first entry.
+  for (const std::string& token : entries_) {
+    if (out.tokens_.contains(token)) continue;
     util::Rng rng(seed ^ util::HashSeed(token));
     if (rng.Chance(keep_fraction)) {
-      out.tokens_.insert(token);
+      out.Add(token);
     }
   }
   return out;

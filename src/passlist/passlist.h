@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_set>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -42,6 +43,12 @@ class PassList {
 
   std::size_t Size() const { return tokens_.size(); }
 
+  /// Every Add() in load order, lowercased, duplicates included. The
+  /// static policy verifier walks this to anchor findings to the entry
+  /// that introduced a token and to detect shadowed (re-added) entries;
+  /// membership queries never touch it.
+  const std::vector<std::string>& Entries() const { return entries_; }
+
   /// Merges another list into this one.
   void Merge(const PassList& other);
 
@@ -53,6 +60,7 @@ class PassList {
 
  private:
   std::unordered_set<std::string> tokens_;
+  std::vector<std::string> entries_;
 };
 
 /// Builds pass-list entries by string-scraping documentation, the offline

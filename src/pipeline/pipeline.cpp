@@ -11,6 +11,7 @@
 #include "passlist/passlist.h"
 #include "pipeline/parallel_for.h"
 #include "util/strings.h"
+#include "verify/verify.h"
 
 namespace confanon::pipeline {
 
@@ -49,9 +50,18 @@ std::shared_ptr<core::ServiceContext> MakeServiceContext(
         return std::make_unique<junos::JunosAnonymizer>(
             junos::JunosAnonymizerOptions{engine_options.salt,
                                           engine_options.regex_form,
-                                          engine_options.strip_comments},
+                                          engine_options.strip_comments,
+                                          engine_options.extra_pass_list},
             std::move(state));
       });
+  // Static policy verification (src/verify) happens here — the lowest
+  // layer that links both dialect engines and thus can model the full
+  // cross-dialect policy. The verdict makes CreateSession throw
+  // core::PolicyError on a provably leaky policy.
+  if (context->options().verify_policy) {
+    context->SetPolicyVerdict(verify::VerdictOf(
+        verify::VerifyEngineOptions(context->options().base)));
+  }
   return context;
 }
 

@@ -9,7 +9,10 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "passlist/passlist.h"
 #include "pipeline/pipeline.h"
+#include "util/strings.h"
+#include "verify/verify.h"
 
 namespace confanon::service {
 
@@ -29,6 +32,22 @@ const char* DialectName(core::ConfigDialect dialect) {
   return "auto";
 }
 
+/// One token per line, blank lines and '#' comments skipped — the same
+/// format confanon_audit --passlist accepts from disk.
+passlist::PassList ParsePassListBody(std::string_view body) {
+  passlist::PassList list;
+  while (!body.empty()) {
+    const std::size_t eol = body.find('\n');
+    const std::string_view line = body.substr(0, eol);
+    body = eol == std::string_view::npos ? std::string_view{}
+                                         : body.substr(eol + 1);
+    const auto token = util::Trim(line);
+    if (token.empty() || token.front() == '#') continue;
+    list.Add(token);
+  }
+  return list;
+}
+
 }  // namespace
 
 AnonymizationService::AnonymizationService(
@@ -46,6 +65,11 @@ void AnonymizationService::RegisterRoutes(obs::ExpositionServer& server) {
                   [this](const obs::HttpRequest& request,
                          obs::HttpResponseWriter& response) {
                     HandleSessions(request, response);
+                  });
+  server.AddRoute("POST", "/v1/passlist",
+                  [this](const obs::HttpRequest& request,
+                         obs::HttpResponseWriter& response) {
+                    HandlePassList(request, response);
                   });
 }
 
@@ -116,7 +140,14 @@ void AnonymizationService::HandleAnonymize(const obs::HttpRequest& request,
     return;
   }
 
-  const std::shared_ptr<Tenant> tenant = TenantFor(tenant_name);
+  std::shared_ptr<Tenant> tenant;
+  try {
+    tenant = TenantFor(tenant_name);
+  } catch (const core::PolicyError& error) {
+    // The context's verified policy gates session creation (VERIFY.md).
+    fail(422, std::string(error.what()) + "\n");
+    return;
+  }
   if (tenant == nullptr) {
     fail(429, "session limit reached\n");
     return;
@@ -224,6 +255,93 @@ void AnonymizationService::HandleSessions(const obs::HttpRequest& request,
     json.EndObject();
   }
   json.EndArray();
+  json.EndObject();
+  response.Send(200, "application/json", json.str());
+}
+
+void AnonymizationService::HandlePassList(const obs::HttpRequest& request,
+                                          obs::HttpResponseWriter& response) {
+  obs::MetricsRegistry* metrics = context_->hooks().metrics;
+  const auto fail = [&](int status, std::string_view message) {
+    if (metrics != nullptr) {
+      metrics->CounterNamed("service.request_errors").Add();
+    }
+    response.Send(status, "text/plain", message);
+  };
+
+  std::string_view tenant_name = request.Header(kTenantHeader);
+  if (tenant_name.empty()) tenant_name = kDefaultTenant;
+  if (!ValidTenantName(tenant_name)) {
+    fail(400, "bad X-Confanon-Tenant (want 1..128 chars of [A-Za-z0-9._-])\n");
+    return;
+  }
+  if (request.body.empty()) {
+    fail(400, "empty request body (expected one token per line)\n");
+    return;
+  }
+
+  passlist::PassList extras = ParsePassListBody(request.body);
+
+  // Statically verify the combined policy — the context baseline plus
+  // these extras — before any session sees a single token. A provably
+  // leaky tenant list must be rejected here, not discovered in output.
+  core::AnonymizerOptions combined = context_->options().base;
+  combined.extra_pass_list.Merge(extras);
+  const audit::AuditResult verification =
+      verify::VerifyEngineOptions(combined);
+  if (metrics != nullptr) {
+    for (const auto& [name, value] : verification.stats) {
+      metrics->CounterNamed(name).Add(value);
+    }
+  }
+  const core::PolicyVerdict verdict = verify::VerdictOf(verification);
+  const bool clean =
+      verdict.errors == 0 &&
+      (verdict.warnings == 0 || context_->options().allow_policy_warnings);
+  if (!clean) {
+    if (metrics != nullptr) {
+      metrics->CounterNamed("service.passlist_rejected").Add();
+    }
+    fail(422, "pass-list failed policy verification: " +
+                  verdict.first_finding + "\n");
+    return;
+  }
+
+  std::shared_ptr<Tenant> tenant;
+  try {
+    tenant = TenantFor(tenant_name);
+  } catch (const core::PolicyError& error) {
+    fail(422, std::string(error.what()) + "\n");
+    return;
+  }
+  if (tenant == nullptr) {
+    fail(429, "session limit reached\n");
+    return;
+  }
+
+  const std::size_t entries = extras.Entries().size();
+  {
+    const std::lock_guard<std::mutex> lock(tenant->mutex);
+    try {
+      tenant->session->SetExtraPassList(std::move(extras));
+    } catch (const std::logic_error&) {
+      fail(409,
+           "tenant has already served requests; its pass-list is "
+           "immutable for the session's lifetime\n");
+      return;
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->CounterNamed("service.passlist_installed").Add();
+  }
+
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("tenant").Value(std::string(tenant_name));
+  json.Key("entries").Value(static_cast<std::uint64_t>(entries));
+  json.Key("verified").Value(true);
+  json.Key("warnings").Value(static_cast<std::uint64_t>(verdict.warnings));
+  json.Key("notes").Value(static_cast<std::uint64_t>(verdict.notes));
   json.EndObject();
   response.Send(200, "application/json", json.str());
 }

@@ -24,6 +24,17 @@
 //                        chunked) with X-Confanon-Dialect echoed.
 //   GET  /v1/sessions    JSON array of live sessions (tenant, request
 //                        count, cumulative report counters).
+//   POST /v1/passlist    installs a per-tenant extra pass-list (body is
+//                        one token per line, '#' comments and blanks
+//                        skipped). The combined policy — context baseline
+//                        plus the uploaded extras — is statically
+//                        verified first (src/verify, docs/VERIFY.md);
+//                        a dirty verdict is rejected with 422 and the
+//                        most severe finding rendered in the body, so a
+//                        provably leaky tenant list never reaches a
+//                        session. 409 once the tenant has served
+//                        requests (mid-stream pass-list changes would
+//                        break referential integrity).
 //
 // Determinism contract: requests within one tenant are serialized on a
 // per-tenant mutex (the IP trie's mapping depends on insertion history),
@@ -82,6 +93,8 @@ class AnonymizationService {
   void HandleAnonymize(const obs::HttpRequest& request,
                        obs::HttpResponseWriter& response);
   void HandleSessions(const obs::HttpRequest& request,
+                      obs::HttpResponseWriter& response);
+  void HandlePassList(const obs::HttpRequest& request,
                       obs::HttpResponseWriter& response);
 
   /// The session serving `tenant`, or null if it does not exist yet.

@@ -1,0 +1,43 @@
+// The sensitive-value recognizers the language-intersection analysis
+// proves the pass-list disjoint from.
+//
+// Each recognizer is a DFA accepting exactly one class of values the
+// anonymizer is obligated to transform: dotted-quad IPv4 literals
+// (rules I1..I6), public ASN literals (A1..A11; public means 1..64511,
+// asn/asn_map.h), community literals ASN:VALUE (A8/A10), and the
+// engine's own hash tokens "h" + 10 lowercase hex digits
+// (core::StringHasher) — a pass-list entry matching that shape would
+// let an adversary smuggle a forged mapping through verbatim.
+//
+// A pass-list entry inside a recognizer's language is a provable leak
+// channel: PassList::Contains is consulted not only for alphabetic
+// T1/T2 segments but for whole identifiers (file names, force-hashed
+// name arguments, JunOS tokens), so the entry survives anonymization
+// verbatim wherever it appears as such an identifier.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "regex/dfa.h"
+
+namespace confanon::verify {
+
+struct Recognizer {
+  /// Stable name used in finding messages ("ipv4-literal", ...).
+  std::string name;
+  /// The anonymizer rule family that normally transforms this class.
+  std::string rule_hint;
+  /// Full-match DFA over the class's literal syntax.
+  regex::Dfa dfa;
+  /// IPv4 recognizer only: special addresses (netmasks, wildcards,
+  /// loopback — net::IsSpecial) pass through legitimately under rule I2,
+  /// so entries that parse as special are exempt from VER-001.
+  bool exempt_special_addresses = false;
+};
+
+/// The process-wide recognizer set, compiled once. Both dialects check
+/// against all of them — the value classes are dialect-independent.
+const std::vector<Recognizer>& SensitiveRecognizers();
+
+}  // namespace confanon::verify

@@ -389,5 +389,55 @@ TEST(AnonymizationService, RejectsMalformedRequests) {
   server.Stop();
 }
 
+// --- 5. per-tenant pass-lists gate on static verification ---------------
+
+TEST(AnonymizationService, PassListRouteVerifiesBeforeInstalling) {
+  core::ServiceOptions options;
+  options.base.salt = "svc-base";
+  const auto context = pipeline::MakeServiceContext(std::move(options));
+  service::AnonymizationService anonymization(context);
+
+  obs::ExpositionServer::Options server_options;
+  server_options.handler_threads = 2;
+  obs::ExpositionServer server(server_options, [] { return std::string(); });
+  anonymization.RegisterRoutes(server);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const std::vector<std::pair<std::string, std::string>> tenant = {
+      {"X-Confanon-Tenant", "acme"}};
+
+  // A provably leaky list (an IPv4 literal) is refused with the
+  // verifier's finding rendered in the body, before any session exists.
+  const ParsedResponse leaky = ParseResponse(RawHttp(
+      server.port(), BuildPost("/v1/passlist", tenant, "10.0.0.1\n")));
+  EXPECT_EQ(leaky.status, 422);
+  EXPECT_NE(leaky.body.find("VER-001"), std::string::npos) << leaky.body;
+  EXPECT_EQ(anonymization.FindSession("acme"), nullptr);
+
+  // A clean list installs and reports its verification counts.
+  const ParsedResponse clean = ParseResponse(RawHttp(
+      server.port(),
+      BuildPost("/v1/passlist", tenant, "# corp words\nzephyrix\n")));
+  EXPECT_EQ(clean.status, 200) << clean.body;
+  EXPECT_NE(clean.body.find("\"entries\":1"), std::string::npos)
+      << clean.body;
+
+  // The installed extras shape this tenant's output: the token survives
+  // where an unknown word would hash.
+  const ParsedResponse anonymized = ParseResponse(RawHttp(
+      server.port(), BuildPost("/v1/anonymize", tenant,
+                               "interface zephyrix\n")));
+  EXPECT_EQ(anonymized.status, 200);
+  EXPECT_NE(anonymized.body.find("zephyrix"), std::string::npos)
+      << anonymized.body;
+
+  // Once the tenant has served traffic the list is immutable: 409.
+  const ParsedResponse late = ParseResponse(RawHttp(
+      server.port(), BuildPost("/v1/passlist", tenant, "quorvane\n")));
+  EXPECT_EQ(late.status, 409) << late.body;
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace confanon
