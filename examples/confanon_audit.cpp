@@ -11,6 +11,11 @@
 //   --ios/--junos   force the dialect (default: per-file auto-detection)
 //   --sarif FILE    also write the findings as SARIF 2.1.0
 //   --metrics FILE  write the audit.*/verify.* metrics snapshot as JSON
+//   --decoys FILE   pair mode only: the decoy manifest confanon_tool
+//                   --decoy-manifest wrote; the flagged insertions are
+//                   verified (no decoy shadows real space, AUD-D001) and
+//                   stripped before the isomorphism check, so a defended
+//                   corpus still proves its ORIGINAL structure intact
 //
 // Policy-mode options (see docs/VERIFY.md):
 //   --passlist FILE additional pass-list entries, one token per line,
@@ -51,7 +56,8 @@ namespace {
 void Usage() {
   std::cerr << "usage: confanon_audit [--threads N] [--ios|--junos] "
                "[--sarif FILE] [--metrics FILE] DIR\n"
-               "       confanon_audit --pre DIR --post DIR [options]\n"
+               "       confanon_audit --pre DIR --post DIR "
+               "[--decoys FILE] [options]\n"
                "       confanon_audit --policy [--passlist FILE] "
                "[--disable RULE] [--strict] [options]\n";
 }
@@ -135,6 +141,7 @@ int main(int argc, char** argv) {
   std::string post_dir;
   std::string sarif_path;
   std::string metrics_path;
+  std::string decoys_path;
   bool policy_mode = false;
   bool strict = false;
   confanon::audit::AuditOptions options;
@@ -163,6 +170,8 @@ int main(int argc, char** argv) {
       sarif_path = next();
     } else if (arg == "--metrics") {
       metrics_path = next();
+    } else if (arg == "--decoys") {
+      decoys_path = next();
     } else if (arg == "--policy") {
       policy_mode = true;
     } else if (arg == "--passlist") {
@@ -194,6 +203,10 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (!decoys_path.empty() && !pair_mode) {
+    std::cerr << "confanon_audit: --decoys requires --pre/--post\n";
+    return 2;
+  }
 
   confanon::obs::MetricsRegistry metrics;
   options.metrics = &metrics;
@@ -210,7 +223,24 @@ int main(int argc, char** argv) {
     std::vector<confanon::config::ConfigFile> pre;
     std::vector<confanon::config::ConfigFile> post;
     if (!LoadCorpus(pre_dir, pre) || !LoadCorpus(post_dir, post)) return 1;
-    result = confanon::audit::ComparePair(pre, post, options);
+    if (decoys_path.empty()) {
+      result = confanon::audit::ComparePair(pre, post, options);
+    } else {
+      std::string error;
+      const auto text = confanon::util::ReadFileFully(decoys_path, &error);
+      if (!text) {
+        std::cerr << "confanon_audit: " << error << "\n";
+        return 1;
+      }
+      const auto manifest = confanon::defense::DecoyManifest::Parse(*text);
+      if (!manifest) {
+        std::cerr << "confanon_audit: malformed decoy manifest "
+                  << decoys_path << "\n";
+        return 1;
+      }
+      result =
+          confanon::audit::ComparePairDefended(pre, post, *manifest, options);
+    }
   } else {
     std::vector<confanon::config::ConfigFile> files;
     if (!LoadCorpus(lint_dir, files)) return 1;

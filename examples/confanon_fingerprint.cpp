@@ -1,0 +1,130 @@
+// confanon_fingerprint — the Section 6.2/6.3 insider attack, run from the
+// attacker's chair: given a directory of (anonymized, possibly defended)
+// configs, group the routers by their joint structural fingerprint — the
+// (subnet-size histogram, eBGP peering degree) pair that anonymization
+// preserves by design — and report how anonymous each router is within
+// its corpus.
+//
+// Usage:
+//   confanon_fingerprint DIR [--require-k N]
+//
+// Prints one line per equivalence class (class size, member routers) and
+// the corpus minimum k. With --require-k N the exit code becomes 3 when
+// any router's class is smaller than N — the CI defense gate's check that
+// the decoy pass (confanon_tool --defend-k) actually achieved its target.
+//
+// Exit codes: 0 = ok, 1 = I/O error, 2 = usage, 3 = --require-k unmet.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/fingerprint.h"
+#include "config/document.h"
+#include "util/io.h"
+
+namespace {
+
+void Usage() {
+  std::cerr << "usage: confanon_fingerprint DIR [--require-k N]\n";
+}
+
+std::string StripCfgSuffix(std::string name) {
+  const std::string suffix = ".cfg";
+  if (name.size() > suffix.size() &&
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    name.resize(name.size() - suffix.size());
+  }
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace confanon;
+
+  std::string dir;
+  std::size_t require_k = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-k") {
+      if (i + 1 >= argc) {
+        Usage();
+        return 2;
+      }
+      require_k = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      Usage();
+      return 2;
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    Usage();
+    return 2;
+  }
+
+  std::error_code ec;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  if (ec) {
+    std::cerr << "confanon_fingerprint: cannot read " << dir << ": "
+              << ec.message() << "\n";
+    return 1;
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<config::ConfigFile> files;
+  for (const auto& path : paths) {
+    std::string error;
+    auto contents = util::ReadFileContents(path.string(), &error);
+    if (!contents) {
+      std::cerr << "confanon_fingerprint: " << error << "\n";
+      return 1;
+    }
+    files.push_back(config::ConfigFile::FromBacking(
+        StripCfgSuffix(path.filename().string()), contents->view,
+        std::move(contents->backing)));
+  }
+  if (files.empty()) {
+    std::cerr << "confanon_fingerprint: no files under " << dir << "\n";
+    return 1;
+  }
+
+  const std::vector<analysis::RouterFingerprint> fingerprints =
+      analysis::ExtractRouterFingerprints(files);
+  std::map<std::string, std::vector<std::string>> classes;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    classes[fingerprints[i].Key()].push_back(files[i].name());
+  }
+
+  std::size_t min_k = files.size();
+  for (const auto& [key, members] : classes) {
+    min_k = std::min(min_k, members.size());
+    std::cout << "k=" << members.size() << "  [" << key << "] ";
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      std::cout << (i == 0 ? "" : " ") << members[i];
+    }
+    std::cout << "\n";
+  }
+  std::cout << "routers: " << files.size() << "  classes: " << classes.size()
+            << "  min k: " << min_k << "\n";
+
+  if (require_k > 0 && min_k < require_k) {
+    std::cerr << "confanon_fingerprint: min k " << min_k
+              << " below required " << require_k << "\n";
+    return 3;
+  }
+  return 0;
+}

@@ -34,6 +34,17 @@
 //   --profile-out FILE   write a flamegraph.pl-compatible folded-stack
 //                        profile and print the per-phase wall/IPC table
 //                        to stderr after the run
+//   --defend-k K         fingerprint defense (src/defense): insert decoy
+//                        structure until every router's (subnet-size
+//                        histogram, peering degree) fingerprint is shared
+//                        by >= K routers of its network; the achieved k
+//                        and decoy overhead are printed to stderr
+//   --defend-seed S      decoy randomness seed (default 0; decoys are
+//                        deterministic per salt + seed)
+//   --defend-budget-pct P  cap decoy lines at P% of the corpus (default
+//                        35); padding stops honestly when the cap hits
+//   --decoy-manifest F   write the decoy manifest (for confanon_audit
+//                        --decoys); single-corpus mode only
 //
 // All files given in one invocation are treated as one network: they share
 // the hash memo, IP trie and ASN permutation, so cross-file references
@@ -72,7 +83,9 @@ void Usage() {
                "       confanon_tool --salt SECRET --network-dir ROOT "
                "[--out DIR] [--threads N] [options]\n"
                "       (observability: [--metrics-listen HOST:PORT] "
-               "[--profile-out FILE])\n";
+               "[--profile-out FILE])\n"
+               "       (defense: [--defend-k K] [--defend-seed S] "
+               "[--defend-budget-pct P] [--decoy-manifest FILE])\n";
 }
 
 /// Corpus-level ingest accounting (the io.* metric source).
@@ -114,6 +127,7 @@ int main(int argc, char** argv) {
   std::string entities_in, entities_out;
   std::string network_dir;
   std::string metrics_listen, profile_out;
+  std::string decoy_manifest_out;
   bool report = false, check_leaks = false;
   std::vector<std::string> inputs;
 
@@ -154,6 +168,15 @@ int main(int argc, char** argv) {
       entities_out = next();
     } else if (arg == "--network-dir") {
       network_dir = next();
+    } else if (arg == "--defend-k") {
+      options.defense.k = std::atoi(next());
+    } else if (arg == "--defend-seed") {
+      options.defense.seed =
+          static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--defend-budget-pct") {
+      options.defense.budget = std::atof(next()) / 100.0;
+    } else if (arg == "--decoy-manifest") {
+      decoy_manifest_out = next();
     } else if (arg == "--metrics-listen") {
       metrics_listen = next();
     } else if (arg.rfind("--metrics-listen=", 0) == 0) {
@@ -252,6 +275,11 @@ int main(int argc, char** argv) {
                    "(mappings are per network)\n";
       return 2;
     }
+    if (!decoy_manifest_out.empty()) {
+      std::cerr << "--decoy-manifest is incompatible with --network-dir "
+                   "(the manifest covers one corpus)\n";
+      return 2;
+    }
     std::vector<std::string> names;
     for (const auto& entry :
          std::filesystem::directory_iterator(network_dir)) {
@@ -323,6 +351,12 @@ int main(int argc, char** argv) {
         }
       }
       merged_report.Merge(results[i].report);
+      if (options.defense.k > 1) {
+        std::cerr << names[i] << ": defense k target "
+                  << results[i].defense.target_k << ", achieved "
+                  << results[i].defense.achieved_k << ", "
+                  << results[i].defense.decoy_lines << " decoy lines\n";
+      }
       if (check_leaks) {
         for (const auto& finding : core::LeakDetector::Scan(
                  results[i].files, results[i].leak_record)) {
@@ -433,6 +467,18 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
+  if (options.defense.k > 1) {
+    std::cerr << pipeline.defense_report().ToString() << "\n";
+  }
+  if (!decoy_manifest_out.empty()) {
+    std::ofstream out(decoy_manifest_out, std::ios::trunc);
+    out << pipeline.decoy_manifest().Serialize();
+    if (!out) {
+      std::cerr << "cannot write decoy manifest " << decoy_manifest_out
+                << "\n";
+      return 1;
+    }
+  }
   if (!export_map.empty()) {
     std::ofstream out(export_map);
     pipeline.ip_anonymizer().ExportMappings(out);

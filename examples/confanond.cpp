@@ -25,6 +25,13 @@
 //                     start (and accept tenant pass-lists) despite
 //                     warning-severity verifier findings; errors always
 //                     refuse (docs/VERIFY.md)
+//   --defend-k K      run the fingerprint defense (src/defense) on every
+//                     request: decoy structure is added until each
+//                     router's fingerprint is shared by >= K routers of
+//                     its tenant's stream; /v1/sessions reports the
+//                     achieved k and decoy volume per tenant
+//   --defend-seed S   decoy randomness seed (default 0)
+//   --defend-budget-pct P  decoy-line budget as a percent (default 35)
 //
 // Startup gate: MakeServiceContext statically verifies the anonymization
 // policy (src/verify). A verdict with errors — or warnings without
@@ -62,7 +69,9 @@ void Usage() {
   std::cerr
       << "usage: confanond --salt SECRET [--listen HOST:PORT] [--threads N]\n"
          "                 [--workers N] [--queue N] [--max-body BYTES]\n"
-         "                 [--profile FILE.folded] [--allow-policy-warnings]\n";
+         "                 [--profile FILE.folded] [--allow-policy-warnings]\n"
+         "                 [--defend-k K] [--defend-seed S] "
+         "[--defend-budget-pct P]\n";
 }
 
 bool ParseCount(const std::string& text, std::uint64_t& out) {
@@ -114,6 +123,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-body") {
       if (!ParseCount(value("--max-body"), count) || count == 0) return 2;
       max_body = count;
+    } else if (arg == "--defend-k") {
+      if (!ParseCount(value("--defend-k"), count)) return 2;
+      options.defense.k = static_cast<int>(count);
+    } else if (arg == "--defend-seed") {
+      if (!ParseCount(value("--defend-seed"), count)) return 2;
+      options.defense.seed = count;
+    } else if (arg == "--defend-budget-pct") {
+      if (!ParseCount(value("--defend-budget-pct"), count)) return 2;
+      options.defense.budget = static_cast<double>(count) / 100.0;
     } else if (arg == "--profile") {
       profile_out = value("--profile");
     } else if (arg == "--allow-policy-warnings") {

@@ -1,6 +1,9 @@
 #include "analysis/fingerprint.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
 
 #include "analysis/characteristics.h"
 #include "config/tokenizer.h"
@@ -89,6 +92,169 @@ UniquenessResult SubnetFingerprintUniqueness(
 UniquenessResult PeeringFingerprintUniqueness(
     const std::vector<PeeringFingerprint>& population) {
   return CountUnique(population);
+}
+
+namespace {
+
+/// Strips one trailing ';' (JunOS statement terminator) from a token.
+std::string_view StripSemicolon(std::string_view token) {
+  if (!token.empty() && token.back() == ';') token.remove_suffix(1);
+  return token;
+}
+
+}  // namespace
+
+std::vector<net::Prefix> CollectInterfaceSubnets(
+    const config::ConfigFile& file) {
+  std::set<net::Prefix> subnets;
+  for (const std::string_view raw : file.lines()) {
+    const config::SplitLine split = config::SplitConfigLine(raw);
+    const auto& words = split.words;
+    if (words.empty()) continue;
+    const std::string first = util::ToLower(words[0]);
+    // IOS: `ip address A MASK` inside an interface block.
+    if (first == "ip" && words.size() >= 4 &&
+        util::ToLower(words[1]) == "address") {
+      const auto address = net::Ipv4Address::Parse(words[2]);
+      const auto mask = net::Ipv4Address::Parse(words[3]);
+      if (address && mask) {
+        if (const auto prefix =
+                net::Prefix::FromAddressAndMask(*address, *mask)) {
+          subnets.insert(*prefix);
+        }
+      }
+      continue;
+    }
+    // JunOS: `address a.b.c.d/len;` under `family inet`.
+    if (first == "address" && words.size() >= 2) {
+      if (const auto prefix = net::Prefix::Parse(StripSemicolon(words[1]))) {
+        subnets.insert(*prefix);
+      }
+    }
+  }
+  return {subnets.begin(), subnets.end()};
+}
+
+std::string RouterFingerprint::Key() const {
+  std::ostringstream key;
+  bool first = true;
+  for (const int bucket : subnet_sizes.Buckets()) {
+    if (!first) key << ',';
+    first = false;
+    key << bucket << ':' << subnet_sizes.Get(bucket);
+  }
+  key << '|' << external_sessions;
+  return key.str();
+}
+
+RouterFingerprint ExtractRouterFingerprint(const config::ConfigFile& file) {
+  RouterFingerprint fingerprint;
+  for (const net::Prefix& subnet : CollectInterfaceSubnets(file)) {
+    fingerprint.subnet_sizes.Add(subnet.length());
+  }
+
+  // IOS peering degree: `neighbor A remote-as N` with N != the local ASN,
+  // inside a top-level `router bgp <asn>` block (the same state machine
+  // PeeringStructureFingerprint runs).
+  bool in_bgp = false;
+  std::uint32_t local_asn = 0;
+  // JunOS peering degree: neighbors of `group X { type external; ... }`
+  // blocks directly inside a `bgp` block. Neighbors are collected per
+  // group and counted when the group closes iff the group was external,
+  // so statement order inside the group does not matter.
+  std::vector<std::string> block_stack;  // first word of each open block
+  int group_depth = -1;
+  bool group_external = false;
+  int group_neighbors = 0;
+  int external_sessions = 0;
+
+  for (const std::string_view raw : file.lines()) {
+    const config::SplitLine split = config::SplitConfigLine(raw);
+    const auto& words = split.words;
+    const std::string_view trimmed = util::Trim(raw);
+    const bool opens_block = !trimmed.empty() && trimmed.back() == '{';
+    const bool closes_block = trimmed == "}";
+
+    if (closes_block) {
+      if (!block_stack.empty()) {
+        if (static_cast<int>(block_stack.size()) == group_depth) {
+          if (group_external) external_sessions += group_neighbors;
+          group_depth = -1;
+          group_external = false;
+          group_neighbors = 0;
+        }
+        block_stack.pop_back();
+      }
+      continue;
+    }
+    if (words.empty()) continue;
+    const std::string first = util::ToLower(words[0]);
+
+    if (opens_block) {
+      block_stack.push_back(first);
+      if (first == "group" && group_depth < 0 && block_stack.size() >= 2 &&
+          block_stack[block_stack.size() - 2] == "bgp") {
+        group_depth = static_cast<int>(block_stack.size());
+      }
+      continue;
+    }
+
+    if (group_depth > 0) {
+      if (first == "type" && words.size() >= 2 &&
+          util::ToLower(StripSemicolon(words[1])) == "external") {
+        group_external = true;
+      } else if (first == "neighbor" && words.size() >= 2) {
+        ++group_neighbors;
+      }
+      continue;
+    }
+
+    if (split.indent == 0) {
+      in_bgp = false;
+      if (first == "router" && words.size() >= 3 &&
+          util::ToLower(words[1]) == "bgp") {
+        in_bgp = true;
+        std::uint64_t asn = 0;
+        if (util::ParseUint(words[2], 65535, asn)) {
+          local_asn = static_cast<std::uint32_t>(asn);
+        }
+        continue;
+      }
+    }
+    if (in_bgp && first == "neighbor" && words.size() >= 4 &&
+        util::ToLower(words[2]) == "remote-as") {
+      std::uint64_t asn = 0;
+      if (util::ParseUint(words[3], 65535, asn) && asn != local_asn) {
+        ++external_sessions;
+      }
+    }
+  }
+  fingerprint.external_sessions = external_sessions;
+  return fingerprint;
+}
+
+std::vector<RouterFingerprint> ExtractRouterFingerprints(
+    const std::vector<config::ConfigFile>& files) {
+  std::vector<RouterFingerprint> fingerprints;
+  fingerprints.reserve(files.size());
+  for (const config::ConfigFile& file : files) {
+    fingerprints.push_back(ExtractRouterFingerprint(file));
+  }
+  return fingerprints;
+}
+
+std::size_t MinFingerprintClassSize(
+    const std::vector<RouterFingerprint>& fingerprints) {
+  if (fingerprints.empty()) return 0;
+  std::map<std::string, std::size_t> classes;
+  for (const RouterFingerprint& fingerprint : fingerprints) {
+    ++classes[fingerprint.Key()];
+  }
+  std::size_t min_size = fingerprints.size();
+  for (const auto& [key, size] : classes) {
+    min_size = std::min(min_size, size);
+  }
+  return min_size;
 }
 
 }  // namespace confanon::analysis

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "config/document.h"
+#include "net/prefix.h"
 #include "util/stats.h"
 
 namespace confanon::analysis {
@@ -59,5 +61,47 @@ UniquenessResult SubnetFingerprintUniqueness(
     const std::vector<util::Histogram>& population);
 UniquenessResult PeeringFingerprintUniqueness(
     const std::vector<PeeringFingerprint>& population);
+
+// --- per-router fingerprints (the defense's unit of k-anonymity) ---
+//
+// The corpus-wide fingerprints above measure whether a NETWORK is
+// identifiable among networks; the decoy defense (src/defense) instead
+// needs the joint per-ROUTER view: within one anonymized corpus, how many
+// routers share a given (subnet-size histogram, peering degree) pair? A
+// router whose pair is rarer than k is re-identifiable by an insider who
+// knows the real topology, so the defense pads routers until every
+// equivalence class has at least k members.
+
+/// The distinct interface subnets of one router, both dialects: IOS
+/// `ip address A MASK` lines and JunOS `address a.b.c.d/len;` statements
+/// (each canonicalized to its subnet prefix, deduplicated).
+std::vector<net::Prefix> CollectInterfaceSubnets(
+    const config::ConfigFile& file);
+
+/// One router's joint structural fingerprint.
+struct RouterFingerprint {
+  /// Distinct interface subnets bucketed by prefix length.
+  util::Histogram subnet_sizes;
+  /// eBGP peering degree: IOS `neighbor A remote-as N` with N != the
+  /// local ASN, plus JunOS neighbors inside `type external` bgp groups.
+  int external_sessions = 0;
+
+  bool operator==(const RouterFingerprint&) const = default;
+
+  /// Canonical "len:count,...|degree" encoding — a total order over
+  /// fingerprints, used as the equivalence-class key.
+  std::string Key() const;
+};
+
+/// Dialect-aware extraction (IOS and JunOS constructs are both parsed;
+/// a file only ever matches its own dialect's patterns).
+RouterFingerprint ExtractRouterFingerprint(const config::ConfigFile& file);
+std::vector<RouterFingerprint> ExtractRouterFingerprints(
+    const std::vector<config::ConfigFile>& files);
+
+/// Size of the smallest fingerprint equivalence class — the corpus's
+/// achieved k. Returns 0 for an empty corpus.
+std::size_t MinFingerprintClassSize(
+    const std::vector<RouterFingerprint>& fingerprints);
 
 }  // namespace confanon::analysis

@@ -22,6 +22,7 @@
 
 #include "audit/finding.h"
 #include "config/document.h"
+#include "defense/manifest.h"
 #include "obs/metrics.h"
 
 namespace confanon::obs {
@@ -53,6 +54,18 @@ AuditResult ComparePair(const std::vector<config::ConfigFile>& pre,
                         const std::vector<config::ConfigFile>& post,
                         const AuditOptions& options = {});
 
+/// Decoy-aware pair check for corpora run through the fingerprint
+/// defense (src/defense): validates `manifest` against `post`
+/// (AUD-D002 on a missing file, an out-of-bounds or overlapping
+/// region), proves no decoy prefix shadows — contains or is contained
+/// by — any real subnet of the stripped corpus (AUD-D001), then strips
+/// the flagged decoy regions and runs the ordinary ComparePair, so the
+/// ORIGINAL structure must still be isomorphic to `pre`.
+AuditResult ComparePairDefended(const std::vector<config::ConfigFile>& pre,
+                                const std::vector<config::ConfigFile>& post,
+                                const defense::DecoyManifest& manifest,
+                                const AuditOptions& options = {});
+
 /// Rule ids for pair mode.
 inline constexpr const char* kRuleUnpairedFile = "AUD-P001";
 inline constexpr const char* kRuleShapeDivergence = "AUD-P002";
@@ -60,5 +73,9 @@ inline constexpr const char* kRuleRenameConflict = "AUD-P003";
 inline constexpr const char* kRuleRefGraphDivergence = "AUD-P004";
 inline constexpr const char* kRuleIdentitySurvived = "AUD-P005";
 inline constexpr const char* kRuleLatticeDivergence = "AUD-P006";
+
+/// Rule ids for decoy-aware pair mode.
+inline constexpr const char* kRuleDecoyShadowsReal = "AUD-D001";
+inline constexpr const char* kRuleDecoyManifestMismatch = "AUD-D002";
 
 }  // namespace confanon::audit

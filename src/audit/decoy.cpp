@@ -1,0 +1,127 @@
+// Decoy-aware pair audit (rules AUD-D001/AUD-D002).
+//
+// The fingerprint defense deliberately breaks the byte-level "nothing was
+// added" reading of structure preservation — so its insertions are
+// flagged in a DecoyManifest, and this mode holds the defense to its two
+// remaining promises: decoys never shadow real address space, and with
+// the flagged regions stripped the output is exactly what the ordinary
+// pair audit would have accepted.
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "analysis/fingerprint.h"
+#include "audit/audit.h"
+
+namespace confanon::audit {
+
+namespace {
+
+Finding DecoyFinding(const char* rule_id, std::string file, std::size_t line,
+                     std::string message) {
+  Finding finding;
+  finding.rule_id = rule_id;
+  finding.severity = Severity::kError;
+  finding.anchor.file = std::move(file);
+  finding.anchor.line = line;
+  finding.message = std::move(message);
+  return finding;
+}
+
+}  // namespace
+
+AuditResult ComparePairDefended(const std::vector<config::ConfigFile>& pre,
+                                const std::vector<config::ConfigFile>& post,
+                                const defense::DecoyManifest& manifest,
+                                const AuditOptions& options) {
+  AuditResult decoy_result;
+  std::map<std::string, const config::ConfigFile*> by_name;
+  for (const config::ConfigFile& file : post) {
+    by_name.emplace(file.name(), &file);
+  }
+
+  // 1. The manifest must describe this corpus: every region names an
+  // existing file and lies inside it, ascending and disjoint per file.
+  bool manifest_ok = true;
+  for (const defense::FileDecoys& entry : manifest.files) {
+    const auto it = by_name.find(entry.file);
+    if (it == by_name.end()) {
+      decoy_result.findings.push_back(DecoyFinding(
+          kRuleDecoyManifestMismatch, entry.file, Anchor::kNoLine,
+          "decoy manifest names a file absent from the post corpus"));
+      manifest_ok = false;
+      continue;
+    }
+    const std::size_t line_count = it->second->LineCount();
+    std::size_t previous_end = 0;
+    for (const config::LineRegion& region : entry.regions) {
+      if (region.end <= region.begin || region.end > line_count ||
+          region.begin < previous_end) {
+        std::ostringstream message;
+        message << "decoy region [" << region.begin << ", " << region.end
+                << ") is empty, overlapping, or outside the file's "
+                << line_count << " lines";
+        decoy_result.findings.push_back(
+            DecoyFinding(kRuleDecoyManifestMismatch, entry.file,
+                         region.begin, message.str()));
+        manifest_ok = false;
+        continue;
+      }
+      previous_end = region.end;
+    }
+  }
+  if (!manifest_ok) return decoy_result;  // stripping would be undefined
+
+  // 2. Strip the flagged regions (descending, so earlier begins stay
+  // valid) into a fresh corpus holding only the claimed-real lines.
+  std::vector<config::ConfigFile> stripped = post;
+  for (const defense::FileDecoys& entry : manifest.files) {
+    for (config::ConfigFile& file : stripped) {
+      if (file.name() != entry.file) continue;
+      std::vector<std::string>& lines = file.mutable_lines();
+      for (auto it = entry.regions.rbegin(); it != entry.regions.rend();
+           ++it) {
+        lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(it->begin),
+                    lines.begin() + static_cast<std::ptrdiff_t>(it->end));
+      }
+      break;
+    }
+  }
+
+  // 3. No decoy prefix may shadow real space in either direction: a
+  // decoy inside a real subnet would claim real hosts, a real subnet
+  // inside a decoy would let the defense hide (or excuse) real structure.
+  for (const config::ConfigFile& file : stripped) {
+    for (const net::Prefix& real : analysis::CollectInterfaceSubnets(file)) {
+      for (const net::Prefix& decoy : manifest.prefixes) {
+        if (decoy.Contains(real) || real.Contains(decoy)) {
+          decoy_result.findings.push_back(DecoyFinding(
+              kRuleDecoyShadowsReal, file.name(), Anchor::kNoLine,
+              "decoy prefix " + decoy.ToString() + " shadows real subnet " +
+                  real.ToString()));
+        }
+      }
+      if (manifest.octet >= 0 &&
+          static_cast<int>(real.address().value() >> 24) == manifest.octet) {
+        decoy_result.findings.push_back(DecoyFinding(
+            kRuleDecoyShadowsReal, file.name(), Anchor::kNoLine,
+            "real subnet " + real.ToString() +
+                " lives inside the claimed decoy block " +
+                std::to_string(manifest.octet) + ".0.0.0/8"));
+      }
+    }
+  }
+
+  // 4. With decoys gone, the ordinary isomorphism proof must hold.
+  AuditResult result = ComparePair(pre, stripped, options);
+  result.findings.insert(result.findings.begin(),
+                         decoy_result.findings.begin(),
+                         decoy_result.findings.end());
+  result.stats["decoy.files"] = manifest.files.size();
+  result.stats["decoy.lines"] = manifest.TotalDecoyLines();
+  result.stats["decoy.prefixes"] = manifest.prefixes.size();
+  return result;
+}
+
+}  // namespace confanon::audit

@@ -125,6 +125,22 @@ void Session::MergeRequest(const AnonymizationReport& report,
   requests_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Session::MergeDefense(const DefenseSummary& summary) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  defense_.target_k = summary.target_k;
+  defense_.decoy_lines += summary.decoy_lines;
+  defense_.overhead = summary.overhead;
+  if (defense_.achieved_k == 0 ||
+      summary.achieved_k < defense_.achieved_k) {
+    defense_.achieved_k = summary.achieved_k;
+  }
+}
+
+DefenseSummary Session::defense() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return defense_;
+}
+
 AnonymizationReport Session::report() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return report_;

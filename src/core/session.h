@@ -91,6 +91,35 @@ enum class ConfigDialect {
 /// kJunos when any line matches, kIos otherwise.
 ConfigDialect DetectDialect(const config::ConfigFile& file);
 
+/// Opt-in post-anonymization fingerprint defense (src/defense): inject
+/// decoy subnets/interfaces/peering stubs until every router's joint
+/// (subnet-size histogram, peering degree) fingerprint is shared by at
+/// least k routers of its corpus. Plain data here — the algorithm lives
+/// in defense; the pipeline runs it as a profiled "defend" phase when
+/// k > 0. Decoys are deterministic per (session salt, seed).
+struct DefenseOptions {
+  /// Target anonymity-set size; 0 disables the pass.
+  int k = 0;
+  /// Decoy randomness seed, mixed with the session salt.
+  std::uint64_t seed = 0;
+  /// Maximum decoy-line overhead as a fraction of the corpus's line
+  /// count; padding groups beyond the budget are left untouched (the
+  /// report then shows achieved k < target k).
+  double budget = 0.35;
+};
+
+/// What the defense pass reports back through the Session (and the
+/// daemon's /v1/sessions): how anonymous the served corpora actually are.
+struct DefenseSummary {
+  std::size_t target_k = 0;
+  /// Smallest fingerprint class size after padding (min across requests
+  /// when merged).
+  std::size_t achieved_k = 0;
+  std::uint64_t decoy_lines = 0;
+  /// decoy_lines / pre-defense corpus lines, of the latest merged run.
+  double overhead = 0.0;
+};
+
 /// The one options struct consumed by ServiceContext. Consolidates the
 /// fields that used to be split (and partially duplicated) across
 /// pipeline::PipelineOptions and pipeline::NetworkSetOptions: engine
@@ -114,6 +143,8 @@ struct ServiceOptions {
   bool verify_policy = true;
   /// Permit sessions when verification produced warnings (never errors).
   bool allow_policy_warnings = false;
+  /// Opt-in decoy fingerprint defense (k == 0 leaves output untouched).
+  DefenseOptions defense;
 };
 
 class Session;
@@ -219,9 +250,16 @@ class Session {
   void MergeRequest(const AnonymizationReport& report,
                     const LeakRecord& leaks);
 
+  /// Merges one defense pass's outcome: decoy lines accumulate,
+  /// achieved k takes the minimum across runs (the conservative
+  /// "weakest corpus served" reading), target/overhead take the latest
+  /// run's values. Thread-safe.
+  void MergeDefense(const DefenseSummary& summary);
+
   /// Session-lifetime copies (mutex-guarded snapshot).
   AnonymizationReport report() const;
   LeakRecord leak_record() const;
+  DefenseSummary defense() const;
 
   /// Requests merged so far.
   std::uint64_t requests() const {
@@ -235,6 +273,7 @@ class Session {
   mutable std::mutex mutex_;
   AnonymizationReport report_;
   LeakRecord leak_record_;
+  DefenseSummary defense_;
   std::atomic<std::uint64_t> requests_{0};
 };
 

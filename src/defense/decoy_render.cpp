@@ -1,0 +1,130 @@
+#include "defense/decoy_render.h"
+
+#include <cstdio>
+
+#include "config/tokenizer.h"
+#include "util/strings.h"
+
+namespace confanon::defense {
+
+namespace {
+
+std::string MaskOf(int prefix_length) {
+  return net::PrefixLengthToNetmask(prefix_length).ToString();
+}
+
+}  // namespace
+
+IosStyle DetectIosStyle(const config::ConfigFile& file) {
+  IosStyle style;
+  bool have_indent = false;
+  bool have_gap = false;
+  for (const std::string_view raw : file.lines()) {
+    const config::SplitLine split = config::SplitConfigLine(raw);
+    if (split.words.empty()) continue;
+    if (!have_indent && split.indent > 0) {
+      style.indent = std::string(
+          static_cast<std::size_t>(split.indent > 1 ? 2 : 1), ' ');
+      have_indent = true;
+    }
+    // `ip address A M`: the gap between the address and mask tokens is
+    // the per-dialect double-space artifact. The word views alias `raw`,
+    // so pointer arithmetic recovers the separator width exactly.
+    if (!have_gap && split.words.size() >= 4 &&
+        util::ToLower(split.words[0]) == "ip" &&
+        util::ToLower(split.words[1]) == "address") {
+      const std::string_view address = split.words[2];
+      const std::string_view mask = split.words[3];
+      const std::ptrdiff_t width = mask.data() - (address.data() +
+                                                  address.size());
+      if (width >= 1 && width <= 2) {
+        style.gap = std::string(static_cast<std::size_t>(width), ' ');
+        have_gap = true;
+      }
+    }
+    if (have_indent && have_gap) break;
+  }
+  return style;
+}
+
+std::string JunosIndent(int depth) {
+  return std::string(static_cast<std::size_t>(depth) * 4, ' ');
+}
+
+std::string HashLikeToken(std::uint64_t bits) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "h%010llx",
+                static_cast<unsigned long long>(bits & 0xffffffffffULL));
+  return buffer;
+}
+
+net::Ipv4Address DecoyHostAddress(const net::Prefix& subnet) {
+  if (subnet.length() >= 31) return subnet.address();
+  return net::Ipv4Address(subnet.address().value() + 1);
+}
+
+std::vector<std::string> RenderIosDecoyInterface(const IosStyle& style,
+                                                 const std::string& name,
+                                                 const net::Prefix& subnet) {
+  std::vector<std::string> lines;
+  lines.push_back("interface " + name);
+  lines.push_back(style.indent + "ip address " +
+                  DecoyHostAddress(subnet).ToString() + style.gap +
+                  MaskOf(subnet.length()));
+  lines.push_back("!");
+  return lines;
+}
+
+std::string RenderIosDecoyNeighbor(const IosStyle& style,
+                                   net::Ipv4Address peer,
+                                   std::uint32_t remote_asn) {
+  return style.indent + "neighbor " + peer.ToString() + " remote-as" +
+         style.gap + std::to_string(remote_asn);
+}
+
+std::vector<std::string> RenderIosDecoyBgpBlock(
+    const IosStyle& style, std::uint32_t local_asn,
+    const std::vector<std::pair<net::Ipv4Address, std::uint32_t>>& peers) {
+  std::vector<std::string> lines;
+  lines.push_back("router bgp " + std::to_string(local_asn));
+  lines.push_back(style.indent + "bgp log-neighbor-changes");
+  for (const auto& [address, asn] : peers) {
+    lines.push_back(RenderIosDecoyNeighbor(style, address, asn));
+  }
+  lines.push_back("!");
+  return lines;
+}
+
+std::vector<std::string> RenderJunosDecoyInterface(
+    const std::string& physical, int unit, const net::Prefix& subnet,
+    int depth) {
+  std::vector<std::string> lines;
+  lines.push_back(JunosIndent(depth) + physical + " {");
+  lines.push_back(JunosIndent(depth + 1) + "unit " + std::to_string(unit) +
+                  " {");
+  lines.push_back(JunosIndent(depth + 2) + "family inet {");
+  lines.push_back(JunosIndent(depth + 3) + "address " +
+                  DecoyHostAddress(subnet).ToString() + "/" +
+                  std::to_string(subnet.length()) + ";");
+  lines.push_back(JunosIndent(depth + 2) + "}");
+  lines.push_back(JunosIndent(depth + 1) + "}");
+  lines.push_back(JunosIndent(depth) + "}");
+  return lines;
+}
+
+std::vector<std::string> RenderJunosDecoyGroup(const std::string& group_name,
+                                               std::uint32_t peer_asn,
+                                               net::Ipv4Address neighbor,
+                                               int depth) {
+  std::vector<std::string> lines;
+  lines.push_back(JunosIndent(depth) + "group " + group_name + " {");
+  lines.push_back(JunosIndent(depth + 1) + "type external;");
+  lines.push_back(JunosIndent(depth + 1) + "peer-as " +
+                  std::to_string(peer_asn) + ";");
+  lines.push_back(JunosIndent(depth + 1) + "neighbor " +
+                  neighbor.ToString() + ";");
+  lines.push_back(JunosIndent(depth) + "}");
+  return lines;
+}
+
+}  // namespace confanon::defense

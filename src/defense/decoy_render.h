@@ -1,0 +1,76 @@
+// Dialect-idiomatic rendering of decoy config fragments.
+//
+// Decoys only defend if they are indistinguishable from real anonymized
+// output: an attacker who can grep the padding back out has lost nothing.
+// So these renderers reproduce the exact line shapes the IOS and JunOS
+// writers (src/gen/config_writer, src/junos/writer) emit — the same
+// keywords, indent conventions, mask spelling, and brace nesting — with
+// identifiers shaped like the anonymizer's own hash replacement tokens
+// ("h" + 10 hex digits), so the audit's residue lint treats decoy lines
+// exactly like genuine anonymized lines.
+//
+// Style is probed per receiving file (IOS indent width and the
+// double-space mask artifact vary across emulated IOS versions), so an
+// inserted block matches its surroundings byte-for-byte in convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/document.h"
+#include "net/prefix.h"
+
+namespace confanon::defense {
+
+/// Per-file IOS rendering conventions, probed from existing lines.
+struct IosStyle {
+  std::string indent = " ";  // block-body indent (1 or 2 spaces)
+  std::string gap = " ";     // address<->mask separator (1 or 2 spaces)
+};
+IosStyle DetectIosStyle(const config::ConfigFile& file);
+
+/// Leading whitespace per JunOS nesting depth (writer convention: 4).
+std::string JunosIndent(int depth);
+
+/// "h" + 10 lowercase hex digits of `bits` — the anonymizer's hash
+/// replacement token shape (core::StringHasher).
+std::string HashLikeToken(std::uint64_t bits);
+
+/// IOS `interface <name>` block carrying one decoy subnet: the interface
+/// host address is the subnet address for /32s and base+1 otherwise.
+/// Rendered as { "interface NAME", "<i>ip address A M", "!" }.
+std::vector<std::string> RenderIosDecoyInterface(const IosStyle& style,
+                                                 const std::string& name,
+                                                 const net::Prefix& subnet);
+
+/// One IOS decoy eBGP session line: "<i>neighbor A remote-as<gap>N".
+std::string RenderIosDecoyNeighbor(const IosStyle& style,
+                                   net::Ipv4Address peer,
+                                   std::uint32_t remote_asn);
+
+/// A complete IOS `router bgp` block for routers that had none, holding
+/// the given decoy sessions (ends with "!").
+std::vector<std::string> RenderIosDecoyBgpBlock(
+    const IosStyle& style, std::uint32_t local_asn,
+    const std::vector<std::pair<net::Ipv4Address, std::uint32_t>>& peers);
+
+/// JunOS physical-interface block at `depth` (children of a top-level
+/// `interfaces {` use depth 1):
+///   <physical> { unit <unit> { family inet { address a.b.c.d/len; } } }
+std::vector<std::string> RenderJunosDecoyInterface(
+    const std::string& physical, int unit, const net::Prefix& subnet,
+    int depth);
+
+/// JunOS external BGP group at `depth` (children of `protocols { bgp {`
+/// use depth 2):
+///   group <name> { type external; peer-as N; neighbor A; }
+std::vector<std::string> RenderJunosDecoyGroup(const std::string& group_name,
+                                               std::uint32_t peer_asn,
+                                               net::Ipv4Address neighbor,
+                                               int depth);
+
+/// Host address a decoy interface claims inside its subnet.
+net::Ipv4Address DecoyHostAddress(const net::Prefix& subnet);
+
+}  // namespace confanon::defense

@@ -1,0 +1,632 @@
+#include "defense/defense.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "analysis/fingerprint.h"
+#include "config/tokenizer.h"
+#include "defense/decoy_render.h"
+#include "gen/addressing.h"
+#include "util/strings.h"
+
+namespace confanon::defense {
+
+namespace {
+
+constexpr std::size_t kNoPos = ~std::size_t{0};
+
+std::string_view StripSemicolon(std::string_view token) {
+  if (!token.empty() && token.back() == ';') token.remove_suffix(1);
+  return token;
+}
+
+/// Everything DefendCorpus needs to know about one receiving file:
+/// dialect, style, and the line indices decoys splice into (all indices
+/// refer to the ORIGINAL lines; insertions are applied at the end).
+struct FilePlan {
+  bool junos = false;
+  IosStyle style;
+  // IOS: end of the `router bgp` block body (kNoPos when the file has
+  // none), its local ASN, and the tail slot (before the trailing "end").
+  std::size_t ios_bgp_insert = kNoPos;
+  std::uint32_t ios_local_asn = 0;
+  std::size_t ios_iface_insert = kNoPos;  // after the last interface block
+  std::size_t tail_insert = 0;
+  // JunOS: the closing brace lines of `interfaces { ... }` and of
+  // `protocols { bgp { ... } }` (kNoPos when absent).
+  std::size_t junos_iface_insert = kNoPos;
+  std::size_t junos_group_insert = kNoPos;
+  // Interface names already taken in this file.
+  std::set<std::string, std::less<>> names;
+  // Decoy interface numbering cursors.
+  int ios_fe_port = 0;
+  int ios_serial_port = 0;
+  int ios_loopback = 100;
+  int junos_fe_port = 0;
+  int junos_so_port = 0;
+  int junos_lo = 1;
+};
+
+FilePlan AnalyzeFile(const config::ConfigFile& file, bool junos) {
+  FilePlan plan;
+  plan.junos = junos;
+  const auto& lines = file.lines();
+  plan.tail_insert = lines.size();
+
+  if (!junos) {
+    plan.style = DetectIosStyle(file);
+    std::size_t last_interface = kNoPos;
+    bool in_bgp = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const config::SplitLine split = config::SplitConfigLine(lines[i]);
+      const auto& words = split.words;
+      if (words.empty()) continue;
+      const std::string first = util::ToLower(words[0]);
+      if (split.indent == 0) {
+        if (in_bgp) {
+          plan.ios_bgp_insert = i;  // first top-level line after the block
+          in_bgp = false;
+        }
+        if (first == "interface") {
+          last_interface = i;
+          if (words.size() >= 2) plan.names.emplace(words[1]);
+        } else if (first == "router" && words.size() >= 3 &&
+                   util::ToLower(words[1]) == "bgp") {
+          std::uint64_t asn = 0;
+          if (util::ParseUint(words[2], 65535, asn)) {
+            plan.ios_local_asn = static_cast<std::uint32_t>(asn);
+          }
+          in_bgp = true;
+        } else if (first == "end" && words.size() == 1) {
+          plan.tail_insert = i;
+        }
+      }
+    }
+    if (in_bgp) plan.ios_bgp_insert = lines.size();
+    // Decoy interfaces go right after the last interface block: the
+    // first top-level line following the last `interface` header.
+    if (last_interface != kNoPos) {
+      for (std::size_t i = last_interface + 1; i < lines.size(); ++i) {
+        const config::SplitLine split = config::SplitConfigLine(lines[i]);
+        if (split.words.empty() || split.indent != 0) continue;
+        // Land after the "!" that closes the last block, or directly
+        // before the first unrelated top-level line.
+        plan.ios_iface_insert = util::Trim(lines[i]) == "!" ? i + 1 : i;
+        break;
+      }
+    }
+    if (plan.ios_iface_insert == kNoPos) {
+      plan.ios_iface_insert = plan.tail_insert;
+    }
+    return plan;
+  }
+
+  // JunOS: find the closing braces of the top-level `interfaces` block
+  // and of `protocols { bgp {`, tracking the open-block stack.
+  std::vector<std::string> stack;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view trimmed = util::Trim(lines[i]);
+    if (trimmed == "}") {
+      if (!stack.empty()) {
+        if (stack.size() == 1 && stack[0] == "interfaces" &&
+            plan.junos_iface_insert == kNoPos) {
+          plan.junos_iface_insert = i;
+        }
+        if (stack.size() == 2 && stack[0] == "protocols" &&
+            stack[1] == "bgp" && plan.junos_group_insert == kNoPos) {
+          plan.junos_group_insert = i;
+        }
+        stack.pop_back();
+      }
+      continue;
+    }
+    if (trimmed.empty() || trimmed.back() != '{') continue;
+    const config::SplitLine split = config::SplitConfigLine(lines[i]);
+    if (split.words.empty()) continue;
+    if (stack.size() == 1 && stack[0] == "interfaces") {
+      plan.names.emplace(split.words[0]);
+    }
+    stack.push_back(util::ToLower(split.words[0]));
+  }
+  return plan;
+}
+
+/// Next unused decoy interface name of the right flavor for `length`.
+std::string NextDecoyName(FilePlan& plan, int length) {
+  for (;;) {
+    std::string name;
+    if (!plan.junos) {
+      if (length >= 32) {
+        name = "Loopback" + std::to_string(plan.ios_loopback++);
+      } else if (length >= 30) {
+        name = "Serial9/" + std::to_string(plan.ios_serial_port++);
+      } else {
+        name = "FastEthernet9/" + std::to_string(plan.ios_fe_port++);
+      }
+    } else {
+      if (length >= 32) {
+        name = "lo" + std::to_string(plan.junos_lo++);
+      } else if (length >= 30) {
+        name = "so-9/" + std::to_string(plan.junos_so_port++);
+      } else {
+        name = "fe-9/" + std::to_string(plan.junos_fe_port++);
+      }
+    }
+    if (plan.names.emplace(name).second) return name;
+  }
+}
+
+/// One staged splice: `lines` inserted before original index `pos`.
+struct Insertion {
+  std::size_t pos = 0;
+  std::size_t seq = 0;  // tie-break for equal positions (staging order)
+  std::vector<std::string> lines;
+};
+
+/// Applies a file's insertions and returns the decoy regions in final
+/// (post-insertion) coordinates, adjacent regions merged.
+std::vector<config::LineRegion> ApplyInsertions(
+    config::ConfigFile& file, std::vector<Insertion> insertions) {
+  std::sort(insertions.begin(), insertions.end(),
+            [](const Insertion& a, const Insertion& b) {
+              return a.pos != b.pos ? a.pos < b.pos : a.seq < b.seq;
+            });
+  std::vector<config::LineRegion> regions;
+  std::size_t shift = 0;
+  for (const Insertion& insertion : insertions) {
+    const std::size_t begin = insertion.pos + shift;
+    const std::size_t end = begin + insertion.lines.size();
+    if (!regions.empty() && regions.back().end == begin) {
+      regions.back().end = end;
+    } else {
+      regions.push_back(config::LineRegion{begin, end});
+    }
+    shift += insertion.lines.size();
+  }
+  std::vector<std::string>& lines = file.mutable_lines();
+  for (auto it = insertions.rbegin(); it != insertions.rend(); ++it) {
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(it->pos),
+                 it->lines.begin(), it->lines.end());
+  }
+  return regions;
+}
+
+std::set<std::uint32_t> CollectLocalAsns(
+    const std::vector<config::ConfigFile>& files) {
+  std::set<std::uint32_t> asns;
+  for (const config::ConfigFile& file : files) {
+    for (const std::string_view raw : file.lines()) {
+      const config::SplitLine split = config::SplitConfigLine(raw);
+      const auto& words = split.words;
+      if (words.empty()) continue;
+      const std::string first = util::ToLower(words[0]);
+      std::uint64_t asn = 0;
+      if (split.indent == 0 && first == "router" && words.size() >= 3 &&
+          util::ToLower(words[1]) == "bgp" &&
+          util::ParseUint(words[2], 65535, asn)) {
+        asns.insert(static_cast<std::uint32_t>(asn));
+      } else if (first == "autonomous-system" && words.size() >= 2 &&
+                 util::ParseUint(StripSemicolon(words[1]), 65535, asn)) {
+        asns.insert(static_cast<std::uint32_t>(asn));
+      }
+    }
+  }
+  return asns;
+}
+
+std::uint32_t ModalLocalAsn(const std::vector<config::ConfigFile>& files,
+                            util::Rng& rng,
+                            std::set<std::uint32_t>& forbidden) {
+  std::map<std::uint32_t, std::size_t> counts;
+  for (const config::ConfigFile& file : files) {
+    for (const std::string_view raw : file.lines()) {
+      const config::SplitLine split = config::SplitConfigLine(raw);
+      const auto& words = split.words;
+      std::uint64_t asn = 0;
+      if (split.indent == 0 && !words.empty() &&
+          util::ToLower(words[0]) == "router" && words.size() >= 3 &&
+          util::ToLower(words[1]) == "bgp" &&
+          util::ParseUint(words[2], 65535, asn)) {
+        ++counts[static_cast<std::uint32_t>(asn)];
+      }
+    }
+  }
+  std::uint32_t best = 0;
+  std::size_t best_count = 0;
+  for (const auto& [asn, count] : counts) {
+    if (count > best_count) {
+      best = asn;
+      best_count = count;
+    }
+  }
+  if (best_count > 0) return best;
+  // No IOS bgp speaker anywhere: invent a deterministic local ASN for
+  // decoy blocks and keep decoy peers distinct from it.
+  const auto invented = static_cast<std::uint32_t>(rng.Between(55000, 59999));
+  forbidden.insert(invented);
+  return invented;
+}
+
+std::uint32_t DrawDecoyAsn(util::Rng& rng,
+                           const std::set<std::uint32_t>& forbidden) {
+  for (;;) {
+    const auto asn = static_cast<std::uint32_t>(rng.Between(60000, 64999));
+    if (!forbidden.contains(asn)) return asn;
+  }
+}
+
+}  // namespace
+
+core::DefenseSummary DefenseReport::Summary() const {
+  core::DefenseSummary summary;
+  summary.target_k = target_k;
+  summary.achieved_k = achieved_k;
+  summary.decoy_lines = decoy_lines;
+  summary.overhead = Overhead();
+  return summary;
+}
+
+std::string DefenseReport::ToString() const {
+  std::ostringstream out;
+  out << "defense: k target " << target_k << ", baseline " << baseline_k
+      << ", achieved " << achieved_k << "; " << decoy_lines
+      << " decoy lines over " << corpus_lines << " ("
+      << static_cast<double>(static_cast<std::uint64_t>(
+             Overhead() * 10000.0 + 0.5)) /
+             100.0
+      << "% overhead), " << padded_routers << "/" << routers
+      << " routers padded";
+  if (budget_exhausted) out << " [budget exhausted]";
+  if (decoy_octet >= 0) out << ", decoy block " << decoy_octet << ".0.0.0/8";
+  return out.str();
+}
+
+std::vector<int> DecoyOctetCandidates() {
+  std::vector<int> candidates;
+  for (int octet = 4; octet <= 126; ++octet) {
+    if (octet != 10) candidates.push_back(octet);
+  }
+  for (int octet = 128; octet <= 191; ++octet) candidates.push_back(octet);
+  return candidates;
+}
+
+int ChooseDecoyOctet(const std::vector<config::ConfigFile>& files,
+                     util::Rng& rng) {
+  // Every IPv4-shaped token in the corpus poisons its first octet —
+  // interface addresses, neighbor addresses, ACL operands, NTP servers:
+  // a decoy block must be disjoint from ALL of it.
+  std::array<bool, 256> used{};
+  std::vector<net::Prefix> subnets;
+  for (const config::ConfigFile& file : files) {
+    for (const std::string_view raw : file.lines()) {
+      for (const std::string_view word : config::SplitConfigLine(raw).words) {
+        std::string_view token = StripSemicolon(word);
+        const std::size_t slash = token.find('/');
+        if (slash != std::string_view::npos) token = token.substr(0, slash);
+        if (const auto address = net::Ipv4Address::Parse(token)) {
+          used[address->value() >> 24] = true;
+        }
+      }
+    }
+    for (const net::Prefix& subnet : analysis::CollectInterfaceSubnets(file)) {
+      if (subnet.length() < 8) subnets.push_back(subnet);
+    }
+  }
+  std::vector<int> candidates = DecoyOctetCandidates();
+  rng.Shuffle(candidates);
+  for (const int octet : candidates) {
+    if (used[static_cast<std::size_t>(octet)]) continue;
+    const net::Prefix block(
+        net::Ipv4Address(static_cast<std::uint32_t>(octet) << 24), 8);
+    bool shadowed = false;
+    for (const net::Prefix& subnet : subnets) {
+      // Octet disjointness already rules out subnets of length >= 8;
+      // only shorter-than-/8 interface subnets can still contain the
+      // candidate block.
+      if (subnet.Contains(block)) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) return octet;
+  }
+  return -1;
+}
+
+DefenseResult DefendCorpus(std::vector<config::ConfigFile>& files,
+                           const core::DefenseOptions& options,
+                           std::string_view salt) {
+  DefenseResult result;
+  DefenseReport& report = result.report;
+  report.target_k = static_cast<std::size_t>(options.k < 0 ? 0 : options.k);
+  report.routers = files.size();
+  for (const config::ConfigFile& file : files) {
+    report.corpus_lines += file.LineCount();
+  }
+
+  std::vector<analysis::RouterFingerprint> fingerprints =
+      analysis::ExtractRouterFingerprints(files);
+  report.baseline_k = analysis::MinFingerprintClassSize(fingerprints);
+  report.achieved_k = report.baseline_k;
+  if (files.empty() || report.target_k <= 1 ||
+      report.baseline_k >= report.target_k) {
+    return result;  // already k-anonymous: the pass is a fixed point
+  }
+
+  // --- equivalence classes and the deficient set ---
+  std::map<std::string, std::vector<std::size_t>> classes;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    classes[fingerprints[i].Key()].push_back(i);
+  }
+  std::vector<std::size_t> deficient;
+  for (const auto& [key, members] : classes) {
+    if (members.size() < report.target_k) {
+      deficient.insert(deficient.end(), members.begin(), members.end());
+    }
+  }
+  // Fewer deficient routers than k: absorb the smallest satisfied class
+  // whole, so the united group still moves together (class size >= k).
+  if (deficient.size() < report.target_k) {
+    const std::vector<std::size_t>* smallest = nullptr;
+    std::size_t smallest_size = 0;
+    for (const auto& [key, members] : classes) {
+      if (members.size() < report.target_k) continue;
+      if (smallest == nullptr || members.size() < smallest_size) {
+        smallest = &members;
+        smallest_size = members.size();
+      }
+    }
+    if (smallest != nullptr) {
+      deficient.insert(deficient.end(), smallest->begin(), smallest->end());
+    }
+  }
+
+  // Deterministic grouping order: routers with similar weight cluster,
+  // which minimizes padding; the file index breaks all ties.
+  std::sort(deficient.begin(), deficient.end(),
+            [&](std::size_t a, std::size_t b) {
+              const auto weight = [&](std::size_t i) {
+                return std::make_tuple(fingerprints[i].subnet_sizes.Total(),
+                                       fingerprints[i].external_sessions,
+                                       fingerprints[i].Key(), i);
+              };
+              return weight(a) < weight(b);
+            });
+  std::vector<std::vector<std::size_t>> groups;
+  if (deficient.size() < report.target_k) {
+    groups.push_back(deficient);  // whole corpus smaller than k
+  } else {
+    const std::size_t group_count = deficient.size() / report.target_k;
+    for (std::size_t g = 0; g < group_count; ++g) {
+      const std::size_t begin = g * report.target_k;
+      const std::size_t end =
+          g + 1 == group_count ? deficient.size() : begin + report.target_k;
+      groups.emplace_back(deficient.begin() +
+                              static_cast<std::ptrdiff_t>(begin),
+                          deficient.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+
+  // --- decoy planning substrate ---
+  std::uint64_t seed = util::HashSeed(salt);
+  seed ^= options.seed + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  util::Rng rng(seed, "fingerprint-defense");
+
+  const int octet = ChooseDecoyOctet(files, rng);
+  report.decoy_octet = octet;
+  if (octet < 0) {
+    report.budget_exhausted = true;  // no safe decoy space at all
+    return result;
+  }
+  gen::AddressPlan plan(net::Prefix(
+      net::Ipv4Address(static_cast<std::uint32_t>(octet) << 24), 8));
+
+  std::set<std::uint32_t> forbidden_asns = CollectLocalAsns(files);
+  const std::uint32_t decoy_local_asn =
+      ModalLocalAsn(files, rng, forbidden_asns);
+
+  std::vector<FilePlan> file_plans;
+  file_plans.reserve(files.size());
+  for (const config::ConfigFile& file : files) {
+    file_plans.push_back(AnalyzeFile(
+        file, core::DetectDialect(file) == core::ConfigDialect::kJunos));
+  }
+
+  const auto budget_lines = static_cast<std::uint64_t>(
+      options.budget <= 0.0
+          ? 0.0
+          : options.budget * static_cast<double>(report.corpus_lines));
+
+  // --- pad group by group until the budget is spent ---
+  std::vector<std::vector<Insertion>> insertions(files.size());
+  std::set<net::Prefix> decoy_prefixes;
+  std::set<std::uint32_t> decoy_asns;
+  std::size_t seq = 0;
+  std::set<std::size_t> padded;
+
+  for (const std::vector<std::size_t>& group : groups) {
+    // Group target: bucketwise-max histogram, max degree — the smallest
+    // add-only fingerprint every member can reach.
+    util::Histogram target;
+    int target_sessions = 0;
+    for (const std::size_t i : group) {
+      for (const int bucket : fingerprints[i].subnet_sizes.Buckets()) {
+        const std::uint64_t have = target.Get(bucket);
+        const std::uint64_t want = fingerprints[i].subnet_sizes.Get(bucket);
+        if (want > have) target.Add(bucket, want - have);
+      }
+      target_sessions =
+          std::max(target_sessions, fingerprints[i].external_sessions);
+    }
+
+    // Stage the whole group's insertions before committing any of them:
+    // a group is padded atomically or not at all, so every committed
+    // group's members end identical.
+    std::vector<std::vector<Insertion>> staged(files.size());
+    std::set<net::Prefix> staged_prefixes;
+    std::set<std::uint32_t> staged_asns;
+    std::set<std::size_t> staged_padded;
+    std::uint64_t staged_lines = 0;
+    bool exhausted = false;
+
+    try {
+      for (const std::size_t i : group) {
+        FilePlan& fp = file_plans[i];
+        std::vector<std::string> iface_lines;   // dialect-level blocks
+        std::vector<std::string> group_lines;   // junos bgp groups
+        std::vector<std::pair<net::Ipv4Address, std::uint32_t>> ios_peers;
+
+        for (const int bucket : target.Buckets()) {
+          const std::uint64_t have = fingerprints[i].subnet_sizes.Get(bucket);
+          const std::uint64_t want = target.Get(bucket);
+          for (std::uint64_t n = have; n < want; ++n) {
+            net::Prefix subnet =
+                bucket >= 32
+                    ? net::Prefix(plan.AllocateLoopback(), 32)
+                    : (bucket == 30 ? plan.AllocateLink()
+                                    : plan.AllocateSubnet(bucket));
+            staged_prefixes.insert(subnet);
+            const std::string name = NextDecoyName(fp, bucket);
+            if (fp.junos) {
+              const auto block =
+                  RenderJunosDecoyInterface(name, 0, subnet, 1);
+              iface_lines.insert(iface_lines.end(), block.begin(),
+                                 block.end());
+            } else {
+              const auto block =
+                  RenderIosDecoyInterface(fp.style, name, subnet);
+              iface_lines.insert(iface_lines.end(), block.begin(),
+                                 block.end());
+            }
+          }
+        }
+
+        for (int s = fingerprints[i].external_sessions; s < target_sessions;
+             ++s) {
+          const net::Prefix link = plan.AllocateLink();
+          const net::Ipv4Address peer(link.address().value() + 2);
+          staged_prefixes.insert(link);
+          const std::uint32_t asn = DrawDecoyAsn(rng, forbidden_asns);
+          staged_asns.insert(asn);
+          if (fp.junos) {
+            const auto block = RenderJunosDecoyGroup(
+                HashLikeToken(rng.Next()), asn, peer, 2);
+            group_lines.insert(group_lines.end(), block.begin(),
+                               block.end());
+          } else {
+            ios_peers.emplace_back(peer, asn);
+          }
+        }
+
+        // Splice the member's decoys at the file's natural seams.
+        if (!fp.junos) {
+          if (!iface_lines.empty()) {
+            staged[i].push_back(
+                Insertion{fp.ios_iface_insert, seq++, iface_lines});
+          }
+          if (!ios_peers.empty()) {
+            if (fp.ios_bgp_insert != kNoPos) {
+              std::vector<std::string> lines;
+              for (const auto& [address, asn] : ios_peers) {
+                // A decoy peer ASN never equals any local ASN, so the
+                // session always counts as external in this file too.
+                lines.push_back(
+                    RenderIosDecoyNeighbor(fp.style, address, asn));
+              }
+              staged[i].push_back(
+                  Insertion{fp.ios_bgp_insert, seq++, lines});
+            } else {
+              staged[i].push_back(Insertion{
+                  fp.tail_insert, seq++,
+                  RenderIosDecoyBgpBlock(fp.style, decoy_local_asn,
+                                         ios_peers)});
+            }
+          }
+        } else {
+          if (!iface_lines.empty()) {
+            if (fp.junos_iface_insert != kNoPos) {
+              staged[i].push_back(
+                  Insertion{fp.junos_iface_insert, seq++, iface_lines});
+            } else {
+              std::vector<std::string> wrapped;
+              wrapped.push_back("interfaces {");
+              wrapped.insert(wrapped.end(), iface_lines.begin(),
+                             iface_lines.end());
+              wrapped.push_back("}");
+              staged[i].push_back(
+                  Insertion{fp.tail_insert, seq++, wrapped});
+            }
+          }
+          if (!group_lines.empty()) {
+            if (fp.junos_group_insert != kNoPos) {
+              staged[i].push_back(
+                  Insertion{fp.junos_group_insert, seq++, group_lines});
+            } else {
+              std::vector<std::string> wrapped;
+              wrapped.push_back("protocols {");
+              wrapped.push_back(JunosIndent(1) + "bgp {");
+              wrapped.insert(wrapped.end(), group_lines.begin(),
+                             group_lines.end());
+              wrapped.push_back(JunosIndent(1) + "}");
+              wrapped.push_back("}");
+              staged[i].push_back(
+                  Insertion{fp.tail_insert, seq++, wrapped});
+            }
+          }
+        }
+        for (const Insertion& insertion : staged[i]) {
+          staged_lines += insertion.lines.size();
+        }
+        if (!staged[i].empty()) staged_padded.insert(i);
+      }
+    } catch (const std::runtime_error&) {
+      exhausted = true;  // decoy address plan ran dry mid-group
+    }
+
+    if (exhausted || report.decoy_lines + staged_lines > budget_lines) {
+      // Stop at the first unaffordable group (never skip-and-continue):
+      // the affordable prefix grows monotonically with the budget, which
+      // is what makes achieved k monotone in it.
+      report.budget_exhausted = true;
+      break;
+    }
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      insertions[i].insert(insertions[i].end(), staged[i].begin(),
+                           staged[i].end());
+    }
+    decoy_prefixes.insert(staged_prefixes.begin(), staged_prefixes.end());
+    decoy_asns.insert(staged_asns.begin(), staged_asns.end());
+    padded.insert(staged_padded.begin(), staged_padded.end());
+    report.decoy_lines += staged_lines;
+  }
+
+  // --- apply, then re-measure (never trust the plan: the achieved k is
+  // re-extracted from the mutated corpus by the same code the attack
+  // experiment uses) ---
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (insertions[i].empty()) continue;
+    std::vector<config::LineRegion> regions =
+        ApplyInsertions(files[i], std::move(insertions[i]));
+    result.manifest.files.push_back(
+        FileDecoys{files[i].name(), std::move(regions)});
+  }
+  std::sort(result.manifest.files.begin(), result.manifest.files.end(),
+            [](const FileDecoys& a, const FileDecoys& b) {
+              return a.file < b.file;
+            });
+  result.manifest.octet = report.decoy_lines > 0 ? octet : -1;
+  result.manifest.prefixes.assign(decoy_prefixes.begin(),
+                                  decoy_prefixes.end());
+  result.manifest.asns.assign(decoy_asns.begin(), decoy_asns.end());
+  report.padded_routers = padded.size();
+  report.achieved_k =
+      analysis::MinFingerprintClassSize(analysis::ExtractRouterFingerprints(files));
+  return result;
+}
+
+}  // namespace confanon::defense

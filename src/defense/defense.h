@@ -1,0 +1,99 @@
+// Decoy topology expansion: k-anonymous router fingerprints.
+//
+// The paper (Sections 6.2/6.3) concedes that structure-preserving
+// anonymization preserves exactly the structure an attacker fingerprints:
+// the subnet-size histogram and the peering degree survive anonymization
+// by design. analysis::fingerprint measures how identifying those are;
+// this module is the countermeasure, in the shape of NetCloak's dynamic
+// topology expansion: ADD plausible decoy structure (never remove or
+// perturb real structure) until every router's joint fingerprint —
+// (subnet-size histogram, eBGP peering degree) — is shared by at least k
+// routers of its corpus.
+//
+// Algorithm (add-only, deterministic per (salt, seed)):
+//   1. Extract per-router fingerprints and group them into equivalence
+//      classes. Classes with >= k members are NEVER touched — that makes
+//      the pass idempotent (defended output re-defends to a fixed point).
+//   2. Sort the deficient routers deterministically and chunk them into
+//      groups of >= k (absorbing the smallest satisfied class when fewer
+//      than k routers are deficient). Every group member is padded UP to
+//      the group's bucketwise-maximum histogram and maximum degree, so
+//      all members of a group end with the identical fingerprint.
+//   3. Decoy subnets are carved from a /8 whose first octet appears
+//      nowhere in the corpus (so a decoy can never shadow real space),
+//      through the same gen::AddressPlan region layout real plans use.
+//      Decoy lines are rendered in the receiving file's own dialect and
+//      style (decoy_render.h) with hash-shaped identifiers.
+//   4. Groups are applied in deterministic order until the decoy-line
+//      budget (DefenseOptions::budget, a fraction of the corpus's line
+//      count) would be exceeded; the pass then stops and reports the
+//      honestly achieved k.
+//
+// Every inserted line is recorded in a DecoyManifest (manifest.h) so
+// confanon_audit --decoys can strip the decoys and still prove the
+// original structure isomorphic, and verify no decoy shadows real space.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/document.h"
+#include "core/session.h"
+#include "defense/manifest.h"
+#include "util/rng.h"
+
+namespace confanon::defense {
+
+struct DefenseReport {
+  std::size_t target_k = 0;
+  /// Smallest fingerprint class size before / after padding.
+  std::size_t baseline_k = 0;
+  std::size_t achieved_k = 0;
+  std::uint64_t corpus_lines = 0;  // pre-defense line count
+  std::uint64_t decoy_lines = 0;
+  std::size_t routers = 0;
+  std::size_t padded_routers = 0;
+  /// True when the budget (or decoy address space) stopped padding
+  /// before every group was processed.
+  bool budget_exhausted = false;
+  int decoy_octet = -1;
+
+  double Overhead() const {
+    return corpus_lines == 0
+               ? 0.0
+               : static_cast<double>(decoy_lines) /
+                     static_cast<double>(corpus_lines);
+  }
+
+  core::DefenseSummary Summary() const;
+  /// One-paragraph human rendering for the CLIs.
+  std::string ToString() const;
+};
+
+struct DefenseResult {
+  DefenseReport report;
+  DecoyManifest manifest;
+};
+
+/// Runs the pass over an anonymized corpus IN PLACE. options.k <= 1 (or
+/// an already k-anonymous corpus) inserts nothing. Deterministic for a
+/// given (files, options.k, options.budget, salt, options.seed).
+DefenseResult DefendCorpus(std::vector<config::ConfigFile>& files,
+                           const core::DefenseOptions& options,
+                           std::string_view salt);
+
+/// The first octets the decoy planner may draw from: the generator's
+/// public-looking space, 4..126 and 128..191, excluding 10 (exposed so
+/// the negative-path test can iterate the full domain).
+std::vector<int> DecoyOctetCandidates();
+
+/// Picks a candidate octet that appears in no IPv4 token of the corpus
+/// and whose /8 neither contains nor is contained by any interface
+/// subnet. Returns -1 when every candidate collides.
+int ChooseDecoyOctet(const std::vector<config::ConfigFile>& files,
+                     util::Rng& rng);
+
+}  // namespace confanon::defense

@@ -1,0 +1,108 @@
+#include "defense/manifest.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace confanon::defense {
+
+bool DecoyManifest::Empty() const {
+  return TotalDecoyLines() == 0;
+}
+
+std::size_t DecoyManifest::TotalDecoyLines() const {
+  std::size_t total = 0;
+  for (const FileDecoys& entry : files) {
+    for (const config::LineRegion& region : entry.regions) {
+      total += region.end - region.begin;
+    }
+  }
+  return total;
+}
+
+std::string DecoyManifest::Serialize() const {
+  std::ostringstream out;
+  out << "# confanon decoy manifest v1\n";
+  if (octet >= 0) out << "octet " << octet << "\n";
+  for (const net::Prefix& prefix : prefixes) {
+    out << "prefix " << prefix.ToString() << "\n";
+  }
+  for (const std::uint32_t asn : asns) {
+    out << "asn " << asn << "\n";
+  }
+  for (const FileDecoys& entry : files) {
+    for (const config::LineRegion& region : entry.regions) {
+      out << "region " << entry.file << " " << region.begin << " "
+          << region.end << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::optional<DecoyManifest> DecoyManifest::Parse(std::string_view text) {
+  DecoyManifest manifest;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find('\n');
+    const std::string_view line = util::Trim(rest.substr(0, eol));
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 1);
+    if (line.empty() || line.front() == '#') continue;
+    const std::vector<std::string_view> words = util::SplitWords(line);
+    if (words[0] == "octet" && words.size() == 2) {
+      std::uint64_t value = 0;
+      if (!util::ParseUint(words[1], 255, value)) return std::nullopt;
+      manifest.octet = static_cast<int>(value);
+    } else if (words[0] == "prefix" && words.size() == 2) {
+      const auto prefix = net::Prefix::Parse(words[1]);
+      if (!prefix) return std::nullopt;
+      manifest.prefixes.push_back(*prefix);
+    } else if (words[0] == "asn" && words.size() == 2) {
+      std::uint64_t value = 0;
+      if (!util::ParseUint(words[1], 4294967295ULL, value)) {
+        return std::nullopt;
+      }
+      manifest.asns.push_back(static_cast<std::uint32_t>(value));
+    } else if (words[0] == "region" && words.size() == 4) {
+      std::uint64_t begin = 0;
+      std::uint64_t end = 0;
+      if (!util::ParseUint(words[2], ~std::uint64_t{0} >> 1, begin) ||
+          !util::ParseUint(words[3], ~std::uint64_t{0} >> 1, end) ||
+          end < begin) {
+        return std::nullopt;
+      }
+      const std::string name(words[1]);
+      FileDecoys* entry = nullptr;
+      for (FileDecoys& existing : manifest.files) {
+        if (existing.file == name) {
+          entry = &existing;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        manifest.files.push_back(FileDecoys{name, {}});
+        entry = &manifest.files.back();
+      }
+      entry->regions.push_back(config::LineRegion{
+          static_cast<std::size_t>(begin), static_cast<std::size_t>(end)});
+    } else {
+      return std::nullopt;
+    }
+  }
+  std::sort(manifest.files.begin(), manifest.files.end(),
+            [](const FileDecoys& a, const FileDecoys& b) {
+              return a.file < b.file;
+            });
+  for (FileDecoys& entry : manifest.files) {
+    std::sort(entry.regions.begin(), entry.regions.end(),
+              [](const config::LineRegion& a, const config::LineRegion& b) {
+                return a.begin < b.begin;
+              });
+  }
+  std::sort(manifest.prefixes.begin(), manifest.prefixes.end());
+  std::sort(manifest.asns.begin(), manifest.asns.end());
+  return manifest;
+}
+
+}  // namespace confanon::defense

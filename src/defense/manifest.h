@@ -1,0 +1,65 @@
+// Decoy manifest: the machine-readable record of what the defense pass
+// injected, and where.
+//
+// The defense (see defense.h) k-anonymizes router fingerprints by adding
+// decoy structure to anonymized output. That is a deliberate, flagged
+// deviation from the paper's structure-preservation contract — so every
+// insertion is recorded here: per-file line regions plus the global decoy
+// prefixes and ASNs. The manifest is what lets a third-party auditor
+// (confanon_audit --decoys) strip the decoys back out and still prove the
+// ORIGINAL structure isomorphic to the pre-anonymization corpus, and what
+// lets it verify that no decoy shadows real address space (AUD-D001).
+//
+// Serialization is a line-oriented text format (stable, diffable,
+// hand-checkable):
+//
+//   # confanon decoy manifest v1
+//   octet 23
+//   prefix 23.0.0.0/28
+//   asn 64531
+//   region <file> <begin> <end>
+//
+// `region` lines give half-open zero-based line ranges in the DEFENDED
+// file; file names must not contain whitespace (pipeline file names are
+// hashed hostnames, which never do).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/document.h"
+#include "net/prefix.h"
+
+namespace confanon::defense {
+
+/// All decoy regions of one defended file, ascending and disjoint.
+struct FileDecoys {
+  std::string file;  // ConfigFile::name() (no ".cfg" suffix)
+  std::vector<config::LineRegion> regions;
+
+  bool operator==(const FileDecoys&) const = default;
+};
+
+struct DecoyManifest {
+  /// First octet of the decoy /8 the subnets were carved from (-1 when
+  /// the pass injected nothing).
+  int octet = -1;
+  std::vector<FileDecoys> files;        // sorted by file name
+  std::vector<net::Prefix> prefixes;    // every decoy subnet, sorted
+  std::vector<std::uint32_t> asns;      // every decoy peer ASN, sorted
+
+  bool Empty() const;
+  std::size_t TotalDecoyLines() const;
+
+  std::string Serialize() const;
+  /// Returns nullopt on malformed input (unknown directive, bad range).
+  static std::optional<DecoyManifest> Parse(std::string_view text);
+
+  bool operator==(const DecoyManifest&) const = default;
+};
+
+}  // namespace confanon::defense

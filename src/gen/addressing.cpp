@@ -63,6 +63,23 @@ AddressPlan::AddressPlan(util::Rng& rng, NetworkProfile profile,
   link_region_ = net::Prefix(net::Ipv4Address(next_link_), base_length + 2);
 }
 
+AddressPlan::AddressPlan(net::Prefix base) {
+  const int base_length = base.length();
+  if (base_length < 1 || base_length > 24) {
+    throw std::invalid_argument("address plan: base must be /1../24");
+  }
+  const std::uint32_t start = base.address().value();
+  const std::uint32_t block = 1u << (32 - base_length);
+  base_ = base;
+  next_lan_ = start;
+  lan_end_ = start + block / 2;
+  next_link_ = lan_end_;
+  link_end_ = start + block / 4 * 3;
+  next_loopback_ = link_end_;
+  loopback_end_ = start + block;
+  link_region_ = net::Prefix(net::Ipv4Address(next_link_), base_length + 2);
+}
+
 net::Prefix AddressPlan::AllocateSubnet(int prefix_length) {
   const std::uint32_t size = 1u << (32 - prefix_length);
   const std::uint32_t aligned = AlignUp(next_lan_, size);

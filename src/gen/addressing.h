@@ -22,6 +22,12 @@ class AddressPlan {
   /// a /16, large ones a /14, very large a /12.
   AddressPlan(util::Rng& rng, NetworkProfile profile, int router_count = 40);
 
+  /// Carves the same LAN/link/loopback regions out of a caller-chosen
+  /// base block (no randomness). The decoy defense (src/defense) plans
+  /// its synthetic subnets this way, from a block proven disjoint from
+  /// the corpus, so decoys have the same regional shape as real plans.
+  explicit AddressPlan(net::Prefix base);
+
   /// Allocates an aligned subnet of the given prefix length from the main
   /// block. Throws std::runtime_error on exhaustion (callers size their
   /// topologies well inside the block).

@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -243,6 +244,39 @@ std::vector<config::ConfigFile> CorpusPipeline::AnonymizeCorpus(
     }
     SyncSharedMetrics();
   }
+
+  // Phase 3 (opt-in): fingerprint defense. Decoy insertion is sequential
+  // and corpus-global — it pads equivalence classes across files — so it
+  // runs after the join, on the assembled output.
+  if (context_->options().defense.k > 1) {
+    obs::PhaseProfiler::ScopedPhase phase(hooks_.profiler, &tracer_,
+                                          "defend");
+    const auto start = std::chrono::steady_clock::now();
+    defense::DefenseResult defended = defense::DefendCorpus(
+        out, context_->options().defense, session_->salt());
+    defense_report_ = defended.report;
+    decoy_manifest_ = std::move(defended.manifest);
+    session_->MergeDefense(defense_report_.Summary());
+    if (hooks_.metrics != nullptr) {
+      hooks_.metrics->CounterNamed("defense.decoy_lines")
+          .Add(defense_report_.decoy_lines);
+      hooks_.metrics->GaugeNamed("defense.target_k")
+          .Set(static_cast<std::int64_t>(defense_report_.target_k));
+      hooks_.metrics->GaugeNamed("defense.achieved_k")
+          .Set(static_cast<std::int64_t>(defense_report_.achieved_k));
+      hooks_.metrics->GaugeNamed("defense.overhead_pct")
+          .Set(static_cast<std::int64_t>(
+              defense_report_.Overhead() * 100.0 + 0.5));
+      hooks_.metrics->HistogramNamed("defense.pass_ns")
+          .Record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
+    }
+  } else {
+    defense_report_ = {};
+    decoy_manifest_ = {};
+  }
   return out;
 }
 
@@ -330,6 +364,7 @@ std::vector<NetworkOutput> AnonymizeNetworkSet(
         out[i].files = pipe.AnonymizeCorpus(tasks[i].files);
         out[i].report = pipe.report();
         out[i].leak_record = pipe.leak_record();
+        out[i].defense = pipe.defense_report().Summary();
       }
     }
   });

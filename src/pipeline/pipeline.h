@@ -43,6 +43,7 @@
 #include "core/network_state.h"
 #include "core/report.h"
 #include "core/session.h"
+#include "defense/defense.h"
 #include "junos/anonymizer.h"
 #include "obs/hooks.h"
 #include "obs/trace.h"
@@ -105,6 +106,17 @@ class CorpusPipeline {
   const core::AnonymizationReport& report() const { return report_; }
   const core::LeakRecord& leak_record() const { return leak_record_; }
 
+  /// Fingerprint-defense accounting for the LAST AnonymizeCorpus call
+  /// (all zeros / empty when options().defense.k <= 1, which disables
+  /// the defend phase). The manifest records every decoy insertion for
+  /// confanon_audit --decoys.
+  const defense::DefenseReport& defense_report() const {
+    return defense_report_;
+  }
+  const defense::DecoyManifest& decoy_manifest() const {
+    return decoy_manifest_;
+  }
+
   /// Observability for the whole pipeline: the registry and trace sink
   /// are shared by all workers (both are thread-safe); provenance is
   /// captured per file and appended to hooks.provenance in corpus order
@@ -155,6 +167,8 @@ class CorpusPipeline {
   bool per_call_preload_ = false;
   core::AnonymizationReport report_;
   core::LeakRecord leak_record_;
+  defense::DefenseReport defense_report_;
+  defense::DecoyManifest decoy_manifest_;
   obs::Hooks hooks_;
   obs::Tracer tracer_;  // pipeline-level phase spans; sink from hooks_
   ipanon::IpAnonymizer::Stats synced_ip_;
@@ -187,6 +201,8 @@ struct NetworkOutput {
   std::vector<config::ConfigFile> files;
   core::AnonymizationReport report;
   core::LeakRecord leak_record;
+  /// Fingerprint-defense accounting (zeros when the defense is off).
+  core::DefenseSummary defense;
 };
 
 /// DEPRECATED: the thread budget and the observability pointers both

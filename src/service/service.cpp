@@ -252,6 +252,11 @@ void AnonymizationService::HandleSessions(const obs::HttpRequest& request,
     json.Key("lines").Value(report.total_lines);
     json.Key("words_hashed").Value(report.words_hashed);
     json.Key("addresses_mapped").Value(report.addresses_mapped);
+    const core::DefenseSummary defense = tenant->session->defense();
+    json.Key("defend_k").Value(static_cast<std::uint64_t>(defense.target_k));
+    json.Key("achieved_k")
+        .Value(static_cast<std::uint64_t>(defense.achieved_k));
+    json.Key("decoy_lines").Value(defense.decoy_lines);
     json.EndObject();
   }
   json.EndArray();

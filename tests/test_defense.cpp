@@ -1,0 +1,382 @@
+// Metamorphic harness for the fingerprint defense (src/defense).
+//
+// The defense has no golden "right answer" — its contract is a set of
+// relations that must hold across runs and inputs:
+//
+//  1. Effectiveness: after DefendCorpus(k), re-running the Section 6.2/6.3
+//     insider experiment (per-router fingerprint extraction) over the
+//     defended corpus finds every router k-anonymous.
+//  2. Fixed point: defending an already-defended corpus inserts nothing
+//     and changes no byte (classes >= k are never touched).
+//  3. Determinism: the same (corpus, salt, seed) gives byte-identical
+//     defended output and an identical manifest.
+//  4. Safety: decoys never collide with real space — the decoy /8 appears
+//     nowhere in the corpus, and no decoy prefix contains or is contained
+//     by a real subnet. Checked exhaustively over the octet domain.
+//  5. Monotonicity: achieved k never decreases as the budget grows, and
+//     the spent decoy lines never exceed the budget.
+//  6. Auditability: the decoy-aware pair audit accepts (pre, defended,
+//     manifest), the plain pair audit rejects (pre, defended), and a
+//     manifest that lies — shadowing prefix, bogus region — raises the
+//     AUD-D001 / AUD-D002 findings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/fingerprint.h"
+#include "audit/audit.h"
+#include "config/document.h"
+#include "defense/defense.h"
+#include "defense/decoy_render.h"
+#include "defense/manifest.h"
+#include "gen/config_writer.h"
+#include "gen/network_gen.h"
+#include "junos/writer.h"
+#include "pipeline/pipeline.h"
+
+namespace confanon {
+namespace {
+
+std::vector<config::ConfigFile> MixedCorpus(std::uint64_t seed,
+                                            int routers_per_dialect = 6) {
+  gen::GeneratorParams ios_params;
+  ios_params.seed = seed;
+  ios_params.router_count = routers_per_dialect;
+  gen::GeneratorParams junos_params;
+  junos_params.seed = seed + 1;
+  junos_params.router_count = routers_per_dialect;
+  auto ios = gen::WriteNetworkConfigs(
+      gen::GenerateNetwork(ios_params, static_cast<int>(seed)));
+  auto junos = junos::WriteJunosNetworkConfigs(
+      gen::GenerateNetwork(junos_params, static_cast<int>(seed) + 1));
+  std::vector<config::ConfigFile> mixed;
+  for (auto& file : ios) mixed.push_back(std::move(file));
+  for (auto& file : junos) mixed.push_back(std::move(file));
+  return mixed;
+}
+
+std::vector<config::ConfigFile> Anonymize(
+    const std::vector<config::ConfigFile>& files, const std::string& salt) {
+  core::ServiceOptions options;
+  options.base.salt = salt;
+  options.threads = 1;
+  const auto context = pipeline::MakeServiceContext(std::move(options));
+  pipeline::CorpusPipeline pipe(context, context->CreateSession());
+  return pipe.AnonymizeCorpus(files);
+}
+
+std::vector<std::string> CorpusText(
+    const std::vector<config::ConfigFile>& files) {
+  std::vector<std::string> text;
+  text.reserve(files.size());
+  for (const config::ConfigFile& file : files) text.push_back(file.ToText());
+  return text;
+}
+
+core::DefenseOptions Defend(int k, std::uint64_t seed = 1,
+                            double budget = 0.5) {
+  core::DefenseOptions options;
+  options.k = k;
+  options.seed = seed;
+  options.budget = budget;
+  return options;
+}
+
+TEST(Defense, AchievesTargetKOnMixedCorpus) {
+  const auto pre = MixedCorpus(11);
+  auto defended = Anonymize(pre, "defense-salt");
+  const auto baseline = analysis::MinFingerprintClassSize(
+      analysis::ExtractRouterFingerprints(defended));
+
+  const defense::DefenseResult result =
+      defense::DefendCorpus(defended, Defend(2), "defense-salt");
+
+  EXPECT_EQ(result.report.baseline_k, baseline);
+  EXPECT_GE(result.report.achieved_k, 2u);
+  // The report's claim must match an independent re-run of the insider
+  // experiment over the defended corpus.
+  EXPECT_EQ(result.report.achieved_k,
+            analysis::MinFingerprintClassSize(
+                analysis::ExtractRouterFingerprints(defended)));
+  EXPECT_GT(result.report.decoy_lines, 0u);
+  EXPECT_EQ(result.report.decoy_lines, result.manifest.TotalDecoyLines());
+}
+
+TEST(Defense, HigherTargetK) {
+  const auto pre = MixedCorpus(12);
+  auto defended = Anonymize(pre, "defense-salt");
+  // This corpus has a hub router with ~180 distinct /30 link subnets, so
+  // padding its k-group up to a common fingerprint is intrinsically
+  // expensive: give the pass enough budget to afford it.
+  const defense::DefenseResult result =
+      defense::DefendCorpus(defended, Defend(3, 1, 6.0), "defense-salt");
+  EXPECT_GE(result.report.achieved_k, 3u);
+}
+
+TEST(Defense, DefendedOutputIsAFixedPoint) {
+  const auto pre = MixedCorpus(13);
+  auto defended = Anonymize(pre, "defense-salt");
+  defense::DefendCorpus(defended, Defend(2), "defense-salt");
+  const std::vector<std::string> before = CorpusText(defended);
+
+  const defense::DefenseResult again =
+      defense::DefendCorpus(defended, Defend(2), "defense-salt");
+
+  EXPECT_EQ(again.report.decoy_lines, 0u);
+  EXPECT_TRUE(again.manifest.Empty());
+  EXPECT_EQ(CorpusText(defended), before);
+}
+
+TEST(Defense, DeterministicPerSaltAndSeed) {
+  const auto pre = MixedCorpus(14);
+  auto a = Anonymize(pre, "defense-salt");
+  auto b = Anonymize(pre, "defense-salt");
+  const defense::DefenseResult ra =
+      defense::DefendCorpus(a, Defend(2, 7), "defense-salt");
+  const defense::DefenseResult rb =
+      defense::DefendCorpus(b, Defend(2, 7), "defense-salt");
+  EXPECT_EQ(CorpusText(a), CorpusText(b));
+  EXPECT_EQ(ra.manifest, rb.manifest);
+
+  // A different seed must still hit the k target, but is free to place
+  // different decoys.
+  auto c = Anonymize(pre, "defense-salt");
+  const defense::DefenseResult rc =
+      defense::DefendCorpus(c, Defend(2, 8), "defense-salt");
+  EXPECT_GE(rc.report.achieved_k, 2u);
+}
+
+TEST(Defense, DecoysNeverTouchRealSpace) {
+  const auto pre = MixedCorpus(15);
+  auto defended = Anonymize(pre, "defense-salt");
+  const std::vector<config::ConfigFile> real = defended;  // pre-defense
+  const defense::DefenseResult result =
+      defense::DefendCorpus(defended, Defend(2), "defense-salt");
+  ASSERT_GE(result.report.decoy_octet, 0);
+
+  for (const config::ConfigFile& file : real) {
+    for (const net::Prefix& subnet : analysis::CollectInterfaceSubnets(file)) {
+      EXPECT_NE(static_cast<int>(subnet.address().value() >> 24),
+                result.report.decoy_octet);
+      for (const net::Prefix& decoy : result.manifest.prefixes) {
+        EXPECT_FALSE(decoy.Contains(subnet) || subnet.Contains(decoy))
+            << decoy.ToString() << " vs real " << subnet.ToString();
+      }
+    }
+  }
+}
+
+// Exhaustive over the planner's whole /8 domain: whichever candidate
+// octet a corpus occupies, the chooser never picks a colliding block.
+TEST(Defense, OctetChoiceAvoidsEveryOccupiedCandidate) {
+  for (const int occupied : defense::DecoyOctetCandidates()) {
+    const std::string address = std::to_string(occupied) + ".1.2.1";
+    config::ConfigFile file(
+        "r1", {"interface FastEthernet0/0",
+               " ip address " + address + " 255.255.255.0", "!"});
+    util::Rng rng(99);
+    const int chosen = defense::ChooseDecoyOctet({file}, rng);
+    ASSERT_GE(chosen, 0);
+    EXPECT_NE(chosen, occupied) << "collided at " << occupied;
+  }
+}
+
+TEST(Defense, NoSafeOctetMeansNoDecoys) {
+  // A corpus claiming a /1 over each half of the candidate space leaves
+  // the planner nowhere safe to carve; it must refuse, not collide.
+  config::ConfigFile file("r1", {"interface FastEthernet0/0",
+                                 " ip address 1.0.0.1 128.0.0.0",
+                                 "!",
+                                 "interface FastEthernet0/1",
+                                 " ip address 129.0.0.1 128.0.0.0",
+                                 "!"});
+  std::vector<config::ConfigFile> corpus = {file, file};
+  corpus[1].mutable_lines();  // distinct object, same content
+  util::Rng rng(1);
+  EXPECT_EQ(defense::ChooseDecoyOctet(corpus, rng), -1);
+}
+
+TEST(Defense, AchievedKMonotoneInBudget) {
+  const auto pre = MixedCorpus(16, 8);
+  const auto anonymized = Anonymize(pre, "defense-salt");
+  std::size_t previous_k = 0;
+  std::uint64_t previous_lines = 0;
+  for (const double budget : {0.0, 0.02, 0.08, 0.2, 0.5, 1.0}) {
+    auto defended = anonymized;
+    const defense::DefenseResult result =
+        defense::DefendCorpus(defended, Defend(3, 1, budget), "defense-salt");
+    EXPECT_GE(result.report.achieved_k, previous_k)
+        << "k regressed at budget " << budget;
+    EXPECT_GE(result.report.decoy_lines, previous_lines);
+    // Hard cap: the pass never overspends its budget.
+    EXPECT_LE(static_cast<double>(result.report.decoy_lines),
+              budget * static_cast<double>(result.report.corpus_lines));
+    previous_k = result.report.achieved_k;
+    previous_lines = result.report.decoy_lines;
+  }
+}
+
+TEST(Defense, KAtMostOneIsANoOp) {
+  const auto pre = MixedCorpus(17);
+  auto defended = Anonymize(pre, "defense-salt");
+  const std::vector<std::string> before = CorpusText(defended);
+  const defense::DefenseResult result =
+      defense::DefendCorpus(defended, Defend(1), "defense-salt");
+  EXPECT_EQ(result.report.decoy_lines, 0u);
+  EXPECT_EQ(CorpusText(defended), before);
+}
+
+TEST(Defense, SingleRouterReportsHonestK) {
+  auto pre = MixedCorpus(18, 1);
+  pre.resize(1);
+  auto defended = Anonymize(pre, "defense-salt");
+  const defense::DefenseResult result =
+      defense::DefendCorpus(defended, Defend(2), "defense-salt");
+  EXPECT_EQ(result.report.achieved_k, 1u);
+  EXPECT_EQ(result.report.decoy_lines, 0u);
+}
+
+TEST(Defense, SessionMergeTracksWorstK) {
+  core::ServiceOptions options;
+  options.base.salt = "merge-salt";
+  const core::ServiceContext context(std::move(options));
+  const auto session = context.CreateSession();
+  core::DefenseSummary first;
+  first.target_k = 2;
+  first.achieved_k = 3;
+  first.decoy_lines = 10;
+  first.overhead = 0.10;
+  session->MergeDefense(first);
+  core::DefenseSummary second;
+  second.target_k = 2;
+  second.achieved_k = 2;
+  second.decoy_lines = 5;
+  second.overhead = 0.05;
+  session->MergeDefense(second);
+  const core::DefenseSummary merged = session->defense();
+  EXPECT_EQ(merged.achieved_k, 2u);  // min across runs: the honest claim
+  EXPECT_EQ(merged.decoy_lines, 15u);
+  EXPECT_EQ(merged.target_k, 2u);
+}
+
+// --- auditability ---
+
+TEST(Defense, DecoyAwareAuditAcceptsDefendedPair) {
+  const auto pre = MixedCorpus(19);
+  auto defended = Anonymize(pre, "defense-salt");
+  const defense::DefenseResult result =
+      defense::DefendCorpus(defended, Defend(2), "defense-salt");
+  ASSERT_GT(result.report.decoy_lines, 0u);
+
+  audit::AuditOptions options;
+  options.threads = 1;
+  // The plain pair audit must notice the added structure...
+  EXPECT_TRUE(audit::ComparePair(pre, defended, options).HasErrors());
+  // ...and the decoy-aware mode must strip it and prove the original
+  // structure isomorphic.
+  const audit::AuditResult decoy_aware =
+      audit::ComparePairDefended(pre, defended, result.manifest, options);
+  EXPECT_FALSE(decoy_aware.HasErrors()) << decoy_aware.ToText();
+
+  // Round-trip through the text manifest the CLIs exchange.
+  const auto reparsed =
+      defense::DecoyManifest::Parse(result.manifest.Serialize());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, result.manifest);
+}
+
+TEST(Defense, ShadowingDecoyRaisesAuditFinding) {
+  const auto pre = MixedCorpus(20);
+  auto defended = Anonymize(pre, "defense-salt");
+  defense::DefenseResult result =
+      defense::DefendCorpus(defended, Defend(2), "defense-salt");
+  ASSERT_FALSE(result.manifest.prefixes.empty());
+
+  // Lie: claim a real subnet of the corpus is a decoy.
+  std::vector<net::Prefix> real;
+  for (const config::ConfigFile& file : defended) {
+    for (const net::Prefix& subnet :
+         analysis::CollectInterfaceSubnets(file)) {
+      if (static_cast<int>(subnet.address().value() >> 24) !=
+          result.manifest.octet) {
+        real.push_back(subnet);
+      }
+    }
+  }
+  ASSERT_FALSE(real.empty());
+  result.manifest.prefixes.push_back(real.front());
+
+  audit::AuditOptions options;
+  options.threads = 1;
+  const audit::AuditResult audited =
+      audit::ComparePairDefended(pre, defended, result.manifest, options);
+  bool found = false;
+  for (const audit::Finding& finding : audited.findings) {
+    found |= finding.rule_id == audit::kRuleDecoyShadowsReal;
+  }
+  EXPECT_TRUE(found) << audited.ToText();
+}
+
+TEST(Defense, BogusManifestRegionRaisesAuditFinding) {
+  const auto pre = MixedCorpus(21);
+  auto defended = Anonymize(pre, "defense-salt");
+  defense::DefenseResult result =
+      defense::DefendCorpus(defended, Defend(2), "defense-salt");
+  ASSERT_FALSE(result.manifest.files.empty());
+
+  // Region past the end of its file.
+  result.manifest.files.front().regions.push_back(
+      config::LineRegion{1u << 20, (1u << 20) + 3});
+
+  audit::AuditOptions options;
+  options.threads = 1;
+  const audit::AuditResult audited =
+      audit::ComparePairDefended(pre, defended, result.manifest, options);
+  bool found = false;
+  for (const audit::Finding& finding : audited.findings) {
+    found |= finding.rule_id == audit::kRuleDecoyManifestMismatch;
+  }
+  EXPECT_TRUE(found) << audited.ToText();
+}
+
+TEST(Defense, PipelinePhaseWiresThrough) {
+  const auto pre = MixedCorpus(22);
+  core::ServiceOptions options;
+  options.base.salt = "phase-salt";
+  options.threads = 2;
+  options.defense.k = 2;
+  options.defense.seed = 3;
+  // Enough budget to pair this corpus's /30-heavy hub router.
+  options.defense.budget = 2.0;
+  const auto context = pipeline::MakeServiceContext(std::move(options));
+  pipeline::CorpusPipeline pipe(context, context->CreateSession());
+  const auto defended = pipe.AnonymizeCorpus(pre);
+
+  EXPECT_GE(pipe.defense_report().achieved_k, 2u);
+  EXPECT_EQ(pipe.defense_report().decoy_lines,
+            pipe.decoy_manifest().TotalDecoyLines());
+  // The session carries the summary for /v1/sessions.
+  EXPECT_EQ(pipe.session()->defense().achieved_k,
+            pipe.defense_report().achieved_k);
+  // And the output really is k-anonymous.
+  EXPECT_GE(analysis::MinFingerprintClassSize(
+                analysis::ExtractRouterFingerprints(defended)),
+            2u);
+}
+
+TEST(Defense, ManifestParseRejectsGarbage) {
+  EXPECT_FALSE(defense::DecoyManifest::Parse("bogus directive\n").has_value());
+  EXPECT_FALSE(
+      defense::DecoyManifest::Parse("region f 9 3\n").has_value());
+  EXPECT_FALSE(defense::DecoyManifest::Parse("octet 900\n").has_value());
+  const auto ok = defense::DecoyManifest::Parse(
+      "# comment\noctet 23\nprefix 23.0.0.0/28\nasn 64531\n"
+      "region f1 2 5\nregion f1 7 9\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->TotalDecoyLines(), 5u);
+}
+
+}  // namespace
+}  // namespace confanon

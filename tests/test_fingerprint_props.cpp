@@ -1,0 +1,213 @@
+// Property tests for the per-router fingerprint extractor
+// (analysis::fingerprint) — the measurement both the Section 6.2/6.3
+// insider experiment and the decoy defense trust. The properties:
+//
+//  * Router permutation invariance: shuffling the corpus permutes the
+//    per-router fingerprints but changes no class size — the attack (and
+//    the defense's achieved k) cannot depend on file order.
+//  * Name invariance: a router's fingerprint is a function of its config
+//    text only; renaming the file changes nothing.
+//  * Thread invariance: the anonymized corpus fingerprints (per-router
+//    and corpus-wide histogram) are identical at 1 and 4 pipeline
+//    threads, because the output bytes are.
+//  * Dialect ground truth: handcrafted IOS and JunOS configs extract to
+//    exactly the expected histogram and degree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/fingerprint.h"
+#include "config/document.h"
+#include "gen/config_writer.h"
+#include "gen/network_gen.h"
+#include "junos/writer.h"
+#include "pipeline/pipeline.h"
+#include "util/rng.h"
+
+namespace confanon {
+namespace {
+
+std::vector<config::ConfigFile> MixedCorpus(std::uint64_t seed) {
+  gen::GeneratorParams ios_params;
+  ios_params.seed = seed;
+  ios_params.router_count = 6;
+  gen::GeneratorParams junos_params;
+  junos_params.seed = seed + 1;
+  junos_params.router_count = 6;
+  auto mixed = gen::WriteNetworkConfigs(
+      gen::GenerateNetwork(ios_params, static_cast<int>(seed)));
+  auto junos = junos::WriteJunosNetworkConfigs(
+      gen::GenerateNetwork(junos_params, static_cast<int>(seed) + 1));
+  for (auto& file : junos) mixed.push_back(std::move(file));
+  return mixed;
+}
+
+/// Class-size spectrum: fingerprint key -> member count, the quantity k
+/// is derived from.
+std::map<std::string, std::size_t> ClassSizes(
+    const std::vector<config::ConfigFile>& files) {
+  std::map<std::string, std::size_t> sizes;
+  for (const analysis::RouterFingerprint& fingerprint :
+       analysis::ExtractRouterFingerprints(files)) {
+    ++sizes[fingerprint.Key()];
+  }
+  return sizes;
+}
+
+TEST(FingerprintProps, InvariantUnderRouterPermutation) {
+  const auto corpus = MixedCorpus(31);
+  const auto baseline = ClassSizes(corpus);
+  const auto baseline_k = analysis::MinFingerprintClassSize(
+      analysis::ExtractRouterFingerprints(corpus));
+
+  auto shuffled = corpus;
+  util::Rng rng(5);
+  rng.Shuffle(shuffled);
+  EXPECT_EQ(ClassSizes(shuffled), baseline);
+  EXPECT_EQ(analysis::MinFingerprintClassSize(
+                analysis::ExtractRouterFingerprints(shuffled)),
+            baseline_k);
+
+  // Per-file: each router keeps its own fingerprint wherever it lands.
+  std::map<std::string, std::string> expected_key;
+  for (const config::ConfigFile& file : corpus) {
+    expected_key[file.name()] =
+        analysis::ExtractRouterFingerprint(file).Key();
+  }
+  for (const config::ConfigFile& file : shuffled) {
+    EXPECT_EQ(analysis::ExtractRouterFingerprint(file).Key(),
+              expected_key[file.name()]);
+  }
+}
+
+TEST(FingerprintProps, InvariantUnderFileRenaming) {
+  const auto corpus = MixedCorpus(32);
+  auto renamed = corpus;
+  for (std::size_t i = 0; i < renamed.size(); ++i) {
+    // Rebuild under a meaningless name; the text is all that matters.
+    renamed[i] = config::ConfigFile::FromText(
+        "x" + std::to_string(i), corpus[i].ToText());
+  }
+  const auto original = analysis::ExtractRouterFingerprints(corpus);
+  const auto anonymous_names = analysis::ExtractRouterFingerprints(renamed);
+  ASSERT_EQ(original.size(), anonymous_names.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i], anonymous_names[i]) << "file " << i;
+  }
+}
+
+TEST(FingerprintProps, HistogramsIdenticalAcrossThreadCounts) {
+  const auto pre = MixedCorpus(33);
+  std::vector<std::vector<config::ConfigFile>> outputs;
+  for (const int threads : {1, 4}) {
+    core::ServiceOptions options;
+    options.base.salt = "prop-salt";
+    options.threads = threads;
+    const auto context = pipeline::MakeServiceContext(std::move(options));
+    pipeline::CorpusPipeline pipe(context, context->CreateSession());
+    outputs.push_back(pipe.AnonymizeCorpus(pre));
+  }
+  EXPECT_EQ(analysis::SubnetSizeFingerprint(outputs[0]),
+            analysis::SubnetSizeFingerprint(outputs[1]));
+  const auto a = analysis::ExtractRouterFingerprints(outputs[0]);
+  const auto b = analysis::ExtractRouterFingerprints(outputs[1]);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "router " << i;
+  }
+  // And anonymization itself preserved each router's fingerprint (the
+  // paper's structure-preservation claim, at per-router granularity).
+  const auto original = analysis::ExtractRouterFingerprints(pre);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], original[i]) << "router " << i;
+  }
+}
+
+TEST(FingerprintProps, IosGroundTruth) {
+  const config::ConfigFile file(
+      "r1", {
+                "hostname r1",
+                "interface Loopback0",
+                " ip address 10.0.0.1 255.255.255.255",
+                "!",
+                "interface FastEthernet0/0",
+                " ip address 10.1.0.1 255.255.255.0",
+                "!",
+                "interface FastEthernet0/1",
+                " ip address 10.1.1.1  255.255.255.0",
+                "!",
+                "router bgp 65001",
+                " neighbor 10.9.0.2 remote-as 65001",
+                " neighbor 10.9.0.6 remote-as 200",
+                " neighbor 10.9.0.10 remote-as 300",
+                "!",
+                "end",
+            });
+  const analysis::RouterFingerprint fingerprint =
+      analysis::ExtractRouterFingerprint(file);
+  EXPECT_EQ(fingerprint.subnet_sizes.Get(32), 1u);
+  EXPECT_EQ(fingerprint.subnet_sizes.Get(24), 2u);
+  EXPECT_EQ(fingerprint.subnet_sizes.Total(), 3u);
+  // The 65001 neighbor is iBGP; only the two foreign ASNs count.
+  EXPECT_EQ(fingerprint.external_sessions, 2);
+}
+
+TEST(FingerprintProps, JunosGroundTruth) {
+  const config::ConfigFile file(
+      "r2", {
+                "interfaces {",
+                "    lo0 {",
+                "        unit 0 {",
+                "            family inet {",
+                "                address 10.0.0.2/32;",
+                "            }",
+                "        }",
+                "    }",
+                "    fe-0/0 {",
+                "        unit 0 {",
+                "            family inet {",
+                "                address 10.2.0.1/30;",
+                "            }",
+                "        }",
+                "    }",
+                "}",
+                "protocols {",
+                "    bgp {",
+                "        group internal {",
+                "            type internal;",
+                "            neighbor 10.0.0.9;",
+                "        }",
+                "        group h0123456789 {",
+                "            type external;",
+                "            peer-as 300;",
+                "            neighbor 10.2.0.2;",
+                "            neighbor 10.2.0.6;",
+                "        }",
+                "    }",
+                "}",
+            });
+  const analysis::RouterFingerprint fingerprint =
+      analysis::ExtractRouterFingerprint(file);
+  EXPECT_EQ(fingerprint.subnet_sizes.Get(32), 1u);
+  EXPECT_EQ(fingerprint.subnet_sizes.Get(30), 1u);
+  EXPECT_EQ(fingerprint.subnet_sizes.Total(), 2u);
+  // Only the type-external group's neighbors are peering sessions.
+  EXPECT_EQ(fingerprint.external_sessions, 2);
+}
+
+TEST(FingerprintProps, DuplicateSubnetsCountOnce) {
+  const config::ConfigFile file(
+      "r3", {"interface FastEthernet0/0",
+             " ip address 10.1.0.1 255.255.255.0", "!",
+             "interface FastEthernet0/1",
+             " ip address 10.1.0.2 255.255.255.0", "!"});
+  const analysis::RouterFingerprint fingerprint =
+      analysis::ExtractRouterFingerprint(file);
+  EXPECT_EQ(fingerprint.subnet_sizes.Total(), 1u);  // same /24 both times
+}
+
+}  // namespace
+}  // namespace confanon
